@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the hot paths: packetization, CTU encoding, CLIP
+//! correlation, the QP allocator and the MLLM accuracy model.
+
+use aivchat_core::{QpAllocator, QpAllocatorConfig};
+use aivc_mllm::{MllmChat, Question, QuestionFormat};
+use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
+use aivc_scene::templates::basketball_game;
+use aivc_scene::{SourceConfig, VideoSource};
+use aivc_semantics::{ClipModel, TextQuery};
+use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_packetizer(c: &mut Criterion) {
+    c.bench_function("packetize_100kB_frame", |b| {
+        let mut packetizer = Packetizer::default();
+        let frame = OutgoingFrame { frame_id: 1, capture_ts_us: 0, size_bytes: 100_000, is_keyframe: true };
+        b.iter(|| black_box(packetizer.packetize(black_box(&frame))));
+    });
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let frame = source.frame(0);
+    let encoder = Encoder::new(EncoderConfig::default());
+    c.bench_function("encode_1080p_frame_uniform_qp", |b| {
+        b.iter(|| black_box(encoder.encode_uniform(black_box(&frame), Qp::new(32))));
+    });
+}
+
+fn bench_clip_correlation(c: &mut Criterion) {
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let frame = source.frame(0);
+    let model = ClipModel::mobile_default();
+    let query = TextQuery::from_words("Could you tell me the present score of the game?", model.ontology());
+    c.bench_function("clip_correlation_map_1080p", |b| {
+        b.iter(|| black_box(model.correlation_map(black_box(&frame), &query)));
+    });
+}
+
+fn bench_qp_allocation(c: &mut Criterion) {
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let frame = source.frame(0);
+    let model = ClipModel::mobile_default();
+    let query = TextQuery::from_words("How many spectators can be seen?", model.ontology());
+    let importance = model.correlation_map(&frame, &query);
+    let encoder = Encoder::new(EncoderConfig::default());
+    let grid = encoder.grid_for(&frame);
+    let allocator = QpAllocator::new(QpAllocatorConfig::paper());
+    c.bench_function("eq2_qp_allocation", |b| {
+        b.iter(|| black_box(allocator.allocate(black_box(&importance), grid)));
+    });
+}
+
+fn bench_mllm_answer(c: &mut Criterion) {
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let encoder = Encoder::new(EncoderConfig::default());
+    let decoder = Decoder::new();
+    let frames: Vec<_> = (0..4)
+        .map(|i| decoder.decode_complete(&encoder.encode_uniform(&source.frame(i * 30), Qp::new(32)), None))
+        .collect();
+    let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
+    let chat = MllmChat::responder(1);
+    c.bench_function("mllm_respond_4_frames", |b| {
+        b.iter(|| black_box(chat.respond(black_box(&question), &frames, 0)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_packetizer, bench_encoder, bench_clip_correlation, bench_qp_allocation, bench_mllm_answer
+}
+criterion_main!(benches);

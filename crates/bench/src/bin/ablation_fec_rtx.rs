@@ -1,0 +1,75 @@
+//! Ablation: forward error correction vs retransmission under random and bursty loss.
+//!
+//! AI Video Chat's latency budget leaves little room for retransmission round trips; FEC
+//! trades uplink bitrate for latency. This ablation quantifies that trade on the paper's
+//! 10 Mbps / 30 ms link.
+
+use aivc_bench::{kbps, print_section, write_json, Scale};
+use aivc_netsim::LossModel;
+use aivc_rtc::session::synthetic_frame_schedule;
+use aivc_rtc::{FecConfig, SessionConfig, VideoSession};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FecRow {
+    loss_model: String,
+    recovery: String,
+    mean_latency_ms: f64,
+    p95_latency_ms: f64,
+    completion_rate: f64,
+    uplink_bitrate_bps: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let secs = scale.pick(15.0, 60.0, 400.0);
+    let bitrate = 800_000.0;
+    let frames = synthetic_frame_schedule(bitrate, 30.0, secs, 60, 6.0);
+
+    let loss_models = [
+        ("iid 3%", LossModel::Iid { rate: 0.03 }),
+        ("bursty 3% (burst 8)", LossModel::bursty(0.03, 8.0)),
+    ];
+    let mut rows = Vec::new();
+    for (loss_name, loss) in loss_models {
+        for (recovery, fec, rtx) in [
+            ("RTX only", FecConfig::disabled(), true),
+            ("FEC(4) only", FecConfig::with_group_size(4), false),
+            ("FEC(4) + RTX", FecConfig::with_group_size(4), true),
+            ("none", FecConfig::disabled(), false),
+        ] {
+            let mut config = SessionConfig::paper_fig3(0.0, bitrate, 77);
+            config.path.uplink.loss = loss;
+            config.fec = fec;
+            config.enable_retransmission = rtx;
+            let stats = VideoSession::new(config).run(&frames).stats;
+            let mut latency = stats.transmission_latency();
+            rows.push(FecRow {
+                loss_model: loss_name.to_string(),
+                recovery: recovery.to_string(),
+                mean_latency_ms: latency.mean_ms(),
+                p95_latency_ms: latency.p95_ms(),
+                completion_rate: stats.completion_rate(),
+                uplink_bitrate_bps: stats.uplink_bitrate_bps(),
+            });
+        }
+    }
+
+    let mut body = String::from(
+        "800 kbps video over the paper's 10 Mbps / 30 ms link.\n\n| loss | recovery | mean latency | p95 latency | completion | uplink rate |\n|---|---|---|---|---|---|\n",
+    );
+    for r in &rows {
+        body.push_str(&format!(
+            "| {} | {} | {:.1} ms | {:.1} ms | {:.1}% | {} |\n",
+            r.loss_model,
+            r.recovery,
+            r.mean_latency_ms,
+            r.p95_latency_ms,
+            r.completion_rate * 100.0,
+            kbps(r.uplink_bitrate_bps)
+        ));
+    }
+    body.push_str("\nFEC removes most retransmission round trips under i.i.d. loss (lower p95) at ~25% extra uplink bitrate, but single-parity groups recover little under bursty loss — where NACK/RTX remains necessary for completeness.\n");
+    print_section("Ablation — FEC vs retransmission", &body);
+    write_json("ablation_fec_rtx", &rows);
+}

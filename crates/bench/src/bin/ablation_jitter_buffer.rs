@@ -1,0 +1,74 @@
+//! Ablation: removing the jitter buffer (§2.1, "jitter has no impact").
+//!
+//! Runs the same chat turn with and without a traditional adaptive jitter buffer on a
+//! jittery link and reports the per-stage latency budget and the answer probability:
+//! the buffer adds tens of milliseconds of latency and changes nothing about what the MLLM
+//! perceives.
+
+use aivc_bench::{print_section, write_json, Scale};
+use aivchat_core::{AiVideoChatSession, SessionOptions};
+use aivc_mllm::{Question, QuestionFormat};
+use aivc_netsim::{LinkConfig, LossModel, PathConfig, SimDuration};
+use aivc_scene::templates::basketball_game;
+use aivc_scene::{SourceConfig, VideoSource};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JitterRow {
+    jitter_buffer: bool,
+    total_latency_ms: f64,
+    jitter_buffer_ms: f64,
+    transmission_ms: f64,
+    probability_correct: f64,
+    meets_300ms_target: bool,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let window_secs = scale.pick(2.0, 4.0, 8.0);
+    let scene = basketball_game(1);
+    let source = VideoSource::new(scene.clone(), SourceConfig::fps30(6.0));
+    let question = Question::from_fact(&scene.facts[0], QuestionFormat::FreeResponse);
+
+    // A jittery 4G-like uplink (±25 ms delivery jitter).
+    let jittery_path = PathConfig {
+        uplink: LinkConfig::constant(8e6, SimDuration::from_millis(30), 300, LossModel::Iid { rate: 0.01 })
+            .with_jitter(SimDuration::from_millis(25)),
+        downlink: LinkConfig::constant(20e6, SimDuration::from_millis(30), 300, LossModel::None),
+    };
+
+    let mut rows = Vec::new();
+    for use_jitter_buffer in [true, false] {
+        let mut options = SessionOptions::default_context_aware(11);
+        options.path = jittery_path.clone();
+        options.window_secs = window_secs;
+        options.use_jitter_buffer = use_jitter_buffer;
+        let report = AiVideoChatSession::new(options).run_turn(&source, &question);
+        rows.push(JitterRow {
+            jitter_buffer: use_jitter_buffer,
+            total_latency_ms: report.latency.total_ms(),
+            jitter_buffer_ms: report.latency.jitter_buffer_ms,
+            transmission_ms: report.latency.transmission_ms,
+            probability_correct: report.answer.probability_correct,
+            meets_300ms_target: report.latency.meets_target(),
+        });
+    }
+
+    let mut body = String::from(
+        "| jitter buffer | total latency | buffer share | transmission | P(correct) | ≤300 ms |\n|---|---|---|---|---|---|\n",
+    );
+    for r in &rows {
+        body.push_str(&format!(
+            "| {} | {:.1} ms | {:.1} ms | {:.1} ms | {:.2} | {} |\n",
+            if r.jitter_buffer { "traditional" } else { "removed (AI mode)" },
+            r.total_latency_ms,
+            r.jitter_buffer_ms,
+            r.transmission_ms,
+            r.probability_correct,
+            if r.meets_300ms_target { "yes" } else { "no" }
+        ));
+    }
+    body.push_str("\n§2.1: MLLM positional encoding uses capture timestamps, so removing the buffer saves its entire delay without affecting accuracy.\n");
+    print_section("Ablation — jitter buffer removal", &body);
+    write_json("ablation_jitter_buffer", &rows);
+}

@@ -1,0 +1,69 @@
+//! Figure 4: why video should be context-aware — the same low bitrate breaks some questions
+//! but not others, depending on what the chat needs to see.
+//!
+//! Reproduces the paper's two dialogues on the basketball scene: the score question (coarse
+//! scoreboard reading, survives 200 Kbps) and the jersey-logo question (fine detail, breaks
+//! at 200 Kbps), at 4000 Kbps vs 200 Kbps context-agnostic encodes.
+
+use aivc_bench::{kbps, print_section, write_json, Scale};
+use aivc_mllm::{MllmChat, Question, QuestionFormat};
+use aivc_scene::templates::basketball_game;
+use aivc_scene::{SourceConfig, VideoSource};
+use aivc_videocodec::{transcode_clip, Encoder, EncoderConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig4Row {
+    question: String,
+    required_detail: f64,
+    bitrate_bps: f64,
+    achieved_bps: f64,
+    probability_correct: f64,
+    answered_correctly: bool,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let duration = scale.pick(6.0, 20.0, 60.0);
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(duration));
+    let encoder = Encoder::new(EncoderConfig::default());
+    let responder = MllmChat::responder(4);
+    let scene = basketball_game(1);
+
+    // Dialogue 1: the score question; Dialogue 2: the jersey-logo question.
+    let dialogues = [&scene.facts[0], &scene.facts[1]];
+    let mut rows = Vec::new();
+    for (d_idx, fact) in dialogues.iter().enumerate() {
+        let question = Question::from_fact(fact, QuestionFormat::FreeResponse);
+        for &bitrate in &[4_000_000.0, 200_000.0] {
+            let (frames, summary) = transcode_clip(&encoder, &source, bitrate, 6);
+            let answer = responder.respond(&question, &frames, (d_idx as u64) << 8 | bitrate as u64 / 100_000);
+            rows.push(Fig4Row {
+                question: fact.question.clone(),
+                required_detail: fact.required_detail,
+                bitrate_bps: bitrate,
+                achieved_bps: summary.achieved_bitrate_bps,
+                probability_correct: answer.probability_correct,
+                answered_correctly: answer.correct,
+            });
+        }
+    }
+
+    let mut body = String::from(
+        "| question | detail req. | bitrate | achieved | P(correct) | correct? |\n|---|---|---|---|---|---|\n",
+    );
+    for r in &rows {
+        body.push_str(&format!(
+            "| {} | {:.2} | {} | {} | {:.2} | {} |\n",
+            r.question,
+            r.required_detail,
+            kbps(r.bitrate_bps),
+            kbps(r.achieved_bps),
+            r.probability_correct,
+            if r.answered_correctly { "yes" } else { "no" }
+        ));
+    }
+    body.push_str("\nPaper (Figure 4): the score question is answered correctly even at 200 Kbps, while the jersey-logo question fails once the video is blurry — degradation hurts only when the chat context needs the degraded detail.\n");
+    print_section("Figure 4 — context decides whether low bitrate hurts", &body);
+    write_json("fig4_context_case_study", &rows);
+}

@@ -1,0 +1,82 @@
+//! Figure 5: user words pick out the chat-important regions via CLIP, including through
+//! high-level inference (grass growth implies the season).
+//!
+//! Renders the per-patch semantic correlation map (Eq. 1) as an ASCII heat map for the
+//! paper's three dialogues and reports the mean correlation of the ground-truth evidence
+//! region versus the rest of the frame.
+
+use aivc_bench::{print_section, write_json};
+use aivc_scene::templates::{basketball_game, dog_park};
+use aivc_scene::{Scene, SourceConfig, VideoSource};
+use aivc_semantics::{ClipModel, TextQuery};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig5Row {
+    scene: String,
+    question: String,
+    evidence_object: String,
+    evidence_mean_rho: f64,
+    rest_mean_rho: f64,
+    separation: f64,
+}
+
+fn case(model: &ClipModel, scene: Scene, question: &str, evidence_id: u32) -> (Fig5Row, String) {
+    let source = VideoSource::new(scene.clone(), SourceConfig::fps30(5.0));
+    let frame = source.frame(0);
+    let query = TextQuery::from_words(question, model.ontology());
+    let map = model.correlation_map(&frame, &query);
+    let evidence = frame.placement(evidence_id).unwrap().region;
+    let dims = map.dims();
+    let (mut ev_sum, mut ev_n, mut rest_sum, mut rest_n) = (0.0, 0usize, 0.0, 0usize);
+    for row in 0..dims.rows {
+        for col in 0..dims.cols {
+            let cell = dims.cell_rect(row, col, frame.width, frame.height);
+            if cell.coverage_by(&evidence) > 0.4 {
+                ev_sum += map.get(row, col);
+                ev_n += 1;
+            } else {
+                rest_sum += map.get(row, col);
+                rest_n += 1;
+            }
+        }
+    }
+    let evidence_mean = ev_sum / ev_n.max(1) as f64;
+    let rest_mean = rest_sum / rest_n.max(1) as f64;
+    let row = Fig5Row {
+        scene: scene.label.clone(),
+        question: question.to_string(),
+        evidence_object: scene.object(evidence_id).map(|o| o.name.clone()).unwrap_or_default(),
+        evidence_mean_rho: evidence_mean,
+        rest_mean_rho: rest_mean,
+        separation: evidence_mean - rest_mean,
+    };
+    (row, map.to_ascii())
+}
+
+fn main() {
+    let model = ClipModel::mobile_default();
+    let cases = [
+        (dog_park(1), "Is the dog in the video erect-eared or floppy-eared?", 2u32),
+        (basketball_game(1), "Could you tell me the present score of the game?", 1u32),
+        (dog_park(1), "Infer what season it might be in the video", 3u32),
+    ];
+    let mut rows = Vec::new();
+    let mut body = String::from(
+        "| scene | question | evidence | rho(evidence) | rho(rest) | separation |\n|---|---|---|---|---|---|\n",
+    );
+    let mut heatmaps = String::new();
+    for (scene, question, evidence_id) in cases {
+        let (row, ascii) = case(&model, scene, question, evidence_id);
+        body.push_str(&format!(
+            "| {} | {} | {} | {:.2} | {:.2} | {:.2} |\n",
+            row.scene, row.question, row.evidence_object, row.evidence_mean_rho, row.rest_mean_rho, row.separation
+        ));
+        heatmaps.push_str(&format!("\n{} — \"{}\":\n{}\n", row.scene, row.question, ascii));
+        rows.push(row);
+    }
+    body.push_str("\nPaper (Figure 5): the dog's head lights up for the ear question, the scoreboard for the score question, and the grass for the season question (a high-level inference with no explicit object mention).\n");
+    body.push_str(&heatmaps);
+    print_section("Figure 5 — CLIP correlation maps for user words", &body);
+    write_json("fig5_semantic_correlation", &rows);
+}

@@ -1,0 +1,67 @@
+//! The §1 latency-budget analysis: where the 300 ms goes, with and without AI-oriented RTC.
+//!
+//! Runs a full chat turn under three configurations (traditional RTC at ABR-chosen bitrate
+//! with a jitter buffer; AI-oriented ultra-low-bitrate without a jitter buffer; the same on
+//! a degraded network) and prints the per-stage breakdown against the 300 ms target.
+
+use aivc_bench::{print_section, write_json, Scale};
+use aivchat_core::{AiVideoChatSession, SessionOptions, RESPONSE_LATENCY_TARGET_MS};
+use aivc_mllm::{Question, QuestionFormat};
+use aivc_netsim::PathConfig;
+use aivc_scene::templates::basketball_game;
+use aivc_scene::{SourceConfig, VideoSource};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BudgetRow {
+    configuration: String,
+    breakdown: String,
+    total_ms: f64,
+    meets_target: bool,
+    probability_correct: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let window = scale.pick(2.0, 4.0, 6.0);
+    let scene = basketball_game(1);
+    let source = VideoSource::new(scene.clone(), SourceConfig::fps30(6.0));
+    let question = Question::from_fact(&scene.facts[0], QuestionFormat::FreeResponse);
+
+    let mut configs: Vec<(String, SessionOptions)> = Vec::new();
+    // Traditional: ABR-style bitrate near the link capacity, jitter buffer on.
+    let mut traditional = SessionOptions::default_baseline(3);
+    traditional.target_bitrate_bps = 6_000_000.0;
+    traditional.use_jitter_buffer = true;
+    traditional.window_secs = window;
+    configs.push(("traditional RTC (6 Mbps, jitter buffer)".into(), traditional));
+    // AI-oriented: ultra-low bitrate, context-aware, no jitter buffer.
+    let mut ai = SessionOptions::default_context_aware(3);
+    ai.window_secs = window;
+    configs.push(("AI-oriented (430 kbps, context-aware, no buffer)".into(), ai));
+    // Same, on a loss-degraded network.
+    let mut degraded = SessionOptions::default_context_aware(3);
+    degraded.window_secs = window;
+    degraded.path = PathConfig::paper_section_2_2(0.05);
+    configs.push(("AI-oriented, 5% loss".into(), degraded));
+
+    let mut rows = Vec::new();
+    for (name, options) in configs {
+        let report = AiVideoChatSession::new(options).run_turn(&source, &question);
+        rows.push(BudgetRow {
+            configuration: name,
+            breakdown: report.latency.to_line(),
+            total_ms: report.latency.total_ms(),
+            meets_target: report.latency.meets_target(),
+            probability_correct: report.answer.probability_correct,
+        });
+    }
+
+    let mut body = format!("Target: {RESPONSE_LATENCY_TARGET_MS} ms end-to-end (§1).\n\n");
+    for r in &rows {
+        body.push_str(&format!("- **{}** — {} — P(correct) {:.2}\n", r.configuration, r.breakdown, r.probability_correct));
+    }
+    body.push_str("\nMLLM inference alone consumes most of the budget; only the ultra-low-bitrate, buffer-free configuration leaves the network side small enough to fit, which is the paper's motivating argument.\n");
+    print_section("§1 — end-to-end response latency budget", &body);
+    write_json("latency_budget", &rows);
+}

@@ -1,0 +1,85 @@
+//! # aivc-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the index) plus ablation
+//! binaries for the design choices the paper discusses. Each binary prints a small markdown
+//! report with our measured numbers next to the paper's reported numbers, and (where useful)
+//! writes machine-readable JSON next to it.
+//!
+//! Scale control: every binary honours the `AIVC_SCALE` environment variable
+//! (`quick` | `default` | `full`). `quick` runs in seconds and is what the integration tests
+//! use; `full` approaches the paper's experiment sizes and can take many minutes.
+
+use serde::Serialize;
+use std::io::Write;
+
+/// Experiment scale selected via the `AIVC_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke run.
+    Quick,
+    /// The default: minutes-long, statistically meaningful.
+    Default,
+    /// Paper-sized run.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("AIVC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "quick" => Scale::Quick,
+            "full" => Scale::Full,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Picks one of three values according to the scale.
+    pub fn pick<T: Copy>(self, quick: T, default: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Default => default,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Prints a titled markdown section to stdout.
+pub fn print_section(title: &str, body: &str) {
+    println!("\n## {title}\n");
+    println!("{body}");
+}
+
+/// Writes a JSON results file under `target/experiments/` and reports the path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut file) = std::fs::File::create(&path) {
+        let _ = file.write_all(serde_json::to_string_pretty(value).unwrap_or_default().as_bytes());
+        println!("(results written to {})", path.display());
+    }
+}
+
+/// Formats a bits-per-second value as kbps with one decimal.
+pub fn kbps(bps: f64) -> String {
+    format!("{:.1} kbps", bps / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn kbps_formatting() {
+        assert_eq!(kbps(430_000.0), "430.0 kbps");
+    }
+}

@@ -1,0 +1,161 @@
+//! Eq. 2: mapping semantic correlation to per-CTU quantization parameters.
+//!
+//! The paper's allocation rule is
+//!
+//! ```text
+//! QP_mn = 51 · ( 1 − ((ρ_mn + 1) / 2)^γ )          with γ = 3
+//! ```
+//!
+//! so a perfectly correlated patch (ρ = 1) gets QP 0 (near lossless), an anti-correlated
+//! patch (ρ = −1) gets QP 51 (coarsest), and the temperature γ "aggressively penalizes
+//! irrelevant regions" by bending the curve so that moderately correlated patches already
+//! receive fairly high QP.
+
+use aivc_semantics::ImportanceMap;
+use aivc_videocodec::{Qp, QpMap};
+use aivc_scene::GridDims;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Eq. 2 allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QpAllocatorConfig {
+    /// Temperature coefficient γ (paper: 3).
+    pub gamma: f64,
+    /// Optional lower clamp on the produced QP (0 = disabled). Useful for ablations: the
+    /// paper's rule allows QP 0, which spends extreme bitrate on tiny regions.
+    pub min_qp: u8,
+    /// Optional upper clamp on the produced QP (51 = disabled).
+    pub max_qp: u8,
+}
+
+impl Default for QpAllocatorConfig {
+    fn default() -> Self {
+        Self { gamma: 3.0, min_qp: 0, max_qp: 51 }
+    }
+}
+
+impl QpAllocatorConfig {
+    /// The paper's exact setting (γ = 3, no extra clamping).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A variant with a different temperature (for the γ ablation).
+    pub fn with_gamma(gamma: f64) -> Self {
+        Self { gamma, ..Self::default() }
+    }
+}
+
+/// The Eq. 2 QP allocator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QpAllocator {
+    config: QpAllocatorConfig,
+}
+
+impl QpAllocator {
+    /// Creates an allocator.
+    pub fn new(config: QpAllocatorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> QpAllocatorConfig {
+        self.config
+    }
+
+    /// Eq. 2 for a single correlation value.
+    pub fn qp_for_rho(&self, rho: f64) -> Qp {
+        let rho = rho.clamp(-1.0, 1.0);
+        let normalized = (rho + 1.0) / 2.0;
+        let raw = 51.0 * (1.0 - normalized.powf(self.config.gamma));
+        Qp::from_f64(raw.clamp(self.config.min_qp as f64, self.config.max_qp as f64))
+    }
+
+    /// Converts a per-patch importance map into a per-CTU QP map on the encoder's grid.
+    ///
+    /// When the CLIP patch grid and the encoder CTU grid differ, the importance map is
+    /// resampled first (nearest-center), exactly as a real implementation would feed
+    /// Kvazaar's ROI interface.
+    pub fn allocate(&self, importance: &ImportanceMap, encoder_grid: GridDims) -> QpMap {
+        let resampled = if importance.dims() == encoder_grid {
+            importance.clone()
+        } else {
+            importance.resample(encoder_grid)
+        };
+        let values = resampled.values().iter().map(|rho| self.qp_for_rho(*rho)).collect();
+        QpMap::from_values(encoder_grid, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_endpoints() {
+        let a = QpAllocator::new(QpAllocatorConfig::paper());
+        assert_eq!(a.qp_for_rho(1.0).value(), 0);
+        assert_eq!(a.qp_for_rho(-1.0).value(), 51);
+        // ρ = 0 -> 51 * (1 - 0.5^3) = 44.625 -> 45.
+        assert_eq!(a.qp_for_rho(0.0).value(), 45);
+    }
+
+    #[test]
+    fn qp_is_monotone_decreasing_in_rho() {
+        let a = QpAllocator::new(QpAllocatorConfig::paper());
+        let mut prev = 52i32;
+        for i in 0..=200 {
+            let rho = -1.0 + 2.0 * i as f64 / 200.0;
+            let qp = a.qp_for_rho(rho).value() as i32;
+            assert!(qp <= prev, "qp increased at rho {rho}");
+            prev = qp;
+        }
+    }
+
+    #[test]
+    fn higher_gamma_penalizes_moderate_rho_more() {
+        let soft = QpAllocator::new(QpAllocatorConfig::with_gamma(1.0));
+        let hard = QpAllocator::new(QpAllocatorConfig::with_gamma(5.0));
+        // At a moderate correlation the aggressive temperature should assign a higher QP.
+        assert!(hard.qp_for_rho(0.2).value() > soft.qp_for_rho(0.2).value());
+        // At the extremes both agree.
+        assert_eq!(hard.qp_for_rho(1.0).value(), soft.qp_for_rho(1.0).value());
+        assert_eq!(hard.qp_for_rho(-1.0).value(), soft.qp_for_rho(-1.0).value());
+    }
+
+    #[test]
+    fn clamping_limits_the_range() {
+        let a = QpAllocator::new(QpAllocatorConfig { gamma: 3.0, min_qp: 20, max_qp: 46 });
+        assert_eq!(a.qp_for_rho(1.0).value(), 20);
+        assert_eq!(a.qp_for_rho(-1.0).value(), 46);
+    }
+
+    #[test]
+    fn allocate_resamples_and_maps() {
+        let patch_grid = GridDims::for_frame(256, 128, 64);
+        let importance = ImportanceMap::new(
+            patch_grid,
+            256,
+            128,
+            vec![1.0, 0.5, 0.0, -0.5, -1.0, 0.9, -0.9, 0.1],
+        );
+        let allocator = QpAllocator::new(QpAllocatorConfig::paper());
+        // Same grid: direct mapping.
+        let map = allocator.allocate(&importance, patch_grid);
+        assert_eq!(map.get(0, 0).value(), 0);
+        assert_eq!(map.get(1, 0).value(), 51);
+        // Finer encoder grid: values are replicated onto sub-cells.
+        let fine_grid = GridDims::for_frame(256, 128, 32);
+        let fine = allocator.allocate(&importance, fine_grid);
+        assert_eq!(fine.dims(), fine_grid);
+        assert_eq!(fine.get(0, 0).value(), 0);
+        assert_eq!(fine.get(0, 1).value(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rho_is_clamped() {
+        let a = QpAllocator::new(QpAllocatorConfig::paper());
+        assert_eq!(a.qp_for_rho(7.0).value(), 0);
+        assert_eq!(a.qp_for_rho(-7.0).value(), 51);
+    }
+}

@@ -1,0 +1,120 @@
+//! The end-to-end response-latency budget (§1).
+//!
+//! The paper's bound: a fluent conversation needs the response within ~300 ms, MLLM
+//! inference alone costs ≥232 ms, so everything else — capture, client-side CLIP, encoding,
+//! transmission, decoding — must fit in the remaining ≤68 ms. [`LatencyBudget`] itemizes a
+//! chat turn so experiments can report exactly where the time went and whether the turn
+//! would feel "like a real person".
+
+use serde::{Deserialize, Serialize};
+
+/// The conversational response-latency target in milliseconds (§1, citing [18]).
+pub const RESPONSE_LATENCY_TARGET_MS: f64 = 300.0;
+
+/// Millisecond breakdown of one AI Video Chat turn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBudget {
+    /// Camera capture / sensor latency.
+    pub capture_ms: f64,
+    /// Client-side context-awareness compute (Mobile-CLIP pass); zero for the baseline.
+    pub context_compute_ms: f64,
+    /// Video encoding latency.
+    pub encode_ms: f64,
+    /// Network transmission latency (send start → frame completely received).
+    pub transmission_ms: f64,
+    /// Jitter-buffer residency (zero in AI mode, §2.1).
+    pub jitter_buffer_ms: f64,
+    /// Video decoding latency at the receiver.
+    pub decode_ms: f64,
+    /// MLLM inference latency up to the first response token.
+    pub inference_ms: f64,
+}
+
+impl LatencyBudget {
+    /// Total response latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.capture_ms
+            + self.context_compute_ms
+            + self.encode_ms
+            + self.transmission_ms
+            + self.jitter_buffer_ms
+            + self.decode_ms
+            + self.inference_ms
+    }
+
+    /// Whether the turn meets the 300 ms conversational bound.
+    pub fn meets_target(&self) -> bool {
+        self.total_ms() <= RESPONSE_LATENCY_TARGET_MS
+    }
+
+    /// The share of the total spent outside the MLLM (the part RTC research can optimize).
+    pub fn network_side_ms(&self) -> f64 {
+        self.total_ms() - self.inference_ms
+    }
+
+    /// The time left for everything except inference if the total must meet the target
+    /// (the paper's "at most 68 ms" computation).
+    pub fn transport_budget_ms(&self) -> f64 {
+        (RESPONSE_LATENCY_TARGET_MS - self.inference_ms).max(0.0)
+    }
+
+    /// Renders a one-line breakdown, used by the examples and the experiment harness.
+    pub fn to_line(&self) -> String {
+        format!(
+            "capture {:.1} + clip {:.1} + encode {:.1} + net {:.1} + jitter {:.1} + decode {:.1} + mllm {:.1} = {:.1} ms ({})",
+            self.capture_ms,
+            self.context_compute_ms,
+            self.encode_ms,
+            self.transmission_ms,
+            self.jitter_buffer_ms,
+            self.decode_ms,
+            self.inference_ms,
+            self.total_ms(),
+            if self.meets_target() { "meets 300 ms" } else { "misses 300 ms" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> LatencyBudget {
+        LatencyBudget {
+            capture_ms: 8.0,
+            context_compute_ms: 9.0,
+            encode_ms: 4.0,
+            transmission_ms: 35.0,
+            jitter_buffer_ms: 0.0,
+            decode_ms: 2.0,
+            inference_ms: 238.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_target() {
+        let b = budget();
+        assert!((b.total_ms() - 296.0).abs() < 1e-9);
+        assert!(b.meets_target());
+        assert!((b.network_side_ms() - 58.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_68ms_computation() {
+        // §1: inference 232 ms inside a 300 ms budget leaves at most 68 ms for transport.
+        let b = LatencyBudget { inference_ms: 232.0, ..LatencyBudget::default() };
+        assert!((b.transport_budget_ms() - 68.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exceeding_target_detected() {
+        let mut b = budget();
+        b.transmission_ms = 120.0;
+        assert!(!b.meets_target());
+    }
+
+    #[test]
+    fn line_rendering_mentions_target() {
+        assert!(budget().to_line().contains("meets 300 ms"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # aivchat-core — Context-Aware Video Streaming and the AI Video Chat pipeline
+//!
+//! This crate is the paper's primary contribution, assembled from the substrate crates:
+//!
+//! * [`allocator`] — Eq. 2: mapping per-patch semantic correlation ρ (Eq. 1, from
+//!   `aivc-semantics`) to per-CTU quantization parameters with temperature γ = 3;
+//! * [`context_aware`] — the context-aware streamer: user words → CLIP correlation map →
+//!   QP map → ROI encode, plus the trial-and-error bitrate matching used to compare against
+//!   the baseline at equal actual bitrates (§3.2);
+//! * [`baseline`] — the context-agnostic uniform-QP baseline;
+//! * [`latency`] — the end-to-end response-latency budget (capture, CLIP, encode,
+//!   transmission, decode, MLLM inference) against the 300 ms conversational bound (§1);
+//! * [`session`] — the full AI Video Chat turn: capture → encode → RTC over the emulated
+//!   uplink → decode → MLLM answer, with per-stage latency accounting;
+//! * [`eval`] — the Figure 9 experiment: DeViBench accuracy of ours vs the baseline across
+//!   matched bitrates.
+
+pub mod allocator;
+pub mod baseline;
+pub mod context_aware;
+pub mod eval;
+pub mod latency;
+pub mod session;
+
+pub use allocator::{QpAllocator, QpAllocatorConfig};
+pub use baseline::ContextAgnosticBaseline;
+pub use context_aware::{ContextAwareStreamer, StreamerConfig};
+pub use eval::{run_accuracy_vs_bitrate, AccuracyPoint, MethodKind};
+pub use latency::{LatencyBudget, RESPONSE_LATENCY_TARGET_MS};
+pub use session::{AiVideoChatSession, ChatTurnReport, SessionOptions};

@@ -1,0 +1,39 @@
+//! # aivc-devibench — the Degraded Video Understanding Benchmark (DeViBench)
+//!
+//! §3.1 of the paper introduces DeViBench: the first benchmark that measures how *video
+//! streaming quality* affects MLLM response accuracy. Its key property is that QA samples
+//! are **quality-sensitive**: answerable from the original video but not from a 200 Kbps
+//! transcode. The paper builds it with a fully automatic five-step pipeline; this crate
+//! reproduces that pipeline over the synthetic corpus:
+//!
+//! 1. **Video collection** — a StreamingBench-like corpus (`aivc-scene::Corpus`);
+//! 2. **Video preprocessing** — transcode every clip to 200 Kbps and (conceptually)
+//!    concatenate it with the original (`aivc-videocodec::transcode`);
+//! 3. **QA generation** — a strong "thinking" MLLM writes candidate multiple-choice QAs
+//!    after watching the concatenated video ([`generation`]);
+//! 4. **QA filtering** — Qwen2.5-Omni-like model accepts a candidate only if it answers
+//!    correctly on the original and incorrectly on the degraded video (the paper measures
+//!    11.16 % acceptance);
+//! 5. **Cross-verification** — a different strong model must agree with the generator's
+//!    answer (the paper measures 70.61 % pass rate, for an end-to-end yield of ~7.8 %).
+//!
+//! The crate also reproduces the benchmark bookkeeping: Table 1 (sample count, type count,
+//! total duration, dollar cost, wall-clock cost) and Figure 8 (category and temporal-
+//! dependency distribution), plus the evaluation harness that scores any streaming method
+//! against the resulting dataset.
+
+pub mod cost;
+pub mod dataset;
+pub mod eval;
+pub mod generation;
+pub mod pipeline;
+pub mod qa;
+pub mod stats;
+
+pub use cost::{CostModel, CostSummary};
+pub use dataset::{Dataset, DatasetSummary};
+pub use eval::{evaluate_method, EvalOutcome};
+pub use generation::CandidateGenerator;
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use qa::QaSample;
+pub use stats::{CategoryDistribution, DistributionEntry};

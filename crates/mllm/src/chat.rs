@@ -1,0 +1,187 @@
+//! The chat-facing MLLM facade: sampling + tokenization + latency + accuracy in one call.
+//!
+//! [`MllmChat::respond`] is what the end-to-end AI Video Chat session (in `aivchat-core`)
+//! invokes once the uplink has delivered frames: it picks the frames the model would really
+//! look at, accounts for tokens and inference latency, and produces an answer whose
+//! correctness follows the accuracy model.
+
+use crate::accuracy::{AnswerModel, Question};
+use crate::config::{MllmConfig, MllmProfile};
+use crate::latency::{InferenceLatency, InferenceLatencyModel};
+use crate::sampler::{Downsampler, FrameSampler, SamplingStats};
+use crate::tokens::VisionTokenizer;
+use aivc_videocodec::DecodedFrame;
+use serde::{Deserialize, Serialize};
+
+/// The MLLM's response to one question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Answer {
+    /// Whether the answer matches the ground truth.
+    pub correct: bool,
+    /// The probability the accuracy model assigned to a correct answer.
+    pub probability_correct: f64,
+    /// Perceived quality of the question's evidence regions.
+    pub perceived_evidence_quality: f64,
+    /// Inference latency breakdown.
+    pub latency: InferenceLatency,
+    /// Number of visual tokens the request consumed.
+    pub visual_tokens: u32,
+    /// How many of the offered frames the model actually ingested.
+    pub frames_ingested: usize,
+    /// Sampling statistics over the offered frames.
+    pub sampling: SamplingStats,
+}
+
+/// A chat-capable MLLM instance.
+#[derive(Debug, Clone)]
+pub struct MllmChat {
+    profile: MllmProfile,
+    answer_model: AnswerModel,
+    latency_model: InferenceLatencyModel,
+}
+
+impl MllmChat {
+    /// Creates a chat model from a profile.
+    pub fn new(profile: MllmProfile) -> Self {
+        let answer_model = AnswerModel::new(profile.config, profile.seed_stream);
+        let latency_model = InferenceLatencyModel::new(profile.config);
+        Self { profile, answer_model, latency_model }
+    }
+
+    /// The default cloud responder.
+    pub fn responder(seed: u64) -> Self {
+        Self::new(MllmProfile::responder(seed))
+    }
+
+    /// The model's profile.
+    pub fn profile(&self) -> &MllmProfile {
+        &self.profile
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> MllmConfig {
+        self.profile.config
+    }
+
+    /// Direct access to the accuracy model (used by the DeViBench roles).
+    pub fn answer_model(&self) -> &AnswerModel {
+        &self.answer_model
+    }
+
+    /// Selects the frames the model would ingest out of everything the receiver decoded.
+    pub fn ingest(&self, offered: &[DecodedFrame]) -> (Vec<DecodedFrame>, SamplingStats) {
+        let mut sampler = FrameSampler::new(&self.profile.config);
+        let mut taken = Vec::new();
+        let mut ordered: Vec<&DecodedFrame> = offered.iter().collect();
+        ordered.sort_by_key(|f| f.capture_ts_us);
+        for frame in ordered {
+            if sampler.offer_frame(frame) {
+                taken.push(frame.clone());
+            }
+        }
+        (taken, sampler.stats())
+    }
+
+    /// Answers `question` after looking at the offered decoded frames.
+    ///
+    /// `context_tag` distinguishes repeated evaluations of the same question under different
+    /// conditions (bitrates, methods) so their Bernoulli draws are independent.
+    pub fn respond(&self, question: &Question, offered: &[DecodedFrame], context_tag: u64) -> Answer {
+        let (ingested, sampling) = self.ingest(offered);
+        let downsampler = Downsampler::new(&self.profile.config);
+        let tokenizer = VisionTokenizer::new(&self.profile.config);
+        let pixels = ingested
+            .first()
+            .map(|f| downsampler.decide(f.width, f.height).retained_pixels)
+            .unwrap_or(0);
+        let (visual_tokens, frames_kept) = if ingested.is_empty() {
+            (0, 0)
+        } else {
+            tokenizer.tokens_for_frames(ingested.len(), pixels)
+        };
+        let considered = &ingested[ingested.len() - frames_kept..];
+        let probability = self.answer_model.probability_correct(question, considered);
+        let perceived = self.answer_model.perceived_evidence_quality(question, considered);
+        let correct = self.answer_model.answer_is_correct(question, considered, context_tag);
+        let latency = self.latency_model.typical(visual_tokens);
+        Answer {
+            correct,
+            probability_correct: probability,
+            perceived_evidence_quality: perceived,
+            latency,
+            visual_tokens,
+            frames_ingested: frames_kept,
+            sampling,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::QuestionFormat;
+    use aivc_scene::templates::basketball_game;
+    use aivc_scene::{SourceConfig, VideoSource};
+    use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp};
+
+    fn offered_frames(qp: i32, count: u64, fps: f64) -> Vec<DecodedFrame> {
+        let source = VideoSource::new(basketball_game(1), SourceConfig { fps, duration_secs: count as f64 / fps });
+        let enc = Encoder::new(EncoderConfig::default());
+        let dec = Decoder::new();
+        (0..count)
+            .map(|i| dec.decode_complete(&enc.encode_uniform(&source.frame(i), Qp::new(qp)), Some(i * 33_333)))
+            .collect()
+    }
+
+    fn score_question() -> Question {
+        let scene = basketball_game(1);
+        Question::from_fact(&scene.facts[0], QuestionFormat::FreeResponse)
+    }
+
+    #[test]
+    fn ingest_downsamples_30fps_to_2fps() {
+        let chat = MllmChat::responder(1);
+        let offered = offered_frames(30, 90, 30.0); // 3 seconds at 30 FPS
+        let (taken, stats) = chat.ingest(&offered);
+        assert!(taken.len() <= 7, "taken {}", taken.len());
+        assert_eq!(stats.offered, 90);
+        assert!(stats.redundant_fraction() > 0.9);
+    }
+
+    #[test]
+    fn respond_reports_tokens_latency_and_correctness() {
+        let chat = MllmChat::responder(2);
+        let offered = offered_frames(26, 60, 30.0);
+        let answer = chat.respond(&score_question(), &offered, 0);
+        assert!(answer.visual_tokens > 0);
+        assert!(answer.latency.total_ms() > 232.0);
+        assert!(answer.probability_correct > 0.6, "p {}", answer.probability_correct);
+        assert!(answer.frames_ingested >= 1);
+    }
+
+    #[test]
+    fn respond_with_no_frames_is_a_guess() {
+        let chat = MllmChat::responder(3);
+        let answer = chat.respond(&score_question(), &[], 0);
+        assert_eq!(answer.visual_tokens, 0);
+        assert!(answer.probability_correct < 0.1);
+        assert_eq!(answer.frames_ingested, 0);
+    }
+
+    #[test]
+    fn quality_affects_answer_probability_through_the_facade() {
+        let chat = MllmChat::responder(4);
+        let good = chat.respond(&score_question(), &offered_frames(24, 30, 30.0), 1);
+        let bad = chat.respond(&score_question(), &offered_frames(48, 30, 30.0), 1);
+        assert!(good.probability_correct > bad.probability_correct + 0.3);
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let chat = MllmChat::responder(5);
+        let offered = offered_frames(30, 30, 30.0);
+        let a = chat.respond(&score_question(), &offered, 9);
+        let b = chat.respond(&score_question(), &offered, 9);
+        assert_eq!(a, b);
+    }
+}

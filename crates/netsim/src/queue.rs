@@ -1,0 +1,149 @@
+//! A byte-bounded drop-tail FIFO queue.
+//!
+//! Used standalone by the RTC pacer and conceptually embedded in [`crate::Link`] (which
+//! models its bottleneck queue in the time domain). Keeping an explicit reusable queue type
+//! also gives the property tests a simple component with crisp invariants.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Outcome of attempting to enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnqueueResult {
+    /// The item was accepted.
+    Accepted,
+    /// The item was dropped because it would exceed the byte capacity.
+    Dropped,
+}
+
+/// A FIFO queue bounded by total byte size (drop-tail on overflow).
+#[derive(Debug, Clone)]
+pub struct DropTailQueue<T> {
+    items: VecDeque<(T, u32)>,
+    capacity_bytes: u64,
+    occupied_bytes: u64,
+    dropped: u64,
+    accepted: u64,
+}
+
+impl<T> DropTailQueue<T> {
+    /// Creates a queue with the given byte capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "queue capacity must be positive");
+        Self { items: VecDeque::new(), capacity_bytes, occupied_bytes: 0, dropped: 0, accepted: 0 }
+    }
+
+    /// Attempts to enqueue an item of `size_bytes`.
+    pub fn enqueue(&mut self, item: T, size_bytes: u32) -> EnqueueResult {
+        if self.occupied_bytes + size_bytes as u64 > self.capacity_bytes {
+            self.dropped += 1;
+            return EnqueueResult::Dropped;
+        }
+        self.occupied_bytes += size_bytes as u64;
+        self.items.push_back((item, size_bytes));
+        self.accepted += 1;
+        EnqueueResult::Accepted
+    }
+
+    /// Removes the item at the head of the queue.
+    pub fn dequeue(&mut self) -> Option<(T, u32)> {
+        let (item, size) = self.items.pop_front()?;
+        self.occupied_bytes -= size as u64;
+        Some((item, size))
+    }
+
+    /// Peeks at the head item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front().map(|(item, _)| item)
+    }
+
+    /// Current queue occupancy in bytes.
+    pub fn occupied_bytes(&self) -> u64 {
+        self.occupied_bytes
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of items dropped due to overflow so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of items accepted so far.
+    pub fn accepted_count(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.occupied_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DropTailQueue::new(10_000);
+        for i in 0..10u32 {
+            assert_eq!(q.enqueue(i, 100), EnqueueResult::Accepted);
+        }
+        let out: Vec<u32> = std::iter::from_fn(|| q.dequeue().map(|(i, _)| i)).collect();
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overflow_drops_tail() {
+        let mut q = DropTailQueue::new(2_500);
+        assert_eq!(q.enqueue("a", 1_200), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue("b", 1_200), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue("c", 1_200), EnqueueResult::Dropped);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped_count(), 1);
+        assert_eq!(q.accepted_count(), 2);
+        assert_eq!(q.occupied_bytes(), 2_400);
+    }
+
+    #[test]
+    fn dequeue_frees_capacity() {
+        let mut q = DropTailQueue::new(1_500);
+        assert_eq!(q.enqueue(1, 1_400), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue(2, 1_400), EnqueueResult::Dropped);
+        assert_eq!(q.dequeue().unwrap().0, 1);
+        assert_eq!(q.enqueue(3, 1_400), EnqueueResult::Accepted);
+        assert_eq!(q.occupied_bytes(), 1_400);
+    }
+
+    #[test]
+    fn clear_resets_occupancy_not_counters() {
+        let mut q = DropTailQueue::new(5_000);
+        q.enqueue((), 1_000);
+        q.enqueue((), 1_000);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.occupied_bytes(), 0);
+        assert_eq!(q.accepted_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: DropTailQueue<()> = DropTailQueue::new(0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Statistics collectors used across the emulator and the experiment harness.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance/min/max (Welford's algorithm) for scalar observations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+}
+
+/// Latency sample collector with exact percentiles.
+///
+/// Stores every sample (in milliseconds); the experiment runs here are short enough
+/// (hundreds of thousands of frames) that exact percentiles are affordable and make the
+/// reproduced figures easier to reason about than approximate sketches would.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_ms: Vec<f64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples_ms.push(latency.as_millis_f64());
+        self.sorted = false;
+    }
+
+    /// Records a latency in milliseconds directly.
+    pub fn record_ms(&mut self, ms: f64) {
+        self.samples_ms.push(ms);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`, in milliseconds.
+    pub fn percentile_ms(&mut self, q: f64) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples_ms.len() as f64 - 1.0) * q).round() as usize;
+        self.samples_ms[idx]
+    }
+
+    /// Median latency in milliseconds.
+    pub fn median_ms(&mut self) -> f64 {
+        self.percentile_ms(0.5)
+    }
+
+    /// 95th-percentile latency in milliseconds.
+    pub fn p95_ms(&mut self) -> f64 {
+        self.percentile_ms(0.95)
+    }
+
+    /// 99th-percentile latency in milliseconds.
+    pub fn p99_ms(&mut self) -> f64 {
+        self.percentile_ms(0.99)
+    }
+
+    /// Maximum latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.samples_ms.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_ms.extend_from_slice(&other.samples_ms);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_mean_and_variance() {
+        let mut s = RunningStats::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_running_stats() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut l = LatencyStats::new();
+        for i in 1..=100u64 {
+            l.record(SimDuration::from_millis(i));
+        }
+        assert_eq!(l.count(), 100);
+        assert!((l.median_ms() - 50.0).abs() <= 1.0);
+        assert!((l.p95_ms() - 95.0).abs() <= 1.0);
+        assert!((l.p99_ms() - 99.0).abs() <= 1.0);
+        assert!((l.mean_ms() - 50.5).abs() < 1e-9);
+        assert_eq!(l.max_ms(), 100.0);
+    }
+
+    #[test]
+    fn percentile_after_interleaved_records() {
+        let mut l = LatencyStats::new();
+        l.record_ms(10.0);
+        let _ = l.median_ms();
+        l.record_ms(1000.0);
+        assert!(l.p99_ms() >= 999.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        a.record_ms(1.0);
+        b.record_ms(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_latency_stats_are_zero() {
+        let mut l = LatencyStats::new();
+        assert_eq!(l.percentile_ms(0.5), 0.0);
+        assert_eq!(l.mean_ms(), 0.0);
+        assert!(l.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Time-varying bandwidth traces.
+//!
+//! The paper's measurement uses a constant 10 Mbps link, but any serious RTC evaluation
+//! also needs varying capacity (ABR exists because capacity varies). Traces are piecewise
+//! constant and queried by simulated time; helpers build the common shapes (constant, step
+//! drop, periodic sawtooth, random walk).
+
+use crate::time::SimTime;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant bandwidth trace in bits per second.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// Segment boundaries: `(start_time_us, rate_bps)`, sorted by start time, first at 0.
+    segments: Vec<(u64, f64)>,
+}
+
+impl BandwidthTrace {
+    /// A constant-rate trace.
+    pub fn constant(rate_bps: f64) -> Self {
+        assert!(rate_bps > 0.0, "bandwidth must be positive");
+        Self { segments: vec![(0, rate_bps)] }
+    }
+
+    /// Builds a trace from explicit `(start_time, rate_bps)` segments.
+    ///
+    /// Segments must be sorted by start time and the first must start at time zero.
+    pub fn from_segments(segments: Vec<(SimTime, f64)>) -> Self {
+        assert!(!segments.is_empty(), "trace needs at least one segment");
+        assert_eq!(segments[0].0, SimTime::ZERO, "first segment must start at t=0");
+        let mut prev = 0u64;
+        for (i, (t, rate)) in segments.iter().enumerate() {
+            assert!(*rate > 0.0, "segment {i} has non-positive rate");
+            assert!(i == 0 || t.as_micros() > prev, "segments must be strictly increasing");
+            prev = t.as_micros();
+        }
+        Self { segments: segments.into_iter().map(|(t, r)| (t.as_micros(), r)).collect() }
+    }
+
+    /// A step trace: `before_bps` until `at`, then `after_bps`.
+    pub fn step(before_bps: f64, after_bps: f64, at: SimTime) -> Self {
+        Self::from_segments(vec![(SimTime::ZERO, before_bps), (at, after_bps)])
+    }
+
+    /// A periodic square wave alternating between `high_bps` and `low_bps` every `half_period`.
+    pub fn square_wave(high_bps: f64, low_bps: f64, half_period: SimTime, total: SimTime) -> Self {
+        let mut segments = Vec::new();
+        let mut t = 0u64;
+        let mut high = true;
+        while t < total.as_micros() {
+            segments.push((SimTime::from_micros(t), if high { high_bps } else { low_bps }));
+            high = !high;
+            t += half_period.as_micros().max(1);
+        }
+        Self::from_segments(segments)
+    }
+
+    /// A bounded random-walk trace: every `step` the rate is multiplied by a factor drawn
+    /// uniformly from `[0.85, 1.15]` and clamped to `[min_bps, max_bps]`.
+    pub fn random_walk(seed: u64, start_bps: f64, min_bps: f64, max_bps: f64, step: SimTime, total: SimTime) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut segments = Vec::new();
+        let mut t = 0u64;
+        let mut rate = start_bps.clamp(min_bps, max_bps);
+        while t < total.as_micros() {
+            segments.push((SimTime::from_micros(t), rate));
+            rate = (rate * rng.gen_range(0.85..1.15)).clamp(min_bps, max_bps);
+            t += step.as_micros().max(1);
+        }
+        Self::from_segments(segments)
+    }
+
+    /// The rate in bits per second at simulated time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let us = t.as_micros();
+        match self.segments.binary_search_by_key(&us, |(start, _)| *start) {
+            Ok(i) => self.segments[i].1,
+            Err(0) => self.segments[0].1,
+            Err(i) => self.segments[i - 1].1,
+        }
+    }
+
+    /// The mean rate over `[0, until]`, duration-weighted.
+    pub fn mean_rate(&self, until: SimTime) -> f64 {
+        let end = until.as_micros();
+        if end == 0 {
+            return self.segments[0].1;
+        }
+        let mut acc = 0.0;
+        for (i, (start, rate)) in self.segments.iter().enumerate() {
+            if *start >= end {
+                break;
+            }
+            let seg_end = self.segments.get(i + 1).map(|(s, _)| *s).unwrap_or(end).min(end);
+            acc += rate * (seg_end - start) as f64;
+        }
+        acc / end as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace() {
+        let t = BandwidthTrace::constant(10e6);
+        assert_eq!(t.rate_at(SimTime::ZERO), 10e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(1e4)), 10e6);
+        assert_eq!(t.mean_rate(SimTime::from_secs_f64(5.0)), 10e6);
+    }
+
+    #[test]
+    fn step_trace_switches_at_boundary() {
+        let t = BandwidthTrace::step(8e6, 2e6, SimTime::from_secs_f64(10.0));
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(9.999)), 8e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(10.0)), 2e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(100.0)), 2e6);
+        let mean = t.mean_rate(SimTime::from_secs_f64(20.0));
+        assert!((mean - 5e6).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let t = BandwidthTrace::square_wave(10e6, 2e6, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(4.0));
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(0.5)), 10e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(1.5)), 2e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(2.5)), 10e6);
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds_and_is_deterministic() {
+        let a = BandwidthTrace::random_walk(9, 5e6, 1e6, 10e6, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(60.0));
+        let b = BandwidthTrace::random_walk(9, 5e6, 1e6, 10e6, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(60.0));
+        assert_eq!(a, b);
+        for i in 0..60 {
+            let r = a.rate_at(SimTime::from_secs_f64(i as f64));
+            assert!((1e6..=10e6).contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at t=0")]
+    fn segments_must_start_at_zero() {
+        let _ = BandwidthTrace::from_segments(vec![(SimTime::from_millis(1), 1e6)]);
+    }
+}

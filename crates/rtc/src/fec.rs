@@ -1,0 +1,233 @@
+//! XOR forward error correction.
+//!
+//! WebRTC's FlexFEC-style protection: for every group of `k` media packets of a frame, one
+//! parity packet is appended that is the XOR of the group. If exactly one packet of the
+//! group is lost, the receiver recovers it without waiting a retransmission round trip —
+//! trading uplink bitrate (overhead `1/k`) for latency. The FEC-vs-RTX ablation uses this
+//! module to show when that trade is worth it in the AI Video Chat regime.
+
+use crate::rtp::{PayloadKind, RtpHeader, RtpPacket};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// FEC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FecConfig {
+    /// Number of media packets protected by one parity packet. 0 disables FEC.
+    pub group_size: u32,
+}
+
+impl FecConfig {
+    /// FEC disabled.
+    pub fn disabled() -> Self {
+        Self { group_size: 0 }
+    }
+
+    /// One parity packet per `group_size` media packets.
+    pub fn with_group_size(group_size: u32) -> Self {
+        Self { group_size }
+    }
+
+    /// Whether FEC is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.group_size > 0
+    }
+
+    /// Bitrate overhead fraction introduced by the parity packets.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.group_size == 0 {
+            0.0
+        } else {
+            1.0 / self.group_size as f64
+        }
+    }
+}
+
+/// Generates parity packets for the media packets of a frame.
+#[derive(Debug, Clone)]
+pub struct FecEncoder {
+    config: FecConfig,
+}
+
+impl FecEncoder {
+    /// Creates an encoder.
+    pub fn new(config: FecConfig) -> Self {
+        Self { config }
+    }
+
+    /// Builds parity packets for `media_packets` (all belonging to one frame), assigning
+    /// them sequence numbers from `alloc_seq`.
+    pub fn protect(
+        &self,
+        media_packets: &[RtpPacket],
+        mut alloc_seq: impl FnMut() -> u64,
+    ) -> Vec<RtpPacket> {
+        if !self.config.is_enabled() || media_packets.is_empty() {
+            return Vec::new();
+        }
+        let mut parity = Vec::new();
+        for (group_idx, group) in media_packets.chunks(self.config.group_size as usize).enumerate() {
+            let max_payload = group.iter().map(|p| p.payload_len()).max().unwrap_or(0);
+            let first = &group[0];
+            parity.push(RtpPacket {
+                header: RtpHeader {
+                    sequence: alloc_seq(),
+                    capture_ts_us: first.header.capture_ts_us,
+                    frame_id: first.header.frame_id,
+                    marker: false,
+                    kind: PayloadKind::Fec,
+                },
+                // Parity payload is as large as the largest protected packet; its payload
+                // range is symbolic (it does not carry original bytes directly).
+                payload_start: 0,
+                payload_end: max_payload as u64,
+                fec_group: Some(group_idx as u32),
+            });
+        }
+        parity
+    }
+
+    /// The group index a media packet (by its position within the frame) belongs to.
+    pub fn group_of(&self, media_packet_index: usize) -> Option<u32> {
+        if !self.config.is_enabled() {
+            return None;
+        }
+        Some((media_packet_index / self.config.group_size as usize) as u32)
+    }
+}
+
+/// Receiver-side recovery bookkeeping for one frame.
+///
+/// Tracks, per FEC group, how many media packets are still missing and whether the parity
+/// packet arrived: one missing media packet + parity ⇒ recoverable.
+#[derive(Debug, Clone, Default)]
+pub struct FecRecovery {
+    /// Per (frame_id, group): (missing media packet indices, parity received).
+    groups: BTreeMap<(u64, u32), GroupState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct GroupState {
+    expected: Vec<usize>,
+    received: Vec<usize>,
+    parity_received: bool,
+}
+
+impl FecRecovery {
+    /// Creates empty recovery state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares that media packet `packet_index` of `frame_id` belongs to `group`.
+    pub fn expect_media(&mut self, frame_id: u64, group: u32, packet_index: usize) {
+        self.groups.entry((frame_id, group)).or_default().expected.push(packet_index);
+    }
+
+    /// Records a received media packet. Returns nothing; use [`FecRecovery::recoverable`].
+    pub fn on_media(&mut self, frame_id: u64, group: u32, packet_index: usize) {
+        self.groups.entry((frame_id, group)).or_default().received.push(packet_index);
+    }
+
+    /// Records a received parity packet.
+    pub fn on_parity(&mut self, frame_id: u64, group: u32) {
+        self.groups.entry((frame_id, group)).or_default().parity_received = true;
+    }
+
+    /// The media packet indices of `frame_id`/`group` that can be recovered right now
+    /// (exactly one missing media packet and the parity packet present).
+    pub fn recoverable(&self, frame_id: u64, group: u32) -> Vec<usize> {
+        let Some(state) = self.groups.get(&(frame_id, group)) else { return Vec::new() };
+        if !state.parity_received {
+            return Vec::new();
+        }
+        let missing: Vec<usize> = state
+            .expected
+            .iter()
+            .filter(|i| !state.received.contains(i))
+            .copied()
+            .collect();
+        if missing.len() == 1 {
+            missing
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packetizer::{OutgoingFrame, Packetizer};
+
+    fn media_packets(size: u64) -> Vec<RtpPacket> {
+        let mut p = Packetizer::default();
+        p.packetize(&OutgoingFrame { frame_id: 1, capture_ts_us: 0, size_bytes: size, is_keyframe: false })
+    }
+
+    #[test]
+    fn parity_count_matches_group_size() {
+        let enc = FecEncoder::new(FecConfig::with_group_size(4));
+        let media = media_packets(13_520); // 10 media packets
+        let mut seq = 100u64;
+        let parity = enc.protect(&media, || {
+            seq += 1;
+            seq
+        });
+        assert_eq!(parity.len(), 3); // ceil(10 / 4)
+        assert!(parity.iter().all(|p| p.header.kind == PayloadKind::Fec));
+        assert_eq!(parity[0].fec_group, Some(0));
+        assert_eq!(parity[2].fec_group, Some(2));
+    }
+
+    #[test]
+    fn disabled_fec_produces_nothing() {
+        let enc = FecEncoder::new(FecConfig::disabled());
+        assert!(enc.protect(&media_packets(5_000), || 0).is_empty());
+        assert_eq!(FecConfig::disabled().overhead_fraction(), 0.0);
+        assert_eq!(enc.group_of(3), None);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        assert!((FecConfig::with_group_size(5).overhead_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_loss_is_recoverable_with_parity() {
+        let mut rec = FecRecovery::new();
+        for i in 0..4 {
+            rec.expect_media(7, 0, i);
+        }
+        rec.on_media(7, 0, 0);
+        rec.on_media(7, 0, 2);
+        rec.on_media(7, 0, 3);
+        // Missing: packet 1. Not recoverable until parity arrives.
+        assert!(rec.recoverable(7, 0).is_empty());
+        rec.on_parity(7, 0);
+        assert_eq!(rec.recoverable(7, 0), vec![1]);
+    }
+
+    #[test]
+    fn double_loss_is_not_recoverable() {
+        let mut rec = FecRecovery::new();
+        for i in 0..4 {
+            rec.expect_media(7, 0, i);
+        }
+        rec.on_media(7, 0, 0);
+        rec.on_media(7, 0, 3);
+        rec.on_parity(7, 0);
+        assert!(rec.recoverable(7, 0).is_empty());
+    }
+
+    #[test]
+    fn no_loss_means_nothing_to_recover() {
+        let mut rec = FecRecovery::new();
+        for i in 0..2 {
+            rec.expect_media(1, 0, i);
+            rec.on_media(1, 0, i);
+        }
+        rec.on_parity(1, 0);
+        assert!(rec.recoverable(1, 0).is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Receiver-driven NACK generation and sender-side retransmission queueing.
+//!
+//! The receiver detects sequence-number gaps, waits a short reordering guard, then requests
+//! the missing packets; the sender keeps recently sent packets around and re-enqueues them
+//! on request. Retransmission is the mechanism whose extra round trips make per-frame
+//! latency grow with packet count — the §2.2 effect that motivates ultra-low bitrate.
+
+use crate::rtp::RtpPacket;
+use aivc_netsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the receiver's NACK generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NackConfig {
+    /// How long to wait after detecting a gap before requesting it (reordering guard).
+    pub reorder_guard: SimDuration,
+    /// Minimum spacing between successive NACKs for the same sequence number.
+    pub retry_interval: SimDuration,
+    /// Maximum times one sequence number is NACKed before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for NackConfig {
+    fn default() -> Self {
+        Self {
+            reorder_guard: SimDuration::from_millis(5),
+            retry_interval: SimDuration::from_millis(70),
+            max_retries: 4,
+        }
+    }
+}
+
+/// One pending missing-sequence record.
+#[derive(Debug, Clone, Copy)]
+struct PendingNack {
+    detected_at: SimTime,
+    last_sent: Option<SimTime>,
+    retries: u32,
+}
+
+/// Receiver-side NACK generator.
+#[derive(Debug, Clone)]
+pub struct NackGenerator {
+    config: NackConfig,
+    highest_seen: Option<u64>,
+    pending: BTreeMap<u64, PendingNack>,
+    received: BTreeSet<u64>,
+    nacks_sent: u64,
+}
+
+impl NackGenerator {
+    /// Creates a generator.
+    pub fn new(config: NackConfig) -> Self {
+        Self { config, highest_seen: None, pending: BTreeMap::new(), received: BTreeSet::new(), nacks_sent: 0 }
+    }
+
+    /// Records the arrival of a media/RTX/FEC packet, detecting new gaps.
+    pub fn on_packet(&mut self, sequence: u64, now: SimTime) {
+        self.received.insert(sequence);
+        self.pending.remove(&sequence);
+        match self.highest_seen {
+            None => self.highest_seen = Some(sequence),
+            Some(h) if sequence > h => {
+                // Everything between h+1 and sequence-1 is now known missing.
+                for missing in (h + 1)..sequence {
+                    if !self.received.contains(&missing) {
+                        self.pending.entry(missing).or_insert(PendingNack {
+                            detected_at: now,
+                            last_sent: None,
+                            retries: 0,
+                        });
+                    }
+                }
+                self.highest_seen = Some(sequence);
+            }
+            _ => {}
+        }
+    }
+
+    /// The sequences that should be NACKed at `now`. Each returned sequence's retry state is
+    /// updated, so calling this repeatedly paces retries at `retry_interval`.
+    pub fn due_nacks(&mut self, now: SimTime) -> Vec<u64> {
+        let mut due = Vec::new();
+        let mut to_remove = Vec::new();
+        for (&seq, state) in self.pending.iter_mut() {
+            if state.retries >= self.config.max_retries {
+                to_remove.push(seq);
+                continue;
+            }
+            let guard_passed = now >= state.detected_at + self.config.reorder_guard;
+            let retry_ok = match state.last_sent {
+                None => true,
+                Some(last) => now >= last + self.config.retry_interval,
+            };
+            if guard_passed && retry_ok {
+                state.last_sent = Some(now);
+                state.retries += 1;
+                due.push(seq);
+            }
+        }
+        for seq in to_remove {
+            self.pending.remove(&seq);
+        }
+        self.nacks_sent += due.len() as u64;
+        due
+    }
+
+    /// Number of sequences currently believed missing.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total NACK requests emitted so far.
+    pub fn nacks_sent(&self) -> u64 {
+        self.nacks_sent
+    }
+}
+
+/// Sender-side retransmission store.
+#[derive(Debug, Clone, Default)]
+pub struct RtxQueue {
+    sent: BTreeMap<u64, RtpPacket>,
+    retransmissions: u64,
+}
+
+impl RtxQueue {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remembers a sent media packet so it can be retransmitted later.
+    pub fn remember(&mut self, packet: &RtpPacket) {
+        self.sent.insert(packet.header.sequence, *packet);
+    }
+
+    /// Produces retransmission copies for the NACKed sequences, assigning fresh sequence
+    /// numbers from `alloc_seq`. Unknown sequences are ignored.
+    pub fn retransmit(&mut self, sequences: &[u64], mut alloc_seq: impl FnMut() -> u64) -> Vec<RtpPacket> {
+        let mut out = Vec::new();
+        for seq in sequences {
+            if let Some(original) = self.sent.get(seq) {
+                out.push(original.as_retransmission(alloc_seq()));
+                self.retransmissions += 1;
+            }
+        }
+        out
+    }
+
+    /// Drops state for packets older than `before_seq` (history bound).
+    pub fn forget_before(&mut self, before_seq: u64) {
+        self.sent.retain(|seq, _| *seq >= before_seq);
+    }
+
+    /// Number of retransmissions produced so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Number of packets currently stored.
+    pub fn stored(&self) -> usize {
+        self.sent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packetizer::{OutgoingFrame, Packetizer};
+
+    #[test]
+    fn gap_detection_and_guard() {
+        let mut g = NackGenerator::new(NackConfig::default());
+        g.on_packet(0, SimTime::from_millis(0));
+        g.on_packet(1, SimTime::from_millis(1));
+        g.on_packet(4, SimTime::from_millis(2)); // 2 and 3 missing
+        assert_eq!(g.pending_count(), 2);
+        // Before the reorder guard nothing is due.
+        assert!(g.due_nacks(SimTime::from_millis(3)).is_empty());
+        // After the guard both are due.
+        assert_eq!(g.due_nacks(SimTime::from_millis(8)), vec![2, 3]);
+        // Immediately after, nothing new is due (retry interval).
+        assert!(g.due_nacks(SimTime::from_millis(9)).is_empty());
+    }
+
+    #[test]
+    fn late_arrival_cancels_pending_nack() {
+        let mut g = NackGenerator::new(NackConfig::default());
+        g.on_packet(0, SimTime::from_millis(0));
+        g.on_packet(2, SimTime::from_millis(1));
+        assert_eq!(g.pending_count(), 1);
+        g.on_packet(1, SimTime::from_millis(3)); // reordered, not lost
+        assert_eq!(g.pending_count(), 0);
+        assert!(g.due_nacks(SimTime::from_millis(20)).is_empty());
+    }
+
+    #[test]
+    fn retries_are_paced_and_bounded() {
+        let cfg = NackConfig { max_retries: 2, ..NackConfig::default() };
+        let mut g = NackGenerator::new(cfg);
+        g.on_packet(0, SimTime::ZERO);
+        g.on_packet(2, SimTime::ZERO);
+        assert_eq!(g.due_nacks(SimTime::from_millis(10)), vec![1]);
+        assert_eq!(g.due_nacks(SimTime::from_millis(90)), vec![1]);
+        // Exhausted after max_retries.
+        assert!(g.due_nacks(SimTime::from_millis(200)).is_empty());
+        assert_eq!(g.nacks_sent(), 2);
+    }
+
+    #[test]
+    fn rtx_queue_produces_copies_for_known_sequences() {
+        let mut packetizer = Packetizer::default();
+        let packets = packetizer.packetize(&OutgoingFrame {
+            frame_id: 1,
+            capture_ts_us: 0,
+            size_bytes: 4_000,
+            is_keyframe: false,
+        });
+        let mut rtx = RtxQueue::new();
+        for p in &packets {
+            rtx.remember(p);
+        }
+        let mut next = 1_000u64;
+        let out = rtx.retransmit(&[1, 2, 999], || {
+            next += 1;
+            next
+        });
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|p| p.header.sequence > 1_000));
+        assert_eq!(rtx.retransmissions(), 2);
+        assert_eq!(out[0].payload_range(), packets[1].payload_range());
+    }
+
+    #[test]
+    fn forget_before_bounds_history() {
+        let mut rtx = RtxQueue::new();
+        let mut packetizer = Packetizer::default();
+        for f in 0..10u64 {
+            for p in packetizer.packetize(&OutgoingFrame {
+                frame_id: f,
+                capture_ts_us: 0,
+                size_bytes: 2_000,
+                is_keyframe: false,
+            }) {
+                rtx.remember(&p);
+            }
+        }
+        let before = rtx.stored();
+        rtx.forget_before(10);
+        assert!(rtx.stored() < before);
+    }
+}

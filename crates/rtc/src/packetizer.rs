@@ -1,0 +1,338 @@
+//! Packetization and frame reassembly.
+//!
+//! The packetizer splits an encoded frame's bitstream into MTU-sized RTP packets
+//! (~1400 bytes on the wire, §2.2); the assembler tracks which byte ranges of each frame
+//! have arrived, answers "is the frame complete?", and produces the received-range list the
+//! decoder uses to decide which blocks survived.
+
+use crate::rtp::{PayloadKind, RtpHeader, RtpPacket, DEFAULT_MTU_BYTES, RTP_HEADER_BYTES, UDP_IP_HEADER_BYTES};
+use aivc_netsim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A frame as handed to the transport: identifiers plus its total coded size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutgoingFrame {
+    /// Frame identifier (the encoder's frame index).
+    pub frame_id: u64,
+    /// Capture timestamp in microseconds.
+    pub capture_ts_us: u64,
+    /// Total coded size in bytes.
+    pub size_bytes: u64,
+    /// Whether this is a keyframe (affects retransmission urgency in some policies).
+    pub is_keyframe: bool,
+}
+
+/// Splits frames into RTP packets.
+#[derive(Debug, Clone)]
+pub struct Packetizer {
+    mtu_bytes: u32,
+    next_sequence: u64,
+}
+
+impl Default for Packetizer {
+    fn default() -> Self {
+        Self::new(DEFAULT_MTU_BYTES)
+    }
+}
+
+impl Packetizer {
+    /// Creates a packetizer with the given on-the-wire MTU.
+    pub fn new(mtu_bytes: u32) -> Self {
+        assert!(
+            mtu_bytes > RTP_HEADER_BYTES + UDP_IP_HEADER_BYTES,
+            "MTU must leave room for headers"
+        );
+        Self { mtu_bytes, next_sequence: 0 }
+    }
+
+    /// Maximum payload bytes per packet.
+    pub fn max_payload(&self) -> u32 {
+        self.mtu_bytes - RTP_HEADER_BYTES - UDP_IP_HEADER_BYTES
+    }
+
+    /// The next sequence number that will be assigned.
+    pub fn next_sequence(&self) -> u64 {
+        self.next_sequence
+    }
+
+    /// Allocates a fresh sequence number (used for retransmissions and FEC packets).
+    pub fn allocate_sequence(&mut self) -> u64 {
+        let s = self.next_sequence;
+        self.next_sequence += 1;
+        s
+    }
+
+    /// Splits a frame into media packets covering its full byte range.
+    pub fn packetize(&mut self, frame: &OutgoingFrame) -> Vec<RtpPacket> {
+        let payload = self.max_payload() as u64;
+        let count = frame.size_bytes.div_ceil(payload).max(1);
+        let mut packets = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let start = i * payload;
+            let end = ((i + 1) * payload).min(frame.size_bytes);
+            packets.push(RtpPacket {
+                header: RtpHeader {
+                    sequence: self.allocate_sequence(),
+                    capture_ts_us: frame.capture_ts_us,
+                    frame_id: frame.frame_id,
+                    marker: i + 1 == count,
+                    kind: PayloadKind::Media,
+                },
+                payload_start: start,
+                payload_end: end,
+                fec_group: None,
+            });
+        }
+        packets
+    }
+}
+
+/// Reassembly state for one frame.
+#[derive(Debug, Clone, Default)]
+struct FrameState {
+    size_bytes: u64,
+    capture_ts_us: u64,
+    /// Sorted, disjoint received ranges.
+    ranges: Vec<(u64, u64)>,
+    first_arrival: Option<SimTime>,
+    completed_at: Option<SimTime>,
+}
+
+impl FrameState {
+    fn insert_range(&mut self, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        self.ranges.push((start, end));
+        self.ranges.sort_unstable();
+        // Merge overlapping/adjacent ranges.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ranges.len());
+        for &(s, e) in &self.ranges {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    fn received_bytes(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    fn is_complete(&self) -> bool {
+        self.ranges.len() == 1 && self.ranges[0] == (0, self.size_bytes) && self.size_bytes > 0
+    }
+}
+
+/// Per-frame reassembly across the whole session.
+#[derive(Debug, Clone, Default)]
+pub struct FrameAssembler {
+    frames: BTreeMap<u64, FrameState>,
+}
+
+/// Snapshot of one frame's reassembly progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssemblyStatus {
+    /// Frame identifier.
+    pub frame_id: u64,
+    /// Capture timestamp.
+    pub capture_ts_us: u64,
+    /// Total frame size in bytes.
+    pub size_bytes: u64,
+    /// Bytes received so far.
+    pub received_bytes: u64,
+    /// Whether every byte has arrived.
+    pub complete: bool,
+    /// When the frame became complete (if it did).
+    pub completed_at: Option<SimTime>,
+    /// When the first packet of the frame arrived (if any).
+    pub first_arrival: Option<SimTime>,
+    /// The received byte ranges, sorted and disjoint.
+    pub received_ranges: Vec<(u64, u64)>,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a frame the receiver expects (size known from signaling or the first packet).
+    pub fn expect_frame(&mut self, frame: &OutgoingFrame) {
+        let state = self.frames.entry(frame.frame_id).or_default();
+        state.size_bytes = frame.size_bytes;
+        state.capture_ts_us = frame.capture_ts_us;
+    }
+
+    /// Records the arrival of a media or retransmission packet at `now`.
+    /// Returns true if this arrival completed the frame.
+    pub fn on_packet(&mut self, packet: &RtpPacket, now: SimTime) -> bool {
+        let state = self.frames.entry(packet.header.frame_id).or_default();
+        if state.capture_ts_us == 0 {
+            state.capture_ts_us = packet.header.capture_ts_us;
+        }
+        if state.first_arrival.is_none() {
+            state.first_arrival = Some(now);
+        }
+        let was_complete = state.is_complete();
+        state.insert_range(packet.payload_start, packet.payload_end);
+        let now_complete = state.is_complete();
+        if now_complete && !was_complete && state.completed_at.is_none() {
+            state.completed_at = Some(now);
+        }
+        now_complete && !was_complete
+    }
+
+    /// The missing byte ranges of a frame (empty when complete or unknown).
+    pub fn missing_ranges(&self, frame_id: u64) -> Vec<(u64, u64)> {
+        let Some(state) = self.frames.get(&frame_id) else { return Vec::new() };
+        if state.size_bytes == 0 {
+            return Vec::new();
+        }
+        let mut missing = Vec::new();
+        let mut cursor = 0u64;
+        for &(s, e) in &state.ranges {
+            if s > cursor {
+                missing.push((cursor, s));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < state.size_bytes {
+            missing.push((cursor, state.size_bytes));
+        }
+        missing
+    }
+
+    /// The reassembly status of a frame, if the assembler knows about it.
+    pub fn status(&self, frame_id: u64) -> Option<AssemblyStatus> {
+        self.frames.get(&frame_id).map(|state| AssemblyStatus {
+            frame_id,
+            capture_ts_us: state.capture_ts_us,
+            size_bytes: state.size_bytes,
+            received_bytes: state.received_bytes(),
+            complete: state.is_complete(),
+            completed_at: state.completed_at,
+            first_arrival: state.first_arrival,
+            received_ranges: state.ranges.clone(),
+        })
+    }
+
+    /// Status of every known frame, in frame-id order.
+    pub fn all_statuses(&self) -> Vec<AssemblyStatus> {
+        self.frames.keys().map(|id| self.status(*id).unwrap()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(size: u64) -> OutgoingFrame {
+        OutgoingFrame { frame_id: 1, capture_ts_us: 1_000, size_bytes: size, is_keyframe: false }
+    }
+
+    #[test]
+    fn packet_count_matches_size_and_mtu() {
+        let mut p = Packetizer::default();
+        let packets = p.packetize(&frame(10_000));
+        // Max payload = 1400 - 48 = 1352 bytes -> ceil(10000 / 1352) = 8 packets.
+        assert_eq!(packets.len(), 8);
+        assert!(packets.iter().take(7).all(|pk| pk.payload_len() == 1_352));
+        assert_eq!(packets.last().unwrap().payload_len(), 10_000 - 7 * 1_352);
+        assert!(packets.last().unwrap().header.marker);
+        assert!(packets.iter().take(7).all(|pk| !pk.header.marker));
+    }
+
+    #[test]
+    fn sequences_are_contiguous_across_frames() {
+        let mut p = Packetizer::default();
+        let a = p.packetize(&frame(3_000));
+        let b = p.packetize(&OutgoingFrame { frame_id: 2, ..frame(3_000) });
+        let seqs: Vec<u64> = a.iter().chain(b.iter()).map(|pk| pk.header.sequence).collect();
+        assert_eq!(seqs, (0..seqs.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_frame_still_gets_one_packet() {
+        let mut p = Packetizer::default();
+        let packets = p.packetize(&frame(40));
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].payload_range(), (0, 40));
+        assert!(packets[0].header.marker);
+    }
+
+    #[test]
+    fn assembler_completes_when_all_ranges_arrive() {
+        let mut p = Packetizer::default();
+        let f = frame(5_000);
+        let packets = p.packetize(&f);
+        let mut asm = FrameAssembler::new();
+        asm.expect_frame(&f);
+        let mut completed = false;
+        for (i, pk) in packets.iter().enumerate() {
+            completed = asm.on_packet(pk, SimTime::from_millis(10 + i as u64));
+        }
+        assert!(completed);
+        let status = asm.status(1).unwrap();
+        assert!(status.complete);
+        assert_eq!(status.received_bytes, 5_000);
+        assert_eq!(status.completed_at, Some(SimTime::from_millis(13)));
+        assert_eq!(status.first_arrival, Some(SimTime::from_millis(10)));
+    }
+
+    #[test]
+    fn missing_ranges_reflect_unreceived_packets() {
+        let mut p = Packetizer::default();
+        let f = frame(5_000);
+        let packets = p.packetize(&f);
+        let mut asm = FrameAssembler::new();
+        asm.expect_frame(&f);
+        // Drop packet 1 (bytes 1352..2704).
+        for (i, pk) in packets.iter().enumerate() {
+            if i != 1 {
+                asm.on_packet(pk, SimTime::from_millis(5));
+            }
+        }
+        assert!(!asm.status(1).unwrap().complete);
+        assert_eq!(asm.missing_ranges(1), vec![(1_352, 2_704)]);
+        // Retransmission closes the gap.
+        let done = asm.on_packet(&packets[1].as_retransmission(999), SimTime::from_millis(80));
+        assert!(done);
+        assert_eq!(asm.status(1).unwrap().completed_at, Some(SimTime::from_millis(80)));
+    }
+
+    #[test]
+    fn duplicate_packets_do_not_complete_twice() {
+        let mut p = Packetizer::default();
+        let f = frame(1_000);
+        let packets = p.packetize(&f);
+        let mut asm = FrameAssembler::new();
+        asm.expect_frame(&f);
+        assert!(asm.on_packet(&packets[0], SimTime::from_millis(1)));
+        assert!(!asm.on_packet(&packets[0], SimTime::from_millis(2)));
+        assert_eq!(asm.status(1).unwrap().completed_at, Some(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn out_of_order_arrival_still_completes() {
+        let mut p = Packetizer::default();
+        let f = frame(4_000);
+        let mut packets = p.packetize(&f);
+        packets.reverse();
+        let mut asm = FrameAssembler::new();
+        asm.expect_frame(&f);
+        let mut done = false;
+        for pk in &packets {
+            done = asm.on_packet(pk, SimTime::from_millis(3)) || done;
+        }
+        assert!(done);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for headers")]
+    fn absurd_mtu_rejected() {
+        let _ = Packetizer::new(30);
+    }
+}

@@ -1,0 +1,515 @@
+//! The discrete-event session runner: sender + network + receiver in one deterministic loop.
+//!
+//! This is the machinery behind the paper's §2.2 measurement (Figure 3). The caller hands
+//! the session a sequence of encoded frames (id, capture time, size); the session packetizes
+//! them, paces them onto the emulated uplink, runs FEC/NACK/RTX recovery and the (optional)
+//! jitter buffer at the receiver, and reports per-frame transmission latency — "the time
+//! from the frame being sent to being completely received".
+//!
+//! Everything runs on a single [`EventQueue`]; identical inputs and seeds reproduce
+//! identical reports.
+
+use crate::fec::{FecConfig, FecEncoder, FecRecovery};
+use crate::jitter::{JitterBuffer, JitterBufferConfig};
+use crate::nack::{NackConfig, NackGenerator, RtxQueue};
+use crate::pacer::{Pacer, PacerConfig};
+use crate::packetizer::{FrameAssembler, OutgoingFrame, Packetizer};
+use crate::rtp::{PayloadKind, RtpPacket};
+use crate::stats::{FrameDeliveryRecord, SessionStats};
+use aivc_netsim::emulator::Direction;
+use aivc_netsim::{EventQueue, NetworkEmulator, Packet, PathConfig, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Session configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Network path (uplink carries media, downlink carries feedback).
+    pub path: PathConfig,
+    /// Seed for all stochastic network processes.
+    pub seed: u64,
+    /// Forward error correction applied to media packets.
+    pub fec: FecConfig,
+    /// NACK/retransmission behaviour (set `enable_retransmission` to false to disable).
+    pub nack: NackConfig,
+    /// Whether lost packets are retransmitted at all.
+    pub enable_retransmission: bool,
+    /// Pacer configuration.
+    pub pacer: PacerConfig,
+    /// Jitter buffer configuration (use [`JitterBufferConfig::disabled`] for AI mode).
+    pub jitter_buffer: JitterBufferConfig,
+    /// Delay between a frame's capture timestamp and the moment its encoded bytes are ready
+    /// to send (encoder latency), in microseconds.
+    pub encode_latency_us: u64,
+    /// Size of a feedback (NACK) packet on the wire, in bytes.
+    pub feedback_packet_bytes: u32,
+}
+
+impl SessionConfig {
+    /// The paper's §2.2 measurement setup: 10 Mbps / 30 ms / i.i.d. loss sweep, NACK-based
+    /// recovery, no FEC, no jitter buffer (the paper excludes it from the latency metric).
+    pub fn paper_fig3(loss_rate: f64, target_bitrate_bps: f64, seed: u64) -> Self {
+        Self {
+            path: PathConfig::paper_section_2_2(loss_rate),
+            seed,
+            fec: FecConfig::disabled(),
+            nack: NackConfig::default(),
+            enable_retransmission: true,
+            pacer: PacerConfig::from_target_bitrate(target_bitrate_bps, 2.5),
+            jitter_buffer: JitterBufferConfig::disabled(),
+            encode_latency_us: 0,
+            feedback_packet_bytes: 80,
+        }
+    }
+}
+
+/// The report produced by one session run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Aggregate and per-frame statistics.
+    pub stats: SessionStats,
+}
+
+enum Event {
+    /// A frame's encoded bytes become available to the transport.
+    FrameReady(usize),
+    /// A packet is released by the pacer and enters the uplink.
+    SendUplink(RtpPacket),
+    /// A packet arrives at the receiver.
+    UplinkArrival(RtpPacket),
+    /// The receiver checks for due NACKs.
+    ReceiverPoll,
+    /// A feedback packet (list of NACKed sequences) arrives back at the sender.
+    FeedbackArrival(Vec<u64>),
+}
+
+/// Per-frame bookkeeping kept by the session while it runs.
+#[derive(Debug, Clone, Default)]
+struct FrameProgress {
+    send_start: Option<SimTime>,
+    media_packets: u32,
+    retransmissions: u32,
+    fec_recovered: bool,
+    released_at: Option<SimTime>,
+}
+
+/// The session runner.
+pub struct VideoSession {
+    config: SessionConfig,
+}
+
+impl VideoSession {
+    /// Creates a session.
+    pub fn new(config: SessionConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Runs the session over the given frames and returns the report.
+    pub fn run(&self, frames: &[OutgoingFrame]) -> SessionReport {
+        let cfg = &self.config;
+        let mut emulator = NetworkEmulator::new(cfg.path.clone(), cfg.seed);
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut packetizer = Packetizer::default();
+        let mut pacer = Pacer::new(cfg.pacer);
+        let mut rtx = RtxQueue::new();
+        let fec_encoder = FecEncoder::new(cfg.fec);
+        let mut fec_recovery = FecRecovery::new();
+        let mut assembler = FrameAssembler::new();
+        let mut nack_gen = NackGenerator::new(cfg.nack);
+        let mut jitter = JitterBuffer::new(cfg.jitter_buffer);
+
+        let mut progress: BTreeMap<u64, FrameProgress> = BTreeMap::new();
+        // Map sequence -> (frame_id, media packet index) so FEC groups can be reconstructed.
+        let mut seq_to_media: BTreeMap<u64, (u64, usize)> = BTreeMap::new();
+        let frame_by_id: BTreeMap<u64, OutgoingFrame> = frames.iter().map(|f| (f.frame_id, *f)).collect();
+
+        let mut stats = SessionStats::default();
+        let mut next_net_packet_id: u64 = 0;
+        // At most one receiver poll is outstanding at a time; arrivals only arm a new one
+        // when none is pending (keeps the event count linear in the number of packets).
+        let mut poll_outstanding = false;
+
+        // Schedule every frame's availability.
+        for (idx, frame) in frames.iter().enumerate() {
+            assembler.expect_frame(frame);
+            progress.entry(frame.frame_id).or_default();
+            events.push(
+                SimTime::from_micros(frame.capture_ts_us + cfg.encode_latency_us),
+                Event::FrameReady(idx),
+            );
+        }
+
+        let max_payload = Packetizer::default().max_payload() as u64;
+        let media_packet_count =
+            |size_bytes: u64| -> usize { (size_bytes.div_ceil(max_payload).max(1)) as usize };
+        let media_packet_range = |size_bytes: u64, index: usize| -> (u64, u64) {
+            let start = index as u64 * max_payload;
+            let end = ((index as u64 + 1) * max_payload).min(size_bytes);
+            (start, end)
+        };
+
+        let horizon = frames
+            .iter()
+            .map(|f| f.capture_ts_us)
+            .max()
+            .unwrap_or(0)
+            + 5_000_000;
+
+        while let Some((now, event)) = events.pop() {
+            if now.as_micros() > horizon {
+                break;
+            }
+            match event {
+                Event::FrameReady(idx) => {
+                    let frame = frames[idx];
+                    let mut media = packetizer.packetize(&frame);
+                    // Assign FEC groups to media packets and build parity packets.
+                    if cfg.fec.is_enabled() {
+                        for (i, p) in media.iter_mut().enumerate() {
+                            p.fec_group = fec_encoder.group_of(i);
+                        }
+                    }
+                    let parity = fec_encoder.protect(&media, || packetizer.allocate_sequence());
+                    let entry = progress.entry(frame.frame_id).or_default();
+                    entry.media_packets = media.len() as u32;
+                    stats.media_packets_sent += media.len() as u64;
+                    stats.fec_packets_sent += parity.len() as u64;
+                    for (i, p) in media.iter().enumerate() {
+                        seq_to_media.insert(p.header.sequence, (frame.frame_id, i));
+                        rtx.remember(p);
+                        let when = pacer.schedule_send(p.wire_size(), now);
+                        events.push(when, Event::SendUplink(*p));
+                    }
+                    for p in &parity {
+                        let when = pacer.schedule_send(p.wire_size(), now);
+                        events.push(when, Event::SendUplink(*p));
+                    }
+                }
+                Event::SendUplink(packet) => {
+                    let entry = progress.entry(packet.header.frame_id).or_default();
+                    if entry.send_start.is_none() && packet.header.kind == PayloadKind::Media {
+                        entry.send_start = Some(now);
+                    }
+                    if packet.header.kind == PayloadKind::Retransmission {
+                        entry.retransmissions += 1;
+                        stats.retransmissions_sent += 1;
+                    }
+                    stats.uplink_bytes_sent += packet.wire_size() as u64;
+                    let net_packet = Packet::new(next_net_packet_id, packet.wire_size(), now)
+                        .with_flow(0)
+                        .with_tag(packet.header.sequence);
+                    next_net_packet_id += 1;
+                    if let Some(arrival) = emulator.send(Direction::Uplink, &net_packet, now).arrival() {
+                        events.push(arrival, Event::UplinkArrival(packet));
+                    }
+                }
+                Event::UplinkArrival(packet) => {
+                    nack_gen.on_packet(packet.header.sequence, now);
+                    let frame_id = packet.header.frame_id;
+                    match packet.header.kind {
+                        PayloadKind::Media | PayloadKind::Retransmission => {
+                            let completed = assembler.on_packet(&packet, now);
+                            if cfg.fec.is_enabled() {
+                                if let Some((fid, media_idx)) =
+                                    seq_to_media.get(&packet.header.sequence).copied()
+                                {
+                                    if let Some(group) = fec_encoder.group_of(media_idx) {
+                                        fec_recovery.on_media(fid, group, media_idx);
+                                    }
+                                }
+                            }
+                            if completed {
+                                self.on_frame_complete(frame_id, now, &mut jitter, &mut progress, &frame_by_id);
+                            }
+                        }
+                        PayloadKind::Fec => {
+                            if let (Some(group), Some(frame)) = (packet.fec_group, frame_by_id.get(&frame_id)) {
+                                // Lazily register the group's expected media packets.
+                                let count = media_packet_count(frame.size_bytes);
+                                for i in 0..count {
+                                    if fec_encoder.group_of(i) == Some(group) {
+                                        fec_recovery.expect_media(frame_id, group, i);
+                                    }
+                                }
+                                fec_recovery.on_parity(frame_id, group);
+                                for recovered_idx in fec_recovery.recoverable(frame_id, group) {
+                                    let (start, end) = media_packet_range(frame.size_bytes, recovered_idx);
+                                    let synthetic = RtpPacket {
+                                        header: packet.header,
+                                        payload_start: start,
+                                        payload_end: end,
+                                        fec_group: Some(group),
+                                    };
+                                    let completed = assembler.on_packet(&synthetic, now);
+                                    progress.entry(frame_id).or_default().fec_recovered = true;
+                                    if completed {
+                                        self.on_frame_complete(frame_id, now, &mut jitter, &mut progress, &frame_by_id);
+                                    }
+                                }
+                            }
+                        }
+                        PayloadKind::Feedback => {}
+                    }
+                    // Check for NACKs shortly after (reorder guard), and keep checking while
+                    // retries remain.
+                    if cfg.enable_retransmission && nack_gen.pending_count() > 0 && !poll_outstanding {
+                        poll_outstanding = true;
+                        events.push(now + cfg.nack.reorder_guard, Event::ReceiverPoll);
+                    }
+                }
+                Event::ReceiverPoll => {
+                    poll_outstanding = false;
+                    if !cfg.enable_retransmission {
+                        continue;
+                    }
+                    let due = nack_gen.due_nacks(now);
+                    if !due.is_empty() {
+                        stats.feedback_packets_sent += 1;
+                        let fb_packet = Packet::new(next_net_packet_id, cfg.feedback_packet_bytes, now).with_flow(1);
+                        next_net_packet_id += 1;
+                        if let Some(arrival) = emulator.send(Direction::Downlink, &fb_packet, now).arrival() {
+                            events.push(arrival, Event::FeedbackArrival(due));
+                        }
+                    }
+                    if nack_gen.pending_count() > 0 && !poll_outstanding {
+                        poll_outstanding = true;
+                        events.push(now + cfg.nack.retry_interval, Event::ReceiverPoll);
+                    }
+                }
+                Event::FeedbackArrival(sequences) => {
+                    let rtx_packets = rtx.retransmit(&sequences, || packetizer.allocate_sequence());
+                    for p in rtx_packets {
+                        // Retransmissions keep pointing at the original media packet's byte
+                        // range; remember the mapping for FEC bookkeeping consistency.
+                        if let Some(mapping) = sequences
+                            .iter()
+                            .find_map(|old| seq_to_media.get(old).copied().map(|m| (p.header.sequence, m)))
+                        {
+                            seq_to_media.insert(mapping.0, mapping.1);
+                        }
+                        let when = pacer.schedule_send(p.wire_size(), now);
+                        events.push(when, Event::SendUplink(p));
+                    }
+                }
+            }
+        }
+
+        // Build per-frame records.
+        for frame in frames {
+            let status = assembler.status(frame.frame_id);
+            let prog = progress.get(&frame.frame_id).cloned().unwrap_or_default();
+            let (completed_at, received_ranges) = match status {
+                Some(s) => (s.completed_at, s.received_ranges),
+                None => (None, Vec::new()),
+            };
+            stats.frames.push(FrameDeliveryRecord {
+                frame_id: frame.frame_id,
+                capture_ts_us: frame.capture_ts_us,
+                size_bytes: frame.size_bytes,
+                send_start: prog.send_start.unwrap_or(SimTime::from_micros(frame.capture_ts_us)),
+                completed_at,
+                received_ranges,
+                media_packets: prog.media_packets,
+                retransmissions: prog.retransmissions,
+                fec_recovered: prog.fec_recovered,
+                released_at: prog.released_at,
+            });
+        }
+        stats.duration_secs = frames
+            .iter()
+            .map(|f| f.capture_ts_us)
+            .max()
+            .map(|t| t as f64 / 1e6)
+            .unwrap_or(0.0)
+            .max(1e-9);
+        SessionReport { stats }
+    }
+
+    fn on_frame_complete(
+        &self,
+        frame_id: u64,
+        now: SimTime,
+        jitter: &mut JitterBuffer,
+        progress: &mut BTreeMap<u64, FrameProgress>,
+        frame_by_id: &BTreeMap<u64, OutgoingFrame>,
+    ) {
+        let capture = frame_by_id.get(&frame_id).map(|f| f.capture_ts_us).unwrap_or(0);
+        let release = jitter.on_frame(now, capture);
+        progress.entry(frame_id).or_default().released_at = Some(release);
+    }
+}
+
+/// Convenience: builds a CBR-like frame schedule of `duration_secs` at `fps` whose frames
+/// average `bitrate_bps` (keyframes every `gop` frames are `keyframe_ratio`× larger). Used
+/// by the Figure 3 sweep where only sizes matter, not content.
+pub fn synthetic_frame_schedule(
+    bitrate_bps: f64,
+    fps: f64,
+    duration_secs: f64,
+    gop: u32,
+    keyframe_ratio: f64,
+) -> Vec<OutgoingFrame> {
+    assert!(fps > 0.0 && bitrate_bps > 0.0 && duration_secs > 0.0 && gop >= 1);
+    let frame_count = (fps * duration_secs).floor() as u64;
+    let bits_per_frame = bitrate_bps / fps;
+    // Solve for inter size so that the GOP average matches bits_per_frame.
+    // gop_bits = key + (gop-1) * inter, key = keyframe_ratio * inter.
+    let inter_bits = bits_per_frame * gop as f64 / (keyframe_ratio + (gop as f64 - 1.0));
+    let key_bits = inter_bits * keyframe_ratio;
+    (0..frame_count)
+        .map(|i| {
+            let is_key = i % gop as u64 == 0;
+            let bits = if is_key { key_bits } else { inter_bits };
+            OutgoingFrame {
+                frame_id: i,
+                capture_ts_us: (i as f64 * 1e6 / fps).round() as u64,
+                size_bytes: (bits / 8.0).max(200.0).round() as u64,
+                is_keyframe: is_key,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(bitrate_bps: f64, loss: f64, secs: f64, seed: u64) -> SessionStats {
+        let frames = synthetic_frame_schedule(bitrate_bps, 30.0, secs, 60, 6.0);
+        let session = VideoSession::new(SessionConfig::paper_fig3(loss, bitrate_bps, seed));
+        session.run(&frames).stats
+    }
+
+    #[test]
+    fn lossless_low_bitrate_latency_is_near_propagation_delay() {
+        let stats = run(500_000.0, 0.0, 10.0, 1);
+        assert_eq!(stats.completion_rate(), 1.0);
+        let mean = stats.mean_transmission_latency_ms();
+        // 30 ms propagation + ~2 ms serialization for a couple of packets.
+        assert!(mean > 30.0 && mean < 45.0, "mean {mean}");
+        assert_eq!(stats.retransmissions_sent, 0);
+    }
+
+    #[test]
+    fn latency_increases_with_bitrate_below_capacity() {
+        // §2.2's second observation: even below the 10 Mbps capacity, higher bitrate means
+        // more packets per frame and therefore higher per-frame completion latency.
+        let low = run(1_000_000.0, 0.01, 20.0, 2).mean_transmission_latency_ms();
+        let high = run(8_000_000.0, 0.01, 20.0, 2).mean_transmission_latency_ms();
+        assert!(high > low, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn latency_explodes_when_bitrate_exceeds_bandwidth() {
+        // §2.2's first observation: beyond the 10 Mbps bandwidth the queue fills and
+        // latency grows by an order of magnitude.
+        let below = run(6_000_000.0, 0.0, 15.0, 3).mean_transmission_latency_ms();
+        let above = run(14_000_000.0, 0.0, 15.0, 3).mean_transmission_latency_ms();
+        assert!(above > below * 4.0, "above {above} vs below {below}");
+    }
+
+    #[test]
+    fn loss_triggers_retransmissions_and_raises_tail_latency() {
+        let clean = run(2_000_000.0, 0.0, 20.0, 4);
+        let lossy = run(2_000_000.0, 0.05, 20.0, 4);
+        assert_eq!(clean.retransmissions_sent, 0);
+        assert!(lossy.retransmissions_sent > 0);
+        let mut clean_lat = clean.transmission_latency();
+        let mut lossy_lat = lossy.transmission_latency();
+        assert!(lossy_lat.p95_ms() > clean_lat.p95_ms() + 20.0,
+            "lossy p95 {} vs clean p95 {}", lossy_lat.p95_ms(), clean_lat.p95_ms());
+        assert!(lossy.completion_rate() > 0.97, "retransmission should recover nearly all frames");
+    }
+
+    #[test]
+    fn fec_recovers_single_losses_without_rtt() {
+        let frames = synthetic_frame_schedule(2_000_000.0, 30.0, 20.0, 60, 6.0);
+        let mut no_fec_cfg = SessionConfig::paper_fig3(0.03, 2_000_000.0, 5);
+        no_fec_cfg.enable_retransmission = true;
+        let no_fec = VideoSession::new(no_fec_cfg).run(&frames).stats;
+
+        let mut fec_cfg = SessionConfig::paper_fig3(0.03, 2_000_000.0, 5);
+        fec_cfg.fec = FecConfig::with_group_size(4);
+        let with_fec = VideoSession::new(fec_cfg).run(&frames).stats;
+
+        assert!(with_fec.fec_packets_sent > 0);
+        assert!(with_fec.frames.iter().any(|f| f.fec_recovered));
+        // FEC should cut the tail latency caused by retransmission round trips.
+        let mut no_fec_lat = no_fec.transmission_latency();
+        let mut fec_lat = with_fec.transmission_latency();
+        assert!(fec_lat.p95_ms() <= no_fec_lat.p95_ms(), "fec p95 {} vs rtx p95 {}", fec_lat.p95_ms(), no_fec_lat.p95_ms());
+        // ...at the cost of extra uplink bytes.
+        assert!(with_fec.uplink_bytes_sent > no_fec.uplink_bytes_sent);
+    }
+
+    #[test]
+    fn disabling_retransmission_leaves_frames_incomplete_under_loss() {
+        let frames = synthetic_frame_schedule(2_000_000.0, 30.0, 10.0, 60, 6.0);
+        let mut cfg = SessionConfig::paper_fig3(0.05, 2_000_000.0, 6);
+        cfg.enable_retransmission = false;
+        let stats = VideoSession::new(cfg).run(&frames).stats;
+        assert!(stats.completion_rate() < 0.9);
+        assert_eq!(stats.retransmissions_sent, 0);
+        // Incomplete frames still report the ranges that did arrive.
+        let incomplete = stats.frames.iter().find(|f| f.completed_at.is_none()).unwrap();
+        assert!(incomplete.received_fraction() < 1.0);
+    }
+
+    #[test]
+    fn jitter_buffer_adds_release_delay() {
+        let frames = synthetic_frame_schedule(1_000_000.0, 30.0, 10.0, 60, 6.0);
+        let mut cfg = SessionConfig::paper_fig3(0.01, 1_000_000.0, 7);
+        cfg.jitter_buffer = JitterBufferConfig::traditional();
+        let with_jb = VideoSession::new(cfg).run(&frames).stats;
+        let without_jb = VideoSession::new(SessionConfig::paper_fig3(0.01, 1_000_000.0, 7)).run(&frames).stats;
+        let mean_release_with: f64 = with_jb
+            .frames
+            .iter()
+            .filter_map(|f| f.release_latency_ms())
+            .sum::<f64>()
+            / with_jb.completed_frames().max(1) as f64;
+        let mean_release_without: f64 = without_jb
+            .frames
+            .iter()
+            .filter_map(|f| f.release_latency_ms())
+            .sum::<f64>()
+            / without_jb.completed_frames().max(1) as f64;
+        assert!(mean_release_with > mean_release_without + 5.0,
+            "with {mean_release_with} vs without {mean_release_without}");
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let a = run(3_000_000.0, 0.02, 5.0, 11);
+        let b = run(3_000_000.0, 0.02, 5.0, 11);
+        assert_eq!(a.frames.len(), b.frames.len());
+        for (x, y) in a.frames.iter().zip(&b.frames) {
+            assert_eq!(x.completed_at, y.completed_at);
+            assert_eq!(x.retransmissions, y.retransmissions);
+        }
+    }
+
+    #[test]
+    fn achieved_bitrate_tracks_configured_bitrate() {
+        let stats = run(2_000_000.0, 0.0, 20.0, 12);
+        let achieved = stats.uplink_bitrate_bps();
+        // Wire overhead adds a few percent on top of the media bitrate.
+        assert!(achieved > 1_900_000.0 && achieved < 2_500_000.0, "achieved {achieved}");
+    }
+
+    #[test]
+    fn synthetic_schedule_respects_bitrate_and_gop() {
+        let frames = synthetic_frame_schedule(1_000_000.0, 30.0, 10.0, 30, 5.0);
+        assert_eq!(frames.len(), 300);
+        let total_bits: u64 = frames.iter().map(|f| f.size_bytes * 8).sum();
+        let rate = total_bits as f64 / 10.0;
+        assert!((rate - 1_000_000.0).abs() / 1_000_000.0 < 0.05, "rate {rate}");
+        assert!(frames[0].is_keyframe && frames[30].is_keyframe && !frames[1].is_keyframe);
+        assert!(frames[0].size_bytes > frames[1].size_bytes * 3);
+    }
+}

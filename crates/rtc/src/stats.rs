@@ -1,0 +1,178 @@
+//! Session-level statistics: exactly the quantities §2.2 measures.
+//!
+//! The central metric is per-frame **transmission latency** — "the time from the frame being
+//! sent to being completely received, excluding the jitter buffer" — plus delivery/loss
+//! counters and retransmission counts.
+
+use aivc_netsim::{LatencyStats, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Delivery record of one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameDeliveryRecord {
+    /// Frame identifier.
+    pub frame_id: u64,
+    /// Capture timestamp in microseconds.
+    pub capture_ts_us: u64,
+    /// Coded size in bytes.
+    pub size_bytes: u64,
+    /// When the first packet of the frame left the sender.
+    pub send_start: SimTime,
+    /// When the frame was completely received (`None` if it never completed).
+    pub completed_at: Option<SimTime>,
+    /// Byte ranges of the frame that arrived (used by the decoder when incomplete).
+    pub received_ranges: Vec<(u64, u64)>,
+    /// Number of media packets the frame was split into.
+    pub media_packets: u32,
+    /// Number of retransmissions sent for this frame.
+    pub retransmissions: u32,
+    /// Whether FEC recovered at least one packet of this frame.
+    pub fec_recovered: bool,
+    /// When the jitter buffer (if any) released the frame downstream.
+    pub released_at: Option<SimTime>,
+}
+
+impl FrameDeliveryRecord {
+    /// Transmission latency in milliseconds (send start → complete reception), the Figure 3
+    /// metric. `None` if the frame never completed.
+    pub fn transmission_latency_ms(&self) -> Option<f64> {
+        self.completed_at.map(|t| t.saturating_since(self.send_start).as_millis_f64())
+    }
+
+    /// Latency including the jitter buffer (send start → release), for the jitter-buffer
+    /// ablation.
+    pub fn release_latency_ms(&self) -> Option<f64> {
+        self.released_at.map(|t| t.saturating_since(self.send_start).as_millis_f64())
+    }
+
+    /// Fraction of the frame's bytes that arrived.
+    pub fn received_fraction(&self) -> f64 {
+        if self.size_bytes == 0 {
+            return 0.0;
+        }
+        let received: u64 = self.received_ranges.iter().map(|(s, e)| e - s).sum();
+        received as f64 / self.size_bytes as f64
+    }
+}
+
+/// Aggregate statistics over a session.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Per-frame records, in frame order.
+    pub frames: Vec<FrameDeliveryRecord>,
+    /// Total media packets sent.
+    pub media_packets_sent: u64,
+    /// Total retransmission packets sent.
+    pub retransmissions_sent: u64,
+    /// Total FEC packets sent.
+    pub fec_packets_sent: u64,
+    /// Total feedback packets sent on the downlink.
+    pub feedback_packets_sent: u64,
+    /// Total bytes offered to the uplink (media + RTX + FEC).
+    pub uplink_bytes_sent: u64,
+    /// Simulated duration of the session in seconds.
+    pub duration_secs: f64,
+}
+
+impl SessionStats {
+    /// Number of frames that completed.
+    pub fn completed_frames(&self) -> usize {
+        self.frames.iter().filter(|f| f.completed_at.is_some()).count()
+    }
+
+    /// Fraction of frames that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.completed_frames() as f64 / self.frames.len() as f64
+    }
+
+    /// Transmission-latency distribution over completed frames.
+    pub fn transmission_latency(&self) -> LatencyStats {
+        let mut stats = LatencyStats::new();
+        for f in &self.frames {
+            if let Some(ms) = f.transmission_latency_ms() {
+                stats.record_ms(ms);
+            }
+        }
+        stats
+    }
+
+    /// Mean transmission latency in milliseconds over completed frames.
+    pub fn mean_transmission_latency_ms(&self) -> f64 {
+        self.transmission_latency().mean_ms()
+    }
+
+    /// Achieved sending rate over the uplink in bits per second.
+    pub fn uplink_bitrate_bps(&self) -> f64 {
+        if self.duration_secs <= 0.0 {
+            return 0.0;
+        }
+        self.uplink_bytes_sent as f64 * 8.0 / self.duration_secs
+    }
+
+    /// Fraction of sent media packets that needed at least one retransmission.
+    pub fn retransmission_rate(&self) -> f64 {
+        if self.media_packets_sent == 0 {
+            return 0.0;
+        }
+        self.retransmissions_sent as f64 / self.media_packets_sent as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivc_netsim::SimTime;
+
+    fn record(send_ms: u64, complete_ms: Option<u64>, size: u64) -> FrameDeliveryRecord {
+        FrameDeliveryRecord {
+            frame_id: 0,
+            capture_ts_us: 0,
+            size_bytes: size,
+            send_start: SimTime::from_millis(send_ms),
+            completed_at: complete_ms.map(SimTime::from_millis),
+            received_ranges: vec![(0, size / 2)],
+            media_packets: 3,
+            retransmissions: 1,
+            fec_recovered: false,
+            released_at: complete_ms.map(|c| SimTime::from_millis(c + 10)),
+        }
+    }
+
+    #[test]
+    fn latency_metrics() {
+        let r = record(100, Some(145), 4_000);
+        assert_eq!(r.transmission_latency_ms(), Some(45.0));
+        assert_eq!(r.release_latency_ms(), Some(55.0));
+        assert_eq!(r.received_fraction(), 0.5);
+        assert_eq!(record(100, None, 4_000).transmission_latency_ms(), None);
+    }
+
+    #[test]
+    fn aggregate_stats() {
+        let stats = SessionStats {
+            frames: vec![record(0, Some(40), 1_000), record(33, Some(93), 1_000), record(66, None, 1_000)],
+            media_packets_sent: 10,
+            retransmissions_sent: 2,
+            fec_packets_sent: 0,
+            feedback_packets_sent: 3,
+            uplink_bytes_sent: 30_000,
+            duration_secs: 1.0,
+        };
+        assert_eq!(stats.completed_frames(), 2);
+        assert!((stats.completion_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.mean_transmission_latency_ms() - 50.0).abs() < 1e-9);
+        assert_eq!(stats.uplink_bitrate_bps(), 240_000.0);
+        assert_eq!(stats.retransmission_rate(), 0.2);
+    }
+
+    #[test]
+    fn empty_session_is_all_zero() {
+        let stats = SessionStats::default();
+        assert_eq!(stats.completion_rate(), 0.0);
+        assert_eq!(stats.mean_transmission_latency_ms(), 0.0);
+        assert_eq!(stats.uplink_bitrate_bps(), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Video sources: turn a static [`Scene`] into a stream of timestamped [`Frame`]s.
+//!
+//! The paper's capture side runs at the camera's native rate (e.g. 60 FPS, §3.2) while the
+//! MLLM consumes at most 2 FPS — the sampling mismatch illustrated in Figure 2. The source
+//! therefore exposes both an iterator over all captured frames and random access by time,
+//! so the MLLM-side sampler can pick its own (sparser) instants.
+
+use crate::frame::Frame;
+use crate::scene::Scene;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a capture source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceConfig {
+    /// Capture frame rate in frames per second.
+    pub fps: f64,
+    /// Clip duration in seconds.
+    pub duration_secs: f64,
+}
+
+impl SourceConfig {
+    /// A 60 FPS source (the paper's example rate).
+    pub fn fps60(duration_secs: f64) -> Self {
+        Self { fps: 60.0, duration_secs }
+    }
+
+    /// A 30 FPS source (typical RTC camera).
+    pub fn fps30(duration_secs: f64) -> Self {
+        Self { fps: 30.0, duration_secs }
+    }
+
+    /// Number of frames the clip contains.
+    pub fn frame_count(&self) -> u64 {
+        (self.fps * self.duration_secs).floor() as u64
+    }
+
+    /// Frame interval in microseconds.
+    pub fn frame_interval_us(&self) -> u64 {
+        (1_000_000.0 / self.fps).round() as u64
+    }
+}
+
+/// A deterministic video source sampling a [`Scene`].
+#[derive(Debug, Clone)]
+pub struct VideoSource {
+    scene: Scene,
+    config: SourceConfig,
+}
+
+impl VideoSource {
+    /// Creates a source for a scene.
+    pub fn new(scene: Scene, config: SourceConfig) -> Self {
+        assert!(config.fps > 0.0, "fps must be positive");
+        assert!(config.duration_secs > 0.0, "duration must be positive");
+        Self { scene, config }
+    }
+
+    /// The underlying scene.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// The source configuration.
+    pub fn config(&self) -> SourceConfig {
+        self.config
+    }
+
+    /// Number of frames this source will produce.
+    pub fn frame_count(&self) -> u64 {
+        self.config.frame_count()
+    }
+
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.config.duration_secs
+    }
+
+    /// Capture timestamp (µs) of frame `index`.
+    pub fn timestamp_us(&self, index: u64) -> u64 {
+        (index as f64 * 1_000_000.0 / self.config.fps).round() as u64
+    }
+
+    /// Produces the frame with the given index.
+    pub fn frame(&self, index: u64) -> Frame {
+        let ts = self.timestamp_us(index);
+        Frame::sample(&self.scene, index, ts, ts as f64 / 1e6)
+    }
+
+    /// Produces the frame nearest to time `t_secs`.
+    pub fn frame_at(&self, t_secs: f64) -> Frame {
+        let index = ((t_secs * self.config.fps).round() as u64).min(self.frame_count().saturating_sub(1));
+        self.frame(index)
+    }
+
+    /// Iterates over every captured frame, in order.
+    pub fn frames(&self) -> FrameIter<'_> {
+        FrameIter { source: self, next: 0 }
+    }
+
+    /// Iterates over frames sampled at a lower rate (`target_fps`), e.g. the ≤2 FPS an MLLM
+    /// actually processes. Always includes frame 0.
+    pub fn frames_at_fps(&self, target_fps: f64) -> Vec<Frame> {
+        assert!(target_fps > 0.0);
+        let step = (self.config.fps / target_fps).max(1.0);
+        let mut out = Vec::new();
+        let mut i = 0.0_f64;
+        while (i.round() as u64) < self.frame_count() {
+            out.push(self.frame(i.round() as u64));
+            i += step;
+        }
+        out
+    }
+}
+
+/// Iterator over a source's frames.
+pub struct FrameIter<'a> {
+    source: &'a VideoSource,
+    next: u64,
+}
+
+impl Iterator for FrameIter<'_> {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        if self.next >= self.source.frame_count() {
+            return None;
+        }
+        let f = self.source.frame(self.next);
+        self.next += 1;
+        Some(f)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.source.frame_count() - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for FrameIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+    use crate::object::SceneObject;
+
+    fn source() -> VideoSource {
+        let mut s = Scene::new("t", 640, 480);
+        s.add_object(
+            SceneObject::new(1, "ball", Rect::new(0, 0, 64, 64)).with_motion(0.9, (120.0, 60.0)),
+        );
+        VideoSource::new(s, SourceConfig::fps30(2.0))
+    }
+
+    #[test]
+    fn frame_count_and_timestamps() {
+        let src = source();
+        assert_eq!(src.frame_count(), 60);
+        assert_eq!(src.timestamp_us(0), 0);
+        assert_eq!(src.timestamp_us(30), 1_000_000);
+        assert_eq!(src.frames().len(), 60);
+    }
+
+    #[test]
+    fn frames_are_monotone_in_time() {
+        let src = source();
+        let frames: Vec<_> = src.frames().collect();
+        assert!(frames.windows(2).all(|w| w[0].capture_ts_us < w[1].capture_ts_us));
+        assert_eq!(frames.last().unwrap().index, 59);
+    }
+
+    #[test]
+    fn moving_object_changes_position_between_frames() {
+        let src = source();
+        let first = src.frame(0);
+        let later = src.frame(45);
+        assert_ne!(first.placement(1).unwrap().region, later.placement(1).unwrap().region);
+    }
+
+    #[test]
+    fn downsampled_fps_produces_expected_count() {
+        let src = source(); // 30 FPS, 2 s
+        let sampled = src.frames_at_fps(2.0);
+        assert_eq!(sampled.len(), 4); // frames 0, 15, 30, 45
+        assert_eq!(sampled[0].index, 0);
+        assert_eq!(sampled[1].index, 15);
+    }
+
+    #[test]
+    fn frame_at_clamps_to_clip_end() {
+        let src = source();
+        assert_eq!(src.frame_at(100.0).index, 59);
+        assert_eq!(src.frame_at(0.0).index, 0);
+    }
+
+    #[test]
+    fn fps60_config() {
+        let c = SourceConfig::fps60(1.0);
+        assert_eq!(c.frame_count(), 60);
+        assert_eq!(c.frame_interval_us(), 16_667);
+    }
+}

@@ -1,0 +1,236 @@
+//! The CLIP-model facade: text encoder + patch encoder + Eq. 1.
+//!
+//! [`ClipModel::correlation_map`] implements the paper's §3.2 procedure verbatim: partition
+//! the frame into N×N patches, embed each patch with the visual encoder, embed the user
+//! words with the language encoder, and output the cosine similarity ρ_mn per patch.
+
+use crate::embedding::Embedding;
+use crate::importance::ImportanceMap;
+use crate::text::TextQuery;
+use crate::vision::{ConceptSpace, PatchEncoder};
+use aivc_scene::{Frame, GridDims, Ontology};
+use serde::{Deserialize, Serialize};
+
+/// CLIP model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClipConfig {
+    /// Shared embedding dimension `d`.
+    pub dim: usize,
+    /// Patch edge length `N` in pixels.
+    pub patch_size: u32,
+    /// Per-patch visual-encoder compute latency in microseconds on the reference mobile
+    /// device (Mobile-CLIP class models run a 1080p patch grid in a few milliseconds).
+    pub patch_encode_latency_us: f64,
+    /// Text-encoder latency in microseconds.
+    pub text_encode_latency_us: u64,
+    /// Contrastive calibration bias: the typical cosine similarity between *unrelated*
+    /// text/patch pairs, subtracted (and rescaled) before reporting ρ. Raw CLIP similarities
+    /// cluster well above zero even for unrelated pairs; calibrating them keeps Eq. 2 from
+    /// spending bitrate on regions that are merely "scene-typical".
+    pub similarity_bias: f64,
+}
+
+impl ClipConfig {
+    /// The Mobile-CLIP-like configuration used by the paper's prototype (§3.2):
+    /// 64-dimensional shared space, 64-pixel patches.
+    pub fn mobile_clip() -> Self {
+        Self { dim: 64, patch_size: 64, patch_encode_latency_us: 14.0, text_encode_latency_us: 1_500, similarity_bias: 0.22 }
+    }
+
+    /// A finer-grained (more expensive) configuration for the patch-size ablation.
+    pub fn mobile_clip_fine() -> Self {
+        Self { dim: 64, patch_size: 32, patch_encode_latency_us: 14.0, text_encode_latency_us: 1_500, similarity_bias: 0.22 }
+    }
+}
+
+/// The CLIP-like model: ontology-grounded concept space + encoders.
+#[derive(Debug, Clone)]
+pub struct ClipModel {
+    config: ClipConfig,
+    ontology: Ontology,
+    space: ConceptSpace,
+}
+
+impl ClipModel {
+    /// Builds the model over an ontology.
+    pub fn new(config: ClipConfig, ontology: Ontology) -> Self {
+        let space = ConceptSpace::build(&ontology, config.dim);
+        Self { config, ontology, space }
+    }
+
+    /// Builds the model with the standard ontology and Mobile-CLIP configuration.
+    pub fn mobile_default() -> Self {
+        Self::new(ClipConfig::mobile_clip(), Ontology::standard())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ClipConfig {
+        self.config
+    }
+
+    /// The ontology the model is grounded in.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Encodes user words into the shared space — φ_l(T) in Eq. 1.
+    pub fn encode_text(&self, query: &TextQuery) -> Embedding {
+        self.space.pool(&query.concepts)
+    }
+
+    /// Convenience: builds a [`TextQuery`] from raw words and encodes it.
+    pub fn encode_words(&self, words: &str) -> Embedding {
+        self.encode_text(&TextQuery::from_words(words, &self.ontology))
+    }
+
+    /// Computes the per-patch semantic correlation map ρ_mn (Eq. 1) for a frame and query.
+    ///
+    /// An empty query (no recognizable concepts) yields an all-zero map: with nothing to
+    /// anchor on, every region is equally (un)important, and the downstream QP allocator
+    /// degrades gracefully to near-uniform QP.
+    pub fn correlation_map(&self, frame: &Frame, query: &TextQuery) -> ImportanceMap {
+        let dims = GridDims::for_frame(frame.width, frame.height, self.config.patch_size);
+        let text_embedding = self.encode_text(query);
+        if text_embedding.is_zero() {
+            return ImportanceMap::uniform(dims, frame.width, frame.height, 0.0);
+        }
+        let patch_encoder = PatchEncoder::new(&self.space);
+        let bias = self.config.similarity_bias;
+        let mut rho = Vec::with_capacity(dims.len());
+        for row in 0..dims.rows {
+            for col in 0..dims.cols {
+                let rect = dims.cell_rect(row, col, frame.width, frame.height);
+                let patch_embedding = patch_encoder.embed_patch(frame, &rect);
+                let raw = patch_embedding.cosine(&text_embedding);
+                // Contrastive calibration: subtract the unrelated-pair baseline and rescale so
+                // the reported correlation still spans [-1, 1].
+                let calibrated = ((raw - bias) / (1.0 - bias)).clamp(-1.0, 1.0);
+                rho.push(calibrated);
+            }
+        }
+        ImportanceMap::new(dims, frame.width, frame.height, rho)
+    }
+
+    /// Estimated compute latency of one correlation-map evaluation, in microseconds.
+    /// Used by the end-to-end latency budget (the paper's "client-side computation" concern).
+    pub fn inference_latency_us(&self, frame_width: u32, frame_height: u32) -> u64 {
+        let dims = GridDims::for_frame(frame_width, frame_height, self.config.patch_size);
+        self.config.text_encode_latency_us
+            + (dims.len() as f64 * self.config.patch_encode_latency_us).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivc_scene::templates::{basketball_game, dog_park};
+    use aivc_scene::{Rect, SourceConfig, VideoSource};
+
+    fn frame_of(scene: aivc_scene::Scene) -> Frame {
+        VideoSource::new(scene, SourceConfig::fps30(5.0)).frame(0)
+    }
+
+    /// Mean rho of the patches overlapping a rectangle.
+    fn mean_rho_in(map: &ImportanceMap, rect: &Rect) -> f64 {
+        let dims = map.dims();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for row in 0..dims.rows {
+            for col in 0..dims.cols {
+                let cell = dims.cell_rect(row, col, map.width(), map.height());
+                if cell.coverage_by(rect) > 0.5 {
+                    sum += map.get(row, col);
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    #[test]
+    fn score_question_highlights_scoreboard() {
+        let model = ClipModel::mobile_default();
+        let frame = frame_of(basketball_game(1));
+        let query = TextQuery::from_words("Could you tell me the present score of the game?", model.ontology());
+        let map = model.correlation_map(&frame, &query);
+        let scoreboard = frame.placement(1).unwrap().region;
+        let spectators = frame.placement(5).unwrap().region;
+        let background = Rect::new(1600, 950, 256, 128);
+        let rho_board = mean_rho_in(&map, &scoreboard);
+        let rho_crowd = mean_rho_in(&map, &spectators);
+        let rho_bg = mean_rho_in(&map, &background);
+        assert!(rho_board > 0.5, "scoreboard rho {rho_board}");
+        assert!(rho_board > rho_crowd, "scoreboard {rho_board} vs crowd {rho_crowd}");
+        assert!(rho_board > rho_bg + 0.3, "scoreboard {rho_board} vs background {rho_bg}");
+    }
+
+    #[test]
+    fn ear_question_highlights_dog_head_over_grass() {
+        let model = ClipModel::mobile_default();
+        let frame = frame_of(dog_park(1));
+        let query = TextQuery::from_words("Is the dog in the video erect-eared or floppy-eared?", model.ontology());
+        let map = model.correlation_map(&frame, &query);
+        let head = frame.placement(2).unwrap().region;
+        let grass = frame.placement(3).unwrap().region;
+        let rho_head = mean_rho_in(&map, &head);
+        let rho_grass = mean_rho_in(&map, &grass);
+        assert!(rho_head > rho_grass, "head {rho_head} vs grass {rho_grass}");
+    }
+
+    #[test]
+    fn season_question_highlights_grass_via_inference() {
+        // Figure 5's third dialogue: "Infer what season it might be" — no object named
+        // explicitly, yet grass must light up through the grass↔season relation.
+        let model = ClipModel::mobile_default();
+        let frame = frame_of(dog_park(1));
+        let query = TextQuery::from_words("Infer what season it might be in the video", model.ontology());
+        let map = model.correlation_map(&frame, &query);
+        let grass = frame.placement(3).unwrap().region;
+        let dog = frame.placement(1).unwrap().region;
+        let rho_grass = mean_rho_in(&map, &grass);
+        let rho_dog = mean_rho_in(&map, &dog);
+        assert!(rho_grass > rho_dog, "grass {rho_grass} vs dog {rho_dog}");
+        assert!(rho_grass > 0.2, "grass rho {rho_grass}");
+    }
+
+    #[test]
+    fn empty_query_gives_uniform_zero_map() {
+        let model = ClipModel::mobile_default();
+        let frame = frame_of(basketball_game(1));
+        let query = TextQuery::from_words("qqq zzz", model.ontology());
+        let map = model.correlation_map(&frame, &query);
+        assert!(map.values().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn correlations_are_within_eq1_bounds() {
+        let model = ClipModel::mobile_default();
+        let frame = frame_of(basketball_game(2));
+        let query = TextQuery::from_words("What logo is seen on the jersey of the player covering his mouth?", model.ontology());
+        let map = model.correlation_map(&frame, &query);
+        assert!(map.values().iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert_eq!(map.dims().cell, model.config().patch_size);
+    }
+
+    #[test]
+    fn finer_patches_give_finer_grid_and_more_latency() {
+        let coarse = ClipModel::new(ClipConfig::mobile_clip(), Ontology::standard());
+        let fine = ClipModel::new(ClipConfig::mobile_clip_fine(), Ontology::standard());
+        let frame = frame_of(basketball_game(1));
+        let q = TextQuery::from_words("score", coarse.ontology());
+        assert!(fine.correlation_map(&frame, &q).dims().len() > coarse.correlation_map(&frame, &q).dims().len());
+        assert!(fine.inference_latency_us(1920, 1080) > coarse.inference_latency_us(1920, 1080));
+    }
+
+    #[test]
+    fn correlation_map_is_deterministic() {
+        let model = ClipModel::mobile_default();
+        let frame = frame_of(basketball_game(3));
+        let q = TextQuery::from_words("How many spectators can be seen?", model.ontology());
+        assert_eq!(model.correlation_map(&frame, &q), model.correlation_map(&frame, &q));
+    }
+}

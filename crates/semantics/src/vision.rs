@@ -1,0 +1,182 @@
+//! The "visual encoder" side of Eq. 1: patch content → embedding.
+//!
+//! A patch's embedding pools the concept embeddings of the objects covering it, weighted by
+//! how much of the patch each object covers and how strongly the object carries each
+//! concept. Background contributes its own (weak) concepts. The result plays the role of
+//! CLIP's `φ_v(P_mn)` in the paper: patches showing the dog's head embed close to the text
+//! "dog head", patches of empty court embed close to nothing in particular.
+
+use crate::embedding::Embedding;
+use aivc_scene::{Concept, Frame, Ontology, Rect};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Concept-embedding table shared by the text and vision encoders.
+///
+/// `embedding(c) = normalize( Σ_{c'} relatedness(c, c') · base(c') )`, where `base(c')` is a
+/// deterministic pseudo-random unit direction. Related concepts therefore share components
+/// and their embeddings have high cosine similarity, which is exactly the property CLIP's
+/// joint training produces for semantically related text/image content.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConceptSpace {
+    dim: usize,
+    embeddings: BTreeMap<Concept, Embedding>,
+}
+
+impl ConceptSpace {
+    /// Builds the concept space for an ontology.
+    pub fn build(ontology: &Ontology, dim: usize) -> Self {
+        assert!(dim >= 8, "embedding dimension too small to keep concepts separable");
+        let concepts: Vec<Concept> = ontology.concepts().cloned().collect();
+        let bases: BTreeMap<Concept, Embedding> = concepts
+            .iter()
+            .map(|c| (c.clone(), Embedding::seeded_direction(c.name(), dim)))
+            .collect();
+        let mut embeddings = BTreeMap::new();
+        for c in &concepts {
+            let mut acc = Embedding::zeros(dim);
+            for other in &concepts {
+                let w = ontology.relatedness(c, other);
+                if w > 0.0 {
+                    acc.add_scaled(&bases[other], w);
+                }
+            }
+            embeddings.insert(c.clone(), acc.normalized());
+        }
+        Self { dim, embeddings }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding of a concept. Unknown concepts get a deterministic direction of their
+    /// own (they simply will not correlate with anything in the ontology).
+    pub fn concept_embedding(&self, concept: &Concept) -> Embedding {
+        self.embeddings
+            .get(concept)
+            .cloned()
+            .unwrap_or_else(|| Embedding::seeded_direction(concept.name(), self.dim))
+    }
+
+    /// Pools a weighted set of concepts into a single normalized embedding.
+    pub fn pool(&self, concepts: &[(Concept, f64)]) -> Embedding {
+        let mut acc = Embedding::zeros(self.dim);
+        for (c, w) in concepts {
+            if *w <= 0.0 {
+                continue;
+            }
+            acc.add_scaled(&self.concept_embedding(c), *w);
+        }
+        acc.normalized()
+    }
+}
+
+/// Visual patch encoder.
+#[derive(Debug, Clone)]
+pub struct PatchEncoder<'a> {
+    space: &'a ConceptSpace,
+    /// Weight given to background concepts relative to object concepts.
+    background_weight: f64,
+}
+
+impl<'a> PatchEncoder<'a> {
+    /// Creates a patch encoder over a concept space.
+    pub fn new(space: &'a ConceptSpace) -> Self {
+        Self { space, background_weight: 0.25 }
+    }
+
+    /// Embeds the content of `patch` within `frame` — the φ_v(P_mn) of Eq. 1.
+    pub fn embed_patch(&self, frame: &Frame, patch: &Rect) -> Embedding {
+        let content = frame.region_content(patch);
+        let mut weighted: Vec<(Concept, f64)> = Vec::new();
+        for (object_id, coverage) in &content.object_coverage {
+            let Some(obj) = frame.object(*object_id) else { continue };
+            for (concept, concept_weight) in &obj.concepts {
+                weighted.push((concept.clone(), coverage * concept_weight));
+            }
+        }
+        for (concept, w) in &frame.background_concepts {
+            weighted.push((concept.clone(), content.background_fraction * w * self.background_weight));
+        }
+        self.space.pool(&weighted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivc_scene::templates::{basketball_game, dog_park};
+    use aivc_scene::{SourceConfig, VideoSource};
+
+    fn space() -> ConceptSpace {
+        ConceptSpace::build(&Ontology::standard(), 64)
+    }
+
+    #[test]
+    fn concept_embeddings_are_unit_norm_and_deterministic() {
+        let s1 = space();
+        let s2 = space();
+        for c in Ontology::standard().concepts() {
+            let e1 = s1.concept_embedding(c);
+            let e2 = s2.concept_embedding(c);
+            assert_eq!(e1, e2);
+            assert!((e1.norm() - 1.0).abs() < 1e-9, "{c}");
+        }
+    }
+
+    #[test]
+    fn related_concepts_have_higher_cosine_than_unrelated() {
+        let s = space();
+        let sim = |a: &str, b: &str| {
+            s.concept_embedding(&Concept::new(a)).cosine(&s.concept_embedding(&Concept::new(b)))
+        };
+        assert!(sim("scoreboard", "score") > 0.6);
+        assert!(sim("dog", "dog-head") > 0.6);
+        assert!(sim("grass", "season") > 0.25);
+        assert!(sim("dog", "scoreboard") < 0.35);
+        assert!(sim("scoreboard", "score") > sim("scoreboard", "grass"));
+    }
+
+    #[test]
+    fn patch_over_object_embeds_close_to_object_concept() {
+        let s = space();
+        let frame = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0)).frame(0);
+        let enc = PatchEncoder::new(&s);
+        // The scoreboard occupies (60, 40, 420, 110).
+        let on_scoreboard = enc.embed_patch(&frame, &Rect::new(100, 60, 64, 64));
+        let on_background = enc.embed_patch(&frame, &Rect::new(1700, 900, 64, 64));
+        let scoreboard_concept = s.concept_embedding(&Concept::new("scoreboard"));
+        let sim_on = on_scoreboard.cosine(&scoreboard_concept);
+        let sim_off = on_background.cosine(&scoreboard_concept);
+        assert!(sim_on > 0.6, "on-scoreboard similarity {sim_on}");
+        // The empty court background still carries basketball-game context, so it is not
+        // orthogonal to "scoreboard" — but it must be clearly less similar than the patch
+        // that actually shows the scoreboard.
+        assert!(sim_on > sim_off + 0.25, "on {sim_on} vs off {sim_off}");
+    }
+
+    #[test]
+    fn empty_patch_embeds_to_background_only() {
+        let s = space();
+        let frame = VideoSource::new(dog_park(1), SourceConfig::fps30(5.0)).frame(0);
+        let enc = PatchEncoder::new(&s);
+        let sky_patch = enc.embed_patch(&frame, &Rect::new(900, 10, 64, 64));
+        // It should still be a unit vector (background concepts), not zero.
+        assert!((sky_patch.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_of_nothing_is_zero() {
+        let s = space();
+        assert!(s.pool(&[]).is_zero());
+    }
+
+    #[test]
+    fn unknown_concept_still_gets_an_embedding() {
+        let s = space();
+        let e = s.concept_embedding(&Concept::new("totally-novel-thing"));
+        assert!((e.norm() - 1.0).abs() < 1e-9);
+    }
+}

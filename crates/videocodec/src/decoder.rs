@@ -1,0 +1,284 @@
+//! The decoder: encoded frame + received byte ranges → per-block decoded quality.
+//!
+//! The decoder's job in this simulator is bookkeeping rather than pixel reconstruction: a
+//! block that arrived intact keeps its encoded recognition quality, a block that did not is
+//! concealed at a much lower quality. The result, a [`DecodedFrame`], is what the MLLM
+//! simulator "sees".
+
+use crate::frame::{EncodedFrame, FrameType};
+use crate::qp::Qp;
+use crate::rd::RdModel;
+use aivc_scene::{GridDims, Rect};
+use serde::{Deserialize, Serialize};
+
+/// One decoded block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodedBlock {
+    /// Flat raster index.
+    pub index: usize,
+    /// Whether the block's bytes all arrived.
+    pub received: bool,
+    /// The QP the block was encoded with (meaningful even when the block was lost).
+    pub qp: Qp,
+    /// Recognition quality after decode (encoded quality if received, concealment quality
+    /// otherwise).
+    pub quality: f64,
+    /// Detail requirement of the block's content.
+    pub detail: f64,
+    /// Object coverage, copied from the encoded block.
+    pub object_coverage: Vec<(u32, f64)>,
+}
+
+/// A decoded frame, the MLLM-facing representation of what survived encoding + transport.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodedFrame {
+    /// Source frame index.
+    pub frame_index: u64,
+    /// Capture timestamp in microseconds (drives MLLM positional encoding).
+    pub capture_ts_us: u64,
+    /// Time the frame became fully available at the receiver, in microseconds of simulated
+    /// time (`None` when decoded offline, e.g. in benchmark preprocessing).
+    pub received_at_us: Option<u64>,
+    /// Frame type.
+    pub frame_type: FrameType,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Block grid edge length.
+    pub block_size: u32,
+    /// Decoded blocks in raster order.
+    pub blocks: Vec<DecodedBlock>,
+}
+
+impl DecodedFrame {
+    /// The block grid of this frame.
+    pub fn grid(&self) -> GridDims {
+        GridDims::for_frame(self.width, self.height, self.block_size)
+    }
+
+    /// Mean decoded quality over all blocks.
+    pub fn mean_quality(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks.iter().map(|b| b.quality).sum::<f64>() / self.blocks.len() as f64
+    }
+
+    /// Fraction of blocks that arrived intact.
+    pub fn received_fraction(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks.iter().filter(|b| b.received).count() as f64 / self.blocks.len() as f64
+    }
+
+    /// Area-weighted mean decoded quality of the blocks overlapping `region`.
+    pub fn region_quality(&self, region: &Rect) -> f64 {
+        let grid = self.grid();
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for row in 0..grid.rows {
+            for col in 0..grid.cols {
+                let cell = grid.cell_rect(row, col, self.width, self.height);
+                let overlap = cell.intersect(region).area() as f64;
+                if overlap > 0.0 {
+                    let idx = grid.index(row, col);
+                    weighted += overlap * self.blocks[idx].quality;
+                    weight += overlap;
+                }
+            }
+        }
+        if weight == 0.0 {
+            0.0
+        } else {
+            weighted / weight
+        }
+    }
+
+    /// Question-conditioned decoded quality of the blocks covering an object.
+    ///
+    /// Unlike [`DecodedFrame::object_quality`] (which scores the block against its *content's*
+    /// detail level), this asks: "how well would content requiring `detail` of fine detail be
+    /// perceived from these blocks?" — the quantity the MLLM accuracy model needs, because a
+    /// coarse question about a detailed object is still easy at high QP.
+    pub fn object_quality_for_detail(
+        &self,
+        object_id: u32,
+        min_cover: f64,
+        detail: f64,
+        rd: &RdModel,
+    ) -> Option<f64> {
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for b in &self.blocks {
+            if let Some((_, frac)) = b.object_coverage.iter().find(|(id, f)| *id == object_id && *f >= min_cover) {
+                let q = if b.received { rd.block_quality(b.qp, detail) } else { rd.concealment_quality(detail) };
+                weighted += frac * q;
+                weight += frac;
+            }
+        }
+        if weight == 0.0 {
+            None
+        } else {
+            Some(weighted / weight)
+        }
+    }
+
+    /// Question-conditioned mean quality over the whole frame (see
+    /// [`DecodedFrame::object_quality_for_detail`]).
+    pub fn mean_quality_for_detail(&self, detail: f64, rd: &RdModel) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks
+            .iter()
+            .map(|b| if b.received { rd.block_quality(b.qp, detail) } else { rd.concealment_quality(detail) })
+            .sum::<f64>()
+            / self.blocks.len() as f64
+    }
+
+    /// Mean decoded quality of the blocks covering a given object (coverage ≥ `min_cover`),
+    /// or `None` when the object is not visible in this frame.
+    pub fn object_quality(&self, object_id: u32, min_cover: f64) -> Option<f64> {
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for b in &self.blocks {
+            if let Some((_, frac)) = b.object_coverage.iter().find(|(id, f)| *id == object_id && *f >= min_cover) {
+                weighted += frac * b.quality;
+                weight += frac;
+            }
+        }
+        if weight == 0.0 {
+            None
+        } else {
+            Some(weighted / weight)
+        }
+    }
+}
+
+/// The decoder.
+#[derive(Debug, Clone, Default)]
+pub struct Decoder {
+    rd: RdModel,
+}
+
+impl Decoder {
+    /// Creates a decoder with the default R-D model (used only for concealment quality).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes a frame that arrived completely (no transport loss).
+    pub fn decode_complete(&self, encoded: &EncodedFrame, received_at_us: Option<u64>) -> DecodedFrame {
+        let total = encoded.total_bytes();
+        self.decode_with_received(encoded, &[(0, total)], received_at_us)
+    }
+
+    /// Decodes a frame given the byte ranges that actually arrived.
+    ///
+    /// `received` must be sorted by start offset and non-overlapping (the RTC depacketizer
+    /// produces it in that form).
+    pub fn decode_with_received(
+        &self,
+        encoded: &EncodedFrame,
+        received: &[(u64, u64)],
+        received_at_us: Option<u64>,
+    ) -> DecodedFrame {
+        let covered = encoded.blocks_covered_by(received);
+        let blocks = encoded
+            .blocks
+            .iter()
+            .zip(covered)
+            .map(|(b, ok)| DecodedBlock {
+                index: b.index,
+                received: ok,
+                qp: b.qp,
+                quality: if ok { b.encoded_quality } else { self.rd.concealment_quality(b.detail) },
+                detail: b.detail,
+                object_coverage: b.object_coverage.clone(),
+            })
+            .collect();
+        DecodedFrame {
+            frame_index: encoded.frame_index,
+            capture_ts_us: encoded.capture_ts_us,
+            received_at_us,
+            frame_type: encoded.frame_type,
+            width: encoded.width,
+            height: encoded.height,
+            block_size: encoded.block_size,
+            blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig};
+    use crate::qp::Qp;
+    use aivc_scene::templates::basketball_game;
+    use aivc_scene::{SourceConfig, VideoSource};
+
+    fn encoded() -> EncodedFrame {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(10.0));
+        Encoder::new(EncoderConfig::default()).encode_uniform(&source.frame(0), Qp::new(30))
+    }
+
+    #[test]
+    fn complete_decode_preserves_encoded_quality() {
+        let e = encoded();
+        let d = Decoder::new().decode_complete(&e, Some(123));
+        assert_eq!(d.blocks.len(), e.blocks.len());
+        assert_eq!(d.received_fraction(), 1.0);
+        assert!((d.mean_quality() - e.mean_encoded_quality()).abs() < 1e-12);
+        assert_eq!(d.received_at_us, Some(123));
+    }
+
+    #[test]
+    fn missing_bytes_reduce_quality() {
+        let e = encoded();
+        let half = e.total_bytes() / 2;
+        let d = Decoder::new().decode_with_received(&e, &[(0, half)], None);
+        assert!(d.received_fraction() < 1.0);
+        assert!(d.mean_quality() < e.mean_encoded_quality());
+    }
+
+    #[test]
+    fn region_quality_reflects_localized_loss() {
+        let e = encoded();
+        // Drop the last third of the bitstream: the bottom rows of the frame lose quality,
+        // the top row does not.
+        let cutoff = e.total_bytes() * 2 / 3;
+        let d = Decoder::new().decode_with_received(&e, &[(0, cutoff)], None);
+        let top = d.region_quality(&Rect::new(0, 0, e.width, 64));
+        let bottom = d.region_quality(&Rect::new(0, e.height as i64 - 64, e.width, 64));
+        assert!(top > bottom, "top {top} bottom {bottom}");
+    }
+
+    #[test]
+    fn object_quality_found_for_visible_objects() {
+        let e = encoded();
+        let d = Decoder::new().decode_complete(&e, None);
+        // Object 1 is the scoreboard in the basketball template.
+        let q = d.object_quality(1, 0.05);
+        assert!(q.is_some());
+        assert!(q.unwrap() > 0.0);
+        assert!(d.object_quality(9_999, 0.05).is_none());
+    }
+
+    #[test]
+    fn empty_received_set_conceals_everything() {
+        let e = encoded();
+        let d = Decoder::new().decode_with_received(&e, &[], None);
+        assert_eq!(d.received_fraction(), 0.0);
+        assert!(d.mean_quality() < 0.3);
+    }
+
+    #[test]
+    fn region_quality_outside_frame_is_zero() {
+        let e = encoded();
+        let d = Decoder::new().decode_complete(&e, None);
+        assert_eq!(d.region_quality(&Rect::new(100_000, 100_000, 10, 10)), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! The encoder: scene frame + QP map → [`EncodedFrame`].
+//!
+//! Mirrors the knobs the paper actually turns on Kvazaar: CTU size, GOP structure, a preset
+//! efficiency factor (medium vs slower), and — crucially — an externally supplied per-CTU QP
+//! map (Kvazaar's `--roi` style control) which is how Context-Aware Video Streaming injects
+//! its CLIP-informed allocation (§3.2).
+
+use crate::frame::{EncodedBlock, EncodedFrame};
+use crate::gop::GopStructure;
+use crate::qp::{Qp, QpMap};
+use crate::rd::RdModel;
+use aivc_scene::{Frame, GridDims};
+use serde::{Deserialize, Serialize};
+
+/// Encoder speed preset. Slower presets squeeze more quality out of each bit, which the
+/// paper's "Client-side computation" discussion proposes as a fairness ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Preset {
+    /// Fast preset: ~15 % worse compression than medium.
+    Fast,
+    /// The default used in the paper's experiments.
+    Medium,
+    /// Slower preset: ~12 % better compression than medium.
+    Slower,
+}
+
+impl Preset {
+    /// Multiplier applied to every block's bit cost.
+    pub fn rate_factor(self) -> f64 {
+        match self {
+            Preset::Fast => 1.15,
+            Preset::Medium => 1.0,
+            Preset::Slower => 0.88,
+        }
+    }
+
+    /// Encoding compute cost relative to medium (used by the latency budget accounting).
+    pub fn compute_factor(self) -> f64 {
+        match self {
+            Preset::Fast => 0.55,
+            Preset::Medium => 1.0,
+            Preset::Slower => 2.6,
+        }
+    }
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// CTU edge length in pixels (64 is HEVC's default).
+    pub block_size: u32,
+    /// GOP structure.
+    pub gop: GopStructure,
+    /// Speed preset.
+    pub preset: Preset,
+    /// Per-frame header overhead in bytes (SPS/PPS amortized + slice headers).
+    pub header_bytes: u32,
+    /// Per-frame encode latency on the reference device at medium preset, in microseconds
+    /// (1080p hardware-assisted encode is a few milliseconds).
+    pub base_encode_latency_us: u64,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 64,
+            gop: GopStructure::default(),
+            preset: Preset::Medium,
+            header_bytes: 120,
+            base_encode_latency_us: 4_000,
+        }
+    }
+}
+
+/// The encoder.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    config: EncoderConfig,
+    rd: RdModel,
+}
+
+impl Encoder {
+    /// Creates an encoder with the default R-D model.
+    pub fn new(config: EncoderConfig) -> Self {
+        Self { config, rd: RdModel::default() }
+    }
+
+    /// Creates an encoder with an explicit R-D model (used by calibration tests).
+    pub fn with_rd_model(config: EncoderConfig, rd: RdModel) -> Self {
+        Self { config, rd }
+    }
+
+    /// The encoder configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// The R-D model in use.
+    pub fn rd_model(&self) -> &RdModel {
+        &self.rd
+    }
+
+    /// The CTU grid an encode of `frame` will use.
+    pub fn grid_for(&self, frame: &Frame) -> GridDims {
+        GridDims::for_frame(frame.width, frame.height, self.config.block_size)
+    }
+
+    /// Per-frame encode latency for this configuration, in microseconds.
+    pub fn encode_latency_us(&self) -> u64 {
+        (self.config.base_encode_latency_us as f64 * self.config.preset.compute_factor()).round() as u64
+    }
+
+    /// Encodes a frame with a per-CTU QP map. The map's grid must match [`Encoder::grid_for`].
+    pub fn encode_with_qp_map(&self, frame: &Frame, qp_map: &QpMap) -> EncodedFrame {
+        let dims = self.grid_for(frame);
+        assert_eq!(qp_map.dims(), dims, "QP map grid does not match frame grid");
+        let frame_type = self.config.gop.frame_type(frame.index);
+        let preset_factor = self.config.preset.rate_factor();
+
+        let mut blocks = Vec::with_capacity(dims.len());
+        let mut offset = self.config.header_bytes as u64;
+        for row in 0..dims.rows {
+            for col in 0..dims.cols {
+                let idx = dims.index(row, col);
+                let rect = dims.cell_rect(row, col, frame.width, frame.height);
+                let content = frame.region_content(&rect);
+                let qp = qp_map.get_index(idx);
+                let bits = self.rd.block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
+                let bytes = (((bits as f64 * preset_factor) / 8.0).ceil() as u32).max(1);
+                let quality = self.rd.block_quality(qp, content.detail);
+                blocks.push(EncodedBlock {
+                    index: idx,
+                    byte_offset: offset,
+                    byte_len: bytes,
+                    qp,
+                    encoded_quality: quality,
+                    detail: content.detail,
+                    complexity: content.complexity,
+                    motion: content.motion,
+                    object_coverage: content.object_coverage.clone(),
+                });
+                offset += bytes as u64;
+            }
+        }
+        EncodedFrame {
+            frame_index: frame.index,
+            capture_ts_us: frame.capture_ts_us,
+            frame_type,
+            width: frame.width,
+            height: frame.height,
+            block_size: self.config.block_size,
+            grid_cols: dims.cols,
+            grid_rows: dims.rows,
+            blocks,
+            header_bytes: self.config.header_bytes,
+        }
+    }
+
+    /// Encodes a frame at a single, uniform QP (the context-agnostic baseline).
+    pub fn encode_uniform(&self, frame: &Frame, qp: Qp) -> EncodedFrame {
+        let dims = self.grid_for(frame);
+        self.encode_with_qp_map(frame, &QpMap::uniform(dims, qp))
+    }
+
+    /// Predicted size in bytes of encoding `frame` at uniform `qp` — identical math to
+    /// [`Encoder::encode_uniform`] but without building the block list. Used by rate control.
+    pub fn predict_uniform_size(&self, frame: &Frame, qp: Qp) -> u64 {
+        let dims = self.grid_for(frame);
+        let frame_type = self.config.gop.frame_type(frame.index);
+        let preset_factor = self.config.preset.rate_factor();
+        let mut total = self.config.header_bytes as u64;
+        for row in 0..dims.rows {
+            for col in 0..dims.cols {
+                let rect = dims.cell_rect(row, col, frame.width, frame.height);
+                let content = frame.region_content(&rect);
+                let bits = self.rd.block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
+                total += (((bits as f64 * preset_factor) / 8.0).ceil() as u64).max(1);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameType;
+    use aivc_scene::templates::basketball_game;
+    use aivc_scene::{SourceConfig, VideoSource};
+
+    fn test_frame() -> Frame {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(10.0));
+        source.frame(0)
+    }
+
+    #[test]
+    fn encode_produces_one_block_per_grid_cell() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let frame = test_frame();
+        let dims = enc.grid_for(&frame);
+        let encoded = enc.encode_uniform(&frame, Qp::new(32));
+        assert_eq!(encoded.blocks.len(), dims.len());
+        assert_eq!(encoded.grid_cols, dims.cols);
+        assert_eq!(encoded.grid_rows, dims.rows);
+    }
+
+    #[test]
+    fn block_offsets_are_contiguous() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let encoded = enc.encode_uniform(&test_frame(), Qp::new(32));
+        let mut expected = encoded.header_bytes as u64;
+        for b in &encoded.blocks {
+            assert_eq!(b.byte_offset, expected);
+            expected += b.byte_len as u64;
+        }
+        assert_eq!(encoded.total_bytes(), expected);
+    }
+
+    #[test]
+    fn higher_qp_means_smaller_frame_and_lower_quality() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let frame = test_frame();
+        let q20 = enc.encode_uniform(&frame, Qp::new(20));
+        let q40 = enc.encode_uniform(&frame, Qp::new(40));
+        assert!(q20.total_bytes() > q40.total_bytes() * 3);
+        assert!(q20.mean_encoded_quality() > q40.mean_encoded_quality());
+    }
+
+    #[test]
+    fn intra_frame_is_larger_than_inter_frame() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(10.0));
+        let intra = enc.encode_uniform(&source.frame(0), Qp::new(32));
+        let inter = enc.encode_uniform(&source.frame(1), Qp::new(32));
+        assert_eq!(intra.frame_type, FrameType::Intra);
+        assert_eq!(inter.frame_type, FrameType::Inter);
+        assert!(intra.total_bytes() > inter.total_bytes() * 2);
+    }
+
+    #[test]
+    fn roi_qp_map_shifts_bits_not_total() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let frame = test_frame();
+        let dims = enc.grid_for(&frame);
+        // Build a map: left half QP 24 (good), right half QP 45 (poor).
+        let mut map = QpMap::uniform(dims, Qp::new(45));
+        for row in 0..dims.rows {
+            for col in 0..dims.cols / 2 {
+                map.set(row, col, Qp::new(24));
+            }
+        }
+        let roi = enc.encode_with_qp_map(&frame, &map);
+        let uniform = enc.encode_uniform(&frame, Qp::new(32));
+        // Left-half blocks should hold far more bytes than right-half blocks.
+        let left: u64 = roi.blocks.iter().filter(|b| (b.index as u32 % dims.cols) < dims.cols / 2).map(|b| b.byte_len as u64).sum();
+        let right: u64 = roi.blocks.iter().filter(|b| (b.index as u32 % dims.cols) >= dims.cols / 2).map(|b| b.byte_len as u64).sum();
+        assert!(left > right * 4, "left {left} right {right}");
+        // And total size should land in the same order of magnitude as the uniform encode.
+        let ratio = roi.total_bytes() as f64 / uniform.total_bytes() as f64;
+        assert!(ratio > 0.4 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn predict_uniform_size_matches_actual_encode() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let frame = test_frame();
+        for qp in [20, 32, 45] {
+            let predicted = enc.predict_uniform_size(&frame, Qp::new(qp));
+            let actual = enc.encode_uniform(&frame, Qp::new(qp)).total_bytes();
+            assert_eq!(predicted, actual, "qp {qp}");
+        }
+    }
+
+    #[test]
+    fn slower_preset_is_smaller_and_costlier() {
+        let medium = Encoder::new(EncoderConfig::default());
+        let slower = Encoder::new(EncoderConfig { preset: Preset::Slower, ..EncoderConfig::default() });
+        let frame = test_frame();
+        assert!(slower.encode_uniform(&frame, Qp::new(32)).total_bytes() < medium.encode_uniform(&frame, Qp::new(32)).total_bytes());
+        assert!(slower.encode_latency_us() > medium.encode_latency_us());
+    }
+
+    #[test]
+    fn capture_timestamp_is_propagated() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(10.0));
+        let frame = source.frame(17);
+        let encoded = enc.encode_uniform(&frame, Qp::new(32));
+        assert_eq!(encoded.capture_ts_us, frame.capture_ts_us);
+        assert_eq!(encoded.frame_index, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_qp_map_rejected() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let frame = test_frame();
+        let wrong = QpMap::uniform(GridDims::for_frame(64, 64, 64), Qp::new(30));
+        let _ = enc.encode_with_qp_map(&frame, &wrong);
+    }
+}

@@ -1,0 +1,41 @@
+//! # aivc-videocodec — a block-based video codec simulator with region-wise QP control
+//!
+//! The paper encodes with Kvazaar (H.265) and controls the Quantization Parameter (QP) of
+//! individual regions to implement Context-Aware Video Streaming (§3.2, Eq. 2). Running a
+//! real HEVC encoder is outside this environment's scope, so this crate provides a codec
+//! **simulator** that preserves the properties the paper's argument actually relies on:
+//!
+//! * bits per block are a *monotone decreasing, roughly exponential* function of QP
+//!   (halving every ~6 QP steps, the standard HEVC rule of thumb);
+//! * bits grow with spatial complexity and motion; intra frames cost several times more
+//!   than inter frames;
+//! * decoded quality is a *monotone decreasing* function of QP, and detail-rich content
+//!   loses "recognizability" at lower QP than flat content;
+//! * per-region (CTU) QP maps shift bits between regions at ~constant total bitrate;
+//! * rate control hits a target bitrate only approximately, so the paper's trial-and-error
+//!   bitrate matching is reproduced explicitly ([`ratecontrol::match_bitrate_qp`]).
+//!
+//! The encoder consumes [`aivc_scene::Frame`] content descriptors and produces
+//! [`EncodedFrame`]s whose blocks carry everything downstream consumers need (bytes, QP,
+//! decoded quality, object coverage), so the decoder and the MLLM simulator never have to
+//! reach back into the scene.
+
+pub mod decoder;
+pub mod encoder;
+pub mod frame;
+pub mod gop;
+pub mod qp;
+pub mod quality;
+pub mod ratecontrol;
+pub mod rd;
+pub mod transcode;
+
+pub use decoder::{DecodedBlock, DecodedFrame, Decoder};
+pub use encoder::{Encoder, EncoderConfig};
+pub use frame::{EncodedBlock, EncodedFrame, FrameType};
+pub use gop::GopStructure;
+pub use qp::{Qp, QpMap};
+pub use quality::{frame_quality, region_quality};
+pub use ratecontrol::{match_bitrate_qp, RateController, RateControllerConfig};
+pub use rd::RdModel;
+pub use transcode::{transcode_clip, TranscodeSummary};

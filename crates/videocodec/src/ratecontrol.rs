@@ -1,0 +1,277 @@
+//! Rate control: choosing QPs so a stream hits a target bitrate.
+//!
+//! Two mechanisms, matching how the paper's pipeline actually worked:
+//!
+//! * [`RateController`] — an online CBR-style controller (Kvazaar's `--bitrate` mode): it
+//!   tracks a virtual buffer of produced-vs-budgeted bits and nudges the base QP frame by
+//!   frame. Like the real thing, it only *approximately* hits the target.
+//! * [`match_bitrate_qp`] — the offline "trial-and-error" search the authors describe in
+//!   §3.2's footnote: given a set of frames and a byte budget, binary-search the uniform QP
+//!   (or a QP offset on top of an arbitrary base map) whose actual encoded size best matches
+//!   the budget. This is what makes the Figure 9 comparison fair (ours vs baseline at
+//!   matched actual bitrates).
+
+use crate::encoder::Encoder;
+use crate::frame::EncodedFrame;
+use crate::qp::{Qp, QpMap, QP_MAX, QP_MIN};
+use aivc_scene::Frame;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the online rate controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateControllerConfig {
+    /// Target bitrate in bits per second.
+    pub target_bitrate_bps: f64,
+    /// Frame rate in frames per second.
+    pub fps: f64,
+    /// Initial base QP.
+    pub initial_qp: Qp,
+    /// Proportional gain: QP steps applied per 100 % of per-frame budget error.
+    pub gain: f64,
+    /// Maximum QP change between consecutive frames (temporal stability guard; the paper
+    /// notes AI receivers do not need this guard, so ablations set it high).
+    pub max_qp_step: i32,
+}
+
+impl RateControllerConfig {
+    /// A reasonable default controller for the given bitrate/frame rate.
+    pub fn new(target_bitrate_bps: f64, fps: f64) -> Self {
+        Self {
+            target_bitrate_bps,
+            fps,
+            initial_qp: Qp::new(34),
+            gain: 6.0,
+            max_qp_step: 4,
+        }
+    }
+}
+
+/// Online rate controller state.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    config: RateControllerConfig,
+    current_qp: Qp,
+    /// Virtual buffer: positive when we have produced more bits than budgeted.
+    buffer_bits: f64,
+}
+
+impl RateController {
+    /// Creates a controller.
+    pub fn new(config: RateControllerConfig) -> Self {
+        Self { config, current_qp: config.initial_qp, buffer_bits: 0.0 }
+    }
+
+    /// Bits budgeted per frame.
+    pub fn per_frame_budget_bits(&self) -> f64 {
+        self.config.target_bitrate_bps / self.config.fps
+    }
+
+    /// The QP to use for the next frame.
+    pub fn next_qp(&self) -> Qp {
+        self.current_qp
+    }
+
+    /// Reports the actual size of the frame just encoded and updates the controller.
+    pub fn on_frame_encoded(&mut self, encoded_bits: u64) {
+        let budget = self.per_frame_budget_bits();
+        self.buffer_bits += encoded_bits as f64 - budget;
+        // Leak the buffer slowly so a single oversized intra frame does not dominate forever.
+        self.buffer_bits *= 0.92;
+        let error_fraction = self.buffer_bits / budget.max(1.0);
+        let delta = (error_fraction * self.config.gain)
+            .clamp(-(self.config.max_qp_step as f64), self.config.max_qp_step as f64);
+        self.current_qp = self.current_qp.offset(delta.round() as i32);
+    }
+
+    /// Current virtual-buffer occupancy in bits (positive = over budget).
+    pub fn buffer_bits(&self) -> f64 {
+        self.buffer_bits
+    }
+}
+
+/// Result of the offline trial-and-error bitrate matching.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitrateMatch {
+    /// The uniform QP (or QP offset) selected.
+    pub qp_or_offset: i32,
+    /// Actual mean bitrate achieved over the probe frames, in bits per second.
+    pub achieved_bitrate_bps: f64,
+    /// Number of encode trials performed (the paper notes this is what made their
+    /// experiments slow).
+    pub trials: u32,
+}
+
+/// Finds the uniform QP whose encoded size best matches `target_bitrate_bps` over `frames`,
+/// by binary search (bits are monotone in QP). Returns the chosen QP and the achieved rate.
+pub fn match_bitrate_qp(encoder: &Encoder, frames: &[Frame], fps: f64, target_bitrate_bps: f64) -> BitrateMatch {
+    assert!(!frames.is_empty(), "need at least one probe frame");
+    let measure = |qp: Qp| -> f64 {
+        let total_bits: u64 = frames.iter().map(|f| encoder.predict_uniform_size(f, qp) * 8).sum();
+        total_bits as f64 / frames.len() as f64 * fps
+    };
+    let mut lo = QP_MIN as i32;
+    let mut hi = QP_MAX as i32;
+    let mut trials = 0;
+    // Bits decrease with QP: if even QP_MIN is below target, or QP_MAX above, clamp.
+    let mut best = (QP_MAX as i32, measure(Qp::new(QP_MAX as i32)));
+    trials += 1;
+    if best.1 > target_bitrate_bps {
+        return BitrateMatch { qp_or_offset: best.0, achieved_bitrate_bps: best.1, trials };
+    }
+    while lo <= hi {
+        let mid = (lo + hi) / 2;
+        let rate = measure(Qp::new(mid));
+        trials += 1;
+        if (rate - target_bitrate_bps).abs() < (best.1 - target_bitrate_bps).abs() {
+            best = (mid, rate);
+        }
+        if rate > target_bitrate_bps {
+            lo = mid + 1; // too many bits -> raise QP
+        } else {
+            hi = mid - 1;
+        }
+    }
+    BitrateMatch { qp_or_offset: best.0, achieved_bitrate_bps: best.1, trials }
+}
+
+/// Finds a uniform QP *offset* applied on top of `base_map` so the resulting encode of
+/// `frames` best matches `target_bitrate_bps`. This is how the context-aware stream is
+/// brought to the same actual bitrate as the baseline (Figure 9's matched pairs).
+pub fn match_bitrate_offset(
+    encoder: &Encoder,
+    frames: &[(Frame, QpMap)],
+    fps: f64,
+    target_bitrate_bps: f64,
+) -> BitrateMatch {
+    assert!(!frames.is_empty(), "need at least one probe frame");
+    let measure = |offset: i32| -> f64 {
+        let total_bits: u64 = frames
+            .iter()
+            .map(|(f, map)| encoder.encode_with_qp_map(f, &map.offset_all(offset)).total_bits())
+            .sum();
+        total_bits as f64 / frames.len() as f64 * fps
+    };
+    let mut lo = -(QP_MAX as i32);
+    let mut hi = QP_MAX as i32;
+    let mut trials = 0;
+    let mut best = (0, measure(0));
+    trials += 1;
+    while lo <= hi {
+        let mid = (lo + hi) / 2;
+        let rate = measure(mid);
+        trials += 1;
+        if (rate - target_bitrate_bps).abs() < (best.1 - target_bitrate_bps).abs() {
+            best = (mid, rate);
+        }
+        if rate > target_bitrate_bps {
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    BitrateMatch { qp_or_offset: best.0, achieved_bitrate_bps: best.1, trials }
+}
+
+/// Convenience: mean bitrate in bits per second of a sequence of encoded frames at `fps`.
+pub fn mean_bitrate_bps(frames: &[EncodedFrame], fps: f64) -> f64 {
+    if frames.is_empty() {
+        return 0.0;
+    }
+    let total_bits: u64 = frames.iter().map(|f| f.total_bits()).sum();
+    total_bits as f64 / frames.len() as f64 * fps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderConfig;
+    use aivc_scene::templates::{basketball_game, lecture_slides};
+    use aivc_scene::{SourceConfig, VideoSource};
+
+    fn frames(n: u64) -> Vec<Frame> {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(10.0));
+        (0..n).map(|i| source.frame(i)).collect()
+    }
+
+    #[test]
+    fn controller_converges_to_target_bitrate() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let target = 1_500_000.0; // 1.5 Mbps
+        let mut rc = RateController::new(RateControllerConfig::new(target, 30.0));
+        let source = VideoSource::new(basketball_game(2), SourceConfig::fps30(20.0));
+        let mut encoded = Vec::new();
+        for i in 0..300 {
+            let f = source.frame(i);
+            let e = enc.encode_uniform(&f, rc.next_qp());
+            rc.on_frame_encoded(e.total_bits());
+            encoded.push(e);
+        }
+        // Ignore the first 60 frames (convergence), then check the achieved rate.
+        let steady = &encoded[60..];
+        let rate = mean_bitrate_bps(steady, 30.0);
+        assert!(
+            (rate - target).abs() / target < 0.35,
+            "achieved {rate} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn controller_tracks_lower_targets_with_higher_qp() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let source = VideoSource::new(basketball_game(3), SourceConfig::fps30(20.0));
+        let final_qp_for = |target: f64| {
+            let mut rc = RateController::new(RateControllerConfig::new(target, 30.0));
+            for i in 0..150 {
+                let e = enc.encode_uniform(&source.frame(i), rc.next_qp());
+                rc.on_frame_encoded(e.total_bits());
+            }
+            rc.next_qp().value()
+        };
+        assert!(final_qp_for(400_000.0) > final_qp_for(4_000_000.0));
+    }
+
+    #[test]
+    fn match_bitrate_qp_hits_target_within_one_step() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let probe = frames(30);
+        for target in [400_000.0, 850_000.0, 2_000_000.0, 6_000_000.0] {
+            let m = match_bitrate_qp(&enc, &probe, 30.0, target);
+            // A single QP step changes rate by ~12 %, so accept 20 % error.
+            let err = (m.achieved_bitrate_bps - target).abs() / target;
+            assert!(err < 0.2, "target {target}: achieved {} (err {err})", m.achieved_bitrate_bps);
+            assert!(m.trials <= 10);
+        }
+    }
+
+    #[test]
+    fn match_bitrate_qp_is_monotone_in_target() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let probe = frames(10);
+        let low = match_bitrate_qp(&enc, &probe, 30.0, 300_000.0);
+        let high = match_bitrate_qp(&enc, &probe, 30.0, 5_000_000.0);
+        assert!(low.qp_or_offset > high.qp_or_offset);
+    }
+
+    #[test]
+    fn match_bitrate_offset_brings_roi_map_to_target() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let source = VideoSource::new(lecture_slides(4), SourceConfig::fps30(10.0));
+        let dims = enc.grid_for(&source.frame(0));
+        // A deliberately low-QP (expensive) base map.
+        let base = QpMap::uniform(dims, Qp::new(22));
+        let probe: Vec<(Frame, QpMap)> = (0..10).map(|i| (source.frame(i), base.clone())).collect();
+        let target = 900_000.0;
+        let m = match_bitrate_offset(&enc, &probe, 30.0, target);
+        assert!(m.qp_or_offset > 0, "expected a positive offset to shrink the stream");
+        let err = (m.achieved_bitrate_bps - target).abs() / target;
+        assert!(err < 0.25, "achieved {} (err {err})", m.achieved_bitrate_bps);
+    }
+
+    #[test]
+    fn unreachable_target_clamps_to_max_qp() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let probe = frames(5);
+        let m = match_bitrate_qp(&enc, &probe, 30.0, 1_000.0); // 1 kbps is impossible
+        assert_eq!(m.qp_or_offset, QP_MAX as i32);
+    }
+}

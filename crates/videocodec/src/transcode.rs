@@ -1,0 +1,116 @@
+//! Offline transcoding: re-encode a clip at a target bitrate.
+//!
+//! DeViBench's preprocessing step transcodes every source video to a 200 Kbps version
+//! (§3.1, "Video Preprocessing") and later steps compare MLLM answers on the original vs
+//! the degraded version. This module reproduces that step on synthetic clips: it picks the
+//! uniform QP matching the target via trial-and-error and produces the decoded frames the
+//! MLLM simulator will look at.
+
+use crate::decoder::{DecodedFrame, Decoder};
+use crate::encoder::Encoder;
+use crate::qp::Qp;
+use crate::ratecontrol::match_bitrate_qp;
+use aivc_scene::VideoSource;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a transcode run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TranscodeSummary {
+    /// Target bitrate requested, bits per second.
+    pub target_bitrate_bps: f64,
+    /// Actual mean bitrate achieved, bits per second.
+    pub achieved_bitrate_bps: f64,
+    /// Uniform QP selected by the trial-and-error search.
+    pub qp: Qp,
+    /// Number of frames transcoded.
+    pub frames: usize,
+    /// Mean decoded quality across the transcoded frames.
+    pub mean_quality: f64,
+}
+
+/// Transcodes a clip to the target bitrate, sampling at most `max_frames` frames uniformly
+/// across the clip (the MLLM only consumes ~2 FPS anyway, §2.1). Returns the decoded frames
+/// and the transcode summary.
+pub fn transcode_clip(
+    encoder: &Encoder,
+    source: &VideoSource,
+    target_bitrate_bps: f64,
+    max_frames: usize,
+) -> (Vec<DecodedFrame>, TranscodeSummary) {
+    assert!(max_frames > 0, "must transcode at least one frame");
+    let total = source.frame_count().max(1);
+
+    // Rate matching uses a contiguous window of one GOP (or the whole clip if shorter) so the
+    // intra/inter frame mix — and therefore the measured bitrate — matches what encoding the
+    // full clip would produce.
+    let gop_len = encoder.config().gop.length as u64;
+    let rate_window = gop_len.clamp(1, total.min(120));
+    let rate_probe: Vec<_> = (0..rate_window).map(|idx| source.frame(idx)).collect();
+    let matched = match_bitrate_qp(encoder, &rate_probe, source.config().fps, target_bitrate_bps);
+    let qp = Qp::new(matched.qp_or_offset);
+    let achieved = matched.achieved_bitrate_bps;
+
+    // The MLLM-facing decoded frames are sampled uniformly across the clip (it only looks at
+    // ~2 FPS anyway, §2.1).
+    let step = (total as f64 / max_frames as f64).max(1.0);
+    let mut indices = Vec::new();
+    let mut i = 0.0;
+    while (i as u64) < total && indices.len() < max_frames {
+        indices.push(i as u64);
+        i += step;
+    }
+    let decoder = Decoder::new();
+    let mut decoded = Vec::with_capacity(indices.len());
+    for &idx in &indices {
+        let e = encoder.encode_uniform(&source.frame(idx), qp);
+        decoded.push(decoder.decode_complete(&e, None));
+    }
+    let mean_quality =
+        decoded.iter().map(|d| d.mean_quality()).sum::<f64>() / decoded.len().max(1) as f64;
+    let summary = TranscodeSummary {
+        target_bitrate_bps,
+        achieved_bitrate_bps: achieved,
+        qp,
+        frames: decoded.len(),
+        mean_quality,
+    };
+    (decoded, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderConfig;
+    use aivc_scene::templates::lecture_slides;
+    use aivc_scene::SourceConfig;
+
+    fn source() -> VideoSource {
+        VideoSource::new(lecture_slides(1), SourceConfig::fps30(20.0))
+    }
+
+    #[test]
+    fn transcode_hits_target_roughly() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let (frames, summary) = transcode_clip(&enc, &source(), 200_000.0, 20);
+        assert_eq!(frames.len(), 20);
+        let err = (summary.achieved_bitrate_bps - 200_000.0).abs() / 200_000.0;
+        assert!(err < 0.5, "achieved {}", summary.achieved_bitrate_bps);
+        assert!(summary.qp.value() > 35, "200 kbps should need a high QP");
+    }
+
+    #[test]
+    fn lower_bitrate_means_lower_quality() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let (_, low) = transcode_clip(&enc, &source(), 200_000.0, 10);
+        let (_, high) = transcode_clip(&enc, &source(), 4_000_000.0, 10);
+        assert!(high.mean_quality > low.mean_quality + 0.15);
+        assert!(high.qp.value() < low.qp.value());
+    }
+
+    #[test]
+    fn frame_sampling_caps_count() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let (frames, _) = transcode_clip(&enc, &source(), 1_000_000.0, 5);
+        assert_eq!(frames.len(), 5);
+    }
+}

@@ -1,0 +1,58 @@
+//! Building a small DeViBench dataset and evaluating streaming methods against it.
+//!
+//! Runs the paper's five-step automatic QA construction pipeline (§3.1) over a synthetic
+//! corpus, prints the stage yields and Table-1-style summary, then scores a 4 Mbps and a
+//! 200 kbps context-agnostic encode against the resulting dataset — showing that DeViBench
+//! is, by construction, easy at high bitrate and hard at low bitrate.
+//!
+//! Run with: `cargo run --release --example devibench_pipeline`
+
+use aivchat::devibench::{evaluate_method, CostModel, Pipeline, PipelineConfig};
+use aivchat::mllm::MllmChat;
+use aivchat::scene::Corpus;
+use aivchat::videocodec::{transcode_clip, Encoder, EncoderConfig};
+
+fn main() {
+    let corpus = Corpus::streamingbench_like(2025, 8, 20.0, 60.0);
+    println!(
+        "Corpus: {} clips, {:.0} s total, {} ground-truth facts",
+        corpus.len(),
+        corpus.stats().total_duration_secs,
+        corpus.stats().total_facts
+    );
+
+    let report = Pipeline::new(PipelineConfig::default()).run(&corpus);
+    println!(
+        "\nPipeline: {} candidates generated -> {} accepted by the filter ({:.1}%) -> {} cross-verified ({:.1}%), end-to-end yield {:.1}% (paper: 11.16% / 70.61% / 7.8%)",
+        report.generated,
+        report.filter_accepted,
+        report.filter_acceptance_rate() * 100.0,
+        report.verified,
+        report.verification_pass_rate() * 100.0,
+        report.end_to_end_yield() * 100.0
+    );
+    println!("\nTable 1 style summary:\n{}", report.dataset.summary(&CostModel::default()).to_markdown());
+    println!("Category distribution (Figure 8):\n{}", report.dataset.distribution().to_markdown());
+
+    // Evaluate two context-agnostic renditions against the dataset.
+    let encoder = Encoder::new(EncoderConfig::default());
+    let responder = MllmChat::responder(11);
+    for bitrate in [4_000_000.0, 200_000.0] {
+        let outcome = evaluate_method(
+            &report.dataset,
+            &responder,
+            |clip_id| {
+                let clip = corpus.clips().iter().find(|c| c.id == clip_id).unwrap();
+                transcode_clip(&encoder, &clip.source(), bitrate, 8).0
+            },
+            bitrate as u64,
+        );
+        println!(
+            "Uniform-QP rendition at {:.0} kbps: accuracy {:.2} over {} questions (mean P(correct) {:.2})",
+            bitrate / 1_000.0,
+            outcome.accuracy(),
+            outcome.questions,
+            outcome.mean_probability_correct
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # aivchat — AI Video Chat: context-aware real-time video streaming for MLLM receivers
+//!
+//! Umbrella crate re-exporting the workspace's public API. See the README for a tour and
+//! DESIGN.md for the paper-to-module map.
+//!
+//! ```
+//! use aivchat::core::{AiVideoChatSession, SessionOptions};
+//! use aivchat::mllm::{Question, QuestionFormat};
+//! use aivchat::scene::{templates::basketball_game, SourceConfig, VideoSource};
+//!
+//! let scene = basketball_game(1);
+//! let source = VideoSource::new(scene.clone(), SourceConfig::fps30(4.0));
+//! let question = Question::from_fact(&scene.facts[0], QuestionFormat::FreeResponse);
+//! // A deliberately tiny turn so the doc test stays fast; see examples/ for realistic runs.
+//! let mut options = SessionOptions::default_context_aware(1);
+//! options.window_secs = 0.5;
+//! options.capture_fps = 4.0;
+//! let report = AiVideoChatSession::new(options).run_turn(&source, &question);
+//! assert!(report.frames_delivered > 0);
+//! ```
+
+/// The paper's contribution: context-aware streaming, Eq. 2 allocation, the end-to-end chat
+/// session and the Figure 9 evaluation.
+pub use aivchat_core as core;
+/// DeViBench: the degraded-video understanding benchmark pipeline and dataset.
+pub use aivc_devibench as devibench;
+/// The MLLM simulator (sampling, tokens, latency, accuracy, pipeline roles).
+pub use aivc_mllm as mllm;
+/// The deterministic packet-level network emulator.
+pub use aivc_netsim as netsim;
+/// The RTC transport (packetization, pacing, NACK/RTX, FEC, jitter buffer, GCC, ABR).
+pub use aivc_rtc as rtc;
+/// Synthetic scenes, clips and corpora with ground-truth annotations.
+pub use aivc_scene as scene;
+/// The CLIP-like text/patch embedding model (Eq. 1).
+pub use aivc_semantics as semantics;
+/// The block-based video codec simulator with region-wise QP control.
+pub use aivc_videocodec as videocodec;

@@ -1,0 +1,60 @@
+//! Integration tests: the DeViBench pipeline statistics and the Figure 9 shape, run at a
+//! reduced scale.
+
+use aivchat::core::{run_accuracy_vs_bitrate, MethodKind};
+use aivchat::devibench::{CostModel, Pipeline, PipelineConfig};
+use aivchat::scene::Corpus;
+
+#[test]
+fn devibench_pipeline_reproduces_the_papers_yield_shape() {
+    let corpus = Corpus::streamingbench_like(404, 8, 20.0, 40.0);
+    let report = Pipeline::new(PipelineConfig::default()).run(&corpus);
+
+    // The qualitative §3.1 findings: only a small minority of generated candidates are
+    // quality-sensitive enough to pass the filter; most of those survive cross-verification.
+    assert!(report.generated > 100);
+    let acceptance = report.filter_acceptance_rate();
+    assert!(acceptance > 0.03 && acceptance < 0.35, "acceptance {acceptance}");
+    assert!(report.verification_pass_rate() > 0.5);
+    assert!(report.end_to_end_yield() < acceptance);
+    assert!(!report.dataset.is_empty());
+    assert!(report.dataset.validate().is_empty());
+
+    // Table 1 bookkeeping is populated and consistent.
+    let summary = report.dataset.summary(&CostModel::default());
+    assert_eq!(summary.qa_samples, report.dataset.len());
+    assert!(summary.total_money_usd > 0.0);
+    assert!(summary.total_time_secs > 0.0);
+    assert!(summary.qa_sample_types <= 12);
+
+    // Figure 8: the distribution covers several categories and both temporal kinds exist in
+    // the source facts (multi-frame samples may or may not survive filtering at this scale).
+    let distribution = report.dataset.distribution();
+    assert!(distribution.entries.iter().filter(|e| e.count > 0).count() >= 3);
+}
+
+#[test]
+fn figure9_shape_holds_at_reduced_scale() {
+    let mut corpus = Corpus::streamingbench_like(31, 4, 8.0, 12.0);
+    corpus.set_uniform_fps(30.0);
+    let points = run_accuracy_vs_bitrate(&corpus, &[850_000.0, 430_000.0], 0.55, 3, 2024);
+
+    let get = |method, bitrate: f64| {
+        points
+            .iter()
+            .find(|p| p.method == method && (p.target_bitrate_bps - bitrate).abs() < 1.0)
+            .copied()
+            .unwrap()
+    };
+    let base_high = get(MethodKind::Baseline, 850_000.0);
+    let base_low = get(MethodKind::Baseline, 430_000.0);
+    let ours_low = get(MethodKind::ContextAware, 430_000.0);
+
+    // Who wins and by roughly what factor: at ~430 kbps ours clearly beats the baseline,
+    // and roughly matches the baseline running at double the bitrate.
+    assert!(ours_low.mean_probability > base_low.mean_probability + 0.2);
+    assert!(ours_low.mean_probability >= base_high.mean_probability - 0.1);
+    // Matched bitrates.
+    let ratio = ours_low.achieved_bitrate_bps / base_low.achieved_bitrate_bps;
+    assert!(ratio > 0.5 && ratio < 2.0, "bitrate ratio {ratio}");
+}

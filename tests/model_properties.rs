@@ -1,0 +1,81 @@
+//! Property-based tests of the core models' invariants across crates: Eq. 1 bounds, Eq. 2
+//! monotonicity, R-D monotonicity, and accuracy monotonicity in quality.
+
+use aivchat::core::{QpAllocator, QpAllocatorConfig};
+use aivchat::mllm::{MllmChat, Question, QuestionFormat};
+use aivchat::scene::templates::TemplateKind;
+use aivchat::scene::{SourceConfig, VideoSource};
+use aivchat::semantics::{ClipModel, TextQuery};
+use aivchat::videocodec::{Decoder, Encoder, EncoderConfig, FrameType, Qp, RdModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Eq. 2 output always lies in the legal QP range and is monotone in ρ, for any γ.
+    #[test]
+    fn eq2_is_bounded_and_monotone(gamma in 0.25f64..10.0, rho_a in -1.0f64..1.0, rho_b in -1.0f64..1.0) {
+        let allocator = QpAllocator::new(QpAllocatorConfig::with_gamma(gamma));
+        let qp_a = allocator.qp_for_rho(rho_a).value();
+        let qp_b = allocator.qp_for_rho(rho_b).value();
+        prop_assert!(qp_a <= 51 && qp_b <= 51);
+        if rho_a < rho_b {
+            prop_assert!(qp_a >= qp_b, "rho {rho_a}<{rho_b} but qp {qp_a}<{qp_b}");
+        }
+    }
+
+    /// Block bits are monotone non-increasing in QP and monotone non-decreasing in
+    /// complexity, for any content.
+    #[test]
+    fn rd_model_monotonicity(
+        complexity in 0.0f64..1.0,
+        motion in 0.0f64..1.0,
+        qp in 0i32..50,
+    ) {
+        let rd = RdModel::default();
+        let bits = |q: i32, c: f64| rd.block_bits(Qp::new(q), 64 * 64, c, motion, FrameType::Inter);
+        prop_assert!(bits(qp, complexity) >= bits(qp + 1, complexity));
+        if complexity < 0.95 {
+            prop_assert!(bits(qp, complexity + 0.05) >= bits(qp, complexity));
+        }
+        // Quality is monotone too.
+        prop_assert!(rd.block_quality(Qp::new(qp), 0.5) >= rd.block_quality(Qp::new(qp + 1), 0.5));
+    }
+
+    /// Eq. 1 correlations stay in [-1, 1] for every template, seed and question.
+    #[test]
+    fn correlation_maps_respect_eq1_bounds(template_idx in 0usize..5, seed in 0u64..30, fact_idx in 0usize..4) {
+        let scene = TemplateKind::ALL[template_idx].build(seed);
+        let fact = &scene.facts[fact_idx % scene.facts.len()];
+        let model = ClipModel::mobile_default();
+        let query = TextQuery::from_words_and_concepts(&fact.question, model.ontology(), fact.query_concepts.clone());
+        let frame = VideoSource::new(scene.clone(), SourceConfig::fps30(2.0)).frame(0);
+        let map = model.correlation_map(&frame, &query);
+        prop_assert!(map.values().iter().all(|v| (-1.0..=1.0).contains(v)));
+        prop_assert_eq!(map.values().len(), map.dims().len());
+    }
+
+    /// MLLM answer probability is monotone non-increasing in QP (coarser video can never
+    /// make the model more likely to answer correctly), and bounded by [floor, 1].
+    #[test]
+    fn answer_probability_monotone_in_qp(template_idx in 0usize..5, seed in 0u64..10, fact_idx in 0usize..4) {
+        let scene = TemplateKind::ALL[template_idx].build(seed);
+        let fact = &scene.facts[fact_idx % scene.facts.len()];
+        let question = Question::from_fact(fact, QuestionFormat::MultipleChoice);
+        let source = VideoSource::new(scene.clone(), SourceConfig::fps30(2.0));
+        let encoder = Encoder::new(EncoderConfig::default());
+        let decoder = Decoder::new();
+        let chat = MllmChat::responder(seed);
+        let mut previous = 1.1f64;
+        for qp in [20, 30, 40, 50] {
+            let frames: Vec<_> = (0..2)
+                .map(|i| decoder.decode_complete(&encoder.encode_uniform(&source.frame(i * 30), Qp::new(qp)), None))
+                .collect();
+            let p = chat.answer_model().probability_correct(&question, &frames);
+            prop_assert!(p <= previous + 1e-9, "p increased at qp {qp}");
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= question.format.guess_floor() - 1e-9);
+            previous = p;
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration + property tests of the transport stack against the network emulator:
+//! the §2.2 measurement invariants that Figure 3 relies on.
+
+use aivchat::netsim::{LossModel, SimDuration};
+use aivchat::rtc::session::synthetic_frame_schedule;
+use aivchat::rtc::{SessionConfig, VideoSession};
+use proptest::prelude::*;
+
+#[test]
+fn latency_grows_monotonically_with_bitrate_below_capacity() {
+    // §2.2, second observation, checked across a sweep rather than a single pair.
+    let mut previous = 0.0;
+    for bitrate in [400_000.0, 1_000_000.0, 2_500_000.0, 5_000_000.0, 8_000_000.0] {
+        let frames = synthetic_frame_schedule(bitrate, 30.0, 15.0, 60, 6.0);
+        let stats = VideoSession::new(SessionConfig::paper_fig3(0.02, bitrate, 11)).run(&frames).stats;
+        let mean = stats.mean_transmission_latency_ms();
+        assert!(
+            mean + 1.5 >= previous,
+            "latency decreased from {previous} to {mean} at {bitrate} bps"
+        );
+        previous = mean;
+    }
+}
+
+#[test]
+fn exceeding_the_bandwidth_is_catastrophic() {
+    let below = {
+        let frames = synthetic_frame_schedule(8_000_000.0, 30.0, 10.0, 60, 6.0);
+        VideoSession::new(SessionConfig::paper_fig3(0.0, 8_000_000.0, 3)).run(&frames).stats
+    };
+    let above = {
+        let frames = synthetic_frame_schedule(13_000_000.0, 30.0, 10.0, 60, 6.0);
+        VideoSession::new(SessionConfig::paper_fig3(0.0, 13_000_000.0, 3)).run(&frames).stats
+    };
+    assert!(above.mean_transmission_latency_ms() > below.mean_transmission_latency_ms() * 3.0);
+}
+
+#[test]
+fn bursty_loss_is_harder_on_the_tail_than_iid_loss() {
+    let run = |loss: LossModel| {
+        let bitrate = 1_500_000.0;
+        let frames = synthetic_frame_schedule(bitrate, 30.0, 30.0, 60, 6.0);
+        let mut config = SessionConfig::paper_fig3(0.0, bitrate, 17);
+        config.path.uplink.loss = loss;
+        VideoSession::new(config).run(&frames).stats
+    };
+    let iid = run(LossModel::Iid { rate: 0.04 });
+    let bursty = run(LossModel::bursty(0.04, 10.0));
+    let mut iid_latency = iid.transmission_latency();
+    let mut bursty_latency = bursty.transmission_latency();
+    assert!(bursty_latency.p99_ms() >= iid_latency.p99_ms() - 1.0);
+    assert!(bursty.completion_rate() <= iid.completion_rate() + 0.01);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the (sub-capacity) bitrate, loss rate and seed, retransmission recovers
+    /// enough packets to complete nearly every frame, and completed frames are never faster
+    /// than the 30 ms propagation delay.
+    #[test]
+    fn transport_invariants_hold(
+        bitrate in 300_000.0f64..6_000_000.0,
+        loss in 0.0f64..0.08,
+        seed in 0u64..50,
+    ) {
+        let frames = synthetic_frame_schedule(bitrate, 30.0, 6.0, 60, 6.0);
+        let stats = VideoSession::new(SessionConfig::paper_fig3(loss, bitrate, seed)).run(&frames).stats;
+        prop_assert!(stats.completion_rate() > 0.93, "completion {}", stats.completion_rate());
+        for frame in &stats.frames {
+            if let Some(latency) = frame.transmission_latency_ms() {
+                prop_assert!(latency >= 30.0 - 1e-6, "latency {latency} below propagation delay");
+            }
+        }
+        // Conservation: every frame's received bytes never exceed its size.
+        for frame in &stats.frames {
+            prop_assert!(frame.received_fraction() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// The jitter buffer never releases a frame before it is complete, at any jitter level.
+    #[test]
+    fn jitter_buffer_release_is_causal(max_jitter_ms in 0u64..60, seed in 0u64..20) {
+        let bitrate = 800_000.0;
+        let frames = synthetic_frame_schedule(bitrate, 30.0, 5.0, 60, 6.0);
+        let mut config = SessionConfig::paper_fig3(0.01, bitrate, seed);
+        config.path.uplink.max_jitter = SimDuration::from_millis(max_jitter_ms);
+        config.jitter_buffer = aivchat::rtc::jitter::JitterBufferConfig::traditional();
+        let stats = VideoSession::new(config).run(&frames).stats;
+        for frame in &stats.frames {
+            if let (Some(done), Some(released)) = (frame.completed_at, frame.released_at) {
+                prop_assert!(released >= done);
+            }
+        }
+    }
+}
