@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`: the macro/API surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`, `Bencher::iter`,
+//! `black_box`), backed by a small median-of-samples timing loop instead of criterion's
+//! full statistical machinery.
+//!
+//! Each benchmark is warmed up, then timed for `sample_size` samples; the reported figure
+//! is the median ns/iteration. Results print to stdout in a stable, greppable format:
+//! `bench: <name> ... median <N> ns/iter (<samples> samples x <iters> iters)`, and are also
+//! collected so external runners can read machine totals via [`Criterion::results`].
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name as passed to `bench_function`.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns_per_iter: f64,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall-clock time for one sample, used to pick iterations per sample.
+    target_sample_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(25),
+            warm_up_time: Duration::from_millis(150),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the per-sample measurement-time target.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target_sample_time = d
+            .checked_div(self.sample_size as u32)
+            .unwrap_or(d)
+            .max(Duration::from_millis(1));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            ns_per_iter: Vec::new(),
+            last_iters: 0,
+            config: BenchConfig {
+                sample_size: self.sample_size,
+                target_sample_time: self.target_sample_time,
+                warm_up_time: self.warm_up_time,
+            },
+        };
+        f(&mut bencher);
+        let result = bencher.finish(name);
+        println!(
+            "bench: {} ... median {:.1} ns/iter ({} samples x {} iters)",
+            result.name, result.median_ns_per_iter, result.samples, result.iters_per_sample
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    target_sample_time: Duration,
+    warm_up_time: Duration,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code under test.
+pub struct Bencher {
+    ns_per_iter: Vec<f64>,
+    last_iters: u64,
+    config: BenchConfig,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration figures. The routine warms up, chooses an iteration
+    /// count that makes one sample ~the target sample time, then takes the samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, measuring a rough per-iter cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let rough_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(0.5);
+        let iters_per_sample =
+            ((self.config.target_sample_time.as_nanos() as f64 / rough_ns) as u64).clamp(1, 50_000_000);
+
+        self.ns_per_iter.clear();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.ns_per_iter.push(elapsed / iters_per_sample as f64);
+        }
+        self.last_iters = iters_per_sample;
+    }
+
+    fn finish(self, name: &str) -> BenchResult {
+        let mut samples = self.ns_per_iter;
+        let iters = self.last_iters;
+        if samples.is_empty() {
+            samples.push(0.0);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = samples.len() / 2;
+        let median = if samples.len().is_multiple_of(2) {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        } else {
+            samples[mid]
+        };
+        BenchResult {
+            name: name.to_string(),
+            median_ns_per_iter: median,
+            iters_per_sample: iters,
+            samples: samples.len(),
+        }
+    }
+}
+
+/// Runs each group passed to it (generated by [`criterion_group!`]).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Declares a benchmark group, with or without an explicit config expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_function() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "noop_sum");
+        assert!(results[0].median_ns_per_iter > 0.0);
+    }
+}

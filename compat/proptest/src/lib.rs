@@ -1,0 +1,246 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace's tests use:
+//! the `proptest! { #![proptest_config(...)] #[test] fn case(arg in strategy, ...) { .. } }`
+//! macro over numeric range strategies, plus `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics immediately, printing
+//! the sampled arguments (which, with the fixed per-case seeding below, are reproducible).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property-test case (returned by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The RNG handed to strategies; deterministic per (property, case index).
+pub type TestRng = ChaCha8Rng;
+
+/// Builds the RNG for one case of one property. Seeded from the property name so adding a
+/// property does not reshuffle its neighbours' inputs.
+pub fn case_rng(property_name: &str, case_index: u32) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in property_name.as_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash ^ ((case_index as u64) << 32 | case_index as u64))
+}
+
+/// Something that can produce values for a property argument.
+pub trait Strategy {
+    /// The produced value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A fixed list of candidate values, sampled uniformly.
+impl<T: Clone + std::fmt::Debug, const N: usize> Strategy for [T; N] {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self[rng.gen_range(0..N)].clone()
+    }
+}
+
+/// `bool` values.
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// The `proptest!` block macro: expands each contained property into a `#[test]` that runs
+/// the body over `cases` sampled argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case_index in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case_index);
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case_index + 1,
+                        config.cases,
+                        error,
+                        format!(concat!($(stringify!($arg), " = {:?} "),+), $($arg),+),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (with context) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        case_rng, prop_assert, prop_assert_eq, proptest, AnyBool, ProptestConfig, Strategy, TestCaseError,
+        TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_hold(x in 0u64..100, y in -1.0f64..1.0, z in 3usize..=5) {
+            prop_assert!(x < 100);
+            prop_assert!((-1.0..1.0).contains(&y), "y was {y}");
+            prop_assert!((3..=5).contains(&z));
+        }
+
+        #[test]
+        fn eq_assertion_works(a in 0i32..50) {
+            prop_assert_eq!(a + a, 2 * a);
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut r1 = case_rng("some_prop", 3);
+        let mut r2 = case_rng("some_prop", 3);
+        let s1: f64 = Strategy::sample(&(0.0f64..1.0), &mut r1);
+        let s2: f64 = Strategy::sample(&(0.0f64..1.0), &mut r2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 1_000, "x is only {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -2,11 +2,11 @@
 //! `cargo bench` exercises every experiment path end to end. The full-size experiments are
 //! the `aivc-bench` binaries (see DESIGN.md §4).
 
-use aivchat_core::run_accuracy_vs_bitrate;
 use aivc_devibench::{Pipeline, PipelineConfig};
 use aivc_rtc::session::synthetic_frame_schedule;
 use aivc_rtc::{SessionConfig, VideoSession};
 use aivc_scene::Corpus;
+use aivchat_core::run_accuracy_vs_bitrate;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -31,7 +31,15 @@ fn bench_fig9_kernel(c: &mut Criterion) {
     let mut corpus = Corpus::streamingbench_like(31, 2, 8.0, 10.0);
     corpus.set_uniform_fps(30.0);
     c.bench_function("fig9_accuracy_2_clips_1_bitrate", |b| {
-        b.iter(|| black_box(run_accuracy_vs_bitrate(black_box(&corpus), &[430_000.0], 0.55, 3, 7)));
+        b.iter(|| {
+            black_box(run_accuracy_vs_bitrate(
+                black_box(&corpus),
+                &[430_000.0],
+                0.55,
+                3,
+                7,
+            ))
+        });
     });
 }
 

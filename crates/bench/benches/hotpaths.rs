@@ -1,20 +1,42 @@
 //! Criterion micro-benchmarks of the hot paths: packetization, CTU encoding, CLIP
 //! correlation, the QP allocator and the MLLM accuracy model.
 
-use aivchat_core::{QpAllocator, QpAllocatorConfig};
 use aivc_mllm::{MllmChat, Question, QuestionFormat};
 use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{SourceConfig, VideoSource};
-use aivc_semantics::{ClipModel, TextQuery};
+use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
 use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp};
+use aivchat_core::{QpAllocator, QpAllocatorConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_packetizer(c: &mut Criterion) {
     c.bench_function("packetize_100kB_frame", |b| {
+        // The reuse API the transport session uses: zero heap allocations per iteration
+        // once the buffer has warmed up to the frame's packet count.
         let mut packetizer = Packetizer::default();
-        let frame = OutgoingFrame { frame_id: 1, capture_ts_us: 0, size_bytes: 100_000, is_keyframe: true };
+        let mut packets = Vec::new();
+        let frame = OutgoingFrame {
+            frame_id: 1,
+            capture_ts_us: 0,
+            size_bytes: 100_000,
+            is_keyframe: true,
+        };
+        b.iter(|| {
+            packetizer.packetize_into(black_box(&frame), &mut packets);
+            black_box(packets.len())
+        });
+    });
+    c.bench_function("packetize_100kB_frame_alloc", |b| {
+        // The allocating convenience form, kept for comparison against the baseline.
+        let mut packetizer = Packetizer::default();
+        let frame = OutgoingFrame {
+            frame_id: 1,
+            capture_ts_us: 0,
+            size_bytes: 100_000,
+            is_keyframe: true,
+        };
         b.iter(|| black_box(packetizer.packetize(black_box(&frame))));
     });
 }
@@ -28,12 +50,37 @@ fn bench_encoder(c: &mut Criterion) {
     });
 }
 
+fn bench_decoder(c: &mut Criterion) {
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let encoder = Encoder::new(EncoderConfig::default());
+    let encoded = encoder.encode_uniform(&source.frame(0), Qp::new(32));
+    let decoder = Decoder::new();
+    c.bench_function("decode_complete_1080p", |b| {
+        // Coverage lists are Arc-shared with the encoded blocks, so a full-frame decode
+        // performs no per-block coverage copies.
+        b.iter(|| black_box(decoder.decode_complete(black_box(&encoded), None)));
+    });
+}
+
 fn bench_clip_correlation(c: &mut Criterion) {
     let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
     let frame = source.frame(0);
     let model = ClipModel::mobile_default();
-    let query = TextQuery::from_words("Could you tell me the present score of the game?", model.ontology());
+    let query = TextQuery::from_words(
+        "Could you tell me the present score of the game?",
+        model.ontology(),
+    );
     c.bench_function("clip_correlation_map_1080p", |b| {
+        // The scratch API the streamer uses: the query embedding is memoized and every
+        // buffer is reused, so iterations are allocation-free after warmup.
+        let mut scratch = ClipScratch::new();
+        b.iter(|| {
+            let map = model.correlation_map_with(black_box(&frame), &query, &mut scratch);
+            black_box(map.values().len())
+        });
+    });
+    c.bench_function("clip_correlation_map_1080p_alloc", |b| {
+        // The allocating convenience form, kept for comparison against the baseline.
         b.iter(|| black_box(model.correlation_map(black_box(&frame), &query)));
     });
 }
@@ -69,6 +116,6 @@ fn bench_mllm_answer(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_packetizer, bench_encoder, bench_clip_correlation, bench_qp_allocation, bench_mllm_answer
+    targets = bench_packetizer, bench_encoder, bench_decoder, bench_clip_correlation, bench_qp_allocation, bench_mllm_answer
 }
 criterion_main!(benches);

@@ -6,11 +6,11 @@
 //! regions and an extreme one starves the moderately relevant context.
 
 use aivc_bench::{print_section, write_json, Scale};
-use aivchat_core::{ContextAwareStreamer, QpAllocatorConfig, StreamerConfig};
 use aivc_mllm::{MllmChat, Question, QuestionFormat};
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{SourceConfig, VideoSource};
 use aivc_semantics::ClipModel;
+use aivchat_core::{ContextAwareStreamer, QpAllocatorConfig, StreamerConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -37,7 +37,9 @@ fn main() {
         };
         let streamer = ContextAwareStreamer::new(config, ClipModel::mobile_default());
         let (frames, enc) = streamer.offline_decode(&source, &question, 430_000.0, frames_per_clip);
-        let perceived = responder.answer_model().perceived_evidence_quality(&question, &frames);
+        let perceived = responder
+            .answer_model()
+            .perceived_evidence_quality(&question, &frames);
         let p = responder.answer_model().probability_correct(&question, &frames);
         rows.push(GammaRow {
             gamma,
@@ -47,7 +49,8 @@ fn main() {
         });
     }
 
-    let mut body = String::from("| gamma | achieved kbps | evidence quality | P(correct) |\n|---|---|---|---|\n");
+    let mut body =
+        String::from("| gamma | achieved kbps | evidence quality | P(correct) |\n|---|---|---|---|\n");
     for r in &rows {
         body.push_str(&format!(
             "| {:.1} | {:.1} | {:.2} | {:.2} |\n",

@@ -6,11 +6,11 @@
 //! perceives.
 
 use aivc_bench::{print_section, write_json, Scale};
-use aivchat_core::{AiVideoChatSession, SessionOptions};
 use aivc_mllm::{Question, QuestionFormat};
 use aivc_netsim::{LinkConfig, LossModel, PathConfig, SimDuration};
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{SourceConfig, VideoSource};
+use aivchat_core::{AiVideoChatSession, SessionOptions};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,8 +32,13 @@ fn main() {
 
     // A jittery 4G-like uplink (±25 ms delivery jitter).
     let jittery_path = PathConfig {
-        uplink: LinkConfig::constant(8e6, SimDuration::from_millis(30), 300, LossModel::Iid { rate: 0.01 })
-            .with_jitter(SimDuration::from_millis(25)),
+        uplink: LinkConfig::constant(
+            8e6,
+            SimDuration::from_millis(30),
+            300,
+            LossModel::Iid { rate: 0.01 },
+        )
+        .with_jitter(SimDuration::from_millis(25)),
         downlink: LinkConfig::constant(20e6, SimDuration::from_millis(30), 300, LossModel::None),
     };
 
@@ -60,7 +65,11 @@ fn main() {
     for r in &rows {
         body.push_str(&format!(
             "| {} | {:.1} ms | {:.1} ms | {:.1} ms | {:.2} | {} |\n",
-            if r.jitter_buffer { "traditional" } else { "removed (AI mode)" },
+            if r.jitter_buffer {
+                "traditional"
+            } else {
+                "removed (AI mode)"
+            },
             r.total_latency_ms,
             r.jitter_buffer_ms,
             r.transmission_ms,

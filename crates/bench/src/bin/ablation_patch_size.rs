@@ -5,11 +5,11 @@
 //! compute — the trade-off behind the paper's "client-side computation" discussion.
 
 use aivc_bench::{print_section, write_json, Scale};
-use aivchat_core::{ContextAwareStreamer, StreamerConfig};
 use aivc_mllm::{MllmChat, Question, QuestionFormat};
 use aivc_scene::templates::street_scene;
 use aivc_scene::{Ontology, SourceConfig, VideoSource};
 use aivc_semantics::{ClipConfig, ClipModel};
+use aivchat_core::{ContextAwareStreamer, StreamerConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,7 +31,10 @@ fn main() {
     let mut rows = Vec::new();
 
     for patch_size in [32u32, 64, 128] {
-        let clip_config = ClipConfig { patch_size, ..ClipConfig::mobile_clip() };
+        let clip_config = ClipConfig {
+            patch_size,
+            ..ClipConfig::mobile_clip()
+        };
         let streamer = ContextAwareStreamer::new(
             StreamerConfig::default(),
             ClipModel::new(clip_config, Ontology::standard()),
@@ -46,7 +49,8 @@ fn main() {
         });
     }
 
-    let mut body = String::from("| patch size | CLIP latency | achieved kbps | P(correct) |\n|---|---|---|---|\n");
+    let mut body =
+        String::from("| patch size | CLIP latency | achieved kbps | P(correct) |\n|---|---|---|---|\n");
     for r in &rows {
         body.push_str(&format!(
             "| {}px | {:.1} ms | {:.1} | {:.2} |\n",

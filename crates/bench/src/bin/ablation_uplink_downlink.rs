@@ -5,11 +5,11 @@
 //! independently — showing that the uplink is the binding constraint.
 
 use aivc_bench::{print_section, write_json, Scale};
-use aivchat_core::{AiVideoChatSession, SessionOptions};
 use aivc_mllm::{Question, QuestionFormat};
 use aivc_netsim::{LinkConfig, LossModel, PathConfig, SimDuration};
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{SourceConfig, VideoSource};
+use aivchat_core::{AiVideoChatSession, SessionOptions};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,8 +32,18 @@ fn main() {
     let mut rows = Vec::new();
     for (up_mbps, down_mbps) in cases {
         let path = PathConfig {
-            uplink: LinkConfig::constant(up_mbps * 1e6, SimDuration::from_millis(30), 300, LossModel::Iid { rate: 0.01 }),
-            downlink: LinkConfig::constant(down_mbps * 1e6, SimDuration::from_millis(30), 300, LossModel::None),
+            uplink: LinkConfig::constant(
+                up_mbps * 1e6,
+                SimDuration::from_millis(30),
+                300,
+                LossModel::Iid { rate: 0.01 },
+            ),
+            downlink: LinkConfig::constant(
+                down_mbps * 1e6,
+                SimDuration::from_millis(30),
+                300,
+                LossModel::None,
+            ),
         };
         let mut options = SessionOptions::default_context_aware(21);
         options.path = path;
@@ -48,7 +58,9 @@ fn main() {
         });
     }
 
-    let mut body = String::from("| uplink | downlink | transmission | frames delivered | P(correct) |\n|---|---|---|---|---|\n");
+    let mut body = String::from(
+        "| uplink | downlink | transmission | frames delivered | P(correct) |\n|---|---|---|---|---|\n",
+    );
     for r in &rows {
         body.push_str(&format!(
             "| {:.0} Mbps | {:.0} Mbps | {:.1} ms | {} | {:.2} |\n",

@@ -5,10 +5,10 @@
 //! (c) the per-object bit allocation of both encodes at matched bitrate.
 
 use aivc_bench::{kbps, print_section, write_json};
-use aivchat_core::{ContextAgnosticBaseline, ContextAwareStreamer};
 use aivc_mllm::{Question, QuestionFormat};
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{SourceConfig, VideoSource};
+use aivchat_core::{ContextAgnosticBaseline, ContextAwareStreamer};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -51,9 +51,14 @@ fn main() {
     );
     body.push_str("| object | ours (bits, frame 0) | baseline (bits, frame 0) |\n|---|---|---|\n");
     for r in &rows {
-        body.push_str(&format!("| {} | {} | {} |\n", r.object, r.ours_bits, r.baseline_bits));
+        body.push_str(&format!(
+            "| {} | {} | {} |\n",
+            r.object, r.ours_bits, r.baseline_bits
+        ));
     }
-    body.push_str("\nCLIP-informed QP map of frame 0 (one number per 64x64 CTU — low = high quality):\n\n```\n");
+    body.push_str(
+        "\nCLIP-informed QP map of frame 0 (one number per 64x64 CTU — low = high quality):\n\n```\n",
+    );
     body.push_str(&qp_map.to_ascii());
     body.push_str("```\n\nPaper (Figure 10): at ~430 vs ~425 Kbps, the context-aware encode puts visibly more bits on the chat-important regions (jersey logo, the player covering his mouth) and fewer on chat-irrelevant ones, which is what preserves MLLM accuracy.\n");
     print_section("Figure 10 — CLIP-informed QP map at matched bitrate", &body);

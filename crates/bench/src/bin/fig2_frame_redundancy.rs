@@ -29,7 +29,13 @@ fn main() {
     let mut rows = Vec::new();
 
     for capture_fps in [30.0, 60.0] {
-        let source = VideoSource::new(basketball_game(1), SourceConfig { fps: capture_fps, duration_secs: duration });
+        let source = VideoSource::new(
+            basketball_game(1),
+            SourceConfig {
+                fps: capture_fps,
+                duration_secs: duration,
+            },
+        );
         let mut sampler = FrameSampler::new(&config);
         for frame in source.frames() {
             sampler.offer(frame.capture_ts_us);

@@ -65,6 +65,9 @@ fn main() {
         ));
     }
     body.push_str("\nPaper (Figure 3): latency is enormous once bitrate exceeds the 10 Mbps bandwidth (grey-region boundary); below the bandwidth, latency still rises with bitrate and with loss, which opens the ultra-low-bitrate yellow region for AI receivers.\n");
-    print_section("Figure 3 — transmission latency vs bitrate and packet loss", &body);
+    print_section(
+        "Figure 3 — transmission latency vs bitrate and packet loss",
+        &body,
+    );
     write_json("fig3_latency_vs_bitrate", &points);
 }

@@ -37,7 +37,11 @@ fn main() {
         let question = Question::from_fact(fact, QuestionFormat::FreeResponse);
         for &bitrate in &[4_000_000.0, 200_000.0] {
             let (frames, summary) = transcode_clip(&encoder, &source, bitrate, 6);
-            let answer = responder.respond(&question, &frames, (d_idx as u64) << 8 | bitrate as u64 / 100_000);
+            let answer = responder.respond(
+                &question,
+                &frames,
+                ((d_idx as u64) << 8) | (bitrate as u64 / 100_000),
+            );
             rows.push(Fig4Row {
                 question: fact.question.clone(),
                 required_detail: fact.required_detail,

@@ -46,7 +46,10 @@ fn case(model: &ClipModel, scene: Scene, question: &str, evidence_id: u32) -> (F
     let row = Fig5Row {
         scene: scene.label.clone(),
         question: question.to_string(),
-        evidence_object: scene.object(evidence_id).map(|o| o.name.clone()).unwrap_or_default(),
+        evidence_object: scene
+            .object(evidence_id)
+            .map(|o| o.name.clone())
+            .unwrap_or_default(),
         evidence_mean_rho: evidence_mean,
         rest_mean_rho: rest_mean,
         separation: evidence_mean - rest_mean,
@@ -57,8 +60,16 @@ fn case(model: &ClipModel, scene: Scene, question: &str, evidence_id: u32) -> (F
 fn main() {
     let model = ClipModel::mobile_default();
     let cases = [
-        (dog_park(1), "Is the dog in the video erect-eared or floppy-eared?", 2u32),
-        (basketball_game(1), "Could you tell me the present score of the game?", 1u32),
+        (
+            dog_park(1),
+            "Is the dog in the video erect-eared or floppy-eared?",
+            2u32,
+        ),
+        (
+            basketball_game(1),
+            "Could you tell me the present score of the game?",
+            1u32,
+        ),
         (dog_park(1), "Infer what season it might be in the video", 3u32),
     ];
     let mut rows = Vec::new();
@@ -70,7 +81,12 @@ fn main() {
         let (row, ascii) = case(&model, scene, question, evidence_id);
         body.push_str(&format!(
             "| {} | {} | {} | {:.2} | {:.2} | {:.2} |\n",
-            row.scene, row.question, row.evidence_object, row.evidence_mean_rho, row.rest_mean_rho, row.separation
+            row.scene,
+            row.question,
+            row.evidence_object,
+            row.evidence_mean_rho,
+            row.rest_mean_rho,
+            row.separation
         ));
         heatmaps.push_str(&format!("\n{} — \"{}\":\n{}\n", row.scene, row.question, ascii));
         rows.push(row);

@@ -56,6 +56,9 @@ fn main() {
         out.end_to_end_yield * 100.0,
         out.final_samples
     );
-    print_section("Figure 6 / §3.1 — DeViBench automatic QA construction pipeline", &body);
+    print_section(
+        "Figure 6 / §3.1 — DeViBench automatic QA construction pipeline",
+        &body,
+    );
     write_json("fig6_devibench_pipeline", &out);
 }

@@ -2,9 +2,9 @@
 //! at matched actual bitrates (§3.2).
 
 use aivc_bench::{print_section, write_json, Scale};
+use aivc_scene::Corpus;
 use aivchat_core::eval::accuracy_table;
 use aivchat_core::run_accuracy_vs_bitrate;
-use aivc_scene::Corpus;
 
 fn main() {
     let scale = Scale::from_env();

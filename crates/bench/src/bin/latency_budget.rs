@@ -5,11 +5,11 @@
 //! a degraded network) and prints the per-stage breakdown against the 300 ms target.
 
 use aivc_bench::{print_section, write_json, Scale};
-use aivchat_core::{AiVideoChatSession, SessionOptions, RESPONSE_LATENCY_TARGET_MS};
 use aivc_mllm::{Question, QuestionFormat};
 use aivc_netsim::PathConfig;
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{SourceConfig, VideoSource};
+use aivchat_core::{AiVideoChatSession, SessionOptions, RESPONSE_LATENCY_TARGET_MS};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -59,7 +59,10 @@ fn main() {
 
     let mut body = format!("Target: {RESPONSE_LATENCY_TARGET_MS} ms end-to-end (§1).\n\n");
     for r in &rows {
-        body.push_str(&format!("- **{}** — {} — P(correct) {:.2}\n", r.configuration, r.breakdown, r.probability_correct));
+        body.push_str(&format!(
+            "- **{}** — {} — P(correct) {:.2}\n",
+            r.configuration, r.breakdown, r.probability_correct
+        ));
     }
     body.push_str("\nMLLM inference alone consumes most of the budget; only the ultra-low-bitrate, buffer-free configuration leaves the network side small enough to fit, which is the paper's motivating argument.\n");
     print_section("§1 — end-to-end response latency budget", &body);

@@ -26,7 +26,11 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from the environment.
     pub fn from_env() -> Self {
-        match std::env::var("AIVC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("AIVC_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "quick" => Scale::Quick,
             "full" => Scale::Full,
             _ => Scale::Default,
@@ -65,6 +69,63 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
 /// Formats a bits-per-second value as kbps with one decimal.
 pub fn kbps(bps: f64) -> String {
     format!("{:.1} kbps", bps / 1_000.0)
+}
+
+/// One hot-path measurement, as recorded in `BENCH_hotpaths.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct HotpathMeasurement {
+    /// Hot-path name (matches the criterion bench name).
+    pub name: String,
+    /// Median nanoseconds per iteration across the samples.
+    pub median_ns_per_iter: f64,
+    /// Iterations batched into each timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Measures a closure the same way the vendored criterion does: warm up, pick an iteration
+/// count that fills `target_sample_ms` per sample, then report the median ns/iteration over
+/// `samples` samples. Used by the `hotpath_baseline` runner so the committed baseline and
+/// `cargo bench` agree on methodology.
+pub fn measure_hotpath<O>(
+    name: &str,
+    samples: usize,
+    target_sample_ms: f64,
+    mut f: impl FnMut() -> O,
+) -> HotpathMeasurement {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+    let warm_start = Instant::now();
+    let warm_budget = Duration::from_millis(150);
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < warm_budget {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let rough_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(0.5);
+    let iters_per_sample = ((target_sample_ms * 1e6 / rough_ns) as u64).clamp(1, 50_000_000);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = per_iter.len() / 2;
+    let median = if per_iter.len().is_multiple_of(2) {
+        (per_iter[mid - 1] + per_iter[mid]) / 2.0
+    } else {
+        per_iter[mid]
+    };
+    HotpathMeasurement {
+        name: name.to_string(),
+        median_ns_per_iter: median,
+        iters_per_sample,
+        samples: per_iter.len(),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,123 @@
+//! Proof that the reuse APIs make the two flagship hot paths allocation-free after warmup:
+//! a counting global allocator observes zero allocations across many post-warmup iterations
+//! of `Packetizer::packetize_into` and `ClipModel::correlation_map_with`.
+//!
+//! This target sets `harness = false` (a plain `main`) so the process has exactly one
+//! thread: libtest's harness threads allocate sporadically and would pollute the global
+//! counter (observed as a rare flaky nonzero count when this ran under `#[test]`).
+
+use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
+use aivc_scene::templates::{basketball_game, dog_park};
+use aivc_scene::{SourceConfig, VideoSource};
+use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    // --- packetize_into: warm the buffer up to the largest frame, then count.
+    let mut packetizer = Packetizer::default();
+    let mut packets = Vec::new();
+    let frame = OutgoingFrame {
+        frame_id: 1,
+        capture_ts_us: 0,
+        size_bytes: 100_000,
+        is_keyframe: true,
+    };
+    for _ in 0..3 {
+        packetizer.packetize_into(&frame, &mut packets);
+    }
+    let before = allocations();
+    for _ in 0..1_000 {
+        packetizer.packetize_into(black_box(&frame), &mut packets);
+        black_box(packets.len());
+    }
+    let packetize_allocs = allocations() - before;
+    assert_eq!(
+        packetize_allocs, 0,
+        "packetize_into allocated {packetize_allocs} times across 1000 post-warmup iterations"
+    );
+
+    // --- correlation_map_with: warm the scratch (query memo + buffers), then count.
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let frame = source.frame(0);
+    let model = ClipModel::mobile_default();
+    let query = TextQuery::from_words(
+        "Could you tell me the present score of the game?",
+        model.ontology(),
+    );
+    let mut scratch = ClipScratch::new();
+    for _ in 0..3 {
+        let _ = model.correlation_map_with(&frame, &query, &mut scratch);
+    }
+    let before = allocations();
+    for _ in 0..25 {
+        let map = model.correlation_map_with(black_box(&frame), &query, &mut scratch);
+        black_box(map.values().len());
+    }
+    let clip_allocs = allocations() - before;
+    assert_eq!(
+        clip_allocs, 0,
+        "correlation_map_with allocated {clip_allocs} times across 25 post-warmup iterations"
+    );
+
+    // --- and the scratch stays allocation-free across frames of the same turn once every
+    // frame in the window has been visited (multi-frame warmup, multi-frame measure).
+    let frames: Vec<_> = (0..4).map(|i| source.frame(i * 15)).collect();
+    for f in &frames {
+        let _ = model.correlation_map_with(f, &query, &mut scratch);
+    }
+    let before = allocations();
+    for _ in 0..5 {
+        for f in &frames {
+            let _ = black_box(model.correlation_map_with(f, &query, &mut scratch));
+        }
+    }
+    let turn_allocs = allocations() - before;
+    assert_eq!(
+        turn_allocs, 0,
+        "multi-frame turn allocated {turn_allocs} times after warmup"
+    );
+
+    // Sanity: the counter itself works (a deliberate allocation is observed).
+    let before = allocations();
+    let v: Vec<u64> = black_box((0..100).collect());
+    black_box(v.len());
+    assert!(allocations() > before, "counting allocator is not counting");
+
+    // And switching scenes/queries still works correctly with a warmed scratch (values
+    // checked against the naive path elsewhere; here we just exercise the invalidation).
+    let dog = VideoSource::new(dog_park(1), SourceConfig::fps30(5.0)).frame(0);
+    let other = TextQuery::from_words("Infer what season it might be in the video", model.ontology());
+    let map = model.correlation_map_with(&dog, &other, &mut scratch);
+    assert!(map.values().iter().all(|v| (-1.0..=1.0).contains(v)));
+
+    println!("zero_alloc: hot paths are allocation-free after warmup ... ok");
+}

@@ -11,9 +11,9 @@
 //! irrelevant regions" by bending the curve so that moderately correlated patches already
 //! receive fairly high QP.
 
+use aivc_scene::GridDims;
 use aivc_semantics::ImportanceMap;
 use aivc_videocodec::{Qp, QpMap};
-use aivc_scene::GridDims;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the Eq. 2 allocator.
@@ -30,7 +30,11 @@ pub struct QpAllocatorConfig {
 
 impl Default for QpAllocatorConfig {
     fn default() -> Self {
-        Self { gamma: 3.0, min_qp: 0, max_qp: 51 }
+        Self {
+            gamma: 3.0,
+            min_qp: 0,
+            max_qp: 51,
+        }
     }
 }
 
@@ -42,7 +46,10 @@ impl QpAllocatorConfig {
 
     /// A variant with a different temperature (for the γ ablation).
     pub fn with_gamma(gamma: f64) -> Self {
-        Self { gamma, ..Self::default() }
+        Self {
+            gamma,
+            ..Self::default()
+        }
     }
 }
 
@@ -82,7 +89,11 @@ impl QpAllocator {
         } else {
             importance.resample(encoder_grid)
         };
-        let values = resampled.values().iter().map(|rho| self.qp_for_rho(*rho)).collect();
+        let values = resampled
+            .values()
+            .iter()
+            .map(|rho| self.qp_for_rho(*rho))
+            .collect();
         QpMap::from_values(encoder_grid, values)
     }
 }
@@ -125,7 +136,11 @@ mod tests {
 
     #[test]
     fn clamping_limits_the_range() {
-        let a = QpAllocator::new(QpAllocatorConfig { gamma: 3.0, min_qp: 20, max_qp: 46 });
+        let a = QpAllocator::new(QpAllocatorConfig {
+            gamma: 3.0,
+            min_qp: 20,
+            max_qp: 46,
+        });
         assert_eq!(a.qp_for_rho(1.0).value(), 20);
         assert_eq!(a.qp_for_rho(-1.0).value(), 46);
     }

@@ -35,7 +35,10 @@ impl Default for ContextAgnosticBaseline {
 impl ContextAgnosticBaseline {
     /// Creates a baseline streamer with the given encoder configuration.
     pub fn new(config: EncoderConfig) -> Self {
-        Self { encoder: Encoder::new(config), decoder: Decoder::new() }
+        Self {
+            encoder: Encoder::new(config),
+            decoder: Decoder::new(),
+        }
     }
 
     /// The underlying encoder.
@@ -48,17 +51,34 @@ impl ContextAgnosticBaseline {
     pub fn encode_at_bitrate(&self, frames: &[Frame], fps: f64, target_bitrate_bps: f64) -> BaselineEncode {
         let matched = match_bitrate_qp(&self.encoder, frames, fps, target_bitrate_bps);
         let qp = Qp::new(matched.qp_or_offset);
-        let encoded: Vec<EncodedFrame> = frames.iter().map(|f| self.encoder.encode_uniform(f, qp)).collect();
-        let achieved = encoded.iter().map(|e| e.total_bits()).sum::<u64>() as f64 / encoded.len().max(1) as f64 * fps;
-        BaselineEncode { qp, achieved_bitrate_bps: achieved, encoded }
+        let encoded: Vec<EncodedFrame> = frames
+            .iter()
+            .map(|f| self.encoder.encode_uniform(f, qp))
+            .collect();
+        let achieved =
+            encoded.iter().map(|e| e.total_bits()).sum::<u64>() as f64 / encoded.len().max(1) as f64 * fps;
+        BaselineEncode {
+            qp,
+            achieved_bitrate_bps: achieved,
+            encoded,
+        }
     }
 
     /// Encodes the MLLM-visible frames of a clip (≤ `max_frames`, spread over the clip) at a
     /// matched bitrate and decodes them losslessly (no transport), for offline evaluation.
-    pub fn offline_decode(&self, source: &VideoSource, target_bitrate_bps: f64, max_frames: usize) -> (Vec<DecodedFrame>, BaselineEncode) {
+    pub fn offline_decode(
+        &self,
+        source: &VideoSource,
+        target_bitrate_bps: f64,
+        max_frames: usize,
+    ) -> (Vec<DecodedFrame>, BaselineEncode) {
         let frames = sample_frames(source, max_frames);
         let encode = self.encode_at_bitrate(&frames, source.config().fps, target_bitrate_bps);
-        let decoded = encode.encoded.iter().map(|e| self.decoder.decode_complete(e, None)).collect();
+        let decoded = encode
+            .encoded
+            .iter()
+            .map(|e| self.decoder.decode_complete(e, None))
+            .collect();
         (decoded, encode)
     }
 }
@@ -94,7 +114,11 @@ mod tests {
         for target in [430_000.0, 850_000.0, 2_000_000.0] {
             let result = baseline.encode_at_bitrate(&frames, 30.0, target);
             let err = (result.achieved_bitrate_bps - target).abs() / target;
-            assert!(err < 0.5, "target {target}: achieved {}", result.achieved_bitrate_bps);
+            assert!(
+                err < 0.5,
+                "target {target}: achieved {}",
+                result.achieved_bitrate_bps
+            );
         }
     }
 

@@ -14,7 +14,7 @@
 use crate::allocator::{QpAllocator, QpAllocatorConfig};
 use aivc_mllm::Question;
 use aivc_scene::{Frame, VideoSource};
-use aivc_semantics::{ClipModel, ImportanceMap, TextQuery};
+use aivc_semantics::{ClipModel, ClipScratch, ImportanceMap, TextQuery};
 use aivc_videocodec::{DecodedFrame, Decoder, EncodedFrame, Encoder, EncoderConfig, QpMap};
 use serde::{Deserialize, Serialize};
 
@@ -29,7 +29,10 @@ pub struct StreamerConfig {
 
 impl Default for StreamerConfig {
     fn default() -> Self {
-        Self { allocator: QpAllocatorConfig::paper(), encoder: EncoderConfig::default() }
+        Self {
+            allocator: QpAllocatorConfig::paper(),
+            encoder: EncoderConfig::default(),
+        }
     }
 }
 
@@ -107,6 +110,13 @@ impl ContextAwareStreamer {
         self.allocator.allocate(&importance, self.encoder.grid_for(frame))
     }
 
+    /// [`ContextAwareStreamer::qp_map_for`] with caller-owned CLIP scratch, so multi-frame
+    /// turns encode the text query once and run the patch loop allocation-free.
+    pub fn qp_map_for_with(&self, frame: &Frame, query: &TextQuery, scratch: &mut ClipScratch) -> QpMap {
+        let importance = self.clip_model.correlation_map_with(frame, query, scratch);
+        self.allocator.allocate(importance, self.encoder.grid_for(frame))
+    }
+
     /// Encodes one frame with the CLIP-informed QP map (no bitrate matching).
     pub fn encode_frame(&self, frame: &Frame, query: &TextQuery) -> EncodedFrame {
         let qp_map = self.qp_map_for(frame, query);
@@ -123,7 +133,13 @@ impl ContextAwareStreamer {
         target_bitrate_bps: f64,
     ) -> ContextAwareEncode {
         assert!(!frames.is_empty());
-        let maps: Vec<QpMap> = frames.iter().map(|f| self.qp_map_for(f, query)).collect();
+        // One scratch across the turn: the query is encoded exactly once, and the per-patch
+        // CLIP loop reuses its buffers from the second frame on.
+        let mut clip_scratch = ClipScratch::new();
+        let maps: Vec<QpMap> = frames
+            .iter()
+            .map(|f| self.qp_map_for_with(f, query, &mut clip_scratch))
+            .collect();
         // Binary search the offset (bits are monotone decreasing in the offset).
         let measure = |offset: i32| -> Vec<EncodedFrame> {
             frames
@@ -155,7 +171,11 @@ impl ContextAwareStreamer {
                 hi = mid - 1;
             }
         }
-        ContextAwareEncode { qp_offset: best_offset, achieved_bitrate_bps: best_rate, encoded: best_encoded }
+        ContextAwareEncode {
+            qp_offset: best_offset,
+            achieved_bitrate_bps: best_rate,
+            encoded: best_encoded,
+        }
     }
 
     /// Offline convenience mirroring [`crate::baseline::ContextAgnosticBaseline::offline_decode`]:
@@ -170,7 +190,11 @@ impl ContextAwareStreamer {
         let frames = crate::baseline::sample_frames(source, max_frames);
         let query = self.query_for_question(question);
         let encode = self.encode_at_bitrate(&frames, &query, source.config().fps, target_bitrate_bps);
-        let decoded = encode.encoded.iter().map(|e| self.decoder.decode_complete(e, None)).collect();
+        let decoded = encode
+            .encoded
+            .iter()
+            .map(|e| self.decoder.decode_complete(e, None))
+            .collect();
         (decoded, encode)
     }
 
@@ -210,8 +234,14 @@ mod tests {
         let background_cell = (1000 / 64, 1800 / 64);
         let qp_logo = qp_map.get(logo_cell.0, logo_cell.1).value();
         let qp_bg = qp_map.get(background_cell.0, background_cell.1).value();
-        assert!(qp_logo + 12 <= qp_bg, "logo QP {qp_logo} vs background QP {qp_bg}");
-        assert!(qp_logo < 20, "evidence region should get a near-lossless QP, got {qp_logo}");
+        assert!(
+            qp_logo + 12 <= qp_bg,
+            "logo QP {qp_logo} vs background QP {qp_bg}"
+        );
+        assert!(
+            qp_logo < 20,
+            "evidence region should get a near-lossless QP, got {qp_logo}"
+        );
         assert_eq!(qp_map.dims(), grid);
     }
 
@@ -223,7 +253,11 @@ mod tests {
         for target in [430_000.0, 850_000.0] {
             let encode = streamer.encode_at_bitrate(&frames, &query, 30.0, target);
             let err = (encode.achieved_bitrate_bps - target).abs() / target;
-            assert!(err < 0.5, "target {target}: achieved {}", encode.achieved_bitrate_bps);
+            assert!(
+                err < 0.5,
+                "target {target}: achieved {}",
+                encode.achieved_bitrate_bps
+            );
         }
     }
 

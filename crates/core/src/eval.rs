@@ -126,9 +126,21 @@ pub fn run_accuracy_vs_bitrate(
             points.push(AccuracyPoint {
                 method,
                 target_bitrate_bps: bitrate,
-                achieved_bitrate_bps: if achieved_count == 0 { 0.0 } else { achieved_sum / achieved_count as f64 },
-                accuracy: if questions == 0 { 0.0 } else { correct as f64 / questions as f64 },
-                mean_probability: if questions == 0 { 0.0 } else { prob_sum / questions as f64 },
+                achieved_bitrate_bps: if achieved_count == 0 {
+                    0.0
+                } else {
+                    achieved_sum / achieved_count as f64
+                },
+                accuracy: if questions == 0 {
+                    0.0
+                } else {
+                    correct as f64 / questions as f64
+                },
+                mean_probability: if questions == 0 {
+                    0.0
+                } else {
+                    prob_sum / questions as f64
+                },
                 questions,
             });
         }
@@ -198,7 +210,10 @@ mod tests {
         // whole-frame-evidence scenes such as lecture slides, so some drop remains).
         let ours_drop = ours_high.mean_probability - ours_low.mean_probability;
         let base_drop = base_high.mean_probability - base_low.mean_probability;
-        assert!(ours_drop < base_drop, "ours dropped {ours_drop} vs baseline {base_drop}");
+        assert!(
+            ours_drop < base_drop,
+            "ours dropped {ours_drop} vs baseline {base_drop}"
+        );
         assert!(ours_drop < 0.35, "ours dropped too much: {ours_drop}");
         assert!(
             ours_low.mean_probability > base_low.mean_probability + 0.25,

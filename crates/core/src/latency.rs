@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn paper_68ms_computation() {
         // §1: inference 232 ms inside a 300 ms budget leaves at most 68 ms for transport.
-        let b = LatencyBudget { inference_ms: 232.0, ..LatencyBudget::default() };
+        let b = LatencyBudget {
+            inference_ms: 232.0,
+            ..LatencyBudget::default()
+        };
         assert!((b.transport_budget_ms() - 68.0).abs() < 1e-9);
     }
 

@@ -6,12 +6,10 @@ use crate::context_aware::ContextAwareStreamer;
 use crate::latency::LatencyBudget;
 use aivc_mllm::{Answer, InferenceLatencyModel, MllmChat, Question};
 use aivc_netsim::PathConfig;
-use aivc_rtc::{
-    FecConfig, JitterBuffer, OutgoingFrame, SessionConfig, SessionStats, VideoSession,
-};
 use aivc_rtc::jitter::JitterBufferConfig;
 use aivc_rtc::nack::NackConfig;
 use aivc_rtc::pacer::PacerConfig;
+use aivc_rtc::{FecConfig, JitterBuffer, OutgoingFrame, SessionConfig, SessionStats, VideoSession};
 use aivc_scene::VideoSource;
 use aivc_videocodec::{DecodedFrame, Decoder, EncodedFrame};
 use serde::{Deserialize, Serialize};
@@ -64,7 +62,10 @@ impl SessionOptions {
 
     /// The corresponding baseline configuration at the same bitrate.
     pub fn default_baseline(seed: u64) -> Self {
-        Self { mode: StreamingMode::Baseline, ..Self::default_context_aware(seed) }
+        Self {
+            mode: StreamingMode::Baseline,
+            ..Self::default_context_aware(seed)
+        }
     }
 }
 
@@ -127,12 +128,17 @@ impl AiVideoChatSession {
         let (encoded, achieved_bitrate, context_compute_ms): (Vec<EncodedFrame>, f64, f64) = match opts.mode {
             StreamingMode::ContextAware => {
                 let query = self.streamer.query_for_question(question);
-                let enc = self.streamer.encode_at_bitrate(&frames, &query, fps, opts.target_bitrate_bps);
-                let clip_ms = self.streamer.clip_latency_us(frames[0].width, frames[0].height) as f64 / 1_000.0;
+                let enc = self
+                    .streamer
+                    .encode_at_bitrate(&frames, &query, fps, opts.target_bitrate_bps);
+                let clip_ms =
+                    self.streamer.clip_latency_us(frames[0].width, frames[0].height) as f64 / 1_000.0;
                 (enc.encoded, enc.achieved_bitrate_bps, clip_ms)
             }
             StreamingMode::Baseline => {
-                let enc = self.baseline.encode_at_bitrate(&frames, fps, opts.target_bitrate_bps);
+                let enc = self
+                    .baseline
+                    .encode_at_bitrate(&frames, fps, opts.target_bitrate_bps);
                 (enc.encoded, enc.achieved_bitrate_bps, 0.0)
             }
         };
@@ -171,7 +177,10 @@ impl AiVideoChatSession {
                 continue;
             }
             let received_at = record.completed_at.map(|t| t.as_micros());
-            decoded.push(self.decoder.decode_with_received(enc, &record.received_ranges, received_at));
+            decoded.push(
+                self.decoder
+                    .decode_with_received(enc, &record.received_ranges, received_at),
+            );
         }
 
         // --- MLLM answers.
@@ -211,7 +220,11 @@ impl AiVideoChatSession {
             context_compute_ms,
             encode_ms: self.streamer.encoder().encode_latency_us() as f64 / 1_000.0,
             transmission_ms: transport.mean_transmission_latency_ms(),
-            jitter_buffer_ms: if completed == 0 { 0.0 } else { jitter_extra_ms / completed as f64 },
+            jitter_buffer_ms: if completed == 0 {
+                0.0
+            } else {
+                jitter_extra_ms / completed as f64
+            },
             decode_ms: 2.0,
             inference_ms: incremental_inference_ms,
         };
@@ -252,9 +265,17 @@ mod tests {
         let report = session.run_turn(&source(), &score_question());
         assert!(report.frames_sent > 0);
         assert!(report.frames_delivered > 0);
-        assert!(report.answer.probability_correct > 0.7, "p {}", report.answer.probability_correct);
+        assert!(
+            report.answer.probability_correct > 0.7,
+            "p {}",
+            report.answer.probability_correct
+        );
         assert!(report.latency.total_ms() > 200.0);
-        assert!(report.latency.transmission_ms < 100.0, "net {}", report.latency.transmission_ms);
+        assert!(
+            report.latency.transmission_ms < 100.0,
+            "net {}",
+            report.latency.transmission_ms
+        );
         // Ultra-low bitrate: well below 1 Mbps.
         assert!(report.achieved_bitrate_bps < 1_000_000.0);
     }
@@ -294,8 +315,10 @@ mod tests {
 
     #[test]
     fn turns_are_deterministic() {
-        let a = AiVideoChatSession::new(SessionOptions::default_context_aware(9)).run_turn(&source(), &score_question());
-        let b = AiVideoChatSession::new(SessionOptions::default_context_aware(9)).run_turn(&source(), &score_question());
+        let a = AiVideoChatSession::new(SessionOptions::default_context_aware(9))
+            .run_turn(&source(), &score_question());
+        let b = AiVideoChatSession::new(SessionOptions::default_context_aware(9))
+            .run_turn(&source(), &score_question());
         assert_eq!(a.answer, b.answer);
         assert_eq!(a.frames_delivered, b.frames_delivered);
         assert!((a.latency.total_ms() - b.latency.total_ms()).abs() < 1e-9);

@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn dollars_scale_with_tokens() {
         let prices = CostModel::default();
-        let mut ledger = CostSummary { generator_output_tokens: 10_000, ..CostSummary::default() };
+        let mut ledger = CostSummary {
+            generator_output_tokens: 10_000,
+            ..CostSummary::default()
+        };
         assert!((ledger.total_dollars(&prices) - 0.08).abs() < 1e-9);
         ledger.generator_output_tokens *= 2;
         assert!((ledger.total_dollars(&prices) - 0.16).abs() < 1e-9);

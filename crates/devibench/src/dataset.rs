@@ -134,7 +134,12 @@ mod tests {
                 sample(FactCategory::Counting, false),
             ],
             corpus_duration_secs: 600.0,
-            cost: CostSummary { generator_output_tokens: 50_000, inference_secs: 120.0, encoding_secs: 210.0, ..CostSummary::default() },
+            cost: CostSummary {
+                generator_output_tokens: 50_000,
+                inference_secs: 120.0,
+                encoding_secs: 210.0,
+                ..CostSummary::default()
+            },
         }
     }
 

@@ -123,7 +123,11 @@ pub fn evaluate_samples(
     EvalOutcome {
         questions: samples.len(),
         correct,
-        mean_probability_correct: if samples.is_empty() { 0.0 } else { prob_sum / samples.len() as f64 },
+        mean_probability_correct: if samples.is_empty() {
+            0.0
+        } else {
+            prob_sum / samples.len() as f64
+        },
         per_category,
     }
 }
@@ -160,13 +164,22 @@ mod tests {
             high.mean_probability_correct,
             low.mean_probability_correct
         );
-        assert!(high.accuracy() > low.accuracy(), "high {} low {}", high.accuracy(), low.accuracy());
+        assert!(
+            high.accuracy() > low.accuracy(),
+            "high {} low {}",
+            high.accuracy(),
+            low.accuracy()
+        );
         // By construction DeViBench is hard at 200 kbps. The multiple-choice format keeps a
         // 25 % guessing floor and the filter's single Bernoulli draw lets some easier
         // questions slip in (the paper's footnote makes the same point about the MC version
         // being easier than the free-response one), so "hard" means well below the
         // high-bitrate accuracy rather than near zero.
-        assert!(low.mean_probability_correct < 0.68, "low {}", low.mean_probability_correct);
+        assert!(
+            low.mean_probability_correct < 0.68,
+            "low {}",
+            low.mean_probability_correct
+        );
     }
 
     #[test]

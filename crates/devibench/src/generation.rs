@@ -31,7 +31,9 @@ pub struct GenerationConfig {
 
 impl Default for GenerationConfig {
     fn default() -> Self {
-        Self { easy_variants_per_fact: 3 }
+        Self {
+            easy_variants_per_fact: 3,
+        }
     }
 }
 
@@ -75,7 +77,10 @@ pub struct CandidateGenerator {
 impl CandidateGenerator {
     /// Creates a generator with the default configuration.
     pub fn new(seed: u64) -> Self {
-        Self { role: QaGenerator::new(seed), config: GenerationConfig::default() }
+        Self {
+            role: QaGenerator::new(seed),
+            config: GenerationConfig::default(),
+        }
     }
 
     /// Overrides the generation configuration.
@@ -108,7 +113,10 @@ impl CandidateGenerator {
             let question = Question::from_fact(fact, QuestionFormat::MultipleChoice);
             if let Some(generated) = self.role.attempt_fact(fact, &question, original_frames, tag) {
                 output_tokens += generated.generation_output_tokens as u64;
-                candidates.push(Candidate { clip_id: clip.id, generated });
+                candidates.push(Candidate {
+                    clip_id: clip.id,
+                    generated,
+                });
             }
             tag += 1;
             // Easy (coarse) variants about the same evidence.
@@ -116,10 +124,14 @@ impl CandidateGenerator {
                 let easy_fact = easy_variant_of(fact, &clip.scene, variant);
                 let easy_question = Question::from_fact(&easy_fact, QuestionFormat::MultipleChoice);
                 if let Some(generated) =
-                    self.role.attempt_fact(&easy_fact, &easy_question, original_frames, tag)
+                    self.role
+                        .attempt_fact(&easy_fact, &easy_question, original_frames, tag)
                 {
                     output_tokens += generated.generation_output_tokens as u64;
-                    candidates.push(Candidate { clip_id: clip.id, generated });
+                    candidates.push(Candidate {
+                        clip_id: clip.id,
+                        generated,
+                    });
                 }
                 tag += 1;
             }
@@ -137,43 +149,48 @@ fn easy_variant_of(fact: &SceneFact, scene: &aivc_scene::Scene, variant: u32) ->
         .and_then(|id| scene.object(*id))
         .map(|o| o.name.clone())
         .unwrap_or_else(|| "object".to_string());
-    let (category, question, answer, distractors): (FactCategory, String, String, Vec<String>) =
-        match variant % 3 {
-            0 => (
-                FactCategory::ObjectPerception,
-                format!("Is a {object_name} visible in the video?"),
-                "Yes".to_string(),
-                vec!["No".to_string(), "Only partially, behind another object".to_string(), "It appears only at the very end".to_string()],
-            ),
-            1 => (
-                FactCategory::SpatialUnderstanding,
-                format!("Roughly where does the {object_name} appear in the frame?"),
-                "In the main part of the scene".to_string(),
-                vec![
-                    "Completely outside the frame".to_string(),
-                    "Only in a mirror reflection".to_string(),
-                    "On a picture-in-picture overlay".to_string(),
-                ],
-            ),
-            _ => (
-                FactCategory::ActionPerception,
-                format!("Does the scene containing the {object_name} look like an indoor or outdoor setting?"),
+    let (category, question, answer, distractors): (FactCategory, String, String, Vec<String>) = match variant
+        % 3
+    {
+        0 => (
+            FactCategory::ObjectPerception,
+            format!("Is a {object_name} visible in the video?"),
+            "Yes".to_string(),
+            vec![
+                "No".to_string(),
+                "Only partially, behind another object".to_string(),
+                "It appears only at the very end".to_string(),
+            ],
+        ),
+        1 => (
+            FactCategory::SpatialUnderstanding,
+            format!("Roughly where does the {object_name} appear in the frame?"),
+            "In the main part of the scene".to_string(),
+            vec![
+                "Completely outside the frame".to_string(),
+                "Only in a mirror reflection".to_string(),
+                "On a picture-in-picture overlay".to_string(),
+            ],
+        ),
+        _ => (
+            FactCategory::ActionPerception,
+            format!("Does the scene containing the {object_name} look like an indoor or outdoor setting?"),
+            if scene.label.contains("park") || scene.label.contains("street") {
+                "Outdoor".to_string()
+            } else {
+                "Indoor".to_string()
+            },
+            vec![
                 if scene.label.contains("park") || scene.label.contains("street") {
-                    "Outdoor".to_string()
-                } else {
                     "Indoor".to_string()
+                } else {
+                    "Outdoor".to_string()
                 },
-                vec![
-                    if scene.label.contains("park") || scene.label.contains("street") {
-                        "Indoor".to_string()
-                    } else {
-                        "Outdoor".to_string()
-                    },
-                    "Underwater".to_string(),
-                    "In space".to_string(),
-                ],
-            ),
-        };
+                "Underwater".to_string(),
+                "In space".to_string(),
+            ],
+        ),
+    };
     SceneFact::new(category, question, answer, fact.evidence_objects.clone(), 0.15)
         .with_distractors(distractors)
         .with_query_concepts(fact.query_concepts.clone())
@@ -203,10 +220,17 @@ mod tests {
         let generator = CandidateGenerator::new(3);
         let (candidates, tokens) = generator.generate_for_clip(&clip, &frames, 0);
         // Most facts should yield at least the fact candidate plus several easy ones.
-        assert!(candidates.len() > clip.fact_count(), "{} candidates", candidates.len());
+        assert!(
+            candidates.len() > clip.fact_count(),
+            "{} candidates",
+            candidates.len()
+        );
         assert!(tokens > 0);
         // Easy candidates dominate.
-        let easy = candidates.iter().filter(|c| c.generated.question.required_detail < 0.3).count();
+        let easy = candidates
+            .iter()
+            .filter(|c| c.generated.question.required_detail < 0.3)
+            .count();
         assert!(easy * 2 > candidates.len(), "easy {easy} of {}", candidates.len());
     }
 

@@ -95,7 +95,10 @@ pub struct Pipeline {
 impl Pipeline {
     /// Creates a pipeline with the default encoder.
     pub fn new(config: PipelineConfig) -> Self {
-        Self { config, encoder: Encoder::new(EncoderConfig::default()) }
+        Self {
+            config,
+            encoder: Encoder::new(EncoderConfig::default()),
+        }
     }
 
     /// The configuration.
@@ -126,10 +129,18 @@ impl Pipeline {
 
         for (clip_idx, clip) in corpus.clips().iter().enumerate() {
             let source = clip.source();
-            let (original_frames, original_summary) =
-                transcode_clip(&self.encoder, &source, cfg.original_bitrate_bps, cfg.frames_per_clip);
-            let (degraded_frames, degraded_summary) =
-                transcode_clip(&self.encoder, &source, cfg.degraded_bitrate_bps, cfg.frames_per_clip);
+            let (original_frames, original_summary) = transcode_clip(
+                &self.encoder,
+                &source,
+                cfg.original_bitrate_bps,
+                cfg.frames_per_clip,
+            );
+            let (degraded_frames, degraded_summary) = transcode_clip(
+                &self.encoder,
+                &source,
+                cfg.degraded_bitrate_bps,
+                cfg.frames_per_clip,
+            );
             // Encoding wall-clock: both renditions plus the trial-and-error iterations the
             // rate matching needed (the paper's footnote complains about exactly this cost).
             let trials = 8.0; // binary-search iterations per rendition (measured by match_bitrate_qp)
@@ -142,21 +153,33 @@ impl Pipeline {
                 generator.generate_for_clip(clip, &original_frames, (clip_idx as u64) << 20);
             cost.generator_input_tokens += concat_tokens;
             cost.generator_output_tokens += gen_output_tokens;
-            cost.inference_secs +=
-                generator_latency.infer(concat_tokens.min(u32::MAX as u64) as u32, gen_output_tokens.min(4_000) as u32).total_ms() / 1_000.0;
+            cost.inference_secs += generator_latency
+                .infer(
+                    concat_tokens.min(u32::MAX as u64) as u32,
+                    gen_output_tokens.min(4_000) as u32,
+                )
+                .total_ms()
+                / 1_000.0;
 
             for (cand_idx, candidate) in candidates.into_iter().enumerate() {
                 generated += 1;
                 let tag = ((clip_idx as u64) << 20) | (cand_idx as u64);
 
                 // --- Filtering: answer on original and on degraded.
-                let outcome =
-                    filter.evaluate(&candidate.generated.question, &original_frames, &degraded_frames, tag);
+                let outcome = filter.evaluate(
+                    &candidate.generated.question,
+                    &original_frames,
+                    &degraded_frames,
+                    tag,
+                );
                 let per_eval_tokens = tokens_per_frame * original_frames.len() as u64 + 120;
                 cost.filter_input_tokens += 2 * per_eval_tokens;
                 cost.filter_output_tokens += 2 * 12;
-                cost.inference_secs +=
-                    2.0 * filter_latency.infer(per_eval_tokens.min(u32::MAX as u64) as u32, 12).total_ms() / 1_000.0;
+                cost.inference_secs += 2.0
+                    * filter_latency
+                        .infer(per_eval_tokens.min(u32::MAX as u64) as u32, 12)
+                        .total_ms()
+                    / 1_000.0;
                 if !outcome.accepted() {
                     continue;
                 }
@@ -171,8 +194,10 @@ impl Pipeline {
                 );
                 cost.verifier_input_tokens += per_eval_tokens;
                 cost.verifier_output_tokens += 40;
-                cost.inference_secs +=
-                    verifier_latency.infer(per_eval_tokens.min(u32::MAX as u64) as u32, 40).total_ms() / 1_000.0;
+                cost.inference_secs += verifier_latency
+                    .infer(per_eval_tokens.min(u32::MAX as u64) as u32, 40)
+                    .total_ms()
+                    / 1_000.0;
                 if !passes {
                     continue;
                 }
@@ -183,7 +208,12 @@ impl Pipeline {
 
         dataset.corpus_duration_secs = corpus.stats().total_duration_secs;
         dataset.cost = cost;
-        PipelineReport { dataset, generated, filter_accepted: accepted, verified }
+        PipelineReport {
+            dataset,
+            generated,
+            filter_accepted: accepted,
+            verified,
+        }
     }
 }
 
@@ -201,7 +231,11 @@ mod tests {
         let report = Pipeline::new(PipelineConfig::default()).run(&small_corpus());
         assert!(report.generated > 100, "generated {}", report.generated);
         assert!(report.verified > 5, "verified {}", report.verified);
-        assert!(report.dataset.validate().is_empty(), "{:?}", report.dataset.validate());
+        assert!(
+            report.dataset.validate().is_empty(),
+            "{:?}",
+            report.dataset.validate()
+        );
         // The accepted samples should skew heavily toward high-detail questions.
         let mean_detail: f64 = report
             .dataset
@@ -240,7 +274,8 @@ mod tests {
 
     #[test]
     fn cost_ledger_is_populated() {
-        let report = Pipeline::new(PipelineConfig::default()).run(&Corpus::streamingbench_like(5, 3, 20.0, 30.0));
+        let report =
+            Pipeline::new(PipelineConfig::default()).run(&Corpus::streamingbench_like(5, 3, 20.0, 30.0));
         let summary = report.dataset.summary(&CostModel::default());
         assert!(summary.total_money_usd > 0.0);
         assert!(summary.total_time_secs > 0.0);

@@ -45,7 +45,11 @@ impl CategoryDistribution {
             })
             .collect();
         let multi_frame = samples.iter().filter(|s| s.multi_frame).count();
-        Self { entries, multi_frame, single_frame: samples.len() - multi_frame }
+        Self {
+            entries,
+            multi_frame,
+            single_frame: samples.len() - multi_frame,
+        }
     }
 
     /// Share of samples that need multiple frames (the paper reports 34.45 %).
@@ -123,7 +127,16 @@ mod tests {
     #[test]
     fn dominant_category_detected() {
         let samples: Vec<_> = (0..8)
-            .map(|i| sample(if i < 6 { FactCategory::TextRich } else { FactCategory::Counting }, false))
+            .map(|i| {
+                sample(
+                    if i < 6 {
+                        FactCategory::TextRich
+                    } else {
+                        FactCategory::Counting
+                    },
+                    false,
+                )
+            })
             .collect();
         let dist = CategoryDistribution::of(&samples);
         assert_eq!(dist.dominant_category(), FactCategory::TextRich);

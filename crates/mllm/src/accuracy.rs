@@ -123,7 +123,12 @@ pub struct AnswerModel {
 impl AnswerModel {
     /// Creates an answer model.
     pub fn new(config: MllmConfig, seed_stream: u64) -> Self {
-        Self { config, calibration: AccuracyCalibration::default(), rd: RdModel::default(), seed_stream }
+        Self {
+            config,
+            calibration: AccuracyCalibration::default(),
+            rd: RdModel::default(),
+            seed_stream,
+        }
     }
 
     /// Overrides the calibration (used by calibration sweeps).
@@ -148,7 +153,10 @@ impl AnswerModel {
         if question.evidence_objects.is_empty() {
             // No specific evidence: the question is about the gist; use the mean frame quality
             // conditioned on the question's detail requirement.
-            let mean = frames.iter().map(|f| f.mean_quality_for_detail(detail, &self.rd)).sum::<f64>()
+            let mean = frames
+                .iter()
+                .map(|f| f.mean_quality_for_detail(detail, &self.rd))
+                .sum::<f64>()
                 / frames.len() as f64;
             return mean;
         }
@@ -183,7 +191,10 @@ impl AnswerModel {
         question.evidence_objects.iter().all(|&object_id| {
             frames
                 .iter()
-                .filter(|f| f.object_quality(object_id, self.calibration.min_object_coverage).is_some())
+                .filter(|f| {
+                    f.object_quality(object_id, self.calibration.min_object_coverage)
+                        .is_some()
+                })
                 .count()
                 >= 2
         })
@@ -273,7 +284,10 @@ mod tests {
         let p_high = m.probability_correct(&q, &decoded_at_qp(24));
         let p_low = m.probability_correct(&q, &decoded_at_qp(44));
         assert!(p_high > 0.8, "high-quality p {p_high}");
-        assert!(p_low < 0.25, "detail question should collapse at QP 44, p {p_low}");
+        assert!(
+            p_low < 0.25,
+            "detail question should collapse at QP 44, p {p_low}"
+        );
     }
 
     #[test]
@@ -359,8 +373,6 @@ mod tests {
         let many_frames: Vec<_> = (0..4)
             .map(|i| dec.decode_complete(&enc.encode_uniform(&source.frame(i * 30), Qp::new(24)), None))
             .collect();
-        assert!(
-            m.probability_correct(&q, &many_frames) > m.probability_correct(&q, &one_frame) + 0.2
-        );
+        assert!(m.probability_correct(&q, &many_frames) > m.probability_correct(&q, &one_frame) + 0.2);
     }
 }

@@ -45,7 +45,11 @@ impl MllmChat {
     pub fn new(profile: MllmProfile) -> Self {
         let answer_model = AnswerModel::new(profile.config, profile.seed_stream);
         let latency_model = InferenceLatencyModel::new(profile.config);
-        Self { profile, answer_model, latency_model }
+        Self {
+            profile,
+            answer_model,
+            latency_model,
+        }
     }
 
     /// The default cloud responder.
@@ -102,7 +106,9 @@ impl MllmChat {
         let considered = &ingested[ingested.len() - frames_kept..];
         let probability = self.answer_model.probability_correct(question, considered);
         let perceived = self.answer_model.perceived_evidence_quality(question, considered);
-        let correct = self.answer_model.answer_is_correct(question, considered, context_tag);
+        let correct = self
+            .answer_model
+            .answer_is_correct(question, considered, context_tag);
         let latency = self.latency_model.typical(visual_tokens);
         Answer {
             correct,
@@ -125,11 +131,22 @@ mod tests {
     use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp};
 
     fn offered_frames(qp: i32, count: u64, fps: f64) -> Vec<DecodedFrame> {
-        let source = VideoSource::new(basketball_game(1), SourceConfig { fps, duration_secs: count as f64 / fps });
+        let source = VideoSource::new(
+            basketball_game(1),
+            SourceConfig {
+                fps,
+                duration_secs: count as f64 / fps,
+            },
+        );
         let enc = Encoder::new(EncoderConfig::default());
         let dec = Decoder::new();
         (0..count)
-            .map(|i| dec.decode_complete(&enc.encode_uniform(&source.frame(i), Qp::new(qp)), Some(i * 33_333)))
+            .map(|i| {
+                dec.decode_complete(
+                    &enc.encode_uniform(&source.frame(i), Qp::new(qp)),
+                    Some(i * 33_333),
+                )
+            })
             .collect()
     }
 
@@ -155,7 +172,11 @@ mod tests {
         let answer = chat.respond(&score_question(), &offered, 0);
         assert!(answer.visual_tokens > 0);
         assert!(answer.latency.total_ms() > 232.0);
-        assert!(answer.probability_correct > 0.6, "p {}", answer.probability_correct);
+        assert!(
+            answer.probability_correct > 0.6,
+            "p {}",
+            answer.probability_correct
+        );
         assert!(answer.frames_ingested >= 1);
     }
 

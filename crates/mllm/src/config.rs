@@ -104,22 +104,38 @@ pub struct MllmProfile {
 impl MllmProfile {
     /// The default responder profile.
     pub fn responder(seed_stream: u64) -> Self {
-        Self { name: "qwen2.5-omni".into(), config: MllmConfig::qwen_omni_like(), seed_stream }
+        Self {
+            name: "qwen2.5-omni".into(),
+            config: MllmConfig::qwen_omni_like(),
+            seed_stream,
+        }
     }
 
     /// The QA-generator profile.
     pub fn generator(seed_stream: u64) -> Self {
-        Self { name: "qwen3-vl-plus-thinking".into(), config: MllmConfig::generator_like(), seed_stream }
+        Self {
+            name: "qwen3-vl-plus-thinking".into(),
+            config: MllmConfig::generator_like(),
+            seed_stream,
+        }
     }
 
     /// The cross-verifier profile.
     pub fn verifier(seed_stream: u64) -> Self {
-        Self { name: "glm-4.5v-thinking".into(), config: MllmConfig::verifier_like(), seed_stream }
+        Self {
+            name: "glm-4.5v-thinking".into(),
+            config: MllmConfig::verifier_like(),
+            seed_stream,
+        }
     }
 
     /// The mobile collaborator profile.
     pub fn mobile(seed_stream: u64) -> Self {
-        Self { name: "mobile-mllm".into(), config: MllmConfig::mobile_like(), seed_stream }
+        Self {
+            name: "mobile-mllm".into(),
+            config: MllmConfig::mobile_like(),
+            seed_stream,
+        }
     }
 }
 

@@ -49,7 +49,9 @@ impl InferenceLatencyModel {
         InferenceLatency {
             prefill_fixed_ms: self.config.prefill_fixed_ms,
             prefill_visual_ms: prefill_visual,
-            time_to_first_token_ms: self.config.prefill_fixed_ms + prefill_visual + self.config.decode_per_token_ms,
+            time_to_first_token_ms: self.config.prefill_fixed_ms
+                + prefill_visual
+                + self.config.decode_per_token_ms,
             decode_ms: decode,
         }
     }

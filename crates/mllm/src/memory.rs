@@ -37,7 +37,7 @@ impl LongTermMemory {
     pub fn ingest(&mut self, frame: &DecodedFrame) {
         self.frames_ingested += 1;
         for block in &frame.blocks {
-            for (object_id, coverage) in &block.object_coverage {
+            for (object_id, coverage) in block.object_coverage.iter() {
                 if *coverage < 0.05 {
                     continue;
                 }
@@ -63,7 +63,10 @@ impl LongTermMemory {
     /// The quality at which a *historical* question about `object_id` could be answered:
     /// the best quality ever observed, or zero if never seen.
     pub fn recall_quality(&self, object_id: u32) -> f64 {
-        self.entries.get(&object_id).map(|e| e.best_quality).unwrap_or(0.0)
+        self.entries
+            .get(&object_id)
+            .map(|e| e.best_quality)
+            .unwrap_or(0.0)
     }
 
     /// Number of distinct objects remembered.

@@ -28,10 +28,16 @@ pub struct FramePosition {
 pub fn positional_encoding(frames: &[DecodedFrame]) -> Vec<FramePosition> {
     let mut order: Vec<usize> = (0..frames.len()).collect();
     order.sort_by_key(|&i| frames[i].capture_ts_us);
-    let Some(&first_idx) = order.first() else { return Vec::new() };
+    let Some(&first_idx) = order.first() else {
+        return Vec::new();
+    };
     let t0 = frames[first_idx].capture_ts_us;
     let mut positions = vec![
-        FramePosition { order: 0, relative_ts_us: 0, phase: 0.0 };
+        FramePosition {
+            order: 0,
+            relative_ts_us: 0,
+            phase: 0.0
+        };
         frames.len()
     ];
     for (rank, &idx) in order.iter().enumerate() {
@@ -96,7 +102,11 @@ mod tests {
         let frames = vec![frame(0, None), frame(250_000, None), frame(1_000_000, None)];
         let pos = positional_encoding(&frames);
         assert!((pos[1].phase - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
-        assert!(pos[2].phase.abs() < 1e-9, "full second wraps to 0, got {}", pos[2].phase);
+        assert!(
+            pos[2].phase.abs() < 1e-9,
+            "full second wraps to 0, got {}",
+            pos[2].phase
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub struct QaGenerator {
 impl QaGenerator {
     /// Creates the generator with its default (strong, "thinking") profile.
     pub fn new(seed: u64) -> Self {
-        Self { chat: MllmChat::new(MllmProfile::generator(seed)), seed }
+        Self {
+            chat: MllmChat::new(MllmProfile::generator(seed)),
+            seed,
+        }
     }
 
     /// The underlying chat model.
@@ -72,10 +75,11 @@ impl QaGenerator {
         original_frames: &[DecodedFrame],
         context_tag: u64,
     ) -> Option<GeneratedQa> {
-        let perceives_answer = self
-            .chat
-            .answer_model()
-            .answer_is_correct(question, original_frames, context_tag.wrapping_mul(3).wrapping_add(1));
+        let perceives_answer = self.chat.answer_model().answer_is_correct(
+            question,
+            original_frames,
+            context_tag.wrapping_mul(3).wrapping_add(1),
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(
             self.seed
                 .wrapping_mul(0xA24B_AED4)
@@ -141,7 +145,9 @@ pub struct QaFilter {
 impl QaFilter {
     /// Creates the filter with its default (Qwen2.5-Omni-like) profile.
     pub fn new(seed: u64) -> Self {
-        Self { chat: MllmChat::new(MllmProfile::responder(seed)) }
+        Self {
+            chat: MllmChat::new(MllmProfile::responder(seed)),
+        }
     }
 
     /// The underlying chat model.
@@ -167,7 +173,10 @@ impl QaFilter {
             degraded_frames,
             context_tag.wrapping_mul(5).wrapping_add(12),
         );
-        FilterOutcome { correct_on_original, correct_on_degraded }
+        FilterOutcome {
+            correct_on_original,
+            correct_on_degraded,
+        }
     }
 }
 
@@ -180,7 +189,9 @@ pub struct CrossVerifier {
 impl CrossVerifier {
     /// Creates the verifier with its default (GLM-4.5V-like) profile.
     pub fn new(seed: u64) -> Self {
-        Self { chat: MllmChat::new(MllmProfile::verifier(seed)) }
+        Self {
+            chat: MllmChat::new(MllmProfile::verifier(seed)),
+        }
     }
 
     /// The underlying chat model.
@@ -281,7 +292,10 @@ mod tests {
         let accepted_easy = (0..50u64)
             .filter(|tag| filter.evaluate(&easy_q, &original, &degraded, *tag).accepted())
             .count();
-        assert!(accepted_easy < accepted / 2, "easy accepted {accepted_easy}, hard {accepted}");
+        assert!(
+            accepted_easy < accepted / 2,
+            "easy accepted {accepted_easy}, hard {accepted}"
+        );
     }
 
     #[test]
@@ -301,9 +315,21 @@ mod tests {
 
     #[test]
     fn filter_outcome_acceptance_rule() {
-        assert!(FilterOutcome { correct_on_original: true, correct_on_degraded: false }.accepted());
-        assert!(!FilterOutcome { correct_on_original: true, correct_on_degraded: true }.accepted());
-        assert!(!FilterOutcome { correct_on_original: false, correct_on_degraded: false }.accepted());
+        assert!(FilterOutcome {
+            correct_on_original: true,
+            correct_on_degraded: false
+        }
+        .accepted());
+        assert!(!FilterOutcome {
+            correct_on_original: true,
+            correct_on_degraded: true
+        }
+        .accepted());
+        assert!(!FilterOutcome {
+            correct_on_original: false,
+            correct_on_degraded: false
+        }
+        .accepted());
     }
 
     #[test]

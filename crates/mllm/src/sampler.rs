@@ -46,7 +46,12 @@ impl FrameSampler {
     /// Creates a sampler with an explicit rate limit.
     pub fn with_max_fps(max_fps: f64) -> Self {
         assert!(max_fps > 0.0, "max fps must be positive");
-        Self { max_fps, last_taken_ts_us: None, taken: 0, offered: 0 }
+        Self {
+            max_fps,
+            last_taken_ts_us: None,
+            taken: 0,
+            offered: 0,
+        }
     }
 
     /// Minimum capture-timestamp spacing between ingested frames, in microseconds.
@@ -78,7 +83,10 @@ impl FrameSampler {
 
     /// Statistics so far.
     pub fn stats(&self) -> SamplingStats {
-        SamplingStats { offered: self.offered, taken: self.taken }
+        SamplingStats {
+            offered: self.offered,
+            taken: self.taken,
+        }
     }
 }
 
@@ -112,7 +120,9 @@ pub struct Downsampler {
 impl Downsampler {
     /// Creates a downsampler honouring the model's pixel budget.
     pub fn new(config: &MllmConfig) -> Self {
-        Self { max_pixels: config.max_pixels_per_frame }
+        Self {
+            max_pixels: config.max_pixels_per_frame,
+        }
     }
 
     /// Creates a downsampler with an explicit budget.
@@ -125,11 +135,19 @@ impl Downsampler {
     pub fn decide(&self, width: u32, height: u32) -> DownsampleDecision {
         let source = width as u64 * height as u64;
         if source <= self.max_pixels {
-            return DownsampleDecision { source_pixels: source, retained_pixels: source, linear_scale: 1.0 };
+            return DownsampleDecision {
+                source_pixels: source,
+                retained_pixels: source,
+                linear_scale: 1.0,
+            };
         }
         let scale = (self.max_pixels as f64 / source as f64).sqrt();
         let retained = ((width as f64 * scale).floor() * (height as f64 * scale).floor()) as u64;
-        DownsampleDecision { source_pixels: source, retained_pixels: retained.min(self.max_pixels), linear_scale: scale }
+        DownsampleDecision {
+            source_pixels: source,
+            retained_pixels: retained.min(self.max_pixels),
+            linear_scale: scale,
+        }
     }
 }
 

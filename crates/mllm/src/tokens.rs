@@ -35,13 +35,19 @@ pub struct VisionTokenizer {
 impl VisionTokenizer {
     /// Creates a tokenizer from the model configuration.
     pub fn new(config: &MllmConfig) -> Self {
-        Self { pixels_per_token: config.pixels_per_token, budget: config.visual_token_budget }
+        Self {
+            pixels_per_token: config.pixels_per_token,
+            budget: config.visual_token_budget,
+        }
     }
 
     /// Creates a tokenizer with explicit parameters.
     pub fn with_params(pixels_per_token: u32, budget: u32) -> Self {
         assert!(pixels_per_token > 0 && budget > 0);
-        Self { pixels_per_token, budget }
+        Self {
+            pixels_per_token,
+            budget,
+        }
     }
 
     /// Tokens produced by one frame of `pixels` pixels (at least 1).

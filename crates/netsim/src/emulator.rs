@@ -23,7 +23,10 @@ pub struct PathConfig {
 impl PathConfig {
     /// A symmetric path.
     pub fn symmetric(config: LinkConfig) -> Self {
-        Self { uplink: config.clone(), downlink: config }
+        Self {
+            uplink: config.clone(),
+            downlink: config,
+        }
     }
 
     /// The paper's §2.2 measurement path with the given uplink loss rate; feedback flows on a
@@ -110,10 +113,18 @@ mod tests {
         let mut emu = NetworkEmulator::new(PathConfig::paper_section_2_2(0.0), 1);
         // Saturate the uplink.
         for i in 0..2_000u64 {
-            emu.send(Direction::Uplink, &Packet::new(i, 1_250, SimTime::ZERO), SimTime::ZERO);
+            emu.send(
+                Direction::Uplink,
+                &Packet::new(i, 1_250, SimTime::ZERO),
+                SimTime::ZERO,
+            );
         }
         // Downlink should still deliver with zero queueing.
-        let out = emu.send(Direction::Downlink, &Packet::new(9_999, 200, SimTime::ZERO), SimTime::ZERO);
+        let out = emu.send(
+            Direction::Downlink,
+            &Packet::new(9_999, 200, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         match out {
             DeliveryOutcome::Delivered { queueing_delay, .. } => {
                 assert_eq!(queueing_delay, SimDuration::ZERO)
@@ -125,8 +136,16 @@ mod tests {
     #[test]
     fn paper_path_has_30ms_owd_each_way() {
         let mut emu = NetworkEmulator::new(PathConfig::paper_section_2_2(0.0), 2);
-        let up = emu.send(Direction::Uplink, &Packet::new(0, 1_250, SimTime::ZERO), SimTime::ZERO);
-        let down = emu.send(Direction::Downlink, &Packet::new(1, 200, SimTime::ZERO), SimTime::ZERO);
+        let up = emu.send(
+            Direction::Uplink,
+            &Packet::new(0, 1_250, SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        let down = emu.send(
+            Direction::Downlink,
+            &Packet::new(1, 200, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         assert!(up.arrival().unwrap().as_micros() >= 30_000);
         assert!(down.arrival().unwrap().as_micros() >= 30_000);
         assert_eq!(emu.uplink_propagation(), SimDuration::from_millis(30));
@@ -137,8 +156,16 @@ mod tests {
         let cfg = PathConfig::asymmetric_mobile(4e6, 40e6, SimDuration::from_millis(40), 0.0);
         let mut emu = NetworkEmulator::new(cfg, 3);
         // The same packet takes ~10x longer to serialize on the uplink.
-        let up = emu.send(Direction::Uplink, &Packet::new(0, 5_000, SimTime::ZERO), SimTime::ZERO);
-        let down = emu.send(Direction::Downlink, &Packet::new(1, 5_000, SimTime::ZERO), SimTime::ZERO);
+        let up = emu.send(
+            Direction::Uplink,
+            &Packet::new(0, 5_000, SimTime::ZERO),
+            SimTime::ZERO,
+        );
+        let down = emu.send(
+            Direction::Downlink,
+            &Packet::new(1, 5_000, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         let up_latency = up.arrival().unwrap().as_micros();
         let down_latency = down.arrival().unwrap().as_micros();
         assert!(up_latency > down_latency, "{up_latency} vs {down_latency}");
@@ -148,11 +175,19 @@ mod tests {
     fn reset_restores_clean_state() {
         let mut emu = NetworkEmulator::new(PathConfig::paper_section_2_2(0.0), 4);
         for i in 0..500u64 {
-            emu.send(Direction::Uplink, &Packet::new(i, 1_250, SimTime::ZERO), SimTime::ZERO);
+            emu.send(
+                Direction::Uplink,
+                &Packet::new(i, 1_250, SimTime::ZERO),
+                SimTime::ZERO,
+            );
         }
         emu.reset();
         assert_eq!(emu.uplink().counters().offered, 0);
-        let out = emu.send(Direction::Uplink, &Packet::new(0, 1_250, SimTime::ZERO), SimTime::ZERO);
+        let out = emu.send(
+            Direction::Uplink,
+            &Packet::new(0, 1_250, SimTime::ZERO),
+            SimTime::ZERO,
+        );
         assert_eq!(out.arrival().unwrap().as_micros(), 31_000);
     }
 }

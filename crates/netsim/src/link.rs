@@ -50,7 +50,11 @@ impl LinkConfig {
             bandwidth: BandwidthTrace::constant(bandwidth_bps),
             propagation_delay: SimDuration::from_millis(30),
             queue_capacity_bytes: (bandwidth_bps * 0.3 / 8.0) as u64,
-            loss: if loss_rate > 0.0 { LossModel::Iid { rate: loss_rate } } else { LossModel::None },
+            loss: if loss_rate > 0.0 {
+                LossModel::Iid { rate: loss_rate }
+            } else {
+                LossModel::None
+            },
             max_jitter: SimDuration::ZERO,
         }
     }
@@ -212,7 +216,10 @@ impl Link {
         let arrival = self.busy_until + self.config.propagation_delay + jitter;
         self.counters.delivered += 1;
         self.counters.delivered_bytes += packet.size_bytes as u64;
-        DeliveryOutcome::Delivered { arrival, queueing_delay }
+        DeliveryOutcome::Delivered {
+            arrival,
+            queueing_delay,
+        }
     }
 
     /// Resets dynamic state (queue backlog, counters) while keeping configuration and RNG
@@ -321,7 +328,10 @@ mod tests {
             (0..100u64)
                 .map(|i| {
                     let now = SimTime::from_micros(i * 5_000);
-                    link.send(&Packet::new(i, 1_250, now), now).arrival().unwrap().as_micros()
+                    link.send(&Packet::new(i, 1_250, now), now)
+                        .arrival()
+                        .unwrap()
+                        .as_micros()
                 })
                 .collect::<Vec<_>>()
         };

@@ -40,7 +40,12 @@ impl LossModel {
         match *self {
             LossModel::None => 0.0,
             LossModel::Iid { rate } => rate.clamp(0.0, 1.0),
-            LossModel::GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good, loss_bad } => {
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
                 // Stationary distribution of the two-state chain.
                 let denom = p_good_to_bad + p_bad_to_good;
                 if denom <= 0.0 {
@@ -65,7 +70,12 @@ impl LossModel {
         // Stationary bad-state probability must equal avg_rate:
         //   pi_bad = p_gb / (p_gb + p_bg) = avg_rate  =>  p_gb = avg_rate * p_bg / (1 - avg_rate)
         let p_good_to_bad = (avg_rate * p_bad_to_good / (1.0 - avg_rate)).min(1.0);
-        LossModel::GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good: 0.0, loss_bad: 1.0 }
+        LossModel::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
     }
 }
 
@@ -80,7 +90,11 @@ pub struct LossProcess {
 impl LossProcess {
     /// Creates a loss process.
     pub fn new(model: LossModel, seed: u64) -> Self {
-        Self { model, rng: ChaCha8Rng::seed_from_u64(seed), in_bad_state: false }
+        Self {
+            model,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            in_bad_state: false,
+        }
     }
 
     /// The configured model.
@@ -93,7 +107,12 @@ impl LossProcess {
         match self.model {
             LossModel::None => false,
             LossModel::Iid { rate } => self.rng.gen_bool(rate.clamp(0.0, 1.0)),
-            LossModel::GilbertElliott { p_good_to_bad, p_bad_to_good, loss_good, loss_bad } => {
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
                 // State transition first, then loss decision in the new state.
                 if self.in_bad_state {
                     if self.rng.gen_bool(p_bad_to_good.clamp(0.0, 1.0)) {

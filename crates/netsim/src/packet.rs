@@ -31,7 +31,13 @@ pub struct Packet {
 impl Packet {
     /// Creates a packet.
     pub fn new(id: u64, size_bytes: u32, send_time: SimTime) -> Self {
-        Self { id: PacketId(id), size_bytes, send_time, flow: 0, tag: 0 }
+        Self {
+            id: PacketId(id),
+            size_bytes,
+            send_time,
+            flow: 0,
+            tag: 0,
+        }
     }
 
     /// Sets the flow label.
@@ -58,7 +64,9 @@ mod tests {
 
     #[test]
     fn packet_builder() {
-        let p = Packet::new(7, 1_200, SimTime::from_millis(5)).with_flow(2).with_tag(99);
+        let p = Packet::new(7, 1_200, SimTime::from_millis(5))
+            .with_flow(2)
+            .with_tag(99);
         assert_eq!(p.id, PacketId(7));
         assert_eq!(p.size_bits(), 9_600);
         assert_eq!(p.flow, 2);

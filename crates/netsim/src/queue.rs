@@ -30,7 +30,13 @@ impl<T> DropTailQueue<T> {
     /// Creates a queue with the given byte capacity.
     pub fn new(capacity_bytes: u64) -> Self {
         assert!(capacity_bytes > 0, "queue capacity must be positive");
-        Self { items: VecDeque::new(), capacity_bytes, occupied_bytes: 0, dropped: 0, accepted: 0 }
+        Self {
+            items: VecDeque::new(),
+            capacity_bytes,
+            occupied_bytes: 0,
+            dropped: 0,
+            accepted: 0,
+        }
     }
 
     /// Attempts to enqueue an item of `size_bytes`.

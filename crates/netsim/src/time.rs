@@ -174,12 +174,18 @@ mod tests {
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
         // Saturating subtraction.
-        assert_eq!(SimTime::from_millis(1) - SimTime::from_millis(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_millis(1) - SimTime::from_millis(5),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn duration_scaling() {
-        assert_eq!(SimDuration::from_millis(10).mul_f64(2.5), SimDuration::from_micros(25_000));
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(2.5),
+            SimDuration::from_micros(25_000)
+        );
         assert_eq!(SimDuration::from_millis(10).mul_f64(-1.0), SimDuration::ZERO);
     }
 

@@ -22,7 +22,9 @@ impl BandwidthTrace {
     /// A constant-rate trace.
     pub fn constant(rate_bps: f64) -> Self {
         assert!(rate_bps > 0.0, "bandwidth must be positive");
-        Self { segments: vec![(0, rate_bps)] }
+        Self {
+            segments: vec![(0, rate_bps)],
+        }
     }
 
     /// Builds a trace from explicit `(start_time, rate_bps)` segments.
@@ -34,10 +36,15 @@ impl BandwidthTrace {
         let mut prev = 0u64;
         for (i, (t, rate)) in segments.iter().enumerate() {
             assert!(*rate > 0.0, "segment {i} has non-positive rate");
-            assert!(i == 0 || t.as_micros() > prev, "segments must be strictly increasing");
+            assert!(
+                i == 0 || t.as_micros() > prev,
+                "segments must be strictly increasing"
+            );
             prev = t.as_micros();
         }
-        Self { segments: segments.into_iter().map(|(t, r)| (t.as_micros(), r)).collect() }
+        Self {
+            segments: segments.into_iter().map(|(t, r)| (t.as_micros(), r)).collect(),
+        }
     }
 
     /// A step trace: `before_bps` until `at`, then `after_bps`.
@@ -60,7 +67,14 @@ impl BandwidthTrace {
 
     /// A bounded random-walk trace: every `step` the rate is multiplied by a factor drawn
     /// uniformly from `[0.85, 1.15]` and clamped to `[min_bps, max_bps]`.
-    pub fn random_walk(seed: u64, start_bps: f64, min_bps: f64, max_bps: f64, step: SimTime, total: SimTime) -> Self {
+    pub fn random_walk(
+        seed: u64,
+        start_bps: f64,
+        min_bps: f64,
+        max_bps: f64,
+        step: SimTime,
+        total: SimTime,
+    ) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut segments = Vec::new();
         let mut t = 0u64;
@@ -125,7 +139,12 @@ mod tests {
 
     #[test]
     fn square_wave_alternates() {
-        let t = BandwidthTrace::square_wave(10e6, 2e6, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(4.0));
+        let t = BandwidthTrace::square_wave(
+            10e6,
+            2e6,
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(4.0),
+        );
         assert_eq!(t.rate_at(SimTime::from_secs_f64(0.5)), 10e6);
         assert_eq!(t.rate_at(SimTime::from_secs_f64(1.5)), 2e6);
         assert_eq!(t.rate_at(SimTime::from_secs_f64(2.5)), 10e6);
@@ -133,8 +152,22 @@ mod tests {
 
     #[test]
     fn random_walk_stays_in_bounds_and_is_deterministic() {
-        let a = BandwidthTrace::random_walk(9, 5e6, 1e6, 10e6, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(60.0));
-        let b = BandwidthTrace::random_walk(9, 5e6, 1e6, 10e6, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(60.0));
+        let a = BandwidthTrace::random_walk(
+            9,
+            5e6,
+            1e6,
+            10e6,
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(60.0),
+        );
+        let b = BandwidthTrace::random_walk(
+            9,
+            5e6,
+            1e6,
+            10e6,
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(60.0),
+        );
         assert_eq!(a, b);
         for i in 0..60 {
             let r = a.rate_at(SimTime::from_secs_f64(i as f64));

@@ -52,7 +52,10 @@ impl AbrPolicy {
     /// An AI-oriented policy with the given accuracy floor.
     pub fn ai_oriented(accuracy_floor_bps: f64) -> Self {
         Self {
-            mode: AbrMode::AiOriented { accuracy_floor_bps, headroom: 1.1 },
+            mode: AbrMode::AiOriented {
+                accuracy_floor_bps,
+                headroom: 1.1,
+            },
             min_bitrate_bps: 150_000.0,
             max_bitrate_bps: 8_000_000.0,
         }
@@ -62,7 +65,10 @@ impl AbrPolicy {
     pub fn target_bitrate(&self, bandwidth_estimate_bps: f64) -> f64 {
         let raw = match self.mode {
             AbrMode::Traditional { utilization } => bandwidth_estimate_bps * utilization,
-            AbrMode::AiOriented { accuracy_floor_bps, headroom } => {
+            AbrMode::AiOriented {
+                accuracy_floor_bps,
+                headroom,
+            } => {
                 // Never exceed what the link can carry, but otherwise stick to the floor.
                 (accuracy_floor_bps * headroom).min(bandwidth_estimate_bps * 0.85)
             }
@@ -78,7 +84,9 @@ mod tests {
     #[test]
     fn traditional_rides_the_estimate() {
         let p = AbrPolicy::traditional();
-        assert!((p.target_bitrate(10e6) - 8.5e6).abs() < 1.0_f64.max(0.0) + 1.0 || p.target_bitrate(10e6) == 8e6);
+        assert!(
+            (p.target_bitrate(10e6) - 8.5e6).abs() < 1.0_f64.max(0.0) + 1.0 || p.target_bitrate(10e6) == 8e6
+        );
         // Clamped to max.
         assert_eq!(p.target_bitrate(100e6), 8e6);
         // Clamped to min.

@@ -83,12 +83,20 @@ pub struct GccController {
 impl GccController {
     /// Creates a controller.
     pub fn new(config: GccConfig) -> Self {
-        Self { config, estimate_bps: config.initial_estimate_bps, last_mean_owd_ms: None, state: CcState::Hold }
+        Self {
+            config,
+            estimate_bps: config.initial_estimate_bps,
+            last_mean_owd_ms: None,
+            state: CcState::Hold,
+        }
     }
 
     /// Creates a controller with default configuration and the given starting estimate.
     pub fn with_initial(initial_bps: f64) -> Self {
-        Self::new(GccConfig { initial_estimate_bps: initial_bps, ..GccConfig::default() })
+        Self::new(GccConfig {
+            initial_estimate_bps: initial_bps,
+            ..GccConfig::default()
+        })
     }
 
     /// The current bandwidth estimate in bits per second.
@@ -119,7 +127,10 @@ impl GccController {
                 .map(|f| f.arrived_at.unwrap().saturating_since(f.sent_at).as_millis_f64())
                 .sum::<f64>()
                 / received.len() as f64;
-            let trend = self.last_mean_owd_ms.map(|prev| mean_owd_ms - prev).unwrap_or(0.0);
+            let trend = self
+                .last_mean_owd_ms
+                .map(|prev| mean_owd_ms - prev)
+                .unwrap_or(0.0);
             self.last_mean_owd_ms = Some(mean_owd_ms);
             trend
         };

@@ -57,11 +57,7 @@ impl FecEncoder {
 
     /// Builds parity packets for `media_packets` (all belonging to one frame), assigning
     /// them sequence numbers from `alloc_seq`.
-    pub fn protect(
-        &self,
-        media_packets: &[RtpPacket],
-        mut alloc_seq: impl FnMut() -> u64,
-    ) -> Vec<RtpPacket> {
+    pub fn protect(&self, media_packets: &[RtpPacket], mut alloc_seq: impl FnMut() -> u64) -> Vec<RtpPacket> {
         if !self.config.is_enabled() || media_packets.is_empty() {
             return Vec::new();
         }
@@ -121,12 +117,20 @@ impl FecRecovery {
 
     /// Declares that media packet `packet_index` of `frame_id` belongs to `group`.
     pub fn expect_media(&mut self, frame_id: u64, group: u32, packet_index: usize) {
-        self.groups.entry((frame_id, group)).or_default().expected.push(packet_index);
+        self.groups
+            .entry((frame_id, group))
+            .or_default()
+            .expected
+            .push(packet_index);
     }
 
     /// Records a received media packet. Returns nothing; use [`FecRecovery::recoverable`].
     pub fn on_media(&mut self, frame_id: u64, group: u32, packet_index: usize) {
-        self.groups.entry((frame_id, group)).or_default().received.push(packet_index);
+        self.groups
+            .entry((frame_id, group))
+            .or_default()
+            .received
+            .push(packet_index);
     }
 
     /// Records a received parity packet.
@@ -137,7 +141,9 @@ impl FecRecovery {
     /// The media packet indices of `frame_id`/`group` that can be recovered right now
     /// (exactly one missing media packet and the parity packet present).
     pub fn recoverable(&self, frame_id: u64, group: u32) -> Vec<usize> {
-        let Some(state) = self.groups.get(&(frame_id, group)) else { return Vec::new() };
+        let Some(state) = self.groups.get(&(frame_id, group)) else {
+            return Vec::new();
+        };
         if !state.parity_received {
             return Vec::new();
         }
@@ -162,7 +168,12 @@ mod tests {
 
     fn media_packets(size: u64) -> Vec<RtpPacket> {
         let mut p = Packetizer::default();
-        p.packetize(&OutgoingFrame { frame_id: 1, capture_ts_us: 0, size_bytes: size, is_keyframe: false })
+        p.packetize(&OutgoingFrame {
+            frame_id: 1,
+            capture_ts_us: 0,
+            size_bytes: size,
+            is_keyframe: false,
+        })
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl JitterBufferConfig {
 
     /// The AI Video Chat setting: no buffering at all (§2.1).
     pub fn disabled() -> Self {
-        Self { min_delay: SimDuration::ZERO, max_delay: SimDuration::ZERO, jitter_multiplier: 0.0 }
+        Self {
+            min_delay: SimDuration::ZERO,
+            max_delay: SimDuration::ZERO,
+            jitter_multiplier: 0.0,
+        }
     }
 }
 
@@ -51,7 +55,12 @@ pub struct JitterBuffer {
 impl JitterBuffer {
     /// Creates a buffer.
     pub fn new(config: JitterBufferConfig) -> Self {
-        Self { config, jitter_estimate_us: 0.0, last_arrival: None, frames_observed: 0 }
+        Self {
+            config,
+            jitter_estimate_us: 0.0,
+            last_arrival: None,
+            frames_observed: 0,
+        }
     }
 
     /// Whether the buffer is a no-op (AI mode).
@@ -64,9 +73,8 @@ impl JitterBuffer {
         if self.is_disabled() {
             return SimDuration::ZERO;
         }
-        let adaptive = SimDuration::from_micros(
-            (self.jitter_estimate_us * self.config.jitter_multiplier) as u64,
-        );
+        let adaptive =
+            SimDuration::from_micros((self.jitter_estimate_us * self.config.jitter_multiplier) as u64);
         adaptive.max(self.config.min_delay).min(self.config.max_delay)
     }
 

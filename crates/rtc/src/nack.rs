@@ -52,7 +52,13 @@ pub struct NackGenerator {
 impl NackGenerator {
     /// Creates a generator.
     pub fn new(config: NackConfig) -> Self {
-        Self { config, highest_seen: None, pending: BTreeMap::new(), received: BTreeSet::new(), nacks_sent: 0 }
+        Self {
+            config,
+            highest_seen: None,
+            pending: BTreeMap::new(),
+            received: BTreeSet::new(),
+            nacks_sent: 0,
+        }
     }
 
     /// Records the arrival of a media/RTX/FEC packet, detecting new gaps.
@@ -197,7 +203,10 @@ mod tests {
 
     #[test]
     fn retries_are_paced_and_bounded() {
-        let cfg = NackConfig { max_retries: 2, ..NackConfig::default() };
+        let cfg = NackConfig {
+            max_retries: 2,
+            ..NackConfig::default()
+        };
         let mut g = NackGenerator::new(cfg);
         g.on_packet(0, SimTime::ZERO);
         g.on_packet(2, SimTime::ZERO);

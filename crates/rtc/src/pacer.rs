@@ -20,12 +20,18 @@ pub struct PacerConfig {
 impl PacerConfig {
     /// WebRTC-style pacing at `multiplier` × the media target bitrate.
     pub fn from_target_bitrate(target_bps: f64, multiplier: f64) -> Self {
-        Self { pacing_rate_bps: (target_bps * multiplier).max(100_000.0), burst_bytes: 10_000 }
+        Self {
+            pacing_rate_bps: (target_bps * multiplier).max(100_000.0),
+            burst_bytes: 10_000,
+        }
     }
 
     /// No pacing: packets leave back to back.
     pub fn unpaced() -> Self {
-        Self { pacing_rate_bps: f64::INFINITY, burst_bytes: u64::MAX }
+        Self {
+            pacing_rate_bps: f64::INFINITY,
+            burst_bytes: u64::MAX,
+        }
     }
 }
 
@@ -40,7 +46,11 @@ pub struct Pacer {
 impl Pacer {
     /// Creates a pacer; the bucket starts full.
     pub fn new(config: PacerConfig) -> Self {
-        Self { config, tokens_bytes: config.burst_bytes as f64, last_refill: SimTime::ZERO }
+        Self {
+            config,
+            tokens_bytes: config.burst_bytes as f64,
+            last_refill: SimTime::ZERO,
+        }
     }
 
     /// The configuration.
@@ -87,14 +97,23 @@ mod tests {
     fn unpaced_sends_immediately() {
         let mut p = Pacer::new(PacerConfig::unpaced());
         for i in 0..100u64 {
-            assert_eq!(p.schedule_send(1_400, SimTime::from_millis(i)), SimTime::from_millis(i));
+            assert_eq!(
+                p.schedule_send(1_400, SimTime::from_millis(i)),
+                SimTime::from_millis(i)
+            );
         }
     }
 
     #[test]
     fn paced_sends_at_configured_rate() {
         // 1 Mbps pacing, 1250-byte packets -> 10 ms per packet once the burst is exhausted.
-        let mut p = Pacer::new(Pacer::new(PacerConfig { pacing_rate_bps: 1e6, burst_bytes: 1_250 }).config());
+        let mut p = Pacer::new(
+            Pacer::new(PacerConfig {
+                pacing_rate_bps: 1e6,
+                burst_bytes: 1_250,
+            })
+            .config(),
+        );
         let t0 = SimTime::ZERO;
         let first = p.schedule_send(1_250, t0);
         assert_eq!(first, t0, "first packet rides the initial burst");
@@ -106,7 +125,10 @@ mod tests {
 
     #[test]
     fn idle_time_refills_the_bucket_up_to_burst() {
-        let mut p = Pacer::new(PacerConfig { pacing_rate_bps: 1e6, burst_bytes: 2_500 });
+        let mut p = Pacer::new(PacerConfig {
+            pacing_rate_bps: 1e6,
+            burst_bytes: 2_500,
+        });
         // Exhaust the bucket.
         let _ = p.schedule_send(2_500, SimTime::ZERO);
         // Wait 100 ms: bucket refills to its 2500-byte cap, so two 1250-byte packets go
@@ -126,7 +148,10 @@ mod tests {
 
     #[test]
     fn scheduled_times_are_monotone() {
-        let mut p = Pacer::new(PacerConfig { pacing_rate_bps: 3e6, burst_bytes: 5_000 });
+        let mut p = Pacer::new(PacerConfig {
+            pacing_rate_bps: 3e6,
+            burst_bytes: 5_000,
+        });
         let mut last = SimTime::ZERO;
         for i in 0..200u64 {
             let now = SimTime::from_micros(i * 100);

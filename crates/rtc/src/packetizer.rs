@@ -5,7 +5,9 @@
 //! have arrived, answers "is the frame complete?", and produces the received-range list the
 //! decoder uses to decide which blocks survived.
 
-use crate::rtp::{PayloadKind, RtpHeader, RtpPacket, DEFAULT_MTU_BYTES, RTP_HEADER_BYTES, UDP_IP_HEADER_BYTES};
+use crate::rtp::{
+    PayloadKind, RtpHeader, RtpPacket, DEFAULT_MTU_BYTES, RTP_HEADER_BYTES, UDP_IP_HEADER_BYTES,
+};
 use aivc_netsim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -43,7 +45,10 @@ impl Packetizer {
             mtu_bytes > RTP_HEADER_BYTES + UDP_IP_HEADER_BYTES,
             "MTU must leave room for headers"
         );
-        Self { mtu_bytes, next_sequence: 0 }
+        Self {
+            mtu_bytes,
+            next_sequence: 0,
+        }
     }
 
     /// Maximum payload bytes per packet.
@@ -64,14 +69,37 @@ impl Packetizer {
     }
 
     /// Splits a frame into media packets covering its full byte range.
+    ///
+    /// Allocates a fresh `Vec` per call; per-frame loops should reuse a buffer via
+    /// [`Packetizer::packetize_into`] (or stream packets with [`Packetizer::packets`])
+    /// instead — the transport session does.
     pub fn packetize(&mut self, frame: &OutgoingFrame) -> Vec<RtpPacket> {
+        let mut packets = Vec::new();
+        self.packetize_into(frame, &mut packets);
+        packets
+    }
+
+    /// [`Packetizer::packetize`] into a caller-owned buffer. The buffer is cleared first;
+    /// once it has grown to the session's largest frame, further calls are allocation-free.
+    /// Packet contents are identical to [`Packetizer::packetize`] from the same state.
+    pub fn packetize_into(&mut self, frame: &OutgoingFrame, packets: &mut Vec<RtpPacket>) {
+        packets.clear();
+        let count = packet_count(frame.size_bytes, self.max_payload() as u64);
+        packets.reserve(count as usize);
+        packets.extend(self.packets(frame));
+    }
+
+    /// The packets of a frame as a lazy iterator — the zero-buffer form of
+    /// [`Packetizer::packetize`]. Sequence numbers are allocated as the iterator advances,
+    /// so drive it to completion before packetizing the next frame.
+    pub fn packets<'a>(&'a mut self, frame: &OutgoingFrame) -> impl Iterator<Item = RtpPacket> + 'a {
         let payload = self.max_payload() as u64;
-        let count = frame.size_bytes.div_ceil(payload).max(1);
-        let mut packets = Vec::with_capacity(count as usize);
-        for i in 0..count {
+        let count = packet_count(frame.size_bytes, payload);
+        let frame = *frame;
+        (0..count).map(move |i| {
             let start = i * payload;
             let end = ((i + 1) * payload).min(frame.size_bytes);
-            packets.push(RtpPacket {
+            RtpPacket {
                 header: RtpHeader {
                     sequence: self.allocate_sequence(),
                     capture_ts_us: frame.capture_ts_us,
@@ -82,10 +110,14 @@ impl Packetizer {
                 payload_start: start,
                 payload_end: end,
                 fec_group: None,
-            });
-        }
-        packets
+            }
+        })
     }
+}
+
+/// Number of media packets a frame of `size_bytes` needs at the given per-packet payload.
+fn packet_count(size_bytes: u64, payload: u64) -> u64 {
+    size_bytes.div_ceil(payload).max(1)
 }
 
 /// Reassembly state for one frame.
@@ -187,7 +219,9 @@ impl FrameAssembler {
 
     /// The missing byte ranges of a frame (empty when complete or unknown).
     pub fn missing_ranges(&self, frame_id: u64) -> Vec<(u64, u64)> {
-        let Some(state) = self.frames.get(&frame_id) else { return Vec::new() };
+        let Some(state) = self.frames.get(&frame_id) else {
+            return Vec::new();
+        };
         if state.size_bytes == 0 {
             return Vec::new();
         }
@@ -230,7 +264,12 @@ mod tests {
     use super::*;
 
     fn frame(size: u64) -> OutgoingFrame {
-        OutgoingFrame { frame_id: 1, capture_ts_us: 1_000, size_bytes: size, is_keyframe: false }
+        OutgoingFrame {
+            frame_id: 1,
+            capture_ts_us: 1_000,
+            size_bytes: size,
+            is_keyframe: false,
+        }
     }
 
     #[test]
@@ -249,7 +288,10 @@ mod tests {
     fn sequences_are_contiguous_across_frames() {
         let mut p = Packetizer::default();
         let a = p.packetize(&frame(3_000));
-        let b = p.packetize(&OutgoingFrame { frame_id: 2, ..frame(3_000) });
+        let b = p.packetize(&OutgoingFrame {
+            frame_id: 2,
+            ..frame(3_000)
+        });
         let seqs: Vec<u64> = a.iter().chain(b.iter()).map(|pk| pk.header.sequence).collect();
         assert_eq!(seqs, (0..seqs.len() as u64).collect::<Vec<_>>());
     }
@@ -300,7 +342,10 @@ mod tests {
         // Retransmission closes the gap.
         let done = asm.on_packet(&packets[1].as_retransmission(999), SimTime::from_millis(80));
         assert!(done);
-        assert_eq!(asm.status(1).unwrap().completed_at, Some(SimTime::from_millis(80)));
+        assert_eq!(
+            asm.status(1).unwrap().completed_at,
+            Some(SimTime::from_millis(80))
+        );
     }
 
     #[test]
@@ -334,5 +379,81 @@ mod tests {
     #[should_panic(expected = "room for headers")]
     fn absurd_mtu_rejected() {
         let _ = Packetizer::new(30);
+    }
+
+    /// The sizes the reuse-equivalence tests sweep: empty, one byte, exactly one payload,
+    /// one payload + 1, and the benchmark's 100 kB frame.
+    fn equivalence_sizes() -> [u64; 5] {
+        let payload = Packetizer::default().max_payload() as u64;
+        [0, 1, payload, payload + 1, 100_000]
+    }
+
+    #[test]
+    fn packetize_into_is_identical_to_packetize() {
+        for size in equivalence_sizes() {
+            // Two packetizers in the same initial state, so sequence numbers line up.
+            let mut fresh = Packetizer::default();
+            let mut reused = Packetizer::default();
+            let mut buffer = Vec::new();
+            let f = frame(size);
+            let allocated = fresh.packetize(&f);
+            reused.packetize_into(&f, &mut buffer);
+            assert_eq!(buffer, allocated, "size {size}");
+            assert_eq!(reused.next_sequence(), fresh.next_sequence(), "size {size}");
+        }
+    }
+
+    #[test]
+    fn packetize_into_reuses_the_buffer_across_frames() {
+        let mut fresh = Packetizer::default();
+        let mut reused = Packetizer::default();
+        let mut buffer = Vec::new();
+        for (i, size) in equivalence_sizes().into_iter().enumerate() {
+            let f = OutgoingFrame {
+                frame_id: i as u64,
+                ..frame(size)
+            };
+            let allocated = fresh.packetize(&f);
+            reused.packetize_into(&f, &mut buffer);
+            assert_eq!(buffer, allocated, "frame {i} size {size}");
+        }
+        // After the 100 kB frame the buffer's capacity covers every smaller frame.
+        let capacity = buffer.capacity();
+        reused.packetize_into(&frame(100_000), &mut buffer);
+        assert_eq!(buffer.capacity(), capacity, "buffer should not regrow");
+    }
+
+    #[test]
+    fn iterator_form_is_identical_to_packetize() {
+        for size in equivalence_sizes() {
+            let mut fresh = Packetizer::default();
+            let mut streaming = Packetizer::default();
+            let f = frame(size);
+            let allocated = fresh.packetize(&f);
+            let streamed: Vec<RtpPacket> = streaming.packets(&f).collect();
+            assert_eq!(streamed, allocated, "size {size}");
+        }
+    }
+
+    #[test]
+    fn iterator_allocates_sequences_lazily() {
+        let mut p = Packetizer::default();
+        let f = frame(5_000);
+        {
+            let mut iter = p.packets(&f);
+            let first = iter.next().unwrap();
+            assert_eq!(first.header.sequence, 0);
+            // Drop the iterator after one packet: only one sequence was consumed.
+        }
+        assert_eq!(p.next_sequence(), 1);
+    }
+
+    #[test]
+    fn empty_frame_still_gets_one_marker_packet() {
+        let mut p = Packetizer::default();
+        let packets = p.packetize(&frame(0));
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].payload_range(), (0, 0));
+        assert!(packets[0].header.marker);
     }
 }

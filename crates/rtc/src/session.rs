@@ -130,6 +130,9 @@ impl VideoSession {
 
         let mut stats = SessionStats::default();
         let mut next_net_packet_id: u64 = 0;
+        // Media-packet buffer reused across every frame of the session; after the largest
+        // frame it never reallocates (the packetization hot path is allocation-free).
+        let mut media: Vec<RtpPacket> = Vec::new();
         // At most one receiver poll is outstanding at a time; arrivals only arm a new one
         // when none is pending (keeps the event count linear in the number of packets).
         let mut poll_outstanding = false;
@@ -153,12 +156,7 @@ impl VideoSession {
             (start, end)
         };
 
-        let horizon = frames
-            .iter()
-            .map(|f| f.capture_ts_us)
-            .max()
-            .unwrap_or(0)
-            + 5_000_000;
+        let horizon = frames.iter().map(|f| f.capture_ts_us).max().unwrap_or(0) + 5_000_000;
 
         while let Some((now, event)) = events.pop() {
             if now.as_micros() > horizon {
@@ -167,7 +165,7 @@ impl VideoSession {
             match event {
                 Event::FrameReady(idx) => {
                     let frame = frames[idx];
-                    let mut media = packetizer.packetize(&frame);
+                    packetizer.packetize_into(&frame, &mut media);
                     // Assign FEC groups to media packets and build parity packets.
                     if cfg.fec.is_enabled() {
                         for (i, p) in media.iter_mut().enumerate() {
@@ -224,11 +222,18 @@ impl VideoSession {
                                 }
                             }
                             if completed {
-                                self.on_frame_complete(frame_id, now, &mut jitter, &mut progress, &frame_by_id);
+                                self.on_frame_complete(
+                                    frame_id,
+                                    now,
+                                    &mut jitter,
+                                    &mut progress,
+                                    &frame_by_id,
+                                );
                             }
                         }
                         PayloadKind::Fec => {
-                            if let (Some(group), Some(frame)) = (packet.fec_group, frame_by_id.get(&frame_id)) {
+                            if let (Some(group), Some(frame)) = (packet.fec_group, frame_by_id.get(&frame_id))
+                            {
                                 // Lazily register the group's expected media packets.
                                 let count = media_packet_count(frame.size_bytes);
                                 for i in 0..count {
@@ -248,7 +253,13 @@ impl VideoSession {
                                     let completed = assembler.on_packet(&synthetic, now);
                                     progress.entry(frame_id).or_default().fec_recovered = true;
                                     if completed {
-                                        self.on_frame_complete(frame_id, now, &mut jitter, &mut progress, &frame_by_id);
+                                        self.on_frame_complete(
+                                            frame_id,
+                                            now,
+                                            &mut jitter,
+                                            &mut progress,
+                                            &frame_by_id,
+                                        );
                                     }
                                 }
                             }
@@ -270,7 +281,8 @@ impl VideoSession {
                     let due = nack_gen.due_nacks(now);
                     if !due.is_empty() {
                         stats.feedback_packets_sent += 1;
-                        let fb_packet = Packet::new(next_net_packet_id, cfg.feedback_packet_bytes, now).with_flow(1);
+                        let fb_packet =
+                            Packet::new(next_net_packet_id, cfg.feedback_packet_bytes, now).with_flow(1);
                         next_net_packet_id += 1;
                         if let Some(arrival) = emulator.send(Direction::Downlink, &fb_packet, now).arrival() {
                             events.push(arrival, Event::FeedbackArrival(due));
@@ -311,7 +323,9 @@ impl VideoSession {
                 frame_id: frame.frame_id,
                 capture_ts_us: frame.capture_ts_us,
                 size_bytes: frame.size_bytes,
-                send_start: prog.send_start.unwrap_or(SimTime::from_micros(frame.capture_ts_us)),
+                send_start: prog
+                    .send_start
+                    .unwrap_or(SimTime::from_micros(frame.capture_ts_us)),
                 completed_at,
                 received_ranges,
                 media_packets: prog.media_packets,
@@ -421,9 +435,16 @@ mod tests {
         assert!(lossy.retransmissions_sent > 0);
         let mut clean_lat = clean.transmission_latency();
         let mut lossy_lat = lossy.transmission_latency();
-        assert!(lossy_lat.p95_ms() > clean_lat.p95_ms() + 20.0,
-            "lossy p95 {} vs clean p95 {}", lossy_lat.p95_ms(), clean_lat.p95_ms());
-        assert!(lossy.completion_rate() > 0.97, "retransmission should recover nearly all frames");
+        assert!(
+            lossy_lat.p95_ms() > clean_lat.p95_ms() + 20.0,
+            "lossy p95 {} vs clean p95 {}",
+            lossy_lat.p95_ms(),
+            clean_lat.p95_ms()
+        );
+        assert!(
+            lossy.completion_rate() > 0.97,
+            "retransmission should recover nearly all frames"
+        );
     }
 
     #[test]
@@ -442,7 +463,12 @@ mod tests {
         // FEC should cut the tail latency caused by retransmission round trips.
         let mut no_fec_lat = no_fec.transmission_latency();
         let mut fec_lat = with_fec.transmission_latency();
-        assert!(fec_lat.p95_ms() <= no_fec_lat.p95_ms(), "fec p95 {} vs rtx p95 {}", fec_lat.p95_ms(), no_fec_lat.p95_ms());
+        assert!(
+            fec_lat.p95_ms() <= no_fec_lat.p95_ms(),
+            "fec p95 {} vs rtx p95 {}",
+            fec_lat.p95_ms(),
+            no_fec_lat.p95_ms()
+        );
         // ...at the cost of extra uplink bytes.
         assert!(with_fec.uplink_bytes_sent > no_fec.uplink_bytes_sent);
     }
@@ -466,7 +492,9 @@ mod tests {
         let mut cfg = SessionConfig::paper_fig3(0.01, 1_000_000.0, 7);
         cfg.jitter_buffer = JitterBufferConfig::traditional();
         let with_jb = VideoSession::new(cfg).run(&frames).stats;
-        let without_jb = VideoSession::new(SessionConfig::paper_fig3(0.01, 1_000_000.0, 7)).run(&frames).stats;
+        let without_jb = VideoSession::new(SessionConfig::paper_fig3(0.01, 1_000_000.0, 7))
+            .run(&frames)
+            .stats;
         let mean_release_with: f64 = with_jb
             .frames
             .iter()
@@ -479,8 +507,10 @@ mod tests {
             .filter_map(|f| f.release_latency_ms())
             .sum::<f64>()
             / without_jb.completed_frames().max(1) as f64;
-        assert!(mean_release_with > mean_release_without + 5.0,
-            "with {mean_release_with} vs without {mean_release_without}");
+        assert!(
+            mean_release_with > mean_release_without + 5.0,
+            "with {mean_release_with} vs without {mean_release_without}"
+        );
     }
 
     #[test]
@@ -499,7 +529,10 @@ mod tests {
         let stats = run(2_000_000.0, 0.0, 20.0, 12);
         let achieved = stats.uplink_bitrate_bps();
         // Wire overhead adds a few percent on top of the media bitrate.
-        assert!(achieved > 1_900_000.0 && achieved < 2_500_000.0, "achieved {achieved}");
+        assert!(
+            achieved > 1_900_000.0 && achieved < 2_500_000.0,
+            "achieved {achieved}"
+        );
     }
 
     #[test]

@@ -36,13 +36,15 @@ impl FrameDeliveryRecord {
     /// Transmission latency in milliseconds (send start → complete reception), the Figure 3
     /// metric. `None` if the frame never completed.
     pub fn transmission_latency_ms(&self) -> Option<f64> {
-        self.completed_at.map(|t| t.saturating_since(self.send_start).as_millis_f64())
+        self.completed_at
+            .map(|t| t.saturating_since(self.send_start).as_millis_f64())
     }
 
     /// Latency including the jitter buffer (send start → release), for the jitter-buffer
     /// ablation.
     pub fn release_latency_ms(&self) -> Option<f64> {
-        self.released_at.map(|t| t.saturating_since(self.send_start).as_millis_f64())
+        self.released_at
+            .map(|t| t.saturating_since(self.send_start).as_millis_f64())
     }
 
     /// Fraction of the frame's bytes that arrived.
@@ -153,7 +155,11 @@ mod tests {
     #[test]
     fn aggregate_stats() {
         let stats = SessionStats {
-            frames: vec![record(0, Some(40), 1_000), record(33, Some(93), 1_000), record(66, None, 1_000)],
+            frames: vec![
+                record(0, Some(40), 1_000),
+                record(33, Some(93), 1_000),
+                record(66, None, 1_000),
+            ],
             media_packets_sent: 10,
             retransmissions_sent: 2,
             fec_packets_sent: 0,

@@ -32,7 +32,10 @@ impl VideoClip {
     pub fn source(&self) -> VideoSource {
         VideoSource::new(
             self.scene.clone(),
-            SourceConfig { fps: self.fps, duration_secs: self.duration_secs },
+            SourceConfig {
+                fps: self.fps,
+                duration_secs: self.duration_secs,
+            },
         )
     }
 
@@ -94,7 +97,11 @@ impl Corpus {
             clips: self.clips.len(),
             total_duration_secs: total,
             total_facts: self.clips.iter().map(|c| c.fact_count()).sum(),
-            mean_duration_secs: if self.clips.is_empty() { 0.0 } else { total / self.clips.len() as f64 },
+            mean_duration_secs: if self.clips.is_empty() {
+                0.0
+            } else {
+                total / self.clips.len() as f64
+            },
         }
     }
 
@@ -112,7 +119,12 @@ impl Corpus {
             let scene = kind.build(seed.wrapping_add(i as u64 * 7919));
             let duration = rng.gen_range(min_duration..=max_duration);
             let fps = if i % 2 == 0 { 30.0 } else { 60.0 };
-            corpus.push(VideoClip { id: i as u64, scene, fps, duration_secs: duration });
+            corpus.push(VideoClip {
+                id: i as u64,
+                scene,
+                fps,
+                duration_secs: duration,
+            });
         }
         corpus
     }

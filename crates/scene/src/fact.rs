@@ -214,8 +214,7 @@ mod tests {
 
     #[test]
     fn category_labels_are_distinct() {
-        let labels: std::collections::BTreeSet<_> =
-            FactCategory::ALL.iter().map(|c| c.label()).collect();
+        let labels: std::collections::BTreeSet<_> = FactCategory::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 6);
     }
 }

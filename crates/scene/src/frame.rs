@@ -39,6 +39,18 @@ pub struct RegionContent {
 }
 
 impl RegionContent {
+    /// An all-background descriptor, the natural initial state for reusable buffers passed
+    /// to [`Frame::region_content_into`].
+    pub fn empty() -> Self {
+        Self {
+            complexity: 0.0,
+            motion: 0.0,
+            detail: 0.0,
+            object_coverage: Vec::new(),
+            background_fraction: 1.0,
+        }
+    }
+
     /// Coverage fraction of a specific object in this region.
     pub fn coverage_of(&self, object_id: u32) -> f64 {
         self.object_coverage
@@ -130,17 +142,29 @@ impl Frame {
     /// objects. Overlap between objects is resolved additively then clamped — good enough
     /// for the block-level R-D and perception models that consume it.
     pub fn region_content(&self, region: &Rect) -> RegionContent {
+        let mut out = RegionContent {
+            complexity: 0.0,
+            motion: 0.0,
+            detail: 0.0,
+            object_coverage: Vec::new(),
+            background_fraction: 1.0,
+        };
+        self.region_content_into(region, &mut out);
+        out
+    }
+
+    /// [`Frame::region_content`] into a caller-owned buffer, so per-block/per-patch loops
+    /// (the encoder's CTU walk, the CLIP patch walk) stay allocation-free after warmup.
+    pub fn region_content_into(&self, region: &Rect, out: &mut RegionContent) {
+        out.object_coverage.clear();
         let region = region.intersect(&self.rect());
         if region.is_empty() {
-            return RegionContent {
-                complexity: 0.0,
-                motion: 0.0,
-                detail: 0.0,
-                object_coverage: Vec::new(),
-                background_fraction: 1.0,
-            };
+            out.complexity = 0.0;
+            out.motion = 0.0;
+            out.detail = 0.0;
+            out.background_fraction = 1.0;
+            return;
         }
-        let mut coverage: Vec<(u32, f64)> = Vec::new();
         let mut covered_total = 0.0_f64;
         let mut complexity = 0.0_f64;
         let mut motion = 0.0_f64;
@@ -150,8 +174,10 @@ impl Frame {
             if frac <= 0.0 {
                 continue;
             }
-            let Some(obj) = self.object(placement.object_id) else { continue };
-            coverage.push((placement.object_id, frac));
+            let Some(obj) = self.object(placement.object_id) else {
+                continue;
+            };
+            out.object_coverage.push((placement.object_id, frac));
             covered_total += frac;
             complexity += frac * obj.texture_complexity;
             motion += frac * obj.motion;
@@ -162,13 +188,10 @@ impl Frame {
         complexity += background_fraction * self.background_complexity;
         motion += background_fraction * self.background_motion;
         // Background carries essentially no chat-relevant detail.
-        RegionContent {
-            complexity: complexity.clamp(0.0, 1.0),
-            motion: motion.clamp(0.0, 1.0),
-            detail: detail.clamp(0.0, 1.0),
-            object_coverage: coverage,
-            background_fraction,
-        }
+        out.complexity = complexity.clamp(0.0, 1.0);
+        out.motion = motion.clamp(0.0, 1.0);
+        out.detail = detail.clamp(0.0, 1.0);
+        out.background_fraction = background_fraction;
     }
 
     /// Computes [`RegionContent`] for every cell of a regular grid (row-major order).
@@ -190,11 +213,7 @@ mod tests {
     use super::*;
 
     fn test_scene() -> Scene {
-        let mut s = Scene::new("t", 640, 480).with_background(
-            0.2,
-            0.1,
-            vec![(Concept::new("court"), 1.0)],
-        );
+        let mut s = Scene::new("t", 640, 480).with_background(0.2, 0.1, vec![(Concept::new("court"), 1.0)]);
         s.add_object(
             SceneObject::new(1, "scoreboard", Rect::new(0, 0, 320, 240))
                 .with_concept("scoreboard", 1.0)

@@ -83,7 +83,10 @@ impl Rect {
 
     /// Center point of the rectangle.
     pub fn center(&self) -> (f64, f64) {
-        (self.x as f64 + self.w as f64 / 2.0, self.y as f64 + self.h as f64 / 2.0)
+        (
+            self.x as f64 + self.w as f64 / 2.0,
+            self.y as f64 + self.h as f64 / 2.0,
+        )
     }
 }
 
@@ -105,7 +108,11 @@ impl GridDims {
     /// Computes the grid covering `width x height` with `cell`-sized tiles (ceil division).
     pub fn for_frame(width: u32, height: u32, cell: u32) -> Self {
         assert!(cell > 0, "grid cell size must be positive");
-        Self { cols: width.div_ceil(cell), rows: height.div_ceil(cell), cell }
+        Self {
+            cols: width.div_ceil(cell),
+            rows: height.div_ceil(cell),
+            cell,
+        }
     }
 
     /// Total number of cells.
@@ -134,7 +141,10 @@ impl GridDims {
 
     /// Inverse of [`GridDims::index`].
     pub fn position(&self, index: usize) -> (u32, u32) {
-        ((index / self.cols as usize) as u32, (index % self.cols as usize) as u32)
+        (
+            (index / self.cols as usize) as u32,
+            (index % self.cols as usize) as u32,
+        )
     }
 }
 

@@ -96,7 +96,10 @@ impl SceneObject {
 
     /// Looks up an attribute value by key.
     pub fn attribute(&self, key: &str) -> Option<&str> {
-        self.attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The object's position at time `t` seconds, bouncing inside a `width x height` canvas.
@@ -111,8 +114,7 @@ impl SceneObject {
         let travel_y = height.saturating_sub(self.region.h).max(1) as f64;
         let x = bounce(self.region.x as f64 + self.velocity.0 * t_secs, travel_x);
         let y = bounce(self.region.y as f64 + self.velocity.1 * t_secs, travel_y);
-        Rect::new(x.round() as i64, y.round() as i64, self.region.w, self.region.h)
-            .clamped_to(width, height)
+        Rect::new(x.round() as i64, y.round() as i64, self.region.w, self.region.h).clamped_to(width, height)
     }
 
     /// The dominant concept (highest weight), if any.
@@ -126,7 +128,10 @@ impl SceneObject {
     /// True when the object carries text content or a `text`-family concept.
     pub fn is_text_rich(&self) -> bool {
         self.text_content.is_some()
-            || self.concepts.iter().any(|(c, w)| *w > 0.5 && (c.name() == "text" || c.name() == "number"))
+            || self
+                .concepts
+                .iter()
+                .any(|(c, w)| *w > 0.5 && (c.name() == "text" || c.name() == "number"))
     }
 }
 
@@ -178,8 +183,8 @@ mod tests {
 
     #[test]
     fn moving_object_stays_in_canvas() {
-        let o = SceneObject::new(2, "player", Rect::new(500, 400, 200, 400))
-            .with_motion(0.8, (333.0, -140.0));
+        let o =
+            SceneObject::new(2, "player", Rect::new(500, 400, 200, 400)).with_motion(0.8, (333.0, -140.0));
         for i in 0..200 {
             let t = i as f64 * 0.25;
             let r = o.region_at(t, 1920, 1080);

@@ -46,12 +46,7 @@ impl Scene {
     }
 
     /// Sets the background properties.
-    pub fn with_background(
-        mut self,
-        complexity: f64,
-        motion: f64,
-        concepts: Vec<(Concept, f64)>,
-    ) -> Self {
+    pub fn with_background(mut self, complexity: f64, motion: f64, concepts: Vec<(Concept, f64)>) -> Self {
         self.background_complexity = complexity.clamp(0.0, 1.0);
         self.background_motion = motion.clamp(0.0, 1.0);
         if !concepts.is_empty() {
@@ -95,7 +90,10 @@ impl Scene {
     /// Returns the facts whose required detail is at least `threshold`
     /// (the quality-sensitive subset DeViBench is made of).
     pub fn quality_sensitive_facts(&self, threshold: f64) -> Vec<&SceneFact> {
-        self.facts.iter().filter(|f| f.is_quality_sensitive(threshold)).collect()
+        self.facts
+            .iter()
+            .filter(|f| f.is_quality_sensitive(threshold))
+            .collect()
     }
 
     /// Fraction of the canvas covered by objects whose detail exceeds `detail_threshold`.
@@ -123,10 +121,7 @@ impl Scene {
                 problems.push(format!("object {} ({}) has an empty region", o.id, o.name));
             }
             if o.region.w > self.width || o.region.h > self.height {
-                problems.push(format!(
-                    "object {} ({}) is larger than the canvas",
-                    o.id, o.name
-                ));
+                problems.push(format!("object {} ({}) is larger than the canvas", o.id, o.name));
             }
         }
         for (i, f) in self.facts.iter().enumerate() {
@@ -161,8 +156,14 @@ mod tests {
                 .with_detail(0.3),
         );
         s.add_fact(
-            SceneFact::new(FactCategory::TextRich, "What is the score?", "78-74", vec![1], 0.85)
-                .with_distractors(["70-74", "78-72", "68-74"]),
+            SceneFact::new(
+                FactCategory::TextRich,
+                "What is the score?",
+                "78-74",
+                vec![1],
+                0.85,
+            )
+            .with_distractors(["70-74", "78-72", "68-74"]),
         );
         s
     }
@@ -179,8 +180,7 @@ mod tests {
     fn invalid_fact_reference_detected() {
         let mut s = scene();
         s.add_fact(
-            SceneFact::new(FactCategory::Counting, "?", "3", vec![42], 0.7)
-                .with_distractors(["1", "2", "4"]),
+            SceneFact::new(FactCategory::Counting, "?", "3", vec![42], 0.7).with_distractors(["1", "2", "4"]),
         );
         let problems = s.validate();
         assert_eq!(problems.len(), 1);

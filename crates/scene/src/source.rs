@@ -21,12 +21,18 @@ pub struct SourceConfig {
 impl SourceConfig {
     /// A 60 FPS source (the paper's example rate).
     pub fn fps60(duration_secs: f64) -> Self {
-        Self { fps: 60.0, duration_secs }
+        Self {
+            fps: 60.0,
+            duration_secs,
+        }
     }
 
     /// A 30 FPS source (typical RTC camera).
     pub fn fps30(duration_secs: f64) -> Self {
-        Self { fps: 30.0, duration_secs }
+        Self {
+            fps: 30.0,
+            duration_secs,
+        }
     }
 
     /// Number of frames the clip contains.
@@ -94,7 +100,10 @@ impl VideoSource {
 
     /// Iterates over every captured frame, in order.
     pub fn frames(&self) -> FrameIter<'_> {
-        FrameIter { source: self, next: 0 }
+        FrameIter {
+            source: self,
+            next: 0,
+        }
     }
 
     /// Iterates over frames sampled at a lower rate (`target_fps`), e.g. the ≤2 FPS an MLLM
@@ -146,9 +155,7 @@ mod tests {
 
     fn source() -> VideoSource {
         let mut s = Scene::new("t", 640, 480);
-        s.add_object(
-            SceneObject::new(1, "ball", Rect::new(0, 0, 64, 64)).with_motion(0.9, (120.0, 60.0)),
-        );
+        s.add_object(SceneObject::new(1, "ball", Rect::new(0, 0, 64, 64)).with_motion(0.9, (120.0, 60.0)));
         VideoSource::new(s, SourceConfig::fps30(2.0))
     }
 
@@ -174,7 +181,10 @@ mod tests {
         let src = source();
         let first = src.frame(0);
         let later = src.frame(45);
-        assert_ne!(first.placement(1).unwrap().region, later.placement(1).unwrap().region);
+        assert_ne!(
+            first.placement(1).unwrap().region,
+            later.placement(1).unwrap().region
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ pub fn basketball_game(seed: u64) -> Scene {
     let mut s = Scene::new("basketball-game", CANVAS_W, CANVAS_H).with_background(
         0.35,
         0.15,
-        vec![(Concept::new("court"), 0.8), (Concept::new("basketball-game"), 0.6)],
+        vec![
+            (Concept::new("court"), 0.8),
+            (Concept::new("basketball-game"), 0.6),
+        ],
     );
 
     let home: i64 = r.gen_range(55..115);
@@ -189,7 +192,13 @@ pub fn basketball_game(seed: u64) -> Scene {
             vec![logo_id, covering_id],
             0.85,
         )
-        .with_distractors(logos.iter().filter(|l| **l != logo).take(3).map(|l| l.to_string()))
+        .with_distractors(
+            logos
+                .iter()
+                .filter(|l| **l != logo)
+                .take(3)
+                .map(|l| l.to_string()),
+        )
         .with_query_concepts(["logo", "jersey", "player"]),
     );
     s.add_fact(
@@ -227,7 +236,11 @@ pub fn basketball_game(seed: u64) -> Scene {
             0.3,
         )
         .with_distractors(
-            jersey_colors.iter().filter(|c| **c != jersey_color).take(3).map(|c| c.to_string()),
+            jersey_colors
+                .iter()
+                .filter(|c| **c != jersey_color)
+                .take(3)
+                .map(|c| c.to_string()),
         )
         .with_query_concepts(["jersey", "color", "player"]),
     );
@@ -250,7 +263,11 @@ pub fn basketball_game(seed: u64) -> Scene {
             vec![scoreboard_id, player_id],
             0.25,
         )
-        .with_distractors(["Below the players", "To the right of the players", "Behind the spectators"])
+        .with_distractors([
+            "Below the players",
+            "To the right of the players",
+            "Behind the spectators",
+        ])
         .with_query_concepts(["scoreboard", "position", "spatial"]),
     );
     s
@@ -291,7 +308,12 @@ pub fn dog_park(seed: u64) -> Scene {
             .with_motion(0.6, (150.0, 20.0))
             .with_attribute("ear-type", ear.clone()),
     );
-    let seasons = [("spring", "lush green"), ("summer", "tall green"), ("autumn", "yellowing"), ("winter", "sparse brown")];
+    let seasons = [
+        ("spring", "lush green"),
+        ("summer", "tall green"),
+        ("autumn", "yellowing"),
+        ("winter", "sparse brown"),
+    ];
     let (season, grass_state) = *pick(&mut r, &seasons);
     let grass_id = s.add_object(
         SceneObject::new(3, "grass", Rect::new(0, 760, 1920, 320))
@@ -338,7 +360,13 @@ pub fn dog_park(seed: u64) -> Scene {
             vec![dog_id],
             0.4,
         )
-        .with_distractors(fur_colors.iter().filter(|c| **c != fur).take(3).map(|c| c.to_string()))
+        .with_distractors(
+            fur_colors
+                .iter()
+                .filter(|c| **c != fur)
+                .take(3)
+                .map(|c| c.to_string()),
+        )
         .with_query_concepts(["dog", "fur", "color"]),
     );
     s.add_fact(
@@ -362,7 +390,12 @@ pub fn dog_park(seed: u64) -> Scene {
             0.6,
         )
         .with_distractors(
-            seasons.iter().map(|(n, _)| *n).filter(|n| *n != season).take(3).map(|n| n.to_string()),
+            seasons
+                .iter()
+                .map(|(n, _)| *n)
+                .filter(|n| *n != season)
+                .take(3)
+                .map(|n| n.to_string()),
         )
         .with_query_concepts(["season", "grass", "tree"]),
     );
@@ -399,7 +432,13 @@ pub fn lecture_slides(seed: u64) -> Scene {
         0.03,
         vec![(Concept::new("lecture"), 0.7), (Concept::new("wall"), 0.5)],
     );
-    let topics = ["Congestion Control", "Transformer Attention", "Photosynthesis", "Supply Chains", "Roman History"];
+    let topics = [
+        "Congestion Control",
+        "Transformer Attention",
+        "Photosynthesis",
+        "Supply Chains",
+        "Roman History",
+    ];
     let topic = pick(&mut r, &topics).to_string();
     let bullet_counts: i64 = r.gen_range(3..7);
     let slide_number: i64 = r.gen_range(2..40);
@@ -434,7 +473,13 @@ pub fn lecture_slides(seed: u64) -> Scene {
             vec![slide_id],
             0.9,
         )
-        .with_distractors(topics.iter().filter(|t| **t != topic).take(3).map(|t| t.to_string()))
+        .with_distractors(
+            topics
+                .iter()
+                .filter(|t| **t != topic)
+                .take(3)
+                .map(|t| t.to_string()),
+        )
         .with_query_concepts(["slide", "title", "text"]),
     );
     s.add_fact(
@@ -467,7 +512,11 @@ pub fn lecture_slides(seed: u64) -> Scene {
             vec![lecturer_id],
             0.25,
         )
-        .with_distractors(["Writing on a whiteboard", "Sitting at a desk", "Handing out papers"])
+        .with_distractors([
+            "Writing on a whiteboard",
+            "Sitting at a desk",
+            "Handing out papers",
+        ])
         .with_query_concepts(["lecturer", "action"]),
     );
     s.add_fact(
@@ -492,7 +541,12 @@ pub fn cooking_show(seed: u64) -> Scene {
         0.1,
         vec![(Concept::new("kitchen"), 0.9), (Concept::new("cooking"), 0.6)],
     );
-    let dishes = ["tomato pasta", "vegetable stir-fry", "mushroom omelette", "pancakes"];
+    let dishes = [
+        "tomato pasta",
+        "vegetable stir-fry",
+        "mushroom omelette",
+        "pancakes",
+    ];
     let dish = pick(&mut r, &dishes).to_string();
     let ingredient_count: i64 = r.gen_range(3..8);
     let chef_id = s.add_object(
@@ -542,7 +596,13 @@ pub fn cooking_show(seed: u64) -> Scene {
             vec![recipe_id],
             0.88,
         )
-        .with_distractors(dishes.iter().filter(|d| **d != dish).take(3).map(|d| d.to_string()))
+        .with_distractors(
+            dishes
+                .iter()
+                .filter(|d| **d != dish)
+                .take(3)
+                .map(|d| d.to_string()),
+        )
         .with_query_concepts(["recipe", "text"]),
     );
     s.add_fact(
@@ -688,7 +748,11 @@ pub fn street_scene(seed: u64) -> Scene {
             0.3,
         )
         .with_distractors(
-            car_colors.iter().filter(|c| **c != car_color).take(3).map(|c| c.to_string()),
+            car_colors
+                .iter()
+                .filter(|c| **c != car_color)
+                .take(3)
+                .map(|c| c.to_string()),
         )
         .with_query_concepts(["car", "color"]),
     );
@@ -701,7 +765,12 @@ pub fn street_scene(seed: u64) -> Scene {
             0.45,
         )
         .with_distractors(
-            light_states.iter().filter(|c| **c != light).map(|c| c.to_string()).chain(["off".to_string()]).take(3),
+            light_states
+                .iter()
+                .filter(|c| **c != light)
+                .map(|c| c.to_string())
+                .chain(["off".to_string()])
+                .take(3),
         )
         .with_query_concepts(["traffic-light", "color"]),
     );
@@ -714,7 +783,11 @@ pub fn street_scene(seed: u64) -> Scene {
             0.2,
         )
         .multi_frame()
-        .with_distractors(["Parking in reverse", "Standing still", "Driving from right to left"])
+        .with_distractors([
+            "Parking in reverse",
+            "Standing still",
+            "Driving from right to left",
+        ])
         .with_query_concepts(["car", "motion", "action"]),
     );
     s.add_fact(
@@ -762,7 +835,10 @@ mod tests {
         // At least one of the scoreboard attributes should differ across many seeds.
         let differs = (0..20u64).any(|s| {
             basketball_game(s).object(1).unwrap().attribute("home-score")
-                != basketball_game(s + 100).object(1).unwrap().attribute("home-score")
+                != basketball_game(s + 100)
+                    .object(1)
+                    .unwrap()
+                    .attribute("home-score")
         });
         assert!(differs || a != b);
     }

@@ -8,7 +8,7 @@ use crate::embedding::Embedding;
 use crate::importance::ImportanceMap;
 use crate::text::TextQuery;
 use crate::vision::{ConceptSpace, PatchEncoder};
-use aivc_scene::{Frame, GridDims, Ontology};
+use aivc_scene::{Concept, Frame, GridDims, Ontology, RegionContent};
 use serde::{Deserialize, Serialize};
 
 /// CLIP model configuration.
@@ -34,12 +34,144 @@ impl ClipConfig {
     /// The Mobile-CLIP-like configuration used by the paper's prototype (§3.2):
     /// 64-dimensional shared space, 64-pixel patches.
     pub fn mobile_clip() -> Self {
-        Self { dim: 64, patch_size: 64, patch_encode_latency_us: 14.0, text_encode_latency_us: 1_500, similarity_bias: 0.22 }
+        Self {
+            dim: 64,
+            patch_size: 64,
+            patch_encode_latency_us: 14.0,
+            text_encode_latency_us: 1_500,
+            similarity_bias: 0.22,
+        }
     }
 
     /// A finer-grained (more expensive) configuration for the patch-size ablation.
     pub fn mobile_clip_fine() -> Self {
-        Self { dim: 64, patch_size: 32, patch_encode_latency_us: 14.0, text_encode_latency_us: 1_500, similarity_bias: 0.22 }
+        Self {
+            dim: 64,
+            patch_size: 32,
+            patch_encode_latency_us: 14.0,
+            text_encode_latency_us: 1_500,
+            similarity_bias: 0.22,
+        }
+    }
+}
+
+/// Reusable buffers for [`ClipModel::correlation_map_with`].
+///
+/// One scratch per streaming turn (or per thread) removes every per-frame heap allocation
+/// from the correlation hot path: the output map, the per-patch region descriptor, the
+/// concept-pooling accumulators and the per-frame object→concept index lists all live here
+/// and are reused, and the text-query embedding is memoized so a multi-frame turn encodes
+/// the user's words exactly once.
+#[derive(Debug, Clone)]
+pub struct ClipScratch {
+    /// Per-patch region descriptor (filled by [`Frame::region_content_into`]).
+    content: RegionContent,
+    /// `(object_id, start, end)` — each frame object's slice of [`ClipScratch::flat`].
+    object_entries: Vec<(u32, u32, u32)>,
+    /// Flattened `(concept_index, weight)` lists for every object of the current frame.
+    flat: Vec<(u32, f64)>,
+    /// Resolved `(concept_index, weight)` list of the frame's background concepts.
+    background_flat: Vec<(u32, f64)>,
+    /// Embeddings of out-of-ontology concepts encountered in the current frame; indices
+    /// `>= ConceptSpace::len()` in the flat lists point here (offset by the table length).
+    extra: Vec<(Concept, Embedding)>,
+    /// Concept-pooling accumulator.
+    accumulator: Embedding,
+    /// Unit-norm form of the accumulator.
+    normalized: Embedding,
+    /// The query whose embedding is currently memoized.
+    cached_query: Option<TextQuery>,
+    /// Memoized text embedding of [`ClipScratch::cached_query`].
+    query_embedding: Embedding,
+    /// The output map, refilled in place.
+    map: ImportanceMap,
+}
+
+impl Default for ClipScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClipScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self {
+            content: RegionContent::empty(),
+            object_entries: Vec::new(),
+            flat: Vec::new(),
+            background_flat: Vec::new(),
+            extra: Vec::new(),
+            accumulator: Embedding::zeros(0),
+            normalized: Embedding::zeros(0),
+            cached_query: None,
+            query_embedding: Embedding::zeros(0),
+            map: ImportanceMap::empty(),
+        }
+    }
+
+    /// Moves the most recent result out of the scratch.
+    pub fn take_map(&mut self) -> ImportanceMap {
+        std::mem::replace(&mut self.map, ImportanceMap::empty())
+    }
+
+    /// Ensures the memoized text embedding matches `query` (and the model's embedding
+    /// dimension), re-encoding only on change.
+    ///
+    /// A scratch is intended to be reused with one model at a time; switching models
+    /// mid-scratch is detected by dimension (which also guards the `extra` cache) and falls
+    /// back to re-encoding rather than panicking on a dimension mismatch. Two same-dim
+    /// models with different ontologies still require separate scratches.
+    fn memoize_query(&mut self, model: &ClipModel, query: &TextQuery) {
+        if self.query_embedding.dim() != model.config.dim {
+            self.cached_query = None;
+            self.extra.clear();
+        }
+        if self.cached_query.as_ref() != Some(query) {
+            self.query_embedding = model.encode_text(query);
+            self.cached_query = Some(query.clone());
+        }
+    }
+
+    /// Resolves the frame's object and background concepts to table indices, reusing the
+    /// flat buffers. Out-of-ontology concepts get deterministic directions in
+    /// [`ClipScratch::extra`] (identical values to [`ConceptSpace::concept_embedding`]).
+    fn prepare_frame(&mut self, model: &ClipModel, frame: &Frame) {
+        self.object_entries.clear();
+        self.flat.clear();
+        self.background_flat.clear();
+        // `extra` deliberately persists across frames: a seeded direction depends only on
+        // the concept name and the (dimension-guarded) model dim, and the flat lists that
+        // reference it are rebuilt every frame, so stale entries are merely unused — while
+        // repeated out-of-ontology concepts stay allocation-free across a turn.
+        for object in &frame.objects {
+            let start = self.flat.len() as u32;
+            for (concept, weight) in &object.concepts {
+                let idx = self.resolve_concept(model, concept);
+                self.flat.push((idx, *weight));
+            }
+            self.object_entries
+                .push((object.id, start, self.flat.len() as u32));
+        }
+        for (concept, weight) in &frame.background_concepts {
+            let idx = self.resolve_concept(model, concept);
+            self.background_flat.push((idx, *weight));
+        }
+    }
+
+    fn resolve_concept(&mut self, model: &ClipModel, concept: &Concept) -> u32 {
+        if let Some(idx) = model.space.concept_index(concept) {
+            return idx;
+        }
+        let table_len = model.space.len() as u32;
+        if let Some(pos) = self.extra.iter().position(|(c, _)| c == concept) {
+            return table_len + pos as u32;
+        }
+        self.extra.push((
+            concept.clone(),
+            Embedding::seeded_direction(concept.name(), model.config.dim),
+        ));
+        table_len + (self.extra.len() - 1) as u32
     }
 }
 
@@ -55,7 +187,11 @@ impl ClipModel {
     /// Builds the model over an ontology.
     pub fn new(config: ClipConfig, ontology: Ontology) -> Self {
         let space = ConceptSpace::build(&ontology, config.dim);
-        Self { config, ontology, space }
+        Self {
+            config,
+            ontology,
+            space,
+        }
     }
 
     /// Builds the model with the standard ontology and Mobile-CLIP configuration.
@@ -88,7 +224,110 @@ impl ClipModel {
     /// An empty query (no recognizable concepts) yields an all-zero map: with nothing to
     /// anchor on, every region is equally (un)important, and the downstream QP allocator
     /// degrades gracefully to near-uniform QP.
+    ///
+    /// This convenience form allocates its own scratch; per-frame loops should hold a
+    /// [`ClipScratch`] and call [`ClipModel::correlation_map_with`] instead, which is
+    /// allocation-free after warmup and encodes the text query only once per turn.
     pub fn correlation_map(&self, frame: &Frame, query: &TextQuery) -> ImportanceMap {
+        let mut scratch = ClipScratch::new();
+        self.correlation_map_with(frame, query, &mut scratch);
+        scratch.take_map()
+    }
+
+    /// [`ClipModel::correlation_map`] with caller-owned scratch buffers.
+    ///
+    /// The returned map lives inside `scratch` and is valid until the next call. After the
+    /// first call with a given frame/query shape, the routine performs no heap allocation:
+    /// the text embedding is memoized per [`TextQuery`], the frame's object-concept lists
+    /// are resolved once per frame into index-keyed flat buffers, and every per-patch
+    /// accumulator is reused. Output is bit-identical to the naive per-patch procedure
+    /// (see the equivalence tests).
+    pub fn correlation_map_with<'s>(
+        &self,
+        frame: &Frame,
+        query: &TextQuery,
+        scratch: &'s mut ClipScratch,
+    ) -> &'s ImportanceMap {
+        let dims = GridDims::for_frame(frame.width, frame.height, self.config.patch_size);
+        scratch.memoize_query(self, query);
+        scratch.map.begin_refill(dims, frame.width, frame.height);
+        if scratch.query_embedding.is_zero() {
+            for _ in 0..dims.len() {
+                scratch.map.push_value(0.0);
+            }
+            scratch.map.finish_refill();
+            return &scratch.map;
+        }
+        scratch.prepare_frame(self, frame);
+        let bias = self.config.similarity_bias;
+        let background_weight = PatchEncoder::new(&self.space).background_weight();
+        let table_len = self.space.len() as u32;
+        let ClipScratch {
+            content,
+            object_entries,
+            flat,
+            background_flat,
+            extra,
+            accumulator,
+            normalized,
+            query_embedding,
+            map,
+            ..
+        } = scratch;
+        for row in 0..dims.rows {
+            for col in 0..dims.cols {
+                let rect = dims.cell_rect(row, col, frame.width, frame.height);
+                frame.region_content_into(&rect, content);
+                // Pool the patch's concepts exactly as `PatchEncoder::embed_patch` +
+                // `ConceptSpace::pool` do — same products, same accumulation order — but
+                // through the index-keyed table and reused buffers.
+                accumulator.reset_zero(self.config.dim);
+                for &(object_id, coverage) in &content.object_coverage {
+                    let Some(&(_, start, end)) = object_entries.iter().find(|(id, _, _)| *id == object_id)
+                    else {
+                        continue;
+                    };
+                    for &(concept_idx, concept_weight) in &flat[start as usize..end as usize] {
+                        let w = coverage * concept_weight;
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        let embedding = if concept_idx < table_len {
+                            self.space.embedding_at(concept_idx)
+                        } else {
+                            &extra[(concept_idx - table_len) as usize].1
+                        };
+                        accumulator.add_scaled(embedding, w);
+                    }
+                }
+                for &(concept_idx, base_weight) in background_flat.iter() {
+                    let w = content.background_fraction * base_weight * background_weight;
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let embedding = if concept_idx < table_len {
+                        self.space.embedding_at(concept_idx)
+                    } else {
+                        &extra[(concept_idx - table_len) as usize].1
+                    };
+                    accumulator.add_scaled(embedding, w);
+                }
+                normalized.assign_normalized_from(accumulator);
+                let raw = normalized.cosine(query_embedding);
+                // Contrastive calibration: subtract the unrelated-pair baseline and rescale so
+                // the reported correlation still spans [-1, 1].
+                let calibrated = ((raw - bias) / (1.0 - bias)).clamp(-1.0, 1.0);
+                map.push_value(calibrated);
+            }
+        }
+        scratch.map.finish_refill();
+        &scratch.map
+    }
+
+    /// The original, allocation-per-patch implementation of [`ClipModel::correlation_map`],
+    /// kept as the reference the optimized path is proven bit-identical against.
+    #[doc(hidden)]
+    pub fn correlation_map_naive(&self, frame: &Frame, query: &TextQuery) -> ImportanceMap {
         let dims = GridDims::for_frame(frame.width, frame.height, self.config.patch_size);
         let text_embedding = self.encode_text(query);
         if text_embedding.is_zero() {
@@ -102,8 +341,6 @@ impl ClipModel {
                 let rect = dims.cell_rect(row, col, frame.width, frame.height);
                 let patch_embedding = patch_encoder.embed_patch(frame, &rect);
                 let raw = patch_embedding.cosine(&text_embedding);
-                // Contrastive calibration: subtract the unrelated-pair baseline and rescale so
-                // the reported correlation still spans [-1, 1].
                 let calibrated = ((raw - bias) / (1.0 - bias)).clamp(-1.0, 1.0);
                 rho.push(calibrated);
             }
@@ -155,7 +392,10 @@ mod tests {
     fn score_question_highlights_scoreboard() {
         let model = ClipModel::mobile_default();
         let frame = frame_of(basketball_game(1));
-        let query = TextQuery::from_words("Could you tell me the present score of the game?", model.ontology());
+        let query = TextQuery::from_words(
+            "Could you tell me the present score of the game?",
+            model.ontology(),
+        );
         let map = model.correlation_map(&frame, &query);
         let scoreboard = frame.placement(1).unwrap().region;
         let spectators = frame.placement(5).unwrap().region;
@@ -164,15 +404,24 @@ mod tests {
         let rho_crowd = mean_rho_in(&map, &spectators);
         let rho_bg = mean_rho_in(&map, &background);
         assert!(rho_board > 0.5, "scoreboard rho {rho_board}");
-        assert!(rho_board > rho_crowd, "scoreboard {rho_board} vs crowd {rho_crowd}");
-        assert!(rho_board > rho_bg + 0.3, "scoreboard {rho_board} vs background {rho_bg}");
+        assert!(
+            rho_board > rho_crowd,
+            "scoreboard {rho_board} vs crowd {rho_crowd}"
+        );
+        assert!(
+            rho_board > rho_bg + 0.3,
+            "scoreboard {rho_board} vs background {rho_bg}"
+        );
     }
 
     #[test]
     fn ear_question_highlights_dog_head_over_grass() {
         let model = ClipModel::mobile_default();
         let frame = frame_of(dog_park(1));
-        let query = TextQuery::from_words("Is the dog in the video erect-eared or floppy-eared?", model.ontology());
+        let query = TextQuery::from_words(
+            "Is the dog in the video erect-eared or floppy-eared?",
+            model.ontology(),
+        );
         let map = model.correlation_map(&frame, &query);
         let head = frame.placement(2).unwrap().region;
         let grass = frame.placement(3).unwrap().region;
@@ -210,7 +459,10 @@ mod tests {
     fn correlations_are_within_eq1_bounds() {
         let model = ClipModel::mobile_default();
         let frame = frame_of(basketball_game(2));
-        let query = TextQuery::from_words("What logo is seen on the jersey of the player covering his mouth?", model.ontology());
+        let query = TextQuery::from_words(
+            "What logo is seen on the jersey of the player covering his mouth?",
+            model.ontology(),
+        );
         let map = model.correlation_map(&frame, &query);
         assert!(map.values().iter().all(|v| (-1.0..=1.0).contains(v)));
         assert_eq!(map.dims().cell, model.config().patch_size);
@@ -222,8 +474,123 @@ mod tests {
         let fine = ClipModel::new(ClipConfig::mobile_clip_fine(), Ontology::standard());
         let frame = frame_of(basketball_game(1));
         let q = TextQuery::from_words("score", coarse.ontology());
-        assert!(fine.correlation_map(&frame, &q).dims().len() > coarse.correlation_map(&frame, &q).dims().len());
+        assert!(
+            fine.correlation_map(&frame, &q).dims().len() > coarse.correlation_map(&frame, &q).dims().len()
+        );
         assert!(fine.inference_latency_us(1920, 1080) > coarse.inference_latency_us(1920, 1080));
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_naive_on_basketball_game() {
+        let model = ClipModel::mobile_default();
+        let mut scratch = ClipScratch::new();
+        let scene = basketball_game(1);
+        let source = VideoSource::new(scene, SourceConfig::fps30(5.0));
+        let query = TextQuery::from_words(
+            "Could you tell me the present score of the game?",
+            model.ontology(),
+        );
+        for frame_idx in [0, 15, 30, 60] {
+            let frame = source.frame(frame_idx);
+            let naive = model.correlation_map_naive(&frame, &query);
+            let optimized = model.correlation_map_with(&frame, &query, &mut scratch);
+            assert_eq!(optimized, &naive, "frame {frame_idx}");
+        }
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_naive_on_dog_park() {
+        let model = ClipModel::mobile_default();
+        let mut scratch = ClipScratch::new();
+        let source = VideoSource::new(dog_park(1), SourceConfig::fps30(5.0));
+        for (text, frame_idx) in [
+            ("Is the dog in the video erect-eared or floppy-eared?", 0),
+            ("Infer what season it might be in the video", 10),
+            ("qqq zzz", 20), // empty query: both paths must give the all-zero map
+        ] {
+            let frame = source.frame(frame_idx);
+            let query = TextQuery::from_words(text, model.ontology());
+            let naive = model.correlation_map_naive(&frame, &query);
+            let optimized = model.correlation_map_with(&frame, &query, &mut scratch);
+            assert_eq!(optimized, &naive, "query {text:?}");
+        }
+    }
+
+    #[test]
+    fn convenience_form_matches_scratch_form_and_naive() {
+        let model = ClipModel::mobile_default();
+        let frame = frame_of(basketball_game(2));
+        let query = TextQuery::from_words("How many spectators can be seen?", model.ontology());
+        let via_convenience = model.correlation_map(&frame, &query);
+        let naive = model.correlation_map_naive(&frame, &query);
+        assert_eq!(via_convenience, naive);
+    }
+
+    #[test]
+    fn scratch_memoizes_the_query_across_frames() {
+        let model = ClipModel::mobile_default();
+        let mut scratch = ClipScratch::new();
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let query = TextQuery::from_words("score", model.ontology());
+        let first = model
+            .correlation_map_with(&source.frame(0), &query, &mut scratch)
+            .clone();
+        // Re-running the same frame after other frames (same memoized query) reproduces it.
+        let _ = model.correlation_map_with(&source.frame(30), &query, &mut scratch);
+        let again = model.correlation_map_with(&source.frame(0), &query, &mut scratch);
+        assert_eq!(again, &first);
+        // Switching the query invalidates the memo and still gives the right answer.
+        let other = TextQuery::from_words("How many spectators can be seen?", model.ontology());
+        let switched = model.correlation_map_with(&source.frame(0), &other, &mut scratch);
+        assert_eq!(switched, &model.correlation_map_naive(&source.frame(0), &other));
+    }
+
+    #[test]
+    fn out_of_ontology_concepts_still_match_naive() {
+        // Objects can carry concepts the ontology has never seen; the scratch path caches
+        // their deterministic directions and must still agree with the naive path.
+        use aivc_scene::{Scene, SceneObject};
+        let mut scene = Scene::new("novel", 640, 384).with_background(
+            0.2,
+            0.1,
+            vec![(Concept::new("mystery-backdrop"), 1.0)],
+        );
+        scene.add_object(
+            SceneObject::new(1, "gizmo", aivc_scene::Rect::new(64, 64, 128, 128))
+                .with_concept("unheard-of-gizmo", 1.0)
+                .with_detail(0.5)
+                .with_texture(0.5),
+        );
+        let model = ClipModel::mobile_default();
+        let frame = Frame::sample(&scene, 0, 0, 0.0);
+        let query = TextQuery::from_concepts("find the gizmo", ["unheard-of-gizmo"]);
+        let naive = model.correlation_map_naive(&frame, &query);
+        let mut scratch = ClipScratch::new();
+        let optimized = model.correlation_map_with(&frame, &query, &mut scratch);
+        assert_eq!(optimized, &naive);
+    }
+
+    #[test]
+    fn scratch_survives_model_switch_with_different_dim() {
+        // Sharing one scratch across models is discouraged but must not panic: the memoized
+        // query embedding and the extra-concept cache are invalidated by dimension.
+        let coarse = ClipModel::mobile_default();
+        let wide = ClipModel::new(
+            ClipConfig {
+                dim: 128,
+                ..ClipConfig::mobile_clip()
+            },
+            Ontology::standard(),
+        );
+        let frame = frame_of(basketball_game(1));
+        let query = TextQuery::from_words("score", coarse.ontology());
+        let mut scratch = ClipScratch::new();
+        let a = coarse.correlation_map_with(&frame, &query, &mut scratch).clone();
+        let b = wide.correlation_map_with(&frame, &query, &mut scratch).clone();
+        let c = coarse.correlation_map_with(&frame, &query, &mut scratch);
+        assert_eq!(c, &a);
+        assert_eq!(&b, &wide.correlation_map_naive(&frame, &query));
+        assert_eq!(&a, &coarse.correlation_map_naive(&frame, &query));
     }
 
     #[test]
@@ -231,6 +598,9 @@ mod tests {
         let model = ClipModel::mobile_default();
         let frame = frame_of(basketball_game(3));
         let q = TextQuery::from_words("How many spectators can be seen?", model.ontology());
-        assert_eq!(model.correlation_map(&frame, &q), model.correlation_map(&frame, &q));
+        assert_eq!(
+            model.correlation_map(&frame, &q),
+            model.correlation_map(&frame, &q)
+        );
     }
 }

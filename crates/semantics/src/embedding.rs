@@ -11,7 +11,9 @@ pub struct Embedding {
 impl Embedding {
     /// The zero vector of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
-        Self { values: vec![0.0; dim] }
+        Self {
+            values: vec![0.0; dim],
+        }
     }
 
     /// Builds an embedding from raw components.
@@ -53,7 +55,28 @@ impl Embedding {
         if n < 1e-12 {
             return self.clone();
         }
-        Embedding { values: self.values.iter().map(|v| v / n).collect() }
+        Embedding {
+            values: self.values.iter().map(|v| v / n).collect(),
+        }
+    }
+
+    /// Resets this embedding to the zero vector of dimension `dim`, reusing its allocation.
+    pub fn reset_zero(&mut self, dim: usize) {
+        self.values.clear();
+        self.values.resize(dim, 0.0);
+    }
+
+    /// Overwrites `self` with the unit-norm form of `src` (or a plain copy when `src` is
+    /// numerically zero), reusing `self`'s allocation. Produces exactly the values of
+    /// [`Embedding::normalized`].
+    pub fn assign_normalized_from(&mut self, src: &Embedding) {
+        self.values.clear();
+        let n = src.norm();
+        if n < 1e-12 {
+            self.values.extend_from_slice(&src.values);
+        } else {
+            self.values.extend(src.values.iter().map(|v| v / n));
+        }
     }
 
     /// Dot product.
@@ -126,7 +149,16 @@ mod tests {
 
     #[test]
     fn distinct_labels_are_nearly_orthogonal() {
-        let labels = ["dog", "scoreboard", "grass", "jersey", "slide", "car", "chef", "tree"];
+        let labels = [
+            "dog",
+            "scoreboard",
+            "grass",
+            "jersey",
+            "slide",
+            "car",
+            "chef",
+            "tree",
+        ];
         for (i, a) in labels.iter().enumerate() {
             for b in labels.iter().skip(i + 1) {
                 let cos = Embedding::seeded_direction(a, 64).cosine(&Embedding::seeded_direction(b, 64));

@@ -22,13 +22,50 @@ impl ImportanceMap {
     pub fn new(dims: GridDims, width: u32, height: u32, rho: Vec<f64>) -> Self {
         assert_eq!(rho.len(), dims.len(), "importance map size mismatch");
         assert!(rho.iter().all(|r| (-1.0..=1.0).contains(r)), "rho out of [-1, 1]");
-        Self { dims, width, height, rho }
+        Self {
+            dims,
+            width,
+            height,
+            rho,
+        }
     }
 
     /// A map with uniform correlation (used when no user words are available — the paper's
     /// "proactive context-aware" open question, §4).
     pub fn uniform(dims: GridDims, width: u32, height: u32, rho: f64) -> Self {
         Self::new(dims, width, height, vec![rho.clamp(-1.0, 1.0); dims.len()])
+    }
+
+    /// An empty placeholder map (used as the initial state of reusable scratch buffers).
+    pub(crate) fn empty() -> Self {
+        Self {
+            dims: GridDims::for_frame(1, 1, 1),
+            width: 0,
+            height: 0,
+            rho: Vec::new(),
+        }
+    }
+
+    /// Starts an in-place refill: sets the geometry and clears the values, keeping the
+    /// allocation. Callers push exactly `dims.len()` values with
+    /// [`ImportanceMap::push_value`] and then call [`ImportanceMap::finish_refill`].
+    pub(crate) fn begin_refill(&mut self, dims: GridDims, width: u32, height: u32) {
+        self.dims = dims;
+        self.width = width;
+        self.height = height;
+        self.rho.clear();
+        self.rho.reserve(dims.len());
+    }
+
+    /// Appends one value during an in-place refill.
+    pub(crate) fn push_value(&mut self, rho: f64) {
+        debug_assert!((-1.0..=1.0).contains(&rho), "rho out of [-1, 1]");
+        self.rho.push(rho);
+    }
+
+    /// Finishes an in-place refill, enforcing the same invariants as [`ImportanceMap::new`].
+    pub(crate) fn finish_refill(&self) {
+        assert_eq!(self.rho.len(), self.dims.len(), "importance map size mismatch");
     }
 
     /// The patch grid.
@@ -110,7 +147,12 @@ impl ImportanceMap {
                 rho.push(self.get(src_row, src_col));
             }
         }
-        ImportanceMap { dims: target, width: self.width, height: self.height, rho }
+        ImportanceMap {
+            dims: target,
+            width: self.width,
+            height: self.height,
+            rho,
+        }
     }
 
     /// Renders a coarse ASCII heat map (`.` low, `#` high) for terminal inspection
@@ -164,8 +206,8 @@ mod tests {
     #[test]
     fn resample_to_finer_grid_preserves_values() {
         let m = map();
-        let finer = m.resample(GridDims::for_frame(256, 128, 32)); // 8 x 4
-        // The top-left 2x2 patch of the finer grid falls inside the original (0,0) cell.
+        // The top-left 2x2 patch of the finer (8 x 4) grid falls inside the original (0,0) cell.
+        let finer = m.resample(GridDims::for_frame(256, 128, 32));
         assert_eq!(finer.get(0, 0), 0.9);
         assert_eq!(finer.get(1, 1), 0.9);
         assert_eq!(finer.dims().cols, 8);

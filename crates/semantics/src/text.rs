@@ -36,7 +36,10 @@ impl TextQuery {
                 concepts.push((concept.clone(), weight));
             }
         }
-        Self { text: text.to_string(), concepts }
+        Self {
+            text: text.to_string(),
+            concepts,
+        }
     }
 
     /// Builds a query from explicit concepts (the path DeViBench facts use).
@@ -47,7 +50,10 @@ impl TextQuery {
     {
         Self {
             text: text.to_string(),
-            concepts: concepts.into_iter().map(|c| (Concept::new(c.into()), 1.0)).collect(),
+            concepts: concepts
+                .into_iter()
+                .map(|c| (Concept::new(c.into()), 1.0))
+                .collect(),
         }
     }
 

@@ -20,19 +20,27 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConceptSpace {
     dim: usize,
-    embeddings: BTreeMap<Concept, Embedding>,
+    /// Index-keyed embedding table (the hot-path representation: embeddings are looked up
+    /// by integer index, never cloned).
+    table: Vec<Embedding>,
+    /// Concept → index into [`ConceptSpace::table`].
+    index: BTreeMap<Concept, u32>,
 }
 
 impl ConceptSpace {
     /// Builds the concept space for an ontology.
     pub fn build(ontology: &Ontology, dim: usize) -> Self {
-        assert!(dim >= 8, "embedding dimension too small to keep concepts separable");
+        assert!(
+            dim >= 8,
+            "embedding dimension too small to keep concepts separable"
+        );
         let concepts: Vec<Concept> = ontology.concepts().cloned().collect();
         let bases: BTreeMap<Concept, Embedding> = concepts
             .iter()
             .map(|c| (c.clone(), Embedding::seeded_direction(c.name(), dim)))
             .collect();
-        let mut embeddings = BTreeMap::new();
+        let mut table = Vec::with_capacity(concepts.len());
+        let mut index = BTreeMap::new();
         for c in &concepts {
             let mut acc = Embedding::zeros(dim);
             for other in &concepts {
@@ -41,9 +49,10 @@ impl ConceptSpace {
                     acc.add_scaled(&bases[other], w);
                 }
             }
-            embeddings.insert(c.clone(), acc.normalized());
+            index.insert(c.clone(), table.len() as u32);
+            table.push(acc.normalized());
         }
-        Self { dim, embeddings }
+        Self { dim, table, index }
     }
 
     /// Embedding dimension.
@@ -51,13 +60,33 @@ impl ConceptSpace {
         self.dim
     }
 
+    /// Number of concepts in the table.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The table index of a known concept.
+    pub fn concept_index(&self, concept: &Concept) -> Option<u32> {
+        self.index.get(concept).copied()
+    }
+
+    /// The embedding at a table index.
+    pub fn embedding_at(&self, index: u32) -> &Embedding {
+        &self.table[index as usize]
+    }
+
     /// The embedding of a concept. Unknown concepts get a deterministic direction of their
     /// own (they simply will not correlate with anything in the ontology).
     pub fn concept_embedding(&self, concept: &Concept) -> Embedding {
-        self.embeddings
-            .get(concept)
-            .cloned()
-            .unwrap_or_else(|| Embedding::seeded_direction(concept.name(), self.dim))
+        match self.index.get(concept) {
+            Some(&i) => self.table[i as usize].clone(),
+            None => Embedding::seeded_direction(concept.name(), self.dim),
+        }
     }
 
     /// Pools a weighted set of concepts into a single normalized embedding.
@@ -84,7 +113,15 @@ pub struct PatchEncoder<'a> {
 impl<'a> PatchEncoder<'a> {
     /// Creates a patch encoder over a concept space.
     pub fn new(space: &'a ConceptSpace) -> Self {
-        Self { space, background_weight: 0.25 }
+        Self {
+            space,
+            background_weight: 0.25,
+        }
+    }
+
+    /// Weight applied to background concepts relative to object concepts.
+    pub fn background_weight(&self) -> f64 {
+        self.background_weight
     }
 
     /// Embeds the content of `patch` within `frame` — the φ_v(P_mn) of Eq. 1.
@@ -92,13 +129,18 @@ impl<'a> PatchEncoder<'a> {
         let content = frame.region_content(patch);
         let mut weighted: Vec<(Concept, f64)> = Vec::new();
         for (object_id, coverage) in &content.object_coverage {
-            let Some(obj) = frame.object(*object_id) else { continue };
+            let Some(obj) = frame.object(*object_id) else {
+                continue;
+            };
             for (concept, concept_weight) in &obj.concepts {
                 weighted.push((concept.clone(), coverage * concept_weight));
             }
         }
         for (concept, w) in &frame.background_concepts {
-            weighted.push((concept.clone(), content.background_fraction * w * self.background_weight));
+            weighted.push((
+                concept.clone(),
+                content.background_fraction * w * self.background_weight,
+            ));
         }
         self.space.pool(&weighted)
     }
@@ -130,7 +172,8 @@ mod tests {
     fn related_concepts_have_higher_cosine_than_unrelated() {
         let s = space();
         let sim = |a: &str, b: &str| {
-            s.concept_embedding(&Concept::new(a)).cosine(&s.concept_embedding(&Concept::new(b)))
+            s.concept_embedding(&Concept::new(a))
+                .cosine(&s.concept_embedding(&Concept::new(b)))
         };
         assert!(sim("scoreboard", "score") > 0.6);
         assert!(sim("dog", "dog-head") > 0.6);

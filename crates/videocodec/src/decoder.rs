@@ -10,6 +10,7 @@ use crate::qp::Qp;
 use crate::rd::RdModel;
 use aivc_scene::{GridDims, Rect};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One decoded block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,8 +26,8 @@ pub struct DecodedBlock {
     pub quality: f64,
     /// Detail requirement of the block's content.
     pub detail: f64,
-    /// Object coverage, copied from the encoded block.
-    pub object_coverage: Vec<(u32, f64)>,
+    /// Object coverage, shared with the encoded block (an `Arc` bump, not a copy).
+    pub object_coverage: Arc<[(u32, f64)]>,
 }
 
 /// A decoded frame, the MLLM-facing representation of what survived encoding + transport.
@@ -112,8 +113,16 @@ impl DecodedFrame {
         let mut weighted = 0.0;
         let mut weight = 0.0;
         for b in &self.blocks {
-            if let Some((_, frac)) = b.object_coverage.iter().find(|(id, f)| *id == object_id && *f >= min_cover) {
-                let q = if b.received { rd.block_quality(b.qp, detail) } else { rd.concealment_quality(detail) };
+            if let Some((_, frac)) = b
+                .object_coverage
+                .iter()
+                .find(|(id, f)| *id == object_id && *f >= min_cover)
+            {
+                let q = if b.received {
+                    rd.block_quality(b.qp, detail)
+                } else {
+                    rd.concealment_quality(detail)
+                };
                 weighted += frac * q;
                 weight += frac;
             }
@@ -133,7 +142,13 @@ impl DecodedFrame {
         }
         self.blocks
             .iter()
-            .map(|b| if b.received { rd.block_quality(b.qp, detail) } else { rd.concealment_quality(detail) })
+            .map(|b| {
+                if b.received {
+                    rd.block_quality(b.qp, detail)
+                } else {
+                    rd.concealment_quality(detail)
+                }
+            })
             .sum::<f64>()
             / self.blocks.len() as f64
     }
@@ -144,7 +159,11 @@ impl DecodedFrame {
         let mut weighted = 0.0;
         let mut weight = 0.0;
         for b in &self.blocks {
-            if let Some((_, frac)) = b.object_coverage.iter().find(|(id, f)| *id == object_id && *f >= min_cover) {
+            if let Some((_, frac)) = b
+                .object_coverage
+                .iter()
+                .find(|(id, f)| *id == object_id && *f >= min_cover)
+            {
                 weighted += frac * b.quality;
                 weight += frac;
             }
@@ -194,7 +213,11 @@ impl Decoder {
                 index: b.index,
                 received: ok,
                 qp: b.qp,
-                quality: if ok { b.encoded_quality } else { self.rd.concealment_quality(b.detail) },
+                quality: if ok {
+                    b.encoded_quality
+                } else {
+                    self.rd.concealment_quality(b.detail)
+                },
                 detail: b.detail,
                 object_coverage: b.object_coverage.clone(),
             })

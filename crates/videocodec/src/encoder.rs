@@ -9,8 +9,9 @@ use crate::frame::{EncodedBlock, EncodedFrame};
 use crate::gop::GopStructure;
 use crate::qp::{Qp, QpMap};
 use crate::rd::RdModel;
-use aivc_scene::{Frame, GridDims};
+use aivc_scene::{Frame, GridDims, RegionContent};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Encoder speed preset. Slower presets squeeze more quality out of each bit, which the
 /// paper's "Client-side computation" discussion proposes as a fairness ablation.
@@ -77,17 +78,24 @@ impl Default for EncoderConfig {
 pub struct Encoder {
     config: EncoderConfig,
     rd: RdModel,
+    /// Shared empty coverage list: background-only blocks (the majority of a 1080p frame)
+    /// take a refcount bump instead of allocating an `Arc` header each.
+    empty_coverage: Arc<[(u32, f64)]>,
 }
 
 impl Encoder {
     /// Creates an encoder with the default R-D model.
     pub fn new(config: EncoderConfig) -> Self {
-        Self { config, rd: RdModel::default() }
+        Self::with_rd_model(config, RdModel::default())
     }
 
     /// Creates an encoder with an explicit R-D model (used by calibration tests).
     pub fn with_rd_model(config: EncoderConfig, rd: RdModel) -> Self {
-        Self { config, rd }
+        Self {
+            config,
+            rd,
+            empty_coverage: Arc::from(&[][..]),
+        }
     }
 
     /// The encoder configuration.
@@ -119,13 +127,18 @@ impl Encoder {
 
         let mut blocks = Vec::with_capacity(dims.len());
         let mut offset = self.config.header_bytes as u64;
+        // One region descriptor reused across the CTU walk; the only per-block allocation
+        // left is the shared coverage list itself (built once, then Arc-shared downstream).
+        let mut content = RegionContent::empty();
         for row in 0..dims.rows {
             for col in 0..dims.cols {
                 let idx = dims.index(row, col);
                 let rect = dims.cell_rect(row, col, frame.width, frame.height);
-                let content = frame.region_content(&rect);
+                frame.region_content_into(&rect, &mut content);
                 let qp = qp_map.get_index(idx);
-                let bits = self.rd.block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
+                let bits =
+                    self.rd
+                        .block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
                 let bytes = (((bits as f64 * preset_factor) / 8.0).ceil() as u32).max(1);
                 let quality = self.rd.block_quality(qp, content.detail);
                 blocks.push(EncodedBlock {
@@ -137,7 +150,11 @@ impl Encoder {
                     detail: content.detail,
                     complexity: content.complexity,
                     motion: content.motion,
-                    object_coverage: content.object_coverage.clone(),
+                    object_coverage: if content.object_coverage.is_empty() {
+                        Arc::clone(&self.empty_coverage)
+                    } else {
+                        Arc::from(content.object_coverage.as_slice())
+                    },
                 });
                 offset += bytes as u64;
             }
@@ -169,11 +186,14 @@ impl Encoder {
         let frame_type = self.config.gop.frame_type(frame.index);
         let preset_factor = self.config.preset.rate_factor();
         let mut total = self.config.header_bytes as u64;
+        let mut content = RegionContent::empty();
         for row in 0..dims.rows {
             for col in 0..dims.cols {
                 let rect = dims.cell_rect(row, col, frame.width, frame.height);
-                let content = frame.region_content(&rect);
-                let bits = self.rd.block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
+                frame.region_content_into(&rect, &mut content);
+                let bits =
+                    self.rd
+                        .block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
                 total += (((bits as f64 * preset_factor) / 8.0).ceil() as u64).max(1);
             }
         }
@@ -252,8 +272,18 @@ mod tests {
         let roi = enc.encode_with_qp_map(&frame, &map);
         let uniform = enc.encode_uniform(&frame, Qp::new(32));
         // Left-half blocks should hold far more bytes than right-half blocks.
-        let left: u64 = roi.blocks.iter().filter(|b| (b.index as u32 % dims.cols) < dims.cols / 2).map(|b| b.byte_len as u64).sum();
-        let right: u64 = roi.blocks.iter().filter(|b| (b.index as u32 % dims.cols) >= dims.cols / 2).map(|b| b.byte_len as u64).sum();
+        let left: u64 = roi
+            .blocks
+            .iter()
+            .filter(|b| (b.index as u32 % dims.cols) < dims.cols / 2)
+            .map(|b| b.byte_len as u64)
+            .sum();
+        let right: u64 = roi
+            .blocks
+            .iter()
+            .filter(|b| (b.index as u32 % dims.cols) >= dims.cols / 2)
+            .map(|b| b.byte_len as u64)
+            .sum();
         assert!(left > right * 4, "left {left} right {right}");
         // And total size should land in the same order of magnitude as the uniform encode.
         let ratio = roi.total_bytes() as f64 / uniform.total_bytes() as f64;
@@ -274,9 +304,15 @@ mod tests {
     #[test]
     fn slower_preset_is_smaller_and_costlier() {
         let medium = Encoder::new(EncoderConfig::default());
-        let slower = Encoder::new(EncoderConfig { preset: Preset::Slower, ..EncoderConfig::default() });
+        let slower = Encoder::new(EncoderConfig {
+            preset: Preset::Slower,
+            ..EncoderConfig::default()
+        });
         let frame = test_frame();
-        assert!(slower.encode_uniform(&frame, Qp::new(32)).total_bytes() < medium.encode_uniform(&frame, Qp::new(32)).total_bytes());
+        assert!(
+            slower.encode_uniform(&frame, Qp::new(32)).total_bytes()
+                < medium.encode_uniform(&frame, Qp::new(32)).total_bytes()
+        );
         assert!(slower.encode_latency_us() > medium.encode_latency_us());
     }
 

@@ -7,6 +7,7 @@
 
 use crate::qp::Qp;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Whether a frame was coded without reference (intra/IDR) or predicted (inter/P).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -37,7 +38,10 @@ pub struct EncodedBlock {
     /// Motion of the content (copied from the scene descriptor).
     pub motion: f64,
     /// Coverage of the block by scene objects: `(object_id, fraction of block area)`.
-    pub object_coverage: Vec<(u32, f64)>,
+    ///
+    /// Shared (`Arc`) rather than owned: the decoder and downstream stages keep a reference
+    /// to the same coverage list instead of cloning a `Vec` per block per stage.
+    pub object_coverage: Arc<[(u32, f64)]>,
 }
 
 /// A complete encoded frame.
@@ -96,7 +100,10 @@ impl EncodedFrame {
 
     /// The byte range `[offset, offset + len)` occupied by each block, in raster order.
     pub fn block_byte_ranges(&self) -> Vec<(u64, u64)> {
-        self.blocks.iter().map(|b| (b.byte_offset, b.byte_offset + b.byte_len as u64)).collect()
+        self.blocks
+            .iter()
+            .map(|b| (b.byte_offset, b.byte_offset + b.byte_len as u64))
+            .collect()
     }
 
     /// The blocks whose byte ranges are fully contained in the received byte set.
@@ -119,7 +126,11 @@ impl EncodedFrame {
     pub fn bits_on_object(&self, object_id: u32, min_cover: f64) -> u64 {
         self.blocks
             .iter()
-            .filter(|b| b.object_coverage.iter().any(|(id, f)| *id == object_id && *f >= min_cover))
+            .filter(|b| {
+                b.object_coverage
+                    .iter()
+                    .any(|(id, f)| *id == object_id && *f >= min_cover)
+            })
             .map(|b| b.byte_len as u64 * 8)
             .sum()
     }
@@ -163,7 +174,11 @@ mod tests {
                     detail: 0.5,
                     complexity: 0.5,
                     motion: 0.2,
-                    object_coverage: if i == 0 { vec![(7, 1.0)] } else { vec![] },
+                    object_coverage: if i == 0 {
+                        vec![(7, 1.0)].into()
+                    } else {
+                        Vec::new().into()
+                    },
                 };
                 offset += *len as u64;
                 b

@@ -34,7 +34,7 @@ impl GopStructure {
 
     /// The frame type of frame `index`.
     pub fn frame_type(&self, index: u64) -> FrameType {
-        if index % self.length as u64 == 0 {
+        if index.is_multiple_of(self.length as u64) {
             FrameType::Intra
         } else {
             FrameType::Inter

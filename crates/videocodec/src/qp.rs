@@ -64,7 +64,10 @@ pub struct QpMap {
 impl QpMap {
     /// A uniform QP map (the context-agnostic baseline).
     pub fn uniform(dims: GridDims, qp: Qp) -> Self {
-        Self { values: vec![qp; dims.len()], dims }
+        Self {
+            values: vec![qp; dims.len()],
+            dims,
+        }
     }
 
     /// Builds a map from per-cell values; the length must match the grid size.
@@ -109,12 +112,20 @@ impl QpMap {
 
     /// Minimum QP in the map.
     pub fn min_qp(&self) -> Qp {
-        self.values.iter().copied().min().unwrap_or(Qp::new(QP_MAX as i32))
+        self.values
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Qp::new(QP_MAX as i32))
     }
 
     /// Maximum QP in the map.
     pub fn max_qp(&self) -> Qp {
-        self.values.iter().copied().max().unwrap_or(Qp::new(QP_MIN as i32))
+        self.values
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Qp::new(QP_MIN as i32))
     }
 
     /// Applies a uniform offset to every cell (clamped per cell).

@@ -58,7 +58,11 @@ pub struct RateController {
 impl RateController {
     /// Creates a controller.
     pub fn new(config: RateControllerConfig) -> Self {
-        Self { config, current_qp: config.initial_qp, buffer_bits: 0.0 }
+        Self {
+            config,
+            current_qp: config.initial_qp,
+            buffer_bits: 0.0,
+        }
     }
 
     /// Bits budgeted per frame.
@@ -103,10 +107,18 @@ pub struct BitrateMatch {
 
 /// Finds the uniform QP whose encoded size best matches `target_bitrate_bps` over `frames`,
 /// by binary search (bits are monotone in QP). Returns the chosen QP and the achieved rate.
-pub fn match_bitrate_qp(encoder: &Encoder, frames: &[Frame], fps: f64, target_bitrate_bps: f64) -> BitrateMatch {
+pub fn match_bitrate_qp(
+    encoder: &Encoder,
+    frames: &[Frame],
+    fps: f64,
+    target_bitrate_bps: f64,
+) -> BitrateMatch {
     assert!(!frames.is_empty(), "need at least one probe frame");
     let measure = |qp: Qp| -> f64 {
-        let total_bits: u64 = frames.iter().map(|f| encoder.predict_uniform_size(f, qp) * 8).sum();
+        let total_bits: u64 = frames
+            .iter()
+            .map(|f| encoder.predict_uniform_size(f, qp) * 8)
+            .sum();
         total_bits as f64 / frames.len() as f64 * fps
     };
     let mut lo = QP_MIN as i32;
@@ -116,7 +128,11 @@ pub fn match_bitrate_qp(encoder: &Encoder, frames: &[Frame], fps: f64, target_bi
     let mut best = (QP_MAX as i32, measure(Qp::new(QP_MAX as i32)));
     trials += 1;
     if best.1 > target_bitrate_bps {
-        return BitrateMatch { qp_or_offset: best.0, achieved_bitrate_bps: best.1, trials };
+        return BitrateMatch {
+            qp_or_offset: best.0,
+            achieved_bitrate_bps: best.1,
+            trials,
+        };
     }
     while lo <= hi {
         let mid = (lo + hi) / 2;
@@ -131,7 +147,11 @@ pub fn match_bitrate_qp(encoder: &Encoder, frames: &[Frame], fps: f64, target_bi
             hi = mid - 1;
         }
     }
-    BitrateMatch { qp_or_offset: best.0, achieved_bitrate_bps: best.1, trials }
+    BitrateMatch {
+        qp_or_offset: best.0,
+        achieved_bitrate_bps: best.1,
+        trials,
+    }
 }
 
 /// Finds a uniform QP *offset* applied on top of `base_map` so the resulting encode of
@@ -147,7 +167,11 @@ pub fn match_bitrate_offset(
     let measure = |offset: i32| -> f64 {
         let total_bits: u64 = frames
             .iter()
-            .map(|(f, map)| encoder.encode_with_qp_map(f, &map.offset_all(offset)).total_bits())
+            .map(|(f, map)| {
+                encoder
+                    .encode_with_qp_map(f, &map.offset_all(offset))
+                    .total_bits()
+            })
             .sum();
         total_bits as f64 / frames.len() as f64 * fps
     };
@@ -169,7 +193,11 @@ pub fn match_bitrate_offset(
             hi = mid - 1;
         }
     }
-    BitrateMatch { qp_or_offset: best.0, achieved_bitrate_bps: best.1, trials }
+    BitrateMatch {
+        qp_or_offset: best.0,
+        achieved_bitrate_bps: best.1,
+        trials,
+    }
 }
 
 /// Convenience: mean bitrate in bits per second of a sequence of encoded frames at `fps`.
@@ -238,7 +266,11 @@ mod tests {
             let m = match_bitrate_qp(&enc, &probe, 30.0, target);
             // A single QP step changes rate by ~12 %, so accept 20 % error.
             let err = (m.achieved_bitrate_bps - target).abs() / target;
-            assert!(err < 0.2, "target {target}: achieved {} (err {err})", m.achieved_bitrate_bps);
+            assert!(
+                err < 0.2,
+                "target {target}: achieved {} (err {err})",
+                m.achieved_bitrate_bps
+            );
             assert!(m.trials <= 10);
         }
     }
@@ -262,7 +294,10 @@ mod tests {
         let probe: Vec<(Frame, QpMap)> = (0..10).map(|i| (source.frame(i), base.clone())).collect();
         let target = 900_000.0;
         let m = match_bitrate_offset(&enc, &probe, 30.0, target);
-        assert!(m.qp_or_offset > 0, "expected a positive offset to shrink the stream");
+        assert!(
+            m.qp_or_offset > 0,
+            "expected a positive offset to shrink the stream"
+        );
         let err = (m.achieved_bitrate_bps - target).abs() / target;
         assert!(err < 0.25, "achieved {} (err {err})", m.achieved_bitrate_bps);
     }

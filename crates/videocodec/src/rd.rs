@@ -198,7 +198,10 @@ mod tests {
             for &target in &[0.3, 0.5, 0.8] {
                 let qp = m.qp_for_quality(target, detail);
                 let q = m.block_quality(qp, detail);
-                assert!((q - target).abs() < 0.12, "detail {detail} target {target} got {q}");
+                assert!(
+                    (q - target).abs() < 0.12,
+                    "detail {detail} target {target} got {q}"
+                );
             }
         }
     }

@@ -65,8 +65,7 @@ pub fn transcode_clip(
         let e = encoder.encode_uniform(&source.frame(idx), qp);
         decoded.push(decoder.decode_complete(&e, None));
     }
-    let mean_quality =
-        decoded.iter().map(|d| d.mean_quality()).sum::<f64>() / decoded.len().max(1) as f64;
+    let mean_quality = decoded.iter().map(|d| d.mean_quality()).sum::<f64>() / decoded.len().max(1) as f64;
     let summary = TranscodeSummary {
         target_bitrate_bps,
         achieved_bitrate_bps: achieved,

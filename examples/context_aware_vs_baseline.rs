@@ -44,7 +44,8 @@ fn main() {
     }
 
     // --- And what does that do to the answer? Run the full chat turn with both methods.
-    let ours_turn = AiVideoChatSession::new(SessionOptions::default_context_aware(9)).run_turn(&source, &question);
+    let ours_turn =
+        AiVideoChatSession::new(SessionOptions::default_context_aware(9)).run_turn(&source, &question);
     let base_turn = AiVideoChatSession::new(SessionOptions::default_baseline(9)).run_turn(&source, &question);
     println!(
         "\nContext-aware: P(correct) = {:.2}, evidence quality {:.2}, {} ",

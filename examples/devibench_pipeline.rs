@@ -31,8 +31,14 @@ fn main() {
         report.verification_pass_rate() * 100.0,
         report.end_to_end_yield() * 100.0
     );
-    println!("\nTable 1 style summary:\n{}", report.dataset.summary(&CostModel::default()).to_markdown());
-    println!("Category distribution (Figure 8):\n{}", report.dataset.distribution().to_markdown());
+    println!(
+        "\nTable 1 style summary:\n{}",
+        report.dataset.summary(&CostModel::default()).to_markdown()
+    );
+    println!(
+        "Category distribution (Figure 8):\n{}",
+        report.dataset.distribution().to_markdown()
+    );
 
     // Evaluate two context-agnostic renditions against the dataset.
     let encoder = Encoder::new(EncoderConfig::default());

@@ -14,11 +14,16 @@ fn main() {
     let budget_ms = latency_model.remaining_transport_budget_ms(300.0, 768);
     println!("Transport budget inside 300 ms once inference is paid: {budget_ms:.0} ms\n");
 
-    println!("{:<10} {:>8} {:>12} {:>12} {:>12}", "loss", "bitrate", "mean (ms)", "p95 (ms)", "fits budget?");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>12}",
+        "loss", "bitrate", "mean (ms)", "p95 (ms)", "fits budget?"
+    );
     for loss in [0.0, 0.01, 0.05] {
         for bitrate in [400_000.0, 850_000.0, 3_000_000.0, 8_000_000.0, 12_000_000.0] {
             let frames = synthetic_frame_schedule(bitrate, 30.0, 30.0, 60, 6.0);
-            let stats = VideoSession::new(SessionConfig::paper_fig3(loss, bitrate, 1)).run(&frames).stats;
+            let stats = VideoSession::new(SessionConfig::paper_fig3(loss, bitrate, 1))
+                .run(&frames)
+                .stats;
             let mut latency = stats.transmission_latency();
             println!(
                 "{:<10} {:>7.0}k {:>12.1} {:>12.1} {:>12}",
@@ -26,7 +31,11 @@ fn main() {
                 bitrate / 1_000.0,
                 latency.mean_ms(),
                 latency.p95_ms(),
-                if latency.p95_ms() <= budget_ms { "yes" } else { "no" }
+                if latency.p95_ms() <= budget_ms {
+                    "yes"
+                } else {
+                    "no"
+                }
             );
         }
     }

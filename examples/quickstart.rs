@@ -29,7 +29,11 @@ fn main() {
 
     println!(
         "AI answered {} (P(correct) = {:.2}), ground truth: \"{}\"",
-        if report.answer.correct { "correctly" } else { "incorrectly" },
+        if report.answer.correct {
+            "correctly"
+        } else {
+            "incorrectly"
+        },
         report.answer.probability_correct,
         fact.answer
     );

@@ -19,9 +19,6 @@
 //! assert!(report.frames_delivered > 0);
 //! ```
 
-/// The paper's contribution: context-aware streaming, Eq. 2 allocation, the end-to-end chat
-/// session and the Figure 9 evaluation.
-pub use aivchat_core as core;
 /// DeViBench: the degraded-video understanding benchmark pipeline and dataset.
 pub use aivc_devibench as devibench;
 /// The MLLM simulator (sampling, tokens, latency, accuracy, pipeline roles).
@@ -36,3 +33,6 @@ pub use aivc_scene as scene;
 pub use aivc_semantics as semantics;
 /// The block-based video codec simulator with region-wise QP control.
 pub use aivc_videocodec as videocodec;
+/// The paper's contribution: context-aware streaming, Eq. 2 allocation, the end-to-end chat
+/// session and the Figure 9 evaluation.
+pub use aivchat_core as core;

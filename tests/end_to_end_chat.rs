@@ -27,7 +27,11 @@ fn chat_turn_answers_coarse_question_within_latency_target() {
     let report = AiVideoChatSession::new(quick_options(1)).run_turn(&source, &question);
 
     assert!(report.frames_delivered > 0);
-    assert!(report.answer.probability_correct > 0.8, "p = {}", report.answer.probability_correct);
+    assert!(
+        report.answer.probability_correct > 0.8,
+        "p = {}",
+        report.answer.probability_correct
+    );
     // MLLM inference dominates the budget; the network side must be a small fraction.
     assert!(report.latency.inference_ms > report.latency.network_side_ms());
     assert!(

@@ -12,7 +12,9 @@ fn latency_grows_monotonically_with_bitrate_below_capacity() {
     let mut previous = 0.0;
     for bitrate in [400_000.0, 1_000_000.0, 2_500_000.0, 5_000_000.0, 8_000_000.0] {
         let frames = synthetic_frame_schedule(bitrate, 30.0, 15.0, 60, 6.0);
-        let stats = VideoSession::new(SessionConfig::paper_fig3(0.02, bitrate, 11)).run(&frames).stats;
+        let stats = VideoSession::new(SessionConfig::paper_fig3(0.02, bitrate, 11))
+            .run(&frames)
+            .stats;
         let mean = stats.mean_transmission_latency_ms();
         assert!(
             mean + 1.5 >= previous,
@@ -26,30 +28,51 @@ fn latency_grows_monotonically_with_bitrate_below_capacity() {
 fn exceeding_the_bandwidth_is_catastrophic() {
     let below = {
         let frames = synthetic_frame_schedule(8_000_000.0, 30.0, 10.0, 60, 6.0);
-        VideoSession::new(SessionConfig::paper_fig3(0.0, 8_000_000.0, 3)).run(&frames).stats
+        VideoSession::new(SessionConfig::paper_fig3(0.0, 8_000_000.0, 3))
+            .run(&frames)
+            .stats
     };
     let above = {
         let frames = synthetic_frame_schedule(13_000_000.0, 30.0, 10.0, 60, 6.0);
-        VideoSession::new(SessionConfig::paper_fig3(0.0, 13_000_000.0, 3)).run(&frames).stats
+        VideoSession::new(SessionConfig::paper_fig3(0.0, 13_000_000.0, 3))
+            .run(&frames)
+            .stats
     };
     assert!(above.mean_transmission_latency_ms() > below.mean_transmission_latency_ms() * 3.0);
 }
 
 #[test]
 fn bursty_loss_is_harder_on_the_tail_than_iid_loss() {
-    let run = |loss: LossModel| {
+    // A single seed is noisy at the p99: for some streams the bursty run gets lucky. The
+    // property the paper relies on is statistical, so compare means over a seed sweep.
+    let run = |loss: LossModel, seed: u64| {
         let bitrate = 1_500_000.0;
         let frames = synthetic_frame_schedule(bitrate, 30.0, 30.0, 60, 6.0);
-        let mut config = SessionConfig::paper_fig3(0.0, bitrate, 17);
+        let mut config = SessionConfig::paper_fig3(0.0, bitrate, seed);
         config.path.uplink.loss = loss;
         VideoSession::new(config).run(&frames).stats
     };
-    let iid = run(LossModel::Iid { rate: 0.04 });
-    let bursty = run(LossModel::bursty(0.04, 10.0));
-    let mut iid_latency = iid.transmission_latency();
-    let mut bursty_latency = bursty.transmission_latency();
-    assert!(bursty_latency.p99_ms() >= iid_latency.p99_ms() - 1.0);
-    assert!(bursty.completion_rate() <= iid.completion_rate() + 0.01);
+    let seeds = [11u64, 13, 17, 19, 23, 29];
+    let mut iid_p99_sum = 0.0;
+    let mut bursty_p99_sum = 0.0;
+    let mut iid_completion_sum = 0.0;
+    let mut bursty_completion_sum = 0.0;
+    for &seed in &seeds {
+        let iid = run(LossModel::Iid { rate: 0.04 }, seed);
+        let bursty = run(LossModel::bursty(0.04, 10.0), seed);
+        iid_p99_sum += iid.transmission_latency().p99_ms();
+        bursty_p99_sum += bursty.transmission_latency().p99_ms();
+        iid_completion_sum += iid.completion_rate();
+        bursty_completion_sum += bursty.completion_rate();
+    }
+    let n = seeds.len() as f64;
+    assert!(
+        bursty_p99_sum / n >= iid_p99_sum / n - 1.0,
+        "mean bursty p99 {} vs mean iid p99 {}",
+        bursty_p99_sum / n,
+        iid_p99_sum / n
+    );
+    assert!(bursty_completion_sum / n <= iid_completion_sum / n + 0.01);
 }
 
 proptest! {
