@@ -1,13 +1,16 @@
 //! Criterion micro-benchmarks of the hot paths: packetization, CTU encoding, CLIP
-//! correlation, the QP allocator and the MLLM accuracy model.
+//! correlation (full and incremental), the QP allocator, the MLLM accuracy model and the
+//! full chat turn. `aivc_bench::hotpath_suite` measures the same scenarios for the
+//! committed baseline.
 
+use aivc_bench::hotpath_suite::coherence_scene;
 use aivc_mllm::{MllmChat, Question, QuestionFormat};
 use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
 use aivc_scene::templates::basketball_game;
-use aivc_scene::{SourceConfig, VideoSource};
+use aivc_scene::{Frame, SourceConfig, VideoSource};
 use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
-use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp};
-use aivchat_core::{QpAllocator, QpAllocatorConfig};
+use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp, QpMap};
+use aivchat_core::{ChatSession, QpAllocator, QpAllocatorConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -85,6 +88,27 @@ fn bench_clip_correlation(c: &mut Criterion) {
     });
 }
 
+fn bench_clip_incremental(c: &mut Criterion) {
+    // The temporal-coherence path at the calibrated ~10 % dirty rate: only motion-dirtied
+    // patches are recomputed, bit-identical to the full recompute.
+    let source = VideoSource::new(coherence_scene(), SourceConfig::fps30(1.0));
+    let frame_a = source.frame(0);
+    let frame_b = source.frame(1);
+    let model = ClipModel::mobile_default();
+    let query = TextQuery::from_words("Where is the player?", model.ontology());
+    c.bench_function("clip_correlation_update_10pct_dirty", |b| {
+        let mut scratch = ClipScratch::new();
+        let _ = model.correlation_map_coherent(&frame_a, &query, &mut scratch);
+        let mut toggle = false;
+        b.iter(|| {
+            toggle = !toggle;
+            let frame = if toggle { &frame_b } else { &frame_a };
+            let map = model.correlation_map_coherent(black_box(frame), &query, &mut scratch);
+            black_box(map.values().len())
+        });
+    });
+}
+
 fn bench_qp_allocation(c: &mut Criterion) {
     let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
     let frame = source.frame(0);
@@ -95,7 +119,31 @@ fn bench_qp_allocation(c: &mut Criterion) {
     let grid = encoder.grid_for(&frame);
     let allocator = QpAllocator::new(QpAllocatorConfig::paper());
     c.bench_function("eq2_qp_allocation", |b| {
+        // The reuse API over the threshold-table allocator: no `powf`, no allocations.
+        let mut out = QpMap::empty();
+        b.iter(|| {
+            allocator.allocate_into(black_box(&importance), grid, &mut out);
+            black_box(out.values().len())
+        });
+    });
+    c.bench_function("eq2_qp_allocation_alloc", |b| {
+        // The allocating convenience form, kept for comparison against the baseline.
         b.iter(|| black_box(allocator.allocate(black_box(&importance), grid)));
+    });
+}
+
+fn bench_pipeline_turn(c: &mut Criterion) {
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
+    let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
+    c.bench_function("pipeline_turn_1080p", |b| {
+        // One long-lived session: every stage reuses the session's scratch buffers, so
+        // post-warmup turns are allocation-free end to end.
+        let mut session = ChatSession::with_defaults(1);
+        b.iter(|| {
+            let report = session.run_turn(black_box(&frames), &question);
+            black_box(report.answer.visual_tokens)
+        });
     });
 }
 
@@ -116,6 +164,6 @@ fn bench_mllm_answer(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_packetizer, bench_encoder, bench_decoder, bench_clip_correlation, bench_qp_allocation, bench_mllm_answer
+    targets = bench_packetizer, bench_encoder, bench_decoder, bench_clip_correlation, bench_clip_incremental, bench_qp_allocation, bench_mllm_answer, bench_pipeline_turn
 }
 criterion_main!(benches);

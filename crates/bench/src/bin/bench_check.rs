@@ -1,0 +1,107 @@
+//! The hot-path regression gate: re-measures every tracked hot path with the same suite
+//! `hotpath_baseline` records, compares the fresh medians against the committed
+//! `BENCH_hotpaths.json`, and exits non-zero if any median regressed by more than the
+//! tolerance (default 5 %, per ROADMAP.md).
+//!
+//! ```bash
+//! cargo run --release -p aivc-bench --bin bench_check            # compares ./BENCH_hotpaths.json
+//! cargo run --release -p aivc-bench --bin bench_check -- path.json
+//! BENCH_CHECK_TOLERANCE=0.10 cargo run --release -p aivc-bench --bin bench_check
+//! ```
+//!
+//! Paths present in the fresh run but absent from the committed baseline fail the check
+//! too — they mean the baseline was not re-recorded after adding a hot path. Improvements
+//! are reported but never fail.
+
+use aivc_bench::hotpath_suite::{measure_all_hotpaths, BaselineFile};
+use aivc_bench::print_section;
+
+const SAMPLES: usize = 30;
+const TARGET_SAMPLE_MS: f64 = 25.0;
+
+fn main() {
+    let baseline_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpaths.json".to_string());
+    let tolerance: f64 = std::env::var("BENCH_CHECK_TOLERANCE")
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0.05);
+
+    let committed_json = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let committed: BaselineFile = serde_json::from_str(&committed_json)
+        .unwrap_or_else(|e| panic!("cannot parse {baseline_path}: {e:?}"));
+
+    let fresh = measure_all_hotpaths(SAMPLES, TARGET_SAMPLE_MS);
+
+    let mut table = String::from(
+        "| hot path | committed ns | fresh ns | delta | verdict |\n| --- | --- | --- | --- | --- |\n",
+    );
+    let mut failures = Vec::new();
+    for measurement in &fresh {
+        let Some(reference) = committed.hotpaths.iter().find(|h| h.name == measurement.name) else {
+            failures.push(format!(
+                "{}: missing from {baseline_path} — re-record it with `cargo run --release -p aivc-bench --bin hotpath_baseline`",
+                measurement.name
+            ));
+            table.push_str(&format!(
+                "| {} | — | {:.1} | — | NEW (unrecorded) |\n",
+                measurement.name, measurement.median_ns_per_iter
+            ));
+            continue;
+        };
+        let delta = measurement.median_ns_per_iter / reference.median_ns_per_iter - 1.0;
+        let verdict = if delta > tolerance {
+            failures.push(format!(
+                "{}: {:.1} ns vs committed {:.1} ns (+{:.1} % > {:.0} % tolerance)",
+                measurement.name,
+                measurement.median_ns_per_iter,
+                reference.median_ns_per_iter,
+                delta * 100.0,
+                tolerance * 100.0
+            ));
+            "REGRESSED"
+        } else if delta < -tolerance {
+            "improved"
+        } else {
+            "ok"
+        };
+        table.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:+.1} % | {} |\n",
+            measurement.name,
+            reference.median_ns_per_iter,
+            measurement.median_ns_per_iter,
+            delta * 100.0,
+            verdict
+        ));
+    }
+    for reference in &committed.hotpaths {
+        if !fresh.iter().any(|m| m.name == reference.name) {
+            failures.push(format!(
+                "{}: committed in {baseline_path} but no longer measured — stale baseline entry",
+                reference.name
+            ));
+        }
+    }
+    print_section(
+        &format!(
+            "Hot-path check vs {baseline_path} (tolerance {:.0} %)",
+            tolerance * 100.0
+        ),
+        &table,
+    );
+
+    if failures.is_empty() {
+        println!(
+            "bench_check: all {} hot paths within tolerance ... ok",
+            fresh.len()
+        );
+    } else {
+        eprintln!("bench_check: {} failure(s):", failures.len());
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        std::process::exit(1);
+    }
+}

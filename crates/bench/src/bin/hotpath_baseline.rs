@@ -1,147 +1,23 @@
 //! The committed hot-path performance baseline.
 //!
-//! Measures the six per-frame hot paths (the same ones `benches/hotpaths.rs` tracks) and
-//! writes `BENCH_hotpaths.json` into the current directory. The committed copy at the repo
-//! root is the trajectory every later perf PR is measured against: medians must not regress
-//! by more than 5 % (see ROADMAP.md).
+//! Measures the per-frame hot paths (via [`aivc_bench::hotpath_suite`], the same suite
+//! `bench_check` re-measures and `benches/hotpaths.rs` tracks) and writes
+//! `BENCH_hotpaths.json` into the current directory. The committed copy at the repo root is
+//! the trajectory every later perf PR is measured against: medians must not regress by more
+//! than 5 % (see ROADMAP.md; `scripts/bench-check.sh` enforces it).
 //!
 //! Run with the same profile the baseline was recorded under:
 //! `cargo run --release -p aivc-bench --bin hotpath_baseline`
 
-use aivc_bench::{measure_hotpath, print_section, HotpathMeasurement};
-use aivc_mllm::{MllmChat, Question, QuestionFormat};
-use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
-use aivc_scene::templates::basketball_game;
-use aivc_scene::{SourceConfig, VideoSource};
-use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
-use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp};
-use aivchat_core::{QpAllocator, QpAllocatorConfig};
-use serde::Serialize;
-use std::hint::black_box;
+use aivc_bench::hotpath_suite::{measure_all_hotpaths, BaselineFile, METHODOLOGY, PROFILE};
+use aivc_bench::print_section;
 use std::io::Write;
-
-#[derive(Serialize)]
-struct Baseline {
-    /// Build profile the numbers were recorded under.
-    profile: &'static str,
-    /// Methodology note for readers of the JSON.
-    methodology: &'static str,
-    /// The recorded hot-path medians.
-    hotpaths: Vec<HotpathMeasurement>,
-}
 
 const SAMPLES: usize = 30;
 const TARGET_SAMPLE_MS: f64 = 25.0;
 
 fn main() {
-    let mut hotpaths = Vec::new();
-
-    // 1. RTP packetization of a 100 kB keyframe (reuse API; zero allocations/iter).
-    {
-        let mut packetizer = Packetizer::default();
-        let mut packets = Vec::new();
-        let frame = OutgoingFrame {
-            frame_id: 1,
-            capture_ts_us: 0,
-            size_bytes: 100_000,
-            is_keyframe: true,
-        };
-        hotpaths.push(measure_hotpath(
-            "packetize_100kB_frame",
-            SAMPLES,
-            TARGET_SAMPLE_MS,
-            || {
-                packetizer.packetize_into(black_box(&frame), &mut packets);
-                packets.len()
-            },
-        ));
-    }
-
-    // 2. Uniform-QP encode of a 1080p frame.
-    {
-        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
-        let frame = source.frame(0);
-        let encoder = Encoder::new(EncoderConfig::default());
-        hotpaths.push(measure_hotpath(
-            "encode_1080p_frame_uniform_qp",
-            SAMPLES,
-            TARGET_SAMPLE_MS,
-            || black_box(encoder.encode_uniform(black_box(&frame), Qp::new(32))),
-        ));
-    }
-
-    // 2b. Full-frame decode (coverage lists Arc-shared with the encoded blocks).
-    {
-        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
-        let encoder = Encoder::new(EncoderConfig::default());
-        let encoded = encoder.encode_uniform(&source.frame(0), Qp::new(32));
-        let decoder = Decoder::new();
-        hotpaths.push(measure_hotpath(
-            "decode_complete_1080p",
-            SAMPLES,
-            TARGET_SAMPLE_MS,
-            || black_box(decoder.decode_complete(black_box(&encoded), None)),
-        ));
-    }
-
-    // 3. CLIP correlation map over the 1080p patch grid (scratch API; zero allocations/iter).
-    {
-        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
-        let frame = source.frame(0);
-        let model = ClipModel::mobile_default();
-        let query = TextQuery::from_words(
-            "Could you tell me the present score of the game?",
-            model.ontology(),
-        );
-        let mut scratch = ClipScratch::new();
-        hotpaths.push(measure_hotpath(
-            "clip_correlation_map_1080p",
-            SAMPLES,
-            TARGET_SAMPLE_MS,
-            || {
-                let map = model.correlation_map_with(black_box(&frame), &query, &mut scratch);
-                map.values().len()
-            },
-        ));
-    }
-
-    // 4. Eq. 2 QP allocation from an importance map.
-    {
-        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
-        let frame = source.frame(0);
-        let model = ClipModel::mobile_default();
-        let query = TextQuery::from_words("How many spectators can be seen?", model.ontology());
-        let importance = model.correlation_map(&frame, &query);
-        let encoder = Encoder::new(EncoderConfig::default());
-        let grid = encoder.grid_for(&frame);
-        let allocator = QpAllocator::new(QpAllocatorConfig::paper());
-        hotpaths.push(measure_hotpath(
-            "eq2_qp_allocation",
-            SAMPLES,
-            TARGET_SAMPLE_MS,
-            || black_box(allocator.allocate(black_box(&importance), grid)),
-        ));
-    }
-
-    // 5. MLLM answer over four decoded frames.
-    {
-        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
-        let encoder = Encoder::new(EncoderConfig::default());
-        let decoder = Decoder::new();
-        let frames: Vec<_> = (0..4)
-            .map(|i| {
-                decoder.decode_complete(&encoder.encode_uniform(&source.frame(i * 30), Qp::new(32)), None)
-            })
-            .collect();
-        let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
-        let chat = MllmChat::responder(1);
-        hotpaths.push(measure_hotpath(
-            "mllm_respond_4_frames",
-            SAMPLES,
-            TARGET_SAMPLE_MS,
-            || black_box(chat.respond(black_box(&question), &frames, 0)),
-        ));
-    }
+    let hotpaths = measure_all_hotpaths(SAMPLES, TARGET_SAMPLE_MS);
 
     let mut table = String::from("| hot path | median ns/iter |\n| --- | --- |\n");
     for m in &hotpaths {
@@ -149,9 +25,9 @@ fn main() {
     }
     print_section("Hot-path baseline", &table);
 
-    let baseline = Baseline {
-        profile: "release (lto=thin, codegen-units=1)",
-        methodology: "median ns/iter over 30 samples after 150 ms warmup; see aivc_bench::measure_hotpath",
+    let baseline = BaselineFile {
+        profile: PROFILE.to_string(),
+        methodology: METHODOLOGY.to_string(),
         hotpaths,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");

@@ -1,0 +1,284 @@
+//! The hot-path measurement suite shared by the `hotpath_baseline` recorder (writes
+//! `BENCH_hotpaths.json`) and the `bench_check` regression gate (re-measures and compares
+//! against the committed file), so both always measure exactly the same scenarios.
+
+use crate::{measure_hotpath, HotpathMeasurement};
+use aivc_mllm::{MllmChat, Question, QuestionFormat};
+use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
+use aivc_scene::templates::basketball_game;
+use aivc_scene::{Concept, Frame, GridDims, Rect, Scene, SceneObject, SourceConfig, VideoSource};
+use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
+use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp, QpMap};
+use aivchat_core::{ChatSession, QpAllocator, QpAllocatorConfig};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+
+/// Build profile every baseline is recorded under.
+pub const PROFILE: &str = "release (lto=thin, codegen-units=1)";
+/// Methodology note written into the JSON.
+pub const METHODOLOGY: &str =
+    "median ns/iter over 30 samples after 150 ms warmup; see aivc_bench::measure_hotpath";
+
+/// The shape of `BENCH_hotpaths.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineFile {
+    /// Build profile the numbers were recorded under.
+    pub profile: String,
+    /// Methodology note for readers of the JSON.
+    pub methodology: String,
+    /// The recorded hot-path medians.
+    pub hotpaths: Vec<HotpathMeasurement>,
+}
+
+/// A 1080p scene whose two moving objects dirty ≈ 10 % of the 64-px patch grid per frame
+/// step — the calibrated temporal-coherence scenario for the incremental CLIP path.
+/// [`measure_all_hotpaths`] asserts the calibration before measuring.
+pub fn coherence_scene() -> Scene {
+    let mut scene = Scene::new("coherence-1080p", 1920, 1080).with_background(
+        0.25,
+        0.05,
+        vec![(Concept::new("basketball-game"), 1.0)],
+    );
+    // 384x384 px object moving one 64-px cell per frame at 30 FPS.
+    scene.add_object(
+        SceneObject::new(1, "player", Rect::new(256, 256, 384, 384))
+            .with_concept("player", 1.0)
+            .with_detail(0.5)
+            .with_texture(0.6)
+            .with_motion(0.7, (1920.0, 0.0)),
+    );
+    // 128x128 px object moving half a cell per frame, vertically.
+    scene.add_object(
+        SceneObject::new(2, "scoreboard", Rect::new(1200, 700, 128, 128))
+            .with_concept("scoreboard", 1.0)
+            .with_detail(0.9)
+            .with_texture(0.8)
+            .with_motion(0.3, (0.0, 960.0)),
+    );
+    scene
+}
+
+/// Fraction of 64-px grid cells overlapped by the union of each object's placements in the
+/// two frames — the dirty rate the incremental path pays per step between them.
+pub fn dirty_fraction(a: &Frame, b: &Frame) -> f64 {
+    let dims = GridDims::for_frame(a.width, a.height, 64);
+    let mut dirty = vec![false; dims.len()];
+    for (pa, pb) in a.placements.iter().zip(&b.placements) {
+        if pa.region == pb.region {
+            continue;
+        }
+        for rect in [&pa.region, &pb.region] {
+            for row in 0..dims.rows {
+                for col in 0..dims.cols {
+                    if dims.cell_rect(row, col, a.width, a.height).coverage_by(rect) > 0.0 {
+                        dirty[dims.index(row, col)] = true;
+                    }
+                }
+            }
+        }
+    }
+    dirty.iter().filter(|d| **d).count() as f64 / dims.len() as f64
+}
+
+/// Measures every tracked hot path (the same set `benches/hotpaths.rs` tracks), in the
+/// order they appear in `BENCH_hotpaths.json`.
+pub fn measure_all_hotpaths(samples: usize, target_sample_ms: f64) -> Vec<HotpathMeasurement> {
+    let mut hotpaths = Vec::new();
+
+    // 1. RTP packetization of a 100 kB keyframe (reuse API; zero allocations/iter).
+    {
+        let mut packetizer = Packetizer::default();
+        let mut packets = Vec::new();
+        let frame = OutgoingFrame {
+            frame_id: 1,
+            capture_ts_us: 0,
+            size_bytes: 100_000,
+            is_keyframe: true,
+        };
+        hotpaths.push(measure_hotpath(
+            "packetize_100kB_frame",
+            samples,
+            target_sample_ms,
+            || {
+                packetizer.packetize_into(black_box(&frame), &mut packets);
+                packets.len()
+            },
+        ));
+    }
+
+    // 2. Uniform-QP encode of a 1080p frame.
+    {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let frame = source.frame(0);
+        let encoder = Encoder::new(EncoderConfig::default());
+        hotpaths.push(measure_hotpath(
+            "encode_1080p_frame_uniform_qp",
+            samples,
+            target_sample_ms,
+            || black_box(encoder.encode_uniform(black_box(&frame), Qp::new(32))),
+        ));
+    }
+
+    // 2b. Full-frame decode (coverage lists Arc-shared with the encoded blocks).
+    {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let encoder = Encoder::new(EncoderConfig::default());
+        let encoded = encoder.encode_uniform(&source.frame(0), Qp::new(32));
+        let decoder = Decoder::new();
+        hotpaths.push(measure_hotpath(
+            "decode_complete_1080p",
+            samples,
+            target_sample_ms,
+            || black_box(decoder.decode_complete(black_box(&encoded), None)),
+        ));
+    }
+
+    // 3. CLIP correlation map over the 1080p patch grid (scratch API; zero allocations/iter).
+    {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let frame = source.frame(0);
+        let model = ClipModel::mobile_default();
+        let query = TextQuery::from_words(
+            "Could you tell me the present score of the game?",
+            model.ontology(),
+        );
+        let mut scratch = ClipScratch::new();
+        hotpaths.push(measure_hotpath(
+            "clip_correlation_map_1080p",
+            samples,
+            target_sample_ms,
+            || {
+                let map = model.correlation_map_with(black_box(&frame), &query, &mut scratch);
+                map.values().len()
+            },
+        ));
+    }
+
+    // 3b. Incremental CLIP correlation at the calibrated ~10 % dirty rate (two alternating
+    // frames of a moving 1080p scene; only motion-dirtied patches are recomputed).
+    {
+        let source = VideoSource::new(coherence_scene(), SourceConfig::fps30(1.0));
+        let frame_a = source.frame(0);
+        let frame_b = source.frame(1);
+        let model = ClipModel::mobile_default();
+        let query = TextQuery::from_words("Where is the player?", model.ontology());
+        let frac = dirty_fraction(&frame_a, &frame_b);
+        assert!(
+            (0.06..=0.15).contains(&frac),
+            "coherence scene drifted out of calibration: dirty fraction {frac:.3}"
+        );
+        println!(
+            "(coherence scenario: {:.1} % of patches dirty per step)",
+            frac * 100.0
+        );
+        let mut scratch = ClipScratch::new();
+        let _ = model.correlation_map_coherent(&frame_a, &query, &mut scratch);
+        let mut toggle = false;
+        hotpaths.push(measure_hotpath(
+            "clip_correlation_update_10pct_dirty",
+            samples,
+            target_sample_ms,
+            || {
+                toggle = !toggle;
+                let frame = if toggle { &frame_b } else { &frame_a };
+                let map = model.correlation_map_coherent(black_box(frame), &query, &mut scratch);
+                map.values().len()
+            },
+        ));
+    }
+
+    // 4. Eq. 2 QP allocation from an importance map (reuse API + threshold-table allocator;
+    // zero allocations/iter).
+    {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let frame = source.frame(0);
+        let model = ClipModel::mobile_default();
+        let query = TextQuery::from_words("How many spectators can be seen?", model.ontology());
+        let importance = model.correlation_map(&frame, &query);
+        let encoder = Encoder::new(EncoderConfig::default());
+        let grid = encoder.grid_for(&frame);
+        let allocator = QpAllocator::new(QpAllocatorConfig::paper());
+        let mut out = QpMap::empty();
+        hotpaths.push(measure_hotpath(
+            "eq2_qp_allocation",
+            samples,
+            target_sample_ms,
+            || {
+                allocator.allocate_into(black_box(&importance), grid, &mut out);
+                out.values().len()
+            },
+        ));
+    }
+
+    // 5. MLLM answer over four decoded frames.
+    {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let encoder = Encoder::new(EncoderConfig::default());
+        let decoder = Decoder::new();
+        let frames: Vec<_> = (0..4)
+            .map(|i| {
+                decoder.decode_complete(&encoder.encode_uniform(&source.frame(i * 30), Qp::new(32)), None)
+            })
+            .collect();
+        let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
+        let chat = MllmChat::responder(1);
+        hotpaths.push(measure_hotpath(
+            "mllm_respond_4_frames",
+            samples,
+            target_sample_ms,
+            || black_box(chat.respond(black_box(&question), &frames, 0)),
+        ));
+    }
+
+    // 6. The full chat turn: a long-lived ChatSession over a 4-frame 1080p window running
+    // CLIP (incremental) → Eq. 2 → ROI encode → packetize → decode → MLLM respond, with
+    // zero post-warmup heap allocations (guarded by tests/zero_alloc.rs).
+    {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
+        let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
+        let mut session = ChatSession::with_defaults(1);
+        hotpaths.push(measure_hotpath(
+            "pipeline_turn_1080p",
+            samples,
+            target_sample_ms,
+            || {
+                let report = session.run_turn(black_box(&frames), &question);
+                report.answer.visual_tokens
+            },
+        ));
+    }
+
+    hotpaths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coherence_scene_is_calibrated_near_ten_percent() {
+        let source = VideoSource::new(coherence_scene(), SourceConfig::fps30(1.0));
+        let frac = dirty_fraction(&source.frame(0), &source.frame(1));
+        assert!((0.06..=0.15).contains(&frac), "dirty fraction {frac:.3}");
+    }
+
+    #[test]
+    fn baseline_file_round_trips_through_json() {
+        let file = BaselineFile {
+            profile: PROFILE.to_string(),
+            methodology: METHODOLOGY.to_string(),
+            hotpaths: vec![HotpathMeasurement {
+                name: "x".to_string(),
+                median_ns_per_iter: 12.5,
+                iters_per_sample: 3,
+                samples: 30,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        let back: BaselineFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.hotpaths.len(), 1);
+        assert_eq!(back.hotpaths[0].name, "x");
+        assert_eq!(back.hotpaths[0].median_ns_per_iter, 12.5);
+    }
+}

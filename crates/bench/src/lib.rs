@@ -9,7 +9,9 @@
 //! (`quick` | `default` | `full`). `quick` runs in seconds and is what the integration tests
 //! use; `full` approaches the paper's experiment sizes and can take many minutes.
 
-use serde::Serialize;
+pub mod hotpath_suite;
+
+use serde::{Deserialize, Serialize};
 use std::io::Write;
 
 /// Experiment scale selected via the `AIVC_SCALE` environment variable.
@@ -72,7 +74,7 @@ pub fn kbps(bps: f64) -> String {
 }
 
 /// One hot-path measurement, as recorded in `BENCH_hotpaths.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HotpathMeasurement {
     /// Hot-path name (matches the criterion bench name).
     pub name: String,

@@ -1,15 +1,23 @@
-//! Proof that the reuse APIs make the two flagship hot paths allocation-free after warmup:
+//! Proof that the reuse APIs make *every* per-frame hot path allocation-free after warmup:
 //! a counting global allocator observes zero allocations across many post-warmup iterations
-//! of `Packetizer::packetize_into` and `ClipModel::correlation_map_with`.
+//! of `Packetizer::packetize_into`, `ClipModel::correlation_map_with`,
+//! `QpAllocator::allocate_into` (Eq. 2), `Encoder::encode_into`, `Decoder::decode_into`,
+//! and the full `ChatSession::run_turn` pipeline (CLIP → QP → encode → packetize → decode →
+//! MLLM respond).
 //!
 //! This target sets `harness = false` (a plain `main`) so the process has exactly one
 //! thread: libtest's harness threads allocate sporadically and would pollute the global
 //! counter (observed as a rare flaky nonzero count when this ran under `#[test]`).
 
+use aivc_mllm::{Question, QuestionFormat};
 use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
 use aivc_scene::templates::{basketball_game, dog_park};
-use aivc_scene::{SourceConfig, VideoSource};
+use aivc_scene::{Frame, SourceConfig, VideoSource};
 use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
+use aivc_videocodec::{
+    DecodeScratch, DecodedFrame, Decoder, EncodeScratch, EncodedFrame, Encoder, EncoderConfig, QpMap,
+};
+use aivchat_core::{ChatSession, QpAllocator, QpAllocatorConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,6 +112,87 @@ fn main() {
     assert_eq!(
         turn_allocs, 0,
         "multi-frame turn allocated {turn_allocs} times after warmup"
+    );
+
+    // --- allocate_into (Eq. 2): the threshold-table allocator over a 1080p CTU grid.
+    let encoder = Encoder::new(EncoderConfig::default());
+    let grid = encoder.grid_for(&frame);
+    let allocator = QpAllocator::new(QpAllocatorConfig::paper());
+    let importance = model.correlation_map(&frame, &query);
+    let mut qp_map = QpMap::empty();
+    for _ in 0..3 {
+        allocator.allocate_into(&importance, grid, &mut qp_map);
+    }
+    let before = allocations();
+    for _ in 0..1_000 {
+        allocator.allocate_into(black_box(&importance), grid, &mut qp_map);
+        black_box(qp_map.values().len());
+    }
+    let eq2_allocs = allocations() - before;
+    assert_eq!(
+        eq2_allocs, 0,
+        "allocate_into allocated {eq2_allocs} times across 1000 post-warmup iterations"
+    );
+
+    // --- encode_into: a 1080p ROI encode through a warmed scratch (coverage-Arc cache hits).
+    let mut encode_scratch = EncodeScratch::new();
+    let mut encoded = EncodedFrame::placeholder();
+    for _ in 0..3 {
+        encoder.encode_into(&frame, &qp_map, &mut encode_scratch, &mut encoded);
+    }
+    let before = allocations();
+    for _ in 0..100 {
+        encoder.encode_into(black_box(&frame), &qp_map, &mut encode_scratch, &mut encoded);
+        black_box(encoded.total_bytes());
+    }
+    let encode_allocs = allocations() - before;
+    assert_eq!(
+        encode_allocs, 0,
+        "encode_into allocated {encode_allocs} times across 100 post-warmup iterations"
+    );
+
+    // --- decode_into: the full-frame decode of the same 1080p frame.
+    let mut decode_scratch = DecodeScratch::new();
+    let mut decoded = DecodedFrame::placeholder();
+    let decoder = Decoder::new();
+    let total = encoded.total_bytes();
+    for _ in 0..3 {
+        decoder.decode_into(&encoded, &[(0, total)], None, &mut decode_scratch, &mut decoded);
+    }
+    let before = allocations();
+    for _ in 0..200 {
+        decoder.decode_into(
+            black_box(&encoded),
+            &[(0, total)],
+            None,
+            &mut decode_scratch,
+            &mut decoded,
+        );
+        black_box(decoded.blocks.len());
+    }
+    let decode_allocs = allocations() - before;
+    assert_eq!(
+        decode_allocs, 0,
+        "decode_into allocated {decode_allocs} times across 200 post-warmup iterations"
+    );
+
+    // --- the full chat turn: a long-lived ChatSession over a 4-frame 1080p window,
+    // CLIP (incremental) → Eq. 2 → ROI encode → packetize → decode → MLLM respond.
+    let turn_frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
+    let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
+    let mut session = ChatSession::with_defaults(3);
+    for _ in 0..2 {
+        let _ = session.run_turn(&turn_frames, &question);
+    }
+    let before = allocations();
+    for _ in 0..10 {
+        let report = session.run_turn(black_box(&turn_frames), &question);
+        black_box(report.answer.visual_tokens);
+    }
+    let turn_allocs = allocations() - before;
+    assert_eq!(
+        turn_allocs, 0,
+        "ChatSession::run_turn allocated {turn_allocs} times across 10 post-warmup turns"
     );
 
     // Sanity: the counter itself works (a deliberate allocation is observed).

@@ -133,12 +133,19 @@ impl ContextAwareStreamer {
         target_bitrate_bps: f64,
     ) -> ContextAwareEncode {
         assert!(!frames.is_empty());
-        // One scratch across the turn: the query is encoded exactly once, and the per-patch
-        // CLIP loop reuses its buffers from the second frame on.
+        // One scratch across the turn: the query is encoded exactly once, the per-patch
+        // CLIP loop reuses its buffers from the second frame on, and consecutive frames
+        // recompute only the patches object motion dirtied (bit-identical to the full
+        // recompute — see the `correlation_map_coherent` equivalence tests).
         let mut clip_scratch = ClipScratch::new();
         let maps: Vec<QpMap> = frames
             .iter()
-            .map(|f| self.qp_map_for_with(f, query, &mut clip_scratch))
+            .map(|f| {
+                let importance = self
+                    .clip_model
+                    .correlation_map_coherent(f, query, &mut clip_scratch);
+                self.allocator.allocate(importance, self.encoder.grid_for(f))
+            })
             .collect();
         // Binary search the offset (bits are monotone decreasing in the offset).
         let measure = |offset: i32| -> Vec<EncodedFrame> {

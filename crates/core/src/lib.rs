@@ -27,4 +27,4 @@ pub use baseline::ContextAgnosticBaseline;
 pub use context_aware::{ContextAwareStreamer, StreamerConfig};
 pub use eval::{run_accuracy_vs_bitrate, AccuracyPoint, MethodKind};
 pub use latency::{LatencyBudget, RESPONSE_LATENCY_TARGET_MS};
-pub use session::{AiVideoChatSession, ChatTurnReport, SessionOptions};
+pub use session::{AiVideoChatSession, ChatSession, ChatTurnReport, PipelineTurnReport, SessionOptions};

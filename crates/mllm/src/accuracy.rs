@@ -146,24 +146,34 @@ impl AnswerModel {
     /// per evidence object, the best view across frames; across evidence objects, the worst
     /// (all evidence must be legible).
     pub fn perceived_evidence_quality(&self, question: &Question, frames: &[DecodedFrame]) -> f64 {
-        if frames.is_empty() {
+        self.perceived_evidence_quality_iter(question, frames.iter())
+    }
+
+    /// [`AnswerModel::perceived_evidence_quality`] over any re-iterable frame view — the
+    /// form `MllmChat::respond_with` uses to score sampled frames without cloning them.
+    /// Identical arithmetic (same accumulation order) to the slice form.
+    pub fn perceived_evidence_quality_iter<'a, I>(&self, question: &Question, frames: I) -> f64
+    where
+        I: ExactSizeIterator<Item = &'a DecodedFrame> + Clone,
+    {
+        if frames.len() == 0 {
             return self.calibration.invisible_quality;
         }
         let detail = question.required_detail;
         if question.evidence_objects.is_empty() {
             // No specific evidence: the question is about the gist; use the mean frame quality
             // conditioned on the question's detail requirement.
+            let count = frames.len();
             let mean = frames
-                .iter()
                 .map(|f| f.mean_quality_for_detail(detail, &self.rd))
                 .sum::<f64>()
-                / frames.len() as f64;
+                / count as f64;
             return mean;
         }
         let mut worst_evidence: f64 = 1.0;
         for &object_id in &question.evidence_objects {
             let mut best_view: Option<f64> = None;
-            for frame in frames {
+            for frame in frames.clone() {
                 if let Some(q) = frame.object_quality_for_detail(
                     object_id,
                     self.calibration.min_object_coverage,
@@ -182,6 +192,14 @@ impl AnswerModel {
     /// True when a multi-frame (temporal) question has its evidence visible in at least two
     /// of the sampled frames, i.e. the motion/temporal change is actually observable.
     pub fn has_temporal_evidence(&self, question: &Question, frames: &[DecodedFrame]) -> bool {
+        self.has_temporal_evidence_iter(question, frames.iter())
+    }
+
+    /// Iterator form of [`AnswerModel::has_temporal_evidence`].
+    pub fn has_temporal_evidence_iter<'a, I>(&self, question: &Question, frames: I) -> bool
+    where
+        I: ExactSizeIterator<Item = &'a DecodedFrame> + Clone,
+    {
         if !question.multi_frame {
             return true;
         }
@@ -190,7 +208,7 @@ impl AnswerModel {
         }
         question.evidence_objects.iter().all(|&object_id| {
             frames
-                .iter()
+                .clone()
                 .filter(|f| {
                     f.object_quality(object_id, self.calibration.min_object_coverage)
                         .is_some()
@@ -202,11 +220,19 @@ impl AnswerModel {
 
     /// Probability of a correct answer given the decoded frames the MLLM looked at.
     pub fn probability_correct(&self, question: &Question, frames: &[DecodedFrame]) -> f64 {
-        let perceived = self.perceived_evidence_quality(question, frames);
+        self.probability_correct_iter(question, frames.iter())
+    }
+
+    /// Iterator form of [`AnswerModel::probability_correct`].
+    pub fn probability_correct_iter<'a, I>(&self, question: &Question, frames: I) -> f64
+    where
+        I: ExactSizeIterator<Item = &'a DecodedFrame> + Clone,
+    {
+        let perceived = self.perceived_evidence_quality_iter(question, frames.clone());
         let threshold = self.calibration.threshold_per_detail * question.required_detail;
         let x = (perceived - threshold) / self.calibration.slope;
         let mut answerable = 1.0 / (1.0 + (-x).exp());
-        if !self.has_temporal_evidence(question, frames) {
+        if !self.has_temporal_evidence_iter(question, frames) {
             answerable *= self.calibration.missing_temporal_evidence_factor;
         }
         let skill = self.config.capability * (1.0 - self.config.slip_rate) * answerable;
@@ -220,7 +246,15 @@ impl AnswerModel {
     /// `context_tag`, so the same (model, question, context) always yields the same outcome
     /// regardless of evaluation order — the "frozen random seed" the paper describes.
     pub fn answer_is_correct(&self, question: &Question, frames: &[DecodedFrame], context_tag: u64) -> bool {
-        let p = self.probability_correct(question, frames);
+        self.answer_is_correct_iter(question, frames.iter(), context_tag)
+    }
+
+    /// Iterator form of [`AnswerModel::answer_is_correct`].
+    pub fn answer_is_correct_iter<'a, I>(&self, question: &Question, frames: I, context_tag: u64) -> bool
+    where
+        I: ExactSizeIterator<Item = &'a DecodedFrame> + Clone,
+    {
+        let p = self.probability_correct_iter(question, frames);
         let seed = self
             .seed_stream
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)

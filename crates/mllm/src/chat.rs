@@ -32,6 +32,24 @@ pub struct Answer {
     pub sampling: SamplingStats,
 }
 
+/// Reusable buffers for [`MllmChat::respond_with`]: the capture-order and sampling index
+/// lists, so a response over already-decoded frames performs no heap allocation after
+/// warmup (frames are referenced by index instead of cloned).
+#[derive(Debug, Clone, Default)]
+pub struct MllmScratch {
+    /// Indices of the offered frames in capture-timestamp order.
+    order: Vec<usize>,
+    /// Indices of the frames the sampler admitted, in capture order.
+    taken: Vec<usize>,
+}
+
+impl MllmScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A chat-capable MLLM instance.
 #[derive(Debug, Clone)]
 pub struct MllmChat {
@@ -90,25 +108,63 @@ impl MllmChat {
     ///
     /// `context_tag` distinguishes repeated evaluations of the same question under different
     /// conditions (bitrates, methods) so their Bernoulli draws are independent.
+    ///
+    /// Allocates per call (sampling clones the admitted frames); per-turn loops should hold
+    /// an [`MllmScratch`] and call [`MllmChat::respond_with`], which references frames by
+    /// index and is allocation-free after warmup. Answers are identical.
     pub fn respond(&self, question: &Question, offered: &[DecodedFrame], context_tag: u64) -> Answer {
-        let (ingested, sampling) = self.ingest(offered);
+        let mut scratch = MllmScratch::new();
+        self.respond_with(question, offered, context_tag, &mut scratch)
+    }
+
+    /// [`MllmChat::respond`] with caller-owned sampling/token scratch buffers.
+    pub fn respond_with(
+        &self,
+        question: &Question,
+        offered: &[DecodedFrame],
+        context_tag: u64,
+        scratch: &mut MllmScratch,
+    ) -> Answer {
+        let MllmScratch { order, taken } = scratch;
+        // Capture order, index-stable for equal timestamps — the same ordering the stable
+        // sort in `MllmChat::ingest` produces.
+        order.clear();
+        order.extend(0..offered.len());
+        order.sort_unstable_by_key(|&i| (offered[i].capture_ts_us, i));
+        let mut sampler = FrameSampler::new(&self.profile.config);
+        taken.clear();
+        for &i in order.iter() {
+            if sampler.offer_frame(&offered[i]) {
+                taken.push(i);
+            }
+        }
+        let sampling = sampler.stats();
         let downsampler = Downsampler::new(&self.profile.config);
         let tokenizer = VisionTokenizer::new(&self.profile.config);
-        let pixels = ingested
+        let pixels = taken
             .first()
-            .map(|f| downsampler.decide(f.width, f.height).retained_pixels)
+            .map(|&i| {
+                downsampler
+                    .decide(offered[i].width, offered[i].height)
+                    .retained_pixels
+            })
             .unwrap_or(0);
-        let (visual_tokens, frames_kept) = if ingested.is_empty() {
+        let (visual_tokens, frames_kept) = if taken.is_empty() {
             (0, 0)
         } else {
-            tokenizer.tokens_for_frames(ingested.len(), pixels)
+            tokenizer.tokens_for_frames(taken.len(), pixels)
         };
-        let considered = &ingested[ingested.len() - frames_kept..];
-        let probability = self.answer_model.probability_correct(question, considered);
-        let perceived = self.answer_model.perceived_evidence_quality(question, considered);
+        let considered = &taken[taken.len() - frames_kept..];
+        let frames = considered.iter().map(|&i| &offered[i]);
+        let probability = self
+            .answer_model
+            .probability_correct_iter(question, frames.clone());
+        let perceived = self
+            .answer_model
+            .perceived_evidence_quality_iter(question, frames.clone());
         let correct = self
             .answer_model
-            .answer_is_correct(question, considered, context_tag);
+            .answer_is_correct_iter(question, frames, context_tag);
         let latency = self.latency_model.typical(visual_tokens);
         Answer {
             correct,
@@ -204,5 +260,45 @@ mod tests {
         let a = chat.respond(&score_question(), &offered, 9);
         let b = chat.respond(&score_question(), &offered, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respond_with_matches_respond_across_conditions() {
+        let chat = MllmChat::responder(6);
+        let mut scratch = MllmScratch::new();
+        let q = score_question();
+        // Different frame counts, qualities and rates through the same reused scratch —
+        // including the empty-offer edge case.
+        for (qp, count, fps) in [(26, 60, 30.0), (44, 12, 30.0), (30, 1, 30.0), (30, 0, 30.0)] {
+            let offered = if count == 0 {
+                Vec::new()
+            } else {
+                offered_frames(qp, count, fps)
+            };
+            for tag in [0u64, 7] {
+                let with_scratch = chat.respond_with(&q, &offered, tag, &mut scratch);
+                assert_eq!(
+                    with_scratch,
+                    chat.respond(&q, &offered, tag),
+                    "qp {qp} count {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respond_with_handles_out_of_order_offers() {
+        // Frames arriving out of capture order must be sampled identically to the cloning
+        // path (which stable-sorts by capture timestamp).
+        let chat = MllmChat::responder(7);
+        let mut offered = offered_frames(28, 20, 30.0);
+        offered.reverse();
+        offered.swap(3, 11);
+        let q = score_question();
+        let mut scratch = MllmScratch::new();
+        assert_eq!(
+            chat.respond_with(&q, &offered, 1, &mut scratch),
+            chat.respond(&q, &offered, 1)
+        );
     }
 }

@@ -34,7 +34,7 @@ pub mod sampler;
 pub mod tokens;
 
 pub use accuracy::{AnswerModel, Question, QuestionFormat};
-pub use chat::{Answer, MllmChat};
+pub use chat::{Answer, MllmChat, MllmScratch};
 pub use config::{MllmConfig, MllmProfile};
 pub use latency::InferenceLatencyModel;
 pub use memory::LongTermMemory;

@@ -84,24 +84,19 @@ impl Packetizer {
     /// Packet contents are identical to [`Packetizer::packetize`] from the same state.
     pub fn packetize_into(&mut self, frame: &OutgoingFrame, packets: &mut Vec<RtpPacket>) {
         packets.clear();
-        let count = packet_count(frame.size_bytes, self.max_payload() as u64);
-        packets.reserve(count as usize);
-        packets.extend(self.packets(frame));
-    }
-
-    /// The packets of a frame as a lazy iterator — the zero-buffer form of
-    /// [`Packetizer::packetize`]. Sequence numbers are allocated as the iterator advances,
-    /// so drive it to completion before packetizing the next frame.
-    pub fn packets<'a>(&'a mut self, frame: &OutgoingFrame) -> impl Iterator<Item = RtpPacket> + 'a {
         let payload = self.max_payload() as u64;
         let count = packet_count(frame.size_bytes, payload);
+        // A `Range::map` extend rather than the `Packets` iterator: the range is
+        // `TrustedLen`, so `extend` takes std's exact-size fast path (one reservation, no
+        // per-item capacity checks). Contents are identical to driving `Packets`.
+        let mut sequence = self.next_sequence;
         let frame = *frame;
-        (0..count).map(move |i| {
+        packets.extend((0..count).map(|i| {
             let start = i * payload;
             let end = ((i + 1) * payload).min(frame.size_bytes);
-            RtpPacket {
+            let packet = RtpPacket {
                 header: RtpHeader {
-                    sequence: self.allocate_sequence(),
+                    sequence,
                     capture_ts_us: frame.capture_ts_us,
                     frame_id: frame.frame_id,
                     marker: i + 1 == count,
@@ -110,10 +105,77 @@ impl Packetizer {
                 payload_start: start,
                 payload_end: end,
                 fec_group: None,
-            }
-        })
+            };
+            sequence += 1;
+            packet
+        }));
+        self.next_sequence = sequence;
+    }
+
+    /// The packets of a frame as a lazy iterator — the zero-buffer form of
+    /// [`Packetizer::packetize`]. Sequence numbers are allocated as the iterator advances,
+    /// so drive it to completion before packetizing the next frame.
+    ///
+    /// The returned [`Packets`] is an [`ExactSizeIterator`] with a precise `size_hint`, so
+    /// downstream collectors (`Vec::extend`, `collect`) preallocate exactly once.
+    pub fn packets<'a>(&'a mut self, frame: &OutgoingFrame) -> Packets<'a> {
+        let payload = self.max_payload() as u64;
+        let count = packet_count(frame.size_bytes, payload);
+        Packets {
+            frame: *frame,
+            payload,
+            count,
+            next: 0,
+            packetizer: self,
+        }
     }
 }
+
+/// Lazy media-packet iterator over one frame (see [`Packetizer::packets`]).
+///
+/// Exactly `packet_count` items are produced; `size_hint` is precise at every point of the
+/// iteration, and [`ExactSizeIterator::len`] reports the packets still to come.
+#[derive(Debug)]
+pub struct Packets<'a> {
+    packetizer: &'a mut Packetizer,
+    frame: OutgoingFrame,
+    payload: u64,
+    count: u64,
+    next: u64,
+}
+
+impl Iterator for Packets<'_> {
+    type Item = RtpPacket;
+
+    fn next(&mut self) -> Option<RtpPacket> {
+        if self.next >= self.count {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let start = i * self.payload;
+        let end = ((i + 1) * self.payload).min(self.frame.size_bytes);
+        Some(RtpPacket {
+            header: RtpHeader {
+                sequence: self.packetizer.allocate_sequence(),
+                capture_ts_us: self.frame.capture_ts_us,
+                frame_id: self.frame.frame_id,
+                marker: i + 1 == self.count,
+                kind: PayloadKind::Media,
+            },
+            payload_start: start,
+            payload_end: end,
+            fec_group: None,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.count - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Packets<'_> {}
 
 /// Number of media packets a frame of `size_bytes` needs at the given per-packet payload.
 fn packet_count(size_bytes: u64, payload: u64) -> u64 {
@@ -446,6 +508,38 @@ mod tests {
             // Drop the iterator after one packet: only one sequence was consumed.
         }
         assert_eq!(p.next_sequence(), 1);
+    }
+
+    #[test]
+    fn packets_iterator_is_exact_size_at_every_step() {
+        let mut p = Packetizer::default();
+        for size in equivalence_sizes() {
+            let f = frame(size);
+            let mut iter = p.packets(&f);
+            let expected = packet_count(size, Packetizer::default().max_payload() as u64) as usize;
+            assert_eq!(iter.len(), expected, "size {size}");
+            assert_eq!(iter.size_hint(), (expected, Some(expected)));
+            let mut produced = 0usize;
+            while let Some(_pk) = iter.next() {
+                produced += 1;
+                let remaining = expected - produced;
+                assert_eq!(iter.len(), remaining, "size {size} after {produced}");
+                assert_eq!(iter.size_hint(), (remaining, Some(remaining)));
+            }
+            assert_eq!(produced, expected);
+        }
+    }
+
+    #[test]
+    fn collectors_preallocate_from_the_size_hint() {
+        let mut p = Packetizer::default();
+        let f = frame(100_000);
+        let collected: Vec<RtpPacket> = p.packets(&f).collect();
+        // An exact lower bound means a single up-front reservation: capacity == length.
+        assert_eq!(collected.capacity(), collected.len());
+        let mut extended: Vec<RtpPacket> = Vec::new();
+        extended.extend(p.packets(&f));
+        assert_eq!(extended.capacity(), extended.len());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::embedding::Embedding;
 use crate::importance::ImportanceMap;
 use crate::text::TextQuery;
 use crate::vision::{ConceptSpace, PatchEncoder};
-use aivc_scene::{Concept, Frame, GridDims, Ontology, RegionContent};
+use aivc_scene::{Concept, Frame, GridDims, Ontology, Rect, RegionContent};
 use serde::{Deserialize, Serialize};
 
 /// CLIP model configuration.
@@ -85,6 +85,15 @@ pub struct ClipScratch {
     query_embedding: Embedding,
     /// The output map, refilled in place.
     map: ImportanceMap,
+    /// Object placements `(id, rect)` of the frame [`ClipScratch::map`] was computed for
+    /// (the temporal-coherence state behind [`ClipModel::correlation_map_coherent`]).
+    prev_placements: Vec<(u32, Rect)>,
+    /// Content fingerprint (objects, concepts, background, geometry) of that frame.
+    prev_fingerprint: u64,
+    /// Whether [`ClipScratch::map`] holds a result the incremental paths may update.
+    prev_valid: bool,
+    /// Scratch list of dirty patch indices.
+    dirty: Vec<u32>,
 }
 
 impl Default for ClipScratch {
@@ -107,12 +116,27 @@ impl ClipScratch {
             cached_query: None,
             query_embedding: Embedding::zeros(0),
             map: ImportanceMap::empty(),
+            prev_placements: Vec::new(),
+            prev_fingerprint: 0,
+            prev_valid: false,
+            dirty: Vec::new(),
         }
     }
 
     /// Moves the most recent result out of the scratch.
     pub fn take_map(&mut self) -> ImportanceMap {
+        self.prev_valid = false;
         std::mem::replace(&mut self.map, ImportanceMap::empty())
+    }
+
+    /// Records which frame the scratch's map now describes, enabling later incremental
+    /// updates against it.
+    fn record_prev(&mut self, frame: &Frame) {
+        self.prev_placements.clear();
+        self.prev_placements
+            .extend(frame.placements.iter().map(|p| (p.object_id, p.region)));
+        self.prev_fingerprint = frame_fingerprint(frame);
+        self.prev_valid = true;
     }
 
     /// Ensures the memoized text embedding matches `query` (and the model's embedding
@@ -256,12 +280,12 @@ impl ClipModel {
                 scratch.map.push_value(0.0);
             }
             scratch.map.finish_refill();
+            scratch.record_prev(frame);
             return &scratch.map;
         }
         scratch.prepare_frame(self, frame);
         let bias = self.config.similarity_bias;
         let background_weight = PatchEncoder::new(&self.space).background_weight();
-        let table_len = self.space.len() as u32;
         let ClipScratch {
             content,
             object_entries,
@@ -277,51 +301,182 @@ impl ClipModel {
         for row in 0..dims.rows {
             for col in 0..dims.cols {
                 let rect = dims.cell_rect(row, col, frame.width, frame.height);
-                frame.region_content_into(&rect, content);
-                // Pool the patch's concepts exactly as `PatchEncoder::embed_patch` +
-                // `ConceptSpace::pool` do — same products, same accumulation order — but
-                // through the index-keyed table and reused buffers.
-                accumulator.reset_zero(self.config.dim);
-                for &(object_id, coverage) in &content.object_coverage {
-                    let Some(&(_, start, end)) = object_entries.iter().find(|(id, _, _)| *id == object_id)
-                    else {
-                        continue;
-                    };
-                    for &(concept_idx, concept_weight) in &flat[start as usize..end as usize] {
-                        let w = coverage * concept_weight;
-                        if w <= 0.0 {
-                            continue;
-                        }
-                        let embedding = if concept_idx < table_len {
-                            self.space.embedding_at(concept_idx)
-                        } else {
-                            &extra[(concept_idx - table_len) as usize].1
-                        };
-                        accumulator.add_scaled(embedding, w);
-                    }
-                }
-                for &(concept_idx, base_weight) in background_flat.iter() {
-                    let w = content.background_fraction * base_weight * background_weight;
-                    if w <= 0.0 {
-                        continue;
-                    }
-                    let embedding = if concept_idx < table_len {
-                        self.space.embedding_at(concept_idx)
-                    } else {
-                        &extra[(concept_idx - table_len) as usize].1
-                    };
-                    accumulator.add_scaled(embedding, w);
-                }
-                normalized.assign_normalized_from(accumulator);
-                let raw = normalized.cosine(query_embedding);
-                // Contrastive calibration: subtract the unrelated-pair baseline and rescale so
-                // the reported correlation still spans [-1, 1].
-                let calibrated = ((raw - bias) / (1.0 - bias)).clamp(-1.0, 1.0);
+                let calibrated = patch_rho(
+                    self,
+                    frame,
+                    &rect,
+                    bias,
+                    background_weight,
+                    content,
+                    object_entries,
+                    flat,
+                    background_flat,
+                    extra,
+                    accumulator,
+                    normalized,
+                    query_embedding,
+                );
                 map.push_value(calibrated);
             }
         }
         scratch.map.finish_refill();
+        scratch.record_prev(frame);
         &scratch.map
+    }
+
+    /// Incremental form of [`ClipModel::correlation_map_with`], exploiting the temporal
+    /// coherence of video: only patches whose content could have changed since the previous
+    /// frame are recomputed; everything else keeps its value from the map already held in
+    /// `scratch`.
+    ///
+    /// The dirty set is derived automatically from object motion — every patch overlapping
+    /// the previous *or* current placement of an object that moved. When no compatible
+    /// previous result exists (first frame, scene/query/geometry change, stolen map), the
+    /// call transparently falls back to the full recompute, so this is a drop-in
+    /// replacement for `correlation_map_with` with identical output for any frame sequence
+    /// (see the equivalence tests and `tests/model_properties.rs`).
+    pub fn correlation_map_coherent<'s>(
+        &self,
+        frame: &Frame,
+        query: &TextQuery,
+        scratch: &'s mut ClipScratch,
+    ) -> &'s ImportanceMap {
+        let dims = GridDims::for_frame(frame.width, frame.height, self.config.patch_size);
+        if !self.can_update_incrementally(frame, query, scratch, dims)
+            || scratch.prev_fingerprint != frame_fingerprint(frame)
+            || scratch.prev_placements.len() != frame.placements.len()
+            || !scratch
+                .prev_placements
+                .iter()
+                .zip(&frame.placements)
+                .all(|((id, _), p)| *id == p.object_id)
+        {
+            return self.correlation_map_with(frame, query, scratch);
+        }
+        if scratch.query_embedding.is_zero() {
+            // The all-zero map is frame-independent; only the coherence state moves on.
+            scratch.record_prev(frame);
+            return &scratch.map;
+        }
+        // Dirty = patches overlapping the old or new rect of any object that moved.
+        let ClipScratch {
+            prev_placements,
+            dirty,
+            ..
+        } = scratch;
+        dirty.clear();
+        for ((_, prev_rect), placement) in prev_placements.iter().zip(&frame.placements) {
+            if *prev_rect != placement.region {
+                mark_dirty_cells(dims, frame.width, frame.height, prev_rect, dirty);
+                mark_dirty_cells(dims, frame.width, frame.height, &placement.region, dirty);
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        if !scratch.dirty.is_empty() {
+            self.recompute_dirty_patches(frame, scratch);
+        }
+        scratch.record_prev(frame);
+        &scratch.map
+    }
+
+    /// Low-level incremental update with a caller-supplied dirty-patch set (flat raster
+    /// indices into the patch grid).
+    ///
+    /// Contract: `dirty_patches` must include every patch whose content changed versus the
+    /// frame the scratch's map was computed for — the routine recomputes exactly those
+    /// patches and trusts the rest. A superset (including the full range) is always safe.
+    /// When no compatible previous result exists, falls back to the full recompute and the
+    /// dirty set is ignored. Out-of-range indices are ignored.
+    pub fn correlation_map_update<'s>(
+        &self,
+        frame: &Frame,
+        query: &TextQuery,
+        dirty_patches: &[usize],
+        scratch: &'s mut ClipScratch,
+    ) -> &'s ImportanceMap {
+        let dims = GridDims::for_frame(frame.width, frame.height, self.config.patch_size);
+        if !self.can_update_incrementally(frame, query, scratch, dims) {
+            return self.correlation_map_with(frame, query, scratch);
+        }
+        if scratch.query_embedding.is_zero() {
+            scratch.record_prev(frame);
+            return &scratch.map;
+        }
+        scratch.dirty.clear();
+        scratch.dirty.extend(
+            dirty_patches
+                .iter()
+                .filter(|&&i| i < dims.len())
+                .map(|&i| i as u32),
+        );
+        scratch.dirty.sort_unstable();
+        scratch.dirty.dedup();
+        if !scratch.dirty.is_empty() {
+            self.recompute_dirty_patches(frame, scratch);
+        }
+        scratch.record_prev(frame);
+        &scratch.map
+    }
+
+    /// Whether the scratch holds a previous result the incremental paths may update for
+    /// this frame geometry and query (the memoized query must match byte-for-byte so the
+    /// retained patch values were computed against the same embedding).
+    fn can_update_incrementally(
+        &self,
+        frame: &Frame,
+        query: &TextQuery,
+        scratch: &ClipScratch,
+        dims: GridDims,
+    ) -> bool {
+        scratch.prev_valid
+            && scratch.map.dims() == dims
+            && scratch.map.width() == frame.width
+            && scratch.map.height() == frame.height
+            && scratch.query_embedding.dim() == self.config.dim
+            && scratch.cached_query.as_ref() == Some(query)
+    }
+
+    /// Recomputes the patches listed in `scratch.dirty` in place, through exactly the same
+    /// per-patch procedure as the full path.
+    fn recompute_dirty_patches(&self, frame: &Frame, scratch: &mut ClipScratch) {
+        scratch.prepare_frame(self, frame);
+        let dims = scratch.map.dims();
+        let bias = self.config.similarity_bias;
+        let background_weight = PatchEncoder::new(&self.space).background_weight();
+        let ClipScratch {
+            content,
+            object_entries,
+            flat,
+            background_flat,
+            extra,
+            accumulator,
+            normalized,
+            query_embedding,
+            map,
+            dirty,
+            ..
+        } = scratch;
+        for &idx in dirty.iter() {
+            let (row, col) = dims.position(idx as usize);
+            let rect = dims.cell_rect(row, col, frame.width, frame.height);
+            let calibrated = patch_rho(
+                self,
+                frame,
+                &rect,
+                bias,
+                background_weight,
+                content,
+                object_entries,
+                flat,
+                background_flat,
+                extra,
+                accumulator,
+                normalized,
+                query_embedding,
+            );
+            map.set_value(idx as usize, calibrated);
+        }
     }
 
     /// The original, allocation-per-patch implementation of [`ClipModel::correlation_map`],
@@ -355,6 +510,118 @@ impl ClipModel {
         self.config.text_encode_latency_us
             + (dims.len() as f64 * self.config.patch_encode_latency_us).round() as u64
     }
+}
+
+/// One patch of Eq. 1 through the index-keyed table and reused buffers: pools the patch's
+/// concepts exactly as `PatchEncoder::embed_patch` + `ConceptSpace::pool` do — same
+/// products, same accumulation order — then applies the contrastive calibration. Shared by
+/// the full and incremental paths so both are bit-identical per patch.
+#[allow(clippy::too_many_arguments)]
+fn patch_rho(
+    model: &ClipModel,
+    frame: &Frame,
+    rect: &Rect,
+    bias: f64,
+    background_weight: f64,
+    content: &mut RegionContent,
+    object_entries: &[(u32, u32, u32)],
+    flat: &[(u32, f64)],
+    background_flat: &[(u32, f64)],
+    extra: &[(Concept, Embedding)],
+    accumulator: &mut Embedding,
+    normalized: &mut Embedding,
+    query_embedding: &Embedding,
+) -> f64 {
+    let table_len = model.space.len() as u32;
+    frame.region_content_into(rect, content);
+    accumulator.reset_zero(model.config.dim);
+    for &(object_id, coverage) in &content.object_coverage {
+        let Some(&(_, start, end)) = object_entries.iter().find(|(id, _, _)| *id == object_id) else {
+            continue;
+        };
+        for &(concept_idx, concept_weight) in &flat[start as usize..end as usize] {
+            let w = coverage * concept_weight;
+            if w <= 0.0 {
+                continue;
+            }
+            let embedding = if concept_idx < table_len {
+                model.space.embedding_at(concept_idx)
+            } else {
+                &extra[(concept_idx - table_len) as usize].1
+            };
+            accumulator.add_scaled(embedding, w);
+        }
+    }
+    for &(concept_idx, base_weight) in background_flat {
+        let w = content.background_fraction * base_weight * background_weight;
+        if w <= 0.0 {
+            continue;
+        }
+        let embedding = if concept_idx < table_len {
+            model.space.embedding_at(concept_idx)
+        } else {
+            &extra[(concept_idx - table_len) as usize].1
+        };
+        accumulator.add_scaled(embedding, w);
+    }
+    normalized.assign_normalized_from(accumulator);
+    let raw = normalized.cosine(query_embedding);
+    // Contrastive calibration: subtract the unrelated-pair baseline and rescale so the
+    // reported correlation still spans [-1, 1].
+    ((raw - bias) / (1.0 - bias)).clamp(-1.0, 1.0)
+}
+
+/// Pushes the flat indices of every grid cell overlapping `rect` (clipped to the frame).
+fn mark_dirty_cells(dims: GridDims, width: u32, height: u32, rect: &Rect, dirty: &mut Vec<u32>) {
+    let r = rect.intersect(&Rect::new(0, 0, width, height));
+    if r.is_empty() {
+        return;
+    }
+    let cell = dims.cell as i64;
+    let col0 = (r.x / cell) as u32;
+    let row0 = (r.y / cell) as u32;
+    let col1 = (((r.right() - 1) / cell) as u32).min(dims.cols - 1);
+    let row1 = (((r.bottom() - 1) / cell) as u32).min(dims.rows - 1);
+    for row in row0..=row1 {
+        for col in col0..=col1 {
+            dirty.push(dims.index(row, col) as u32);
+        }
+    }
+}
+
+fn fnv_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+fn fnv_u64(hash: u64, value: u64) -> u64 {
+    fnv_bytes(hash, &value.to_le_bytes())
+}
+
+/// Fingerprint of everything about a frame, other than object placements, that the
+/// correlation map depends on: geometry and the concept content of objects and background.
+/// Two frames of the same scene share a fingerprint; placements are compared exactly.
+fn frame_fingerprint(frame: &Frame) -> u64 {
+    let mut hash = fnv_u64(0xcbf2_9ce4_8422_2325, frame.width as u64);
+    hash = fnv_u64(hash, frame.height as u64);
+    hash = fnv_u64(hash, frame.objects.len() as u64);
+    for object in &frame.objects {
+        hash = fnv_u64(hash, object.id as u64);
+        hash = fnv_u64(hash, object.concepts.len() as u64);
+        for (concept, weight) in &object.concepts {
+            hash = fnv_bytes(hash, concept.name().as_bytes());
+            hash = fnv_u64(hash, weight.to_bits());
+        }
+    }
+    hash = fnv_u64(hash, frame.background_concepts.len() as u64);
+    for (concept, weight) in &frame.background_concepts {
+        hash = fnv_bytes(hash, concept.name().as_bytes());
+        hash = fnv_u64(hash, weight.to_bits());
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -591,6 +858,82 @@ mod tests {
         assert_eq!(c, &a);
         assert_eq!(&b, &wide.correlation_map_naive(&frame, &query));
         assert_eq!(&a, &coarse.correlation_map_naive(&frame, &query));
+    }
+
+    #[test]
+    fn coherent_path_matches_full_recompute_across_a_moving_sequence() {
+        let model = ClipModel::mobile_default();
+        let mut scratch = ClipScratch::new();
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let query = TextQuery::from_words(
+            "Could you tell me the present score of the game?",
+            model.ontology(),
+        );
+        // Consecutive frames (small motion), a jump (large motion), and a revisit.
+        for frame_idx in [0u64, 1, 2, 3, 30, 31, 90, 0] {
+            let frame = source.frame(frame_idx);
+            let incremental = model
+                .correlation_map_coherent(&frame, &query, &mut scratch)
+                .clone();
+            let full = model.correlation_map_naive(&frame, &query);
+            assert_eq!(incremental, full, "frame {frame_idx}");
+        }
+    }
+
+    #[test]
+    fn coherent_path_survives_query_and_scene_switches() {
+        let model = ClipModel::mobile_default();
+        let mut scratch = ClipScratch::new();
+        let basketball = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let park = VideoSource::new(dog_park(1), SourceConfig::fps30(5.0));
+        let score = TextQuery::from_words("score", model.ontology());
+        let season = TextQuery::from_words("Infer what season it might be", model.ontology());
+        for (frame, query) in [
+            (basketball.frame(0), &score),
+            (basketball.frame(1), &score),
+            (basketball.frame(2), &season), // query switch: full recompute
+            (park.frame(0), &season),       // scene switch: full recompute
+            (park.frame(1), &season),       // incremental again
+        ] {
+            let incremental = model
+                .correlation_map_coherent(&frame, query, &mut scratch)
+                .clone();
+            assert_eq!(incremental, model.correlation_map_naive(&frame, query));
+        }
+    }
+
+    #[test]
+    fn explicit_dirty_update_matches_full_recompute() {
+        let model = ClipModel::mobile_default();
+        let mut scratch = ClipScratch::new();
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let query = TextQuery::from_words("score", model.ontology());
+        let a = source.frame(0);
+        let b = source.frame(1);
+        let _ = model.correlation_map_with(&a, &query, &mut scratch);
+        // The full range is always a safe dirty set.
+        let dims = model.correlation_map_naive(&b, &query).dims();
+        let everything: Vec<usize> = (0..dims.len()).collect();
+        let updated = model.correlation_map_update(&b, &query, &everything, &mut scratch);
+        assert_eq!(updated, &model.correlation_map_naive(&b, &query));
+        // Out-of-range indices are ignored; an empty dirty set on an identical frame is a
+        // no-op that still matches.
+        let updated = model.correlation_map_update(&b, &query, &[usize::MAX], &mut scratch);
+        assert_eq!(updated, &model.correlation_map_naive(&b, &query));
+    }
+
+    #[test]
+    fn taking_the_map_invalidates_the_coherence_state() {
+        let model = ClipModel::mobile_default();
+        let mut scratch = ClipScratch::new();
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let query = TextQuery::from_words("score", model.ontology());
+        let _ = model.correlation_map_coherent(&source.frame(0), &query, &mut scratch);
+        let _ = scratch.take_map();
+        // The stolen (now empty) map must not be "updated"; the next call recomputes fully.
+        let frame = source.frame(1);
+        let map = model.correlation_map_coherent(&frame, &query, &mut scratch);
+        assert_eq!(map, &model.correlation_map_naive(&frame, &query));
     }
 
     #[test]

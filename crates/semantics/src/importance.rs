@@ -68,6 +68,12 @@ impl ImportanceMap {
         assert_eq!(self.rho.len(), self.dims.len(), "importance map size mismatch");
     }
 
+    /// Overwrites one value in place during an incremental update.
+    pub(crate) fn set_value(&mut self, index: usize, rho: f64) {
+        debug_assert!((-1.0..=1.0).contains(&rho), "rho out of [-1, 1]");
+        self.rho[index] = rho;
+    }
+
     /// The patch grid.
     pub fn dims(&self) -> GridDims {
         self.dims
@@ -133,6 +139,18 @@ impl ImportanceMap {
         self.rho.iter().filter(|r| **r >= threshold).count() as f64 / self.rho.len() as f64
     }
 
+    /// The value a resample onto `target` would place at the target cell `(row, col)`
+    /// (nearest-center sampling). Shared by [`ImportanceMap::resample`] and consumers that
+    /// resample on the fly without materializing the intermediate map (the Eq. 2 allocator's
+    /// `allocate_into` in `aivchat-core`).
+    pub fn nearest_value_for_cell(&self, target: GridDims, row: u32, col: u32) -> f64 {
+        let rect = target.cell_rect(row, col, self.width, self.height);
+        let (cx, cy) = rect.center();
+        let src_col = ((cx / self.dims.cell as f64) as u32).min(self.dims.cols - 1);
+        let src_row = ((cy / self.dims.cell as f64) as u32).min(self.dims.rows - 1);
+        self.get(src_row, src_col)
+    }
+
     /// Resamples the map onto another grid over the same frame (nearest-center sampling).
     ///
     /// Needed when the CLIP patch size (e.g. 32 px) differs from the encoder CTU size (64 px).
@@ -140,11 +158,7 @@ impl ImportanceMap {
         let mut rho = Vec::with_capacity(target.len());
         for row in 0..target.rows {
             for col in 0..target.cols {
-                let rect = target.cell_rect(row, col, self.width, self.height);
-                let (cx, cy) = rect.center();
-                let src_col = ((cx / self.dims.cell as f64) as u32).min(self.dims.cols - 1);
-                let src_row = ((cy / self.dims.cell as f64) as u32).min(self.dims.rows - 1);
-                rho.push(self.get(src_row, src_col));
+                rho.push(self.nearest_value_for_cell(target, row, col));
             }
         }
         ImportanceMap {

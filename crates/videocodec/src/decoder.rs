@@ -53,6 +53,21 @@ pub struct DecodedFrame {
 }
 
 impl DecodedFrame {
+    /// An empty placeholder frame — the natural initial state for reusable output buffers
+    /// passed to [`Decoder::decode_into`].
+    pub fn placeholder() -> Self {
+        Self {
+            frame_index: 0,
+            capture_ts_us: 0,
+            received_at_us: None,
+            frame_type: FrameType::Intra,
+            width: 0,
+            height: 0,
+            block_size: 1,
+            blocks: Vec::new(),
+        }
+    }
+
     /// The block grid of this frame.
     pub fn grid(&self) -> GridDims {
         GridDims::for_frame(self.width, self.height, self.block_size)
@@ -176,6 +191,21 @@ impl DecodedFrame {
     }
 }
 
+/// Reusable buffers for [`Decoder::decode_into`]: the per-block coverage verdicts
+/// (concealment state) computed from the received byte ranges.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    /// Which blocks arrived intact (filled by [`EncodedFrame::blocks_covered_into`]).
+    covered: Vec<bool>,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The decoder.
 #[derive(Debug, Clone, Default)]
 pub struct Decoder {
@@ -198,40 +228,65 @@ impl Decoder {
     ///
     /// `received` must be sorted by start offset and non-overlapping (the RTC depacketizer
     /// produces it in that form).
+    ///
+    /// Allocates a fresh [`DecodedFrame`] per call; per-frame loops should hold a
+    /// [`DecodeScratch`] and an output buffer and call [`Decoder::decode_into`] instead,
+    /// which is allocation-free after warmup.
     pub fn decode_with_received(
         &self,
         encoded: &EncodedFrame,
         received: &[(u64, u64)],
         received_at_us: Option<u64>,
     ) -> DecodedFrame {
-        let covered = encoded.blocks_covered_by(received);
-        let blocks = encoded
-            .blocks
-            .iter()
-            .zip(covered)
-            .map(|(b, ok)| DecodedBlock {
-                index: b.index,
-                received: ok,
-                qp: b.qp,
-                quality: if ok {
-                    b.encoded_quality
-                } else {
-                    self.rd.concealment_quality(b.detail)
-                },
-                detail: b.detail,
-                object_coverage: b.object_coverage.clone(),
-            })
-            .collect();
-        DecodedFrame {
-            frame_index: encoded.frame_index,
-            capture_ts_us: encoded.capture_ts_us,
-            received_at_us,
-            frame_type: encoded.frame_type,
-            width: encoded.width,
-            height: encoded.height,
-            block_size: encoded.block_size,
-            blocks,
-        }
+        let mut scratch = DecodeScratch::new();
+        let mut out = DecodedFrame::placeholder();
+        self.decode_into(encoded, received, received_at_us, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Decoder::decode_with_received`] into a caller-owned frame buffer.
+    ///
+    /// `out` is refilled in place (its block vector keeps its capacity) and the per-block
+    /// object-coverage lists are `Arc`-shared with the encoded blocks, so once the buffers
+    /// have grown to the frame's block count a decode performs zero heap allocations.
+    /// Output is bit-identical to [`Decoder::decode_with_received`] (see the equivalence
+    /// tests).
+    pub fn decode_into(
+        &self,
+        encoded: &EncodedFrame,
+        received: &[(u64, u64)],
+        received_at_us: Option<u64>,
+        scratch: &mut DecodeScratch,
+        out: &mut DecodedFrame,
+    ) {
+        encoded.blocks_covered_into(received, &mut scratch.covered);
+        out.blocks.clear();
+        out.blocks.reserve(encoded.blocks.len());
+        out.blocks.extend(
+            encoded
+                .blocks
+                .iter()
+                .zip(&scratch.covered)
+                .map(|(b, &ok)| DecodedBlock {
+                    index: b.index,
+                    received: ok,
+                    qp: b.qp,
+                    quality: if ok {
+                        b.encoded_quality
+                    } else {
+                        self.rd.concealment_quality(b.detail)
+                    },
+                    detail: b.detail,
+                    object_coverage: b.object_coverage.clone(),
+                }),
+        );
+        out.frame_index = encoded.frame_index;
+        out.capture_ts_us = encoded.capture_ts_us;
+        out.received_at_us = received_at_us;
+        out.frame_type = encoded.frame_type;
+        out.width = encoded.width;
+        out.height = encoded.height;
+        out.block_size = encoded.block_size;
     }
 }
 
@@ -296,6 +351,25 @@ mod tests {
         let d = Decoder::new().decode_with_received(&e, &[], None);
         assert_eq!(d.received_fraction(), 0.0);
         assert!(d.mean_quality() < 0.3);
+    }
+
+    #[test]
+    fn decode_into_is_identical_to_decode_with_received() {
+        let e = encoded();
+        let total = e.total_bytes();
+        let dec = Decoder::new();
+        let mut scratch = DecodeScratch::new();
+        let mut out = DecodedFrame::placeholder();
+        for (received, at) in [
+            (vec![(0, total)], Some(5u64)),
+            (vec![(0, total / 2)], None),
+            (vec![], Some(9)),
+            (vec![(0, total / 3), (total / 2, total)], None),
+            (vec![(0, total)], None),
+        ] {
+            dec.decode_into(&e, &received, at, &mut scratch, &mut out);
+            assert_eq!(out, dec.decode_with_received(&e, &received, at), "{received:?}");
+        }
     }
 
     #[test]

@@ -73,6 +73,38 @@ impl Default for EncoderConfig {
     }
 }
 
+/// Reusable buffers for [`Encoder::encode_into`].
+///
+/// One scratch per encoding session removes every per-frame heap allocation from the
+/// encode hot path: the per-CTU region descriptor is reused across the CTU walk, and the
+/// per-block object-coverage `Arc`s are cached per block index — when a block's coverage is
+/// unchanged from the previous frame (the common case under temporal coherence, and always
+/// the case when re-encoding the same frame), the cached `Arc` is refcount-bumped instead
+/// of reallocated.
+#[derive(Debug, Clone)]
+pub struct EncodeScratch {
+    /// Per-CTU region descriptor (filled by [`Frame::region_content_into`]).
+    content: RegionContent,
+    /// Last-seen coverage list per block index; hit ⇒ `Arc::clone`, miss ⇒ fresh `Arc`.
+    coverage_cache: Vec<Arc<[(u32, f64)]>>,
+}
+
+impl Default for EncodeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self {
+            content: RegionContent::empty(),
+            coverage_cache: Vec::new(),
+        }
+    }
+}
+
 /// The encoder.
 #[derive(Debug, Clone)]
 pub struct Encoder {
@@ -119,29 +151,92 @@ impl Encoder {
     }
 
     /// Encodes a frame with a per-CTU QP map. The map's grid must match [`Encoder::grid_for`].
+    ///
+    /// Allocates a fresh [`EncodedFrame`] per call; per-frame loops should hold an
+    /// [`EncodeScratch`] and an output buffer and call [`Encoder::encode_into`] instead,
+    /// which is allocation-free after warmup.
     pub fn encode_with_qp_map(&self, frame: &Frame, qp_map: &QpMap) -> EncodedFrame {
+        let mut scratch = EncodeScratch::new();
+        let mut out = EncodedFrame::placeholder();
+        // A one-shot scratch can never hit its cache, so skip populating it (CACHE = false):
+        // same output, none of the cache bookkeeping.
+        self.encode_into_impl::<false>(frame, qp_map, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Encoder::encode_with_qp_map`] into a caller-owned frame buffer.
+    ///
+    /// `out` is refilled in place (its block vector keeps its capacity) and per-block
+    /// object-coverage lists are `Arc`-reused through the scratch's cache whenever a block's
+    /// coverage is unchanged since the scratch last saw it. After warmup — one encode of
+    /// each frame geometry — re-encoding a frame whose block coverage did not change
+    /// performs zero heap allocations. Output is bit-identical to
+    /// [`Encoder::encode_with_qp_map`] (see the equivalence tests).
+    pub fn encode_into(
+        &self,
+        frame: &Frame,
+        qp_map: &QpMap,
+        scratch: &mut EncodeScratch,
+        out: &mut EncodedFrame,
+    ) {
+        self.encode_into_impl::<true>(frame, qp_map, scratch, out);
+    }
+
+    /// The CTU walk behind [`Encoder::encode_into`]. `CACHE` selects at compile time
+    /// whether coverage-`Arc` cache misses populate the scratch (long-lived scratches) or
+    /// bypass it (the one-shot [`Encoder::encode_with_qp_map`] wrapper, which can never
+    /// hit and would only pay the bookkeeping).
+    fn encode_into_impl<const CACHE: bool>(
+        &self,
+        frame: &Frame,
+        qp_map: &QpMap,
+        scratch: &mut EncodeScratch,
+        out: &mut EncodedFrame,
+    ) {
         let dims = self.grid_for(frame);
         assert_eq!(qp_map.dims(), dims, "QP map grid does not match frame grid");
         let frame_type = self.config.gop.frame_type(frame.index);
         let preset_factor = self.config.preset.rate_factor();
 
-        let mut blocks = Vec::with_capacity(dims.len());
+        out.blocks.clear();
+        out.blocks.reserve(dims.len());
         let mut offset = self.config.header_bytes as u64;
-        // One region descriptor reused across the CTU walk; the only per-block allocation
-        // left is the shared coverage list itself (built once, then Arc-shared downstream).
-        let mut content = RegionContent::empty();
+        let content = &mut scratch.content;
         for row in 0..dims.rows {
             for col in 0..dims.cols {
                 let idx = dims.index(row, col);
                 let rect = dims.cell_rect(row, col, frame.width, frame.height);
-                frame.region_content_into(&rect, &mut content);
+                frame.region_content_into(&rect, content);
                 let qp = qp_map.get_index(idx);
                 let bits =
                     self.rd
                         .block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
                 let bytes = (((bits as f64 * preset_factor) / 8.0).ceil() as u32).max(1);
                 let quality = self.rd.block_quality(qp, content.detail);
-                blocks.push(EncodedBlock {
+                // Cache policy: background blocks bypass the cache entirely (the shared
+                // empty Arc is already free), hits clone the cached Arc without touching
+                // the cache, and only misses write — so a warm re-encode mutates nothing.
+                // Stale entries under changed geometry are harmless: the content compare
+                // decides every reuse.
+                let object_coverage = if content.object_coverage.is_empty() {
+                    Arc::clone(&self.empty_coverage)
+                } else if let Some(cached) = scratch
+                    .coverage_cache
+                    .get(idx)
+                    .filter(|cached| cached[..] == content.object_coverage[..])
+                {
+                    Arc::clone(cached)
+                } else {
+                    let fresh: Arc<[(u32, f64)]> = Arc::from(content.object_coverage.as_slice());
+                    if CACHE {
+                        while scratch.coverage_cache.len() <= idx {
+                            scratch.coverage_cache.push(Arc::clone(&self.empty_coverage));
+                        }
+                        scratch.coverage_cache[idx] = Arc::clone(&fresh);
+                    }
+                    fresh
+                };
+                out.blocks.push(EncodedBlock {
                     index: idx,
                     byte_offset: offset,
                     byte_len: bytes,
@@ -150,27 +245,20 @@ impl Encoder {
                     detail: content.detail,
                     complexity: content.complexity,
                     motion: content.motion,
-                    object_coverage: if content.object_coverage.is_empty() {
-                        Arc::clone(&self.empty_coverage)
-                    } else {
-                        Arc::from(content.object_coverage.as_slice())
-                    },
+                    object_coverage,
                 });
                 offset += bytes as u64;
             }
         }
-        EncodedFrame {
-            frame_index: frame.index,
-            capture_ts_us: frame.capture_ts_us,
-            frame_type,
-            width: frame.width,
-            height: frame.height,
-            block_size: self.config.block_size,
-            grid_cols: dims.cols,
-            grid_rows: dims.rows,
-            blocks,
-            header_bytes: self.config.header_bytes,
-        }
+        out.frame_index = frame.index;
+        out.capture_ts_us = frame.capture_ts_us;
+        out.frame_type = frame_type;
+        out.width = frame.width;
+        out.height = frame.height;
+        out.block_size = self.config.block_size;
+        out.grid_cols = dims.cols;
+        out.grid_rows = dims.rows;
+        out.header_bytes = self.config.header_bytes;
     }
 
     /// Encodes a frame at a single, uniform QP (the context-agnostic baseline).
@@ -324,6 +412,46 @@ mod tests {
         let encoded = enc.encode_uniform(&frame, Qp::new(32));
         assert_eq!(encoded.capture_ts_us, frame.capture_ts_us);
         assert_eq!(encoded.frame_index, 17);
+    }
+
+    #[test]
+    fn encode_into_is_identical_to_encode_with_qp_map() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(10.0));
+        let mut scratch = EncodeScratch::new();
+        let mut out = EncodedFrame::placeholder();
+        // Consecutive frames through the same scratch/buffer match the allocating path,
+        // including the cached-coverage reuse on later frames.
+        for i in [0u64, 1, 2, 30, 0] {
+            let frame = source.frame(i);
+            let dims = enc.grid_for(&frame);
+            let map = QpMap::uniform(dims, Qp::new(31));
+            enc.encode_into(&frame, &map, &mut scratch, &mut out);
+            assert_eq!(out, enc.encode_with_qp_map(&frame, &map), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn encode_into_survives_geometry_changes() {
+        // The coverage cache is index-keyed; switching to a different frame size must still
+        // produce correct output (cache misses, never stale hits).
+        let enc = Encoder::new(EncoderConfig::default());
+        let big = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0)).frame(0);
+        let mut small_scene = aivc_scene::Scene::new("small", 256, 192).with_background(0.3, 0.1, vec![]);
+        small_scene.add_object(
+            aivc_scene::SceneObject::new(1, "thing", aivc_scene::Rect::new(10, 10, 100, 100))
+                .with_concept("player", 1.0)
+                .with_detail(0.5)
+                .with_texture(0.5),
+        );
+        let small = Frame::sample(&small_scene, 0, 0, 0.0);
+        let mut scratch = EncodeScratch::new();
+        let mut out = EncodedFrame::placeholder();
+        for frame in [&big, &small, &big] {
+            let map = QpMap::uniform(enc.grid_for(frame), Qp::new(33));
+            enc.encode_into(frame, &map, &mut scratch, &mut out);
+            assert_eq!(out, enc.encode_with_qp_map(frame, &map));
+        }
     }
 
     #[test]

@@ -71,6 +71,23 @@ pub struct EncodedFrame {
 }
 
 impl EncodedFrame {
+    /// An empty placeholder frame — the natural initial state for reusable output buffers
+    /// passed to `Encoder::encode_into`.
+    pub fn placeholder() -> Self {
+        Self {
+            frame_index: 0,
+            capture_ts_us: 0,
+            frame_type: FrameType::Intra,
+            width: 0,
+            height: 0,
+            block_size: 1,
+            grid_cols: 0,
+            grid_rows: 0,
+            blocks: Vec::new(),
+            header_bytes: 0,
+        }
+    }
+
     /// Total coded size of the frame in bytes (header + all block payloads).
     pub fn total_bytes(&self) -> u64 {
         self.header_bytes as u64 + self.blocks.iter().map(|b| b.byte_len as u64).sum::<u64>()
@@ -112,14 +129,21 @@ impl EncodedFrame {
     /// RTC depacketizer. Blocks not fully covered are considered lost (HEVC cannot decode a
     /// truncated CTU) and will be concealed by the decoder.
     pub fn blocks_covered_by(&self, received: &[(u64, u64)]) -> Vec<bool> {
-        self.blocks
-            .iter()
-            .map(|b| {
-                let start = b.byte_offset;
-                let end = b.byte_offset + b.byte_len as u64;
-                range_covered(start, end, received)
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.blocks_covered_into(received, &mut out);
+        out
+    }
+
+    /// [`EncodedFrame::blocks_covered_by`] into a caller-owned buffer (cleared first), so
+    /// per-frame decode loops stay allocation-free after warmup.
+    pub fn blocks_covered_into(&self, received: &[(u64, u64)], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(self.blocks.len());
+        out.extend(self.blocks.iter().map(|b| {
+            let start = b.byte_offset;
+            let end = b.byte_offset + b.byte_len as u64;
+            range_covered(start, end, received)
+        }));
     }
 
     /// Bits allocated to blocks whose object coverage includes `object_id` (≥ `min_cover`).

@@ -30,8 +30,8 @@ pub mod ratecontrol;
 pub mod rd;
 pub mod transcode;
 
-pub use decoder::{DecodedBlock, DecodedFrame, Decoder};
-pub use encoder::{Encoder, EncoderConfig};
+pub use decoder::{DecodeScratch, DecodedBlock, DecodedFrame, Decoder};
+pub use encoder::{EncodeScratch, Encoder, EncoderConfig};
 pub use frame::{EncodedBlock, EncodedFrame, FrameType};
 pub use gop::GopStructure;
 pub use qp::{Qp, QpMap};

@@ -76,6 +76,36 @@ impl QpMap {
         Self { dims, values }
     }
 
+    /// An empty placeholder map — the natural initial state for reusable buffers that are
+    /// later refilled in place via [`QpMap::begin_refill`] (e.g. the Eq. 2 allocator's
+    /// `allocate_into` in `aivchat-core`).
+    pub fn empty() -> Self {
+        Self {
+            dims: GridDims::for_frame(1, 1, 1),
+            values: Vec::new(),
+        }
+    }
+
+    /// Starts an in-place refill: sets the grid and clears the values, keeping the
+    /// allocation. Callers push exactly `dims.len()` values with [`QpMap::push_value`] and
+    /// then call [`QpMap::finish_refill`]. Once the buffer has grown to the largest grid it
+    /// sees, further refills perform no heap allocation.
+    pub fn begin_refill(&mut self, dims: GridDims) {
+        self.dims = dims;
+        self.values.clear();
+        self.values.reserve(dims.len());
+    }
+
+    /// Appends one value during an in-place refill.
+    pub fn push_value(&mut self, qp: Qp) {
+        self.values.push(qp);
+    }
+
+    /// Finishes an in-place refill, enforcing the same invariant as [`QpMap::from_values`].
+    pub fn finish_refill(&self) {
+        assert_eq!(self.values.len(), self.dims.len(), "QP map size mismatch");
+    }
+
     /// The grid dimensions.
     pub fn dims(&self) -> GridDims {
         self.dims

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Hot-path regression gate: re-measures every tracked hot path and fails if any median
+# regressed more than the tolerance versus the committed BENCH_hotpaths.json.
+#
+#   ./scripts/bench-check.sh                     # 5 % tolerance (the ROADMAP rule)
+#   BENCH_CHECK_TOLERANCE=0.10 ./scripts/bench-check.sh   # relaxed (noisy CI runners)
+#   ./scripts/bench-check.sh path/to/other.json  # compare against a different baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -p aivc-bench --bin bench_check -- "${1:-BENCH_hotpaths.json}"

@@ -1,11 +1,12 @@
 //! Property-based tests of the core models' invariants across crates: Eq. 1 bounds, Eq. 2
-//! monotonicity, R-D monotonicity, and accuracy monotonicity in quality.
+//! monotonicity (and LUT ≡ `powf` equivalence), R-D monotonicity, accuracy monotonicity in
+//! quality, and incremental-correlation ≡ full-recompute equivalence.
 
 use aivchat::core::{QpAllocator, QpAllocatorConfig};
 use aivchat::mllm::{MllmChat, Question, QuestionFormat};
 use aivchat::scene::templates::TemplateKind;
 use aivchat::scene::{SourceConfig, VideoSource};
-use aivchat::semantics::{ClipModel, TextQuery};
+use aivchat::semantics::{ClipModel, ClipScratch, TextQuery};
 use aivchat::videocodec::{Decoder, Encoder, EncoderConfig, FrameType, Qp, RdModel};
 use proptest::prelude::*;
 
@@ -22,6 +23,76 @@ proptest! {
         if rho_a < rho_b {
             prop_assert!(qp_a >= qp_b, "rho {rho_a}<{rho_b} but qp {qp_a}<{qp_b}");
         }
+    }
+
+    /// The Eq. 2 threshold-table allocator is bit-identical to the transcendental `powf`
+    /// path for arbitrary ρ ∈ [−1, 1] (and out-of-range ρ), for the paper γ, every γ the
+    /// ablation sweeps, and arbitrary temperatures — with and without clamping.
+    #[test]
+    fn eq2_lut_is_bit_identical_to_powf(
+        rho in -1.0f64..=1.0,
+        wild_rho in -5.0f64..5.0,
+        gamma_ablation in [0.5f64, 1.0, 2.0, 3.0, 5.0, 8.0],
+        gamma_arbitrary in 0.05f64..12.0,
+        min_qp in 0u8..=26,
+        max_qp in 26u8..=51,
+    ) {
+        for gamma in [gamma_ablation, gamma_arbitrary] {
+            let plain = QpAllocator::new(QpAllocatorConfig::with_gamma(gamma));
+            let clamped = QpAllocator::new(QpAllocatorConfig { gamma, min_qp, max_qp });
+            for allocator in [&plain, &clamped] {
+                for r in [rho, wild_rho, -1.0, 1.0] {
+                    let lut = allocator.qp_for_rho(r);
+                    let reference = allocator.qp_for_rho_reference(r);
+                    prop_assert!(lut == reference, "gamma {gamma} rho {r}: {lut} != {reference}");
+                }
+            }
+        }
+    }
+
+    /// Incremental correlation (arbitrary dirty supersets of the true dirty set, and the
+    /// automatic coherent path) is bit-identical to a full recompute, for every template,
+    /// frame step and question.
+    #[test]
+    fn incremental_correlation_matches_full_recompute(
+        template_idx in 0usize..5,
+        seed in 0u64..20,
+        fact_idx in 0usize..4,
+        start in 0u64..30,
+        step in 1u64..40,
+        extra_dirty in 0usize..600,
+    ) {
+        let scene = TemplateKind::ALL[template_idx].build(seed);
+        let fact = &scene.facts[fact_idx % scene.facts.len()];
+        let model = ClipModel::mobile_default();
+        let query = TextQuery::from_words_and_concepts(&fact.question, model.ontology(), fact.query_concepts.clone());
+        let source = VideoSource::new(scene.clone(), SourceConfig::fps30(3.0));
+        let frame_a = source.frame(start);
+        let frame_b = source.frame(start + step);
+        let full_b = model.correlation_map_naive(&frame_b, &query);
+
+        // The automatic coherent path: full on frame A, incremental onto frame B.
+        let mut scratch = ClipScratch::new();
+        let _ = model.correlation_map_coherent(&frame_a, &query, &mut scratch);
+        let coherent = model.correlation_map_coherent(&frame_b, &query, &mut scratch);
+        prop_assert_eq!(coherent, &full_b);
+
+        // The explicit path: the true dirty set (patches whose value differs between the
+        // two full maps) plus an arbitrary extra index must reproduce the full recompute.
+        let full_a = model.correlation_map_naive(&frame_a, &query);
+        let mut dirty: Vec<usize> = full_a
+            .values()
+            .iter()
+            .zip(full_b.values())
+            .enumerate()
+            .filter(|(_, (a, b))| a.to_bits() != b.to_bits())
+            .map(|(i, _)| i)
+            .collect();
+        dirty.push(extra_dirty % full_b.dims().len());
+        let mut scratch = ClipScratch::new();
+        let _ = model.correlation_map_with(&frame_a, &query, &mut scratch);
+        let updated = model.correlation_map_update(&frame_b, &query, &dirty, &mut scratch);
+        prop_assert_eq!(updated, &full_b);
     }
 
     /// Block bits are monotone non-increasing in QP and monotone non-decreasing in
