@@ -5,12 +5,13 @@
 
 use aivc_bench::hotpath_suite::coherence_scene;
 use aivc_mllm::{MllmChat, Question, QuestionFormat};
+use aivc_par::MiniPool;
 use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{Frame, SourceConfig, VideoSource};
-use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
-use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp, QpMap};
-use aivchat_core::{ChatSession, QpAllocator, QpAllocatorConfig};
+use aivc_semantics::{ClipModel, ClipParScratch, ClipScratch, TextQuery};
+use aivc_videocodec::{Decoder, EncodeParScratch, EncodedFrame, Encoder, EncoderConfig, Qp, QpMap};
+use aivchat_core::{ChatServer, ChatSession, QpAllocator, QpAllocatorConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -147,6 +148,53 @@ fn bench_pipeline_turn(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_stages(c: &mut Criterion) {
+    // The data-parallel stage forms on the machine's pool (AIVC_POOL_SIZE overrides); with
+    // one lane these measure the sequential delegation, with N lanes the real speedup.
+    let pool = MiniPool::new(MiniPool::env_lanes());
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let frame = source.frame(0);
+    let model = ClipModel::mobile_default();
+    let query = TextQuery::from_words(
+        "Could you tell me the present score of the game?",
+        model.ontology(),
+    );
+    c.bench_function("clip_correlation_map_1080p_par", |b| {
+        let mut scratch = ClipParScratch::new();
+        b.iter(|| {
+            let map = model.correlation_map_par(black_box(&frame), &query, &pool, &mut scratch);
+            black_box(map.values().len())
+        });
+    });
+    let encoder = Encoder::new(EncoderConfig::default());
+    let qp_map = QpMap::uniform(encoder.grid_for(&frame), Qp::new(32));
+    c.bench_function("encode_1080p_frame_uniform_qp_par", |b| {
+        let mut scratch = EncodeParScratch::new();
+        let mut out = EncodedFrame::placeholder();
+        b.iter(|| {
+            encoder.encode_into_par(black_box(&frame), &qp_map, &pool, &mut scratch, &mut out);
+            black_box(out.total_bytes())
+        });
+    });
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    // N independent sessions per iteration, spread across the pool: the multi-user serving
+    // scenario. turns/sec = sessions × 1e9 / (ns/iter).
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
+    let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
+    for session_count in [1usize, 8, 64] {
+        c.bench_function(&format!("pipeline_throughput_{session_count}_sessions"), |b| {
+            let mut server = ChatServer::new(MiniPool::env_lanes(), session_count, 1);
+            b.iter(|| {
+                server.run_turns(black_box(&frames), &question);
+                black_box(server.report(0).packets)
+            });
+        });
+    }
+}
+
 fn bench_mllm_answer(c: &mut Criterion) {
     let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
     let encoder = Encoder::new(EncoderConfig::default());
@@ -164,6 +212,6 @@ fn bench_mllm_answer(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_packetizer, bench_encoder, bench_decoder, bench_clip_correlation, bench_clip_incremental, bench_qp_allocation, bench_mllm_answer, bench_pipeline_turn
+    targets = bench_packetizer, bench_encoder, bench_decoder, bench_clip_correlation, bench_clip_incremental, bench_qp_allocation, bench_mllm_answer, bench_pipeline_turn, bench_parallel_stages, bench_throughput
 }
 criterion_main!(benches);

@@ -12,6 +12,11 @@
 //! Paths present in the fresh run but absent from the committed baseline fail the check
 //! too — they mean the baseline was not re-recorded after adding a hot path. Improvements
 //! are reported but never fail.
+//!
+//! The `_par` and `pipeline_throughput_*` entries are re-measured **at the committed
+//! file's `pool_lanes`** (overridable with `AIVC_POOL_SIZE`), so the comparison is always
+//! lane-count-for-lane-count; the `turn_breakdown` section is documentation and is not
+//! re-measured here (every stage it decomposes is already gated individually).
 
 use aivc_bench::hotpath_suite::{measure_all_hotpaths, BaselineFile};
 use aivc_bench::print_section;
@@ -33,7 +38,13 @@ fn main() {
     let committed: BaselineFile = serde_json::from_str(&committed_json)
         .unwrap_or_else(|e| panic!("cannot parse {baseline_path}: {e:?}"));
 
-    let fresh = measure_all_hotpaths(SAMPLES, TARGET_SAMPLE_MS);
+    let pool_lanes = aivc_par::MiniPool::env_lanes_or(committed.pool_lanes.max(1));
+    println!(
+        "(re-measuring with pool lanes = {pool_lanes}; committed file used {})",
+        committed.pool_lanes
+    );
+
+    let fresh = measure_all_hotpaths(SAMPLES, TARGET_SAMPLE_MS, pool_lanes);
 
     let mut table = String::from(
         "| hot path | committed ns | fresh ns | delta | verdict |\n| --- | --- | --- | --- | --- |\n",

@@ -1,34 +1,87 @@
 //! The committed hot-path performance baseline.
 //!
 //! Measures the per-frame hot paths (via [`aivc_bench::hotpath_suite`], the same suite
-//! `bench_check` re-measures and `benches/hotpaths.rs` tracks) and writes
-//! `BENCH_hotpaths.json` into the current directory. The committed copy at the repo root is
-//! the trajectory every later perf PR is measured against: medians must not regress by more
-//! than 5 % (see ROADMAP.md; `scripts/bench-check.sh` enforces it).
+//! `bench_check` re-measures and `benches/hotpaths.rs` tracks) plus the per-stage
+//! decomposition of the chat turn, and writes `BENCH_hotpaths.json` into the current
+//! directory. The committed copy at the repo root is the trajectory every later perf PR is
+//! measured against: medians must not regress by more than 5 % (see ROADMAP.md;
+//! `scripts/bench-check.sh` enforces it).
+//!
+//! The `_par` and `pipeline_throughput_*` entries run on a pool of `AIVC_POOL_SIZE` lanes
+//! (default: the machine's available parallelism); the recorded lane count is written into
+//! the JSON, since parallel medians are only comparable at equal lane counts.
 //!
 //! Run with the same profile the baseline was recorded under:
 //! `cargo run --release -p aivc-bench --bin hotpath_baseline`
 
-use aivc_bench::hotpath_suite::{measure_all_hotpaths, BaselineFile, METHODOLOGY, PROFILE};
+use aivc_bench::hotpath_suite::{
+    measure_all_hotpaths, measure_turn_breakdown, BaselineFile, METHODOLOGY, PROFILE,
+};
 use aivc_bench::print_section;
+use aivc_par::MiniPool;
 use std::io::Write;
 
 const SAMPLES: usize = 30;
 const TARGET_SAMPLE_MS: f64 = 25.0;
 
-fn main() {
-    let hotpaths = measure_all_hotpaths(SAMPLES, TARGET_SAMPLE_MS);
+/// `pipeline_throughput_N_sessions` → `N` (how many turns one iteration performs).
+fn sessions_in(name: &str) -> Option<u64> {
+    name.strip_prefix("pipeline_throughput_")?
+        .strip_suffix("_sessions")?
+        .parse()
+        .ok()
+}
 
-    let mut table = String::from("| hot path | median ns/iter |\n| --- | --- |\n");
+fn main() {
+    let pool_lanes = MiniPool::env_lanes();
+    println!("(pool lanes for _par / throughput entries: {pool_lanes})");
+    let hotpaths = measure_all_hotpaths(SAMPLES, TARGET_SAMPLE_MS, pool_lanes);
+
+    let mut table = String::from("| hot path | median ns/iter | turns/sec |\n| --- | --- | --- |\n");
     for m in &hotpaths {
-        table.push_str(&format!("| {} | {:.1} |\n", m.name, m.median_ns_per_iter));
+        let turns = sessions_in(&m.name)
+            .map(|n| format!("{:.0}", n as f64 * 1e9 / m.median_ns_per_iter))
+            .unwrap_or_else(|| "—".to_string());
+        table.push_str(&format!(
+            "| {} | {:.1} | {} |\n",
+            m.name, m.median_ns_per_iter, turns
+        ));
     }
     print_section("Hot-path baseline", &table);
+
+    let turn_breakdown = measure_turn_breakdown(SAMPLES, TARGET_SAMPLE_MS);
+    let total = turn_breakdown
+        .iter()
+        .find(|m| m.name == "turn_total_pipeline")
+        .map_or(f64::NAN, |m| m.median_ns_per_iter);
+    let stage_sum: f64 = turn_breakdown
+        .iter()
+        .filter(|m| m.name != "turn_total_pipeline")
+        .map(|m| m.median_ns_per_iter)
+        .sum();
+    let mut table = String::from("| turn stage | median ns | share of turn |\n| --- | --- | --- |\n");
+    for m in &turn_breakdown {
+        table.push_str(&format!(
+            "| {} | {:.0} | {:.1} % |\n",
+            m.name,
+            m.median_ns_per_iter,
+            100.0 * m.median_ns_per_iter / total
+        ));
+    }
+    table.push_str(&format!(
+        "\nstage sum {:.0} ns vs whole turn {:.0} ns — {:.1} % accounted for\n",
+        stage_sum,
+        total,
+        100.0 * stage_sum / total
+    ));
+    print_section("Chat-turn budget (pipeline_turn_1080p decomposed)", &table);
 
     let baseline = BaselineFile {
         profile: PROFILE.to_string(),
         methodology: METHODOLOGY.to_string(),
+        pool_lanes,
         hotpaths,
+        turn_breakdown,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     let path = "BENCH_hotpaths.json";

@@ -3,13 +3,18 @@
 //! against the committed file), so both always measure exactly the same scenarios.
 
 use crate::{measure_hotpath, HotpathMeasurement};
-use aivc_mllm::{MllmChat, Question, QuestionFormat};
+use aivc_mllm::{MllmChat, MllmScratch, Question, QuestionFormat};
+use aivc_par::MiniPool;
 use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
+use aivc_rtc::rtp::RtpPacket;
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{Concept, Frame, GridDims, Rect, Scene, SceneObject, SourceConfig, VideoSource};
-use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
-use aivc_videocodec::{Decoder, Encoder, EncoderConfig, Qp, QpMap};
-use aivchat_core::{ChatSession, QpAllocator, QpAllocatorConfig};
+use aivc_semantics::{ClipModel, ClipParScratch, ClipScratch, TextQuery};
+use aivc_videocodec::{
+    DecodeScratch, DecodedFrame, Decoder, EncodeParScratch, EncodeScratch, EncodedFrame, Encoder,
+    EncoderConfig, Qp, QpMap,
+};
+use aivchat_core::{ChatServer, ChatSession, QpAllocator, QpAllocatorConfig};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 
@@ -26,8 +31,16 @@ pub struct BaselineFile {
     pub profile: String,
     /// Methodology note for readers of the JSON.
     pub methodology: String,
-    /// The recorded hot-path medians.
+    /// Pool lanes the `_par` and `pipeline_throughput_*` entries were recorded with
+    /// ([`MiniPool::env_lanes`] at record time) — parallel medians are only comparable
+    /// across runs with the same lane count.
+    pub pool_lanes: usize,
+    /// The recorded hot-path medians (gated by `bench_check`).
     pub hotpaths: Vec<HotpathMeasurement>,
+    /// The per-stage decomposition of `pipeline_turn_1080p` (documentation of the turn's
+    /// real budget — see DESIGN.md §"The chat-turn budget"; not regression-gated, since
+    /// every stage is already gated individually above).
+    pub turn_breakdown: Vec<HotpathMeasurement>,
 }
 
 /// A 1080p scene whose two moving objects dirty ≈ 10 % of the 64-px patch grid per frame
@@ -81,8 +94,15 @@ pub fn dirty_fraction(a: &Frame, b: &Frame) -> f64 {
 }
 
 /// Measures every tracked hot path (the same set `benches/hotpaths.rs` tracks), in the
-/// order they appear in `BENCH_hotpaths.json`.
-pub fn measure_all_hotpaths(samples: usize, target_sample_ms: f64) -> Vec<HotpathMeasurement> {
+/// order they appear in `BENCH_hotpaths.json`. `pool_lanes` sizes the pool behind the
+/// `_par` and `pipeline_throughput_*` entries — callers pass [`MiniPool::env_lanes`] when
+/// recording and the committed file's `pool_lanes` when regression-checking, so compared
+/// medians always come from equal lane counts.
+pub fn measure_all_hotpaths(
+    samples: usize,
+    target_sample_ms: f64,
+    pool_lanes: usize,
+) -> Vec<HotpathMeasurement> {
     let mut hotpaths = Vec::new();
 
     // 1. RTP packetization of a 100 kB keyframe (reuse API; zero allocations/iter).
@@ -249,7 +269,248 @@ pub fn measure_all_hotpaths(samples: usize, target_sample_ms: f64) -> Vec<Hotpat
         ));
     }
 
+    // 7. The data-parallel stage forms, on a pool of `pool_lanes` lanes. With one lane
+    // both delegate to the sequential paths, so these medians double as a check that the
+    // delegation adds nothing; with N lanes they measure the real speedup (the lane count
+    // is recorded alongside — see `BaselineFile`).
+    let pool = MiniPool::new(pool_lanes);
+    {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let frame = source.frame(0);
+        let model = ClipModel::mobile_default();
+        let query = TextQuery::from_words(
+            "Could you tell me the present score of the game?",
+            model.ontology(),
+        );
+        let mut scratch = ClipParScratch::new();
+        hotpaths.push(measure_hotpath(
+            "clip_correlation_map_1080p_par",
+            samples,
+            target_sample_ms,
+            || {
+                let map = model.correlation_map_par(black_box(&frame), &query, &pool, &mut scratch);
+                map.values().len()
+            },
+        ));
+    }
+    {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let frame = source.frame(0);
+        let encoder = Encoder::new(EncoderConfig::default());
+        let qp_map = QpMap::uniform(encoder.grid_for(&frame), Qp::new(32));
+        let mut scratch = EncodeParScratch::new();
+        let mut out = EncodedFrame::placeholder();
+        hotpaths.push(measure_hotpath(
+            "encode_1080p_frame_uniform_qp_par",
+            samples,
+            target_sample_ms,
+            || {
+                encoder.encode_into_par(black_box(&frame), &qp_map, &pool, &mut scratch, &mut out);
+                out.total_bytes()
+            },
+        ));
+    }
+
+    // 8. Multi-session throughput: N independent ChatSessions, each running the full
+    // 4-frame 1080p turn, spread across the pool by the ChatServer. One iteration is one
+    // turn on every session, so turns/sec = sessions × 1e9 / median (printed by
+    // `hotpath_baseline`). Sessions share nothing — scaling is expected to be near-linear
+    // in lanes up to the core count.
+    for session_count in [1usize, 8, 64] {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
+        let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
+        let mut server = ChatServer::new(pool_lanes, session_count, 1);
+        hotpaths.push(measure_hotpath(
+            &format!("pipeline_throughput_{session_count}_sessions"),
+            samples,
+            target_sample_ms,
+            || {
+                server.run_turns(black_box(&frames), &question);
+                server.report(0).packets
+            },
+        ));
+    }
+
     hotpaths
+}
+
+/// Measures each stage of `pipeline_turn_1080p` in isolation but in the turn's exact
+/// context — same 4-frame 1080p window, same question, same long-lived scratches, same
+/// incremental CLIP state — so the stage medians decompose the turn's budget instead of
+/// re-measuring the single-frame scenarios (whose inputs differ: one turn runs every stage
+/// **four times**, and its CLIP calls run at the window's inter-frame dirty rate, not on a
+/// cold frame). The whole-turn median is appended last under the name
+/// `turn_total_pipeline`, so `sum(stages) / total` quantifies the accounting gap — see
+/// DESIGN.md §"The chat-turn budget".
+pub fn measure_turn_breakdown(samples: usize, target_sample_ms: f64) -> Vec<HotpathMeasurement> {
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+    let frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
+    let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
+    let seed = 1u64; // matches the `pipeline_turn_1080p` session
+    let model = ClipModel::mobile_default();
+    let query = TextQuery::from_words_and_concepts(
+        &question.text,
+        model.ontology(),
+        question.query_concepts.iter().cloned(),
+    );
+    let allocator = QpAllocator::new(QpAllocatorConfig::paper());
+    let encoder = Encoder::new(EncoderConfig::default());
+    let decoder = Decoder::new();
+    let mut out = Vec::new();
+
+    // Stage 1 — Eq. 1, incremental across the window (the turn's CLIP work: the dirty
+    // fraction is set by the window's inter-frame motion, including the wrap back to the
+    // first frame at the turn boundary).
+    {
+        let mut clip = ClipScratch::new();
+        out.push(measure_hotpath(
+            "turn_clip_coherent_4f",
+            samples,
+            target_sample_ms,
+            || {
+                let mut patches = 0usize;
+                for frame in &frames {
+                    patches += model
+                        .correlation_map_coherent(black_box(frame), &query, &mut clip)
+                        .values()
+                        .len();
+                }
+                patches
+            },
+        ));
+    }
+
+    // Per-frame inputs for the later stages, computed exactly as the turn computes them.
+    let importance: Vec<_> = frames.iter().map(|f| model.correlation_map(f, &query)).collect();
+    let qp_maps: Vec<QpMap> = importance
+        .iter()
+        .zip(&frames)
+        .map(|(imp, f)| allocator.allocate(imp, encoder.grid_for(f)))
+        .collect();
+    let encoded: Vec<EncodedFrame> = frames
+        .iter()
+        .zip(&qp_maps)
+        .map(|(f, m)| encoder.encode_with_qp_map(f, m))
+        .collect();
+    let decoded: Vec<DecodedFrame> = encoded.iter().map(|e| decoder.decode_complete(e, None)).collect();
+
+    // Stage 2 — Eq. 2 through the threshold table, one QP map per frame.
+    {
+        let mut qp_map = QpMap::empty();
+        out.push(measure_hotpath(
+            "turn_eq2_alloc_4f",
+            samples,
+            target_sample_ms,
+            || {
+                let mut blocks = 0usize;
+                for (imp, frame) in importance.iter().zip(&frames) {
+                    allocator.allocate_into(black_box(imp), encoder.grid_for(frame), &mut qp_map);
+                    blocks += qp_map.values().len();
+                }
+                blocks
+            },
+        ));
+    }
+
+    // Stage 3 — ROI encode, one scratch per frame slot (the session's layout).
+    {
+        let mut scratches: Vec<EncodeScratch> = (0..frames.len()).map(|_| EncodeScratch::new()).collect();
+        let mut buffer = EncodedFrame::placeholder();
+        out.push(measure_hotpath(
+            "turn_encode_4f",
+            samples,
+            target_sample_ms,
+            || {
+                let mut bytes = 0u64;
+                for ((frame, map), scratch) in frames.iter().zip(&qp_maps).zip(&mut scratches) {
+                    encoder.encode_into(black_box(frame), map, scratch, &mut buffer);
+                    bytes += buffer.total_bytes();
+                }
+                bytes
+            },
+        ));
+    }
+
+    // Stage 4 — RTP packetization of the four encoded frames.
+    {
+        let mut packetizer = Packetizer::default();
+        let mut packets: Vec<RtpPacket> = Vec::new();
+        let outgoing: Vec<OutgoingFrame> = encoded
+            .iter()
+            .map(|e| OutgoingFrame {
+                frame_id: e.frame_index,
+                capture_ts_us: e.capture_ts_us,
+                size_bytes: e.total_bytes(),
+                is_keyframe: e.frame_type == aivc_videocodec::FrameType::Intra,
+            })
+            .collect();
+        out.push(measure_hotpath(
+            "turn_packetize_4f",
+            samples,
+            target_sample_ms,
+            || {
+                let mut count = 0usize;
+                for frame in &outgoing {
+                    packetizer.packetize_into(black_box(frame), &mut packets);
+                    count += packets.len();
+                }
+                count
+            },
+        ));
+    }
+
+    // Stage 5 — full-frame decode of the four encoded frames.
+    {
+        let mut scratch = DecodeScratch::new();
+        let mut buffers: Vec<DecodedFrame> =
+            (0..encoded.len()).map(|_| DecodedFrame::placeholder()).collect();
+        out.push(measure_hotpath(
+            "turn_decode_4f",
+            samples,
+            target_sample_ms,
+            || {
+                let mut blocks = 0usize;
+                for (e, buffer) in encoded.iter().zip(&mut buffers) {
+                    let total = e.total_bytes();
+                    decoder.decode_into(black_box(e), &[(0, total)], None, &mut scratch, buffer);
+                    blocks += buffer.blocks.len();
+                }
+                blocks
+            },
+        ));
+    }
+
+    // Stage 6 — the MLLM response over the turn's decoded frames.
+    {
+        let chat = MllmChat::responder(seed ^ 0x5EED);
+        let mut scratch = MllmScratch::new();
+        out.push(measure_hotpath(
+            "turn_mllm_respond",
+            samples,
+            target_sample_ms,
+            || {
+                let answer = chat.respond_with(black_box(&question), &decoded, seed, &mut scratch);
+                answer.visual_tokens
+            },
+        ));
+    }
+
+    // The whole turn, for the gap computation.
+    {
+        let mut session = ChatSession::with_defaults(seed);
+        out.push(measure_hotpath(
+            "turn_total_pipeline",
+            samples,
+            target_sample_ms,
+            || {
+                let report = session.run_turn(black_box(&frames), &question);
+                report.answer.visual_tokens
+            },
+        ));
+    }
+
+    out
 }
 
 #[cfg(test)]
@@ -268,10 +529,17 @@ mod tests {
         let file = BaselineFile {
             profile: PROFILE.to_string(),
             methodology: METHODOLOGY.to_string(),
+            pool_lanes: 4,
             hotpaths: vec![HotpathMeasurement {
                 name: "x".to_string(),
                 median_ns_per_iter: 12.5,
                 iters_per_sample: 3,
+                samples: 30,
+            }],
+            turn_breakdown: vec![HotpathMeasurement {
+                name: "turn_stage".to_string(),
+                median_ns_per_iter: 7.5,
+                iters_per_sample: 9,
                 samples: 30,
             }],
         };
@@ -280,5 +548,7 @@ mod tests {
         assert_eq!(back.hotpaths.len(), 1);
         assert_eq!(back.hotpaths[0].name, "x");
         assert_eq!(back.hotpaths[0].median_ns_per_iter, 12.5);
+        assert_eq!(back.pool_lanes, 4);
+        assert_eq!(back.turn_breakdown[0].name, "turn_stage");
     }
 }

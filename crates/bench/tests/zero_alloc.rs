@@ -6,18 +6,27 @@
 //! MLLM respond).
 //!
 //! This target sets `harness = false` (a plain `main`) so the process has exactly one
-//! thread: libtest's harness threads allocate sporadically and would pollute the global
-//! counter (observed as a rare flaky nonzero count when this ran under `#[test]`).
+//! thread of its own: libtest's harness threads allocate sporadically and would pollute
+//! the global counter (observed as a rare flaky nonzero count when this ran under
+//! `#[test]`). The `MiniPool` workers spawned for the parallel sections below are fine:
+//! between sections they park on a condvar, and during sections they run exactly the
+//! allocation-free per-frame code this test is counting.
+//!
+//! The pool size for the parallel sections comes from `AIVC_POOL_SIZE` (CI runs both a
+//! 1-worker and a multi-worker configuration); the default exercises at least two lanes so
+//! the threaded dispatch path is always covered.
 
 use aivc_mllm::{Question, QuestionFormat};
+use aivc_par::MiniPool;
 use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
 use aivc_scene::templates::{basketball_game, dog_park};
 use aivc_scene::{Frame, SourceConfig, VideoSource};
-use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
+use aivc_semantics::{ClipModel, ClipParScratch, ClipScratch, TextQuery};
 use aivc_videocodec::{
-    DecodeScratch, DecodedFrame, Decoder, EncodeScratch, EncodedFrame, Encoder, EncoderConfig, QpMap,
+    DecodeScratch, DecodedFrame, Decoder, EncodeParScratch, EncodeScratch, EncodedFrame, Encoder,
+    EncoderConfig, QpMap,
 };
-use aivchat_core::{ChatSession, QpAllocator, QpAllocatorConfig};
+use aivchat_core::{ChatServer, ChatSession, QpAllocator, QpAllocatorConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -193,6 +202,72 @@ fn main() {
     assert_eq!(
         turn_allocs, 0,
         "ChatSession::run_turn allocated {turn_allocs} times across 10 post-warmup turns"
+    );
+
+    // --- the data-parallel paths: same hot loops spread across a MiniPool. Pool and lane
+    // scratches are part of warmup; post-warmup parallel sections must not allocate either
+    // (raw-pointer job dispatch, per-lane scratches created once, static chunk→lane
+    // mapping keeping every lane's caches warm).
+    let pool_lanes = MiniPool::env_lanes_or(MiniPool::available_lanes().max(2));
+    let pool = MiniPool::new(pool_lanes);
+
+    let mut clip_par = ClipParScratch::new();
+    for _ in 0..3 {
+        let _ = model.correlation_map_par(&frame, &query, &pool, &mut clip_par);
+    }
+    let before = allocations();
+    for _ in 0..25 {
+        let map = model.correlation_map_par(black_box(&frame), &query, &pool, &mut clip_par);
+        black_box(map.values().len());
+    }
+    let clip_par_allocs = allocations() - before;
+    assert_eq!(
+        clip_par_allocs, 0,
+        "correlation_map_par ({pool_lanes} lanes) allocated {clip_par_allocs} times across 25 post-warmup iterations"
+    );
+
+    let mut encode_par = EncodeParScratch::new();
+    let mut encoded_par = EncodedFrame::placeholder();
+    for _ in 0..3 {
+        encoder.encode_into_par(&frame, &qp_map, &pool, &mut encode_par, &mut encoded_par);
+    }
+    let before = allocations();
+    for _ in 0..100 {
+        encoder.encode_into_par(
+            black_box(&frame),
+            &qp_map,
+            &pool,
+            &mut encode_par,
+            &mut encoded_par,
+        );
+        black_box(encoded_par.total_bytes());
+    }
+    let encode_par_allocs = allocations() - before;
+    assert_eq!(
+        encode_par_allocs, 0,
+        "encode_into_par ({pool_lanes} lanes) allocated {encode_par_allocs} times across 100 post-warmup iterations"
+    );
+    assert_eq!(
+        encoded_par, encoded,
+        "parallel encode output diverged from the sequential output"
+    );
+
+    // --- the multi-session ChatServer: steady-state turns across the pool. After each
+    // session's warmup turn, a whole server turn (8 sessions × the full pipeline) performs
+    // zero heap allocations — reports are plain values overwritten in place.
+    let mut server = ChatServer::new(pool_lanes, 8, 3);
+    for _ in 0..2 {
+        server.run_turns(&turn_frames, &question);
+    }
+    let before = allocations();
+    for _ in 0..5 {
+        server.run_turns(black_box(&turn_frames), &question);
+        black_box(server.report(0).packets);
+    }
+    let server_allocs = allocations() - before;
+    assert_eq!(
+        server_allocs, 0,
+        "ChatServer::run_turns ({pool_lanes} lanes, 8 sessions) allocated {server_allocs} times across 5 post-warmup turns"
     );
 
     // Sanity: the counter itself works (a deliberate allocation is observed).

@@ -12,6 +12,8 @@
 //!   transmission, decode, MLLM inference) against the 300 ms conversational bound (§1);
 //! * [`session`] — the full AI Video Chat turn: capture → encode → RTC over the emulated
 //!   uplink → decode → MLLM answer, with per-stage latency accounting;
+//! * [`server`] — the multi-session throughput engine: N independent [`ChatSession`]s
+//!   executing turns across a scoped thread pool, bit-identically for any pool size;
 //! * [`eval`] — the Figure 9 experiment: DeViBench accuracy of ours vs the baseline across
 //!   matched bitrates.
 
@@ -20,6 +22,7 @@ pub mod baseline;
 pub mod context_aware;
 pub mod eval;
 pub mod latency;
+pub mod server;
 pub mod session;
 
 pub use allocator::{QpAllocator, QpAllocatorConfig};
@@ -27,4 +30,5 @@ pub use baseline::ContextAgnosticBaseline;
 pub use context_aware::{ContextAwareStreamer, StreamerConfig};
 pub use eval::{run_accuracy_vs_bitrate, AccuracyPoint, MethodKind};
 pub use latency::{LatencyBudget, RESPONSE_LATENCY_TARGET_MS};
+pub use server::ChatServer;
 pub use session::{AiVideoChatSession, ChatSession, ChatTurnReport, PipelineTurnReport, SessionOptions};

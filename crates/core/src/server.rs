@@ -1,0 +1,219 @@
+//! [`ChatServer`] — the multi-session throughput engine.
+//!
+//! The paper's deployment story is not one user: a production AI-video-chat service runs
+//! *many* concurrent conversations, and the ROADMAP's north star is serving heavy traffic
+//! as fast as the hardware allows. [`ChatServer`] owns N independent [`ChatSession`]s and
+//! runs each session's chat turn across a [`MiniPool`], one session per pool chunk, with a
+//! **static** session→lane mapping (session `i` always executes on lane `i % lanes`):
+//!
+//! * **bit-identical results for any pool size** — a session's turn touches only the
+//!   session's own state, so where it runs cannot change what it computes (proven by the
+//!   pool-size-independence property tests);
+//! * **allocation-free steady state** — every session owns its scratches, reports are
+//!   plain values overwritten in place, and the pool dispatches without allocating, so
+//!   post-warmup `run_turns` performs zero heap allocations (guarded by
+//!   `crates/bench/tests/zero_alloc.rs`);
+//! * **near-linear scaling** — sessions share nothing, so throughput scales with lanes up
+//!   to the core count (the `pipeline_throughput_{1,8,64}_sessions` benchmarks).
+//!
+//! Sessions running on server lanes use the sequential stage paths internally — the pool
+//! rejects nested parallel sections, and across-session parallelism already saturates the
+//! cores at server scale (DESIGN.md §"Threading model").
+
+use crate::session::{ChatSession, PipelineTurnReport};
+use aivc_mllm::{Answer, Question};
+use aivc_par::MiniPool;
+use aivc_scene::Frame;
+
+/// One session slot: the long-lived session plus the in-place report of its latest turn.
+#[derive(Debug)]
+struct ServerSlot {
+    session: ChatSession,
+    report: PipelineTurnReport,
+}
+
+/// A pool of independent chat sessions executing turns in parallel. See the module docs.
+#[derive(Debug)]
+pub struct ChatServer {
+    pool: MiniPool,
+    slots: Vec<ServerSlot>,
+    /// Per-lane scratch handed to the pool — the sessions own all real state, so the
+    /// lanes need none; sized to the lane count once.
+    lane_units: Vec<()>,
+}
+
+impl ChatServer {
+    /// Creates a server with `session_count` default sessions (seeds `base_seed + i`, so
+    /// every session is an independent, reproducible conversation) on a pool of
+    /// `pool_size` lanes.
+    pub fn new(pool_size: usize, session_count: usize, base_seed: u64) -> Self {
+        Self::with_sessions(
+            MiniPool::new(pool_size),
+            (0..session_count)
+                .map(|i| ChatSession::with_defaults(base_seed.wrapping_add(i as u64)))
+                .collect(),
+        )
+    }
+
+    /// Creates a server from explicit sessions and a pool.
+    pub fn with_sessions(pool: MiniPool, sessions: Vec<ChatSession>) -> Self {
+        let lane_units = vec![(); pool.lanes()];
+        Self {
+            pool,
+            slots: sessions
+                .into_iter()
+                .map(|session| ServerSlot {
+                    session,
+                    report: PipelineTurnReport::placeholder(),
+                })
+                .collect(),
+            lane_units,
+        }
+    }
+
+    /// Number of pool lanes turns are spread across.
+    pub fn pool_size(&self) -> usize {
+        self.pool.lanes()
+    }
+
+    /// Number of sessions the server owns.
+    pub fn session_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Runs one chat turn on **every** session — all users ask `question` about the same
+    /// captured window — spreading sessions across the pool (session `i` on lane
+    /// `i % lanes`, deterministically). Each session's report replaces its previous one in
+    /// place; read them back with [`ChatServer::reports`] or [`ChatServer::report`].
+    ///
+    /// Per-session results are bit-identical to calling [`ChatSession::run_turn`] directly,
+    /// for any pool size. After every session's warmup turn, the call performs no heap
+    /// allocation.
+    pub fn run_turns(&mut self, frames: &[Frame], question: &Question) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let chunks = self.slots.len();
+        self.pool
+            .for_each_chunk(&mut self.slots, chunks, &mut self.lane_units, |_, slots, ()| {
+                for slot in slots {
+                    slot.report = slot.session.run_turn(frames, question);
+                }
+            });
+    }
+
+    /// The latest report of every session, in session order.
+    pub fn reports(&self) -> impl Iterator<Item = &PipelineTurnReport> {
+        self.slots.iter().map(|slot| &slot.report)
+    }
+
+    /// The latest report of session `index`.
+    pub fn report(&self, index: usize) -> &PipelineTurnReport {
+        &self.slots[index].report
+    }
+
+    /// Fraction of the latest turn's answers that were correct — the service-level quality
+    /// signal a deployment would watch.
+    pub fn correct_fraction(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        self.reports().filter(|r| r.answer.correct).count() as f64 / self.slots.len() as f64
+    }
+}
+
+impl PipelineTurnReport {
+    /// The all-zero report sessions start from (every field is overwritten by the first
+    /// turn). Plain values only, so slot initialization and replacement never allocate.
+    pub fn placeholder() -> Self {
+        Self {
+            answer: Answer::default(),
+            frames_processed: 0,
+            encoded_bytes: 0,
+            packets: 0,
+            mean_encoded_quality: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivc_mllm::QuestionFormat;
+    use aivc_scene::templates::basketball_game;
+    use aivc_scene::{SourceConfig, VideoSource};
+
+    fn window() -> Vec<Frame> {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(6.0));
+        (0..4).map(|i| source.frame(i * 15)).collect()
+    }
+
+    fn question() -> Question {
+        Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::FreeResponse)
+    }
+
+    #[test]
+    fn server_reports_match_standalone_sessions() {
+        let frames = window();
+        let q = question();
+        let mut server = ChatServer::new(4, 6, 100);
+        server.run_turns(&frames, &q);
+        for i in 0..6 {
+            let mut standalone = ChatSession::with_defaults(100 + i as u64);
+            let expected = standalone.run_turn(&frames, &q);
+            assert_eq!(server.report(i), &expected, "session {i}");
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_pool_size() {
+        let frames = window();
+        let q = question();
+        let collect = |pool_size: usize| {
+            let mut server = ChatServer::new(pool_size, 5, 7);
+            // Two turns: the second exercises the warm, allocation-free steady state.
+            server.run_turns(&frames, &q);
+            server.run_turns(&frames, &q);
+            server.reports().cloned().collect::<Vec<_>>()
+        };
+        let sequential = collect(1);
+        assert_eq!(collect(2), sequential);
+        assert_eq!(collect(8), sequential);
+    }
+
+    #[test]
+    fn server_turns_are_deterministic_across_runs() {
+        let frames = window();
+        let q = question();
+        let run = || {
+            let mut server = ChatServer::new(2, 8, 42);
+            server.run_turns(&frames, &q);
+            server.reports().cloned().collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // All sessions saw the same evidence, so aggregate quality is high.
+        let mut server = ChatServer::new(2, 8, 42);
+        server.run_turns(&frames, &q);
+        assert!(server.correct_fraction() > 0.5);
+        assert_eq!(server.session_count(), 8);
+        assert_eq!(server.pool_size(), 2);
+    }
+
+    #[test]
+    fn empty_server_and_empty_reports_are_well_behaved() {
+        let mut server = ChatServer::new(2, 0, 1);
+        server.run_turns(&window(), &question());
+        assert_eq!(server.session_count(), 0);
+        assert_eq!(server.correct_fraction(), 0.0);
+        assert_eq!(server.reports().count(), 0);
+    }
+
+    #[test]
+    fn more_sessions_than_lanes_all_get_served() {
+        let frames = window();
+        let q = question();
+        let mut server = ChatServer::new(3, 11, 9);
+        server.run_turns(&frames, &q);
+        assert!(server.reports().all(|r| r.frames_processed == frames.len()));
+    }
+}

@@ -14,7 +14,7 @@ use aivc_videocodec::DecodedFrame;
 use serde::{Deserialize, Serialize};
 
 /// The MLLM's response to one question.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Answer {
     /// Whether the answer matches the ground truth.
     pub correct: bool,

@@ -19,7 +19,7 @@ pub struct FrameSampler {
 }
 
 /// Statistics of a sampling run — the data behind Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SamplingStats {
     /// Frames offered by the network/decoder.
     pub offered: u64,

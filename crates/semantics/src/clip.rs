@@ -8,8 +8,14 @@ use crate::embedding::Embedding;
 use crate::importance::ImportanceMap;
 use crate::text::TextQuery;
 use crate::vision::{ConceptSpace, PatchEncoder};
+use aivc_par::MiniPool;
 use aivc_scene::{Concept, Frame, GridDims, Ontology, Rect, RegionContent};
 use serde::{Deserialize, Serialize};
+
+/// Chunks handed to the pool per lane by the data-parallel paths: a few per lane smooth
+/// out load imbalance across patch rows while keeping chunks large enough that the
+/// per-chunk dispatch cost stays invisible next to the per-patch work.
+const PAR_CHUNKS_PER_LANE: usize = 4;
 
 /// CLIP model configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -199,6 +205,54 @@ impl ClipScratch {
     }
 }
 
+/// Per-lane working state of the data-parallel correlation path: exactly the buffers one
+/// evaluation of [`patch_rho`] mutates. Everything else a patch needs (the flat concept
+/// lists, the memoized query embedding) is shared read-only across lanes.
+#[derive(Debug, Clone)]
+struct ClipLaneScratch {
+    /// Per-patch region descriptor for this lane.
+    content: RegionContent,
+    /// Concept-pooling accumulator for this lane.
+    accumulator: Embedding,
+    /// Unit-norm form of the accumulator for this lane.
+    normalized: Embedding,
+}
+
+impl ClipLaneScratch {
+    fn new() -> Self {
+        Self {
+            content: RegionContent::empty(),
+            accumulator: Embedding::zeros(0),
+            normalized: Embedding::zeros(0),
+        }
+    }
+}
+
+/// Reusable buffers for [`ClipModel::correlation_map_par`]: the sequential scratch (which
+/// owns the output map, the query memo and the shared per-frame concept lists) plus one
+/// private lane scratch per pool lane, created on first use and reused ever after — so
+/// post-warmup parallel evaluations perform zero heap allocations, exactly like the
+/// sequential path.
+#[derive(Debug, Clone, Default)]
+pub struct ClipParScratch {
+    /// The sequential scratch; also serves `pool_size = 1` delegation unchanged.
+    seq: ClipScratch,
+    /// One private working set per pool lane.
+    lanes: Vec<ClipLaneScratch>,
+}
+
+impl ClipParScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the most recent result out of the scratch.
+    pub fn take_map(&mut self) -> ImportanceMap {
+        self.seq.take_map()
+    }
+}
+
 /// The CLIP-like model: ontology-grounded concept space + encoders.
 #[derive(Debug, Clone)]
 pub struct ClipModel {
@@ -322,6 +376,91 @@ impl ClipModel {
         scratch.map.finish_refill();
         scratch.record_prev(frame);
         &scratch.map
+    }
+
+    /// Data-parallel form of [`ClipModel::correlation_map_with`]: the patch grid is split
+    /// into contiguous raster-order chunks (≈ groups of patch rows) and evaluated across
+    /// the pool's lanes, each lane writing its disjoint slice of the output map through its
+    /// own private accumulators.
+    ///
+    /// Output is **bit-identical** to the sequential path for any pool size: every patch
+    /// runs the exact same [`patch_rho`] procedure against the same shared per-frame
+    /// concept lists, and patch values never depend on one another (see the equivalence
+    /// tests and `tests/model_properties.rs`). With a one-lane pool this delegates to
+    /// [`ClipModel::correlation_map_with`] — the sequential path stays the default.
+    /// Post-warmup calls perform no heap allocation (lane scratches are created once).
+    pub fn correlation_map_par<'s>(
+        &self,
+        frame: &Frame,
+        query: &TextQuery,
+        pool: &MiniPool,
+        scratch: &'s mut ClipParScratch,
+    ) -> &'s ImportanceMap {
+        if pool.lanes() == 1 {
+            return self.correlation_map_with(frame, query, &mut scratch.seq);
+        }
+        let dims = GridDims::for_frame(frame.width, frame.height, self.config.patch_size);
+        scratch.seq.memoize_query(self, query);
+        if scratch.seq.query_embedding.is_zero() {
+            // refill_values_mut zero-fills, which is exactly the empty-query map.
+            let _ = scratch.seq.map.refill_values_mut(dims, frame.width, frame.height);
+            scratch.seq.map.finish_refill();
+            scratch.seq.record_prev(frame);
+            return &scratch.seq.map;
+        }
+        scratch.seq.prepare_frame(self, frame);
+        while scratch.lanes.len() < pool.lanes() {
+            scratch.lanes.push(ClipLaneScratch::new());
+        }
+        let bias = self.config.similarity_bias;
+        let background_weight = PatchEncoder::new(&self.space).background_weight();
+        let ClipParScratch { seq, lanes } = scratch;
+        let seq_ref = &mut *seq;
+        let ClipScratch {
+            object_entries,
+            flat,
+            background_flat,
+            extra,
+            query_embedding,
+            map,
+            ..
+        } = seq_ref;
+        // Shared read-only views for the lanes.
+        let object_entries: &[(u32, u32, u32)] = object_entries;
+        let flat: &[(u32, f64)] = flat;
+        let background_flat: &[(u32, f64)] = background_flat;
+        let extra: &[(Concept, Embedding)] = extra;
+        let query_embedding: &Embedding = query_embedding;
+        let values = map.refill_values_mut(dims, frame.width, frame.height);
+        let chunks = (pool.lanes() * PAR_CHUNKS_PER_LANE).min(values.len());
+        pool.for_each_chunk(values, chunks, lanes, |ctx, part, lane| {
+            for (offset, value) in part.iter_mut().enumerate() {
+                let idx = ctx.start + offset;
+                let (row, col) = dims.position(idx);
+                let rect = dims.cell_rect(row, col, frame.width, frame.height);
+                // Same ρ-range invariant `ImportanceMap::push_value` asserts on the
+                // sequential path; direct slice writes must not lose it.
+                *value = patch_rho(
+                    self,
+                    frame,
+                    &rect,
+                    bias,
+                    background_weight,
+                    &mut lane.content,
+                    object_entries,
+                    flat,
+                    background_flat,
+                    extra,
+                    &mut lane.accumulator,
+                    &mut lane.normalized,
+                    query_embedding,
+                );
+                debug_assert!((-1.0..=1.0).contains(value), "rho out of [-1, 1]");
+            }
+        });
+        seq.map.finish_refill();
+        seq.record_prev(frame);
+        &seq.map
     }
 
     /// Incremental form of [`ClipModel::correlation_map_with`], exploiting the temporal
@@ -934,6 +1073,74 @@ mod tests {
         let frame = source.frame(1);
         let map = model.correlation_map_coherent(&frame, &query, &mut scratch);
         assert_eq!(map, &model.correlation_map_naive(&frame, &query));
+    }
+
+    #[test]
+    fn parallel_path_is_bit_identical_to_sequential_for_every_pool_size() {
+        let model = ClipModel::mobile_default();
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let query = TextQuery::from_words(
+            "Could you tell me the present score of the game?",
+            model.ontology(),
+        );
+        for lanes in [1usize, 2, 3, 8] {
+            let pool = MiniPool::new(lanes);
+            let mut scratch = ClipParScratch::new();
+            for frame_idx in [0u64, 15, 30, 0] {
+                let frame = source.frame(frame_idx);
+                let naive = model.correlation_map_naive(&frame, &query);
+                let par = model.correlation_map_par(&frame, &query, &pool, &mut scratch);
+                assert_eq!(par, &naive, "lanes {lanes} frame {frame_idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_handles_empty_queries_and_query_switches() {
+        let model = ClipModel::mobile_default();
+        let pool = MiniPool::new(4);
+        let mut scratch = ClipParScratch::new();
+        let frame = frame_of(dog_park(1));
+        // Empty query: the all-zero map, same as the naive path.
+        let empty = TextQuery::from_words("qqq zzz", model.ontology());
+        let map = model.correlation_map_par(&frame, &empty, &pool, &mut scratch);
+        assert_eq!(map, &model.correlation_map_naive(&frame, &empty));
+        // Switching to a real query through the same scratch still matches.
+        let real = TextQuery::from_words("Is the dog erect-eared?", model.ontology());
+        let map = model.correlation_map_par(&frame, &real, &pool, &mut scratch);
+        assert_eq!(map, &model.correlation_map_naive(&frame, &real));
+        // And the scratch composes with the sequential/coherent paths: the recorded
+        // coherence state lets a follow-up frame take the incremental path correctly.
+        let source = VideoSource::new(dog_park(1), SourceConfig::fps30(5.0));
+        let next = source.frame(1);
+        let coherent = model.correlation_map_coherent(&next, &real, &mut scratch.seq);
+        assert_eq!(coherent, &model.correlation_map_naive(&next, &real));
+    }
+
+    #[test]
+    fn parallel_path_matches_on_out_of_ontology_concepts() {
+        use aivc_scene::{Scene, SceneObject};
+        let mut scene = Scene::new("novel", 1920, 1080).with_background(
+            0.2,
+            0.1,
+            vec![(Concept::new("mystery-backdrop"), 1.0)],
+        );
+        scene.add_object(
+            SceneObject::new(1, "gizmo", aivc_scene::Rect::new(640, 256, 512, 384))
+                .with_concept("unheard-of-gizmo", 1.0)
+                .with_detail(0.5)
+                .with_texture(0.5),
+        );
+        let model = ClipModel::mobile_default();
+        let frame = Frame::sample(&scene, 0, 0, 0.0);
+        let query = TextQuery::from_concepts("find the gizmo", ["unheard-of-gizmo"]);
+        let naive = model.correlation_map_naive(&frame, &query);
+        let pool = MiniPool::new(3);
+        let mut scratch = ClipParScratch::new();
+        assert_eq!(
+            model.correlation_map_par(&frame, &query, &pool, &mut scratch),
+            &naive
+        );
     }
 
     #[test]

@@ -68,6 +68,19 @@ impl ImportanceMap {
         assert_eq!(self.rho.len(), self.dims.len(), "importance map size mismatch");
     }
 
+    /// Starts an in-place refill like [`ImportanceMap::begin_refill`], but sizes the value
+    /// buffer up front (zero-filled) and exposes it for direct indexed writes — the form
+    /// the data-parallel correlation path uses to let each pool lane fill its own disjoint
+    /// patch range. Reuses the existing allocation after warmup.
+    pub(crate) fn refill_values_mut(&mut self, dims: GridDims, width: u32, height: u32) -> &mut [f64] {
+        self.dims = dims;
+        self.width = width;
+        self.height = height;
+        self.rho.clear();
+        self.rho.resize(dims.len(), 0.0);
+        &mut self.rho
+    }
+
     /// Overwrites one value in place during an incremental update.
     pub(crate) fn set_value(&mut self, index: usize, rho: f64) {
         debug_assert!((-1.0..=1.0).contains(&rho), "rho out of [-1, 1]");

@@ -5,13 +5,20 @@
 //! map (Kvazaar's `--roi` style control) which is how Context-Aware Video Streaming injects
 //! its CLIP-informed allocation (§3.2).
 
-use crate::frame::{EncodedBlock, EncodedFrame};
+use crate::frame::{EncodedBlock, EncodedFrame, FrameType};
 use crate::gop::GopStructure;
 use crate::qp::{Qp, QpMap};
 use crate::rd::RdModel;
+use aivc_par::MiniPool;
 use aivc_scene::{Frame, GridDims, RegionContent};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Chunks handed to the pool per lane by [`Encoder::encode_into_par`] — a few per lane
+/// smooth out CTU-row load imbalance (object-dense rows cost more) while keeping the
+/// chunk→lane mapping deterministic, so each lane's coverage cache keeps seeing the same
+/// block indices frame after frame.
+const PAR_CHUNKS_PER_LANE: usize = 4;
 
 /// Encoder speed preset. Slower presets squeeze more quality out of each bit, which the
 /// paper's "Client-side computation" discussion proposes as a fairness ablation.
@@ -102,6 +109,25 @@ impl EncodeScratch {
             content: RegionContent::empty(),
             coverage_cache: Vec::new(),
         }
+    }
+}
+
+/// Reusable buffers for [`Encoder::encode_into_par`]: one [`EncodeScratch`] per pool lane,
+/// created on first use and owned by that lane ever after. Because the chunk→lane mapping
+/// is static, each lane's coverage cache keeps tracking the same block indices across
+/// frames, preserving both the hit rate and the zero-allocation steady state of the
+/// sequential scratch. Lane 0's scratch doubles as the sequential scratch when the pool
+/// has a single lane.
+#[derive(Debug, Clone, Default)]
+pub struct EncodeParScratch {
+    /// One private scratch per pool lane.
+    lanes: Vec<EncodeScratch>,
+}
+
+impl EncodeParScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -201,55 +227,94 @@ impl Encoder {
         out.blocks.clear();
         out.blocks.reserve(dims.len());
         let mut offset = self.config.header_bytes as u64;
-        let content = &mut scratch.content;
         for row in 0..dims.rows {
             for col in 0..dims.cols {
                 let idx = dims.index(row, col);
-                let rect = dims.cell_rect(row, col, frame.width, frame.height);
-                frame.region_content_into(&rect, content);
-                let qp = qp_map.get_index(idx);
-                let bits =
-                    self.rd
-                        .block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
-                let bytes = (((bits as f64 * preset_factor) / 8.0).ceil() as u32).max(1);
-                let quality = self.rd.block_quality(qp, content.detail);
-                // Cache policy: background blocks bypass the cache entirely (the shared
-                // empty Arc is already free), hits clone the cached Arc without touching
-                // the cache, and only misses write — so a warm re-encode mutates nothing.
-                // Stale entries under changed geometry are harmless: the content compare
-                // decides every reuse.
-                let object_coverage = if content.object_coverage.is_empty() {
-                    Arc::clone(&self.empty_coverage)
-                } else if let Some(cached) = scratch
-                    .coverage_cache
-                    .get(idx)
-                    .filter(|cached| cached[..] == content.object_coverage[..])
-                {
-                    Arc::clone(cached)
-                } else {
-                    let fresh: Arc<[(u32, f64)]> = Arc::from(content.object_coverage.as_slice());
-                    if CACHE {
-                        while scratch.coverage_cache.len() <= idx {
-                            scratch.coverage_cache.push(Arc::clone(&self.empty_coverage));
-                        }
-                        scratch.coverage_cache[idx] = Arc::clone(&fresh);
-                    }
-                    fresh
-                };
-                out.blocks.push(EncodedBlock {
-                    index: idx,
-                    byte_offset: offset,
-                    byte_len: bytes,
-                    qp,
-                    encoded_quality: quality,
-                    detail: content.detail,
-                    complexity: content.complexity,
-                    motion: content.motion,
-                    object_coverage,
-                });
-                offset += bytes as u64;
+                let mut block = self.encode_block::<CACHE>(
+                    frame,
+                    dims,
+                    idx,
+                    qp_map.get_index(idx),
+                    frame_type,
+                    preset_factor,
+                    scratch,
+                );
+                block.byte_offset = offset;
+                offset += block.byte_len as u64;
+                out.blocks.push(block);
             }
         }
+        self.fill_frame_header(out, frame, dims, frame_type);
+    }
+
+    /// One CTU of the encode: region descriptor → bits/quality through the R-D model →
+    /// coverage-`Arc` reuse through the scratch's cache. Shared by the sequential walk and
+    /// the data-parallel path so both produce bit-identical blocks; `byte_offset` is left
+    /// zero for the caller to assign (it is a prefix sum over preceding blocks).
+    ///
+    /// Cache policy: background blocks bypass the cache entirely (the shared empty Arc is
+    /// already free), hits clone the cached Arc without touching the cache, and only misses
+    /// write — so a warm re-encode mutates nothing. Stale entries under changed geometry
+    /// are harmless: the content compare decides every reuse.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_block<const CACHE: bool>(
+        &self,
+        frame: &Frame,
+        dims: GridDims,
+        idx: usize,
+        qp: Qp,
+        frame_type: FrameType,
+        preset_factor: f64,
+        scratch: &mut EncodeScratch,
+    ) -> EncodedBlock {
+        let (row, col) = dims.position(idx);
+        let rect = dims.cell_rect(row, col, frame.width, frame.height);
+        let content = &mut scratch.content;
+        frame.region_content_into(&rect, content);
+        let bits = self
+            .rd
+            .block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
+        let bytes = (((bits as f64 * preset_factor) / 8.0).ceil() as u32).max(1);
+        let quality = self.rd.block_quality(qp, content.detail);
+        let object_coverage = if content.object_coverage.is_empty() {
+            Arc::clone(&self.empty_coverage)
+        } else if let Some(cached) = scratch
+            .coverage_cache
+            .get(idx)
+            .filter(|cached| cached[..] == content.object_coverage[..])
+        {
+            Arc::clone(cached)
+        } else {
+            let fresh: Arc<[(u32, f64)]> = Arc::from(content.object_coverage.as_slice());
+            if CACHE {
+                while scratch.coverage_cache.len() <= idx {
+                    scratch.coverage_cache.push(Arc::clone(&self.empty_coverage));
+                }
+                scratch.coverage_cache[idx] = Arc::clone(&fresh);
+            }
+            fresh
+        };
+        EncodedBlock {
+            index: idx,
+            byte_offset: 0,
+            byte_len: bytes,
+            qp,
+            encoded_quality: quality,
+            detail: content.detail,
+            complexity: content.complexity,
+            motion: content.motion,
+            object_coverage,
+        }
+    }
+
+    /// Fills the frame-level fields of an encode output (shared by every encode path).
+    fn fill_frame_header(
+        &self,
+        out: &mut EncodedFrame,
+        frame: &Frame,
+        dims: GridDims,
+        frame_type: FrameType,
+    ) {
         out.frame_index = frame.index;
         out.capture_ts_us = frame.capture_ts_us;
         out.frame_type = frame_type;
@@ -259,6 +324,81 @@ impl Encoder {
         out.grid_cols = dims.cols;
         out.grid_rows = dims.rows;
         out.header_bytes = self.config.header_bytes;
+    }
+
+    /// Data-parallel form of [`Encoder::encode_into`]: the CTU grid is split into
+    /// contiguous raster-order chunks (≈ groups of CTU rows) encoded across the pool's
+    /// lanes, each lane writing its disjoint slice of the block list through its own
+    /// [`EncodeScratch`]; byte offsets (a prefix sum over preceding blocks) are then
+    /// assigned in one cheap sequential pass.
+    ///
+    /// Output is **bit-identical** to [`Encoder::encode_into`] and
+    /// [`Encoder::encode_with_qp_map`] for any pool size: per-block bits, quality and
+    /// coverage never depend on other blocks, and the offset pass reproduces the
+    /// sequential accumulation exactly (see the equivalence tests). With a one-lane pool
+    /// this delegates to the sequential path. The static chunk→lane mapping means each
+    /// lane's coverage cache sees the same block indices every frame, so cache hit rates —
+    /// and the zero-allocation steady state — survive parallelization.
+    pub fn encode_into_par(
+        &self,
+        frame: &Frame,
+        qp_map: &QpMap,
+        pool: &MiniPool,
+        scratch: &mut EncodeParScratch,
+        out: &mut EncodedFrame,
+    ) {
+        while scratch.lanes.len() < pool.lanes() {
+            scratch.lanes.push(EncodeScratch::new());
+        }
+        if pool.lanes() == 1 {
+            self.encode_into(frame, qp_map, &mut scratch.lanes[0], out);
+            return;
+        }
+        let dims = self.grid_for(frame);
+        assert_eq!(qp_map.dims(), dims, "QP map grid does not match frame grid");
+        let frame_type = self.config.gop.frame_type(frame.index);
+        let preset_factor = self.config.preset.rate_factor();
+        // Every slot is overwritten below; the placeholder only sizes the buffer (its Arc
+        // clone is a refcount bump, so a warm re-encode stays allocation-free).
+        let placeholder = EncodedBlock {
+            index: 0,
+            byte_offset: 0,
+            byte_len: 0,
+            qp: Qp::new(0),
+            encoded_quality: 0.0,
+            detail: 0.0,
+            complexity: 0.0,
+            motion: 0.0,
+            object_coverage: Arc::clone(&self.empty_coverage),
+        };
+        out.blocks.clear();
+        out.blocks.resize(dims.len(), placeholder);
+        let chunks = (pool.lanes() * PAR_CHUNKS_PER_LANE).min(dims.len());
+        pool.for_each_chunk(
+            &mut out.blocks,
+            chunks,
+            &mut scratch.lanes,
+            |ctx, blocks, lane| {
+                for (offset, slot) in blocks.iter_mut().enumerate() {
+                    let idx = ctx.start + offset;
+                    *slot = self.encode_block::<true>(
+                        frame,
+                        dims,
+                        idx,
+                        qp_map.get_index(idx),
+                        frame_type,
+                        preset_factor,
+                        lane,
+                    );
+                }
+            },
+        );
+        let mut offset = self.config.header_bytes as u64;
+        for block in &mut out.blocks {
+            block.byte_offset = offset;
+            offset += block.byte_len as u64;
+        }
+        self.fill_frame_header(out, frame, dims, frame_type);
     }
 
     /// Encodes a frame at a single, uniform QP (the context-agnostic baseline).
@@ -450,6 +590,57 @@ mod tests {
         for frame in [&big, &small, &big] {
             let map = QpMap::uniform(enc.grid_for(frame), Qp::new(33));
             enc.encode_into(frame, &map, &mut scratch, &mut out);
+            assert_eq!(out, enc.encode_with_qp_map(frame, &map));
+        }
+    }
+
+    #[test]
+    fn encode_into_par_is_bit_identical_for_every_pool_size() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(10.0));
+        for lanes in [1usize, 2, 3, 8] {
+            let pool = MiniPool::new(lanes);
+            let mut scratch = EncodeParScratch::new();
+            let mut out = EncodedFrame::placeholder();
+            // Consecutive frames, a jump, a revisit, and a non-uniform ROI map — all must
+            // match the allocating reference exactly, including offsets and coverage.
+            for i in [0u64, 1, 2, 30, 0] {
+                let frame = source.frame(i);
+                let dims = enc.grid_for(&frame);
+                let mut map = QpMap::uniform(dims, Qp::new(40));
+                for row in 0..dims.rows {
+                    for col in 0..dims.cols / 3 {
+                        map.set(row, col, Qp::new(22));
+                    }
+                }
+                enc.encode_into_par(&frame, &map, &pool, &mut scratch, &mut out);
+                assert_eq!(
+                    out,
+                    enc.encode_with_qp_map(&frame, &map),
+                    "lanes {lanes} frame {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_par_survives_geometry_changes() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let big = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0)).frame(0);
+        let mut small_scene = aivc_scene::Scene::new("small", 256, 192).with_background(0.3, 0.1, vec![]);
+        small_scene.add_object(
+            aivc_scene::SceneObject::new(1, "thing", aivc_scene::Rect::new(10, 10, 100, 100))
+                .with_concept("player", 1.0)
+                .with_detail(0.5)
+                .with_texture(0.5),
+        );
+        let small = Frame::sample(&small_scene, 0, 0, 0.0);
+        let pool = MiniPool::new(4);
+        let mut scratch = EncodeParScratch::new();
+        let mut out = EncodedFrame::placeholder();
+        for frame in [&big, &small, &big] {
+            let map = QpMap::uniform(enc.grid_for(frame), Qp::new(33));
+            enc.encode_into_par(frame, &map, &pool, &mut scratch, &mut out);
             assert_eq!(out, enc.encode_with_qp_map(frame, &map));
         }
     }

@@ -31,7 +31,7 @@ pub mod rd;
 pub mod transcode;
 
 pub use decoder::{DecodeScratch, DecodedBlock, DecodedFrame, Decoder};
-pub use encoder::{EncodeScratch, Encoder, EncoderConfig};
+pub use encoder::{EncodeParScratch, EncodeScratch, Encoder, EncoderConfig};
 pub use frame::{EncodedBlock, EncodedFrame, FrameType};
 pub use gop::GopStructure;
 pub use qp::{Qp, QpMap};

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Hot-path regression gate: re-measures every tracked hot path and fails if any median
-# regressed more than the tolerance versus the committed BENCH_hotpaths.json.
+# Hot-path regression gate: re-measures every tracked hot path — including the `_par`
+# data-parallel entries and the `pipeline_throughput_{1,8,64}_sessions` multi-session
+# entries — and fails if any median regressed more than the tolerance versus the committed
+# BENCH_hotpaths.json. Parallel/throughput entries are re-measured at the committed file's
+# recorded `pool_lanes` (override with AIVC_POOL_SIZE) so comparisons are lane-for-lane.
 #
 #   ./scripts/bench-check.sh                     # 5 % tolerance (the ROADMAP rule)
 #   BENCH_CHECK_TOLERANCE=0.10 ./scripts/bench-check.sh   # relaxed (noisy CI runners)
+#   AIVC_POOL_SIZE=8 ./scripts/bench-check.sh    # force a pool size for the _par entries
 #   ./scripts/bench-check.sh path/to/other.json  # compare against a different baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -25,6 +25,8 @@ pub use aivc_devibench as devibench;
 pub use aivc_mllm as mllm;
 /// The deterministic packet-level network emulator.
 pub use aivc_netsim as netsim;
+/// The vendored scoped thread pool behind the data-parallel hot paths.
+pub use aivc_par as par;
 /// The RTC transport (packetization, pacing, NACK/RTX, FEC, jitter buffer, GCC, ABR).
 pub use aivc_rtc as rtc;
 /// Synthetic scenes, clips and corpora with ground-truth annotations.

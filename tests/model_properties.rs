@@ -2,12 +2,15 @@
 //! monotonicity (and LUT ≡ `powf` equivalence), R-D monotonicity, accuracy monotonicity in
 //! quality, and incremental-correlation ≡ full-recompute equivalence.
 
-use aivchat::core::{QpAllocator, QpAllocatorConfig};
+use aivchat::core::{ChatServer, ChatSession, QpAllocator, QpAllocatorConfig};
 use aivchat::mllm::{MllmChat, Question, QuestionFormat};
+use aivchat::par::MiniPool;
 use aivchat::scene::templates::TemplateKind;
-use aivchat::scene::{SourceConfig, VideoSource};
-use aivchat::semantics::{ClipModel, ClipScratch, TextQuery};
-use aivchat::videocodec::{Decoder, Encoder, EncoderConfig, FrameType, Qp, RdModel};
+use aivchat::scene::{Frame, SourceConfig, VideoSource};
+use aivchat::semantics::{ClipModel, ClipParScratch, ClipScratch, TextQuery};
+use aivchat::videocodec::{
+    Decoder, EncodeParScratch, EncodedFrame, Encoder, EncoderConfig, FrameType, Qp, QpMap, RdModel,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -112,6 +115,110 @@ proptest! {
         // Quality is monotone too.
         prop_assert!(rd.block_quality(Qp::new(qp), 0.5) >= rd.block_quality(Qp::new(qp + 1), 0.5));
     }
+}
+
+// The parallel-equivalence properties run whole turns and full-frame encodes per case, so
+// they use fewer cases than the scalar properties above (each case already sweeps pool
+// sizes 1, 2 and 8).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The data-parallel correlation map is bit-identical to the naive recompute for every
+    /// pool size, template, frame and question — where a patch runs must never change what
+    /// it computes.
+    #[test]
+    fn parallel_correlation_is_pool_size_independent(
+        template_idx in 0usize..5,
+        seed in 0u64..20,
+        fact_idx in 0usize..4,
+        frame_idx in 0u64..60,
+    ) {
+        let scene = TemplateKind::ALL[template_idx].build(seed);
+        let fact = &scene.facts[fact_idx % scene.facts.len()];
+        let model = ClipModel::mobile_default();
+        let query = TextQuery::from_words_and_concepts(&fact.question, model.ontology(), fact.query_concepts.clone());
+        let frame = VideoSource::new(scene.clone(), SourceConfig::fps30(3.0)).frame(frame_idx);
+        let reference = model.correlation_map_naive(&frame, &query);
+        // 1, 2, 8 lanes always; plus the CI-pinned AIVC_POOL_SIZE configuration.
+        for lanes in [1usize, 2, 8, MiniPool::env_lanes()] {
+            let pool = MiniPool::new(lanes);
+            let mut scratch = ClipParScratch::new();
+            let par = model.correlation_map_par(&frame, &query, &pool, &mut scratch);
+            prop_assert_eq!(par, &reference);
+        }
+    }
+
+    /// The data-parallel ROI encode is bit-identical to the allocating reference for every
+    /// pool size, frame and QP map — including byte offsets, which are a prefix sum the
+    /// parallel path reassembles sequentially.
+    #[test]
+    fn parallel_encode_is_pool_size_independent(
+        template_idx in 0usize..5,
+        seed in 0u64..20,
+        frame_idx in 0u64..60,
+        low_qp in 0i32..30,
+        high_qp in 30i32..=51,
+        split in 1u32..8,
+    ) {
+        let scene = TemplateKind::ALL[template_idx].build(seed);
+        let frame = VideoSource::new(scene, SourceConfig::fps30(3.0)).frame(frame_idx);
+        let encoder = Encoder::new(EncoderConfig::default());
+        let dims = encoder.grid_for(&frame);
+        let mut map = QpMap::uniform(dims, Qp::new(high_qp));
+        for row in 0..dims.rows {
+            for col in 0..dims.cols * split / 8 {
+                map.set(row, col, Qp::new(low_qp));
+            }
+        }
+        let reference = encoder.encode_with_qp_map(&frame, &map);
+        for lanes in [1usize, 2, 8, MiniPool::env_lanes()] {
+            let pool = MiniPool::new(lanes);
+            let mut scratch = EncodeParScratch::new();
+            let mut out = EncodedFrame::placeholder();
+            encoder.encode_into_par(&frame, &map, &pool, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &reference);
+        }
+    }
+
+    /// ChatServer turns are bit-identical for any pool size and deterministic across runs:
+    /// per-session reports equal the standalone sessions' reports no matter how many lanes
+    /// the turns were spread over, across multiple (warm) turns.
+    #[test]
+    fn parallel_chat_server_is_pool_size_independent_and_deterministic(
+        template_idx in 0usize..5,
+        scene_seed in 0u64..10,
+        fact_idx in 0usize..4,
+        base_seed in 0u64..1000,
+        session_count in 1usize..10,
+    ) {
+        let scene = TemplateKind::ALL[template_idx].build(scene_seed);
+        let fact = &scene.facts[fact_idx % scene.facts.len()];
+        let question = Question::from_fact(fact, QuestionFormat::MultipleChoice);
+        let source = VideoSource::new(scene.clone(), SourceConfig::fps30(3.0));
+        let frames: Vec<Frame> = (0..3).map(|i| source.frame(i * 10)).collect();
+        let run = |pool_size: usize| {
+            let mut server = ChatServer::new(pool_size, session_count, base_seed);
+            server.run_turns(&frames, &question); // warmup turn
+            server.run_turns(&frames, &question); // steady-state turn
+            server.reports().cloned().collect::<Vec<_>>()
+        };
+        let sequential = run(1);
+        prop_assert_eq!(&run(2), &sequential);
+        prop_assert_eq!(&run(8), &sequential);
+        prop_assert_eq!(&run(8), &sequential); // determinism across runs at equal pool size
+        prop_assert_eq!(&run(MiniPool::env_lanes()), &sequential); // the CI-pinned config
+        // And each report equals the standalone session's second turn.
+        for (i, report) in sequential.iter().enumerate() {
+            let mut session = ChatSession::with_defaults(base_seed.wrapping_add(i as u64));
+            let _ = session.run_turn(&frames, &question);
+            prop_assert_eq!(report, &session.run_turn(&frames, &question));
+        }
+    }
+}
+
+// Back at the scalar case count for the remaining model invariants.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Eq. 1 correlations stay in [-1, 1] for every template, seed and question.
     #[test]
