@@ -12,8 +12,13 @@
 //!   transmission, decode, MLLM inference) against the 300 ms conversational bound (§1);
 //! * [`session`] — the full AI Video Chat turn: capture → encode → RTC over the emulated
 //!   uplink → decode → MLLM answer, with per-stage latency accounting;
-//! * [`server`] — the multi-session throughput engine: N independent [`ChatSession`]s
+//! * [`net_session`] — the network-in-the-loop turn: per-frame GCC feedback → ABR target →
+//!   encode-at-bitrate → FEC/NACK recovery → decode, on a trace-driven emulated uplink;
+//! * [`server`] — the multi-session throughput engines ([`ChatServer`] for pure compute,
+//!   [`NetworkedChatServer`] for network-in-the-loop turns): N independent sessions
 //!   executing turns across a scoped thread pool, bit-identically for any pool size;
+//! * [`scenarios`] — the registry of named, seeded network scenarios and the engine that
+//!   reports traditional vs AI-oriented ABR on each (the golden-fixture substrate);
 //! * [`eval`] — the Figure 9 experiment: DeViBench accuracy of ours vs the baseline across
 //!   matched bitrates.
 
@@ -22,6 +27,8 @@ pub mod baseline;
 pub mod context_aware;
 pub mod eval;
 pub mod latency;
+pub mod net_session;
+pub mod scenarios;
 pub mod server;
 pub mod session;
 
@@ -30,5 +37,7 @@ pub use baseline::ContextAgnosticBaseline;
 pub use context_aware::{ContextAwareStreamer, StreamerConfig};
 pub use eval::{run_accuracy_vs_bitrate, AccuracyPoint, MethodKind};
 pub use latency::{LatencyBudget, RESPONSE_LATENCY_TARGET_MS};
-pub use server::ChatServer;
+pub use net_session::{NetSessionOptions, NetTurnReport, NetworkedChatSession};
+pub use scenarios::{Scenario, ScenarioReport};
+pub use server::{ChatServer, NetworkedChatServer};
 pub use session::{AiVideoChatSession, ChatSession, ChatTurnReport, PipelineTurnReport, SessionOptions};

@@ -1,0 +1,814 @@
+//! Network-in-the-loop chat turns: [`NetworkedChatSession`].
+//!
+//! [`crate::ChatSession`] answers the paper's *compute* question — what one conversational
+//! turn costs the client and the cloud. This module answers the *network* question of
+//! §2.2 / Figure 3: what happens to a turn when its packets traverse a real (emulated)
+//! uplink whose capacity varies over time. Every frame of a turn closes the loop
+//!
+//! ```text
+//! BandwidthTrace ──► Link ──► per-packet feedback ──► GccController ──► AbrPolicy
+//!       ▲                                                                  │
+//!       └── FEC/NACK recovery ◄── packetize ◄── encode_at_bitrate ◄────────┘
+//! ```
+//!
+//! so the target bitrate, per-frame transmission latency, the set of frames (and frame
+//! *fractions*) that reach the decoder, and ultimately the MLLM's answer accuracy are all
+//! functions of the network — which is exactly the regime in which the paper argues for
+//! `AiOriented` over `Traditional` ABR.
+//!
+//! The runner is a single deterministic discrete-event loop (same style as
+//! `aivc_rtc::VideoSession`): identical options and seeds reproduce bit-identical
+//! [`NetTurnReport`]s, which the scenario engine ([`crate::scenarios`]) relies on for its
+//! golden regression fixtures.
+
+use crate::allocator::QpAllocator;
+use crate::context_aware::StreamerConfig;
+use crate::session::StreamingMode;
+use aivc_mllm::{Answer, MllmChat, MllmScratch, Question};
+use aivc_netsim::emulator::Direction;
+use aivc_netsim::{EventQueue, LatencyStats, NetworkEmulator, Packet, PathConfig, SimTime};
+use aivc_rtc::cc::{GccConfig, GccController, PacketFeedback};
+use aivc_rtc::fec::{FecConfig, FecEncoder, FecRecovery};
+use aivc_rtc::nack::{NackConfig, NackGenerator, RtxQueue};
+use aivc_rtc::pacer::{Pacer, PacerConfig};
+use aivc_rtc::packetizer::{FrameAssembler, OutgoingFrame, Packetizer};
+use aivc_rtc::rtp::{PayloadKind, RtpPacket};
+use aivc_rtc::AbrPolicy;
+use aivc_scene::Frame;
+use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
+use aivc_videocodec::{
+    DecodeScratch, DecodedFrame, Decoder, EncodeScratch, EncodedFrame, Encoder, Qp, QpMap,
+};
+use serde::{Deserialize, Serialize};
+
+/// Options of one networked chat session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetSessionOptions {
+    /// Seed for every stochastic component (network loss, jitter, MLLM answer draws).
+    pub seed: u64,
+    /// The network path; the uplink's [`aivc_netsim::BandwidthTrace`] + loss model are what
+    /// the turn adapts to.
+    pub path: PathConfig,
+    /// The sender's rate objective (the Figure 3 grey-vs-yellow-region choice).
+    pub abr: AbrPolicy,
+    /// The sender's encoding method: context-aware Eq. 2 QP allocation (the paper's
+    /// system) or the uniform-QP WebRTC baseline.
+    pub mode: StreamingMode,
+    /// Congestion-controller parameters.
+    pub gcc: GccConfig,
+    /// Forward error correction on media packets.
+    pub fec: FecConfig,
+    /// NACK/retransmission behaviour.
+    pub nack: NackConfig,
+    /// Whether lost packets are retransmitted.
+    pub enable_retransmission: bool,
+    /// Capture rate of the turn window in frames per second.
+    pub capture_fps: f64,
+    /// How long after the last capture the receiver keeps collecting in-flight packets
+    /// before the MLLM must answer (the conversational deadline).
+    pub drain_secs: f64,
+    /// Size of a feedback (NACK) packet on the wire, in bytes.
+    pub feedback_packet_bytes: u32,
+}
+
+impl NetSessionOptions {
+    /// AI-oriented defaults: context-aware encoding with the ABR at the paper's ~430 Kbps
+    /// accuracy floor, FEC protecting every 4-packet group, NACK recovery on.
+    pub fn ai_oriented(seed: u64, path: PathConfig) -> Self {
+        Self {
+            seed,
+            path,
+            abr: AbrPolicy::ai_oriented(430_000.0),
+            mode: StreamingMode::ContextAware,
+            gcc: GccConfig::default(),
+            fec: FecConfig::with_group_size(4),
+            nack: NackConfig::default(),
+            enable_retransmission: true,
+            capture_fps: 12.0,
+            // The conversational response budget (§1's 300 ms): frames still in flight
+            // this long after the question was asked miss the answer.
+            drain_secs: 0.3,
+            feedback_packet_bytes: 80,
+        }
+    }
+
+    /// Traditional WebRTC-style defaults: uniform-QP encoding riding the bandwidth
+    /// estimate at 85 % utilization, same recovery machinery as
+    /// [`NetSessionOptions::ai_oriented`].
+    pub fn traditional(seed: u64, path: PathConfig) -> Self {
+        Self {
+            abr: AbrPolicy::traditional(),
+            mode: StreamingMode::Baseline,
+            ..Self::ai_oriented(seed, path)
+        }
+    }
+}
+
+/// The report of one networked chat turn — plain values only, so server slots can replace
+/// reports in place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetTurnReport {
+    /// The MLLM's answer over everything the receiver could decode before the deadline.
+    pub answer: Answer,
+    /// Frames handed to the transport.
+    pub frames_sent: usize,
+    /// Frames completely received before the deadline.
+    pub frames_delivered: usize,
+    /// Frames the decoder produced output for (at least one packet arrived; incomplete
+    /// frames decode with concealment on the missing blocks).
+    pub frames_decoded: usize,
+    /// Mean per-frame ABR target over the turn, in bits per second.
+    pub mean_target_bitrate_bps: f64,
+    /// Mean encoded media bitrate actually produced, in bits per second.
+    pub achieved_bitrate_bps: f64,
+    /// Unique media payload bits that reached the receiver, per second of turn window.
+    pub goodput_bps: f64,
+    /// Median per-frame transmission latency (send start → complete reception) in ms.
+    pub p50_frame_latency_ms: f64,
+    /// 95th-percentile per-frame transmission latency in ms.
+    pub p95_frame_latency_ms: f64,
+    /// Uplink packets that did not reach the receiver (random loss + queue drops).
+    pub packets_lost: u64,
+    /// Frames with at least one FEC-recovered packet.
+    pub fec_recovered_frames: u64,
+    /// Retransmission packets sent.
+    pub retransmissions_sent: u64,
+    /// The congestion controller's bandwidth estimate when the turn ended.
+    pub final_estimate_bps: f64,
+}
+
+impl NetTurnReport {
+    /// The all-zero report server slots start from.
+    pub fn placeholder() -> Self {
+        Self {
+            answer: Answer::default(),
+            frames_sent: 0,
+            frames_delivered: 0,
+            frames_decoded: 0,
+            mean_target_bitrate_bps: 0.0,
+            achieved_bitrate_bps: 0.0,
+            goodput_bps: 0.0,
+            p50_frame_latency_ms: 0.0,
+            p95_frame_latency_ms: 0.0,
+            packets_lost: 0,
+            fec_recovered_frames: 0,
+            retransmissions_sent: 0,
+            final_estimate_bps: 0.0,
+        }
+    }
+}
+
+/// Events of the networked turn's discrete-event loop.
+enum NetEvent {
+    /// Frame `i` of the turn window is captured: drain mature feedback into GCC, pick the
+    /// ABR target, encode at that target, packetize + protect + pace onto the uplink.
+    Capture(usize),
+    /// A packet leaves the pacer and enters the uplink.
+    SendUplink(RtpPacket),
+    /// A packet arrives at the receiver.
+    UplinkArrival(RtpPacket),
+    /// The receiver checks for due NACKs.
+    ReceiverPoll,
+    /// A feedback packet (NACKed sequences) arrives back at the sender.
+    FeedbackArrival(Vec<u64>),
+}
+
+/// Per-frame transport bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct NetFrameProgress {
+    send_start: Option<SimTime>,
+    fec_recovered: bool,
+}
+
+/// One long-lived AI Video Chat session whose turns run through the emulated network.
+///
+/// The compute stages (CLIP → Eq. 2 → ROI encode → decode → MLLM) are the same ones
+/// [`crate::ChatSession`] runs, with the same scratch-reuse structure; what changes is that
+/// each frame's **bitrate target comes from the congestion controller** and each frame's
+/// **decodable bytes come from the emulated link**. The [`GccController`] persists across
+/// turns (a conversation keeps its bandwidth knowledge); transport time restarts at zero
+/// each turn with an empty bottleneck queue.
+#[derive(Debug, Clone)]
+pub struct NetworkedChatSession {
+    options: NetSessionOptions,
+    clip_model: ClipModel,
+    allocator: QpAllocator,
+    encoder: Encoder,
+    decoder: Decoder,
+    responder: MllmChat,
+    gcc: GccController,
+    // --- reusable per-frame state ---
+    clip: ClipScratch,
+    qp_map: QpMap,
+    /// Scratch map the rate-control search refills per probed level.
+    probe_map: QpMap,
+    encode_scratches: Vec<EncodeScratch>,
+    /// Scratch output for the QP-offset search.
+    probe_encoded: EncodedFrame,
+    /// The committed encode of each turn slot (needed again at decode time).
+    encoded_slots: Vec<EncodedFrame>,
+    decode_scratch: DecodeScratch,
+    decoded: Vec<DecodedFrame>,
+    mllm: MllmScratch,
+    cached_question: Option<Question>,
+    query: TextQuery,
+}
+
+impl NetworkedChatSession {
+    /// Creates a session with explicit compute configuration.
+    pub fn new(options: NetSessionOptions, config: StreamerConfig, clip_model: ClipModel) -> Self {
+        Self {
+            gcc: GccController::new(options.gcc),
+            allocator: QpAllocator::new(config.allocator),
+            encoder: Encoder::new(config.encoder),
+            decoder: Decoder::new(),
+            responder: MllmChat::responder(options.seed ^ 0x5EED),
+            clip_model,
+            options,
+            clip: ClipScratch::new(),
+            qp_map: QpMap::empty(),
+            probe_map: QpMap::empty(),
+            encode_scratches: Vec::new(),
+            probe_encoded: EncodedFrame::placeholder(),
+            encoded_slots: Vec::new(),
+            decode_scratch: DecodeScratch::new(),
+            decoded: Vec::new(),
+            mllm: MllmScratch::new(),
+            cached_question: None,
+            query: TextQuery::from_concepts("", std::iter::empty::<String>()),
+        }
+    }
+
+    /// A session with the paper's compute defaults (γ = 3 allocator, medium-preset encoder,
+    /// Mobile-CLIP-class model).
+    pub fn with_defaults(options: NetSessionOptions) -> Self {
+        Self::new(options, StreamerConfig::default(), ClipModel::mobile_default())
+    }
+
+    /// The session options.
+    pub fn options(&self) -> &NetSessionOptions {
+        &self.options
+    }
+
+    /// The congestion controller's current bandwidth estimate in bits per second.
+    pub fn bandwidth_estimate_bps(&self) -> f64 {
+        self.gcc.estimate_bps()
+    }
+
+    /// Runs one networked chat turn over a window of captured frames.
+    ///
+    /// Frame `i` is captured at simulated time `i / capture_fps`. At each capture the
+    /// sender first ingests every feedback report that has had time to travel back, updates
+    /// the GCC estimate, asks the ABR policy for a target and encodes the frame to that
+    /// budget (QP-offset search on the Eq. 2 map); packets are FEC-protected, paced, and
+    /// pushed through the emulated uplink, with NACK/RTX and FEC recovery racing the
+    /// conversational deadline. After `drain_secs` past the last capture, whatever arrived
+    /// is decoded (missing blocks conceal) and the MLLM answers.
+    pub fn run_turn(&mut self, frames: &[Frame], question: &Question) -> NetTurnReport {
+        assert!(!frames.is_empty(), "a chat turn needs at least one frame");
+        let opts = self.options.clone();
+        self.refresh_query(question);
+
+        let fps = opts.capture_fps;
+        let frame_interval_us = (1e6 / fps).round() as u64;
+        let capture_ts = |i: usize| -> u64 { i as u64 * frame_interval_us };
+        let horizon_us = capture_ts(frames.len() - 1) + (opts.drain_secs.max(0.0) * 1e6).round() as u64;
+
+        // --- Transport state (fresh each turn; the GCC persists across turns).
+        let mut emulator = NetworkEmulator::new(opts.path.clone(), opts.seed);
+        let mut events: EventQueue<NetEvent> = EventQueue::new();
+        let mut packetizer = Packetizer::default();
+        let mut pacer = Pacer::new(PacerConfig::from_target_bitrate(self.gcc.estimate_bps(), 2.5));
+        let mut rtx = RtxQueue::new();
+        let fec_encoder = FecEncoder::new(opts.fec);
+        let mut fec_recovery = FecRecovery::new();
+        let mut assembler = FrameAssembler::new();
+        let mut nack_gen = NackGenerator::new(opts.nack);
+        let mut progress: Vec<NetFrameProgress> = vec![NetFrameProgress::default(); frames.len()];
+        let mut outgoing: Vec<OutgoingFrame> = Vec::with_capacity(frames.len());
+        // First media sequence of each frame, so a FEC-recovered packet index maps back to
+        // its original sequence number (media sequences are contiguous per frame).
+        let mut media_first_seq: Vec<u64> = Vec::with_capacity(frames.len());
+        // Sequence → (frame index, media packet index) for FEC-group reconstruction.
+        let mut seq_to_media: std::collections::BTreeMap<u64, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        let mut media: Vec<RtpPacket> = Vec::new();
+        let mut poll_outstanding = false;
+        let mut next_net_packet_id: u64 = 0;
+
+        // Feedback the receiver has produced but the sender has not yet seen:
+        // (time the sender learns the packet's fate, the per-packet feedback).
+        let mut cc_pending: Vec<(u64, PacketFeedback)> = Vec::new();
+        let mut cc_batch: Vec<PacketFeedback> = Vec::new();
+        let up_prop_us = opts.path.uplink.propagation_delay.as_micros();
+        let down_prop_us = opts.path.downlink.propagation_delay.as_micros();
+
+        let max_payload = Packetizer::default().max_payload() as u64;
+        let media_packet_range = |size_bytes: u64, index: usize| -> (u64, u64) {
+            let start = index as u64 * max_payload;
+            let end = ((index as u64 + 1) * max_payload).min(size_bytes);
+            (start, end)
+        };
+
+        let mut packets_lost: u64 = 0;
+        let mut retransmissions_sent: u64 = 0;
+        let mut target_sum = 0.0f64;
+
+        for i in 0..frames.len() {
+            events.push(SimTime::from_micros(capture_ts(i)), NetEvent::Capture(i));
+        }
+
+        while let Some((now, event)) = events.pop() {
+            if now.as_micros() > horizon_us {
+                break;
+            }
+            match event {
+                NetEvent::Capture(i) => {
+                    // --- Close the loop: everything the sender has learned by now.
+                    cc_batch.clear();
+                    cc_pending.retain(|(known_at, fb)| {
+                        if *known_at <= now.as_micros() {
+                            cc_batch.push(*fb);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if !cc_batch.is_empty() {
+                        self.gcc.on_feedback_report(&cc_batch);
+                    }
+                    let target_bps = opts.abr.target_bitrate(self.gcc.estimate_bps());
+                    target_sum += target_bps;
+                    pacer.set_rate(target_bps * 2.5, now);
+
+                    // --- Encode frame i to the per-frame budget the target implies.
+                    let budget_bits = target_bps / fps;
+                    self.encode_slot_to_budget(i, &frames[i], budget_bits);
+                    let encoded = &self.encoded_slots[i];
+                    let frame_out = OutgoingFrame {
+                        frame_id: i as u64,
+                        capture_ts_us: capture_ts(i),
+                        size_bytes: encoded.total_bytes(),
+                        is_keyframe: encoded.frame_type == aivc_videocodec::FrameType::Intra,
+                    };
+                    outgoing.push(frame_out);
+                    assembler.expect_frame(&frame_out);
+
+                    // --- Packetize, protect, pace.
+                    packetizer.packetize_into(&frame_out, &mut media);
+                    if opts.fec.is_enabled() {
+                        for (pi, p) in media.iter_mut().enumerate() {
+                            p.fec_group = fec_encoder.group_of(pi);
+                        }
+                    }
+                    let parity = fec_encoder.protect(&media, || packetizer.allocate_sequence());
+                    media_first_seq.push(media[0].header.sequence);
+                    for (pi, p) in media.iter().enumerate() {
+                        seq_to_media.insert(p.header.sequence, (i, pi));
+                        rtx.remember(p);
+                        let when = pacer.schedule_send(p.wire_size(), now);
+                        events.push(when, NetEvent::SendUplink(*p));
+                    }
+                    for p in &parity {
+                        let when = pacer.schedule_send(p.wire_size(), now);
+                        events.push(when, NetEvent::SendUplink(*p));
+                    }
+                }
+                NetEvent::SendUplink(packet) => {
+                    let frame_idx = packet.header.frame_id as usize;
+                    if let Some(entry) = progress.get_mut(frame_idx) {
+                        if entry.send_start.is_none() && packet.header.kind == PayloadKind::Media {
+                            entry.send_start = Some(now);
+                        }
+                    }
+                    if packet.header.kind == PayloadKind::Retransmission {
+                        retransmissions_sent += 1;
+                    }
+                    let net_packet = Packet::new(next_net_packet_id, packet.wire_size(), now)
+                        .with_flow(0)
+                        .with_tag(packet.header.sequence);
+                    next_net_packet_id += 1;
+                    let outcome = emulator.send(Direction::Uplink, &net_packet, now);
+                    match outcome.arrival() {
+                        Some(arrival) => {
+                            events.push(arrival, NetEvent::UplinkArrival(packet));
+                            // The receiver's next report reaches the sender one downlink
+                            // propagation after arrival.
+                            cc_pending.push((
+                                arrival.as_micros() + down_prop_us,
+                                PacketFeedback {
+                                    sent_at: now,
+                                    arrived_at: Some(arrival),
+                                    size_bytes: packet.wire_size(),
+                                },
+                            ));
+                        }
+                        None => {
+                            packets_lost += 1;
+                            // The sender infers the loss from the gap in the next report:
+                            // roughly one RTT plus a reporting guard after the send.
+                            cc_pending.push((
+                                now.as_micros() + up_prop_us + down_prop_us + 20_000,
+                                PacketFeedback {
+                                    sent_at: now,
+                                    arrived_at: None,
+                                    size_bytes: packet.wire_size(),
+                                },
+                            ));
+                        }
+                    }
+                }
+                NetEvent::UplinkArrival(packet) => {
+                    nack_gen.on_packet(packet.header.sequence, now);
+                    // A group becomes XOR-recoverable when its *last-but-one* packet shows
+                    // up — which can be the parity packet or a late media/RTX arrival — so
+                    // every arrival nominates its group for a recovery check below.
+                    let mut fec_candidate: Option<(usize, u32)> = None;
+                    match packet.header.kind {
+                        PayloadKind::Media | PayloadKind::Retransmission => {
+                            assembler.on_packet(&packet, now);
+                            if opts.fec.is_enabled() {
+                                if let Some((fi, media_idx)) =
+                                    seq_to_media.get(&packet.header.sequence).copied()
+                                {
+                                    if let Some(group) = fec_encoder.group_of(media_idx) {
+                                        fec_recovery.on_media(fi as u64, group, media_idx);
+                                        fec_candidate = Some((fi, group));
+                                    }
+                                }
+                            }
+                        }
+                        PayloadKind::Fec => {
+                            let frame_idx = packet.header.frame_id as usize;
+                            if let (Some(group), Some(frame)) = (packet.fec_group, outgoing.get(frame_idx)) {
+                                let count = (frame.size_bytes.div_ceil(max_payload).max(1)) as usize;
+                                for pi in 0..count {
+                                    if fec_encoder.group_of(pi) == Some(group) {
+                                        fec_recovery.expect_media(frame.frame_id, group, pi);
+                                    }
+                                }
+                                fec_recovery.on_parity(frame.frame_id, group);
+                                fec_candidate = Some((frame_idx, group));
+                            }
+                        }
+                        PayloadKind::Feedback => {}
+                    }
+                    if let Some((frame_idx, group)) = fec_candidate {
+                        if let Some(frame) = outgoing.get(frame_idx) {
+                            for recovered in fec_recovery.recoverable(frame.frame_id, group) {
+                                let (start, end) = media_packet_range(frame.size_bytes, recovered);
+                                let synthetic = RtpPacket {
+                                    header: packet.header,
+                                    payload_start: start,
+                                    payload_end: end,
+                                    fec_group: Some(group),
+                                };
+                                assembler.on_packet(&synthetic, now);
+                                // Mark the reconstructed packet received so the group is
+                                // not re-recovered, and cancel its pending NACK — the
+                                // receiver holds the bytes, retransmitting them would
+                                // waste constrained uplink capacity.
+                                fec_recovery.on_media(frame.frame_id, group, recovered);
+                                nack_gen.on_packet(media_first_seq[frame_idx] + recovered as u64, now);
+                                progress[frame_idx].fec_recovered = true;
+                            }
+                        }
+                    }
+                    if opts.enable_retransmission && nack_gen.pending_count() > 0 && !poll_outstanding {
+                        poll_outstanding = true;
+                        events.push(now + opts.nack.reorder_guard, NetEvent::ReceiverPoll);
+                    }
+                }
+                NetEvent::ReceiverPoll => {
+                    poll_outstanding = false;
+                    if !opts.enable_retransmission {
+                        continue;
+                    }
+                    let due = nack_gen.due_nacks(now);
+                    if !due.is_empty() {
+                        let fb_packet =
+                            Packet::new(next_net_packet_id, opts.feedback_packet_bytes, now).with_flow(1);
+                        next_net_packet_id += 1;
+                        if let Some(arrival) = emulator.send(Direction::Downlink, &fb_packet, now).arrival() {
+                            events.push(arrival, NetEvent::FeedbackArrival(due));
+                        }
+                    }
+                    if nack_gen.pending_count() > 0 && !poll_outstanding {
+                        poll_outstanding = true;
+                        events.push(now + opts.nack.retry_interval, NetEvent::ReceiverPoll);
+                    }
+                }
+                NetEvent::FeedbackArrival(sequences) => {
+                    // One retransmit call per NACKed sequence keeps the old→new sequence
+                    // pairing exact even when some sequences (e.g. lost parity packets) are
+                    // not in the retransmission store.
+                    for &old_seq in &sequences {
+                        for p in rtx.retransmit(&[old_seq], || packetizer.allocate_sequence()) {
+                            if let Some(mapping) = seq_to_media.get(&old_seq).copied() {
+                                seq_to_media.insert(p.header.sequence, mapping);
+                            }
+                            let when = pacer.schedule_send(p.wire_size(), now);
+                            events.push(when, NetEvent::SendUplink(p));
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Deadline reached: decode whatever (partially) arrived, in capture order.
+        let mut decoded_count = 0usize;
+        let mut frames_delivered = 0usize;
+        let mut received_bits: u64 = 0;
+        let mut latency = LatencyStats::new();
+        for (i, frame_out) in outgoing.iter().enumerate() {
+            let Some(status) = assembler.status(frame_out.frame_id) else {
+                continue;
+            };
+            if status.complete {
+                frames_delivered += 1;
+                if let (Some(done), Some(start)) = (status.completed_at, progress[i].send_start) {
+                    latency.record(done.saturating_since(start));
+                }
+            }
+            received_bits += status.received_bytes * 8;
+            if status.received_ranges.is_empty() {
+                continue;
+            }
+            if self.decoded.len() <= decoded_count {
+                self.decoded.push(DecodedFrame::placeholder());
+            }
+            self.decoder.decode_into(
+                &self.encoded_slots[i],
+                &status.received_ranges,
+                status.completed_at.map(|t| t.as_micros()),
+                &mut self.decode_scratch,
+                &mut self.decoded[decoded_count],
+            );
+            decoded_count += 1;
+        }
+
+        // --- The MLLM answers over everything that decoded before the deadline.
+        let answer = self.responder.respond_with(
+            question,
+            &self.decoded[..decoded_count],
+            opts.seed,
+            &mut self.mllm,
+        );
+
+        let window_secs = (frames.len() as f64 / fps).max(1e-9);
+        let encoded_bits: u64 = outgoing.iter().map(|f| f.size_bytes * 8).sum();
+        NetTurnReport {
+            answer,
+            frames_sent: outgoing.len(),
+            frames_delivered,
+            frames_decoded: decoded_count,
+            mean_target_bitrate_bps: target_sum / frames.len() as f64,
+            achieved_bitrate_bps: encoded_bits as f64 / window_secs,
+            goodput_bps: received_bits as f64 / window_secs,
+            p50_frame_latency_ms: latency.percentile_ms(0.5),
+            p95_frame_latency_ms: latency.p95_ms(),
+            packets_lost,
+            fec_recovered_frames: progress.iter().filter(|p| p.fec_recovered).count() as u64,
+            retransmissions_sent,
+            final_estimate_bps: self.gcc.estimate_bps(),
+        }
+    }
+
+    /// Re-derives the text query only when the question changes (same memoization as
+    /// [`crate::ChatSession`]).
+    fn refresh_query(&mut self, question: &Question) {
+        if self.cached_question.as_ref() != Some(question) {
+            self.query = TextQuery::from_words_and_concepts(
+                &question.text,
+                self.clip_model.ontology(),
+                question.query_concepts.iter().cloned(),
+            );
+            self.cached_question = Some(question.clone());
+        }
+    }
+
+    /// Encodes `frame` into turn slot `i` at the closest achievable size to `budget_bits`.
+    ///
+    /// Context-aware mode binary-searches a uniform QP offset on top of the frame's Eq. 2
+    /// map (coded bits are monotone decreasing in the offset — the same §3.2
+    /// bitrate-matching procedure `ContextAwareStreamer::encode_at_bitrate` uses, but per
+    /// frame and per target); baseline mode binary-searches the single uniform QP a
+    /// traditional WebRTC encoder's rate control would pick.
+    fn encode_slot_to_budget(&mut self, i: usize, frame: &Frame, budget_bits: f64) {
+        if self.encode_scratches.len() <= i {
+            self.encode_scratches.resize_with(i + 1, EncodeScratch::new);
+        }
+        if self.encoded_slots.len() <= i {
+            self.encoded_slots.resize_with(i + 1, EncodedFrame::placeholder);
+        }
+        let grid = self.encoder.grid_for(frame);
+        let (mut lo, mut hi) = match self.options.mode {
+            StreamingMode::ContextAware => {
+                let importance = self
+                    .clip_model
+                    .correlation_map_coherent(frame, &self.query, &mut self.clip);
+                self.allocator.allocate_into(importance, grid, &mut self.qp_map);
+                (-51i32, 51i32)
+            }
+            StreamingMode::Baseline => (0i32, 51i32),
+        };
+        // Probe maps are refilled in place (`probe_map`); after the first frame of a given
+        // grid the search allocates nothing beyond what the encoder itself needs.
+        let fill_probe_map =
+            |options: &NetSessionOptions, base: &QpMap, level: i32, out: &mut QpMap| match options.mode {
+                StreamingMode::ContextAware => base.offset_all_into(level, out),
+                StreamingMode::Baseline => out.fill_uniform(grid, Qp::new(level)),
+            };
+        let mut probe_map = std::mem::replace(&mut self.probe_map, QpMap::empty());
+        let mut best_level = lo;
+        let mut best_err = f64::INFINITY;
+        let mut last_probed = None;
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            fill_probe_map(&self.options, &self.qp_map, mid, &mut probe_map);
+            self.encoder.encode_into(
+                frame,
+                &probe_map,
+                &mut self.encode_scratches[i],
+                &mut self.probe_encoded,
+            );
+            last_probed = Some(mid);
+            let bits = self.probe_encoded.total_bits() as f64;
+            let err = (bits - budget_bits).abs();
+            if err < best_err {
+                best_err = err;
+                best_level = mid;
+            }
+            if bits > budget_bits {
+                lo = mid + 1;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        if last_probed == Some(best_level) {
+            // The search converged on the last level probed: reuse that encode.
+            self.encoded_slots[i].clone_from(&self.probe_encoded);
+        } else {
+            fill_probe_map(&self.options, &self.qp_map, best_level, &mut probe_map);
+            self.encoder.encode_into(
+                frame,
+                &probe_map,
+                &mut self.encode_scratches[i],
+                &mut self.encoded_slots[i],
+            );
+        }
+        self.probe_map = probe_map;
+    }
+}
+
+/// A convenience used by the scenario engine: a queue sized to `queue_ms` of buffering at
+/// `nominal_bps` — how testbeds provision the bottleneck buffer for a trace whose rates
+/// vary around a nominal capacity.
+pub fn queue_bytes_for(nominal_bps: f64, queue_ms: u64) -> u64 {
+    ((nominal_bps / 8.0) * (queue_ms as f64 / 1_000.0)).max(3_000.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivc_mllm::QuestionFormat;
+    use aivc_netsim::{BandwidthTrace, LinkConfig, LossModel, SimDuration, SimTime};
+    use aivc_scene::templates::basketball_game;
+    use aivc_scene::{SourceConfig, VideoSource};
+
+    fn window(fps: f64, secs: f64) -> Vec<Frame> {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(6.0));
+        let start = source.duration_secs() - secs;
+        let count = (secs * fps) as usize;
+        (0..count)
+            .map(|i| source.frame_at(start + i as f64 / fps))
+            .collect()
+    }
+
+    fn question() -> Question {
+        Question::from_fact(&basketball_game(1).facts[1], QuestionFormat::FreeResponse)
+    }
+
+    fn good_path() -> PathConfig {
+        PathConfig::paper_section_2_2(0.01)
+    }
+
+    fn stepdown_path() -> PathConfig {
+        PathConfig {
+            uplink: LinkConfig {
+                bandwidth: BandwidthTrace::step(8e6, 1.2e6, SimTime::from_secs_f64(1.5)),
+                propagation_delay: SimDuration::from_millis(30),
+                queue_capacity_bytes: queue_bytes_for(8e6, 300),
+                loss: LossModel::Iid { rate: 0.01 },
+                max_jitter: SimDuration::ZERO,
+            },
+            downlink: LinkConfig::constant(100e6, SimDuration::from_millis(30), 300, LossModel::None),
+        }
+    }
+
+    #[test]
+    fn networked_turn_completes_and_answers_on_a_good_link() {
+        let mut session = NetworkedChatSession::with_defaults(NetSessionOptions::ai_oriented(3, good_path()));
+        let frames = window(12.0, 3.0);
+        let report = session.run_turn(&frames, &question());
+        assert_eq!(report.frames_sent, frames.len());
+        assert!(report.frames_delivered > frames.len() * 9 / 10);
+        assert!(
+            report.answer.probability_correct > 0.7,
+            "p {}",
+            report.answer.probability_correct
+        );
+        // AI-oriented stays near the accuracy floor, far below the 10 Mbps capacity.
+        assert!(report.mean_target_bitrate_bps < 1_000_000.0);
+        assert!(report.p50_frame_latency_ms >= 30.0);
+        assert!(
+            report.p95_frame_latency_ms < 120.0,
+            "p95 {}",
+            report.p95_frame_latency_ms
+        );
+    }
+
+    #[test]
+    fn turns_are_deterministic() {
+        let run = || {
+            let mut session =
+                NetworkedChatSession::with_defaults(NetSessionOptions::ai_oriented(7, stepdown_path()));
+            session.run_turn(&window(12.0, 3.0), &question())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn traditional_abr_rides_the_estimate_higher_than_ai_oriented() {
+        let frames = window(12.0, 3.0);
+        let mut trad = NetworkedChatSession::with_defaults(NetSessionOptions::traditional(5, good_path()));
+        let mut ai = NetworkedChatSession::with_defaults(NetSessionOptions::ai_oriented(5, good_path()));
+        let trad_report = trad.run_turn(&frames, &question());
+        let ai_report = ai.run_turn(&frames, &question());
+        assert!(
+            trad_report.mean_target_bitrate_bps > ai_report.mean_target_bitrate_bps * 2.0,
+            "trad {} vs ai {}",
+            trad_report.mean_target_bitrate_bps,
+            ai_report.mean_target_bitrate_bps
+        );
+    }
+
+    #[test]
+    fn step_down_punishes_traditional_more_than_ai_oriented() {
+        let frames = window(12.0, 3.0);
+        let q = question();
+        let mut trad_opts = NetSessionOptions::traditional(11, stepdown_path());
+        trad_opts.gcc.initial_estimate_bps = 2_500_000.0;
+        let mut ai_opts = NetSessionOptions::ai_oriented(11, stepdown_path());
+        ai_opts.gcc.initial_estimate_bps = 2_500_000.0;
+        let trad_report = NetworkedChatSession::with_defaults(trad_opts).run_turn(&frames, &q);
+        let ai_report = NetworkedChatSession::with_defaults(ai_opts).run_turn(&frames, &q);
+        // The paper's §3.2 / Figure 3 contract: the accuracy floor *maintains* answer
+        // accuracy while the estimate-rider loses frames to the collapsed link...
+        assert!(u8::from(ai_report.answer.correct) >= u8::from(trad_report.answer.correct));
+        assert!(
+            ai_report.answer.probability_correct >= trad_report.answer.probability_correct - 0.005,
+            "ai {} vs trad {}",
+            ai_report.answer.probability_correct,
+            trad_report.answer.probability_correct
+        );
+        assert!(ai_report.frames_delivered > trad_report.frames_delivered);
+        // ...at an order of magnitude lower tail latency and less than half the bits.
+        assert!(
+            ai_report.p95_frame_latency_ms < trad_report.p95_frame_latency_ms / 3.0,
+            "ai p95 {} vs trad p95 {}",
+            ai_report.p95_frame_latency_ms,
+            trad_report.p95_frame_latency_ms
+        );
+        assert!(ai_report.goodput_bps < trad_report.goodput_bps / 2.0);
+    }
+
+    #[test]
+    fn gcc_estimate_persists_across_turns() {
+        let mut session =
+            NetworkedChatSession::with_defaults(NetSessionOptions::traditional(13, good_path()));
+        let frames = window(12.0, 2.0);
+        let q = question();
+        let initial = session.bandwidth_estimate_bps();
+        session.run_turn(&frames, &q);
+        let after_one = session.bandwidth_estimate_bps();
+        assert_ne!(initial, after_one);
+        // A later turn starts from the learned estimate, not from the configured initial.
+        let second = session.run_turn(&frames, &q);
+        assert_eq!(second.final_estimate_bps, session.bandwidth_estimate_bps());
+    }
+
+    #[test]
+    fn fec_recovers_frames_under_loss() {
+        let mut path = good_path();
+        path.uplink.loss = LossModel::Iid { rate: 0.06 };
+        let mut session = NetworkedChatSession::with_defaults(NetSessionOptions::ai_oriented(17, path));
+        let report = session.run_turn(&window(12.0, 3.0), &question());
+        assert!(report.packets_lost > 0);
+        assert!(
+            report.fec_recovered_frames > 0 || report.retransmissions_sent > 0,
+            "loss must engage a recovery mechanism"
+        );
+        assert!(report.frames_decoded > 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The scenario engine: named, seeded network conditions under which every future
+//! congestion/scheduling change is evaluated.
+//!
+//! A [`Scenario`] bundles a time-varying uplink ([`BandwidthTrace`] + loss model), a seed
+//! and a turn shape. [`run_scenario`] pushes one chat turn through the network-in-the-loop
+//! session ([`crate::NetworkedChatSession`]) **twice** — once with traditional
+//! estimate-riding ABR and once with the paper's AI-oriented accuracy-floor ABR — and once
+//! more as a small multi-session [`crate::NetworkedChatServer`] workload, then reports
+//! goodput, per-frame latency percentiles, loss/recovery counters and answer accuracy side
+//! by side (§2.2 / §3.2, Figure 3).
+//!
+//! Everything is deterministic: a given registry entry reproduces bit-identical
+//! [`ScenarioReport`]s across runs and pool sizes, which the golden regression fixtures
+//! under `tests/fixtures/` pin down — transport behaviour changes must be intentional and
+//! reviewed alongside a fixture update.
+
+use crate::net_session::{queue_bytes_for, NetSessionOptions, NetTurnReport, NetworkedChatSession};
+use crate::server::NetworkedChatServer;
+use aivc_mllm::{Question, QuestionFormat};
+use aivc_netsim::{BandwidthTrace, LinkConfig, LossModel, PathConfig, SimDuration, SimTime};
+use aivc_scene::templates::basketball_game;
+use aivc_scene::{Frame, SourceConfig, VideoSource};
+use serde::{Deserialize, Serialize};
+
+/// One named network scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Registry key (also the fixture file name).
+    pub name: &'static str,
+    /// One-line description of the condition being modelled.
+    pub summary: &'static str,
+    /// Seed for every stochastic process of the scenario.
+    pub seed: u64,
+    /// Length of the captured turn window in seconds.
+    pub window_secs: f64,
+    /// Capture rate of the turn window.
+    pub capture_fps: f64,
+    /// The bidirectional path (the uplink carries the video).
+    pub path: PathConfig,
+}
+
+impl Scenario {
+    /// The session options this scenario uses for the given ABR mode.
+    pub fn options(&self, ai_oriented: bool) -> NetSessionOptions {
+        let mut options = if ai_oriented {
+            NetSessionOptions::ai_oriented(self.seed, self.path.clone())
+        } else {
+            NetSessionOptions::traditional(self.seed, self.path.clone())
+        };
+        options.capture_fps = self.capture_fps;
+        // Scenarios model a mid-conversation turn: the controller already holds a
+        // several-Mbps estimate from earlier turns, so traditional ABR is immediately
+        // aggressive while AI-oriented ABR sticks to its floor.
+        options.gcc.initial_estimate_bps = 2_500_000.0;
+        options
+    }
+
+    /// The turn window and question every scenario run uses (same scene and detail
+    /// question, so accuracy differences come from the network alone).
+    pub fn turn(&self) -> (Vec<Frame>, Question) {
+        let scene = basketball_game(1);
+        let source = VideoSource::new(scene.clone(), SourceConfig::fps30(6.0));
+        let question = Question::from_fact(&scene.facts[1], QuestionFormat::FreeResponse);
+        let start = (source.duration_secs() - self.window_secs).max(0.0);
+        let count = (self.window_secs * self.capture_fps).floor().max(1.0) as usize;
+        let frames = (0..count)
+            .map(|i| source.frame_at(start + i as f64 / self.capture_fps))
+            .collect();
+        (frames, question)
+    }
+}
+
+/// A clean 30 ms one-way downlink for feedback, as in the paper's testbed.
+fn clean_downlink() -> LinkConfig {
+    LinkConfig::constant(100e6, SimDuration::from_millis(30), 300, LossModel::None)
+}
+
+fn uplink(bandwidth: BandwidthTrace, nominal_bps: f64, loss: LossModel) -> PathConfig {
+    PathConfig {
+        uplink: LinkConfig {
+            bandwidth,
+            propagation_delay: SimDuration::from_millis(30),
+            queue_capacity_bytes: queue_bytes_for(nominal_bps, 300),
+            loss,
+            max_jitter: SimDuration::ZERO,
+        },
+        downlink: clean_downlink(),
+    }
+}
+
+/// The scenario registry: ≥ 6 named, seeded network conditions covering the shapes the
+/// related adaptive-transport literature validates against (constant, step, periodic,
+/// random-walk, bursty loss, LTE-like segment schedules).
+pub fn registry() -> Vec<Scenario> {
+    let secs = SimTime::from_secs_f64;
+    vec![
+        Scenario {
+            name: "constant",
+            summary: "the paper's 10 Mbps / 30 ms link with 1% i.i.d. loss",
+            seed: 101,
+            window_secs: 3.0,
+            capture_fps: 12.0,
+            path: uplink(
+                BandwidthTrace::constant(10e6),
+                10e6,
+                LossModel::Iid { rate: 0.01 },
+            ),
+        },
+        Scenario {
+            name: "step-down",
+            summary: "8 Mbps dropping to 1.2 Mbps mid-turn (handover / contention onset)",
+            seed: 202,
+            window_secs: 3.0,
+            capture_fps: 12.0,
+            path: uplink(
+                BandwidthTrace::step(8e6, 1.2e6, secs(1.5)),
+                8e6,
+                LossModel::Iid { rate: 0.01 },
+            ),
+        },
+        Scenario {
+            name: "square-wave",
+            summary: "capacity oscillating 8 ↔ 1.5 Mbps every second (periodic cross traffic)",
+            seed: 303,
+            window_secs: 3.0,
+            capture_fps: 12.0,
+            path: uplink(
+                BandwidthTrace::square_wave(8e6, 1.5e6, secs(1.0), secs(8.0)),
+                8e6,
+                LossModel::Iid { rate: 0.01 },
+            ),
+        },
+        Scenario {
+            name: "random-walk",
+            summary: "a bounded multiplicative random walk between 1 and 9 Mbps",
+            seed: 404,
+            window_secs: 3.0,
+            capture_fps: 12.0,
+            path: uplink(
+                BandwidthTrace::random_walk(404, 5e6, 1e6, 9e6, secs(0.5), secs(8.0)),
+                5e6,
+                LossModel::Iid { rate: 0.01 },
+            ),
+        },
+        Scenario {
+            name: "bursty-loss",
+            summary: "4 Mbps with Gilbert–Elliott bursts (8% mean loss, ~16-packet bursts)",
+            seed: 505,
+            window_secs: 3.0,
+            capture_fps: 12.0,
+            path: uplink(BandwidthTrace::constant(4e6), 4e6, LossModel::bursty(0.08, 16.0)),
+        },
+        Scenario {
+            name: "lte-like",
+            summary: "LTE-like segments: 12 → 5 → 0.9 → 3 → 10 Mbps across the turn",
+            seed: 606,
+            window_secs: 3.0,
+            capture_fps: 12.0,
+            path: uplink(
+                BandwidthTrace::from_segments(vec![
+                    (SimTime::ZERO, 12e6),
+                    (secs(1.0), 5e6),
+                    (secs(1.8), 0.9e6),
+                    (secs(2.6), 3e6),
+                    (secs(3.2), 10e6),
+                ]),
+                12e6,
+                LossModel::Iid { rate: 0.005 },
+            ),
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The per-scenario report: both ABR modes side by side plus a small multi-session
+/// [`NetworkedChatServer`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The scenario's registry name.
+    pub scenario: String,
+    /// The turn under traditional estimate-riding ABR.
+    pub traditional: NetTurnReport,
+    /// The turn under AI-oriented accuracy-floor ABR.
+    pub ai_oriented: NetTurnReport,
+    /// Sessions in the multi-session server run (AI-oriented mode).
+    pub server_sessions: usize,
+    /// Fraction of server sessions that answered correctly.
+    pub server_correct_fraction: f64,
+    /// Mean probability of a correct answer across server sessions.
+    pub server_mean_probability: f64,
+}
+
+/// Runs a scenario's single-session turns: `(traditional, ai_oriented)`.
+pub fn run_modes(scenario: &Scenario) -> (NetTurnReport, NetTurnReport) {
+    let (frames, question) = scenario.turn();
+    run_modes_on(scenario, &frames, &question)
+}
+
+/// [`run_modes`] over an already-synthesized turn window.
+fn run_modes_on(
+    scenario: &Scenario,
+    frames: &[Frame],
+    question: &Question,
+) -> (NetTurnReport, NetTurnReport) {
+    let mut traditional = NetworkedChatSession::with_defaults(scenario.options(false));
+    let mut ai = NetworkedChatSession::with_defaults(scenario.options(true));
+    (
+        traditional.run_turn(frames, question),
+        ai.run_turn(frames, question),
+    )
+}
+
+/// Sessions the multi-session leg of [`run_scenario`] uses.
+pub const SERVER_SESSIONS: usize = 3;
+
+/// Runs one scenario end to end: both single-session ABR modes plus a
+/// [`SERVER_SESSIONS`]-session server workload spread over `pool_size` lanes. The result
+/// is bit-identical for any `pool_size` (sessions share nothing).
+pub fn run_scenario(scenario: &Scenario, pool_size: usize) -> ScenarioReport {
+    let (frames, question) = scenario.turn();
+    let (traditional, ai_oriented) = run_modes_on(scenario, &frames, &question);
+    let mut server = NetworkedChatServer::new(pool_size, SERVER_SESSIONS, scenario.options(true));
+    server.run_turns(&frames, &question);
+    ScenarioReport {
+        scenario: scenario.name.to_string(),
+        traditional,
+        ai_oriented,
+        server_sessions: SERVER_SESSIONS,
+        server_correct_fraction: server.correct_fraction(),
+        server_mean_probability: server.mean_probability_correct(),
+    }
+}
+
+/// Runs the whole registry, in registry order.
+pub fn run_registry(pool_size: usize) -> Vec<ScenarioReport> {
+    registry().iter().map(|s| run_scenario(s, pool_size)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_at_least_six_unique_named_scenarios() {
+        let reg = registry();
+        assert!(reg.len() >= 6, "registry has {}", reg.len());
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "scenario names must be unique");
+        assert!(by_name("step-down").is_some());
+        assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn scenario_turns_are_reproducible() {
+        let scenario = by_name("constant").unwrap();
+        let (frames_a, q_a) = scenario.turn();
+        let (frames_b, q_b) = scenario.turn();
+        assert_eq!(frames_a, frames_b);
+        assert_eq!(q_a, q_b);
+        assert_eq!(frames_a.len(), 36);
+    }
+
+    #[test]
+    fn options_differ_only_in_abr_objective() {
+        let scenario = by_name("bursty-loss").unwrap();
+        let trad = scenario.options(false);
+        let ai = scenario.options(true);
+        assert_eq!(trad.seed, ai.seed);
+        assert_eq!(trad.capture_fps, ai.capture_fps);
+        assert_ne!(
+            trad.abr.target_bitrate(8e6),
+            ai.abr.target_bitrate(8e6),
+            "the two modes must pursue different objectives"
+        );
+    }
+}

@@ -20,26 +20,135 @@
 //! rejects nested parallel sections, and across-session parallelism already saturates the
 //! cores at server scale (DESIGN.md §"Threading model").
 
+use crate::net_session::{NetSessionOptions, NetTurnReport, NetworkedChatSession};
 use crate::session::{ChatSession, PipelineTurnReport};
 use aivc_mllm::{Answer, Question};
 use aivc_par::MiniPool;
 use aivc_scene::Frame;
 
+/// A session type a server can pool: one long-lived object per user whose turn produces a
+/// plain-value report carrying the MLLM's [`Answer`]. Both server variants share the
+/// pooling machinery ([`SessionPool`]) through this trait.
+trait TurnSession: Send + std::fmt::Debug {
+    /// The per-turn report type, overwritten in place in the session's slot.
+    type Report: Clone + Send + std::fmt::Debug;
+
+    /// The all-zero report a slot starts from.
+    fn placeholder_report() -> Self::Report;
+
+    /// Runs one turn and returns its report.
+    fn turn_report(&mut self, frames: &[Frame], question: &Question) -> Self::Report;
+
+    /// The answer inside a report (for the service-level quality aggregates).
+    fn answer(report: &Self::Report) -> &Answer;
+}
+
+impl TurnSession for ChatSession {
+    type Report = PipelineTurnReport;
+
+    fn placeholder_report() -> PipelineTurnReport {
+        PipelineTurnReport::placeholder()
+    }
+
+    fn turn_report(&mut self, frames: &[Frame], question: &Question) -> PipelineTurnReport {
+        self.run_turn(frames, question)
+    }
+
+    fn answer(report: &PipelineTurnReport) -> &Answer {
+        &report.answer
+    }
+}
+
+impl TurnSession for NetworkedChatSession {
+    type Report = NetTurnReport;
+
+    fn placeholder_report() -> NetTurnReport {
+        NetTurnReport::placeholder()
+    }
+
+    fn turn_report(&mut self, frames: &[Frame], question: &Question) -> NetTurnReport {
+        self.run_turn(frames, question)
+    }
+
+    fn answer(report: &NetTurnReport) -> &Answer {
+        &report.answer
+    }
+}
+
 /// One session slot: the long-lived session plus the in-place report of its latest turn.
 #[derive(Debug)]
-struct ServerSlot {
-    session: ChatSession,
-    report: PipelineTurnReport,
+struct ServerSlot<S: TurnSession> {
+    session: S,
+    report: S::Report,
+}
+
+/// The shared engine behind both server variants: N independent sessions of one type,
+/// spread across a [`MiniPool`] with the static session→lane mapping the module docs
+/// describe. Private — the public surface is [`ChatServer`] and [`NetworkedChatServer`].
+#[derive(Debug)]
+struct SessionPool<S: TurnSession> {
+    pool: MiniPool,
+    slots: Vec<ServerSlot<S>>,
+    /// Per-lane scratch handed to the pool — the sessions own all real state, so the
+    /// lanes need none; sized to the lane count once.
+    lane_units: Vec<()>,
+}
+
+impl<S: TurnSession> SessionPool<S> {
+    fn with_sessions(pool: MiniPool, sessions: Vec<S>) -> Self {
+        let lane_units = vec![(); pool.lanes()];
+        Self {
+            pool,
+            slots: sessions
+                .into_iter()
+                .map(|session| ServerSlot {
+                    session,
+                    report: S::placeholder_report(),
+                })
+                .collect(),
+            lane_units,
+        }
+    }
+
+    fn run_turns(&mut self, frames: &[Frame], question: &Question) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let chunks = self.slots.len();
+        self.pool
+            .for_each_chunk(&mut self.slots, chunks, &mut self.lane_units, |_, slots, ()| {
+                for slot in slots {
+                    slot.report = slot.session.turn_report(frames, question);
+                }
+            });
+    }
+
+    fn reports(&self) -> impl Iterator<Item = &S::Report> {
+        self.slots.iter().map(|slot| &slot.report)
+    }
+
+    fn correct_fraction(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        self.reports().filter(|r| S::answer(r).correct).count() as f64 / self.slots.len() as f64
+    }
+
+    fn mean_probability_correct(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        self.reports()
+            .map(|r| S::answer(r).probability_correct)
+            .sum::<f64>()
+            / self.slots.len() as f64
+    }
 }
 
 /// A pool of independent chat sessions executing turns in parallel. See the module docs.
 #[derive(Debug)]
 pub struct ChatServer {
-    pool: MiniPool,
-    slots: Vec<ServerSlot>,
-    /// Per-lane scratch handed to the pool — the sessions own all real state, so the
-    /// lanes need none; sized to the lane count once.
-    lane_units: Vec<()>,
+    inner: SessionPool<ChatSession>,
 }
 
 impl ChatServer {
@@ -57,28 +166,19 @@ impl ChatServer {
 
     /// Creates a server from explicit sessions and a pool.
     pub fn with_sessions(pool: MiniPool, sessions: Vec<ChatSession>) -> Self {
-        let lane_units = vec![(); pool.lanes()];
         Self {
-            pool,
-            slots: sessions
-                .into_iter()
-                .map(|session| ServerSlot {
-                    session,
-                    report: PipelineTurnReport::placeholder(),
-                })
-                .collect(),
-            lane_units,
+            inner: SessionPool::with_sessions(pool, sessions),
         }
     }
 
     /// Number of pool lanes turns are spread across.
     pub fn pool_size(&self) -> usize {
-        self.pool.lanes()
+        self.inner.pool.lanes()
     }
 
     /// Number of sessions the server owns.
     pub fn session_count(&self) -> usize {
-        self.slots.len()
+        self.inner.slots.len()
     }
 
     /// Runs one chat turn on **every** session — all users ask `question` about the same
@@ -90,35 +190,23 @@ impl ChatServer {
     /// for any pool size. After every session's warmup turn, the call performs no heap
     /// allocation.
     pub fn run_turns(&mut self, frames: &[Frame], question: &Question) {
-        if self.slots.is_empty() {
-            return;
-        }
-        let chunks = self.slots.len();
-        self.pool
-            .for_each_chunk(&mut self.slots, chunks, &mut self.lane_units, |_, slots, ()| {
-                for slot in slots {
-                    slot.report = slot.session.run_turn(frames, question);
-                }
-            });
+        self.inner.run_turns(frames, question);
     }
 
     /// The latest report of every session, in session order.
     pub fn reports(&self) -> impl Iterator<Item = &PipelineTurnReport> {
-        self.slots.iter().map(|slot| &slot.report)
+        self.inner.reports()
     }
 
     /// The latest report of session `index`.
     pub fn report(&self, index: usize) -> &PipelineTurnReport {
-        &self.slots[index].report
+        &self.inner.slots[index].report
     }
 
     /// Fraction of the latest turn's answers that were correct — the service-level quality
     /// signal a deployment would watch.
     pub fn correct_fraction(&self) -> f64 {
-        if self.slots.is_empty() {
-            return 0.0;
-        }
-        self.reports().filter(|r| r.answer.correct).count() as f64 / self.slots.len() as f64
+        self.inner.correct_fraction()
     }
 }
 
@@ -133,6 +221,81 @@ impl PipelineTurnReport {
             packets: 0,
             mean_encoded_quality: 0.0,
         }
+    }
+}
+
+/// The network-in-the-loop counterpart of [`ChatServer`]: N independent
+/// [`NetworkedChatSession`]s — each with its own emulated path, congestion controller and
+/// MLLM — executing turns across a [`MiniPool`] with the same static session→lane mapping.
+///
+/// A networked session's turn touches only the session's own state (its emulator is seeded
+/// per session and recreated per turn), so, exactly as for [`ChatServer`], **results are
+/// bit-identical for any pool size** and deterministic across runs — the property the
+/// scenario engine's golden fixtures and the pool-sweep tests pin down.
+#[derive(Debug)]
+pub struct NetworkedChatServer {
+    inner: SessionPool<NetworkedChatSession>,
+}
+
+impl NetworkedChatServer {
+    /// Creates a server of `session_count` sessions sharing `template`'s network and ABR
+    /// configuration, with per-session seeds `template.seed + i` (independent loss/jitter
+    /// streams and answer draws per user) on a pool of `pool_size` lanes.
+    pub fn new(pool_size: usize, session_count: usize, template: NetSessionOptions) -> Self {
+        Self::with_sessions(
+            MiniPool::new(pool_size),
+            (0..session_count)
+                .map(|i| {
+                    let mut options = template.clone();
+                    options.seed = template.seed.wrapping_add(i as u64);
+                    NetworkedChatSession::with_defaults(options)
+                })
+                .collect(),
+        )
+    }
+
+    /// Creates a server from explicit sessions and a pool.
+    pub fn with_sessions(pool: MiniPool, sessions: Vec<NetworkedChatSession>) -> Self {
+        Self {
+            inner: SessionPool::with_sessions(pool, sessions),
+        }
+    }
+
+    /// Number of pool lanes turns are spread across.
+    pub fn pool_size(&self) -> usize {
+        self.inner.pool.lanes()
+    }
+
+    /// Number of sessions the server owns.
+    pub fn session_count(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Runs one networked chat turn on every session (session `i` on lane `i % lanes`).
+    /// Per-session results are bit-identical to calling
+    /// [`NetworkedChatSession::run_turn`] directly, for any pool size.
+    pub fn run_turns(&mut self, frames: &[Frame], question: &Question) {
+        self.inner.run_turns(frames, question);
+    }
+
+    /// The latest report of every session, in session order.
+    pub fn reports(&self) -> impl Iterator<Item = &NetTurnReport> {
+        self.inner.reports()
+    }
+
+    /// The latest report of session `index`.
+    pub fn report(&self, index: usize) -> &NetTurnReport {
+        &self.inner.slots[index].report
+    }
+
+    /// Fraction of the latest turn's answers that were correct.
+    pub fn correct_fraction(&self) -> f64 {
+        self.inner.correct_fraction()
+    }
+
+    /// Mean model-assigned probability of a correct answer across sessions.
+    pub fn mean_probability_correct(&self) -> f64 {
+        self.inner.mean_probability_correct()
     }
 }
 
@@ -215,5 +378,39 @@ mod tests {
         let mut server = ChatServer::new(3, 11, 9);
         server.run_turns(&frames, &q);
         assert!(server.reports().all(|r| r.frames_processed == frames.len()));
+    }
+
+    fn net_template(seed: u64) -> NetSessionOptions {
+        let mut options =
+            NetSessionOptions::ai_oriented(seed, aivc_netsim::PathConfig::paper_section_2_2(0.01));
+        options.capture_fps = 8.0;
+        options
+    }
+
+    #[test]
+    fn networked_server_reports_match_standalone_sessions() {
+        let frames = window();
+        let q = question();
+        let mut server = NetworkedChatServer::new(2, 3, net_template(40));
+        server.run_turns(&frames, &q);
+        for i in 0..3 {
+            let mut options = net_template(40);
+            options.seed += i as u64;
+            let mut standalone = NetworkedChatSession::with_defaults(options);
+            assert_eq!(server.report(i), &standalone.run_turn(&frames, &q), "session {i}");
+        }
+        assert_eq!(server.session_count(), 3);
+        assert_eq!(server.pool_size(), 2);
+        assert!(server.mean_probability_correct() > 0.5);
+    }
+
+    #[test]
+    fn empty_networked_server_is_well_behaved() {
+        let mut server = NetworkedChatServer::new(2, 0, net_template(1));
+        server.run_turns(&window(), &question());
+        assert_eq!(server.session_count(), 0);
+        assert_eq!(server.correct_fraction(), 0.0);
+        assert_eq!(server.mean_probability_correct(), 0.0);
+        assert_eq!(server.reports().count(), 0);
     }
 }

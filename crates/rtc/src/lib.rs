@@ -28,7 +28,7 @@ pub mod session;
 pub mod stats;
 
 pub use abr::{AbrMode, AbrPolicy};
-pub use cc::GccController;
+pub use cc::{CcState, GccConfig, GccController, PacketFeedback};
 pub use fec::{FecConfig, FecEncoder, FecRecovery};
 pub use jitter::JitterBuffer;
 pub use nack::{NackGenerator, RtxQueue};

@@ -58,6 +58,25 @@ impl Pacer {
         self.config
     }
 
+    /// Updates the pacing rate in place at time `now`, keeping the bucket level and the
+    /// FIFO commitment (`last_refill`) intact — a congestion-controlled sender retunes its
+    /// pacer every time the target bitrate changes, and already-committed departures must
+    /// not be reordered by the change.
+    ///
+    /// Token accrual up to `now` is settled at the *old* rate first, so idle time already
+    /// elapsed is credited at the rate it was earned rather than retroactively at the new
+    /// one (an upward rate step must not mint an unearned burst).
+    pub fn set_rate(&mut self, pacing_rate_bps: f64, now: SimTime) {
+        if !self.config.pacing_rate_bps.is_infinite() {
+            let effective_now = now.max(self.last_refill);
+            let elapsed = effective_now.saturating_since(self.last_refill).as_secs_f64();
+            self.tokens_bytes = (self.tokens_bytes + elapsed * self.config.pacing_rate_bps / 8.0)
+                .min(self.config.burst_bytes as f64);
+            self.last_refill = effective_now;
+        }
+        self.config.pacing_rate_bps = pacing_rate_bps.max(100_000.0);
+    }
+
     /// Returns the earliest time at or after `now` at which a packet of `size_bytes` may be
     /// sent, and commits to that send (tokens are consumed).
     ///
@@ -144,6 +163,42 @@ mod tests {
     fn from_target_bitrate_uses_multiplier() {
         let cfg = PacerConfig::from_target_bitrate(2e6, 2.5);
         assert!((cfg.pacing_rate_bps - 5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn set_rate_keeps_committed_departures_in_order() {
+        let mut p = Pacer::new(PacerConfig {
+            pacing_rate_bps: 1e6,
+            burst_bytes: 1_250,
+        });
+        let _ = p.schedule_send(1_250, SimTime::ZERO);
+        let committed = p.schedule_send(1_250, SimTime::ZERO);
+        assert_eq!(committed.as_micros(), 10_000);
+        // Raising the rate must not let a later packet depart before `committed`.
+        p.set_rate(100e6, SimTime::ZERO);
+        let next = p.schedule_send(1_250, SimTime::ZERO);
+        assert!(next >= committed, "{next:?} vs {committed:?}");
+        // And the floor matches `PacerConfig::from_target_bitrate`'s.
+        p.set_rate(1.0, SimTime::ZERO);
+        assert_eq!(p.config().pacing_rate_bps, 100_000.0);
+    }
+
+    #[test]
+    fn set_rate_settles_accrual_at_the_old_rate() {
+        // 100 kbps floor rate, bucket drained at t=0.
+        let mut p = Pacer::new(PacerConfig {
+            pacing_rate_bps: 100_000.0,
+            burst_bytes: 10_000,
+        });
+        let _ = p.schedule_send(10_000, SimTime::ZERO);
+        // 80 ms of idle at 100 kbps earns exactly 1000 bytes. Switching to a 25 Mbps rate
+        // at t=80ms must not retroactively credit the idle time at 25 Mbps (250 kB).
+        let t = SimTime::from_millis(80);
+        p.set_rate(25e6, t);
+        // A 1000-byte packet rides the earned tokens...
+        assert_eq!(p.schedule_send(1_000, t), t);
+        // ...but the next packet must wait: the bucket was settled, not re-minted.
+        assert!(p.schedule_send(1_000, t) > t);
     }
 
     #[test]

@@ -166,6 +166,26 @@ impl QpMap {
         }
     }
 
+    /// [`QpMap::offset_all`] into a caller-owned map — the reuse form for per-frame rate
+    /// control loops that probe many offsets (once `out` has grown to the grid size,
+    /// refills perform no heap allocation). Output is identical to [`QpMap::offset_all`].
+    pub fn offset_all_into(&self, delta: i32, out: &mut QpMap) {
+        out.begin_refill(self.dims);
+        for q in &self.values {
+            out.push_value(q.offset(delta));
+        }
+        out.finish_refill();
+    }
+
+    /// Refills this map as a uniform map in place — the reuse form of [`QpMap::uniform`].
+    pub fn fill_uniform(&mut self, dims: GridDims, qp: Qp) {
+        self.begin_refill(dims);
+        for _ in 0..dims.len() {
+            self.push_value(qp);
+        }
+        self.finish_refill();
+    }
+
     /// Renders the map as a compact ASCII grid (one row per line, values space-separated) —
     /// used by the Figure 10 harness to "visualize" the CLIP-informed QP map.
     pub fn to_ascii(&self) -> String {
@@ -189,6 +209,25 @@ mod tests {
 
     fn dims() -> GridDims {
         GridDims::for_frame(256, 128, 64)
+    }
+
+    #[test]
+    fn in_place_refill_forms_match_their_allocating_counterparts() {
+        let mut base = QpMap::uniform(dims(), Qp::new(30));
+        base.set(0, 1, Qp::new(5));
+        base.set(1, 0, Qp::new(48));
+        let mut out = QpMap::empty();
+        for delta in [-51, -7, 0, 9, 51] {
+            base.offset_all_into(delta, &mut out);
+            assert_eq!(out, base.offset_all(delta), "delta {delta}");
+        }
+        let mut uniform = QpMap::empty();
+        uniform.fill_uniform(dims(), Qp::new(23));
+        assert_eq!(uniform, QpMap::uniform(dims(), Qp::new(23)));
+        // Shrinking to a smaller grid reuses the buffer and stays consistent.
+        let small = GridDims::for_frame(128, 64, 64);
+        uniform.fill_uniform(small, Qp::new(11));
+        assert_eq!(uniform, QpMap::uniform(small, Qp::new(11)));
     }
 
     #[test]

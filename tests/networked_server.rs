@@ -1,0 +1,92 @@
+//! Determinism and pool-independence of the networked multi-session server: extending the
+//! PR 3 pool-independence properties to the network-in-the-loop path. `NetworkedChatServer`
+//! results must be bit-identical for any pool size (including the CI-pinned
+//! `AIVC_POOL_SIZE` configuration) and across repeated runs — sessions share nothing, so
+//! where a session's turn executes cannot change what its network or its MLLM did.
+
+use aivchat::core::scenarios::by_name;
+use aivchat::core::{NetSessionOptions, NetTurnReport, NetworkedChatServer, NetworkedChatSession};
+use aivchat::mllm::{Question, QuestionFormat};
+use aivchat::par::MiniPool;
+use aivchat::scene::templates::basketball_game;
+use aivchat::scene::{Frame, SourceConfig, VideoSource};
+
+/// A compact turn window (2 s at 8 fps) so the pool sweep stays fast.
+fn window() -> Vec<Frame> {
+    let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(6.0));
+    let fps = 8.0;
+    let start = source.duration_secs() - 2.0;
+    (0..16).map(|i| source.frame_at(start + i as f64 / fps)).collect()
+}
+
+fn question() -> Question {
+    Question::from_fact(&basketball_game(1).facts[1], QuestionFormat::FreeResponse)
+}
+
+/// The step-down scenario's network, on a smaller turn shape.
+fn template(seed: u64) -> NetSessionOptions {
+    let scenario = by_name("step-down").expect("registered scenario");
+    let mut options = scenario.options(true);
+    options.seed = seed;
+    options.capture_fps = 8.0;
+    options
+}
+
+/// Two turns per session (the second exercises the warm scratches and the persistent GCC
+/// estimate) for every pool size, collected for comparison.
+fn collect(pool_size: usize, sessions: usize, seed: u64) -> Vec<NetTurnReport> {
+    let frames = window();
+    let q = question();
+    let mut server = NetworkedChatServer::new(pool_size, sessions, template(seed));
+    server.run_turns(&frames, &q);
+    server.run_turns(&frames, &q);
+    server.reports().cloned().collect()
+}
+
+#[test]
+fn networked_server_results_are_independent_of_pool_size() {
+    let sequential = collect(1, 5, 900);
+    assert_eq!(collect(2, 5, 900), sequential, "pool size 2 diverged");
+    assert_eq!(collect(8, 5, 900), sequential, "pool size 8 diverged");
+    // The CI-pinned configuration (AIVC_POOL_SIZE ∈ {1, 4}) must agree too.
+    assert_eq!(
+        collect(MiniPool::env_lanes(), 5, 900),
+        sequential,
+        "env pool diverged"
+    );
+}
+
+#[test]
+fn networked_server_is_deterministic_across_runs() {
+    assert_eq!(collect(2, 4, 77), collect(2, 4, 77));
+}
+
+#[test]
+fn networked_server_matches_standalone_sessions_after_multiple_turns() {
+    let frames = window();
+    let q = question();
+    let mut server = NetworkedChatServer::new(3, 4, template(55));
+    server.run_turns(&frames, &q);
+    server.run_turns(&frames, &q);
+    for i in 0..4 {
+        let mut options = template(55);
+        options.seed += i as u64;
+        let mut standalone = NetworkedChatSession::with_defaults(options);
+        standalone.run_turn(&frames, &q);
+        let expected = standalone.run_turn(&frames, &q);
+        assert_eq!(server.report(i), &expected, "session {i}");
+    }
+}
+
+#[test]
+fn sessions_see_independent_network_randomness() {
+    let reports = collect(2, 5, 1234);
+    // Same path and question, different seeds: the loss processes differ, so at least two
+    // sessions must observe different packet-loss counts (the step-down link loses packets
+    // at 1% i.i.d. plus queue drops).
+    let losses: Vec<u64> = reports.iter().map(|r| r.packets_lost).collect();
+    assert!(
+        losses.iter().any(|&l| l != losses[0]),
+        "all sessions saw identical loss patterns: {losses:?}"
+    );
+}
