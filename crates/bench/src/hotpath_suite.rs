@@ -4,17 +4,21 @@
 
 use crate::{measure_hotpath, HotpathMeasurement};
 use aivc_mllm::{MllmChat, MllmScratch, Question, QuestionFormat};
+use aivc_netsim::PathConfig;
 use aivc_par::MiniPool;
 use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
 use aivc_rtc::rtp::RtpPacket;
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{Concept, Frame, GridDims, Rect, Scene, SceneObject, SourceConfig, VideoSource};
 use aivc_semantics::{ClipModel, ClipParScratch, ClipScratch, TextQuery};
+use aivc_sim::SimDuration;
 use aivc_videocodec::{
     DecodeScratch, DecodedFrame, Decoder, EncodeParScratch, EncodeScratch, EncodedFrame, Encoder,
     EncoderConfig, Qp, QpMap,
 };
-use aivchat_core::{ChatServer, ChatSession, QpAllocator, QpAllocatorConfig};
+use aivchat_core::{
+    ChatServer, ChatSession, Conversation, NetSessionOptions, QpAllocator, QpAllocatorConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 
@@ -328,6 +332,33 @@ pub fn measure_all_hotpaths(
             || {
                 server.run_turns(black_box(&frames), &question);
                 server.report(0).packets
+            },
+        ));
+    }
+
+    // 9. A steady-state turn inside a continuous conversation: the persistent-timeline
+    // engine with the event queue, emulator, congestion controller, pacer and every
+    // compute scratch already warm. One iteration = one more turn of the same long-lived
+    // conversation (4-frame 1080p window through the emulated 10 Mbps uplink, 200 ms
+    // think gap), so the median is the marginal cost of a warm conversational turn —
+    // kernel scheduling included, cold-start excluded.
+    {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
+        let frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
+        let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
+        let mut options = NetSessionOptions::ai_oriented(1, PathConfig::paper_section_2_2(0.01));
+        options.capture_fps = 12.0;
+        let mut conversation = Conversation::with_defaults(options, SimDuration::from_millis(200));
+        for _ in 0..3 {
+            conversation.run_turn(&frames, &question);
+        }
+        hotpaths.push(measure_hotpath(
+            "conversation_turn_warm",
+            samples,
+            target_sample_ms,
+            || {
+                let report = conversation.run_turn(black_box(&frames), &question);
+                report.frames_decoded
             },
         ));
     }

@@ -22,6 +22,7 @@ use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
 use aivc_scene::templates::{basketball_game, dog_park};
 use aivc_scene::{Frame, SourceConfig, VideoSource};
 use aivc_semantics::{ClipModel, ClipParScratch, ClipScratch, TextQuery};
+use aivc_sim::{EventQueue, SimTime};
 use aivc_videocodec::{
     DecodeScratch, DecodedFrame, Decoder, EncodeParScratch, EncodeScratch, EncodedFrame, Encoder,
     EncoderConfig, QpMap,
@@ -59,6 +60,47 @@ fn allocations() -> u64 {
 }
 
 fn main() {
+    // --- the simulation kernel: once the heap/slab have reached their high-water mark of
+    // concurrently pending events, schedule/cancel/pop cycles allocate nothing — the
+    // steady-state contract long-lived conversations rely on.
+    let mut queue: EventQueue<u64> = EventQueue::new();
+    for round in 0..3u64 {
+        let ids: Vec<_> = (0..64)
+            .map(|i| queue.schedule(SimTime::from_micros(round * 100 + i), i))
+            .collect();
+        for id in ids.iter().step_by(3) {
+            queue.cancel(*id);
+        }
+        while queue.pop().is_some() {}
+    }
+    let before = allocations();
+    let mut canceled_total = 0u64;
+    for round in 0..1_000u64 {
+        let mut cancel_me = None;
+        for i in 0..64u64 {
+            let id = queue.schedule(SimTime::from_micros(round * 100 + i), i);
+            if i % 3 == 0 {
+                // Cancel it one iteration later, so the tombstone-skip path runs too.
+                cancel_me = Some(id);
+            } else if let Some(victim) = cancel_me.take() {
+                assert!(queue.cancel(victim));
+                canceled_total += 1;
+            }
+        }
+        while let Some((t, e)) = queue.pop() {
+            black_box((t, e));
+        }
+    }
+    assert!(
+        canceled_total >= 20_000,
+        "the measured loop must actually exercise cancel (got {canceled_total})"
+    );
+    let kernel_allocs = allocations() - before;
+    assert_eq!(
+        kernel_allocs, 0,
+        "sim kernel allocated {kernel_allocs} times across 1000 post-warmup schedule/cancel/pop rounds"
+    );
+
     // --- packetize_into: warm the buffer up to the largest frame, then count.
     let mut packetizer = Packetizer::default();
     let mut packets = Vec::new();

@@ -1,0 +1,371 @@
+//! Continuous multi-turn conversations: [`Conversation`].
+//!
+//! The paper's §2.2 loop is conversational — an MLLM chat is a *sequence* of turns over
+//! one long-lived connection. [`crate::NetworkedChatSession`] restarts its transport clock
+//! at `t = 0` every turn, which throws away exactly the state a real conversation carries:
+//! GCC warm-up, pacer backlog, in-flight packets, NACK history and the bandwidth trace's
+//! position. A [`Conversation`] keeps **one timeline**: the `aivc-sim` kernel's clock and
+//! event queue, the emulated link (and therefore the trace cursor and bottleneck queue),
+//! the congestion controller, pacer, packetizer sequence space, RTX store and FEC/NACK
+//! machinery all persist across turns. Turn `k + 1` starts at the simulated time turn `k`'s
+//! answer deadline passed, plus the user's think time, during which in-flight packets keep
+//! arriving and pending retransmissions keep flowing.
+//!
+//! What this buys, measurably (the [`ConversationReport`] cross-turn aggregates):
+//!
+//! * **warm vs cold GCC convergence** — turn 0 starts from the configured initial estimate
+//!   and swings its ABR target while the controller converges; later turns start from the
+//!   previous turn's final estimate and hold ([`ConversationReport::cold_target_swing_bps`]
+//!   vs [`ConversationReport::warm_target_swing_bps`]);
+//! * **carry-over queue delay** — a turn that overshot the link leaves a standing queue
+//!   the next turn inherits ([`ConversationReport::carryover_queue_delay_ms`]);
+//! * **per-conversation percentiles** — p50/p95 frame latency over *every* turn's frames,
+//!   the number a service-level objective would actually track.
+//!
+//! Memory stays bounded by the live turn: once a turn is reported, its reassembly, FEC and
+//! sequence-mapping state is retired (`net_turn::finish_turn`), so a conversation can run
+//! indefinitely — the steady-state benchmark (`conversation_turn_warm`) runs thousands of
+//! turns on one instance.
+
+use crate::context_aware::StreamerConfig;
+use crate::net_session::{NetSessionOptions, NetTurnReport};
+use crate::net_turn::{drain_gap, finish_turn, run_turn_window, NetCompute, NetEvent, Transport};
+use aivc_mllm::Question;
+use aivc_netsim::LatencyStats;
+use aivc_rtc::cc::GccController;
+use aivc_scene::Frame;
+use aivc_semantics::ClipModel;
+use aivc_sim::{SimDuration, SimTime, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// The report of a whole conversation: every turn's [`NetTurnReport`] plus the cross-turn
+/// aggregates only a shared timeline can produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversationReport {
+    /// Per-turn reports, in turn order.
+    pub turns: Vec<NetTurnReport>,
+    /// The GCC bandwidth estimate when each turn began. Index 0 is the cold start (the
+    /// configured initial estimate); entry `k + 1` equals `turns[k].final_estimate_bps` —
+    /// transport state persists across turns (asserted by tests).
+    pub estimate_at_turn_start_bps: Vec<f64>,
+    /// Uplink queueing backlog (ms) each turn inherited from its predecessor's traffic.
+    pub carryover_queue_delay_ms: Vec<f64>,
+    /// Within-turn spread (max − min) of the per-frame ABR target, per turn: a cold
+    /// controller swings while it converges, a warm one holds near its operating point.
+    pub turn_target_swing_bps: Vec<f64>,
+    /// Median frame transmission latency across every turn's delivered frames.
+    pub p50_frame_latency_ms: f64,
+    /// 95th-percentile frame transmission latency across every turn's delivered frames —
+    /// the per-conversation tail a service-level objective tracks.
+    pub p95_frame_latency_ms: f64,
+    /// Mean of the per-turn goodputs.
+    pub mean_goodput_bps: f64,
+    /// NACK requests dropped by deadline-aware suppression over the conversation.
+    pub nacks_suppressed: u64,
+}
+
+impl ConversationReport {
+    /// The cold turn's ABR-target swing (turn 0: the controller converging from its
+    /// configured initial estimate).
+    pub fn cold_target_swing_bps(&self) -> f64 {
+        self.turn_target_swing_bps.first().copied().unwrap_or(0.0)
+    }
+
+    /// Mean ABR-target swing of the warm turns (every turn after the first, which start
+    /// from the previous turn's final estimate).
+    pub fn warm_target_swing_bps(&self) -> f64 {
+        if self.turn_target_swing_bps.len() < 2 {
+            return 0.0;
+        }
+        let warm = &self.turn_target_swing_bps[1..];
+        warm.iter().sum::<f64>() / warm.len() as f64
+    }
+
+    /// Fraction of turns answered correctly.
+    pub fn correct_fraction(&self) -> f64 {
+        if self.turns.is_empty() {
+            return 0.0;
+        }
+        self.turns.iter().filter(|t| t.answer.correct).count() as f64 / self.turns.len() as f64
+    }
+}
+
+/// One continuous multi-turn conversation over a persistent transport timeline. See the
+/// module docs; construct with [`Conversation::with_defaults`], run turns with
+/// [`Conversation::run_turn`] (the configured think gap is inserted automatically between
+/// turns), and read the cross-turn aggregates with [`Conversation::report`].
+#[derive(Debug)]
+pub struct Conversation {
+    compute: NetCompute,
+    gcc: GccController,
+    transport: Transport,
+    sim: Simulation<NetEvent>,
+    think_gap: SimDuration,
+    turns: Vec<NetTurnReport>,
+    estimate_at_turn_start_bps: Vec<f64>,
+    carryover_queue_delay_ms: Vec<f64>,
+    turn_target_swing_bps: Vec<f64>,
+    frame_latencies: Vec<SimDuration>,
+}
+
+impl Conversation {
+    /// Creates a conversation with explicit compute configuration. `think_gap` is the
+    /// user's think time inserted before every turn after the first (in-flight packets
+    /// keep arriving and pending retransmissions keep flowing during it).
+    pub fn new(
+        options: NetSessionOptions,
+        config: StreamerConfig,
+        clip_model: ClipModel,
+        think_gap: SimDuration,
+    ) -> Self {
+        let gcc = GccController::new(options.gcc);
+        let transport = Transport::new(&options, gcc.estimate_bps());
+        Self {
+            compute: NetCompute::new(options, config, clip_model),
+            gcc,
+            transport,
+            sim: Simulation::new(),
+            think_gap,
+            turns: Vec::new(),
+            estimate_at_turn_start_bps: Vec::new(),
+            carryover_queue_delay_ms: Vec::new(),
+            turn_target_swing_bps: Vec::new(),
+            frame_latencies: Vec::new(),
+        }
+    }
+
+    /// A conversation with the paper's compute defaults (γ = 3 allocator, medium-preset
+    /// encoder, Mobile-CLIP-class model).
+    pub fn with_defaults(options: NetSessionOptions, think_gap: SimDuration) -> Self {
+        Self::new(
+            options,
+            StreamerConfig::default(),
+            ClipModel::mobile_default(),
+            think_gap,
+        )
+    }
+
+    /// The session options.
+    pub fn options(&self) -> &NetSessionOptions {
+        &self.compute.options
+    }
+
+    /// The current simulated time — the conversation's single monotonic clock.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The congestion controller's current bandwidth estimate in bits per second.
+    pub fn bandwidth_estimate_bps(&self) -> f64 {
+        self.gcc.estimate_bps()
+    }
+
+    /// Number of turns run so far.
+    pub fn turn_count(&self) -> usize {
+        self.turns.len()
+    }
+
+    /// The per-turn reports so far.
+    pub fn turns(&self) -> &[NetTurnReport] {
+        &self.turns
+    }
+
+    /// Advances the timeline by `gap` without capturing frames: in-flight packets arrive,
+    /// NACK polls fire, retransmissions flow. [`Conversation::run_turn`] already inserts
+    /// the configured think gap between turns; use this for extra idle time.
+    pub fn think(&mut self, gap: SimDuration) {
+        drain_gap(
+            &mut self.compute,
+            &mut self.gcc,
+            &mut self.transport,
+            &mut self.sim,
+            gap,
+        );
+    }
+
+    /// Runs the next turn of the conversation, starting at the current simulated time
+    /// (plus the configured think gap, for every turn after the first). The transport —
+    /// link, trace cursor, queue backlog, GCC, pacer, sequence space, recovery machinery —
+    /// is exactly as the previous turn left it.
+    pub fn run_turn(&mut self, frames: &[Frame], question: &Question) -> NetTurnReport {
+        if !self.turns.is_empty() && self.think_gap > SimDuration::ZERO {
+            self.think(self.think_gap);
+        }
+        self.estimate_at_turn_start_bps.push(self.gcc.estimate_bps());
+        self.carryover_queue_delay_ms
+            .push(self.transport.uplink_backlog_ms(self.sim.now()));
+        let report = run_turn_window(
+            &mut self.compute,
+            &mut self.gcc,
+            &mut self.transport,
+            &mut self.sim,
+            frames,
+            question,
+        );
+        self.turn_target_swing_bps
+            .push(self.transport.turn_target_swing_bps());
+        self.frame_latencies
+            .extend_from_slice(&self.transport.turn_frame_latencies);
+        finish_turn(&mut self.transport);
+        self.turns.push(report.clone());
+        report
+    }
+
+    /// Assembles the conversation-level report (per-turn reports + cross-turn aggregates).
+    pub fn report(&self) -> ConversationReport {
+        let mut latency = LatencyStats::new();
+        for d in &self.frame_latencies {
+            latency.record(*d);
+        }
+        let mean_goodput_bps = if self.turns.is_empty() {
+            0.0
+        } else {
+            self.turns.iter().map(|t| t.goodput_bps).sum::<f64>() / self.turns.len() as f64
+        };
+        ConversationReport {
+            turns: self.turns.clone(),
+            estimate_at_turn_start_bps: self.estimate_at_turn_start_bps.clone(),
+            carryover_queue_delay_ms: self.carryover_queue_delay_ms.clone(),
+            turn_target_swing_bps: self.turn_target_swing_bps.clone(),
+            p50_frame_latency_ms: latency.percentile_ms(0.5),
+            p95_frame_latency_ms: latency.p95_ms(),
+            mean_goodput_bps,
+            nacks_suppressed: self.transport.nacks_suppressed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivc_mllm::QuestionFormat;
+    use aivc_netsim::PathConfig;
+    use aivc_scene::templates::basketball_game;
+    use aivc_scene::{SourceConfig, VideoSource};
+
+    fn window(offset: usize) -> Vec<Frame> {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(6.0));
+        (0..4)
+            .map(|i| source.frame(((offset + i) * 15 % 170) as u64))
+            .collect()
+    }
+
+    fn question() -> Question {
+        Question::from_fact(&basketball_game(1).facts[1], QuestionFormat::FreeResponse)
+    }
+
+    fn options(seed: u64) -> NetSessionOptions {
+        let mut o = NetSessionOptions::ai_oriented(seed, PathConfig::paper_section_2_2(0.01));
+        o.capture_fps = 8.0;
+        o
+    }
+
+    #[test]
+    fn timeline_is_continuous_across_turns() {
+        let mut conv = Conversation::with_defaults(options(3), SimDuration::from_millis(500));
+        let q = question();
+        assert_eq!(conv.now(), SimTime::ZERO);
+        conv.run_turn(&window(0), &q);
+        let after_first = conv.now();
+        // 4 frames at 8 fps + 300 ms drain: the deadline of turn 0.
+        assert_eq!(after_first.as_micros(), (3.0 / 8.0 * 1e6) as u64 + 300_000);
+        conv.run_turn(&window(4), &q);
+        // Turn 1 started at turn 0's deadline + 500 ms think time.
+        assert_eq!(
+            conv.now().as_micros(),
+            after_first.as_micros() + 500_000 + (3.0 / 8.0 * 1e6) as u64 + 300_000
+        );
+        assert_eq!(conv.turn_count(), 2);
+    }
+
+    #[test]
+    fn transport_state_persists_estimate_at_turn_start_equals_previous_final() {
+        let mut conv = Conversation::with_defaults(options(7), SimDuration::from_millis(800));
+        let q = question();
+        for t in 0..4 {
+            conv.run_turn(&window(t * 4), &q);
+        }
+        let report = conv.report();
+        assert_eq!(report.turns.len(), 4);
+        // The acceptance contract: the GCC estimate at the start of turn k+1 equals its
+        // value at the end of turn k — nothing was reset in between.
+        for k in 0..3 {
+            assert_eq!(
+                report.estimate_at_turn_start_bps[k + 1],
+                report.turns[k].final_estimate_bps,
+                "turn {k}"
+            );
+        }
+        // And the cold start really was the configured initial estimate.
+        assert_eq!(
+            report.estimate_at_turn_start_bps[0],
+            options(7).gcc.initial_estimate_bps
+        );
+    }
+
+    #[test]
+    fn conversations_are_deterministic() {
+        let run = || {
+            let mut conv = Conversation::with_defaults(options(11), SimDuration::from_millis(400));
+            let q = question();
+            for t in 0..3 {
+                conv.run_turn(&window(t * 4), &q);
+            }
+            conv.report()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn warm_turns_swing_less_than_the_cold_turn() {
+        // Traditional ABR rides the estimate, so convergence is visible in the target: a
+        // cold controller that believes 5 Mbps crashes down onto the 1.2 Mbps link within
+        // turn 0 (huge swing); warm turns start from the converged estimate and hold.
+        use aivc_netsim::{LinkConfig, LossModel};
+        let path = PathConfig {
+            uplink: LinkConfig::constant(1.2e6, SimDuration::from_millis(30), 300, LossModel::None),
+            downlink: LinkConfig::constant(100e6, SimDuration::from_millis(30), 300, LossModel::None),
+        };
+        let mut o = NetSessionOptions::traditional(19, path);
+        o.capture_fps = 12.0;
+        o.gcc.initial_estimate_bps = 5_000_000.0;
+        let mut conv = Conversation::with_defaults(o, SimDuration::from_millis(500));
+        let q = question();
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(6.0));
+        for t in 0..4 {
+            let frames: Vec<Frame> = (0..24).map(|i| source.frame((t * 24 + i) as u64)).collect();
+            conv.run_turn(&frames, &q);
+        }
+        let report = conv.report();
+        assert!(
+            report.cold_target_swing_bps() > 2.0 * report.warm_target_swing_bps(),
+            "cold swing {} should exceed warm swing {}",
+            report.cold_target_swing_bps(),
+            report.warm_target_swing_bps()
+        );
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_the_live_turn() {
+        let mut conv = Conversation::with_defaults(options(23), SimDuration::from_millis(100));
+        let q = question();
+        for t in 0..10 {
+            conv.run_turn(&window(t), &q);
+        }
+        // Retirement pruned every reported turn: only in-flight remnants may remain.
+        assert!(
+            conv.transport.tracked_state_is_bounded(),
+            "transport state grew unbounded"
+        );
+    }
+
+    #[test]
+    fn report_on_empty_conversation_is_well_behaved() {
+        let conv = Conversation::with_defaults(options(1), SimDuration::ZERO);
+        let report = conv.report();
+        assert!(report.turns.is_empty());
+        assert_eq!(report.correct_fraction(), 0.0);
+        assert_eq!(report.cold_target_swing_bps(), 0.0);
+        assert_eq!(report.warm_target_swing_bps(), 0.0);
+    }
+}

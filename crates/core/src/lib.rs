@@ -13,10 +13,15 @@
 //! * [`session`] — the full AI Video Chat turn: capture → encode → RTC over the emulated
 //!   uplink → decode → MLLM answer, with per-stage latency accounting;
 //! * [`net_session`] — the network-in-the-loop turn: per-frame GCC feedback → ABR target →
-//!   encode-at-bitrate → FEC/NACK recovery → decode, on a trace-driven emulated uplink;
+//!   encode-at-bitrate → FEC/NACK recovery → decode, on a trace-driven emulated uplink
+//!   (single-turn driver of the shared `net_turn` engine over the `aivc-sim` kernel);
+//! * [`conversation`] — continuous multi-turn conversations: one persistent transport
+//!   timeline (clock, link, trace cursor, GCC, pacer, in-flight packets) across every
+//!   turn, with think-time gaps and cross-turn aggregates ([`ConversationReport`]);
 //! * [`server`] — the multi-session throughput engines ([`ChatServer`] for pure compute,
-//!   [`NetworkedChatServer`] for network-in-the-loop turns): N independent sessions
-//!   executing turns across a scoped thread pool, bit-identically for any pool size;
+//!   [`NetworkedChatServer`] for network-in-the-loop turns, [`ConversationChatServer`]
+//!   for continuous conversations): N independent sessions executing turns across a
+//!   scoped thread pool, bit-identically for any pool size;
 //! * [`scenarios`] — the registry of named, seeded network scenarios and the engine that
 //!   reports traditional vs AI-oriented ABR on each (the golden-fixture substrate);
 //! * [`eval`] — the Figure 9 experiment: DeViBench accuracy of ours vs the baseline across
@@ -25,9 +30,11 @@
 pub mod allocator;
 pub mod baseline;
 pub mod context_aware;
+pub mod conversation;
 pub mod eval;
 pub mod latency;
 pub mod net_session;
+mod net_turn;
 pub mod scenarios;
 pub mod server;
 pub mod session;
@@ -35,9 +42,10 @@ pub mod session;
 pub use allocator::{QpAllocator, QpAllocatorConfig};
 pub use baseline::ContextAgnosticBaseline;
 pub use context_aware::{ContextAwareStreamer, StreamerConfig};
+pub use conversation::{Conversation, ConversationReport};
 pub use eval::{run_accuracy_vs_bitrate, AccuracyPoint, MethodKind};
 pub use latency::{LatencyBudget, RESPONSE_LATENCY_TARGET_MS};
 pub use net_session::{NetSessionOptions, NetTurnReport, NetworkedChatSession};
-pub use scenarios::{Scenario, ScenarioReport};
-pub use server::{ChatServer, NetworkedChatServer};
+pub use scenarios::{ConversationScenario, ConversationScenarioReport, Scenario, ScenarioReport};
+pub use server::{ChatServer, ConversationChatServer, NetworkedChatServer};
 pub use session::{AiVideoChatSession, ChatSession, ChatTurnReport, PipelineTurnReport, SessionOptions};

@@ -16,29 +16,28 @@
 //! functions of the network — which is exactly the regime in which the paper argues for
 //! `AiOriented` over `Traditional` ABR.
 //!
-//! The runner is a single deterministic discrete-event loop (same style as
-//! `aivc_rtc::VideoSession`): identical options and seeds reproduce bit-identical
-//! [`NetTurnReport`]s, which the scenario engine ([`crate::scenarios`]) relies on for its
-//! golden regression fixtures.
+//! Since the simulation-kernel refactor the event loop itself lives in the shared turn
+//! engine (`net_turn`, an [`aivc_sim::Actor`] over the `aivc-sim` kernel) and this type is
+//! the *single-turn* driver of it: every [`NetworkedChatSession::run_turn`] starts a fresh
+//! transport timeline at `t = 0` with an empty bottleneck queue — identical options and
+//! seeds reproduce bit-identical [`NetTurnReport`]s, which the scenario engine
+//! ([`crate::scenarios`]) relies on for its golden regression fixtures. The
+//! [`GccController`] still persists across turns (a conversation keeps its bandwidth
+//! knowledge). For the *continuous* timeline — one link, trace cursor, pacer backlog and
+//! in-flight packet set shared by every turn — see [`crate::Conversation`].
 
-use crate::allocator::QpAllocator;
 use crate::context_aware::StreamerConfig;
+use crate::net_turn::{run_turn_window, NetCompute, Transport};
 use crate::session::StreamingMode;
-use aivc_mllm::{Answer, MllmChat, MllmScratch, Question};
-use aivc_netsim::emulator::Direction;
-use aivc_netsim::{EventQueue, LatencyStats, NetworkEmulator, Packet, PathConfig, SimTime};
-use aivc_rtc::cc::{GccConfig, GccController, PacketFeedback};
-use aivc_rtc::fec::{FecConfig, FecEncoder, FecRecovery};
-use aivc_rtc::nack::{NackConfig, NackGenerator, RtxQueue};
-use aivc_rtc::pacer::{Pacer, PacerConfig};
-use aivc_rtc::packetizer::{FrameAssembler, OutgoingFrame, Packetizer};
-use aivc_rtc::rtp::{PayloadKind, RtpPacket};
+use aivc_mllm::{Answer, Question};
+use aivc_netsim::PathConfig;
+use aivc_rtc::cc::{GccConfig, GccController};
+use aivc_rtc::fec::FecConfig;
+use aivc_rtc::nack::NackConfig;
 use aivc_rtc::AbrPolicy;
 use aivc_scene::Frame;
-use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
-use aivc_videocodec::{
-    DecodeScratch, DecodedFrame, Decoder, EncodeScratch, EncodedFrame, Encoder, Qp, QpMap,
-};
+use aivc_semantics::ClipModel;
+use aivc_sim::Simulation;
 use serde::{Deserialize, Serialize};
 
 /// Options of one networked chat session.
@@ -62,6 +61,12 @@ pub struct NetSessionOptions {
     pub nack: NackConfig,
     /// Whether lost packets are retransmitted.
     pub enable_retransmission: bool,
+    /// Deadline-aware NACK suppression: when true, the receiver drops (never sends) a
+    /// retransmission request whose expected arrival — RTT estimate plus a pacing guard —
+    /// lands past the turn's conversational deadline; such an RTX is wasted uplink that
+    /// competes with the next frame's media. Off by default (the pre-kernel behaviour the
+    /// single-turn golden fixtures pin); conversation scenarios enable it.
+    pub deadline_aware_nack: bool,
     /// Capture rate of the turn window in frames per second.
     pub capture_fps: f64,
     /// How long after the last capture the receiver keeps collecting in-flight packets
@@ -84,6 +89,7 @@ impl NetSessionOptions {
             fec: FecConfig::with_group_size(4),
             nack: NackConfig::default(),
             enable_retransmission: true,
+            deadline_aware_nack: false,
             capture_fps: 12.0,
             // The conversational response budget (§1's 300 ms): frames still in flight
             // this long after the question was asked miss the answer.
@@ -158,28 +164,6 @@ impl NetTurnReport {
     }
 }
 
-/// Events of the networked turn's discrete-event loop.
-enum NetEvent {
-    /// Frame `i` of the turn window is captured: drain mature feedback into GCC, pick the
-    /// ABR target, encode at that target, packetize + protect + pace onto the uplink.
-    Capture(usize),
-    /// A packet leaves the pacer and enters the uplink.
-    SendUplink(RtpPacket),
-    /// A packet arrives at the receiver.
-    UplinkArrival(RtpPacket),
-    /// The receiver checks for due NACKs.
-    ReceiverPoll,
-    /// A feedback packet (NACKed sequences) arrives back at the sender.
-    FeedbackArrival(Vec<u64>),
-}
-
-/// Per-frame transport bookkeeping.
-#[derive(Debug, Clone, Copy, Default)]
-struct NetFrameProgress {
-    send_start: Option<SimTime>,
-    fec_recovered: bool,
-}
-
 /// One long-lived AI Video Chat session whose turns run through the emulated network.
 ///
 /// The compute stages (CLIP → Eq. 2 → ROI encode → decode → MLLM) are the same ones
@@ -187,31 +171,12 @@ struct NetFrameProgress {
 /// each frame's **bitrate target comes from the congestion controller** and each frame's
 /// **decodable bytes come from the emulated link**. The [`GccController`] persists across
 /// turns (a conversation keeps its bandwidth knowledge); transport time restarts at zero
-/// each turn with an empty bottleneck queue.
+/// each turn with an empty bottleneck queue — use [`crate::Conversation`] when the
+/// transport itself should persist.
 #[derive(Debug, Clone)]
 pub struct NetworkedChatSession {
-    options: NetSessionOptions,
-    clip_model: ClipModel,
-    allocator: QpAllocator,
-    encoder: Encoder,
-    decoder: Decoder,
-    responder: MllmChat,
+    compute: NetCompute,
     gcc: GccController,
-    // --- reusable per-frame state ---
-    clip: ClipScratch,
-    qp_map: QpMap,
-    /// Scratch map the rate-control search refills per probed level.
-    probe_map: QpMap,
-    encode_scratches: Vec<EncodeScratch>,
-    /// Scratch output for the QP-offset search.
-    probe_encoded: EncodedFrame,
-    /// The committed encode of each turn slot (needed again at decode time).
-    encoded_slots: Vec<EncodedFrame>,
-    decode_scratch: DecodeScratch,
-    decoded: Vec<DecodedFrame>,
-    mllm: MllmScratch,
-    cached_question: Option<Question>,
-    query: TextQuery,
 }
 
 impl NetworkedChatSession {
@@ -219,23 +184,7 @@ impl NetworkedChatSession {
     pub fn new(options: NetSessionOptions, config: StreamerConfig, clip_model: ClipModel) -> Self {
         Self {
             gcc: GccController::new(options.gcc),
-            allocator: QpAllocator::new(config.allocator),
-            encoder: Encoder::new(config.encoder),
-            decoder: Decoder::new(),
-            responder: MllmChat::responder(options.seed ^ 0x5EED),
-            clip_model,
-            options,
-            clip: ClipScratch::new(),
-            qp_map: QpMap::empty(),
-            probe_map: QpMap::empty(),
-            encode_scratches: Vec::new(),
-            probe_encoded: EncodedFrame::placeholder(),
-            encoded_slots: Vec::new(),
-            decode_scratch: DecodeScratch::new(),
-            decoded: Vec::new(),
-            mllm: MllmScratch::new(),
-            cached_question: None,
-            query: TextQuery::from_concepts("", std::iter::empty::<String>()),
+            compute: NetCompute::new(options, config, clip_model),
         }
     }
 
@@ -247,7 +196,7 @@ impl NetworkedChatSession {
 
     /// The session options.
     pub fn options(&self) -> &NetSessionOptions {
-        &self.options
+        &self.compute.options
     }
 
     /// The congestion controller's current bandwidth estimate in bits per second.
@@ -264,400 +213,21 @@ impl NetworkedChatSession {
     /// pushed through the emulated uplink, with NACK/RTX and FEC recovery racing the
     /// conversational deadline. After `drain_secs` past the last capture, whatever arrived
     /// is decoded (missing blocks conceal) and the MLLM answers.
-    pub fn run_turn(&mut self, frames: &[Frame], question: &Question) -> NetTurnReport {
-        assert!(!frames.is_empty(), "a chat turn needs at least one frame");
-        let opts = self.options.clone();
-        self.refresh_query(question);
-
-        let fps = opts.capture_fps;
-        let frame_interval_us = (1e6 / fps).round() as u64;
-        let capture_ts = |i: usize| -> u64 { i as u64 * frame_interval_us };
-        let horizon_us = capture_ts(frames.len() - 1) + (opts.drain_secs.max(0.0) * 1e6).round() as u64;
-
-        // --- Transport state (fresh each turn; the GCC persists across turns).
-        let mut emulator = NetworkEmulator::new(opts.path.clone(), opts.seed);
-        let mut events: EventQueue<NetEvent> = EventQueue::new();
-        let mut packetizer = Packetizer::default();
-        let mut pacer = Pacer::new(PacerConfig::from_target_bitrate(self.gcc.estimate_bps(), 2.5));
-        let mut rtx = RtxQueue::new();
-        let fec_encoder = FecEncoder::new(opts.fec);
-        let mut fec_recovery = FecRecovery::new();
-        let mut assembler = FrameAssembler::new();
-        let mut nack_gen = NackGenerator::new(opts.nack);
-        let mut progress: Vec<NetFrameProgress> = vec![NetFrameProgress::default(); frames.len()];
-        let mut outgoing: Vec<OutgoingFrame> = Vec::with_capacity(frames.len());
-        // First media sequence of each frame, so a FEC-recovered packet index maps back to
-        // its original sequence number (media sequences are contiguous per frame).
-        let mut media_first_seq: Vec<u64> = Vec::with_capacity(frames.len());
-        // Sequence → (frame index, media packet index) for FEC-group reconstruction.
-        let mut seq_to_media: std::collections::BTreeMap<u64, (usize, usize)> =
-            std::collections::BTreeMap::new();
-        let mut media: Vec<RtpPacket> = Vec::new();
-        let mut poll_outstanding = false;
-        let mut next_net_packet_id: u64 = 0;
-
-        // Feedback the receiver has produced but the sender has not yet seen:
-        // (time the sender learns the packet's fate, the per-packet feedback).
-        let mut cc_pending: Vec<(u64, PacketFeedback)> = Vec::new();
-        let mut cc_batch: Vec<PacketFeedback> = Vec::new();
-        let up_prop_us = opts.path.uplink.propagation_delay.as_micros();
-        let down_prop_us = opts.path.downlink.propagation_delay.as_micros();
-
-        let max_payload = Packetizer::default().max_payload() as u64;
-        let media_packet_range = |size_bytes: u64, index: usize| -> (u64, u64) {
-            let start = index as u64 * max_payload;
-            let end = ((index as u64 + 1) * max_payload).min(size_bytes);
-            (start, end)
-        };
-
-        let mut packets_lost: u64 = 0;
-        let mut retransmissions_sent: u64 = 0;
-        let mut target_sum = 0.0f64;
-
-        for i in 0..frames.len() {
-            events.push(SimTime::from_micros(capture_ts(i)), NetEvent::Capture(i));
-        }
-
-        while let Some((now, event)) = events.pop() {
-            if now.as_micros() > horizon_us {
-                break;
-            }
-            match event {
-                NetEvent::Capture(i) => {
-                    // --- Close the loop: everything the sender has learned by now.
-                    cc_batch.clear();
-                    cc_pending.retain(|(known_at, fb)| {
-                        if *known_at <= now.as_micros() {
-                            cc_batch.push(*fb);
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    if !cc_batch.is_empty() {
-                        self.gcc.on_feedback_report(&cc_batch);
-                    }
-                    let target_bps = opts.abr.target_bitrate(self.gcc.estimate_bps());
-                    target_sum += target_bps;
-                    pacer.set_rate(target_bps * 2.5, now);
-
-                    // --- Encode frame i to the per-frame budget the target implies.
-                    let budget_bits = target_bps / fps;
-                    self.encode_slot_to_budget(i, &frames[i], budget_bits);
-                    let encoded = &self.encoded_slots[i];
-                    let frame_out = OutgoingFrame {
-                        frame_id: i as u64,
-                        capture_ts_us: capture_ts(i),
-                        size_bytes: encoded.total_bytes(),
-                        is_keyframe: encoded.frame_type == aivc_videocodec::FrameType::Intra,
-                    };
-                    outgoing.push(frame_out);
-                    assembler.expect_frame(&frame_out);
-
-                    // --- Packetize, protect, pace.
-                    packetizer.packetize_into(&frame_out, &mut media);
-                    if opts.fec.is_enabled() {
-                        for (pi, p) in media.iter_mut().enumerate() {
-                            p.fec_group = fec_encoder.group_of(pi);
-                        }
-                    }
-                    let parity = fec_encoder.protect(&media, || packetizer.allocate_sequence());
-                    media_first_seq.push(media[0].header.sequence);
-                    for (pi, p) in media.iter().enumerate() {
-                        seq_to_media.insert(p.header.sequence, (i, pi));
-                        rtx.remember(p);
-                        let when = pacer.schedule_send(p.wire_size(), now);
-                        events.push(when, NetEvent::SendUplink(*p));
-                    }
-                    for p in &parity {
-                        let when = pacer.schedule_send(p.wire_size(), now);
-                        events.push(when, NetEvent::SendUplink(*p));
-                    }
-                }
-                NetEvent::SendUplink(packet) => {
-                    let frame_idx = packet.header.frame_id as usize;
-                    if let Some(entry) = progress.get_mut(frame_idx) {
-                        if entry.send_start.is_none() && packet.header.kind == PayloadKind::Media {
-                            entry.send_start = Some(now);
-                        }
-                    }
-                    if packet.header.kind == PayloadKind::Retransmission {
-                        retransmissions_sent += 1;
-                    }
-                    let net_packet = Packet::new(next_net_packet_id, packet.wire_size(), now)
-                        .with_flow(0)
-                        .with_tag(packet.header.sequence);
-                    next_net_packet_id += 1;
-                    let outcome = emulator.send(Direction::Uplink, &net_packet, now);
-                    match outcome.arrival() {
-                        Some(arrival) => {
-                            events.push(arrival, NetEvent::UplinkArrival(packet));
-                            // The receiver's next report reaches the sender one downlink
-                            // propagation after arrival.
-                            cc_pending.push((
-                                arrival.as_micros() + down_prop_us,
-                                PacketFeedback {
-                                    sent_at: now,
-                                    arrived_at: Some(arrival),
-                                    size_bytes: packet.wire_size(),
-                                },
-                            ));
-                        }
-                        None => {
-                            packets_lost += 1;
-                            // The sender infers the loss from the gap in the next report:
-                            // roughly one RTT plus a reporting guard after the send.
-                            cc_pending.push((
-                                now.as_micros() + up_prop_us + down_prop_us + 20_000,
-                                PacketFeedback {
-                                    sent_at: now,
-                                    arrived_at: None,
-                                    size_bytes: packet.wire_size(),
-                                },
-                            ));
-                        }
-                    }
-                }
-                NetEvent::UplinkArrival(packet) => {
-                    nack_gen.on_packet(packet.header.sequence, now);
-                    // A group becomes XOR-recoverable when its *last-but-one* packet shows
-                    // up — which can be the parity packet or a late media/RTX arrival — so
-                    // every arrival nominates its group for a recovery check below.
-                    let mut fec_candidate: Option<(usize, u32)> = None;
-                    match packet.header.kind {
-                        PayloadKind::Media | PayloadKind::Retransmission => {
-                            assembler.on_packet(&packet, now);
-                            if opts.fec.is_enabled() {
-                                if let Some((fi, media_idx)) =
-                                    seq_to_media.get(&packet.header.sequence).copied()
-                                {
-                                    if let Some(group) = fec_encoder.group_of(media_idx) {
-                                        fec_recovery.on_media(fi as u64, group, media_idx);
-                                        fec_candidate = Some((fi, group));
-                                    }
-                                }
-                            }
-                        }
-                        PayloadKind::Fec => {
-                            let frame_idx = packet.header.frame_id as usize;
-                            if let (Some(group), Some(frame)) = (packet.fec_group, outgoing.get(frame_idx)) {
-                                let count = (frame.size_bytes.div_ceil(max_payload).max(1)) as usize;
-                                for pi in 0..count {
-                                    if fec_encoder.group_of(pi) == Some(group) {
-                                        fec_recovery.expect_media(frame.frame_id, group, pi);
-                                    }
-                                }
-                                fec_recovery.on_parity(frame.frame_id, group);
-                                fec_candidate = Some((frame_idx, group));
-                            }
-                        }
-                        PayloadKind::Feedback => {}
-                    }
-                    if let Some((frame_idx, group)) = fec_candidate {
-                        if let Some(frame) = outgoing.get(frame_idx) {
-                            for recovered in fec_recovery.recoverable(frame.frame_id, group) {
-                                let (start, end) = media_packet_range(frame.size_bytes, recovered);
-                                let synthetic = RtpPacket {
-                                    header: packet.header,
-                                    payload_start: start,
-                                    payload_end: end,
-                                    fec_group: Some(group),
-                                };
-                                assembler.on_packet(&synthetic, now);
-                                // Mark the reconstructed packet received so the group is
-                                // not re-recovered, and cancel its pending NACK — the
-                                // receiver holds the bytes, retransmitting them would
-                                // waste constrained uplink capacity.
-                                fec_recovery.on_media(frame.frame_id, group, recovered);
-                                nack_gen.on_packet(media_first_seq[frame_idx] + recovered as u64, now);
-                                progress[frame_idx].fec_recovered = true;
-                            }
-                        }
-                    }
-                    if opts.enable_retransmission && nack_gen.pending_count() > 0 && !poll_outstanding {
-                        poll_outstanding = true;
-                        events.push(now + opts.nack.reorder_guard, NetEvent::ReceiverPoll);
-                    }
-                }
-                NetEvent::ReceiverPoll => {
-                    poll_outstanding = false;
-                    if !opts.enable_retransmission {
-                        continue;
-                    }
-                    let due = nack_gen.due_nacks(now);
-                    if !due.is_empty() {
-                        let fb_packet =
-                            Packet::new(next_net_packet_id, opts.feedback_packet_bytes, now).with_flow(1);
-                        next_net_packet_id += 1;
-                        if let Some(arrival) = emulator.send(Direction::Downlink, &fb_packet, now).arrival() {
-                            events.push(arrival, NetEvent::FeedbackArrival(due));
-                        }
-                    }
-                    if nack_gen.pending_count() > 0 && !poll_outstanding {
-                        poll_outstanding = true;
-                        events.push(now + opts.nack.retry_interval, NetEvent::ReceiverPoll);
-                    }
-                }
-                NetEvent::FeedbackArrival(sequences) => {
-                    // One retransmit call per NACKed sequence keeps the old→new sequence
-                    // pairing exact even when some sequences (e.g. lost parity packets) are
-                    // not in the retransmission store.
-                    for &old_seq in &sequences {
-                        for p in rtx.retransmit(&[old_seq], || packetizer.allocate_sequence()) {
-                            if let Some(mapping) = seq_to_media.get(&old_seq).copied() {
-                                seq_to_media.insert(p.header.sequence, mapping);
-                            }
-                            let when = pacer.schedule_send(p.wire_size(), now);
-                            events.push(when, NetEvent::SendUplink(p));
-                        }
-                    }
-                }
-            }
-        }
-
-        // --- Deadline reached: decode whatever (partially) arrived, in capture order.
-        let mut decoded_count = 0usize;
-        let mut frames_delivered = 0usize;
-        let mut received_bits: u64 = 0;
-        let mut latency = LatencyStats::new();
-        for (i, frame_out) in outgoing.iter().enumerate() {
-            let Some(status) = assembler.status(frame_out.frame_id) else {
-                continue;
-            };
-            if status.complete {
-                frames_delivered += 1;
-                if let (Some(done), Some(start)) = (status.completed_at, progress[i].send_start) {
-                    latency.record(done.saturating_since(start));
-                }
-            }
-            received_bits += status.received_bytes * 8;
-            if status.received_ranges.is_empty() {
-                continue;
-            }
-            if self.decoded.len() <= decoded_count {
-                self.decoded.push(DecodedFrame::placeholder());
-            }
-            self.decoder.decode_into(
-                &self.encoded_slots[i],
-                &status.received_ranges,
-                status.completed_at.map(|t| t.as_micros()),
-                &mut self.decode_scratch,
-                &mut self.decoded[decoded_count],
-            );
-            decoded_count += 1;
-        }
-
-        // --- The MLLM answers over everything that decoded before the deadline.
-        let answer = self.responder.respond_with(
-            question,
-            &self.decoded[..decoded_count],
-            opts.seed,
-            &mut self.mllm,
-        );
-
-        let window_secs = (frames.len() as f64 / fps).max(1e-9);
-        let encoded_bits: u64 = outgoing.iter().map(|f| f.size_bytes * 8).sum();
-        NetTurnReport {
-            answer,
-            frames_sent: outgoing.len(),
-            frames_delivered,
-            frames_decoded: decoded_count,
-            mean_target_bitrate_bps: target_sum / frames.len() as f64,
-            achieved_bitrate_bps: encoded_bits as f64 / window_secs,
-            goodput_bps: received_bits as f64 / window_secs,
-            p50_frame_latency_ms: latency.percentile_ms(0.5),
-            p95_frame_latency_ms: latency.p95_ms(),
-            packets_lost,
-            fec_recovered_frames: progress.iter().filter(|p| p.fec_recovered).count() as u64,
-            retransmissions_sent,
-            final_estimate_bps: self.gcc.estimate_bps(),
-        }
-    }
-
-    /// Re-derives the text query only when the question changes (same memoization as
-    /// [`crate::ChatSession`]).
-    fn refresh_query(&mut self, question: &Question) {
-        if self.cached_question.as_ref() != Some(question) {
-            self.query = TextQuery::from_words_and_concepts(
-                &question.text,
-                self.clip_model.ontology(),
-                question.query_concepts.iter().cloned(),
-            );
-            self.cached_question = Some(question.clone());
-        }
-    }
-
-    /// Encodes `frame` into turn slot `i` at the closest achievable size to `budget_bits`.
     ///
-    /// Context-aware mode binary-searches a uniform QP offset on top of the frame's Eq. 2
-    /// map (coded bits are monotone decreasing in the offset — the same §3.2
-    /// bitrate-matching procedure `ContextAwareStreamer::encode_at_bitrate` uses, but per
-    /// frame and per target); baseline mode binary-searches the single uniform QP a
-    /// traditional WebRTC encoder's rate control would pick.
-    fn encode_slot_to_budget(&mut self, i: usize, frame: &Frame, budget_bits: f64) {
-        if self.encode_scratches.len() <= i {
-            self.encode_scratches.resize_with(i + 1, EncodeScratch::new);
-        }
-        if self.encoded_slots.len() <= i {
-            self.encoded_slots.resize_with(i + 1, EncodedFrame::placeholder);
-        }
-        let grid = self.encoder.grid_for(frame);
-        let (mut lo, mut hi) = match self.options.mode {
-            StreamingMode::ContextAware => {
-                let importance = self
-                    .clip_model
-                    .correlation_map_coherent(frame, &self.query, &mut self.clip);
-                self.allocator.allocate_into(importance, grid, &mut self.qp_map);
-                (-51i32, 51i32)
-            }
-            StreamingMode::Baseline => (0i32, 51i32),
-        };
-        // Probe maps are refilled in place (`probe_map`); after the first frame of a given
-        // grid the search allocates nothing beyond what the encoder itself needs.
-        let fill_probe_map =
-            |options: &NetSessionOptions, base: &QpMap, level: i32, out: &mut QpMap| match options.mode {
-                StreamingMode::ContextAware => base.offset_all_into(level, out),
-                StreamingMode::Baseline => out.fill_uniform(grid, Qp::new(level)),
-            };
-        let mut probe_map = std::mem::replace(&mut self.probe_map, QpMap::empty());
-        let mut best_level = lo;
-        let mut best_err = f64::INFINITY;
-        let mut last_probed = None;
-        while lo <= hi {
-            let mid = (lo + hi) / 2;
-            fill_probe_map(&self.options, &self.qp_map, mid, &mut probe_map);
-            self.encoder.encode_into(
-                frame,
-                &probe_map,
-                &mut self.encode_scratches[i],
-                &mut self.probe_encoded,
-            );
-            last_probed = Some(mid);
-            let bits = self.probe_encoded.total_bits() as f64;
-            let err = (bits - budget_bits).abs();
-            if err < best_err {
-                best_err = err;
-                best_level = mid;
-            }
-            if bits > budget_bits {
-                lo = mid + 1;
-            } else {
-                hi = mid - 1;
-            }
-        }
-        if last_probed == Some(best_level) {
-            // The search converged on the last level probed: reuse that encode.
-            self.encoded_slots[i].clone_from(&self.probe_encoded);
-        } else {
-            fill_probe_map(&self.options, &self.qp_map, best_level, &mut probe_map);
-            self.encoder.encode_into(
-                frame,
-                &probe_map,
-                &mut self.encode_scratches[i],
-                &mut self.encoded_slots[i],
-            );
-        }
-        self.probe_map = probe_map;
+    /// The transport timeline is fresh per call (clock at zero, empty queue, packets in
+    /// flight at the deadline discarded) — the single-turn semantics the golden fixtures
+    /// pin down.
+    pub fn run_turn(&mut self, frames: &[Frame], question: &Question) -> NetTurnReport {
+        let mut transport = Transport::new(&self.compute.options, self.gcc.estimate_bps());
+        let mut sim = Simulation::new();
+        run_turn_window(
+            &mut self.compute,
+            &mut self.gcc,
+            &mut transport,
+            &mut sim,
+            frames,
+            question,
+        )
     }
 }
 

@@ -1,0 +1,782 @@
+//! The shared network-turn engine: one [`Actor`] state machine over the `aivc-sim`
+//! kernel, driven by both [`crate::NetworkedChatSession`] (fresh transport every turn —
+//! the pre-kernel semantics, byte-for-byte) and [`crate::Conversation`] (one persistent
+//! transport timeline across every turn of a conversation).
+//!
+//! The split is deliberate:
+//!
+//! * [`NetCompute`] owns everything the *chat pipeline* needs — CLIP model and scratch,
+//!   Eq. 2 allocator, encoder/decoder and their per-slot scratches, the MLLM responder —
+//!   exactly the scratch-reuse structure of [`crate::ChatSession`];
+//! * [`Transport`] owns everything the *network* needs — the emulated path, packetizer,
+//!   pacer, RTX store, FEC encode/recovery, reassembly, NACK generation, and the pending
+//!   congestion feedback — plus the per-turn counters the report reads;
+//! * [`TurnMachine`] borrows both for the duration of a drain and implements
+//!   [`Actor::on_event`]: the capture → encode → packetize → protect → pace → send →
+//!   arrive → recover loop of §2.2.
+//!
+//! The engine never owns the [`Simulation`]: the caller does, which is what decides the
+//! semantics. A fresh simulation per turn restarts the clock at zero and discards
+//! in-flight events at the deadline (the single-turn contract the golden fixtures pin);
+//! a persistent simulation keeps the clock, the queue backlog, the trace cursor and every
+//! in-flight packet across turn boundaries (the conversation contract).
+
+use crate::allocator::QpAllocator;
+use crate::context_aware::StreamerConfig;
+use crate::net_session::{NetSessionOptions, NetTurnReport};
+use crate::session::StreamingMode;
+use aivc_mllm::{MllmChat, MllmScratch, Question};
+use aivc_netsim::emulator::Direction;
+use aivc_netsim::{LatencyStats, NetworkEmulator, Packet};
+use aivc_rtc::cc::{GccController, PacketFeedback};
+use aivc_rtc::fec::{FecEncoder, FecRecovery};
+use aivc_rtc::nack::{NackGenerator, RtxQueue};
+use aivc_rtc::pacer::{Pacer, PacerConfig};
+use aivc_rtc::packetizer::{FrameAssembler, OutgoingFrame, Packetizer};
+use aivc_rtc::rtp::{PayloadKind, RtpPacket};
+use aivc_scene::Frame;
+use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
+use aivc_sim::{Actor, SimDuration, SimTime, Simulation};
+use aivc_videocodec::{
+    DecodeScratch, DecodedFrame, Decoder, EncodeScratch, EncodedFrame, Encoder, Qp, QpMap,
+};
+use std::collections::BTreeMap;
+
+/// Events of the networked turn's discrete-event loop. Frame indices are *global* across
+/// the owning timeline (a conversation numbers its frames continuously; a single-turn
+/// session always starts at zero).
+#[derive(Debug)]
+pub(crate) enum NetEvent {
+    /// Frame `i` is captured: drain mature feedback into GCC, pick the ABR target, encode
+    /// at that target, packetize + protect + pace onto the uplink.
+    Capture(usize),
+    /// A packet leaves the pacer and enters the uplink.
+    SendUplink(RtpPacket),
+    /// A packet arrives at the receiver.
+    UplinkArrival(RtpPacket),
+    /// The receiver checks for due NACKs.
+    ReceiverPoll,
+    /// A feedback packet (NACKed sequences) arrives back at the sender.
+    FeedbackArrival(Vec<u64>),
+}
+
+/// Per-frame transport bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NetFrameProgress {
+    pub(crate) send_start: Option<SimTime>,
+    pub(crate) fec_recovered: bool,
+}
+
+/// The compute half of a networked session: the chat pipeline and every reusable scratch.
+#[derive(Debug, Clone)]
+pub(crate) struct NetCompute {
+    pub(crate) options: NetSessionOptions,
+    clip_model: ClipModel,
+    allocator: QpAllocator,
+    encoder: Encoder,
+    decoder: Decoder,
+    responder: MllmChat,
+    clip: ClipScratch,
+    qp_map: QpMap,
+    /// Scratch map the rate-control search refills per probed level.
+    probe_map: QpMap,
+    encode_scratches: Vec<EncodeScratch>,
+    /// Scratch output for the QP-offset search.
+    probe_encoded: EncodedFrame,
+    /// The committed encode of each turn slot (needed again at decode time). Slots are
+    /// turn-local: a conversation reuses them every turn.
+    encoded_slots: Vec<EncodedFrame>,
+    decode_scratch: DecodeScratch,
+    decoded: Vec<DecodedFrame>,
+    mllm: MllmScratch,
+    cached_question: Option<Question>,
+    query: TextQuery,
+}
+
+impl NetCompute {
+    pub(crate) fn new(options: NetSessionOptions, config: StreamerConfig, clip_model: ClipModel) -> Self {
+        Self {
+            allocator: QpAllocator::new(config.allocator),
+            encoder: Encoder::new(config.encoder),
+            decoder: Decoder::new(),
+            responder: MllmChat::responder(options.seed ^ 0x5EED),
+            clip_model,
+            options,
+            clip: ClipScratch::new(),
+            qp_map: QpMap::empty(),
+            probe_map: QpMap::empty(),
+            encode_scratches: Vec::new(),
+            probe_encoded: EncodedFrame::placeholder(),
+            encoded_slots: Vec::new(),
+            decode_scratch: DecodeScratch::new(),
+            decoded: Vec::new(),
+            mllm: MllmScratch::new(),
+            cached_question: None,
+            query: TextQuery::from_concepts("", std::iter::empty::<String>()),
+        }
+    }
+
+    /// Re-derives the text query only when the question changes (same memoization as
+    /// [`crate::ChatSession`]).
+    fn refresh_query(&mut self, question: &Question) {
+        if self.cached_question.as_ref() != Some(question) {
+            self.query = TextQuery::from_words_and_concepts(
+                &question.text,
+                self.clip_model.ontology(),
+                question.query_concepts.iter().cloned(),
+            );
+            self.cached_question = Some(question.clone());
+        }
+    }
+
+    /// Encodes `frame` into turn slot `slot` at the closest achievable size to
+    /// `budget_bits`.
+    ///
+    /// Context-aware mode binary-searches a uniform QP offset on top of the frame's Eq. 2
+    /// map (coded bits are monotone decreasing in the offset — the same §3.2
+    /// bitrate-matching procedure `ContextAwareStreamer::encode_at_bitrate` uses, but per
+    /// frame and per target); baseline mode binary-searches the single uniform QP a
+    /// traditional WebRTC encoder's rate control would pick.
+    fn encode_slot_to_budget(&mut self, slot: usize, frame: &Frame, budget_bits: f64) {
+        if self.encode_scratches.len() <= slot {
+            self.encode_scratches.resize_with(slot + 1, EncodeScratch::new);
+        }
+        if self.encoded_slots.len() <= slot {
+            self.encoded_slots
+                .resize_with(slot + 1, EncodedFrame::placeholder);
+        }
+        let grid = self.encoder.grid_for(frame);
+        let (mut lo, mut hi) = match self.options.mode {
+            StreamingMode::ContextAware => {
+                let importance = self
+                    .clip_model
+                    .correlation_map_coherent(frame, &self.query, &mut self.clip);
+                self.allocator.allocate_into(importance, grid, &mut self.qp_map);
+                (-51i32, 51i32)
+            }
+            StreamingMode::Baseline => (0i32, 51i32),
+        };
+        // Probe maps are refilled in place (`probe_map`); after the first frame of a given
+        // grid the search allocates nothing beyond what the encoder itself needs.
+        let fill_probe_map =
+            |options: &NetSessionOptions, base: &QpMap, level: i32, out: &mut QpMap| match options.mode {
+                StreamingMode::ContextAware => base.offset_all_into(level, out),
+                StreamingMode::Baseline => out.fill_uniform(grid, Qp::new(level)),
+            };
+        let mut probe_map = std::mem::replace(&mut self.probe_map, QpMap::empty());
+        let mut best_level = lo;
+        let mut best_err = f64::INFINITY;
+        let mut last_probed = None;
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            fill_probe_map(&self.options, &self.qp_map, mid, &mut probe_map);
+            self.encoder.encode_into(
+                frame,
+                &probe_map,
+                &mut self.encode_scratches[slot],
+                &mut self.probe_encoded,
+            );
+            last_probed = Some(mid);
+            let bits = self.probe_encoded.total_bits() as f64;
+            let err = (bits - budget_bits).abs();
+            if err < best_err {
+                best_err = err;
+                best_level = mid;
+            }
+            if bits > budget_bits {
+                lo = mid + 1;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        if last_probed == Some(best_level) {
+            // The search converged on the last level probed: reuse that encode.
+            self.encoded_slots[slot].clone_from(&self.probe_encoded);
+        } else {
+            fill_probe_map(&self.options, &self.qp_map, best_level, &mut probe_map);
+            self.encoder.encode_into(
+                frame,
+                &probe_map,
+                &mut self.encode_scratches[slot],
+                &mut self.encoded_slots[slot],
+            );
+        }
+        self.probe_map = probe_map;
+    }
+}
+
+/// The transport half: the emulated path and every sender/receiver machine, with frame
+/// bookkeeping indexed by *global* frame id and per-turn counters the report reads.
+#[derive(Debug, Clone)]
+pub(crate) struct Transport {
+    emulator: NetworkEmulator,
+    packetizer: Packetizer,
+    pacer: Pacer,
+    rtx: RtxQueue,
+    fec_encoder: FecEncoder,
+    fec_recovery: FecRecovery,
+    assembler: FrameAssembler,
+    pub(crate) nack_gen: NackGenerator,
+    /// Feedback the receiver has produced but the sender has not yet seen:
+    /// (time the sender learns the packet's fate, the per-packet feedback).
+    cc_pending: Vec<(u64, PacketFeedback)>,
+    cc_batch: Vec<PacketFeedback>,
+    /// Reusable packetization buffer.
+    media: Vec<RtpPacket>,
+    poll_outstanding: bool,
+    next_net_packet_id: u64,
+    up_prop_us: u64,
+    down_prop_us: u64,
+    max_payload: u64,
+    // --- global frame bookkeeping (indexed by frame id) ---
+    outgoing: Vec<OutgoingFrame>,
+    media_first_seq: Vec<u64>,
+    /// Sequence → (frame index, media packet index) for FEC-group reconstruction.
+    seq_to_media: BTreeMap<u64, (usize, usize)>,
+    progress: Vec<NetFrameProgress>,
+    /// Frames below this id are retired: their turn has been reported, so arrivals for
+    /// them only feed sequence-continuity bookkeeping.
+    retired_below: usize,
+    // --- per-turn counters, reset by `begin_turn` ---
+    turn_packets_lost: u64,
+    turn_retransmissions_sent: u64,
+    turn_target_sum: f64,
+    turn_target_min: f64,
+    turn_target_max: f64,
+    /// Frame transmission latencies recorded at the current turn's deadline.
+    pub(crate) turn_frame_latencies: Vec<SimDuration>,
+}
+
+impl Transport {
+    /// A fresh transport on `options.path`, with the pacer tuned to the congestion
+    /// controller's current estimate (exactly how a turn begins).
+    pub(crate) fn new(options: &NetSessionOptions, initial_estimate_bps: f64) -> Self {
+        Self {
+            emulator: NetworkEmulator::new(options.path.clone(), options.seed),
+            packetizer: Packetizer::default(),
+            pacer: Pacer::new(PacerConfig::from_target_bitrate(initial_estimate_bps, 2.5)),
+            rtx: RtxQueue::new(),
+            fec_encoder: FecEncoder::new(options.fec),
+            fec_recovery: FecRecovery::new(),
+            assembler: FrameAssembler::new(),
+            nack_gen: NackGenerator::new(options.nack),
+            cc_pending: Vec::new(),
+            cc_batch: Vec::new(),
+            media: Vec::new(),
+            poll_outstanding: false,
+            next_net_packet_id: 0,
+            up_prop_us: options.path.uplink.propagation_delay.as_micros(),
+            down_prop_us: options.path.downlink.propagation_delay.as_micros(),
+            max_payload: Packetizer::default().max_payload() as u64,
+            outgoing: Vec::new(),
+            media_first_seq: Vec::new(),
+            seq_to_media: BTreeMap::new(),
+            progress: Vec::new(),
+            retired_below: 0,
+            turn_packets_lost: 0,
+            turn_retransmissions_sent: 0,
+            turn_target_sum: 0.0,
+            turn_target_min: f64::INFINITY,
+            turn_target_max: f64::NEG_INFINITY,
+            turn_frame_latencies: Vec::new(),
+        }
+    }
+
+    /// Number of frames handed to this transport so far (= the next global frame id).
+    pub(crate) fn frames_sent(&self) -> usize {
+        self.retired_below + self.outgoing.len()
+    }
+
+    /// The live-window slot of global frame `frame`, or `None` when the frame is retired
+    /// (or unknown). The per-frame vectors (`outgoing`, `progress`, `media_first_seq`)
+    /// slide with `retired_below`, so a conversation's memory stays bounded by its live
+    /// turn — global ids translate through this offset.
+    fn live_slot(&self, frame: usize) -> Option<usize> {
+        frame
+            .checked_sub(self.retired_below)
+            .filter(|slot| *slot < self.outgoing.len())
+    }
+
+    /// The uplink's current queueing backlog in milliseconds — what a new turn inherits
+    /// from its predecessor on a shared timeline.
+    pub(crate) fn uplink_backlog_ms(&self, now: SimTime) -> f64 {
+        self.emulator.uplink().backlog(now).as_millis_f64()
+    }
+
+    /// Resets the per-turn counters.
+    fn begin_turn(&mut self) {
+        self.turn_packets_lost = 0;
+        self.turn_retransmissions_sent = 0;
+        self.turn_target_sum = 0.0;
+        self.turn_target_min = f64::INFINITY;
+        self.turn_target_max = f64::NEG_INFINITY;
+        self.turn_frame_latencies.clear();
+    }
+
+    /// The spread between the largest and smallest ABR target of the current turn — the
+    /// within-turn convergence signal (a cold controller swings, a warm one holds).
+    pub(crate) fn turn_target_swing_bps(&self) -> f64 {
+        if self.turn_target_max >= self.turn_target_min {
+            self.turn_target_max - self.turn_target_min
+        } else {
+            0.0
+        }
+    }
+
+    /// NACK requests dropped by deadline-aware suppression so far.
+    pub(crate) fn nacks_suppressed(&self) -> u64 {
+        self.nack_gen.nacks_suppressed()
+    }
+
+    /// True when every retired turn's tracking state was actually dropped — the
+    /// bounded-memory invariant of long conversations, checked right after a turn was
+    /// retired (so nothing live should remain either).
+    #[cfg(test)]
+    pub(crate) fn tracked_state_is_bounded(&self) -> bool {
+        self.assembler.tracked_frames() == 0
+            && self.seq_to_media.is_empty()
+            && self.fec_recovery.tracked_groups() == 0
+            && self.rtx.stored() == 0
+            && self.outgoing.is_empty()
+            && self.progress.is_empty()
+            && self.media_first_seq.is_empty()
+    }
+
+    /// Retires every frame below `frame` (all reported turns): reassembly, FEC-group,
+    /// sequence-mapping and per-frame bookkeeping state for them is dropped, bounding a
+    /// conversation's memory to the live turn regardless of how many turns it has run
+    /// (the drained vectors keep their capacity, so steady-state turns stay
+    /// allocation-stable too). Sequence-continuity state (`highest_seen`) survives, so
+    /// gap detection across the boundary stays exact.
+    fn retire_below(&mut self, frame: usize) {
+        if frame <= self.retired_below {
+            return;
+        }
+        let drop_n = (frame - self.retired_below).min(self.outgoing.len());
+        self.outgoing.drain(..drop_n);
+        self.progress.drain(..drop_n);
+        self.media_first_seq.drain(..drop_n);
+        self.retired_below = frame;
+        let bound_seq = self.packetizer.next_sequence();
+        self.seq_to_media.retain(|_, (f, _)| *f >= frame);
+        self.assembler.retire_before(frame as u64);
+        self.fec_recovery.retire_before(frame as u64);
+        self.rtx.forget_before(bound_seq);
+        self.nack_gen.forget_below(bound_seq);
+    }
+}
+
+/// One turn's window geometry on the shared timeline.
+#[derive(Debug, Clone, Copy)]
+struct TurnWindow {
+    /// Global id of the turn's first frame.
+    base: usize,
+    /// Capture time of the turn's first frame, in absolute µs.
+    start_us: u64,
+    frame_interval_us: u64,
+}
+
+impl TurnWindow {
+    fn capture_ts_us(&self, global: usize) -> u64 {
+        self.start_us + (global - self.base) as u64 * self.frame_interval_us
+    }
+}
+
+/// The actor: borrows the compute and transport halves for one drain and handles the
+/// turn's events. During think-time drains (between turns of a conversation) `frames` is
+/// empty — no capture events are pending then, only deliveries, polls and feedback.
+struct TurnMachine<'a> {
+    compute: &'a mut NetCompute,
+    gcc: &'a mut GccController,
+    t: &'a mut Transport,
+    frames: &'a [Frame],
+    window: TurnWindow,
+}
+
+impl Actor for TurnMachine<'_> {
+    type Event = NetEvent;
+
+    fn on_event(&mut self, now: SimTime, event: NetEvent, sim: &mut Simulation<NetEvent>) {
+        let t = &mut *self.t;
+        match event {
+            NetEvent::Capture(i) => {
+                debug_assert!(
+                    !self.frames.is_empty(),
+                    "capture event fired outside a turn window"
+                );
+                // --- Close the loop: everything the sender has learned by now.
+                t.cc_batch.clear();
+                let batch = &mut t.cc_batch;
+                t.cc_pending.retain(|(known_at, fb)| {
+                    if *known_at <= now.as_micros() {
+                        batch.push(*fb);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if !t.cc_batch.is_empty() {
+                    self.gcc.on_feedback_report(&t.cc_batch);
+                }
+                let fps = self.compute.options.capture_fps;
+                let target_bps = self.compute.options.abr.target_bitrate(self.gcc.estimate_bps());
+                t.turn_target_sum += target_bps;
+                t.turn_target_min = t.turn_target_min.min(target_bps);
+                t.turn_target_max = t.turn_target_max.max(target_bps);
+                t.pacer.set_rate(target_bps * 2.5, now);
+
+                // --- Encode frame i to the per-frame budget the target implies.
+                let local = i - self.window.base;
+                let budget_bits = target_bps / fps;
+                self.compute
+                    .encode_slot_to_budget(local, &self.frames[local], budget_bits);
+                let encoded = &self.compute.encoded_slots[local];
+                let frame_out = OutgoingFrame {
+                    frame_id: i as u64,
+                    capture_ts_us: self.window.capture_ts_us(i),
+                    size_bytes: encoded.total_bytes(),
+                    is_keyframe: encoded.frame_type == aivc_videocodec::FrameType::Intra,
+                };
+                debug_assert_eq!(
+                    t.retired_below + t.outgoing.len(),
+                    i,
+                    "captures must arrive in frame order"
+                );
+                t.outgoing.push(frame_out);
+                t.progress.push(NetFrameProgress::default());
+                t.assembler.expect_frame(&frame_out);
+
+                // --- Packetize, protect, pace.
+                t.packetizer.packetize_into(&frame_out, &mut t.media);
+                if self.compute.options.fec.is_enabled() {
+                    for (pi, p) in t.media.iter_mut().enumerate() {
+                        p.fec_group = t.fec_encoder.group_of(pi);
+                    }
+                }
+                let packetizer = &mut t.packetizer;
+                let parity = t.fec_encoder.protect(&t.media, || packetizer.allocate_sequence());
+                t.media_first_seq.push(t.media[0].header.sequence);
+                for (pi, p) in t.media.iter().enumerate() {
+                    t.seq_to_media.insert(p.header.sequence, (i, pi));
+                    t.rtx.remember(p);
+                    let when = t.pacer.schedule_send(p.wire_size(), now);
+                    sim.schedule_at(when, NetEvent::SendUplink(*p));
+                }
+                for p in &parity {
+                    let when = t.pacer.schedule_send(p.wire_size(), now);
+                    sim.schedule_at(when, NetEvent::SendUplink(*p));
+                }
+            }
+            NetEvent::SendUplink(packet) => {
+                let frame_idx = packet.header.frame_id as usize;
+                if let Some(entry) = t.live_slot(frame_idx).map(|s| &mut t.progress[s]) {
+                    if entry.send_start.is_none() && packet.header.kind == PayloadKind::Media {
+                        entry.send_start = Some(now);
+                    }
+                }
+                if packet.header.kind == PayloadKind::Retransmission {
+                    t.turn_retransmissions_sent += 1;
+                }
+                let net_packet = Packet::new(t.next_net_packet_id, packet.wire_size(), now)
+                    .with_flow(0)
+                    .with_tag(packet.header.sequence);
+                t.next_net_packet_id += 1;
+                let outcome = t.emulator.send(Direction::Uplink, &net_packet, now);
+                match outcome.arrival() {
+                    Some(arrival) => {
+                        sim.schedule_at(arrival, NetEvent::UplinkArrival(packet));
+                        // The receiver's next report reaches the sender one downlink
+                        // propagation after arrival.
+                        t.cc_pending.push((
+                            arrival.as_micros() + t.down_prop_us,
+                            PacketFeedback {
+                                sent_at: now,
+                                arrived_at: Some(arrival),
+                                size_bytes: packet.wire_size(),
+                            },
+                        ));
+                    }
+                    None => {
+                        t.turn_packets_lost += 1;
+                        // The sender infers the loss from the gap in the next report:
+                        // roughly one RTT plus a reporting guard after the send.
+                        t.cc_pending.push((
+                            now.as_micros() + t.up_prop_us + t.down_prop_us + 20_000,
+                            PacketFeedback {
+                                sent_at: now,
+                                arrived_at: None,
+                                size_bytes: packet.wire_size(),
+                            },
+                        ));
+                    }
+                }
+            }
+            NetEvent::UplinkArrival(packet) => {
+                t.nack_gen.on_packet(packet.header.sequence, now);
+                let frame_idx = packet.header.frame_id as usize;
+                if frame_idx >= t.retired_below {
+                    // A group becomes XOR-recoverable when its *last-but-one* packet shows
+                    // up — which can be the parity packet or a late media/RTX arrival — so
+                    // every arrival nominates its group for a recovery check below.
+                    let mut fec_candidate: Option<(usize, u32)> = None;
+                    match packet.header.kind {
+                        PayloadKind::Media | PayloadKind::Retransmission => {
+                            t.assembler.on_packet(&packet, now);
+                            if self.compute.options.fec.is_enabled() {
+                                if let Some((fi, media_idx)) =
+                                    t.seq_to_media.get(&packet.header.sequence).copied()
+                                {
+                                    if let Some(group) = t.fec_encoder.group_of(media_idx) {
+                                        t.fec_recovery.on_media(fi as u64, group, media_idx);
+                                        fec_candidate = Some((fi, group));
+                                    }
+                                }
+                            }
+                        }
+                        PayloadKind::Fec => {
+                            if let (Some(group), Some(frame)) =
+                                (packet.fec_group, t.live_slot(frame_idx).map(|s| &t.outgoing[s]))
+                            {
+                                let count = (frame.size_bytes.div_ceil(t.max_payload).max(1)) as usize;
+                                for pi in 0..count {
+                                    if t.fec_encoder.group_of(pi) == Some(group) {
+                                        t.fec_recovery.expect_media(frame.frame_id, group, pi);
+                                    }
+                                }
+                                t.fec_recovery.on_parity(frame.frame_id, group);
+                                fec_candidate = Some((frame_idx, group));
+                            }
+                        }
+                        PayloadKind::Feedback => {}
+                    }
+                    if let Some((frame_idx, group)) = fec_candidate {
+                        if let Some(slot) = t.live_slot(frame_idx) {
+                            let frame = &t.outgoing[slot];
+                            for recovered in t.fec_recovery.recoverable(frame.frame_id, group) {
+                                let start = recovered as u64 * t.max_payload;
+                                let end = ((recovered as u64 + 1) * t.max_payload).min(frame.size_bytes);
+                                let synthetic = RtpPacket {
+                                    header: packet.header,
+                                    payload_start: start,
+                                    payload_end: end,
+                                    fec_group: Some(group),
+                                };
+                                t.assembler.on_packet(&synthetic, now);
+                                // Mark the reconstructed packet received so the group is
+                                // not re-recovered, and cancel its pending NACK — the
+                                // receiver holds the bytes, retransmitting them would
+                                // waste constrained uplink capacity.
+                                t.fec_recovery.on_media(frame.frame_id, group, recovered);
+                                t.nack_gen
+                                    .on_packet(t.media_first_seq[slot] + recovered as u64, now);
+                                t.progress[slot].fec_recovered = true;
+                            }
+                        }
+                    }
+                }
+                let opts = &self.compute.options;
+                if opts.enable_retransmission && t.nack_gen.pending_count() > 0 && !t.poll_outstanding {
+                    t.poll_outstanding = true;
+                    sim.schedule_at(now + opts.nack.reorder_guard, NetEvent::ReceiverPoll);
+                }
+            }
+            NetEvent::ReceiverPoll => {
+                let opts = &self.compute.options;
+                t.poll_outstanding = false;
+                if !opts.enable_retransmission {
+                    return;
+                }
+                let due = t.nack_gen.due_nacks(now);
+                if !due.is_empty() {
+                    let fb_packet =
+                        Packet::new(t.next_net_packet_id, opts.feedback_packet_bytes, now).with_flow(1);
+                    t.next_net_packet_id += 1;
+                    if let Some(arrival) = t.emulator.send(Direction::Downlink, &fb_packet, now).arrival() {
+                        sim.schedule_at(arrival, NetEvent::FeedbackArrival(due));
+                    }
+                }
+                if t.nack_gen.pending_count() > 0 && !t.poll_outstanding {
+                    t.poll_outstanding = true;
+                    sim.schedule_at(now + opts.nack.retry_interval, NetEvent::ReceiverPoll);
+                }
+            }
+            NetEvent::FeedbackArrival(sequences) => {
+                // One retransmit call per NACKed sequence keeps the old→new sequence
+                // pairing exact even when some sequences (e.g. lost parity packets) are
+                // not in the retransmission store.
+                for &old_seq in &sequences {
+                    let packetizer = &mut t.packetizer;
+                    for p in t.rtx.retransmit(&[old_seq], || packetizer.allocate_sequence()) {
+                        if let Some(mapping) = t.seq_to_media.get(&old_seq).copied() {
+                            t.seq_to_media.insert(p.header.sequence, mapping);
+                        }
+                        let when = t.pacer.schedule_send(p.wire_size(), now);
+                        sim.schedule_at(when, NetEvent::SendUplink(p));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one chat-turn window on the given timeline, starting at `sim.now()`:
+/// schedules the captures, drains every event up to the turn's answer deadline, decodes
+/// whatever (partially) arrived and lets the MLLM answer.
+///
+/// On return the simulation clock sits exactly at the deadline; events beyond it (late
+/// packets, pending polls) stay queued — a persistent caller carries them into the next
+/// window, a single-turn caller drops the timeline.
+pub(crate) fn run_turn_window(
+    compute: &mut NetCompute,
+    gcc: &mut GccController,
+    transport: &mut Transport,
+    sim: &mut Simulation<NetEvent>,
+    frames: &[Frame],
+    question: &Question,
+) -> NetTurnReport {
+    assert!(!frames.is_empty(), "a chat turn needs at least one frame");
+    compute.refresh_query(question);
+    let opts = &compute.options;
+
+    let fps = opts.capture_fps;
+    let frame_interval_us = (1e6 / fps).round() as u64;
+    let window = TurnWindow {
+        base: transport.frames_sent(),
+        start_us: sim.now().as_micros(),
+        frame_interval_us,
+    };
+    let last_capture_us = window.capture_ts_us(window.base + frames.len() - 1);
+    let horizon = SimTime::from_micros(last_capture_us + (opts.drain_secs.max(0.0) * 1e6).round() as u64);
+
+    if opts.deadline_aware_nack {
+        // Expected NACK → RTX arrival: the request rides the downlink, the retransmission
+        // rides the uplink, plus a pacing/serialization guard.
+        let recovery_estimate =
+            SimDuration::from_micros(transport.down_prop_us + transport.up_prop_us + 10_000);
+        transport.nack_gen.set_deadline(Some(horizon), recovery_estimate);
+    }
+    transport.begin_turn();
+    for i in 0..frames.len() {
+        sim.schedule_at(
+            SimTime::from_micros(window.capture_ts_us(window.base + i)),
+            NetEvent::Capture(window.base + i),
+        );
+    }
+
+    {
+        let mut machine = TurnMachine {
+            compute,
+            gcc,
+            t: transport,
+            frames,
+            window,
+        };
+        sim.run_until(horizon, &mut machine);
+    }
+
+    // --- Deadline reached: decode whatever (partially) arrived, in capture order. The
+    // per-frame vectors slide with retirement, so this turn's frames start at the slot
+    // its global base translates to (callers retire all prior turns before a new one, so
+    // in practice the slice is the whole live window).
+    let base_slot = window.base - transport.retired_below;
+    let mut decoded_count = 0usize;
+    let mut frames_delivered = 0usize;
+    let mut received_bits: u64 = 0;
+    let mut latency = LatencyStats::new();
+    for (local, frame_out) in transport.outgoing[base_slot..].iter().enumerate() {
+        let Some(status) = transport.assembler.status(frame_out.frame_id) else {
+            continue;
+        };
+        if status.complete {
+            frames_delivered += 1;
+            if let (Some(done), Some(start)) = (
+                status.completed_at,
+                transport.progress[base_slot + local].send_start,
+            ) {
+                let elapsed = done.saturating_since(start);
+                latency.record(elapsed);
+                transport.turn_frame_latencies.push(elapsed);
+            }
+        }
+        received_bits += status.received_bytes * 8;
+        if status.received_ranges.is_empty() {
+            continue;
+        }
+        if compute.decoded.len() <= decoded_count {
+            compute.decoded.push(DecodedFrame::placeholder());
+        }
+        compute.decoder.decode_into(
+            &compute.encoded_slots[local],
+            &status.received_ranges,
+            status.completed_at.map(|t| t.as_micros()),
+            &mut compute.decode_scratch,
+            &mut compute.decoded[decoded_count],
+        );
+        decoded_count += 1;
+    }
+
+    // --- The MLLM answers over everything that decoded before the deadline.
+    let answer = compute.responder.respond_with(
+        question,
+        &compute.decoded[..decoded_count],
+        compute.options.seed,
+        &mut compute.mllm,
+    );
+
+    let window_secs = (frames.len() as f64 / fps).max(1e-9);
+    let encoded_bits: u64 = transport.outgoing[base_slot..]
+        .iter()
+        .map(|f| f.size_bytes * 8)
+        .sum();
+    NetTurnReport {
+        answer,
+        frames_sent: frames.len(),
+        frames_delivered,
+        frames_decoded: decoded_count,
+        mean_target_bitrate_bps: transport.turn_target_sum / frames.len() as f64,
+        achieved_bitrate_bps: encoded_bits as f64 / window_secs,
+        goodput_bps: received_bits as f64 / window_secs,
+        p50_frame_latency_ms: latency.percentile_ms(0.5),
+        p95_frame_latency_ms: latency.p95_ms(),
+        packets_lost: transport.turn_packets_lost,
+        fec_recovered_frames: transport.progress[base_slot..]
+            .iter()
+            .filter(|p| p.fec_recovered)
+            .count() as u64,
+        retransmissions_sent: transport.turn_retransmissions_sent,
+        final_estimate_bps: gcc.estimate_bps(),
+    }
+    // Callers on a persistent timeline retire the reported frames via `finish_turn`.
+}
+
+/// Post-report bookkeeping for persistent timelines: retires every reported frame's
+/// transport state (memory stays bounded by the live turn) — see
+/// [`Transport::retire_below`].
+pub(crate) fn finish_turn(transport: &mut Transport) {
+    transport.retire_below(transport.frames_sent());
+}
+
+/// Drains in-flight events (deliveries, polls, feedback, retransmissions) for `gap` of
+/// simulated time without capturing any frames — the user's think time between turns.
+pub(crate) fn drain_gap(
+    compute: &mut NetCompute,
+    gcc: &mut GccController,
+    transport: &mut Transport,
+    sim: &mut Simulation<NetEvent>,
+    gap: SimDuration,
+) {
+    let horizon = sim.now() + gap;
+    let window = TurnWindow {
+        base: transport.frames_sent(),
+        start_us: sim.now().as_micros(),
+        frame_interval_us: 1,
+    };
+    let mut machine = TurnMachine {
+        compute,
+        gcc,
+        t: transport,
+        frames: &[],
+        window,
+    };
+    sim.run_until(horizon, &mut machine);
+}

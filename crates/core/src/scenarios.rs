@@ -14,6 +14,7 @@
 //! under `tests/fixtures/` pin down — transport behaviour changes must be intentional and
 //! reviewed alongside a fixture update.
 
+use crate::conversation::{Conversation, ConversationReport};
 use crate::net_session::{queue_bytes_for, NetSessionOptions, NetTurnReport, NetworkedChatSession};
 use crate::server::NetworkedChatServer;
 use aivc_mllm::{Question, QuestionFormat};
@@ -240,6 +241,176 @@ pub fn run_registry(pool_size: usize) -> Vec<ScenarioReport> {
     registry().iter().map(|s| run_scenario(s, pool_size)).collect()
 }
 
+// ---------------------------------------------------------------------------------------
+// Multi-turn conversation scenarios (the continuous-timeline engine, `crate::Conversation`)
+// ---------------------------------------------------------------------------------------
+
+/// One named multi-turn conversation scenario: a sequence of chat turns over one
+/// persistent transport timeline, with user think time between turns. Where the
+/// single-turn registry pins a *turn*'s behaviour, these pin a *conversation*'s —
+/// GCC warm-up across turns, queue carry-over, trace position spanning turns, NACK/RTX
+/// state surviving think gaps.
+#[derive(Debug, Clone)]
+pub struct ConversationScenario {
+    /// Registry key (also the fixture file name).
+    pub name: &'static str,
+    /// One-line description of the condition being modelled.
+    pub summary: &'static str,
+    /// Seed for every stochastic process of the scenario.
+    pub seed: u64,
+    /// Number of chat turns in the conversation.
+    pub turns: usize,
+    /// Length of each captured turn window in seconds.
+    pub window_secs: f64,
+    /// Capture rate of the turn windows.
+    pub capture_fps: f64,
+    /// The user's think time between consecutive turns, in seconds.
+    pub think_secs: f64,
+    /// The bidirectional path (the uplink carries the video). The uplink trace may be
+    /// shorter than the conversation — looping traces span turns by design.
+    pub path: PathConfig,
+}
+
+impl ConversationScenario {
+    /// The session options this scenario uses for the given ABR mode. Conversations start
+    /// **cold** (the default 1 Mbps initial estimate) so warm-up across turns is visible,
+    /// and enable deadline-aware NACK suppression — a retransmit that cannot beat a turn's
+    /// answer deadline is wasted uplink on a shared timeline.
+    pub fn options(&self, ai_oriented: bool) -> NetSessionOptions {
+        let mut options = if ai_oriented {
+            NetSessionOptions::ai_oriented(self.seed, self.path.clone())
+        } else {
+            NetSessionOptions::traditional(self.seed, self.path.clone())
+        };
+        options.capture_fps = self.capture_fps;
+        options.deadline_aware_nack = true;
+        options
+    }
+
+    /// The think gap as a simulated duration.
+    pub fn think_gap(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.think_secs)
+    }
+
+    /// The captured window and question of turn `turn`. Successive turns advance through
+    /// the source video (wrapping at its end) and rotate through the scene's facts, so a
+    /// conversation asks about evolving content — deterministically.
+    pub fn turn(&self, turn: usize) -> (Vec<Frame>, Question) {
+        let scene = basketball_game(1);
+        let source = VideoSource::new(scene.clone(), SourceConfig::fps30(6.0));
+        let question = Question::from_fact(
+            &scene.facts[turn % scene.facts.len()],
+            QuestionFormat::FreeResponse,
+        );
+        let duration = source.duration_secs();
+        let count = (self.window_secs * self.capture_fps).floor().max(1.0) as usize;
+        let start = (turn as f64 * self.window_secs) % duration;
+        let frames = (0..count)
+            .map(|i| source.frame_at((start + i as f64 / self.capture_fps) % duration))
+            .collect();
+        (frames, question)
+    }
+}
+
+/// The conversation registry: ≥ 3 named, seeded multi-turn conditions.
+pub fn conversation_registry() -> Vec<ConversationScenario> {
+    let secs = SimTime::from_secs_f64;
+    vec![
+        ConversationScenario {
+            name: "lte-8turn",
+            summary: "an 8-turn conversation over a looping LTE-like trace (12→5→0.9→3→10 Mbps \
+                      per 4 s period) with 1 s think time — the trace wraps several times",
+            seed: 1_001,
+            turns: 8,
+            window_secs: 1.5,
+            capture_fps: 12.0,
+            think_secs: 1.0,
+            path: uplink(
+                BandwidthTrace::from_segments(vec![
+                    (SimTime::ZERO, 12e6),
+                    (secs(1.0), 5e6),
+                    (secs(1.8), 0.9e6),
+                    (secs(2.6), 3e6),
+                    (secs(3.2), 10e6),
+                ])
+                .looping(SimDuration::from_secs_f64(4.0)),
+                12e6,
+                LossModel::Iid { rate: 0.005 },
+            ),
+        },
+        ConversationScenario {
+            name: "stepdown-mid-conversation",
+            summary: "8 Mbps collapsing to 1.2 Mbps at t = 6 s — mid-conversation, between \
+                      turns, so only a warm controller sees it coming",
+            seed: 2_002,
+            turns: 6,
+            window_secs: 1.5,
+            capture_fps: 12.0,
+            think_secs: 0.8,
+            path: uplink(
+                BandwidthTrace::step(8e6, 1.2e6, secs(6.0)),
+                8e6,
+                LossModel::Iid { rate: 0.01 },
+            ),
+        },
+        ConversationScenario {
+            name: "bursty-think-time",
+            summary: "4 Mbps with Gilbert–Elliott bursts (8% mean loss, ~16-packet bursts) and \
+                      1.2 s think gaps — recovery state must survive the silences",
+            seed: 3_003,
+            turns: 6,
+            window_secs: 1.5,
+            capture_fps: 12.0,
+            think_secs: 1.2,
+            path: uplink(BandwidthTrace::constant(4e6), 4e6, LossModel::bursty(0.08, 16.0)),
+        },
+    ]
+}
+
+/// Looks a conversation scenario up by name.
+pub fn conversation_by_name(name: &str) -> Option<ConversationScenario> {
+    conversation_registry().into_iter().find(|s| s.name == name)
+}
+
+/// The per-conversation-scenario report: both ABR modes side by side, each a full
+/// cross-turn [`ConversationReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversationScenarioReport {
+    /// The scenario's registry name.
+    pub scenario: String,
+    /// The conversation under traditional estimate-riding ABR.
+    pub traditional: ConversationReport,
+    /// The conversation under AI-oriented accuracy-floor ABR.
+    pub ai_oriented: ConversationReport,
+}
+
+/// Runs one conversation scenario end to end under one ABR mode.
+pub fn run_conversation_mode(scenario: &ConversationScenario, ai_oriented: bool) -> ConversationReport {
+    let mut conversation = Conversation::with_defaults(scenario.options(ai_oriented), scenario.think_gap());
+    for turn in 0..scenario.turns {
+        let (frames, question) = scenario.turn(turn);
+        conversation.run_turn(&frames, &question);
+    }
+    conversation.report()
+}
+
+/// Runs one conversation scenario under both ABR modes.
+pub fn run_conversation_scenario(scenario: &ConversationScenario) -> ConversationScenarioReport {
+    ConversationScenarioReport {
+        scenario: scenario.name.to_string(),
+        traditional: run_conversation_mode(scenario, false),
+        ai_oriented: run_conversation_mode(scenario, true),
+    }
+}
+
+/// Runs the whole conversation registry, in registry order.
+pub fn run_conversation_registry() -> Vec<ConversationScenarioReport> {
+    conversation_registry()
+        .iter()
+        .map(run_conversation_scenario)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +435,38 @@ mod tests {
         assert_eq!(frames_a, frames_b);
         assert_eq!(q_a, q_b);
         assert_eq!(frames_a.len(), 36);
+    }
+
+    #[test]
+    fn conversation_registry_has_at_least_three_unique_named_scenarios() {
+        let reg = conversation_registry();
+        assert!(reg.len() >= 3, "registry has {}", reg.len());
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            reg.len(),
+            "conversation scenario names must be unique"
+        );
+        assert!(conversation_by_name("lte-8turn").is_some());
+        assert!(conversation_by_name("no-such-conversation").is_none());
+        // At least one scenario exercises trace looping (the wrap-around satellite).
+        assert!(reg
+            .iter()
+            .any(|s| s.path.uplink.bandwidth.loop_period().is_some()));
+    }
+
+    #[test]
+    fn conversation_turns_are_reproducible_and_rotate_questions() {
+        let scenario = conversation_by_name("bursty-think-time").unwrap();
+        let (frames_a, q_a) = scenario.turn(2);
+        let (frames_b, q_b) = scenario.turn(2);
+        assert_eq!(frames_a, frames_b);
+        assert_eq!(q_a, q_b);
+        assert_eq!(frames_a.len(), 18);
+        let (_, q_other) = scenario.turn(3);
+        assert_ne!(q_a, q_other, "consecutive turns ask different questions");
     }
 
     #[test]

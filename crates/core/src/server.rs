@@ -20,11 +20,13 @@
 //! rejects nested parallel sections, and across-session parallelism already saturates the
 //! cores at server scale (DESIGN.md §"Threading model").
 
+use crate::conversation::{Conversation, ConversationReport};
 use crate::net_session::{NetSessionOptions, NetTurnReport, NetworkedChatSession};
 use crate::session::{ChatSession, PipelineTurnReport};
 use aivc_mllm::{Answer, Question};
 use aivc_par::MiniPool;
 use aivc_scene::Frame;
+use aivc_sim::SimDuration;
 
 /// A session type a server can pool: one long-lived object per user whose turn produces a
 /// plain-value report carrying the MLLM's [`Answer`]. Both server variants share the
@@ -60,6 +62,22 @@ impl TurnSession for ChatSession {
 }
 
 impl TurnSession for NetworkedChatSession {
+    type Report = NetTurnReport;
+
+    fn placeholder_report() -> NetTurnReport {
+        NetTurnReport::placeholder()
+    }
+
+    fn turn_report(&mut self, frames: &[Frame], question: &Question) -> NetTurnReport {
+        self.run_turn(frames, question)
+    }
+
+    fn answer(report: &NetTurnReport) -> &Answer {
+        &report.answer
+    }
+}
+
+impl TurnSession for Conversation {
     type Report = NetTurnReport;
 
     fn placeholder_report() -> NetTurnReport {
@@ -299,6 +317,93 @@ impl NetworkedChatServer {
     }
 }
 
+/// The conversational counterpart of [`NetworkedChatServer`]: N independent long-lived
+/// [`Conversation`]s — each with its own persistent transport timeline, congestion
+/// controller, in-flight packet set and think-time rhythm — executing turns across a
+/// [`MiniPool`] with the same static session→lane mapping.
+///
+/// Each call to [`ConversationChatServer::run_turns`] advances *every* conversation by one
+/// turn on its own timeline (turn `k + 1` starts where turn `k`'s deadline left the clock,
+/// plus the per-session think gap). A conversation's turn touches only the session's own
+/// state, so, exactly as for the other servers, **results are bit-identical for any pool
+/// size** and deterministic across runs.
+#[derive(Debug)]
+pub struct ConversationChatServer {
+    inner: SessionPool<Conversation>,
+}
+
+impl ConversationChatServer {
+    /// Creates a server of `session_count` conversations sharing `template`'s network and
+    /// ABR configuration, with per-session seeds `template.seed + i` and a common
+    /// `think_gap`, on a pool of `pool_size` lanes.
+    pub fn new(
+        pool_size: usize,
+        session_count: usize,
+        template: NetSessionOptions,
+        think_gap: SimDuration,
+    ) -> Self {
+        Self::with_sessions(
+            MiniPool::new(pool_size),
+            (0..session_count)
+                .map(|i| {
+                    let mut options = template.clone();
+                    options.seed = template.seed.wrapping_add(i as u64);
+                    Conversation::with_defaults(options, think_gap)
+                })
+                .collect(),
+        )
+    }
+
+    /// Creates a server from explicit conversations and a pool.
+    pub fn with_sessions(pool: MiniPool, sessions: Vec<Conversation>) -> Self {
+        Self {
+            inner: SessionPool::with_sessions(pool, sessions),
+        }
+    }
+
+    /// Number of pool lanes turns are spread across.
+    pub fn pool_size(&self) -> usize {
+        self.inner.pool.lanes()
+    }
+
+    /// Number of conversations the server owns.
+    pub fn session_count(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Advances every conversation by one turn (session `i` on lane `i % lanes`).
+    /// Per-session results are bit-identical to calling [`Conversation::run_turn`]
+    /// directly, for any pool size.
+    pub fn run_turns(&mut self, frames: &[Frame], question: &Question) {
+        self.inner.run_turns(frames, question);
+    }
+
+    /// The latest per-turn report of every conversation, in session order.
+    pub fn reports(&self) -> impl Iterator<Item = &NetTurnReport> {
+        self.inner.reports()
+    }
+
+    /// The latest per-turn report of conversation `index`.
+    pub fn report(&self, index: usize) -> &NetTurnReport {
+        &self.inner.slots[index].report
+    }
+
+    /// The full cross-turn report of conversation `index`.
+    pub fn conversation_report(&self, index: usize) -> ConversationReport {
+        self.inner.slots[index].session.report()
+    }
+
+    /// Fraction of the latest turn's answers that were correct.
+    pub fn correct_fraction(&self) -> f64 {
+        self.inner.correct_fraction()
+    }
+
+    /// Mean model-assigned probability of a correct answer across conversations.
+    pub fn mean_probability_correct(&self) -> f64 {
+        self.inner.mean_probability_correct()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +507,53 @@ mod tests {
         assert_eq!(server.session_count(), 3);
         assert_eq!(server.pool_size(), 2);
         assert!(server.mean_probability_correct() > 0.5);
+    }
+
+    #[test]
+    fn conversation_server_matches_standalone_conversations_across_turns() {
+        let q = question();
+        let think = SimDuration::from_millis(600);
+        let mut server = ConversationChatServer::new(2, 3, net_template(70), think);
+        for t in 0..3 {
+            server.run_turns(&turn_window(t), &q);
+        }
+        for i in 0..3 {
+            let mut options = net_template(70);
+            options.seed += i as u64;
+            let mut standalone = Conversation::with_defaults(options, think);
+            for t in 0..3 {
+                standalone.run_turn(&turn_window(t), &q);
+            }
+            assert_eq!(
+                server.conversation_report(i),
+                standalone.report(),
+                "conversation {i}"
+            );
+        }
+        assert!(server.mean_probability_correct() > 0.5);
+    }
+
+    fn turn_window(turn: usize) -> Vec<Frame> {
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(6.0));
+        (0..4)
+            .map(|i| source.frame(((turn * 4 + i) * 11 % 170) as u64))
+            .collect()
+    }
+
+    #[test]
+    fn conversation_server_is_pool_size_independent() {
+        let q = question();
+        let collect = |pool_size: usize| {
+            let mut server =
+                ConversationChatServer::new(pool_size, 4, net_template(90), SimDuration::from_millis(300));
+            for t in 0..2 {
+                server.run_turns(&turn_window(t), &q);
+            }
+            (0..4).map(|i| server.conversation_report(i)).collect::<Vec<_>>()
+        };
+        let sequential = collect(1);
+        assert_eq!(collect(2), sequential);
+        assert_eq!(collect(8), sequential);
     }
 
     #[test]

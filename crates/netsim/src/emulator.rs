@@ -8,7 +8,7 @@
 use crate::link::{DeliveryOutcome, Link, LinkConfig};
 use crate::loss::LossModel;
 use crate::packet::Packet;
-use crate::time::{SimDuration, SimTime};
+use aivc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a bidirectional network path.

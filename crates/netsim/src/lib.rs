@@ -18,21 +18,20 @@
 //! reproduces byte-identical results.
 
 pub mod emulator;
-pub mod event;
 pub mod link;
 pub mod loss;
 pub mod packet;
 pub mod queue;
 pub mod stats;
-pub mod time;
 pub mod trace;
 
 pub use emulator::{NetworkEmulator, PathConfig};
-pub use event::EventQueue;
 pub use link::{DeliveryOutcome, Link, LinkConfig};
 pub use loss::LossModel;
 pub use packet::{Packet, PacketId};
 pub use queue::DropTailQueue;
 pub use stats::{LatencyStats, RunningStats};
-pub use time::{SimDuration, SimTime};
+// The simulation substrate (virtual clock + event queue) lives in `aivc-sim`; re-exported
+// here so existing `aivc_netsim::{SimTime, EventQueue}` users keep working unchanged.
+pub use aivc_sim::{EventQueue, SimDuration, SimTime};
 pub use trace::BandwidthTrace;

@@ -17,8 +17,8 @@
 
 use crate::loss::{LossModel, LossProcess};
 use crate::packet::Packet;
-use crate::time::{SimDuration, SimTime};
 use crate::trace::BandwidthTrace;
+use aivc_sim::{SimDuration, SimTime};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -4,7 +4,7 @@
 //! format. Keeping the boundary at "size in bytes + metadata" mirrors how a real kernel
 //! queue treats an RTP/UDP datagram.
 
-use crate::time::SimTime;
+use aivc_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Globally unique packet identifier assigned by the sender.

@@ -1,6 +1,6 @@
 //! Statistics collectors used across the emulator and the experiment harness.
 
-use crate::time::SimDuration;
+use aivc_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// Streaming mean/variance/min/max (Welford's algorithm) for scalar observations.

@@ -5,7 +5,7 @@
 //! constant and queried by simulated time; helpers build the common shapes (constant, step
 //! drop, periodic sawtooth, random walk).
 
-use crate::time::SimTime;
+use aivc_sim::{SimDuration, SimTime};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -16,6 +16,9 @@ use serde::{Deserialize, Serialize};
 pub struct BandwidthTrace {
     /// Segment boundaries: `(start_time_us, rate_bps)`, sorted by start time, first at 0.
     segments: Vec<(u64, f64)>,
+    /// Loop period in microseconds; `0` = no looping (the last segment's rate holds
+    /// forever). See [`BandwidthTrace::looping`].
+    loop_period_us: u64,
 }
 
 impl BandwidthTrace {
@@ -24,6 +27,7 @@ impl BandwidthTrace {
         assert!(rate_bps > 0.0, "bandwidth must be positive");
         Self {
             segments: vec![(0, rate_bps)],
+            loop_period_us: 0,
         }
     }
 
@@ -44,7 +48,36 @@ impl BandwidthTrace {
         }
         Self {
             segments: segments.into_iter().map(|(t, r)| (t.as_micros(), r)).collect(),
+            loop_period_us: 0,
         }
+    }
+
+    /// Makes the trace repeat with the given period: `rate_at(t)` becomes
+    /// `rate_at(t mod period)`, so a trace recorded over a few seconds can drive a
+    /// conversation that lasts minutes (turn windows keep advancing absolute simulated
+    /// time; without looping, every turn past the recording would sit on the final
+    /// segment's rate forever).
+    ///
+    /// **The seam is an ordinary segment boundary**: at every multiple of `period` the
+    /// rate steps from the last segment's value back to the first segment's — a
+    /// deterministic, documented rate step, exactly like any other boundary inside the
+    /// trace (no discontinuity panic, no interpolation). `period` must cover every
+    /// segment start, so no segment is unreachable.
+    pub fn looping(mut self, period: SimDuration) -> Self {
+        let last_start = self.segments.last().map(|(s, _)| *s).unwrap_or(0);
+        assert!(
+            period.as_micros() > last_start,
+            "loop period {}us must exceed the last segment start {}us",
+            period.as_micros(),
+            last_start
+        );
+        self.loop_period_us = period.as_micros();
+        self
+    }
+
+    /// The loop period, if the trace repeats.
+    pub fn loop_period(&self) -> Option<SimDuration> {
+        (self.loop_period_us > 0).then(|| SimDuration::from_micros(self.loop_period_us))
     }
 
     /// A step trace: `before_bps` until `at`, then `after_bps`.
@@ -87,9 +120,14 @@ impl BandwidthTrace {
         Self::from_segments(segments)
     }
 
-    /// The rate in bits per second at simulated time `t`.
+    /// The rate in bits per second at simulated time `t` (wrapped into the loop period
+    /// when the trace repeats).
     pub fn rate_at(&self, t: SimTime) -> f64 {
-        let us = t.as_micros();
+        let us = if self.loop_period_us > 0 {
+            t.as_micros() % self.loop_period_us
+        } else {
+            t.as_micros()
+        };
         match self.segments.binary_search_by_key(&us, |(start, _)| *start) {
             Ok(i) => self.segments[i].1,
             Err(0) => self.segments[0].1,
@@ -97,12 +135,29 @@ impl BandwidthTrace {
         }
     }
 
-    /// The mean rate over `[0, until]`, duration-weighted.
+    /// The mean rate over `[0, until]`, duration-weighted (loop-aware: full periods
+    /// contribute the period mean, the tail contributes its prefix mean).
     pub fn mean_rate(&self, until: SimTime) -> f64 {
         let end = until.as_micros();
         if end == 0 {
             return self.segments[0].1;
         }
+        if self.loop_period_us > 0 && end > self.loop_period_us {
+            let period = self.loop_period_us;
+            let full = end / period;
+            let tail = end % period;
+            let mut acc = self.rate_sum_over(period) * full as f64;
+            if tail > 0 {
+                acc += self.rate_sum_over(tail);
+            }
+            return acc / end as f64;
+        }
+        self.rate_sum_over(end) / end as f64
+    }
+
+    /// `∫₀^end rate dt` over the unlooped segments, in bits (end in µs, so bits·µs — the
+    /// caller divides by a duration in µs).
+    fn rate_sum_over(&self, end: u64) -> f64 {
         let mut acc = 0.0;
         for (i, (start, rate)) in self.segments.iter().enumerate() {
             if *start >= end {
@@ -111,7 +166,7 @@ impl BandwidthTrace {
             let seg_end = self.segments.get(i + 1).map(|(s, _)| *s).unwrap_or(end).min(end);
             acc += rate * (seg_end - start) as f64;
         }
-        acc / end as f64
+        acc
     }
 }
 
@@ -179,5 +234,44 @@ mod tests {
     #[should_panic(expected = "must start at t=0")]
     fn segments_must_start_at_zero() {
         let _ = BandwidthTrace::from_segments(vec![(SimTime::from_millis(1), 1e6)]);
+    }
+
+    #[test]
+    fn looping_wraps_at_the_seam_without_discontinuity_panic() {
+        // 8 Mbps for 1 s, then 2 Mbps for 1 s, looping every 2 s.
+        let t = BandwidthTrace::step(8e6, 2e6, SimTime::from_secs_f64(1.0))
+            .looping(SimDuration::from_secs_f64(2.0));
+        assert_eq!(t.loop_period(), Some(SimDuration::from_secs_f64(2.0)));
+        // Inside the first period: unchanged.
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(0.5)), 8e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(1.5)), 2e6);
+        // Just before the seam the last segment holds; at the seam the first returns.
+        assert_eq!(t.rate_at(SimTime::from_micros(1_999_999)), 2e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(2.0)), 8e6);
+        // Far beyond the recording, the pattern keeps repeating.
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(100.5)), 8e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(101.5)), 2e6);
+    }
+
+    #[test]
+    fn looping_mean_rate_accounts_for_full_periods_and_tail() {
+        let t = BandwidthTrace::step(8e6, 2e6, SimTime::from_secs_f64(1.0))
+            .looping(SimDuration::from_secs_f64(2.0));
+        // Whole periods average to 5 Mbps.
+        let mean = t.mean_rate(SimTime::from_secs_f64(4.0));
+        assert!((mean - 5e6).abs() < 1.0, "mean {mean}");
+        // 2 full periods + a 1 s tail at 8 Mbps: (2*10 + 8) / 5 = 5.6 Mbps.
+        let mean = t.mean_rate(SimTime::from_secs_f64(5.0));
+        assert!((mean - 5.6e6).abs() < 1.0, "mean {mean}");
+        // Without looping, the final rate holds instead.
+        let unlooped = BandwidthTrace::step(8e6, 2e6, SimTime::from_secs_f64(1.0));
+        assert_eq!(unlooped.rate_at(SimTime::from_secs_f64(100.0)), 2e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "loop period")]
+    fn loop_period_must_cover_every_segment() {
+        let _ = BandwidthTrace::step(8e6, 2e6, SimTime::from_secs_f64(2.0))
+            .looping(SimDuration::from_secs_f64(1.0));
     }
 }

@@ -10,7 +10,7 @@
 //! It is exercised by the ABR ablation (traditional ABR rides the estimate close to
 //! capacity; AI-oriented ABR deliberately does not, §2.2).
 
-use aivc_netsim::SimTime;
+use aivc_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Per-packet feedback the receiver reports back to the sender.
@@ -155,7 +155,7 @@ impl GccController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aivc_netsim::SimDuration;
+    use aivc_sim::SimDuration;
 
     fn report(owd_ms: u64, count: usize, lost: usize, base_ms: u64) -> Vec<PacketFeedback> {
         (0..count)

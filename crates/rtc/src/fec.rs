@@ -159,6 +159,18 @@ impl FecRecovery {
             Vec::new()
         }
     }
+
+    /// Drops group state for frames below `frame_id` — the history bound a long-lived
+    /// conversation applies once a turn's frames have been reported (their recovery can
+    /// no longer influence any answer).
+    pub fn retire_before(&mut self, frame_id: u64) {
+        self.groups = self.groups.split_off(&(frame_id, 0));
+    }
+
+    /// Number of (frame, group) entries currently tracked.
+    pub fn tracked_groups(&self) -> usize {
+        self.groups.len()
+    }
 }
 
 #[cfg(test)]

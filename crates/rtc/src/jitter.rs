@@ -8,7 +8,7 @@
 //! simply a zero-delay configuration, and the jitter-buffer-removal ablation quantifies the
 //! latency saved.
 
-use aivc_netsim::{SimDuration, SimTime};
+use aivc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Jitter-buffer configuration.

@@ -6,7 +6,7 @@
 //! latency grow with packet count — the §2.2 effect that motivates ultra-low bitrate.
 
 use crate::rtp::RtpPacket;
-use aivc_netsim::{SimDuration, SimTime};
+use aivc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -37,6 +37,10 @@ struct PendingNack {
     detected_at: SimTime,
     last_sent: Option<SimTime>,
     retries: u32,
+    /// The conversational deadline in force when the gap was detected: a retransmission
+    /// that cannot arrive before it is pointless (the frame's answer is already due), so
+    /// [`NackGenerator::due_nacks`] drops the request instead of sending it.
+    deadline: Option<SimTime>,
 }
 
 /// Receiver-side NACK generator.
@@ -47,6 +51,12 @@ pub struct NackGenerator {
     pending: BTreeMap<u64, PendingNack>,
     received: BTreeSet<u64>,
     nacks_sent: u64,
+    /// Deadline stamped into newly detected gaps (None = no deadline awareness).
+    deadline: Option<SimTime>,
+    /// Expected NACK → retransmission arrival delay (feedback downlink + pacing + uplink),
+    /// used to decide whether a request can still beat the deadline.
+    recovery_estimate: SimDuration,
+    nacks_suppressed: u64,
 }
 
 impl NackGenerator {
@@ -58,7 +68,30 @@ impl NackGenerator {
             pending: BTreeMap::new(),
             received: BTreeSet::new(),
             nacks_sent: 0,
+            deadline: None,
+            recovery_estimate: SimDuration::ZERO,
+            nacks_suppressed: 0,
         }
+    }
+
+    /// Arms deadline-aware suppression: gaps detected from now on carry `deadline`, and
+    /// [`NackGenerator::due_nacks`] drops (never requests) a sequence whose retransmission
+    /// — expected `recovery_estimate` after the request — would land past its deadline.
+    /// Such a retransmit is wasted uplink that competes with the next frame's media
+    /// (the §1 300 ms conversational budget). `None` disables suppression for gaps
+    /// detected afterwards; already-stamped gaps keep their deadline.
+    ///
+    /// A turn runner calls this at each turn start with the turn's answer deadline, so in
+    /// a multi-turn conversation a gap is always judged against the deadline of the turn
+    /// whose media it interrupted, not whatever turn is current when the retry fires.
+    pub fn set_deadline(&mut self, deadline: Option<SimTime>, recovery_estimate: SimDuration) {
+        self.deadline = deadline;
+        self.recovery_estimate = recovery_estimate;
+    }
+
+    /// NACK requests dropped because their retransmission could not have met the deadline.
+    pub fn nacks_suppressed(&self) -> u64 {
+        self.nacks_suppressed
     }
 
     /// Records the arrival of a media/RTX/FEC packet, detecting new gaps.
@@ -75,6 +108,7 @@ impl NackGenerator {
                             detected_at: now,
                             last_sent: None,
                             retries: 0,
+                            deadline: self.deadline,
                         });
                     }
                 }
@@ -89,10 +123,20 @@ impl NackGenerator {
     pub fn due_nacks(&mut self, now: SimTime) -> Vec<u64> {
         let mut due = Vec::new();
         let mut to_remove = Vec::new();
+        let mut suppressed = 0u64;
         for (&seq, state) in self.pending.iter_mut() {
             if state.retries >= self.config.max_retries {
                 to_remove.push(seq);
                 continue;
+            }
+            // Deadline cutoff: if the retransmission would arrive after the gap's
+            // conversational deadline, the request is wasted uplink — drop the record.
+            if let Some(deadline) = state.deadline {
+                if now + self.recovery_estimate > deadline {
+                    suppressed += 1;
+                    to_remove.push(seq);
+                    continue;
+                }
             }
             let guard_passed = now >= state.detected_at + self.config.reorder_guard;
             let retry_ok = match state.last_sent {
@@ -109,7 +153,25 @@ impl NackGenerator {
             self.pending.remove(&seq);
         }
         self.nacks_sent += due.len() as u64;
+        self.nacks_suppressed += suppressed;
         due
+    }
+
+    /// Drops receive and pending history below `seq` — the history bound a long-lived
+    /// conversation applies when a turn's frames are retired. Pending entries below the
+    /// bound belong to frames whose answer already shipped, so requesting them would be
+    /// wasted uplink.
+    ///
+    /// `highest_seen` is advanced to the bound as well: a retired sequence that never
+    /// arrived must not be re-detected as a gap by the next turn's first arrival (its
+    /// retransmission store entry is purged at the same bound, so a NACK for it could
+    /// never be answered).
+    pub fn forget_below(&mut self, seq: u64) {
+        self.received = self.received.split_off(&seq);
+        self.pending = self.pending.split_off(&seq);
+        if let Some(floor) = seq.checked_sub(1) {
+            self.highest_seen = Some(self.highest_seen.map_or(floor, |h| h.max(floor)));
+        }
     }
 
     /// Number of sequences currently believed missing.
@@ -215,6 +277,92 @@ mod tests {
         // Exhausted after max_retries.
         assert!(g.due_nacks(SimTime::from_millis(200)).is_empty());
         assert_eq!(g.nacks_sent(), 2);
+    }
+
+    #[test]
+    fn deadline_suppression_drops_hopeless_requests() {
+        let mut g = NackGenerator::new(NackConfig::default());
+        // 60 ms expected NACK→RTX delay, answer due at t = 100 ms.
+        g.set_deadline(Some(SimTime::from_millis(100)), SimDuration::from_millis(60));
+        g.on_packet(0, SimTime::from_millis(0));
+        g.on_packet(2, SimTime::from_millis(10)); // seq 1 missing
+                                                  // At t = 20 ms the RTX would land at ~80 ms — still inside the deadline: requested.
+        assert_eq!(g.due_nacks(SimTime::from_millis(20)), vec![1]);
+        // A second gap appears late in the window.
+        g.on_packet(4, SimTime::from_millis(70)); // seq 3 missing
+                                                  // At t = 90 ms any RTX lands at ~150 ms, past the deadline: both the retry of 1 and
+                                                  // the first request of 3 are suppressed, and the records are dropped entirely.
+        assert!(g.due_nacks(SimTime::from_millis(90)).is_empty());
+        assert_eq!(g.pending_count(), 0);
+        assert_eq!(g.nacks_suppressed(), 2);
+        // Nothing resurfaces later.
+        assert!(g.due_nacks(SimTime::from_millis(200)).is_empty());
+        assert_eq!(g.nacks_sent(), 1);
+    }
+
+    #[test]
+    fn deadline_is_stamped_at_detection_time() {
+        let mut g = NackGenerator::new(NackConfig::default());
+        g.set_deadline(Some(SimTime::from_millis(50)), SimDuration::from_millis(30));
+        g.on_packet(0, SimTime::from_millis(0));
+        g.on_packet(2, SimTime::from_millis(5)); // gap stamped with the 50 ms deadline
+                                                 // A new turn begins: a later deadline is armed, but the old gap keeps its own.
+        g.set_deadline(Some(SimTime::from_millis(500)), SimDuration::from_millis(30));
+        assert!(
+            g.due_nacks(SimTime::from_millis(40)).is_empty(),
+            "RTX at ~70 ms cannot beat the 50 ms deadline stamped at detection"
+        );
+        assert_eq!(g.nacks_suppressed(), 1);
+        // Gaps detected under the new deadline behave normally.
+        g.on_packet(5, SimTime::from_millis(60));
+        assert_eq!(g.due_nacks(SimTime::from_millis(70)), vec![3, 4]);
+    }
+
+    #[test]
+    fn no_deadline_means_no_suppression() {
+        let mut g = NackGenerator::new(NackConfig::default());
+        g.on_packet(0, SimTime::from_millis(0));
+        g.on_packet(2, SimTime::from_millis(1));
+        // Even absurdly late, the request is still made (legacy behaviour).
+        assert_eq!(g.due_nacks(SimTime::from_millis(10_000)), vec![1]);
+        assert_eq!(g.nacks_suppressed(), 0);
+    }
+
+    #[test]
+    fn forget_below_bounds_history_without_false_gaps() {
+        let mut g = NackGenerator::new(NackConfig::default());
+        for seq in 0..100u64 {
+            g.on_packet(seq, SimTime::from_millis(seq));
+        }
+        g.on_packet(101, SimTime::from_millis(101)); // seq 100 missing
+        g.forget_below(90);
+        assert_eq!(g.pending_count(), 1, "the live gap survives the bound");
+        // New arrivals above the bound do not re-detect forgotten sequences.
+        g.on_packet(102, SimTime::from_millis(102));
+        assert_eq!(g.pending_count(), 1);
+        g.forget_below(101);
+        assert_eq!(g.pending_count(), 0, "gaps of retired frames are dropped");
+    }
+
+    #[test]
+    fn forget_below_never_redetects_retired_lost_sequences() {
+        // Turn k's tail (seqs 102..=105) is lost outright: highest_seen stays at 101.
+        let mut g = NackGenerator::new(NackConfig::default());
+        for seq in 0..=101u64 {
+            g.on_packet(seq, SimTime::from_millis(seq));
+        }
+        // The turn is retired at the allocator bound (next fresh sequence = 106).
+        g.forget_below(106);
+        assert_eq!(g.pending_count(), 0);
+        // Turn k+1's first arrival must not resurrect 102..=105 as gaps — their RTX
+        // store entries were purged at the same bound, so NACKing them is pure waste.
+        g.on_packet(106, SimTime::from_millis(200));
+        g.on_packet(107, SimTime::from_millis(201));
+        assert_eq!(g.pending_count(), 0, "retired lost sequences were re-detected");
+        assert!(g.due_nacks(SimTime::from_millis(400)).is_empty());
+        // Genuinely new gaps above the bound still work.
+        g.on_packet(109, SimTime::from_millis(202));
+        assert_eq!(g.pending_count(), 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! but without building a standing queue. The pacer is a token bucket over bytes; the
 //! session runner asks it when the next packet may leave.
 
-use aivc_netsim::{SimDuration, SimTime};
+use aivc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Pacer configuration.

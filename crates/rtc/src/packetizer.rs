@@ -8,7 +8,7 @@
 use crate::rtp::{
     PayloadKind, RtpHeader, RtpPacket, DEFAULT_MTU_BYTES, RTP_HEADER_BYTES, UDP_IP_HEADER_BYTES,
 };
-use aivc_netsim::SimTime;
+use aivc_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -318,6 +318,17 @@ impl FrameAssembler {
     /// Status of every known frame, in frame-id order.
     pub fn all_statuses(&self) -> Vec<AssemblyStatus> {
         self.frames.keys().map(|id| self.status(*id).unwrap()).collect()
+    }
+
+    /// Drops reassembly state for frames below `frame_id` — the history bound a
+    /// long-lived conversation applies once a turn has been decoded and answered.
+    pub fn retire_before(&mut self, frame_id: u64) {
+        self.frames = self.frames.split_off(&frame_id);
+    }
+
+    /// Number of frames currently tracked.
+    pub fn tracked_frames(&self) -> usize {
+        self.frames.len()
     }
 }
 

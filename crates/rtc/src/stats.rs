@@ -126,7 +126,7 @@ impl SessionStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aivc_netsim::SimTime;
+    use aivc_sim::SimTime;
 
     fn record(send_ms: u64, complete_ms: Option<u64>, size: u64) -> FrameDeliveryRecord {
         FrameDeliveryRecord {

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example network_sweep`
 
-use aivchat::core::scenarios::{registry, run_scenario};
+use aivchat::core::scenarios::{conversation_registry, registry, run_conversation_scenario, run_scenario};
 use aivchat::mllm::{InferenceLatencyModel, MllmConfig};
 
 fn main() {
@@ -53,5 +53,42 @@ fn main() {
         "\nTakeaway (§2.2/§3.2): across every scenario the AI-oriented floor keeps the p95 frame \
          inside the conversational budget and the answer intact, while the estimate-riding \
          policy pays for its extra bits in queueing delay exactly when capacity moves."
+    );
+
+    // --- Continuous conversations: one transport timeline across every turn.
+    println!(
+        "\n{:<26} {:<12} {:>6} {:>11} {:>11} {:>9} {:>9} {:>8} {:>8}",
+        "conversation", "abr", "turns", "cold swing", "warm swing", "carry", "p95 (ms)", "correct", "nack-"
+    );
+    for scenario in conversation_registry() {
+        let report = run_conversation_scenario(&scenario);
+        for (abr, conv) in [
+            ("traditional", &report.traditional),
+            ("ai_oriented", &report.ai_oriented),
+        ] {
+            let max_carry = conv
+                .carryover_queue_delay_ms
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max);
+            println!(
+                "{:<26} {:<12} {:>6} {:>10.0}k {:>10.0}k {:>7.1}ms {:>9.1} {:>8.2} {:>8}",
+                scenario.name,
+                abr,
+                conv.turns.len(),
+                conv.cold_target_swing_bps() / 1e3,
+                conv.warm_target_swing_bps() / 1e3,
+                max_carry,
+                conv.p95_frame_latency_ms,
+                conv.correct_fraction(),
+                conv.nacks_suppressed,
+            );
+        }
+    }
+    println!(
+        "\nConversation takeaway: turn 0 pays the cold-start swing once; every later turn starts \
+         from the previous turn's estimate (warm swing is the residual trace-tracking), inherits \
+         any standing queue it left, and deadline-aware NACK suppression stops hopeless \
+         retransmits from competing with the next turn's media."
     );
 }

@@ -33,6 +33,8 @@ pub use aivc_rtc as rtc;
 pub use aivc_scene as scene;
 /// The CLIP-like text/patch embedding model (Eq. 1).
 pub use aivc_semantics as semantics;
+/// The deterministic discrete-event simulation kernel (virtual clock, event queue, actors).
+pub use aivc_sim as sim;
 /// The block-based video codec simulator with region-wise QP control.
 pub use aivc_videocodec as videocodec;
 /// The paper's contribution: context-aware streaming, Eq. 2 allocation, the end-to-end chat

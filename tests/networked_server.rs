@@ -4,12 +4,16 @@
 //! `AIVC_POOL_SIZE` configuration) and across repeated runs — sessions share nothing, so
 //! where a session's turn executes cannot change what its network or its MLLM did.
 
-use aivchat::core::scenarios::by_name;
-use aivchat::core::{NetSessionOptions, NetTurnReport, NetworkedChatServer, NetworkedChatSession};
+use aivchat::core::scenarios::{by_name, conversation_by_name};
+use aivchat::core::{
+    Conversation, ConversationChatServer, ConversationReport, NetSessionOptions, NetTurnReport,
+    NetworkedChatServer, NetworkedChatSession,
+};
 use aivchat::mllm::{Question, QuestionFormat};
 use aivchat::par::MiniPool;
 use aivchat::scene::templates::basketball_game;
 use aivchat::scene::{Frame, SourceConfig, VideoSource};
+use aivchat::sim::SimDuration;
 
 /// A compact turn window (2 s at 8 fps) so the pool sweep stays fast.
 fn window() -> Vec<Frame> {
@@ -75,6 +79,62 @@ fn networked_server_matches_standalone_sessions_after_multiple_turns() {
         standalone.run_turn(&frames, &q);
         let expected = standalone.run_turn(&frames, &q);
         assert_eq!(server.report(i), &expected, "session {i}");
+    }
+}
+
+/// Three turns of a 4-conversation server on a continuous timeline, for a pool size.
+fn collect_conversations(pool_size: usize, seed: u64) -> Vec<ConversationReport> {
+    let q = question();
+    let scenario = conversation_by_name("stepdown-mid-conversation").expect("registered");
+    let mut options = scenario.options(true);
+    options.seed = seed;
+    options.capture_fps = 8.0;
+    let mut server = ConversationChatServer::new(pool_size, 4, options, SimDuration::from_millis(700));
+    for _ in 0..3 {
+        server.run_turns(&window(), &q);
+    }
+    (0..4).map(|i| server.conversation_report(i)).collect()
+}
+
+/// The acceptance contract: a conversation replayed from the same seed is bit-identical
+/// at pool sizes 1, 2 and 8 (and the CI-pinned `AIVC_POOL_SIZE`) — the persistent
+/// timeline adds state, not nondeterminism.
+#[test]
+fn conversation_server_results_are_independent_of_pool_size() {
+    let sequential = collect_conversations(1, 4100);
+    assert_eq!(collect_conversations(2, 4100), sequential, "pool size 2 diverged");
+    assert_eq!(collect_conversations(8, 4100), sequential, "pool size 8 diverged");
+    assert_eq!(
+        collect_conversations(MiniPool::env_lanes(), 4100),
+        sequential,
+        "env pool diverged"
+    );
+}
+
+#[test]
+fn conversation_server_matches_standalone_conversations() {
+    let q = question();
+    let scenario = conversation_by_name("bursty-think-time").expect("registered");
+    let mut options = scenario.options(true);
+    options.seed = 2024;
+    options.capture_fps = 8.0;
+    let think = SimDuration::from_millis(900);
+    let mut server = ConversationChatServer::new(2, 3, options.clone(), think);
+    for _ in 0..2 {
+        server.run_turns(&window(), &q);
+    }
+    for i in 0..3 {
+        let mut o = options.clone();
+        o.seed += i as u64;
+        let mut standalone = Conversation::with_defaults(o, think);
+        for _ in 0..2 {
+            standalone.run_turn(&window(), &q);
+        }
+        assert_eq!(
+            server.conversation_report(i),
+            standalone.report(),
+            "conversation {i}"
+        );
     }
 }
 
