@@ -28,7 +28,7 @@
 //! turns on one instance.
 
 use crate::context_aware::StreamerConfig;
-use crate::net_session::{NetSessionOptions, NetTurnReport};
+use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport};
 use crate::net_turn::{drain_gap, finish_turn, run_turn_window, NetCompute, NetEvent, Transport};
 use aivc_mllm::Question;
 use aivc_netsim::LatencyStats;
@@ -36,11 +36,11 @@ use aivc_rtc::cc::GccController;
 use aivc_scene::Frame;
 use aivc_semantics::ClipModel;
 use aivc_sim::{SimDuration, SimTime, Simulation};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// The report of a whole conversation: every turn's [`NetTurnReport`] plus the cross-turn
 /// aggregates only a shared timeline can produce.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConversationReport {
     /// Per-turn reports, in turn order.
     pub turns: Vec<NetTurnReport>,
@@ -62,6 +62,67 @@ pub struct ConversationReport {
     pub mean_goodput_bps: f64,
     /// NACK requests dropped by deadline-aware suppression over the conversation.
     pub nacks_suppressed: u64,
+    /// Conversation-level fault/resilience telemetry: counters summed over every turn,
+    /// `outage_ms` accumulated across turn windows, and `time_to_recover_ms` from the first
+    /// turn that observed a recovery. All-zero — and omitted from serialization, keeping
+    /// fault-free fixtures byte-identical — when no faults or resilience features ran.
+    pub resilience: FaultTelemetry,
+}
+
+// Serialized by hand (the derive emits every field unconditionally): the `resilience`
+// object only appears when it carries information, so pre-existing conversation fixtures
+// are unchanged byte-for-byte.
+impl Serialize for ConversationReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("turns".to_string(), self.turns.to_value()),
+            (
+                "estimate_at_turn_start_bps".to_string(),
+                self.estimate_at_turn_start_bps.to_value(),
+            ),
+            (
+                "carryover_queue_delay_ms".to_string(),
+                self.carryover_queue_delay_ms.to_value(),
+            ),
+            (
+                "turn_target_swing_bps".to_string(),
+                self.turn_target_swing_bps.to_value(),
+            ),
+            (
+                "p50_frame_latency_ms".to_string(),
+                self.p50_frame_latency_ms.to_value(),
+            ),
+            (
+                "p95_frame_latency_ms".to_string(),
+                self.p95_frame_latency_ms.to_value(),
+            ),
+            ("mean_goodput_bps".to_string(), self.mean_goodput_bps.to_value()),
+            ("nacks_suppressed".to_string(), self.nacks_suppressed.to_value()),
+        ];
+        if !self.resilience.is_quiet() {
+            fields.push(("resilience".to_string(), self.resilience.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ConversationReport {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            turns: Deserialize::from_value(v.field("turns")?)?,
+            estimate_at_turn_start_bps: Deserialize::from_value(v.field("estimate_at_turn_start_bps")?)?,
+            carryover_queue_delay_ms: Deserialize::from_value(v.field("carryover_queue_delay_ms")?)?,
+            turn_target_swing_bps: Deserialize::from_value(v.field("turn_target_swing_bps")?)?,
+            p50_frame_latency_ms: Deserialize::from_value(v.field("p50_frame_latency_ms")?)?,
+            p95_frame_latency_ms: Deserialize::from_value(v.field("p95_frame_latency_ms")?)?,
+            mean_goodput_bps: Deserialize::from_value(v.field("mean_goodput_bps")?)?,
+            nacks_suppressed: Deserialize::from_value(v.field("nacks_suppressed")?)?,
+            resilience: match v.field("resilience")? {
+                Value::Null => FaultTelemetry::default(),
+                present => Deserialize::from_value(present)?,
+            },
+        })
+    }
 }
 
 impl ConversationReport {
@@ -222,6 +283,22 @@ impl Conversation {
         } else {
             self.turns.iter().map(|t| t.goodput_bps).sum::<f64>() / self.turns.len() as f64
         };
+        let mut resilience = FaultTelemetry::default();
+        for t in &self.turns {
+            let r = &t.resilience;
+            resilience.outage_ms += r.outage_ms;
+            if resilience.time_to_recover_ms.is_none() {
+                resilience.time_to_recover_ms = r.time_to_recover_ms;
+            }
+            resilience.degradation_events += r.degradation_events;
+            resilience.frames_shed += r.frames_shed;
+            resilience.captures_suppressed += r.captures_suppressed;
+            resilience.probes_sent += r.probes_sent;
+            resilience.watchdog_fallbacks += r.watchdog_fallbacks;
+            resilience.packets_duplicated += r.packets_duplicated;
+            resilience.packets_reordered += r.packets_reordered;
+            resilience.outage_drops += r.outage_drops;
+        }
         ConversationReport {
             turns: self.turns.clone(),
             estimate_at_turn_start_bps: self.estimate_at_turn_start_bps.clone(),
@@ -231,6 +308,7 @@ impl Conversation {
             p95_frame_latency_ms: latency.p95_ms(),
             mean_goodput_bps,
             nacks_suppressed: self.transport.nacks_suppressed(),
+            resilience,
         }
     }
 }

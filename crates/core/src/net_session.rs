@@ -32,13 +32,13 @@ use crate::session::StreamingMode;
 use aivc_mllm::{Answer, Question};
 use aivc_netsim::PathConfig;
 use aivc_rtc::cc::{GccConfig, GccController};
-use aivc_rtc::fec::FecConfig;
+use aivc_rtc::fec::{AdaptiveFecConfig, FecConfig};
 use aivc_rtc::nack::NackConfig;
 use aivc_rtc::AbrPolicy;
 use aivc_scene::Frame;
 use aivc_semantics::ClipModel;
-use aivc_sim::Simulation;
-use serde::{Deserialize, Serialize};
+use aivc_sim::{SimDuration, Simulation};
+use serde::{Deserialize, Serialize, Value};
 
 /// Options of one networked chat session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -74,6 +74,13 @@ pub struct NetSessionOptions {
     pub drain_secs: f64,
     /// Size of a feedback (NACK) packet on the wire, in bytes.
     pub feedback_packet_bytes: u32,
+    /// Adaptive FEC: parity group size driven by the live loss estimate, with the media
+    /// budget shaved so media + parity never exceeds the ABR target. Disabled by default
+    /// (the static [`NetSessionOptions::fec`] group size rules, bit for bit).
+    pub adaptive_fec: AdaptiveFecConfig,
+    /// The graceful-degradation ladder (outage capture suppression, probing, frame
+    /// shedding). Disabled by default.
+    pub degradation: DegradationConfig,
 }
 
 impl NetSessionOptions {
@@ -95,7 +102,22 @@ impl NetSessionOptions {
             // this long after the question was asked miss the answer.
             drain_secs: 0.3,
             feedback_packet_bytes: 80,
+            adaptive_fec: AdaptiveFecConfig::disabled(),
+            degradation: DegradationConfig::disabled(),
         }
+    }
+
+    /// Turns the full outage-resilience stack on: the GCC feedback watchdog (200 ms
+    /// timeout, 0.7 decay, 1.25× recovery ramp), loss-driven adaptive FEC, and the
+    /// graceful-degradation ladder. Fault scenarios opt in through this; everything else
+    /// keeps the off-by-default behaviour the golden fixtures pin.
+    pub fn with_resilience(mut self) -> Self {
+        self.gcc.watchdog_timeout = SimDuration::from_millis(200);
+        self.gcc.watchdog_beta = 0.7;
+        self.gcc.recovery_ramp_factor = 1.25;
+        self.adaptive_fec.enabled = true;
+        self.degradation.enabled = true;
+        self
     }
 
     /// Traditional WebRTC-style defaults: uniform-QP encoding riding the bandwidth
@@ -110,9 +132,87 @@ impl NetSessionOptions {
     }
 }
 
+/// The graceful-degradation ladder's knobs. When enabled, the turn engine steps down
+/// under stress instead of failing abruptly: a watchdog-declared outage suppresses
+/// captures (sending tiny probes instead, so the first post-outage feedback can return);
+/// a deep send backlog sheds whole late frames before their parity is even built; after
+/// recovery the congestion controller's ramp stages the climb back. Disabled by default —
+/// the ladder never engages and the pre-ladder behaviour is preserved bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Master switch for the ladder.
+    pub enabled: bool,
+    /// Uplink backlog (ms of queueing) beyond which a newly captured frame is shed whole:
+    /// encoding and sending it would only arrive after the conversational deadline while
+    /// deepening the queue for its successors.
+    pub shed_backlog_ms: f64,
+    /// Wire size of the keep-alive probe sent on each suppressed capture tick.
+    pub probe_packet_bytes: u32,
+}
+
+impl DegradationConfig {
+    /// Ladder off (the default).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            shed_backlog_ms: 150.0,
+            probe_packet_bytes: 200,
+        }
+    }
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Fault/resilience telemetry of one turn. All-zero (["quiet"](FaultTelemetry::is_quiet))
+/// whenever fault injection and the resilience stack are off, in which case it is omitted
+/// from the serialized report — the off-by-default contract that keeps the pre-fault
+/// golden fixtures byte-for-byte identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultTelemetry {
+    /// Scheduled uplink outage time overlapping the turn window, in ms.
+    pub outage_ms: f64,
+    /// Time from the last outage-dropped send to the first frame completing after it, in
+    /// ms — finite iff the session provably re-converged. `None` when no outage was seen
+    /// or nothing completed afterwards (recovery may land in a later turn).
+    pub time_to_recover_ms: Option<f64>,
+    /// Degradation-ladder level changes during the turn.
+    pub degradation_events: u64,
+    /// Frames shed whole by the ladder (backlog past the shed threshold).
+    pub frames_shed: u64,
+    /// Capture ticks suppressed while the watchdog held the session silent.
+    pub captures_suppressed: u64,
+    /// Keep-alive probes sent on suppressed capture ticks.
+    pub probes_sent: u64,
+    /// Watchdog decay steps the congestion controller took during the turn.
+    pub watchdog_fallbacks: u64,
+    /// Uplink packets duplicated by a fault episode during the turn.
+    pub packets_duplicated: u64,
+    /// Uplink packets reordered by a fault episode during the turn.
+    pub packets_reordered: u64,
+    /// Uplink packets dropped by outage episodes during the turn.
+    pub outage_drops: u64,
+}
+
+impl FaultTelemetry {
+    /// True when nothing fault-related happened (every field at its default) — the
+    /// serialization-omission condition.
+    pub fn is_quiet(&self) -> bool {
+        self == &Self::default()
+    }
+}
+
 /// The report of one networked chat turn — plain values only, so server slots can replace
 /// reports in place.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization note: `Serialize`/`Deserialize` are implemented by hand (not derived)
+/// so the `resilience` block is **omitted** when quiet. The pre-fault golden fixtures
+/// never contained the field; emitting an all-zero block would change every fixture byte
+/// stream, and the vendored serde derive has no field-skipping attribute support.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetTurnReport {
     /// The MLLM's answer over everything the receiver could decode before the deadline.
     pub answer: Answer,
@@ -141,6 +241,78 @@ pub struct NetTurnReport {
     pub retransmissions_sent: u64,
     /// The congestion controller's bandwidth estimate when the turn ended.
     pub final_estimate_bps: f64,
+    /// Fault/resilience telemetry; all-zero (and unserialized) when faults and the
+    /// resilience stack are off.
+    pub resilience: FaultTelemetry,
+}
+
+impl Serialize for NetTurnReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("answer".to_string(), self.answer.to_value()),
+            ("frames_sent".to_string(), self.frames_sent.to_value()),
+            ("frames_delivered".to_string(), self.frames_delivered.to_value()),
+            ("frames_decoded".to_string(), self.frames_decoded.to_value()),
+            (
+                "mean_target_bitrate_bps".to_string(),
+                self.mean_target_bitrate_bps.to_value(),
+            ),
+            (
+                "achieved_bitrate_bps".to_string(),
+                self.achieved_bitrate_bps.to_value(),
+            ),
+            ("goodput_bps".to_string(), self.goodput_bps.to_value()),
+            (
+                "p50_frame_latency_ms".to_string(),
+                self.p50_frame_latency_ms.to_value(),
+            ),
+            (
+                "p95_frame_latency_ms".to_string(),
+                self.p95_frame_latency_ms.to_value(),
+            ),
+            ("packets_lost".to_string(), self.packets_lost.to_value()),
+            (
+                "fec_recovered_frames".to_string(),
+                self.fec_recovered_frames.to_value(),
+            ),
+            (
+                "retransmissions_sent".to_string(),
+                self.retransmissions_sent.to_value(),
+            ),
+            (
+                "final_estimate_bps".to_string(),
+                self.final_estimate_bps.to_value(),
+            ),
+        ];
+        if !self.resilience.is_quiet() {
+            fields.push(("resilience".to_string(), self.resilience.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for NetTurnReport {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            answer: Deserialize::from_value(v.field("answer")?)?,
+            frames_sent: Deserialize::from_value(v.field("frames_sent")?)?,
+            frames_delivered: Deserialize::from_value(v.field("frames_delivered")?)?,
+            frames_decoded: Deserialize::from_value(v.field("frames_decoded")?)?,
+            mean_target_bitrate_bps: Deserialize::from_value(v.field("mean_target_bitrate_bps")?)?,
+            achieved_bitrate_bps: Deserialize::from_value(v.field("achieved_bitrate_bps")?)?,
+            goodput_bps: Deserialize::from_value(v.field("goodput_bps")?)?,
+            p50_frame_latency_ms: Deserialize::from_value(v.field("p50_frame_latency_ms")?)?,
+            p95_frame_latency_ms: Deserialize::from_value(v.field("p95_frame_latency_ms")?)?,
+            packets_lost: Deserialize::from_value(v.field("packets_lost")?)?,
+            fec_recovered_frames: Deserialize::from_value(v.field("fec_recovered_frames")?)?,
+            retransmissions_sent: Deserialize::from_value(v.field("retransmissions_sent")?)?,
+            final_estimate_bps: Deserialize::from_value(v.field("final_estimate_bps")?)?,
+            resilience: match v.field("resilience")? {
+                Value::Null => FaultTelemetry::default(),
+                present => Deserialize::from_value(present)?,
+            },
+        })
+    }
 }
 
 impl NetTurnReport {
@@ -160,6 +332,7 @@ impl NetTurnReport {
             fec_recovered_frames: 0,
             retransmissions_sent: 0,
             final_estimate_bps: 0.0,
+            resilience: FaultTelemetry::default(),
         }
     }
 }
@@ -271,9 +444,38 @@ mod tests {
                 queue_capacity_bytes: queue_bytes_for(8e6, 300),
                 loss: LossModel::Iid { rate: 0.01 },
                 max_jitter: SimDuration::ZERO,
+                faults: aivc_netsim::FaultSchedule::none(),
             },
             downlink: LinkConfig::constant(100e6, SimDuration::from_millis(30), 300, LossModel::None),
         }
+    }
+
+    #[test]
+    fn degradation_ladder_sheds_late_frames_under_deep_backlog() {
+        // A 400 kbps pipe with a cold controller that believes 4 Mbps: the pacer floods
+        // the bottleneck queue far past `shed_backlog_ms`, so the SoftFallback rung must
+        // shed whole late frames instead of encoding into a standing queue.
+        let path = PathConfig {
+            uplink: LinkConfig::constant(400e3, SimDuration::from_millis(30), 300, LossModel::None),
+            downlink: LinkConfig::constant(100e6, SimDuration::from_millis(30), 300, LossModel::None),
+        };
+        let mut options = NetSessionOptions::traditional(11, path).with_resilience();
+        options.capture_fps = 12.0;
+        options.gcc.initial_estimate_bps = 4_000_000.0;
+        let mut session = NetworkedChatSession::with_defaults(options);
+        let frames = window(12.0, 2.0);
+        let report = session.run_turn(&frames, &question());
+        assert_eq!(report.frames_sent, frames.len(), "shed frames still occupy slots");
+        assert!(
+            report.resilience.frames_shed > 0,
+            "deep backlog must shed frames: {:?}",
+            report.resilience
+        );
+        assert!(report.resilience.degradation_events > 0);
+        // No outage was injected, so no outage telemetry may appear.
+        assert_eq!(report.resilience.outage_ms, 0.0);
+        assert_eq!(report.resilience.outage_drops, 0);
+        assert_eq!(report.resilience.time_to_recover_ms, None);
     }
 
     #[test]

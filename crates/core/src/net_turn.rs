@@ -23,13 +23,14 @@
 
 use crate::allocator::QpAllocator;
 use crate::context_aware::StreamerConfig;
-use crate::net_session::{NetSessionOptions, NetTurnReport};
+use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport};
 use crate::session::StreamingMode;
 use aivc_mllm::{MllmChat, MllmScratch, Question};
 use aivc_netsim::emulator::Direction;
-use aivc_netsim::{LatencyStats, NetworkEmulator, Packet};
+use aivc_netsim::link::LinkCounters;
+use aivc_netsim::{DeliveryOutcome, LatencyStats, NetworkEmulator, Packet};
 use aivc_rtc::cc::{GccController, PacketFeedback};
-use aivc_rtc::fec::{FecEncoder, FecRecovery};
+use aivc_rtc::fec::{group_of_index, FecEncoder, FecRecovery};
 use aivc_rtc::nack::{NackGenerator, RtxQueue};
 use aivc_rtc::pacer::{Pacer, PacerConfig};
 use aivc_rtc::packetizer::{FrameAssembler, OutgoingFrame, Packetizer};
@@ -65,6 +66,23 @@ pub(crate) enum NetEvent {
 pub(crate) struct NetFrameProgress {
     pub(crate) send_start: Option<SimTime>,
     pub(crate) fec_recovered: bool,
+}
+
+/// The graceful-degradation ladder's current rung. The ladder only moves when
+/// [`crate::net_session::DegradationConfig::enabled`] — otherwise the transport stays
+/// pinned at [`DegradationLevel::Normal`] and behaves exactly as before the ladder
+/// existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum DegradationLevel {
+    /// Full operation: every capture is encoded and sent.
+    #[default]
+    Normal,
+    /// Stressed: recovering from a fallback, or the send backlog is deep — late frames
+    /// are shed whole before their parity is built.
+    SoftFallback,
+    /// The watchdog declared the feedback channel dead: captures are suppressed and tiny
+    /// probes go out instead, so the first post-outage feedback can find its way back.
+    OutageSuppress,
 }
 
 /// The compute half of a networked session: the chat pipeline and every reusable scratch.
@@ -231,6 +249,10 @@ pub(crate) struct Transport {
     // --- global frame bookkeeping (indexed by frame id) ---
     outgoing: Vec<OutgoingFrame>,
     media_first_seq: Vec<u64>,
+    /// Parity group size each live frame was protected with — arrival-side FEC lookups
+    /// must use the size *the frame was encoded under*, not the encoder's current size
+    /// (adaptive FEC re-sizes between frames).
+    media_group_size: Vec<u32>,
     /// Sequence → (frame index, media packet index) for FEC-group reconstruction.
     seq_to_media: BTreeMap<u64, (usize, usize)>,
     progress: Vec<NetFrameProgress>,
@@ -245,6 +267,21 @@ pub(crate) struct Transport {
     turn_target_max: f64,
     /// Frame transmission latencies recorded at the current turn's deadline.
     pub(crate) turn_frame_latencies: Vec<SimDuration>,
+    // --- resilience bookkeeping ---
+    /// Current degradation-ladder rung (always `Normal` when the ladder is disabled).
+    degradation_level: DegradationLevel,
+    /// Time of the most recent outage-dropped uplink send, awaiting the first frame
+    /// completion after it (the `time_to_recover_ms` anchor). Survives turn boundaries:
+    /// an outage at a turn's tail is recovered from — and measured — in the next turn.
+    pending_outage_recovery: Option<SimTime>,
+    /// Uplink link-counter snapshot at the last report, for per-turn deltas.
+    counters_reported: LinkCounters,
+    /// GCC watchdog-fallback count at the last report, for per-turn deltas.
+    watchdog_fallbacks_reported: u64,
+    turn_degradation_events: u64,
+    turn_frames_shed: u64,
+    turn_captures_suppressed: u64,
+    turn_probes_sent: u64,
 }
 
 impl Transport {
@@ -270,6 +307,7 @@ impl Transport {
             max_payload: Packetizer::default().max_payload() as u64,
             outgoing: Vec::new(),
             media_first_seq: Vec::new(),
+            media_group_size: Vec::new(),
             seq_to_media: BTreeMap::new(),
             progress: Vec::new(),
             retired_below: 0,
@@ -279,6 +317,14 @@ impl Transport {
             turn_target_min: f64::INFINITY,
             turn_target_max: f64::NEG_INFINITY,
             turn_frame_latencies: Vec::new(),
+            degradation_level: DegradationLevel::Normal,
+            pending_outage_recovery: None,
+            counters_reported: LinkCounters::default(),
+            watchdog_fallbacks_reported: 0,
+            turn_degradation_events: 0,
+            turn_frames_shed: 0,
+            turn_captures_suppressed: 0,
+            turn_probes_sent: 0,
         }
     }
 
@@ -311,6 +357,10 @@ impl Transport {
         self.turn_target_min = f64::INFINITY;
         self.turn_target_max = f64::NEG_INFINITY;
         self.turn_frame_latencies.clear();
+        self.turn_degradation_events = 0;
+        self.turn_frames_shed = 0;
+        self.turn_captures_suppressed = 0;
+        self.turn_probes_sent = 0;
     }
 
     /// The spread between the largest and smallest ABR target of the current turn — the
@@ -340,6 +390,7 @@ impl Transport {
             && self.outgoing.is_empty()
             && self.progress.is_empty()
             && self.media_first_seq.is_empty()
+            && self.media_group_size.is_empty()
     }
 
     /// Retires every frame below `frame` (all reported turns): reassembly, FEC-group,
@@ -356,6 +407,7 @@ impl Transport {
         self.outgoing.drain(..drop_n);
         self.progress.drain(..drop_n);
         self.media_first_seq.drain(..drop_n);
+        self.media_group_size.drain(..drop_n);
         self.retired_below = frame;
         let bound_seq = self.packetizer.next_sequence();
         self.seq_to_media.retain(|_, (f, _)| *f >= frame);
@@ -416,8 +468,27 @@ impl Actor for TurnMachine<'_> {
                     }
                 });
                 if !t.cc_batch.is_empty() {
-                    self.gcc.on_feedback_report(&t.cc_batch);
+                    self.gcc.on_feedback_report_at(now, &t.cc_batch);
                 }
+                self.gcc.poll_watchdog(now);
+
+                // --- The degradation ladder decides what this capture tick does.
+                let deg = self.compute.options.degradation;
+                let backlog_ms = t.emulator.uplink().backlog(now).as_millis_f64();
+                let level = if !deg.enabled {
+                    DegradationLevel::Normal
+                } else if self.gcc.is_silent() {
+                    DegradationLevel::OutageSuppress
+                } else if self.gcc.in_fallback() || backlog_ms > deg.shed_backlog_ms {
+                    DegradationLevel::SoftFallback
+                } else {
+                    DegradationLevel::Normal
+                };
+                if level != t.degradation_level {
+                    t.degradation_level = level;
+                    t.turn_degradation_events += 1;
+                }
+
                 let fps = self.compute.options.capture_fps;
                 let target_bps = self.compute.options.abr.target_bitrate(self.gcc.estimate_bps());
                 t.turn_target_sum += target_bps;
@@ -425,9 +496,88 @@ impl Actor for TurnMachine<'_> {
                 t.turn_target_max = t.turn_target_max.max(target_bps);
                 t.pacer.set_rate(target_bps * 2.5, now);
 
-                // --- Encode frame i to the per-frame budget the target implies.
                 let local = i - self.window.base;
-                let budget_bits = target_bps / fps;
+                debug_assert_eq!(
+                    t.retired_below + t.outgoing.len(),
+                    i,
+                    "captures must arrive in frame order"
+                );
+                let suppress = level == DegradationLevel::OutageSuppress;
+                let shed = level == DegradationLevel::SoftFallback && backlog_ms > deg.shed_backlog_ms;
+                if suppress || shed {
+                    // Placeholder bookkeeping keeps the frame-order invariant and slot
+                    // indexing intact: the frame's slot exists, but nothing is encoded,
+                    // packetized or expected by the assembler — at the deadline the frame
+                    // simply reads as never delivered (the decoder conceals the gap).
+                    t.outgoing.push(OutgoingFrame {
+                        frame_id: i as u64,
+                        capture_ts_us: self.window.capture_ts_us(i),
+                        size_bytes: 0,
+                        is_keyframe: false,
+                    });
+                    t.progress.push(NetFrameProgress::default());
+                    t.media_first_seq.push(u64::MAX);
+                    t.media_group_size.push(0);
+                    if shed {
+                        t.turn_frames_shed += 1;
+                        return;
+                    }
+                    t.turn_captures_suppressed += 1;
+                    // The keep-alive probe rides the suppressed capture tick: a tiny
+                    // uplink packet whose feedback (or continued silence) tells the
+                    // watchdog whether the path is back.
+                    let probe = Packet::new(t.next_net_packet_id, deg.probe_packet_bytes, now).with_flow(0);
+                    t.next_net_packet_id += 1;
+                    t.turn_probes_sent += 1;
+                    let outcome = t.emulator.send(Direction::Uplink, &probe, now);
+                    match outcome.arrival() {
+                        Some(arrival) => t.cc_pending.push((
+                            arrival.as_micros() + t.down_prop_us,
+                            PacketFeedback {
+                                sent_at: now,
+                                arrived_at: Some(arrival),
+                                size_bytes: deg.probe_packet_bytes,
+                            },
+                        )),
+                        None => {
+                            t.turn_packets_lost += 1;
+                            if outcome == DeliveryOutcome::DroppedOutage {
+                                // Blackout silence: no synthetic loss report (see the
+                                // media-send loss path) — the watchdog keeps decaying
+                                // until a probe actually makes it through.
+                                t.pending_outage_recovery = Some(now);
+                            } else {
+                                t.cc_pending.push((
+                                    now.as_micros() + t.up_prop_us + t.down_prop_us + 20_000,
+                                    PacketFeedback {
+                                        sent_at: now,
+                                        arrived_at: None,
+                                        size_bytes: deg.probe_packet_bytes,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                    return;
+                }
+
+                // --- Adaptive FEC: re-size the parity groups from the live loss estimate
+                // and shave the parity overhead off the media budget, so media + parity
+                // together never exceed the ABR target.
+                let adaptive = self.compute.options.adaptive_fec;
+                if adaptive.enabled && self.compute.options.fec.is_enabled() {
+                    let g = adaptive
+                        .group_for_loss(self.gcc.loss_estimate(), self.compute.options.fec.group_size);
+                    t.fec_encoder.set_group_size(g);
+                }
+                let group_size = t.fec_encoder.group_size();
+                let budget_bits = if adaptive.enabled && group_size > 0 {
+                    (target_bps / fps) * group_size as f64 / (group_size as f64 + 1.0)
+                } else {
+                    target_bps / fps
+                };
+
+                // --- Encode frame i to the per-frame budget the target implies.
                 self.compute
                     .encode_slot_to_budget(local, &self.frames[local], budget_bits);
                 let encoded = &self.compute.encoded_slots[local];
@@ -437,25 +587,21 @@ impl Actor for TurnMachine<'_> {
                     size_bytes: encoded.total_bytes(),
                     is_keyframe: encoded.frame_type == aivc_videocodec::FrameType::Intra,
                 };
-                debug_assert_eq!(
-                    t.retired_below + t.outgoing.len(),
-                    i,
-                    "captures must arrive in frame order"
-                );
                 t.outgoing.push(frame_out);
                 t.progress.push(NetFrameProgress::default());
                 t.assembler.expect_frame(&frame_out);
 
                 // --- Packetize, protect, pace.
                 t.packetizer.packetize_into(&frame_out, &mut t.media);
-                if self.compute.options.fec.is_enabled() {
+                if group_size > 0 {
                     for (pi, p) in t.media.iter_mut().enumerate() {
-                        p.fec_group = t.fec_encoder.group_of(pi);
+                        p.fec_group = group_of_index(group_size, pi);
                     }
                 }
                 let packetizer = &mut t.packetizer;
                 let parity = t.fec_encoder.protect(&t.media, || packetizer.allocate_sequence());
                 t.media_first_seq.push(t.media[0].header.sequence);
+                t.media_group_size.push(group_size);
                 for (pi, p) in t.media.iter().enumerate() {
                     t.seq_to_media.insert(p.header.sequence, (i, pi));
                     t.rtx.remember(p);
@@ -485,6 +631,12 @@ impl Actor for TurnMachine<'_> {
                 match outcome.arrival() {
                     Some(arrival) => {
                         sim.schedule_at(arrival, NetEvent::UplinkArrival(packet));
+                        if let Some(dup_at) = t.emulator.take_uplink_duplicate() {
+                            // A Duplicate fault episode emitted a second copy one
+                            // serialization time behind the original; reassembly and FEC
+                            // bookkeeping absorb it idempotently.
+                            sim.schedule_at(dup_at, NetEvent::UplinkArrival(packet));
+                        }
                         // The receiver's next report reaches the sender one downlink
                         // propagation after arrival.
                         t.cc_pending.push((
@@ -498,6 +650,14 @@ impl Actor for TurnMachine<'_> {
                     }
                     None => {
                         t.turn_packets_lost += 1;
+                        if outcome == DeliveryOutcome::DroppedOutage {
+                            // A blackout is *silence*, not a loss report: the receiver only
+                            // discovers gaps from later arrivals, and during a full outage
+                            // there are none. No synthetic feedback — this silence is
+                            // exactly what the congestion controller's watchdog detects.
+                            t.pending_outage_recovery = Some(now);
+                            return;
+                        }
                         // The sender infers the loss from the gap in the next report:
                         // roughly one RTT plus a reporting guard after the send.
                         t.cc_pending.push((
@@ -522,24 +682,26 @@ impl Actor for TurnMachine<'_> {
                     match packet.header.kind {
                         PayloadKind::Media | PayloadKind::Retransmission => {
                             t.assembler.on_packet(&packet, now);
-                            if self.compute.options.fec.is_enabled() {
-                                if let Some((fi, media_idx)) =
-                                    t.seq_to_media.get(&packet.header.sequence).copied()
-                                {
-                                    if let Some(group) = t.fec_encoder.group_of(media_idx) {
-                                        t.fec_recovery.on_media(fi as u64, group, media_idx);
-                                        fec_candidate = Some((fi, group));
-                                    }
+                            // FEC bookkeeping keys off the group size the frame was
+                            // *encoded* under (stored per frame), not the encoder's
+                            // current size — adaptive FEC may have re-sized since.
+                            if let Some((fi, media_idx)) =
+                                t.seq_to_media.get(&packet.header.sequence).copied()
+                            {
+                                let group_size = t.live_slot(fi).map_or(0, |s| t.media_group_size[s]);
+                                if let Some(group) = group_of_index(group_size, media_idx) {
+                                    t.fec_recovery.on_media(fi as u64, group, media_idx);
+                                    fec_candidate = Some((fi, group));
                                 }
                             }
                         }
                         PayloadKind::Fec => {
-                            if let (Some(group), Some(frame)) =
-                                (packet.fec_group, t.live_slot(frame_idx).map(|s| &t.outgoing[s]))
-                            {
+                            if let (Some(group), Some(slot)) = (packet.fec_group, t.live_slot(frame_idx)) {
+                                let frame = &t.outgoing[slot];
+                                let group_size = t.media_group_size[slot];
                                 let count = (frame.size_bytes.div_ceil(t.max_payload).max(1)) as usize;
                                 for pi in 0..count {
-                                    if t.fec_encoder.group_of(pi) == Some(group) {
+                                    if group_of_index(group_size, pi) == Some(group) {
                                         t.fec_recovery.expect_media(frame.frame_id, group, pi);
                                     }
                                 }
@@ -683,12 +845,21 @@ pub(crate) fn run_turn_window(
     let mut frames_delivered = 0usize;
     let mut received_bits: u64 = 0;
     let mut latency = LatencyStats::new();
+    // Time-to-recover anchor: the most recent outage-dropped send (possibly from a prior
+    // turn or think gap); the first frame completing after it marks re-convergence.
+    let outage_anchor = transport.pending_outage_recovery;
+    let mut recovered_at: Option<SimTime> = None;
     for (local, frame_out) in transport.outgoing[base_slot..].iter().enumerate() {
         let Some(status) = transport.assembler.status(frame_out.frame_id) else {
             continue;
         };
         if status.complete {
             frames_delivered += 1;
+            if let (Some(t0), Some(done)) = (outage_anchor, status.completed_at) {
+                if done > t0 && recovered_at.is_none_or(|r| done < r) {
+                    recovered_at = Some(done);
+                }
+            }
             if let (Some(done), Some(start)) = (
                 status.completed_at,
                 transport.progress[base_slot + local].send_start,
@@ -723,6 +894,39 @@ pub(crate) fn run_turn_window(
         &mut compute.mllm,
     );
 
+    // --- Resilience telemetry: outage exposure, recovery time, ladder activity, and the
+    // per-turn deltas of the always-on link fault counters. All-zero ("quiet") — and
+    // omitted from serialization — whenever faults and the resilience stack are off.
+    let time_to_recover_ms = match (transport.pending_outage_recovery, recovered_at) {
+        (Some(t0), Some(done)) => {
+            transport.pending_outage_recovery = None;
+            Some(done.saturating_since(t0).as_millis_f64())
+        }
+        _ => None,
+    };
+    let uplink_counters = transport.emulator.uplink().counters();
+    let watchdog_fallbacks_now = gcc.watchdog_fallbacks();
+    let resilience = FaultTelemetry {
+        outage_ms: compute
+            .options
+            .path
+            .uplink
+            .faults
+            .outage_overlap(SimTime::from_micros(window.start_us), horizon)
+            .as_millis_f64(),
+        time_to_recover_ms,
+        degradation_events: transport.turn_degradation_events,
+        frames_shed: transport.turn_frames_shed,
+        captures_suppressed: transport.turn_captures_suppressed,
+        probes_sent: transport.turn_probes_sent,
+        watchdog_fallbacks: watchdog_fallbacks_now - transport.watchdog_fallbacks_reported,
+        packets_duplicated: uplink_counters.duplicated - transport.counters_reported.duplicated,
+        packets_reordered: uplink_counters.reordered - transport.counters_reported.reordered,
+        outage_drops: uplink_counters.outage_drops - transport.counters_reported.outage_drops,
+    };
+    transport.counters_reported = uplink_counters;
+    transport.watchdog_fallbacks_reported = watchdog_fallbacks_now;
+
     let window_secs = (frames.len() as f64 / fps).max(1e-9);
     let encoded_bits: u64 = transport.outgoing[base_slot..]
         .iter()
@@ -745,6 +949,7 @@ pub(crate) fn run_turn_window(
             .count() as u64,
         retransmissions_sent: transport.turn_retransmissions_sent,
         final_estimate_bps: gcc.estimate_bps(),
+        resilience,
     }
     // Callers on a persistent timeline retire the reported frames via `finish_turn`.
 }

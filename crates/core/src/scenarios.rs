@@ -18,7 +18,10 @@ use crate::conversation::{Conversation, ConversationReport};
 use crate::net_session::{queue_bytes_for, NetSessionOptions, NetTurnReport, NetworkedChatSession};
 use crate::server::NetworkedChatServer;
 use aivc_mllm::{Question, QuestionFormat};
-use aivc_netsim::{BandwidthTrace, LinkConfig, LossModel, PathConfig, SimDuration, SimTime};
+use aivc_netsim::{
+    BandwidthTrace, FaultEpisode, FaultKind, FaultSchedule, LinkConfig, LossModel, PathConfig, SimDuration,
+    SimTime,
+};
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{Frame, SourceConfig, VideoSource};
 use serde::{Deserialize, Serialize};
@@ -36,6 +39,11 @@ pub struct Scenario {
     pub window_secs: f64,
     /// Capture rate of the turn window.
     pub capture_fps: f64,
+    /// When true, the session runs with the full outage-resilience stack on
+    /// ([`NetSessionOptions::with_resilience`]): feedback watchdog, adaptive FEC and the
+    /// graceful-degradation ladder. Fault-injection scenarios set this; the pre-existing
+    /// registry entries keep it off, preserving their fixtures bit for bit.
+    pub resilience: bool,
     /// The bidirectional path (the uplink carries the video).
     pub path: PathConfig,
 }
@@ -53,6 +61,9 @@ impl Scenario {
         // several-Mbps estimate from earlier turns, so traditional ABR is immediately
         // aggressive while AI-oriented ABR sticks to its floor.
         options.gcc.initial_estimate_bps = 2_500_000.0;
+        if self.resilience {
+            options = options.with_resilience();
+        }
         options
     }
 
@@ -77,6 +88,16 @@ fn clean_downlink() -> LinkConfig {
 }
 
 fn uplink(bandwidth: BandwidthTrace, nominal_bps: f64, loss: LossModel) -> PathConfig {
+    uplink_with_faults(bandwidth, nominal_bps, loss, FaultSchedule::none())
+}
+
+/// [`uplink`] with a deterministic fault schedule composed over the uplink's sends.
+fn uplink_with_faults(
+    bandwidth: BandwidthTrace,
+    nominal_bps: f64,
+    loss: LossModel,
+    faults: FaultSchedule,
+) -> PathConfig {
     PathConfig {
         uplink: LinkConfig {
             bandwidth,
@@ -84,6 +105,7 @@ fn uplink(bandwidth: BandwidthTrace, nominal_bps: f64, loss: LossModel) -> PathC
             queue_capacity_bytes: queue_bytes_for(nominal_bps, 300),
             loss,
             max_jitter: SimDuration::ZERO,
+            faults,
         },
         downlink: clean_downlink(),
     }
@@ -101,6 +123,7 @@ pub fn registry() -> Vec<Scenario> {
             seed: 101,
             window_secs: 3.0,
             capture_fps: 12.0,
+            resilience: false,
             path: uplink(
                 BandwidthTrace::constant(10e6),
                 10e6,
@@ -113,6 +136,7 @@ pub fn registry() -> Vec<Scenario> {
             seed: 202,
             window_secs: 3.0,
             capture_fps: 12.0,
+            resilience: false,
             path: uplink(
                 BandwidthTrace::step(8e6, 1.2e6, secs(1.5)),
                 8e6,
@@ -125,6 +149,7 @@ pub fn registry() -> Vec<Scenario> {
             seed: 303,
             window_secs: 3.0,
             capture_fps: 12.0,
+            resilience: false,
             path: uplink(
                 BandwidthTrace::square_wave(8e6, 1.5e6, secs(1.0), secs(8.0)),
                 8e6,
@@ -137,6 +162,7 @@ pub fn registry() -> Vec<Scenario> {
             seed: 404,
             window_secs: 3.0,
             capture_fps: 12.0,
+            resilience: false,
             path: uplink(
                 BandwidthTrace::random_walk(404, 5e6, 1e6, 9e6, secs(0.5), secs(8.0)),
                 5e6,
@@ -149,6 +175,7 @@ pub fn registry() -> Vec<Scenario> {
             seed: 505,
             window_secs: 3.0,
             capture_fps: 12.0,
+            resilience: false,
             path: uplink(BandwidthTrace::constant(4e6), 4e6, LossModel::bursty(0.08, 16.0)),
         },
         Scenario {
@@ -157,6 +184,7 @@ pub fn registry() -> Vec<Scenario> {
             seed: 606,
             window_secs: 3.0,
             capture_fps: 12.0,
+            resilience: false,
             path: uplink(
                 BandwidthTrace::from_segments(vec![
                     (SimTime::ZERO, 12e6),
@@ -167,6 +195,64 @@ pub fn registry() -> Vec<Scenario> {
                 ]),
                 12e6,
                 LossModel::Iid { rate: 0.005 },
+            ),
+        },
+        Scenario {
+            name: "handover-blackout",
+            summary: "10 Mbps with a 500 ms total blackout mid-turn (radio handover) — the \
+                      watchdog falls back during the silence and the ladder suppresses \
+                      captures until feedback returns",
+            seed: 707,
+            window_secs: 3.0,
+            capture_fps: 12.0,
+            resilience: true,
+            path: uplink_with_faults(
+                BandwidthTrace::constant(10e6),
+                10e6,
+                LossModel::Iid { rate: 0.01 },
+                FaultSchedule::blackout(secs(1.2), SimDuration::from_millis(500)),
+            ),
+        },
+        Scenario {
+            name: "rtt-spike-midturn",
+            summary: "8 Mbps where the path reroutes mid-turn: a 250 ms blackout at the \
+                      switch, +250 ms one-way delay for a second, and 5% duplication and \
+                      bounded reordering while the routes converge",
+            seed: 808,
+            window_secs: 3.0,
+            capture_fps: 12.0,
+            resilience: true,
+            path: uplink_with_faults(
+                BandwidthTrace::constant(8e6),
+                8e6,
+                LossModel::Iid { rate: 0.005 },
+                FaultSchedule::new(vec![
+                    FaultEpisode {
+                        start: secs(1.0),
+                        duration: SimDuration::from_millis(250),
+                        kind: FaultKind::Outage,
+                    },
+                    FaultEpisode {
+                        start: secs(1.0),
+                        duration: SimDuration::from_secs_f64(1.0),
+                        kind: FaultKind::RttSpike {
+                            extra_delay: SimDuration::from_millis(250),
+                        },
+                    },
+                    FaultEpisode {
+                        start: secs(0.5),
+                        duration: SimDuration::from_secs_f64(2.0),
+                        kind: FaultKind::Duplicate { probability: 0.05 },
+                    },
+                    FaultEpisode {
+                        start: secs(0.5),
+                        duration: SimDuration::from_secs_f64(2.0),
+                        kind: FaultKind::Reorder {
+                            probability: 0.05,
+                            max_delay: SimDuration::from_millis(40),
+                        },
+                    },
+                ]),
             ),
         },
     ]
@@ -266,6 +352,10 @@ pub struct ConversationScenario {
     pub capture_fps: f64,
     /// The user's think time between consecutive turns, in seconds.
     pub think_secs: f64,
+    /// When true, the session runs with the full outage-resilience stack on
+    /// ([`NetSessionOptions::with_resilience`]). Fault-injection scenarios set this; the
+    /// pre-existing registry entries keep it off, preserving their fixtures bit for bit.
+    pub resilience: bool,
     /// The bidirectional path (the uplink carries the video). The uplink trace may be
     /// shorter than the conversation — looping traces span turns by design.
     pub path: PathConfig,
@@ -284,6 +374,9 @@ impl ConversationScenario {
         };
         options.capture_fps = self.capture_fps;
         options.deadline_aware_nack = true;
+        if self.resilience {
+            options = options.with_resilience();
+        }
         options
     }
 
@@ -325,6 +418,7 @@ pub fn conversation_registry() -> Vec<ConversationScenario> {
             window_secs: 1.5,
             capture_fps: 12.0,
             think_secs: 1.0,
+            resilience: false,
             path: uplink(
                 BandwidthTrace::from_segments(vec![
                     (SimTime::ZERO, 12e6),
@@ -347,6 +441,7 @@ pub fn conversation_registry() -> Vec<ConversationScenario> {
             window_secs: 1.5,
             capture_fps: 12.0,
             think_secs: 0.8,
+            resilience: false,
             path: uplink(
                 BandwidthTrace::step(8e6, 1.2e6, secs(6.0)),
                 8e6,
@@ -362,7 +457,37 @@ pub fn conversation_registry() -> Vec<ConversationScenario> {
             window_secs: 1.5,
             capture_fps: 12.0,
             think_secs: 1.2,
+            resilience: false,
             path: uplink(BandwidthTrace::constant(4e6), 4e6, LossModel::bursty(0.08, 16.0)),
+        },
+        ConversationScenario {
+            name: "burst-storm-conversation",
+            summary: "4 Mbps with Gilbert–Elliott bursts plus an injected loss storm (50% for \
+                      1 s) containing a 400 ms blackout that lands mid-turn — the resilience \
+                      stack degrades gracefully and recovers within the conversation",
+            seed: 4_004,
+            turns: 6,
+            window_secs: 1.5,
+            capture_fps: 12.0,
+            think_secs: 1.2,
+            resilience: true,
+            path: uplink_with_faults(
+                BandwidthTrace::constant(4e6),
+                4e6,
+                LossModel::bursty(0.08, 16.0),
+                FaultSchedule::new(vec![
+                    FaultEpisode {
+                        start: SimTime::from_secs_f64(3.0),
+                        duration: SimDuration::from_secs_f64(1.0),
+                        kind: FaultKind::BurstLoss { loss_rate: 0.5 },
+                    },
+                    FaultEpisode {
+                        start: SimTime::from_secs_f64(3.2),
+                        duration: SimDuration::from_millis(400),
+                        kind: FaultKind::Outage,
+                    },
+                ]),
+            ),
         },
     ]
 }
@@ -467,6 +592,67 @@ mod tests {
         assert_eq!(frames_a.len(), 18);
         let (_, q_other) = scenario.turn(3);
         assert_ne!(q_a, q_other, "consecutive turns ask different questions");
+    }
+
+    #[test]
+    fn fault_scenarios_engage_the_ladder_and_recover() {
+        let scenario = by_name("handover-blackout").unwrap();
+        assert!(scenario.resilience);
+        let (trad, ai) = run_modes(&scenario);
+        for (mode, r) in [("traditional", &trad), ("ai_oriented", &ai)] {
+            let res = &r.resilience;
+            assert_eq!(res.outage_ms, 500.0, "{mode}: the schedule's blackout length");
+            assert!(res.outage_drops > 0, "{mode}: blackout must drop sends");
+            assert!(res.watchdog_fallbacks > 0, "{mode}: watchdog must fire");
+            assert!(
+                res.captures_suppressed > 0 && res.probes_sent == res.captures_suppressed,
+                "{mode}: every suppressed capture sends one keep-alive probe"
+            );
+            assert!(res.degradation_events > 0, "{mode}: ladder transitions counted");
+            let ttr = res.time_to_recover_ms.unwrap_or(f64::NAN);
+            assert!(
+                ttr.is_finite() && ttr > 0.0,
+                "{mode}: time_to_recover_ms must be finite, got {ttr}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplication_and_reordering_counters_are_surfaced() {
+        let scenario = by_name("rtt-spike-midturn").unwrap();
+        let (trad, ai) = run_modes(&scenario);
+        assert!(
+            trad.resilience.packets_duplicated + ai.resilience.packets_duplicated > 0,
+            "a 5% duplicate episode over two seconds must duplicate something"
+        );
+        assert!(
+            trad.resilience.packets_reordered + ai.resilience.packets_reordered > 0,
+            "a 5% reorder episode over two seconds must reorder something"
+        );
+    }
+
+    #[test]
+    fn fault_free_scenarios_report_quiet_telemetry() {
+        // The serialization-omission condition behind fixture bit-identity: without a
+        // fault schedule or the resilience stack, the telemetry stays all-default.
+        let scenario = by_name("constant").unwrap();
+        let (trad, ai) = run_modes(&scenario);
+        assert!(trad.resilience.is_quiet());
+        assert!(ai.resilience.is_quiet());
+    }
+
+    #[test]
+    fn burst_storm_conversation_recovers_within_the_conversation() {
+        let scenario = conversation_by_name("burst-storm-conversation").unwrap();
+        assert!(scenario.resilience);
+        let report = run_conversation_mode(&scenario, true);
+        let res = &report.resilience;
+        assert_eq!(res.outage_ms, 400.0);
+        assert!(res.watchdog_fallbacks > 0);
+        let ttr = res.time_to_recover_ms.unwrap_or(f64::NAN);
+        assert!(ttr.is_finite() && ttr > 0.0, "conversation ttr {ttr}");
+        // The storm is confined to one turn; the others stay quiet.
+        assert!(report.turns.iter().any(|t| t.resilience.is_quiet()));
     }
 
     #[test]

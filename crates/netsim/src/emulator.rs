@@ -92,6 +92,14 @@ impl NetworkEmulator {
         &self.downlink
     }
 
+    /// Collects the arrival time of an uplink duplicate stashed by a
+    /// [`crate::fault::FaultKind::Duplicate`] episode during the most recent uplink
+    /// [`NetworkEmulator::send`]. The transport schedules a second arrival of the same
+    /// packet at the returned time.
+    pub fn take_uplink_duplicate(&mut self) -> Option<SimTime> {
+        self.uplink.take_duplicate()
+    }
+
     /// The current uplink one-way base delay (propagation only, no queueing).
     pub fn uplink_propagation(&self) -> SimDuration {
         self.uplink.config().propagation_delay

@@ -1,0 +1,368 @@
+//! Deterministic fault injection: timed episodes composed over [`crate::Link::send`].
+//!
+//! Well-behaved traces ([`crate::BandwidthTrace`]) model *capacity* dynamics; real mobile
+//! links additionally fail in *episodes* — a handover blacks the radio out for hundreds of
+//! milliseconds, a deep fade turns into a burst-loss storm, a path change steps the RTT,
+//! middleboxes duplicate or reorder packets. A [`FaultSchedule`] is a seedable,
+//! serializable list of such [`FaultEpisode`]s on the virtual timeline; the link consults
+//! it on every send and the schedule decides, deterministically for a given link seed,
+//! what happens to the packet *before* the ordinary bandwidth/queue/loss model sees it.
+//!
+//! Composition semantics (documented because goldens depend on them):
+//!
+//! * Episodes are evaluated in schedule order; every episode whose `[start, start+duration)`
+//!   window contains the send time applies.
+//! * [`FaultKind::Outage`] short-circuits: the packet is dropped on the floor (no
+//!   serialization, no queue occupancy — the radio is simply gone), counted in
+//!   [`crate::link::LinkCounters::outage_drops`].
+//! * [`FaultKind::BurstLoss`] draws an extra loss decision that is applied at the link's
+//!   ordinary random-loss point (after serialization, so storm losses still occupy
+//!   airtime, like corrupted-but-transmitted radio frames).
+//! * [`FaultKind::RttSpike`] adds a fixed extra one-way delay to the delivery.
+//! * [`FaultKind::Duplicate`] delivers the packet normally *and* emits a second copy one
+//!   serialization time later (back-to-back duplicates, the common middlebox pattern).
+//! * [`FaultKind::Reorder`] delays *this* packet by a bounded extra amount, letting
+//!   later-sent packets overtake it — bounded reordering, never unbounded shuffling.
+//!
+//! An empty schedule costs one branch per send and draws **nothing** from the fault RNG,
+//! so links without faults stay byte-for-byte identical to their pre-fault behaviour.
+
+use aivc_sim::{SimDuration, SimTime};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a fault episode does to packets sent while it is active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Full outage / blackout: every packet is dropped before it touches the link.
+    Outage,
+    /// A burst-loss storm: each packet is independently lost with `loss_rate`, on top of
+    /// the link's configured loss model.
+    BurstLoss {
+        /// Per-packet loss probability while the storm lasts.
+        loss_rate: f64,
+    },
+    /// An RTT step/spike: every delivery gains `extra_delay` of one-way latency.
+    RttSpike {
+        /// Extra one-way delay added to each delivered packet.
+        extra_delay: SimDuration,
+    },
+    /// Packet duplication: with `probability`, a delivered packet is followed by a second
+    /// copy one serialization time later.
+    Duplicate {
+        /// Per-packet duplication probability.
+        probability: f64,
+    },
+    /// Bounded reordering: with `probability`, a delivered packet is held back by an extra
+    /// delay drawn uniformly from `(0, max_delay]`, letting later packets overtake it.
+    Reorder {
+        /// Per-packet reorder probability.
+        probability: f64,
+        /// Upper bound of the extra holding delay.
+        max_delay: SimDuration,
+    },
+}
+
+/// One timed fault episode: `kind` applies to every packet sent in
+/// `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEpisode {
+    /// When the episode begins (absolute simulated time).
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+impl FaultEpisode {
+    /// The first instant *after* the episode (exclusive end of its window).
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// True when the episode is active at `t`.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end()
+    }
+}
+
+/// What the active episodes decided for one packet. Plain value, no allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultAction {
+    /// Drop before the link (outage).
+    pub drop_outage: bool,
+    /// Lose at the link's random-loss point (storm).
+    pub drop_storm: bool,
+    /// Extra one-way delivery delay (RTT spike + reorder hold, summed).
+    pub extra_delay: SimDuration,
+    /// Emit a duplicate copy after delivery.
+    pub duplicate: bool,
+    /// The reorder draw fired (for counting; its delay is folded into `extra_delay`).
+    pub reordered: bool,
+}
+
+/// A serializable schedule of timed fault episodes. See the module docs for composition
+/// semantics. Construct with [`FaultSchedule::new`] or chain the episode builders.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    episodes: Vec<FaultEpisode>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule: no faults, no RNG draws, one branch per send.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A schedule from explicit episodes (evaluated in the given order; overlapping
+    /// windows compose).
+    pub fn new(episodes: Vec<FaultEpisode>) -> Self {
+        Self { episodes }
+    }
+
+    /// Appends an episode (builder style).
+    pub fn with_episode(mut self, episode: FaultEpisode) -> Self {
+        self.episodes.push(episode);
+        self
+    }
+
+    /// A single blackout of `duration` starting at `start`.
+    pub fn blackout(start: SimTime, duration: SimDuration) -> Self {
+        Self::new(vec![FaultEpisode {
+            start,
+            duration,
+            kind: FaultKind::Outage,
+        }])
+    }
+
+    /// True when the schedule carries no episodes (the always-clean fast path).
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// The episodes, in evaluation order.
+    pub fn episodes(&self) -> &[FaultEpisode] {
+        &self.episodes
+    }
+
+    /// True when an [`FaultKind::Outage`] episode is active at `t`.
+    pub fn outage_at(&self, t: SimTime) -> bool {
+        self.episodes
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Outage) && e.contains(t))
+    }
+
+    /// Total [`FaultKind::Outage`] time within `[from, to)` — the denominator of a turn's
+    /// `outage_ms` report field. Overlapping outage episodes double-count (keep them
+    /// disjoint in schedules meant for reporting).
+    pub fn outage_overlap(&self, from: SimTime, to: SimTime) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for e in &self.episodes {
+            if !matches!(e.kind, FaultKind::Outage) {
+                continue;
+            }
+            let lo = e.start.max(from);
+            let hi = e.end().min(to);
+            total += hi.saturating_since(lo);
+        }
+        total
+    }
+
+    /// Evaluates every episode active at `now` against one packet, drawing any random
+    /// decisions from `rng`. The caller must skip this entirely when
+    /// [`FaultSchedule::is_empty`] — that guarantee is what keeps fault-free links
+    /// bit-identical to their pre-fault behaviour (no draws, no branches per episode).
+    pub fn apply(&self, now: SimTime, rng: &mut ChaCha8Rng) -> FaultAction {
+        let mut action = FaultAction::default();
+        for e in &self.episodes {
+            if !e.contains(now) {
+                continue;
+            }
+            match e.kind {
+                FaultKind::Outage => {
+                    action.drop_outage = true;
+                    // Short-circuit: nothing else matters for a blacked-out packet, and
+                    // skipping further draws keeps the post-outage RNG stream aligned
+                    // with the schedule, not with how many episodes overlap.
+                    return action;
+                }
+                FaultKind::BurstLoss { loss_rate } => {
+                    if rng.gen_bool(loss_rate) {
+                        action.drop_storm = true;
+                    }
+                }
+                FaultKind::RttSpike { extra_delay } => {
+                    action.extra_delay += extra_delay;
+                }
+                FaultKind::Duplicate { probability } => {
+                    if rng.gen_bool(probability) {
+                        action.duplicate = true;
+                    }
+                }
+                FaultKind::Reorder {
+                    probability,
+                    max_delay,
+                } => {
+                    if max_delay > SimDuration::ZERO && rng.gen_bool(probability) {
+                        action.reordered = true;
+                        action.extra_delay +=
+                            SimDuration::from_micros(rng.gen_range(1..=max_delay.as_micros()));
+                    }
+                }
+            }
+        }
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn dur_ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_schedule_is_empty_and_overlap_free() {
+        let s = FaultSchedule::none();
+        assert!(s.is_empty());
+        assert!(!s.outage_at(ms(5)));
+        assert_eq!(s.outage_overlap(ms(0), ms(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn episode_window_is_half_open() {
+        let e = FaultEpisode {
+            start: ms(100),
+            duration: dur_ms(50),
+            kind: FaultKind::Outage,
+        };
+        assert!(!e.contains(ms(99)));
+        assert!(e.contains(ms(100)));
+        assert!(e.contains(ms(149)));
+        assert!(!e.contains(ms(150)));
+    }
+
+    #[test]
+    fn outage_overlap_clips_to_the_queried_window() {
+        let s = FaultSchedule::blackout(ms(100), dur_ms(200));
+        assert_eq!(s.outage_overlap(ms(0), ms(1_000)), dur_ms(200));
+        assert_eq!(s.outage_overlap(ms(150), ms(1_000)), dur_ms(150));
+        assert_eq!(s.outage_overlap(ms(0), ms(150)), dur_ms(50));
+        assert_eq!(s.outage_overlap(ms(400), ms(500)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn outage_short_circuits_other_episodes() {
+        let s = FaultSchedule::new(vec![
+            FaultEpisode {
+                start: ms(0),
+                duration: dur_ms(100),
+                kind: FaultKind::Outage,
+            },
+            FaultEpisode {
+                start: ms(0),
+                duration: dur_ms(100),
+                kind: FaultKind::RttSpike {
+                    extra_delay: dur_ms(250),
+                },
+            },
+        ]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let action = s.apply(ms(50), &mut rng);
+        assert!(action.drop_outage);
+        assert_eq!(action.extra_delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn rtt_spikes_compose_additively() {
+        let s = FaultSchedule::new(vec![
+            FaultEpisode {
+                start: ms(0),
+                duration: dur_ms(100),
+                kind: FaultKind::RttSpike {
+                    extra_delay: dur_ms(100),
+                },
+            },
+            FaultEpisode {
+                start: ms(0),
+                duration: dur_ms(100),
+                kind: FaultKind::RttSpike {
+                    extra_delay: dur_ms(50),
+                },
+            },
+        ]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let action = s.apply(ms(10), &mut rng);
+        assert!(!action.drop_outage && !action.drop_storm);
+        assert_eq!(action.extra_delay, dur_ms(150));
+    }
+
+    #[test]
+    fn storm_duplicate_and_reorder_rates_are_respected_and_deterministic() {
+        let s = FaultSchedule::new(vec![
+            FaultEpisode {
+                start: ms(0),
+                duration: SimDuration::from_secs_f64(1e6),
+                kind: FaultKind::BurstLoss { loss_rate: 0.3 },
+            },
+            FaultEpisode {
+                start: ms(0),
+                duration: SimDuration::from_secs_f64(1e6),
+                kind: FaultKind::Duplicate { probability: 0.1 },
+            },
+            FaultEpisode {
+                start: ms(0),
+                duration: SimDuration::from_secs_f64(1e6),
+                kind: FaultKind::Reorder {
+                    probability: 0.05,
+                    max_delay: dur_ms(40),
+                },
+            },
+        ]);
+        let run = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut storms = 0u32;
+            let mut dups = 0u32;
+            let mut reorders = 0u32;
+            let n = 20_000;
+            for i in 0..n {
+                let a = s.apply(ms(i), &mut rng);
+                storms += a.drop_storm as u32;
+                dups += a.duplicate as u32;
+                reorders += a.reordered as u32;
+                assert!(a.extra_delay <= dur_ms(40));
+            }
+            (storms, dups, reorders)
+        };
+        let (storms, dups, reorders) = run(7);
+        assert_eq!(
+            (storms, dups, reorders),
+            run(7),
+            "fault draws must be seed-deterministic"
+        );
+        assert!((storms as f64 / 20_000.0 - 0.3).abs() < 0.02);
+        assert!((dups as f64 / 20_000.0 - 0.1).abs() < 0.02);
+        assert!((reorders as f64 / 20_000.0 - 0.05).abs() < 0.02);
+    }
+
+    #[test]
+    fn schedules_round_trip_through_serde() {
+        let s = FaultSchedule::blackout(ms(1_200), dur_ms(500)).with_episode(FaultEpisode {
+            start: ms(2_000),
+            duration: dur_ms(300),
+            kind: FaultKind::BurstLoss { loss_rate: 0.5 },
+        });
+        use serde::{Deserialize, Serialize};
+        let back = FaultSchedule::from_value(&s.to_value()).unwrap();
+        assert_eq!(s, back);
+    }
+}

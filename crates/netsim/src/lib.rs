@@ -18,6 +18,7 @@
 //! reproduces byte-identical results.
 
 pub mod emulator;
+pub mod fault;
 pub mod link;
 pub mod loss;
 pub mod packet;
@@ -26,7 +27,8 @@ pub mod stats;
 pub mod trace;
 
 pub use emulator::{NetworkEmulator, PathConfig};
-pub use link::{DeliveryOutcome, Link, LinkConfig};
+pub use fault::{FaultEpisode, FaultKind, FaultSchedule};
+pub use link::{DeliveryOutcome, Link, LinkConfig, LinkCounters};
 pub use loss::LossModel;
 pub use packet::{Packet, PacketId};
 pub use queue::DropTailQueue;

@@ -15,6 +15,7 @@
 //! simulated time, and immediately receive the delivery outcome (arrival time or drop).
 //! The RTC layer merges these outcomes into its own event queue.
 
+use crate::fault::FaultSchedule;
 use crate::loss::{LossModel, LossProcess};
 use crate::packet::Packet;
 use crate::trace::BandwidthTrace;
@@ -39,6 +40,10 @@ pub struct LinkConfig {
     pub loss: LossModel,
     /// Maximum extra random delivery jitter, uniformly distributed in `[0, max_jitter]`.
     pub max_jitter: SimDuration,
+    /// Timed fault episodes composed over every send (see [`crate::fault`]). Empty by
+    /// default: a fault-free link draws nothing from the fault RNG and behaves exactly as
+    /// it did before fault injection existed.
+    pub faults: FaultSchedule,
 }
 
 impl LinkConfig {
@@ -56,6 +61,7 @@ impl LinkConfig {
                 LossModel::None
             },
             max_jitter: SimDuration::ZERO,
+            faults: FaultSchedule::none(),
         }
     }
 
@@ -68,12 +74,19 @@ impl LinkConfig {
             queue_capacity_bytes: ((bandwidth_bps / 8.0) * (queue_ms as f64 / 1_000.0)).max(3_000.0) as u64,
             loss,
             max_jitter: SimDuration::ZERO,
+            faults: FaultSchedule::none(),
         }
     }
 
     /// Adds delivery jitter.
     pub fn with_jitter(mut self, max_jitter: SimDuration) -> Self {
         self.max_jitter = max_jitter;
+        self
+    }
+
+    /// Adds a fault schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -92,6 +105,9 @@ pub enum DeliveryOutcome {
     DroppedQueueFull,
     /// The packet was lost by the random loss process.
     LostRandom,
+    /// The packet was dropped by an active [`crate::fault::FaultKind::Outage`] episode —
+    /// the radio was gone, so the packet never touched the queue or the serializer.
+    DroppedOutage,
 }
 
 impl DeliveryOutcome {
@@ -122,6 +138,13 @@ pub struct LinkCounters {
     pub lost_random: u64,
     /// Total payload bytes delivered.
     pub delivered_bytes: u64,
+    /// Extra packet copies emitted by [`crate::fault::FaultKind::Duplicate`] episodes
+    /// (the original delivery is counted in `delivered`; this counts only the ghosts).
+    pub duplicated: u64,
+    /// Deliveries held back by [`crate::fault::FaultKind::Reorder`] episodes.
+    pub reordered: u64,
+    /// Packets dropped by [`crate::fault::FaultKind::Outage`] episodes.
+    pub outage_drops: u64,
 }
 
 impl LinkCounters {
@@ -141,8 +164,14 @@ pub struct Link {
     config: LinkConfig,
     loss: LossProcess,
     jitter_rng: ChaCha8Rng,
+    /// Separate stream for fault-episode draws, so adding (or emptying) a fault schedule
+    /// never perturbs the loss or jitter sequences of an otherwise-identical link.
+    fault_rng: ChaCha8Rng,
     /// Time at which the transmitter finishes serializing everything accepted so far.
     busy_until: SimTime,
+    /// Arrival time of a fault-injected duplicate of the most recently delivered packet,
+    /// until the caller collects it via [`Link::take_duplicate`].
+    pending_duplicate: Option<SimTime>,
     counters: LinkCounters,
 }
 
@@ -154,7 +183,9 @@ impl Link {
             config,
             loss,
             jitter_rng: ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x85EB_CA6B).wrapping_add(2)),
+            fault_rng: ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0xC2B2_AE35).wrapping_add(3)),
             busy_until: SimTime::ZERO,
+            pending_duplicate: None,
             counters: LinkCounters::default(),
         }
     }
@@ -189,6 +220,18 @@ impl Link {
     pub fn send(&mut self, packet: &Packet, now: SimTime) -> DeliveryOutcome {
         self.counters.offered += 1;
 
+        // Fault episodes sit in front of the physical link. An empty schedule costs this
+        // one branch and draws nothing — the bit-identity guarantee of fault-free links.
+        let fault = if self.config.faults.is_empty() {
+            crate::fault::FaultAction::default()
+        } else {
+            self.config.faults.apply(now, &mut self.fault_rng)
+        };
+        if fault.drop_outage {
+            self.counters.outage_drops += 1;
+            return DeliveryOutcome::DroppedOutage;
+        }
+
         // Tail-drop check against the standing queue.
         if self.backlog_bytes(now) + packet.size_bytes as u64 > self.config.queue_capacity_bytes {
             self.counters.dropped_queue += 1;
@@ -202,8 +245,9 @@ impl Link {
         self.busy_until = start + ser;
 
         // Random loss is decided per packet regardless of outcome ordering so that the loss
-        // pattern for a given seed does not depend on queue occupancy.
-        if self.loss.next_is_lost() {
+        // pattern for a given seed does not depend on queue occupancy. Storm losses apply
+        // at the same point: the packet was transmitted (occupied airtime) but corrupted.
+        if self.loss.next_is_lost() || fault.drop_storm {
             self.counters.lost_random += 1;
             return DeliveryOutcome::LostRandom;
         }
@@ -213,19 +257,37 @@ impl Link {
         } else {
             SimDuration::from_micros(self.jitter_rng.gen_range(0..=self.config.max_jitter.as_micros()))
         };
-        let arrival = self.busy_until + self.config.propagation_delay + jitter;
+        if fault.reordered {
+            self.counters.reordered += 1;
+        }
+        let arrival = self.busy_until + self.config.propagation_delay + jitter + fault.extra_delay;
         self.counters.delivered += 1;
         self.counters.delivered_bytes += packet.size_bytes as u64;
+        if fault.duplicate {
+            // The copy follows back to back: one more serialization time behind the
+            // original. The caller collects it via `take_duplicate`.
+            self.counters.duplicated += 1;
+            self.pending_duplicate = Some(arrival + ser);
+        }
         DeliveryOutcome::Delivered {
             arrival,
             queueing_delay,
         }
     }
 
+    /// The arrival time of a fault-injected duplicate of the most recently delivered
+    /// packet, if a [`crate::fault::FaultKind::Duplicate`] episode fired for it. Collect
+    /// after every `send` when faults are configured; uncollected duplicates are simply
+    /// replaced by the next one.
+    pub fn take_duplicate(&mut self) -> Option<SimTime> {
+        self.pending_duplicate.take()
+    }
+
     /// Resets dynamic state (queue backlog, counters) while keeping configuration and RNG
     /// streams, so repeated experiment trials on one link object stay independent.
     pub fn reset(&mut self) {
         self.busy_until = SimTime::ZERO;
+        self.pending_duplicate = None;
         self.counters = LinkCounters::default();
     }
 }
@@ -342,6 +404,148 @@ mod tests {
             let base = i as u64 * 5_000 + 1_000 + 30_000;
             assert!(*arrival >= base && *arrival <= base + 10_000);
         }
+    }
+
+    #[test]
+    fn outage_episode_drops_everything_without_touching_the_queue() {
+        use crate::fault::FaultSchedule;
+        let cfg = LinkConfig::paper_section_2_2(0.0).with_faults(FaultSchedule::blackout(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(200),
+        ));
+        let mut link = Link::new(cfg, 11);
+        // Before the outage: delivered.
+        let before = link.send(&Packet::new(0, 1_250, SimTime::ZERO), SimTime::ZERO);
+        assert!(before.arrival().is_some());
+        // During: dropped on the floor, no serialization (backlog unchanged).
+        let t = SimTime::from_millis(150);
+        let backlog_before = link.backlog(t);
+        let during = link.send(&Packet::new(1, 1_250, t), t);
+        assert_eq!(during, DeliveryOutcome::DroppedOutage);
+        assert!(during.is_lost());
+        assert_eq!(link.backlog(t), backlog_before);
+        // After: delivered again, and the counter recorded exactly one outage drop.
+        let t = SimTime::from_millis(300);
+        assert!(link.send(&Packet::new(2, 1_250, t), t).arrival().is_some());
+        assert_eq!(link.counters().outage_drops, 1);
+        assert_eq!(link.counters().delivered, 2);
+    }
+
+    #[test]
+    fn burst_storm_episode_raises_loss_only_inside_its_window() {
+        use crate::fault::{FaultEpisode, FaultKind, FaultSchedule};
+        let cfg = LinkConfig::constant(mbps(50.0), SimDuration::from_millis(10), 300, LossModel::None)
+            .with_faults(FaultSchedule::new(vec![FaultEpisode {
+                start: SimTime::from_secs_f64(10.0),
+                duration: SimDuration::from_secs_f64(10.0),
+                kind: FaultKind::BurstLoss { loss_rate: 0.5 },
+            }]));
+        let mut link = Link::new(cfg, 13);
+        let mut lost_outside = 0u32;
+        let mut lost_inside = 0u32;
+        for i in 0..30_000u64 {
+            let now = SimTime::from_millis(i); // 30 s at 1 packet/ms
+            if link.send(&Packet::new(i, 1_250, now), now) == DeliveryOutcome::LostRandom {
+                if (10_000..20_000).contains(&now.as_micros().checked_div(1_000).unwrap()) {
+                    lost_inside += 1;
+                } else {
+                    lost_outside += 1;
+                }
+            }
+        }
+        assert_eq!(lost_outside, 0, "no loss outside the storm window");
+        let inside_rate = lost_inside as f64 / 10_000.0;
+        assert!((inside_rate - 0.5).abs() < 0.05, "storm loss {inside_rate}");
+    }
+
+    #[test]
+    fn rtt_spike_episode_adds_exactly_the_configured_delay() {
+        use crate::fault::{FaultEpisode, FaultKind, FaultSchedule};
+        let cfg = LinkConfig::paper_section_2_2(0.0).with_faults(FaultSchedule::new(vec![FaultEpisode {
+            start: SimTime::from_millis(100),
+            duration: SimDuration::from_millis(100),
+            kind: FaultKind::RttSpike {
+                extra_delay: SimDuration::from_millis(250),
+            },
+        }]));
+        let mut link = Link::new(cfg, 17);
+        let base = link
+            .send(&Packet::new(0, 1_250, SimTime::ZERO), SimTime::ZERO)
+            .arrival()
+            .unwrap()
+            .saturating_since(SimTime::ZERO);
+        let t = SimTime::from_millis(150);
+        let spiked = link
+            .send(&Packet::new(1, 1_250, t), t)
+            .arrival()
+            .unwrap()
+            .saturating_since(t);
+        assert_eq!(spiked.as_micros() - base.as_micros(), 250_000);
+    }
+
+    #[test]
+    fn duplicate_episode_emits_a_back_to_back_copy() {
+        use crate::fault::{FaultEpisode, FaultKind, FaultSchedule};
+        let cfg = LinkConfig::paper_section_2_2(0.0).with_faults(FaultSchedule::new(vec![FaultEpisode {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs_f64(100.0),
+            kind: FaultKind::Duplicate { probability: 1.0 },
+        }]));
+        let mut link = Link::new(cfg, 19);
+        let out = link.send(&Packet::new(0, 1_250, SimTime::ZERO), SimTime::ZERO);
+        let arrival = out.arrival().unwrap();
+        let dup = link.take_duplicate().expect("duplicate stashed");
+        // One more 1 ms serialization behind the original.
+        assert_eq!(dup.as_micros() - arrival.as_micros(), 1_000);
+        assert!(link.take_duplicate().is_none(), "collected exactly once");
+        assert_eq!(link.counters().duplicated, 1);
+    }
+
+    #[test]
+    fn reorder_episode_lets_later_packets_overtake_within_the_bound() {
+        use crate::fault::{FaultEpisode, FaultKind, FaultSchedule};
+        let max_delay = SimDuration::from_millis(20);
+        let cfg = LinkConfig::paper_section_2_2(0.0).with_faults(FaultSchedule::new(vec![FaultEpisode {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs_f64(100.0),
+            kind: FaultKind::Reorder {
+                probability: 0.3,
+                max_delay,
+            },
+        }]));
+        let mut link = Link::new(cfg, 23);
+        let mut arrivals = Vec::new();
+        for i in 0..2_000u64 {
+            let now = SimTime::from_micros(i * 2_000); // 5 Mbps offered to 10 Mbps: no queue
+            arrivals.push(link.send(&Packet::new(i, 1_250, now), now).arrival().unwrap());
+        }
+        let reordered_pairs = arrivals.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(reordered_pairs > 0, "reorder episode must actually reorder");
+        assert!(link.counters().reordered > 0);
+        // Bounded: a held packet arrives at most max_delay later than its fault-free time.
+        for (i, arrival) in arrivals.iter().enumerate() {
+            let base = i as u64 * 2_000 + 1_000 + 30_000;
+            assert!(arrival.as_micros() <= base + max_delay.as_micros());
+        }
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_the_pre_fault_link() {
+        // Same seed, same traffic: a link with an explicit empty schedule must reproduce
+        // the exact arrival sequence of one built before fault injection existed (loss and
+        // jitter RNG streams untouched).
+        let base = LinkConfig::paper_section_2_2(0.03).with_jitter(SimDuration::from_millis(5));
+        let with_empty = base.clone().with_faults(crate::fault::FaultSchedule::none());
+        let run = |cfg: LinkConfig| {
+            let mut link = Link::new(cfg, 29);
+            (0..3_000u64)
+                .map(|i| {
+                    let now = SimTime::from_micros(i * 2_000);
+                    link.send(&Packet::new(i, 1_250, now), now)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(base), run(with_empty));
     }
 
     #[test]

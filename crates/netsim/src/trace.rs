@@ -274,4 +274,84 @@ mod tests {
         let _ = BandwidthTrace::step(8e6, 2e6, SimTime::from_secs_f64(2.0))
             .looping(SimDuration::from_secs_f64(1.0));
     }
+
+    #[test]
+    fn seam_boundary_is_exact_at_every_multiple_of_the_period() {
+        let period = SimDuration::from_secs_f64(2.0);
+        let t = BandwidthTrace::step(8e6, 2e6, SimTime::from_secs_f64(1.0)).looping(period);
+        for k in 1u64..=5 {
+            let seam = SimTime::from_micros(k * period.as_micros());
+            // One microsecond before the seam the *last* segment still holds; exactly at
+            // t == k·period the wrap is inclusive of the first segment.
+            assert_eq!(
+                t.rate_at(SimTime::from_micros(seam.as_micros() - 1)),
+                2e6,
+                "just before seam {k}"
+            );
+            assert_eq!(t.rate_at(seam), 8e6, "at seam {k}");
+            assert_eq!(
+                t.rate_at(SimTime::from_micros(seam.as_micros() + 1)),
+                8e6,
+                "just after seam {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_rate_at_exact_period_multiples_has_no_spurious_tail() {
+        let t = BandwidthTrace::step(8e6, 2e6, SimTime::from_secs_f64(1.0))
+            .looping(SimDuration::from_secs_f64(2.0));
+        // t == 1·period takes the unlooped path; t == k·period the full-periods path with
+        // a zero-length tail. All must agree on the period mean exactly.
+        for k in 1u64..=4 {
+            let mean = t.mean_rate(SimTime::from_secs_f64(2.0 * k as f64));
+            assert!((mean - 5e6).abs() < 1e-6, "k={k} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn mean_rate_tail_landing_exactly_on_a_segment_start() {
+        let t = BandwidthTrace::step(8e6, 2e6, SimTime::from_secs_f64(1.0))
+            .looping(SimDuration::from_secs_f64(2.0));
+        // 1 full period (mean 5) + a tail that ends exactly where segment 2 begins (all
+        // 8 Mbps): (10 + 8) / 3 s = 6 Mbps. The tail's final segment is zero-length and
+        // must contribute nothing.
+        let mean = t.mean_rate(SimTime::from_secs_f64(3.0));
+        assert!((mean - 6e6).abs() < 1e-6, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn zero_length_segments_are_rejected() {
+        // Two segments sharing a start time would make the first zero-length; the
+        // constructor rejects it so `rate_at` never has to disambiguate.
+        let _ = BandwidthTrace::from_segments(vec![
+            (SimTime::ZERO, 8e6),
+            (SimTime::from_secs_f64(1.0), 4e6),
+            (SimTime::from_secs_f64(1.0), 2e6),
+        ]);
+    }
+
+    #[test]
+    fn square_wave_with_submicrosecond_half_period_stays_well_formed() {
+        // A degenerate half period clamps to 1 µs instead of emitting zero-length
+        // segments (which from_segments would reject).
+        let t = BandwidthTrace::square_wave(10e6, 2e6, SimTime::ZERO, SimTime::from_micros(4));
+        assert_eq!(t.rate_at(SimTime::ZERO), 10e6);
+        assert_eq!(t.rate_at(SimTime::from_micros(1)), 2e6);
+        assert_eq!(t.rate_at(SimTime::from_micros(2)), 10e6);
+    }
+
+    #[test]
+    fn rate_at_between_interior_boundaries_is_left_inclusive() {
+        let t = BandwidthTrace::from_segments(vec![
+            (SimTime::ZERO, 12e6),
+            (SimTime::from_secs_f64(1.0), 5e6),
+            (SimTime::from_secs_f64(1.8), 0.9e6),
+        ]);
+        assert_eq!(t.rate_at(SimTime::from_micros(999_999)), 12e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(1.0)), 5e6);
+        assert_eq!(t.rate_at(SimTime::from_micros(1_799_999)), 5e6);
+        assert_eq!(t.rate_at(SimTime::from_secs_f64(1.8)), 0.9e6);
+    }
 }

@@ -10,8 +10,11 @@
 //! It is exercised by the ABR ablation (traditional ABR rides the estimate close to
 //! capacity; AI-oriented ABR deliberately does not, §2.2).
 
-use aivc_sim::SimTime;
+use aivc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// EWMA smoothing factor for the live loss estimate (the adaptive-FEC driver).
+const LOSS_EWMA_ALPHA: f64 = 0.3;
 
 /// Per-packet feedback the receiver reports back to the sender.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -43,6 +46,16 @@ pub struct GccConfig {
     pub high_loss_threshold: f64,
     /// Loss fraction below which increase is allowed.
     pub low_loss_threshold: f64,
+    /// Feedback watchdog timeout: with no feedback for this long the controller stops
+    /// riding its stale estimate and decays multiplicatively instead.
+    /// [`SimDuration::ZERO`] (the default) disables the watchdog entirely, preserving the
+    /// pre-watchdog behaviour bit for bit.
+    pub watchdog_timeout: SimDuration,
+    /// Multiplicative decay applied once per elapsed `watchdog_timeout` of silence.
+    pub watchdog_beta: f64,
+    /// Multiplicative ramp applied per feedback report while recovering from a fallback,
+    /// until the pre-fallback estimate is regained or congestion pushes back.
+    pub recovery_ramp_factor: f64,
 }
 
 impl Default for GccConfig {
@@ -56,6 +69,9 @@ impl Default for GccConfig {
             increase_factor: 1.06,
             high_loss_threshold: 0.10,
             low_loss_threshold: 0.02,
+            watchdog_timeout: SimDuration::ZERO,
+            watchdog_beta: 0.7,
+            recovery_ramp_factor: 1.25,
         }
     }
 }
@@ -78,6 +94,11 @@ pub struct GccController {
     estimate_bps: f64,
     last_mean_owd_ms: Option<f64>,
     state: CcState,
+    loss_ewma: f64,
+    next_decay_at: Option<SimTime>,
+    pre_fallback_bps: Option<f64>,
+    silent: bool,
+    watchdog_fallbacks: u64,
 }
 
 impl GccController {
@@ -88,6 +109,11 @@ impl GccController {
             estimate_bps: config.initial_estimate_bps,
             last_mean_owd_ms: None,
             state: CcState::Hold,
+            loss_ewma: 0.0,
+            next_decay_at: None,
+            pre_fallback_bps: None,
+            silent: false,
+            watchdog_fallbacks: 0,
         }
     }
 
@@ -109,12 +135,121 @@ impl GccController {
         self.state
     }
 
+    /// The smoothed (EWMA) observed loss fraction — the live signal that drives adaptive
+    /// FEC sizing. Always in `[0, 1]`; `0.0` before any feedback has been seen.
+    pub fn loss_estimate(&self) -> f64 {
+        self.loss_ewma
+    }
+
+    /// True between the watchdog declaring the feedback channel dead and the first
+    /// subsequent feedback report — the transport's "assume outage" signal.
+    pub fn is_silent(&self) -> bool {
+        self.silent
+    }
+
+    /// True while the controller is ramping back toward its pre-fallback estimate.
+    pub fn in_fallback(&self) -> bool {
+        self.pre_fallback_bps.is_some()
+    }
+
+    /// How many times the watchdog has fired (one count per decay step).
+    pub fn watchdog_fallbacks(&self) -> u64 {
+        self.watchdog_fallbacks
+    }
+
+    /// Drives the feedback watchdog forward to `now`. Call this on a steady cadence (the
+    /// capture tick is natural). If [`GccConfig::watchdog_timeout`] has elapsed with no
+    /// feedback, the estimate decays by [`GccConfig::watchdog_beta`] — once per elapsed
+    /// timeout interval, regardless of how often this is polled — instead of the sender
+    /// riding a stale estimate into a dead radio. Returns `true` if at least one decay
+    /// step fired at this poll.
+    pub fn poll_watchdog(&mut self, now: SimTime) -> bool {
+        if self.config.watchdog_timeout == SimDuration::ZERO {
+            return false;
+        }
+        // Anchor the first deadline lazily so constructing the controller early (before
+        // traffic starts) doesn't count the idle lead-in as silence.
+        let next = *self
+            .next_decay_at
+            .get_or_insert(now + self.config.watchdog_timeout);
+        if now < next {
+            return false;
+        }
+        let mut next = next;
+        while next <= now {
+            if self.pre_fallback_bps.is_none() {
+                self.pre_fallback_bps = Some(self.estimate_bps);
+            }
+            self.estimate_bps = (self.estimate_bps * self.config.watchdog_beta).max(self.config.min_bps);
+            self.state = CcState::Decrease;
+            self.silent = true;
+            self.watchdog_fallbacks += 1;
+            next += self.config.watchdog_timeout;
+        }
+        self.next_decay_at = Some(next);
+        true
+    }
+
+    /// Processes one feedback report with its arrival time, feeding the watchdog. This is
+    /// the entry point resilient transports use; [`GccController::on_feedback_report`]
+    /// remains for callers without a watchdog.
+    ///
+    /// The first report after a watchdog-declared silence is special-cased: its contents
+    /// describe the dead interval (losses from the outage, a stale delay baseline), so
+    /// punishing the estimate with it would double-count the outage. Instead the delay
+    /// baseline resets and the recovery ramp takes its first step.
+    pub fn on_feedback_report_at(&mut self, now: SimTime, feedback: &[PacketFeedback]) {
+        if feedback.is_empty() {
+            return;
+        }
+        if self.config.watchdog_timeout != SimDuration::ZERO {
+            self.next_decay_at = Some(now + self.config.watchdog_timeout);
+        }
+        if self.silent {
+            self.silent = false;
+            self.last_mean_owd_ms = None;
+            self.update_loss_ewma(feedback);
+            self.ramp_step();
+            return;
+        }
+        self.on_feedback_report(feedback);
+        if self.pre_fallback_bps.is_some() {
+            if self.state == CcState::Decrease {
+                // Real congestion push-back ends the recovery ramp.
+                self.pre_fallback_bps = None;
+            } else {
+                self.ramp_step();
+            }
+        }
+    }
+
+    /// One multiplicative recovery-ramp step toward the pre-fallback estimate.
+    fn ramp_step(&mut self) {
+        let Some(target) = self.pre_fallback_bps else {
+            return;
+        };
+        self.estimate_bps = (self.estimate_bps * self.config.recovery_ramp_factor)
+            .clamp(self.config.min_bps, self.config.max_bps);
+        self.state = CcState::Increase;
+        if self.estimate_bps >= target.min(self.config.max_bps) {
+            self.pre_fallback_bps = None;
+        }
+    }
+
+    fn update_loss_ewma(&mut self, feedback: &[PacketFeedback]) {
+        let received = feedback.iter().filter(|f| f.arrived_at.is_some()).count();
+        let loss_fraction = 1.0 - received as f64 / feedback.len() as f64;
+        self.loss_ewma += LOSS_EWMA_ALPHA * (loss_fraction - self.loss_ewma);
+        self.loss_ewma = self.loss_ewma.clamp(0.0, 1.0);
+    }
+
     /// Processes one feedback report (a batch of per-packet feedback covering roughly one
     /// RTT or reporting interval) and updates the estimate.
     pub fn on_feedback_report(&mut self, feedback: &[PacketFeedback]) {
         if feedback.is_empty() {
             return;
         }
+        self.update_loss_ewma(feedback);
         let received: Vec<&PacketFeedback> = feedback.iter().filter(|f| f.arrived_at.is_some()).collect();
         let loss_fraction = 1.0 - received.len() as f64 / feedback.len() as f64;
 
@@ -239,5 +374,121 @@ mod tests {
         let mut cc = GccController::with_initial(4e6);
         cc.on_feedback_report(&report(30, 20, 20, 0));
         assert!(cc.estimate_bps() < 4e6);
+    }
+
+    fn watchdog_config(initial: f64) -> GccConfig {
+        GccConfig {
+            initial_estimate_bps: initial,
+            watchdog_timeout: SimDuration::from_millis(200),
+            ..GccConfig::default()
+        }
+    }
+
+    #[test]
+    fn disabled_watchdog_never_fires() {
+        let mut cc = GccController::with_initial(5e6);
+        assert!(!cc.poll_watchdog(SimTime::from_secs_f64(3_600.0)));
+        assert_eq!(cc.estimate_bps(), 5e6);
+        assert!(!cc.is_silent());
+    }
+
+    #[test]
+    fn watchdog_decays_once_per_elapsed_timeout_regardless_of_poll_cadence() {
+        // Polled every 10 ms for 1 s of silence after the anchor: deadlines at 200, 400,
+        // 600, 800 and 1000 ms all fire — 5 decays.
+        let mut fine = GccController::new(watchdog_config(8e6));
+        for t in 0..=100u64 {
+            fine.poll_watchdog(SimTime::from_millis(t * 10));
+        }
+        // Polled exactly once at t = 1 s.
+        let mut coarse = GccController::new(watchdog_config(8e6));
+        coarse.poll_watchdog(SimTime::ZERO); // anchor
+        coarse.poll_watchdog(SimTime::from_secs_f64(1.0));
+        assert_eq!(fine.estimate_bps(), coarse.estimate_bps());
+        assert_eq!(fine.watchdog_fallbacks(), 5);
+        assert_eq!(coarse.watchdog_fallbacks(), 5);
+        assert!((fine.estimate_bps() - 8e6 * 0.7f64.powi(5)).abs() < 1.0);
+        assert!(fine.is_silent() && fine.in_fallback());
+    }
+
+    #[test]
+    fn watchdog_decay_floors_at_min_bps() {
+        let mut cc = GccController::new(watchdog_config(1e6));
+        cc.poll_watchdog(SimTime::ZERO);
+        cc.poll_watchdog(SimTime::from_secs_f64(600.0));
+        assert_eq!(cc.estimate_bps(), GccConfig::default().min_bps);
+        assert_eq!(cc.state(), CcState::Decrease);
+    }
+
+    #[test]
+    fn first_post_silence_report_starts_the_ramp_instead_of_punishing() {
+        let mut cc = GccController::new(watchdog_config(8e6));
+        cc.poll_watchdog(SimTime::ZERO);
+        cc.poll_watchdog(SimTime::from_millis(600)); // 2 decays
+        let fallen = cc.estimate_bps();
+        assert!(fallen < 8e6);
+        // First feedback after the outage is all-lost (it describes the dead interval) —
+        // the estimate must RISE (ramp step), not take the all-lost beta hit.
+        cc.on_feedback_report_at(SimTime::from_millis(700), &report(30, 20, 20, 700));
+        assert!(cc.estimate_bps() > fallen);
+        assert!(!cc.is_silent());
+        assert!(cc.in_fallback(), "still below the pre-fallback estimate");
+    }
+
+    #[test]
+    fn ramp_recovers_to_pre_fallback_estimate_then_stops() {
+        let mut cc = GccController::new(watchdog_config(8e6));
+        cc.poll_watchdog(SimTime::ZERO);
+        cc.poll_watchdog(SimTime::from_millis(800)); // 3 decays
+        let mut prev = cc.estimate_bps();
+        let mut t = 900u64;
+        // Clean feedback reports ramp the estimate monotonically back up.
+        while cc.in_fallback() {
+            cc.on_feedback_report_at(SimTime::from_millis(t), &report(30, 50, 0, t));
+            assert!(cc.estimate_bps() >= prev, "ramp must be monotone");
+            prev = cc.estimate_bps();
+            t += 100;
+            assert!(t < 10_000, "ramp must terminate");
+        }
+        assert!(cc.estimate_bps() >= 8e6 * 0.7f64.powi(3) * 1.25);
+    }
+
+    #[test]
+    fn congestion_pushback_cancels_the_ramp() {
+        let mut cc = GccController::new(watchdog_config(8e6));
+        cc.poll_watchdog(SimTime::ZERO);
+        cc.poll_watchdog(SimTime::from_millis(400));
+        cc.on_feedback_report_at(SimTime::from_millis(500), &report(30, 50, 0, 500)); // leaves silence
+        assert!(cc.in_fallback());
+        // Heavy loss while ramping: real congestion wins, ramp ends.
+        cc.on_feedback_report_at(SimTime::from_millis(600), &report(30, 50, 15, 600));
+        assert!(!cc.in_fallback());
+        assert_eq!(cc.state(), CcState::Decrease);
+    }
+
+    #[test]
+    fn feedback_keeps_resetting_the_watchdog_deadline() {
+        let mut cc = GccController::new(watchdog_config(5e6));
+        for round in 0..20u64 {
+            let t = round * 150; // every 150 ms < 200 ms timeout
+            cc.on_feedback_report_at(SimTime::from_millis(t), &report(30, 50, 0, t));
+            assert!(!cc.poll_watchdog(SimTime::from_millis(t + 100)));
+        }
+        assert_eq!(cc.watchdog_fallbacks(), 0);
+        assert!(!cc.in_fallback());
+    }
+
+    #[test]
+    fn loss_estimate_tracks_observed_loss_up_and_down() {
+        let mut cc = GccController::with_initial(5e6);
+        assert_eq!(cc.loss_estimate(), 0.0);
+        for round in 0..30u64 {
+            cc.on_feedback_report(&report(30, 100, 20, round * 100)); // 20% loss
+        }
+        assert!((cc.loss_estimate() - 0.2).abs() < 0.01);
+        for round in 30..80u64 {
+            cc.on_feedback_report(&report(30, 100, 0, round * 100)); // clean again
+        }
+        assert!(cc.loss_estimate() < 0.01);
     }
 }

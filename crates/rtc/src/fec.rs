@@ -43,6 +43,68 @@ impl FecConfig {
     }
 }
 
+/// Adaptive FEC sizing: drives the parity group size from the congestion controller's
+/// live loss estimate instead of a fixed configuration.
+///
+/// The target parity overhead is `loss_estimate × safety_factor` (protect a bit more than
+/// the observed loss), converted to a group size `k = round(1 / overhead)` and clamped to
+/// `[min_group_size, max_group_size]` — small groups (more parity) under heavy loss, large
+/// groups (lean parity) on clean links. Disabled by default: the static
+/// [`FecConfig::group_size`] keeps ruling, preserving existing behaviour bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveFecConfig {
+    /// Master switch; `false` (default) keeps the static group size.
+    pub enabled: bool,
+    /// Smallest allowed group (heaviest protection, overhead `1/min`).
+    pub min_group_size: u32,
+    /// Largest allowed group (leanest protection, overhead `1/max`).
+    pub max_group_size: u32,
+    /// Overhead headroom over the raw loss estimate.
+    pub safety_factor: f64,
+}
+
+impl AdaptiveFecConfig {
+    /// Adaptation off: the static [`FecConfig`] group size stays in force.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            min_group_size: 2,
+            max_group_size: 12,
+            safety_factor: 3.0,
+        }
+    }
+
+    /// The group size to protect the next frame with, given the live smoothed loss
+    /// estimate; `fallback` (the static configured size) is returned when adaptation is
+    /// off. The returned size is always within `[min_group_size, max_group_size]`, so the
+    /// parity overhead `1/k` is bounded and the media budget shave stays bounded too.
+    pub fn group_for_loss(&self, loss_estimate: f64, fallback: u32) -> u32 {
+        if !self.enabled {
+            return fallback;
+        }
+        let overhead = (loss_estimate.clamp(0.0, 1.0) * self.safety_factor)
+            .clamp(1.0 / self.max_group_size as f64, 1.0 / self.min_group_size as f64);
+        ((1.0 / overhead).round() as u32).clamp(self.min_group_size, self.max_group_size)
+    }
+}
+
+impl Default for AdaptiveFecConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// The group index a media packet (by its position within the frame) belongs to, for a
+/// given group size — the free-function twin of [`FecEncoder::group_of`] that arrival
+/// paths use with the group size *stored per frame* (an adaptive encoder may have moved
+/// on to a different size by the time packets arrive).
+pub fn group_of_index(group_size: u32, media_packet_index: usize) -> Option<u32> {
+    if group_size == 0 {
+        return None;
+    }
+    Some((media_packet_index / group_size as usize) as u32)
+}
+
 /// Generates parity packets for the media packets of a frame.
 #[derive(Debug, Clone)]
 pub struct FecEncoder {
@@ -53,6 +115,17 @@ impl FecEncoder {
     /// Creates an encoder.
     pub fn new(config: FecConfig) -> Self {
         Self { config }
+    }
+
+    /// The current group size (0 = disabled).
+    pub fn group_size(&self) -> u32 {
+        self.config.group_size
+    }
+
+    /// Re-sizes the parity groups for subsequent frames (adaptive FEC). Frames already
+    /// protected keep their old grouping — callers must remember the size used per frame.
+    pub fn set_group_size(&mut self, group_size: u32) {
+        self.config.group_size = group_size;
     }
 
     /// Builds parity packets for `media_packets` (all belonging to one frame), assigning
@@ -241,6 +314,69 @@ mod tests {
         rec.on_media(7, 0, 3);
         rec.on_parity(7, 0);
         assert!(rec.recoverable(7, 0).is_empty());
+    }
+
+    #[test]
+    fn adaptive_sizing_tracks_loss_up_and_down_within_clamps() {
+        let cfg = AdaptiveFecConfig {
+            enabled: true,
+            ..AdaptiveFecConfig::disabled()
+        };
+        // Clean link: leanest protection.
+        assert_eq!(cfg.group_for_loss(0.0, 4), cfg.max_group_size);
+        // Catastrophic loss: heaviest protection.
+        assert_eq!(cfg.group_for_loss(0.5, 4), cfg.min_group_size);
+        // Rising loss never increases the group size (more loss ⇒ more parity).
+        let mut prev = u32::MAX;
+        for step in 0..=50u32 {
+            let g = cfg.group_for_loss(step as f64 / 100.0, 4);
+            assert!(g <= prev, "group size must fall (or hold) as loss rises");
+            assert!((cfg.min_group_size..=cfg.max_group_size).contains(&g));
+            prev = g;
+        }
+        // 10% loss × safety 3.0 → 30% overhead → group ≈ 3.
+        assert_eq!(cfg.group_for_loss(0.10, 4), 3);
+    }
+
+    #[test]
+    fn disabled_adaptation_returns_the_static_fallback() {
+        let cfg = AdaptiveFecConfig::disabled();
+        assert_eq!(cfg.group_for_loss(0.5, 4), 4);
+        assert_eq!(cfg.group_for_loss(0.0, 0), 0, "FEC-off stays off");
+    }
+
+    #[test]
+    fn group_of_index_matches_encoder_grouping() {
+        let enc = FecEncoder::new(FecConfig::with_group_size(4));
+        for idx in 0..20 {
+            assert_eq!(group_of_index(4, idx), enc.group_of(idx));
+        }
+        assert_eq!(group_of_index(0, 3), None);
+    }
+
+    #[test]
+    fn set_group_size_applies_to_subsequent_frames() {
+        let mut enc = FecEncoder::new(FecConfig::with_group_size(4));
+        let media = media_packets(13_520); // 10 media packets
+        let mut seq = 0u64;
+        assert_eq!(
+            enc.protect(&media, || {
+                seq += 1;
+                seq
+            })
+            .len(),
+            3
+        ); // ceil(10/4)
+        enc.set_group_size(2);
+        assert_eq!(enc.group_size(), 2);
+        assert_eq!(
+            enc.protect(&media, || {
+                seq += 1;
+                seq
+            })
+            .len(),
+            5
+        ); // ceil(10/2)
     }
 
     #[test]
