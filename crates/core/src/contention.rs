@@ -1,0 +1,910 @@
+//! Multi-tenant contention: K conversations (plus cross-traffic) on one shared bottleneck.
+//!
+//! Single-tenant experiments ([`crate::Conversation`]) give every session a private link,
+//! so PR 6's outage resilience is only ever proven in isolation. Production serving is the
+//! opposite: many users squeeze through one uplink/cell, and a blackout there hits every
+//! tenant at once. This module multiplexes K persistent conversation timelines onto **one**
+//! `aivc-sim` event queue and **one** [`SharedLink`]:
+//!
+//! * every tenant keeps its own [`NetCompute`]/[`GccController`]/[`Transport`] — exactly
+//!   the state a [`crate::Conversation`] owns — but its uplink packets ride a shared
+//!   bottleneck as one flow among K (+ cross-traffic), via
+//!   [`crate::net_turn::UplinkPort::Shared`];
+//! * tenant turn lifecycles become events ([`MtEvent::TurnBegin`]/[`MtEvent::TurnEnd`])
+//!   on the global timeline, so turns of different tenants interleave packet-by-packet in
+//!   strict chronological order — the dslab-style ping-pong actor pattern, scaled out;
+//! * a **starvation watchdog** samples per-tenant goodput every fairness window: a tenant
+//!   whose share stays below a configured floor for consecutive windows gets its PR 6
+//!   degradation ladder escalated ([`GccController::force_fallback`]) and the event is
+//!   *counted*, never silently absorbed;
+//! * **fairness telemetry** records each window's per-tenant share and Jain's index, plus
+//!   a post-recovery index over everything delivered after the last shared outage ends;
+//! * **late-joiner admission** clamps a joining tenant's initial estimate to its fair
+//!   share of the nominal rate, so it converges without stampeding incumbents.
+//!
+//! Determinism: one global event queue, one shared-link RNG, tie-break by insertion
+//! order. With K = 1 and the shared link seeded like the tenant's private uplink, the
+//! engine reproduces a [`crate::Conversation`] bit-for-bit (pinned by a test below). The
+//! single measure-zero caveat: a packet left in flight by turn `k` that lands exactly one
+//! microsecond after turn `k+1`'s answer deadline is processed before that turn concludes
+//! here, whereas a `Conversation` would process it just after — both orders are
+//! deterministic, and no integer-microsecond schedule in the registry exhibits the tie.
+
+use crate::context_aware::StreamerConfig;
+use crate::conversation::ConversationReport;
+use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport};
+use crate::net_turn::{
+    begin_turn_window, conclude_turn_window, finish_turn, NetCompute, NetEvent, NetEventSink, Transport,
+    TurnMachine, TurnPlan, UplinkPort,
+};
+use aivc_mllm::Question;
+use aivc_netsim::{jain_index, FaultKind, LatencyStats, LinkConfig, LinkCounters, Packet, SharedLink};
+use aivc_rtc::cc::GccController;
+use aivc_scene::Frame;
+use aivc_semantics::ClipModel;
+use aivc_sim::{Actor, SimDuration, SimTime, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// One scripted turn of a tenant's conversation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTurn {
+    /// The turn's capture window.
+    pub frames: Vec<Frame>,
+    /// The user's question for the turn.
+    pub question: Question,
+}
+
+/// One tenant: a full conversation (options + scripted turns) joining the shared
+/// bottleneck at `join_at`.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display label ("tenant-0", "joiner", ...).
+    pub label: String,
+    /// ABR-mode label for the report ("ai_oriented" / "traditional").
+    pub mode: String,
+    /// When the tenant's first turn begins on the global timeline.
+    pub join_at: SimTime,
+    /// Think time inserted between consecutive turns.
+    pub think: SimDuration,
+    /// Session options. `options.path.uplink` must equal the shared link's config so
+    /// propagation delays and outage reporting see the bottleneck the packets really
+    /// ride; the private uplink it configures sits idle (its RNG is never drawn from).
+    pub options: NetSessionOptions,
+    /// The scripted turns.
+    pub turns: Vec<TenantTurn>,
+}
+
+/// Background cross-traffic: fixed-size packets offered at a constant rate over
+/// `[start, stop)`, contending as one extra flow on the shared link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossTrafficSpec {
+    /// Offered rate in bits per second.
+    pub rate_bps: f64,
+    /// Size of each packet.
+    pub packet_bytes: u32,
+    /// First send time.
+    pub start: SimTime,
+    /// Exclusive end of the sending window.
+    pub stop: SimTime,
+}
+
+/// Starvation-watchdog configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StarvationConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Windowed-goodput floor (bits per second) below which a tenant counts as starving.
+    pub floor_bps: f64,
+    /// How many *consecutive* starving windows escalate the tenant's degradation ladder.
+    pub consecutive_windows: u32,
+}
+
+impl StarvationConfig {
+    /// Watchdog off.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            floor_bps: 0.0,
+            consecutive_windows: u32::MAX,
+        }
+    }
+}
+
+/// Late-joiner admission configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// A joiner's initial estimate is clamped to
+    /// `nominal_bps * fair_share_cap / active_tenants`.
+    pub fair_share_cap: f64,
+}
+
+impl AdmissionConfig {
+    /// Admission control off: joiners start from their configured initial estimate.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            fair_share_cap: 1.0,
+        }
+    }
+}
+
+/// Configuration of one contention run.
+#[derive(Debug, Clone)]
+pub struct ContentionConfig {
+    /// The shared bottleneck every tenant (and cross-traffic source) contends for.
+    pub shared_uplink: LinkConfig,
+    /// Seed of the shared link's random processes.
+    pub shared_seed: u64,
+    /// Nominal bottleneck rate (bits per second) — the fair-share denominator for
+    /// admission control.
+    pub nominal_bps: f64,
+    /// Width of the fairness-telemetry sampling window.
+    pub fairness_window: SimDuration,
+    /// Starvation-watchdog settings.
+    pub starvation: StarvationConfig,
+    /// Late-joiner admission settings.
+    pub admission: AdmissionConfig,
+    /// Background cross-traffic sources.
+    pub cross_traffic: Vec<CrossTrafficSpec>,
+}
+
+/// One fairness-telemetry sample: shares over the window ending at `end_ms`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessWindow {
+    /// Window end, in milliseconds of global simulated time.
+    pub end_ms: f64,
+    /// Tenants mid-conversation during the window (the Jain population).
+    pub active_tenants: u32,
+    /// Jain's index over the active tenants' windowed goodput shares.
+    pub jain: f64,
+    /// Windowed goodput of every tenant (active or not), bits per second.
+    pub shares_bps: Vec<f64>,
+}
+
+/// Fairness telemetry over a whole contention run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessReport {
+    /// Sampling window width in milliseconds.
+    pub window_ms: f64,
+    /// Jain's index over each tenant's total delivered bytes.
+    pub jain_overall: f64,
+    /// Jain's index over bytes delivered after the last shared outage ended — the
+    /// "did everyone recover *together*" number. `None` when the shared link has no
+    /// outage episodes.
+    pub jain_post_recovery: Option<f64>,
+    /// Every sampled window, in time order.
+    pub windows: Vec<FairnessWindow>,
+}
+
+/// One tenant's slice of a [`ContentionReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// The tenant's label.
+    pub label: String,
+    /// ABR-mode label.
+    pub mode: String,
+    /// Join time in milliseconds.
+    pub join_ms: f64,
+    /// Bytes the shared link delivered for this tenant.
+    pub delivered_bytes: u64,
+    /// This tenant's fraction of all tenant-delivered bytes.
+    pub goodput_share: f64,
+    /// Starvation-watchdog escalations charged to this tenant.
+    pub starvation_events: u64,
+    /// The tenant's full conversation report (same shape as a single-tenant run).
+    pub conversation: ConversationReport,
+}
+
+/// The report of one multi-tenant contention run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionReport {
+    /// Per-tenant results, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Windowed fairness telemetry.
+    pub fairness: FairnessReport,
+    /// Aggregate counters of the shared link (tenants + cross-traffic).
+    pub shared_link: LinkCounters,
+    /// Bytes delivered for cross-traffic flows.
+    pub cross_traffic_delivered_bytes: u64,
+}
+
+impl ContentionReport {
+    /// Every tenant observed a finite outage recovery (`time_to_recover_ms`).
+    pub fn all_tenants_recovered(&self) -> bool {
+        self.tenants
+            .iter()
+            .all(|t| t.conversation.resilience.time_to_recover_ms.is_some())
+    }
+
+    /// Total starvation escalations across tenants.
+    pub fn starvation_events_total(&self) -> u64 {
+        self.tenants.iter().map(|t| t.starvation_events).sum()
+    }
+}
+
+/// Events of the multi-tenant timeline.
+#[derive(Debug)]
+enum MtEvent {
+    /// A tenant's transport event (capture, send, arrival, poll, feedback).
+    Net { tenant: usize, ev: NetEvent },
+    /// A tenant's next turn window opens.
+    TurnBegin { tenant: usize },
+    /// A tenant's turn deadline passed: conclude and report.
+    TurnEnd { tenant: usize },
+    /// A cross-traffic source offers its next packet.
+    Cross { source: usize },
+    /// The fairness/starvation sampling tick.
+    FairnessTick,
+}
+
+/// Tags a tenant's [`NetEvent`]s on their way into the global queue.
+struct TenantSink<'a> {
+    tenant: usize,
+    sim: &'a mut Simulation<MtEvent>,
+}
+
+impl NetEventSink for TenantSink<'_> {
+    fn schedule_net(&mut self, when: SimTime, event: NetEvent) {
+        self.sim.schedule_at(
+            when,
+            MtEvent::Net {
+                tenant: self.tenant,
+                ev: event,
+            },
+        );
+    }
+}
+
+/// Per-tenant engine state: everything a [`crate::Conversation`] owns, minus the private
+/// simulation (the timeline is global here).
+struct TenantState {
+    spec: TenantSpec,
+    compute: NetCompute,
+    gcc: GccController,
+    transport: Transport,
+    /// Turns whose window has opened (≥ turns reported; they differ while one is live).
+    turns_begun: usize,
+    /// The live (or most recent) turn's plan.
+    plan: Option<TurnPlan>,
+    /// `[first capture, last capture]` of the live turn — the span inside which a
+    /// fairness window is *eligible* for starvation accounting (a tenant thinking or
+    /// draining is silent by design, not starved).
+    capture_span: Option<(SimTime, SimTime)>,
+    reports: Vec<NetTurnReport>,
+    estimate_at_turn_start_bps: Vec<f64>,
+    carryover_queue_delay_ms: Vec<f64>,
+    turn_target_swing_bps: Vec<f64>,
+    frame_latencies: Vec<SimDuration>,
+    starve_streak: u32,
+    starvation_events: u64,
+    /// `delivered_bytes` of this tenant's flow at the last fairness tick.
+    window_bytes_snapshot: u64,
+}
+
+impl TenantState {
+    fn finished(&self) -> bool {
+        self.reports.len() >= self.spec.turns.len()
+    }
+
+    /// Mid-conversation: the first window has opened and the last turn has not reported.
+    fn mid_conversation(&self) -> bool {
+        self.turns_begun > 0 && !self.finished()
+    }
+
+    /// Assembles this tenant's [`ConversationReport`], mirroring
+    /// [`crate::Conversation::report`].
+    fn conversation_report(&self) -> ConversationReport {
+        let mut latency = LatencyStats::new();
+        for d in &self.frame_latencies {
+            latency.record(*d);
+        }
+        let mean_goodput_bps = if self.reports.is_empty() {
+            0.0
+        } else {
+            self.reports.iter().map(|t| t.goodput_bps).sum::<f64>() / self.reports.len() as f64
+        };
+        let mut resilience = FaultTelemetry::default();
+        for t in &self.reports {
+            resilience.absorb(&t.resilience);
+        }
+        ConversationReport {
+            turns: self.reports.clone(),
+            estimate_at_turn_start_bps: self.estimate_at_turn_start_bps.clone(),
+            carryover_queue_delay_ms: self.carryover_queue_delay_ms.clone(),
+            turn_target_swing_bps: self.turn_target_swing_bps.clone(),
+            p50_frame_latency_ms: latency.percentile_ms(0.5),
+            p95_frame_latency_ms: latency.p95_ms(),
+            mean_goodput_bps,
+            nacks_suppressed: self.transport.nacks_suppressed(),
+            resilience,
+        }
+    }
+}
+
+struct CrossState {
+    spec: CrossTrafficSpec,
+    interval_us: u64,
+    next_id: u64,
+}
+
+/// The multi-tenant actor over the global timeline.
+struct ContentionMachine {
+    tenants: Vec<TenantState>,
+    cross: Vec<CrossState>,
+    shared: SharedLink,
+    starvation: StarvationConfig,
+    admission: AdmissionConfig,
+    nominal_bps: f64,
+    fairness_window_us: u64,
+    windows: Vec<FairnessWindow>,
+    /// End of the last shared outage episode, if any — the post-recovery anchor.
+    recovery_time: Option<SimTime>,
+    /// Per-tenant `delivered_bytes` at the first tick past `recovery_time`.
+    post_recovery_snapshot: Option<Vec<u64>>,
+    global_end: SimTime,
+}
+
+impl Actor for ContentionMachine {
+    type Event = MtEvent;
+
+    fn on_event(&mut self, now: SimTime, event: MtEvent, sim: &mut Simulation<MtEvent>) {
+        match event {
+            MtEvent::TurnBegin { tenant } => self.on_turn_begin(tenant, now, sim),
+            MtEvent::TurnEnd { tenant } => self.on_turn_end(tenant, sim),
+            MtEvent::Net { tenant, ev } => self.on_net(tenant, now, ev, sim),
+            MtEvent::Cross { source } => self.on_cross(source, now, sim),
+            MtEvent::FairnessTick => self.on_fairness_tick(now, sim),
+        }
+    }
+}
+
+impl ContentionMachine {
+    fn on_turn_begin(&mut self, tenant: usize, now: SimTime, sim: &mut Simulation<MtEvent>) {
+        // Fair share is over tenants currently mid-conversation (incumbents), plus the
+        // joiner itself opening its first window right now.
+        let active = self
+            .tenants
+            .iter()
+            .filter(|t| t.mid_conversation() || (t.spec.join_at <= now && !t.finished()))
+            .count()
+            .max(1);
+        let t = &mut self.tenants[tenant];
+        let idx = t.turns_begun;
+        debug_assert!(idx < t.spec.turns.len(), "turn begin past the script");
+        if idx == 0 && self.admission.enabled {
+            t.gcc
+                .clamp_estimate(self.nominal_bps * self.admission.fair_share_cap / active as f64);
+        }
+        t.estimate_at_turn_start_bps.push(t.gcc.estimate_bps());
+        t.carryover_queue_delay_ms
+            .push(self.shared.backlog(now).as_millis_f64());
+        let frame_count = t.spec.turns[idx].frames.len();
+        let plan = begin_turn_window(
+            &mut t.compute,
+            &mut t.transport,
+            now,
+            &mut TenantSink { tenant, sim },
+            frame_count,
+            &t.spec.turns[idx].question,
+        );
+        let interval_us = (1e6 / t.compute.options.capture_fps).round() as u64;
+        let last_capture = SimTime::from_micros(now.as_micros() + (frame_count as u64 - 1) * interval_us);
+        t.capture_span = Some((now, last_capture));
+        t.plan = Some(plan);
+        t.turns_begun += 1;
+        // One microsecond past the deadline: every event at the deadline itself (which a
+        // single-tenant `run_until(horizon)` drains inclusively) pops first, by time; the
+        // integer-microsecond clock leaves nothing in between.
+        sim.schedule_at(
+            plan.horizon + SimDuration::from_micros(1),
+            MtEvent::TurnEnd { tenant },
+        );
+    }
+
+    fn on_turn_end(&mut self, tenant: usize, sim: &mut Simulation<MtEvent>) {
+        let shared = &mut self.shared;
+        let t = &mut self.tenants[tenant];
+        let plan = t.plan.expect("turn end without a live turn");
+        let idx = t.turns_begun - 1;
+        let turn = &t.spec.turns[idx];
+        let report = conclude_turn_window(
+            &mut t.compute,
+            &mut t.gcc,
+            &mut t.transport,
+            &UplinkPort::Shared {
+                link: shared,
+                flow: tenant,
+            },
+            &plan,
+            turn.frames.len(),
+            &turn.question,
+        );
+        t.turn_target_swing_bps.push(t.transport.turn_target_swing_bps());
+        t.frame_latencies
+            .extend_from_slice(&t.transport.turn_frame_latencies);
+        finish_turn(&mut t.transport);
+        t.reports.push(report);
+        t.capture_span = None;
+        if t.turns_begun < t.spec.turns.len() {
+            sim.schedule_at(plan.horizon + t.spec.think, MtEvent::TurnBegin { tenant });
+        }
+    }
+
+    fn on_net(&mut self, tenant: usize, now: SimTime, ev: NetEvent, sim: &mut Simulation<MtEvent>) {
+        let shared = &mut self.shared;
+        let t = &mut self.tenants[tenant];
+        let Some(plan) = t.plan else {
+            debug_assert!(false, "net event before the tenant's first turn");
+            return;
+        };
+        // Between windows the frame slice is only nominally live: capture events exist
+        // strictly inside a window, and nothing else reads frames.
+        let idx = t.turns_begun.saturating_sub(1);
+        let frames: &[Frame] = &t.spec.turns[idx].frames;
+        let mut machine = TurnMachine {
+            compute: &mut t.compute,
+            gcc: &mut t.gcc,
+            t: &mut t.transport,
+            frames,
+            window: plan.window,
+            port: UplinkPort::Shared {
+                link: shared,
+                flow: tenant,
+            },
+        };
+        machine.handle(now, ev, &mut TenantSink { tenant, sim });
+    }
+
+    fn on_cross(&mut self, source: usize, now: SimTime, sim: &mut Simulation<MtEvent>) {
+        let flow = self.tenants.len() + source;
+        let c = &mut self.cross[source];
+        if now >= c.spec.stop {
+            return;
+        }
+        let packet = Packet::new(c.next_id, c.spec.packet_bytes, now);
+        c.next_id += 1;
+        self.shared.send(flow, &packet, now);
+        let next = now + SimDuration::from_micros(c.interval_us);
+        if next < c.spec.stop {
+            sim.schedule_at(next, MtEvent::Cross { source });
+        }
+    }
+
+    fn on_fairness_tick(&mut self, now: SimTime, sim: &mut Simulation<MtEvent>) {
+        let window_secs = self.fairness_window_us as f64 / 1e6;
+        let k = self.tenants.len();
+        let mut shares = Vec::with_capacity(k);
+        for i in 0..k {
+            let bytes = self.shared.flow_counters(i).delivered_bytes;
+            let delta = bytes - self.tenants[i].window_bytes_snapshot;
+            self.tenants[i].window_bytes_snapshot = bytes;
+            shares.push(delta as f64 * 8.0 / window_secs);
+        }
+        let active: Vec<f64> = (0..k)
+            .filter(|&i| self.tenants[i].mid_conversation())
+            .map(|i| shares[i])
+            .collect();
+        self.windows.push(FairnessWindow {
+            end_ms: now.as_micros() as f64 / 1e3,
+            active_tenants: active.len() as u32,
+            jain: jain_index(&active),
+            shares_bps: shares.clone(),
+        });
+
+        if self.starvation.enabled {
+            let window_start = SimTime::from_micros(now.as_micros().saturating_sub(self.fairness_window_us));
+            let floor = self.starvation.floor_bps;
+            let needed = self.starvation.consecutive_windows;
+            for (i, t) in self.tenants.iter_mut().enumerate() {
+                // Eligible only when the whole window sits inside the tenant's capture
+                // phase: goodput during think time or the post-capture drain is low by
+                // design, and flagging it would make the watchdog fire on every healthy
+                // tenant. The streak is *held* (not reset) across ineligible windows —
+                // "sustained while transmitting" semantics.
+                let eligible = t.capture_span.is_some_and(|(s, e)| s <= window_start && now <= e);
+                if !eligible {
+                    continue;
+                }
+                if shares[i] < floor {
+                    t.starve_streak += 1;
+                } else {
+                    t.starve_streak = 0;
+                }
+                if t.starve_streak >= needed {
+                    t.starvation_events += 1;
+                    t.starve_streak = 0;
+                    // Escalate the tenant's own degradation ladder: force_fallback makes
+                    // `in_fallback()` true, so its next capture rides the SoftFallback
+                    // rung and its sending rate steps down toward survivability.
+                    t.gcc.force_fallback();
+                }
+            }
+        }
+
+        if let Some(rt) = self.recovery_time {
+            if now >= rt && self.post_recovery_snapshot.is_none() {
+                self.post_recovery_snapshot = Some(
+                    (0..k)
+                        .map(|i| self.shared.flow_counters(i).delivered_bytes)
+                        .collect(),
+                );
+            }
+        }
+
+        let next = now + SimDuration::from_micros(self.fairness_window_us);
+        if next <= self.global_end {
+            sim.schedule_at(next, MtEvent::FairnessTick);
+        }
+    }
+}
+
+/// Runs a full contention experiment: K tenant conversations plus cross-traffic on one
+/// shared bottleneck, from time zero to the last tenant's final answer deadline.
+pub fn run_contention(config: &ContentionConfig, tenants: Vec<TenantSpec>) -> ContentionReport {
+    assert!(!tenants.is_empty(), "a contention run needs at least one tenant");
+    for t in &tenants {
+        assert!(
+            t.turns.iter().all(|turn| !turn.frames.is_empty()),
+            "every scripted turn needs at least one frame"
+        );
+    }
+    let tenant_count = tenants.len();
+    let flow_count = tenant_count + config.cross_traffic.len();
+    let shared = SharedLink::new(config.shared_uplink.clone(), config.shared_seed, flow_count);
+    let recovery_time = config
+        .shared_uplink
+        .faults
+        .episodes()
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::Outage))
+        .map(|e| e.end())
+        .max();
+
+    let states: Vec<TenantState> = tenants
+        .into_iter()
+        .map(|spec| {
+            let gcc = GccController::new(spec.options.gcc);
+            let transport = Transport::new(&spec.options, gcc.estimate_bps());
+            let compute = NetCompute::new(
+                spec.options.clone(),
+                StreamerConfig::default(),
+                ClipModel::mobile_default(),
+            );
+            TenantState {
+                spec,
+                compute,
+                gcc,
+                transport,
+                turns_begun: 0,
+                plan: None,
+                capture_span: None,
+                reports: Vec::new(),
+                estimate_at_turn_start_bps: Vec::new(),
+                carryover_queue_delay_ms: Vec::new(),
+                turn_target_swing_bps: Vec::new(),
+                frame_latencies: Vec::new(),
+                starve_streak: 0,
+                starvation_events: 0,
+                window_bytes_snapshot: 0,
+            }
+        })
+        .collect();
+
+    // The global horizon: every tenant's final answer deadline (replicating the window
+    // arithmetic of `begin_turn_window` exactly), plus the 1 µs TurnEnd offset.
+    let mut global_end = SimTime::ZERO;
+    for t in &states {
+        let o = &t.compute.options;
+        let interval_us = (1e6 / o.capture_fps).round() as u64;
+        let drain_us = (o.drain_secs.max(0.0) * 1e6).round() as u64;
+        let mut begin = t.spec.join_at.as_micros();
+        let mut horizon = begin;
+        for turn in &t.spec.turns {
+            let last_capture = begin + (turn.frames.len() as u64 - 1) * interval_us;
+            horizon = last_capture + drain_us;
+            begin = horizon + t.spec.think.as_micros();
+        }
+        global_end = global_end.max(SimTime::from_micros(horizon + 1));
+    }
+
+    let cross: Vec<CrossState> = config
+        .cross_traffic
+        .iter()
+        .map(|spec| CrossState {
+            spec: spec.clone(),
+            interval_us: ((spec.packet_bytes as f64 * 8.0 / spec.rate_bps) * 1e6)
+                .round()
+                .max(1.0) as u64,
+            next_id: 0,
+        })
+        .collect();
+
+    let fairness_window_us = config.fairness_window.as_micros().max(1);
+    let mut machine = ContentionMachine {
+        tenants: states,
+        cross,
+        shared,
+        starvation: config.starvation,
+        admission: config.admission,
+        nominal_bps: config.nominal_bps,
+        fairness_window_us,
+        windows: Vec::new(),
+        recovery_time,
+        post_recovery_snapshot: None,
+        global_end,
+    };
+
+    let mut sim = Simulation::new();
+    for (i, t) in machine.tenants.iter().enumerate() {
+        if !t.spec.turns.is_empty() {
+            sim.schedule_at(t.spec.join_at, MtEvent::TurnBegin { tenant: i });
+        }
+    }
+    for (s, c) in machine.cross.iter().enumerate() {
+        sim.schedule_at(c.spec.start, MtEvent::Cross { source: s });
+    }
+    sim.schedule_at(SimTime::from_micros(fairness_window_us), MtEvent::FairnessTick);
+    sim.run_until(global_end, &mut machine);
+
+    // --- Assemble the report.
+    let tenant_bytes: Vec<u64> = (0..tenant_count)
+        .map(|i| machine.shared.flow_counters(i).delivered_bytes)
+        .collect();
+    let total_tenant_bytes: u64 = tenant_bytes.iter().sum();
+    let overall: Vec<f64> = tenant_bytes.iter().map(|&b| b as f64).collect();
+    let jain_post_recovery = machine.post_recovery_snapshot.as_ref().map(|snap| {
+        let deltas: Vec<f64> = (0..tenant_count)
+            .map(|i| (tenant_bytes[i] - snap[i]) as f64)
+            .collect();
+        jain_index(&deltas)
+    });
+    let cross_traffic_delivered_bytes: u64 = (tenant_count..flow_count)
+        .map(|f| machine.shared.flow_counters(f).delivered_bytes)
+        .sum();
+    let tenants: Vec<TenantReport> = machine
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TenantReport {
+            label: t.spec.label.clone(),
+            mode: t.spec.mode.clone(),
+            join_ms: t.spec.join_at.as_micros() as f64 / 1e3,
+            delivered_bytes: tenant_bytes[i],
+            goodput_share: if total_tenant_bytes == 0 {
+                0.0
+            } else {
+                tenant_bytes[i] as f64 / total_tenant_bytes as f64
+            },
+            starvation_events: t.starvation_events,
+            conversation: t.conversation_report(),
+        })
+        .collect();
+    ContentionReport {
+        tenants,
+        fairness: FairnessReport {
+            window_ms: fairness_window_us as f64 / 1e3,
+            jain_overall: jain_index(&overall),
+            jain_post_recovery,
+            windows: machine.windows,
+        },
+        shared_link: machine.shared.counters(),
+        cross_traffic_delivered_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversation::Conversation;
+    use aivc_mllm::QuestionFormat;
+    use aivc_netsim::{LossModel, PathConfig};
+    use aivc_scene::templates::basketball_game;
+    use aivc_scene::{SourceConfig, VideoSource};
+
+    fn clean_downlink() -> LinkConfig {
+        LinkConfig::constant(100e6, SimDuration::from_millis(30), 300, LossModel::None)
+    }
+
+    fn turn_script(tenant: usize, turns: usize, frames_per_turn: usize, fps: f64) -> Vec<TenantTurn> {
+        let scene = basketball_game(1);
+        let source = VideoSource::new(scene.clone(), SourceConfig::fps30(6.0));
+        (0..turns)
+            .map(|turn| {
+                let start = (turn * frames_per_turn + tenant * 3) % 150;
+                TenantTurn {
+                    frames: (0..frames_per_turn)
+                        .map(|i| source.frame(((start + i) as f64 * 30.0 / fps) as u64 % 170))
+                        .collect(),
+                    question: Question::from_fact(
+                        &scene.facts[(turn + tenant) % scene.facts.len()],
+                        QuestionFormat::FreeResponse,
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    fn tenant_options(seed: u64, uplink: &LinkConfig, fps: f64) -> NetSessionOptions {
+        let mut o = NetSessionOptions::ai_oriented(
+            seed,
+            PathConfig {
+                uplink: uplink.clone(),
+                downlink: clean_downlink(),
+            },
+        );
+        o.capture_fps = fps;
+        o
+    }
+
+    fn base_config(uplink: LinkConfig, seed: u64, nominal_bps: f64) -> ContentionConfig {
+        ContentionConfig {
+            shared_uplink: uplink,
+            shared_seed: seed,
+            nominal_bps,
+            fairness_window: SimDuration::from_millis(500),
+            starvation: StarvationConfig::disabled(),
+            admission: AdmissionConfig::disabled(),
+            cross_traffic: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn single_tenant_contention_matches_a_private_conversation_bit_for_bit() {
+        // K = 1 with the shared link seeded exactly like the tenant's private uplink:
+        // the engine must reproduce `Conversation` — same interleaving, same RNG draws,
+        // same report — which pins that multi-tenancy changed nothing single-tenant.
+        let uplink = LinkConfig::constant(
+            4e6,
+            SimDuration::from_millis(30),
+            300,
+            LossModel::Iid { rate: 0.01 },
+        );
+        let seed = 42;
+        let fps = 8.0;
+        let think = SimDuration::from_millis(400);
+        let options = tenant_options(seed, &uplink, fps);
+        let script = turn_script(0, 3, 4, fps);
+
+        let mut conv = Conversation::with_defaults(options.clone(), think);
+        for turn in &script {
+            conv.run_turn(&turn.frames, &turn.question);
+        }
+        let expected = conv.report();
+
+        let config = base_config(uplink, seed, 4e6);
+        let report = run_contention(
+            &config,
+            vec![TenantSpec {
+                label: "solo".into(),
+                mode: "ai_oriented".into(),
+                join_at: SimTime::ZERO,
+                think,
+                options,
+                turns: script,
+            }],
+        );
+        assert_eq!(report.tenants[0].conversation, expected);
+    }
+
+    #[test]
+    fn contention_runs_are_deterministic() {
+        let uplink = LinkConfig::constant(
+            6e6,
+            SimDuration::from_millis(30),
+            300,
+            LossModel::Iid { rate: 0.01 },
+        );
+        let run = || {
+            let config = base_config(uplink.clone(), 7, 6e6);
+            let tenants = (0..3)
+                .map(|i| TenantSpec {
+                    label: format!("tenant-{i}"),
+                    mode: "ai_oriented".into(),
+                    join_at: SimTime::from_millis(i as u64 * 100),
+                    think: SimDuration::from_millis(300),
+                    options: tenant_options(7 + i as u64, &uplink, 8.0),
+                    turns: turn_script(i, 2, 4, 8.0),
+                })
+                .collect();
+            run_contention(&config, tenants)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_tenant_flow_counters_reconcile_with_the_shared_link() {
+        let uplink = LinkConfig::constant(5e6, SimDuration::from_millis(30), 300, LossModel::None);
+        let config = base_config(uplink.clone(), 11, 5e6);
+        let tenants = (0..2)
+            .map(|i| TenantSpec {
+                label: format!("tenant-{i}"),
+                mode: "ai_oriented".into(),
+                join_at: SimTime::ZERO,
+                think: SimDuration::from_millis(200),
+                options: tenant_options(20 + i as u64, &uplink, 8.0),
+                turns: turn_script(i, 2, 4, 8.0),
+            })
+            .collect();
+        let report = run_contention(&config, tenants);
+        let tenant_bytes: u64 = report.tenants.iter().map(|t| t.delivered_bytes).sum();
+        assert_eq!(
+            tenant_bytes + report.cross_traffic_delivered_bytes,
+            report.shared_link.delivered_bytes
+        );
+        assert!(report.tenants.iter().all(|t| t.delivered_bytes > 0));
+        let share_sum: f64 = report.tenants.iter().map(|t| t.goodput_share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starvation_watchdog_stays_quiet_on_an_evenly_shared_clean_link() {
+        // Ample fault-free bandwidth, identical tenants: nobody's windowed goodput dips
+        // below a conservative floor, so the watchdog must never escalate.
+        let uplink = LinkConfig::constant(16e6, SimDuration::from_millis(30), 300, LossModel::None);
+        let mut config = base_config(uplink.clone(), 13, 16e6);
+        config.starvation = StarvationConfig {
+            enabled: true,
+            floor_bps: 100_000.0,
+            consecutive_windows: 2,
+        };
+        let tenants = (0..3)
+            .map(|i| TenantSpec {
+                label: format!("tenant-{i}"),
+                mode: "ai_oriented".into(),
+                join_at: SimTime::ZERO,
+                think: SimDuration::from_millis(300),
+                options: tenant_options(30 + i as u64, &uplink, 12.0),
+                turns: turn_script(i, 3, 12, 12.0),
+            })
+            .collect();
+        let report = run_contention(&config, tenants);
+        assert_eq!(report.starvation_events_total(), 0);
+        assert!(
+            report.fairness.jain_overall > 0.9,
+            "even tenants should share evenly"
+        );
+    }
+
+    #[test]
+    fn admission_clamps_a_late_joiner_to_its_fair_share() {
+        let uplink = LinkConfig::constant(6e6, SimDuration::from_millis(30), 300, LossModel::None);
+        let mut config = base_config(uplink.clone(), 17, 6e6);
+        config.admission = AdmissionConfig {
+            enabled: true,
+            fair_share_cap: 1.0,
+        };
+        let mut joiner_options = tenant_options(50, &uplink, 8.0);
+        joiner_options.gcc.initial_estimate_bps = 20e6; // wildly optimistic
+        let tenants = vec![
+            TenantSpec {
+                label: "incumbent".into(),
+                mode: "ai_oriented".into(),
+                join_at: SimTime::ZERO,
+                think: SimDuration::from_millis(300),
+                options: tenant_options(51, &uplink, 8.0),
+                turns: turn_script(0, 3, 6, 8.0),
+            },
+            TenantSpec {
+                label: "joiner".into(),
+                mode: "ai_oriented".into(),
+                join_at: SimTime::from_millis(700),
+                think: SimDuration::from_millis(300),
+                options: joiner_options,
+                turns: turn_script(1, 2, 6, 8.0),
+            },
+        ];
+        let report = run_contention(&config, tenants);
+        // Two active tenants at join time: the joiner starts from ≤ nominal/2, not 20 Mbps.
+        let joiner = &report.tenants[1].conversation;
+        assert!(
+            joiner.estimate_at_turn_start_bps[0] <= 3e6 + 1.0,
+            "admission must clamp the joiner's initial estimate, got {}",
+            joiner.estimate_at_turn_start_bps[0]
+        );
+        // And the incumbent still completed all turns.
+        assert_eq!(report.tenants[0].conversation.turns.len(), 3);
+        assert_eq!(joiner.turns.len(), 2);
+    }
+}

@@ -31,7 +31,7 @@ use crate::context_aware::StreamerConfig;
 use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport};
 use crate::net_turn::{drain_gap, finish_turn, run_turn_window, NetCompute, NetEvent, Transport};
 use aivc_mllm::Question;
-use aivc_netsim::LatencyStats;
+use aivc_netsim::{LatencyStats, LinkCounters};
 use aivc_rtc::cc::GccController;
 use aivc_scene::Frame;
 use aivc_semantics::ClipModel;
@@ -231,6 +231,24 @@ impl Conversation {
         &self.turns
     }
 
+    /// Snapshot of the conversation's cumulative uplink [`LinkCounters`] — offered,
+    /// delivered, queue-dropped, randomly lost, duplicated, reordered and outage-dropped
+    /// packets since the conversation began. Reads the emulator's existing totals; the
+    /// transport hot path keeps no extra bookkeeping for it.
+    pub fn link_counters(&self) -> LinkCounters {
+        self.transport.uplink_counters()
+    }
+
+    /// Roll-up of the fault telemetry across every turn run so far (same aggregation as
+    /// [`Conversation::report`], available mid-conversation without assembling a report).
+    pub fn fault_telemetry(&self) -> FaultTelemetry {
+        let mut resilience = FaultTelemetry::default();
+        for t in &self.turns {
+            resilience.absorb(&t.resilience);
+        }
+        resilience
+    }
+
     /// Advances the timeline by `gap` without capturing frames: in-flight packets arrive,
     /// NACK polls fire, retransmissions flow. [`Conversation::run_turn`] already inserts
     /// the configured think gap between turns; use this for extra idle time.
@@ -283,22 +301,7 @@ impl Conversation {
         } else {
             self.turns.iter().map(|t| t.goodput_bps).sum::<f64>() / self.turns.len() as f64
         };
-        let mut resilience = FaultTelemetry::default();
-        for t in &self.turns {
-            let r = &t.resilience;
-            resilience.outage_ms += r.outage_ms;
-            if resilience.time_to_recover_ms.is_none() {
-                resilience.time_to_recover_ms = r.time_to_recover_ms;
-            }
-            resilience.degradation_events += r.degradation_events;
-            resilience.frames_shed += r.frames_shed;
-            resilience.captures_suppressed += r.captures_suppressed;
-            resilience.probes_sent += r.probes_sent;
-            resilience.watchdog_fallbacks += r.watchdog_fallbacks;
-            resilience.packets_duplicated += r.packets_duplicated;
-            resilience.packets_reordered += r.packets_reordered;
-            resilience.outage_drops += r.outage_drops;
-        }
+        let resilience = self.fault_telemetry();
         ConversationReport {
             turns: self.turns.clone(),
             estimate_at_turn_start_bps: self.estimate_at_turn_start_bps.clone(),

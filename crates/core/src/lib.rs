@@ -18,6 +18,10 @@
 //! * [`conversation`] — continuous multi-turn conversations: one persistent transport
 //!   timeline (clock, link, trace cursor, GCC, pacer, in-flight packets) across every
 //!   turn, with think-time gaps and cross-turn aggregates ([`ConversationReport`]);
+//! * [`contention`] — shared-bottleneck multi-tenant contention: K conversations plus
+//!   cross-traffic contending for one [`aivc_netsim::SharedLink`] on one simulation
+//!   timeline, with windowed Jain fairness, a per-tenant starvation watchdog, fair-share
+//!   admission and tenant-isolated recovery ([`ContentionReport`]);
 //! * [`server`] — the multi-session throughput engines ([`ChatServer`] for pure compute,
 //!   [`NetworkedChatServer`] for network-in-the-loop turns, [`ConversationChatServer`]
 //!   for continuous conversations): N independent sessions executing turns across a
@@ -29,6 +33,7 @@
 
 pub mod allocator;
 pub mod baseline;
+pub mod contention;
 pub mod context_aware;
 pub mod conversation;
 pub mod eval;
@@ -41,11 +46,18 @@ pub mod session;
 
 pub use allocator::{QpAllocator, QpAllocatorConfig};
 pub use baseline::ContextAgnosticBaseline;
+pub use contention::{
+    run_contention, AdmissionConfig, ContentionConfig, ContentionReport, CrossTrafficSpec, StarvationConfig,
+    TenantReport, TenantSpec, TenantTurn,
+};
 pub use context_aware::{ContextAwareStreamer, StreamerConfig};
 pub use conversation::{Conversation, ConversationReport};
 pub use eval::{run_accuracy_vs_bitrate, AccuracyPoint, MethodKind};
 pub use latency::{LatencyBudget, RESPONSE_LATENCY_TARGET_MS};
 pub use net_session::{NetSessionOptions, NetTurnReport, NetworkedChatSession};
-pub use scenarios::{ConversationScenario, ConversationScenarioReport, Scenario, ScenarioReport};
-pub use server::{ChatServer, ConversationChatServer, NetworkedChatServer};
+pub use scenarios::{
+    ContentionScenario, ContentionScenarioReport, ConversationScenario, ConversationScenarioReport, Scenario,
+    ScenarioReport,
+};
+pub use server::{ChatServer, ConversationChatServer, NetworkedChatServer, ServingReport};
 pub use session::{AiVideoChatSession, ChatSession, ChatTurnReport, PipelineTurnReport, SessionOptions};

@@ -203,6 +203,24 @@ impl FaultTelemetry {
     pub fn is_quiet(&self) -> bool {
         self == &Self::default()
     }
+
+    /// Accumulates another telemetry snapshot into this one: counters and outage time
+    /// add up; the first finite `time_to_recover_ms` wins (the earliest proof of
+    /// re-convergence is the one a conversation- or fleet-level rollup reports).
+    pub fn absorb(&mut self, other: &FaultTelemetry) {
+        self.outage_ms += other.outage_ms;
+        if self.time_to_recover_ms.is_none() {
+            self.time_to_recover_ms = other.time_to_recover_ms;
+        }
+        self.degradation_events += other.degradation_events;
+        self.frames_shed += other.frames_shed;
+        self.captures_suppressed += other.captures_suppressed;
+        self.probes_sent += other.probes_sent;
+        self.watchdog_fallbacks += other.watchdog_fallbacks;
+        self.packets_duplicated += other.packets_duplicated;
+        self.packets_reordered += other.packets_reordered;
+        self.outage_drops += other.outage_drops;
+    }
 }
 
 /// The report of one networked chat turn — plain values only, so server slots can replace

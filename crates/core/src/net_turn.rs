@@ -28,7 +28,7 @@ use crate::session::StreamingMode;
 use aivc_mllm::{MllmChat, MllmScratch, Question};
 use aivc_netsim::emulator::Direction;
 use aivc_netsim::link::LinkCounters;
-use aivc_netsim::{DeliveryOutcome, LatencyStats, NetworkEmulator, Packet};
+use aivc_netsim::{DeliveryOutcome, LatencyStats, NetworkEmulator, Packet, SharedLink};
 use aivc_rtc::cc::{GccController, PacketFeedback};
 use aivc_rtc::fec::{group_of_index, FecEncoder, FecRecovery};
 use aivc_rtc::nack::{NackGenerator, RtxQueue};
@@ -59,6 +59,68 @@ pub(crate) enum NetEvent {
     ReceiverPoll,
     /// A feedback packet (NACKed sequences) arrives back at the sender.
     FeedbackArrival(Vec<u64>),
+}
+
+/// Where a [`TurnMachine`] schedules its follow-on events. A single-tenant timeline is a
+/// plain [`Simulation<NetEvent>`]; a multi-tenant engine wraps each tenant's events into
+/// its own composite event type and implements this to tag them on the way in.
+pub(crate) trait NetEventSink {
+    /// Schedules `event` at `when` on the owning timeline.
+    fn schedule_net(&mut self, when: SimTime, event: NetEvent);
+}
+
+impl NetEventSink for Simulation<NetEvent> {
+    fn schedule_net(&mut self, when: SimTime, event: NetEvent) {
+        self.schedule_at(when, event);
+    }
+}
+
+/// Which uplink a turn's packets ride. `Private` is the classic single-tenant path — the
+/// transport's own emulated uplink, byte-for-byte the pre-contention behaviour. `Shared`
+/// redirects every uplink operation to one flow of a [`SharedLink`] contended by other
+/// tenants; the private uplink then sits idle (its RNG streams are never drawn from).
+/// The downlink (feedback path) always stays private: the shared bottleneck models the
+/// congested uplink/cell, not the return path.
+pub(crate) enum UplinkPort<'a> {
+    /// Use the transport's own emulator uplink.
+    Private,
+    /// Contend for a shared bottleneck as the given flow.
+    Shared {
+        /// The shared bottleneck link.
+        link: &'a mut SharedLink,
+        /// This tenant's flow index on it.
+        flow: usize,
+    },
+}
+
+impl UplinkPort<'_> {
+    fn send(&mut self, emulator: &mut NetworkEmulator, packet: &Packet, now: SimTime) -> DeliveryOutcome {
+        match self {
+            UplinkPort::Private => emulator.send(Direction::Uplink, packet, now),
+            UplinkPort::Shared { link, flow } => link.send(*flow, packet, now),
+        }
+    }
+
+    fn take_duplicate(&mut self, emulator: &mut NetworkEmulator) -> Option<SimTime> {
+        match self {
+            UplinkPort::Private => emulator.take_uplink_duplicate(),
+            UplinkPort::Shared { link, .. } => link.take_duplicate(),
+        }
+    }
+
+    fn backlog_ms(&self, emulator: &NetworkEmulator, now: SimTime) -> f64 {
+        match self {
+            UplinkPort::Private => emulator.uplink().backlog(now).as_millis_f64(),
+            UplinkPort::Shared { link, .. } => link.backlog(now).as_millis_f64(),
+        }
+    }
+
+    fn counters(&self, emulator: &NetworkEmulator) -> LinkCounters {
+        match self {
+            UplinkPort::Private => emulator.uplink().counters(),
+            UplinkPort::Shared { link, flow } => link.flow_counters(*flow),
+        }
+    }
 }
 
 /// Per-frame transport bookkeeping.
@@ -349,6 +411,12 @@ impl Transport {
         self.emulator.uplink().backlog(now).as_millis_f64()
     }
 
+    /// Snapshot of the private uplink's cumulative counters (reads existing totals; no
+    /// hot-path bookkeeping).
+    pub(crate) fn uplink_counters(&self) -> LinkCounters {
+        self.emulator.uplink().counters()
+    }
+
     /// Resets the per-turn counters.
     fn begin_turn(&mut self) {
         self.turn_packets_lost = 0;
@@ -420,7 +488,7 @@ impl Transport {
 
 /// One turn's window geometry on the shared timeline.
 #[derive(Debug, Clone, Copy)]
-struct TurnWindow {
+pub(crate) struct TurnWindow {
     /// Global id of the turn's first frame.
     base: usize,
     /// Capture time of the turn's first frame, in absolute µs.
@@ -437,18 +505,28 @@ impl TurnWindow {
 /// The actor: borrows the compute and transport halves for one drain and handles the
 /// turn's events. During think-time drains (between turns of a conversation) `frames` is
 /// empty — no capture events are pending then, only deliveries, polls and feedback.
-struct TurnMachine<'a> {
-    compute: &'a mut NetCompute,
-    gcc: &'a mut GccController,
-    t: &'a mut Transport,
-    frames: &'a [Frame],
-    window: TurnWindow,
+pub(crate) struct TurnMachine<'a> {
+    pub(crate) compute: &'a mut NetCompute,
+    pub(crate) gcc: &'a mut GccController,
+    pub(crate) t: &'a mut Transport,
+    pub(crate) frames: &'a [Frame],
+    pub(crate) window: TurnWindow,
+    pub(crate) port: UplinkPort<'a>,
 }
 
 impl Actor for TurnMachine<'_> {
     type Event = NetEvent;
 
     fn on_event(&mut self, now: SimTime, event: NetEvent, sim: &mut Simulation<NetEvent>) {
+        self.handle(now, event, sim);
+    }
+}
+
+impl TurnMachine<'_> {
+    /// Handles one event, scheduling follow-ons into `sink`. This is [`Actor::on_event`]
+    /// with the timeline abstracted: the single-tenant path passes the simulation itself,
+    /// the multi-tenant engine passes a tagging wrapper.
+    pub(crate) fn handle<S: NetEventSink>(&mut self, now: SimTime, event: NetEvent, sink: &mut S) {
         let t = &mut *self.t;
         match event {
             NetEvent::Capture(i) => {
@@ -474,7 +552,7 @@ impl Actor for TurnMachine<'_> {
 
                 // --- The degradation ladder decides what this capture tick does.
                 let deg = self.compute.options.degradation;
-                let backlog_ms = t.emulator.uplink().backlog(now).as_millis_f64();
+                let backlog_ms = self.port.backlog_ms(&t.emulator, now);
                 let level = if !deg.enabled {
                     DegradationLevel::Normal
                 } else if self.gcc.is_silent() {
@@ -529,7 +607,7 @@ impl Actor for TurnMachine<'_> {
                     let probe = Packet::new(t.next_net_packet_id, deg.probe_packet_bytes, now).with_flow(0);
                     t.next_net_packet_id += 1;
                     t.turn_probes_sent += 1;
-                    let outcome = t.emulator.send(Direction::Uplink, &probe, now);
+                    let outcome = self.port.send(&mut t.emulator, &probe, now);
                     match outcome.arrival() {
                         Some(arrival) => t.cc_pending.push((
                             arrival.as_micros() + t.down_prop_us,
@@ -606,11 +684,11 @@ impl Actor for TurnMachine<'_> {
                     t.seq_to_media.insert(p.header.sequence, (i, pi));
                     t.rtx.remember(p);
                     let when = t.pacer.schedule_send(p.wire_size(), now);
-                    sim.schedule_at(when, NetEvent::SendUplink(*p));
+                    sink.schedule_net(when, NetEvent::SendUplink(*p));
                 }
                 for p in &parity {
                     let when = t.pacer.schedule_send(p.wire_size(), now);
-                    sim.schedule_at(when, NetEvent::SendUplink(*p));
+                    sink.schedule_net(when, NetEvent::SendUplink(*p));
                 }
             }
             NetEvent::SendUplink(packet) => {
@@ -627,15 +705,15 @@ impl Actor for TurnMachine<'_> {
                     .with_flow(0)
                     .with_tag(packet.header.sequence);
                 t.next_net_packet_id += 1;
-                let outcome = t.emulator.send(Direction::Uplink, &net_packet, now);
+                let outcome = self.port.send(&mut t.emulator, &net_packet, now);
                 match outcome.arrival() {
                     Some(arrival) => {
-                        sim.schedule_at(arrival, NetEvent::UplinkArrival(packet));
-                        if let Some(dup_at) = t.emulator.take_uplink_duplicate() {
+                        sink.schedule_net(arrival, NetEvent::UplinkArrival(packet));
+                        if let Some(dup_at) = self.port.take_duplicate(&mut t.emulator) {
                             // A Duplicate fault episode emitted a second copy one
                             // serialization time behind the original; reassembly and FEC
                             // bookkeeping absorb it idempotently.
-                            sim.schedule_at(dup_at, NetEvent::UplinkArrival(packet));
+                            sink.schedule_net(dup_at, NetEvent::UplinkArrival(packet));
                         }
                         // The receiver's next report reaches the sender one downlink
                         // propagation after arrival.
@@ -739,7 +817,7 @@ impl Actor for TurnMachine<'_> {
                 let opts = &self.compute.options;
                 if opts.enable_retransmission && t.nack_gen.pending_count() > 0 && !t.poll_outstanding {
                     t.poll_outstanding = true;
-                    sim.schedule_at(now + opts.nack.reorder_guard, NetEvent::ReceiverPoll);
+                    sink.schedule_net(now + opts.nack.reorder_guard, NetEvent::ReceiverPoll);
                 }
             }
             NetEvent::ReceiverPoll => {
@@ -754,12 +832,12 @@ impl Actor for TurnMachine<'_> {
                         Packet::new(t.next_net_packet_id, opts.feedback_packet_bytes, now).with_flow(1);
                     t.next_net_packet_id += 1;
                     if let Some(arrival) = t.emulator.send(Direction::Downlink, &fb_packet, now).arrival() {
-                        sim.schedule_at(arrival, NetEvent::FeedbackArrival(due));
+                        sink.schedule_net(arrival, NetEvent::FeedbackArrival(due));
                     }
                 }
                 if t.nack_gen.pending_count() > 0 && !t.poll_outstanding {
                     t.poll_outstanding = true;
-                    sim.schedule_at(now + opts.nack.retry_interval, NetEvent::ReceiverPoll);
+                    sink.schedule_net(now + opts.nack.retry_interval, NetEvent::ReceiverPoll);
                 }
             }
             NetEvent::FeedbackArrival(sequences) => {
@@ -773,7 +851,7 @@ impl Actor for TurnMachine<'_> {
                             t.seq_to_media.insert(p.header.sequence, mapping);
                         }
                         let when = t.pacer.schedule_send(p.wire_size(), now);
-                        sim.schedule_at(when, NetEvent::SendUplink(p));
+                        sink.schedule_net(when, NetEvent::SendUplink(p));
                     }
                 }
             }
@@ -797,6 +875,52 @@ pub(crate) fn run_turn_window(
     question: &Question,
 ) -> NetTurnReport {
     assert!(!frames.is_empty(), "a chat turn needs at least one frame");
+    let now = sim.now();
+    let plan = begin_turn_window(compute, transport, now, sim, frames.len(), question);
+
+    {
+        let mut machine = TurnMachine {
+            compute,
+            gcc,
+            t: transport,
+            frames,
+            window: plan.window,
+            port: UplinkPort::Private,
+        };
+        sim.run_until(plan.horizon, &mut machine);
+    }
+
+    conclude_turn_window(
+        compute,
+        gcc,
+        transport,
+        &UplinkPort::Private,
+        &plan,
+        frames.len(),
+        question,
+    )
+}
+
+/// One planned turn window: its geometry on the timeline plus the answer deadline the
+/// caller must drain to before concluding.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TurnPlan {
+    pub(crate) window: TurnWindow,
+    pub(crate) horizon: SimTime,
+}
+
+/// Opens a turn window starting at `now`: refreshes the query, arms the deadline-aware
+/// NACK budget, resets the per-turn counters and schedules the capture events into
+/// `sink`. The caller then drains the timeline to the returned horizon (with a
+/// [`TurnMachine`] owning the matching window) and calls [`conclude_turn_window`].
+pub(crate) fn begin_turn_window(
+    compute: &mut NetCompute,
+    transport: &mut Transport,
+    now: SimTime,
+    sink: &mut impl NetEventSink,
+    frame_count: usize,
+    question: &Question,
+) -> TurnPlan {
     compute.refresh_query(question);
     let opts = &compute.options;
 
@@ -804,10 +928,10 @@ pub(crate) fn run_turn_window(
     let frame_interval_us = (1e6 / fps).round() as u64;
     let window = TurnWindow {
         base: transport.frames_sent(),
-        start_us: sim.now().as_micros(),
+        start_us: now.as_micros(),
         frame_interval_us,
     };
-    let last_capture_us = window.capture_ts_us(window.base + frames.len() - 1);
+    let last_capture_us = window.capture_ts_us(window.base + frame_count - 1);
     let horizon = SimTime::from_micros(last_capture_us + (opts.drain_secs.max(0.0) * 1e6).round() as u64);
 
     if opts.deadline_aware_nack {
@@ -818,23 +942,30 @@ pub(crate) fn run_turn_window(
         transport.nack_gen.set_deadline(Some(horizon), recovery_estimate);
     }
     transport.begin_turn();
-    for i in 0..frames.len() {
-        sim.schedule_at(
+    for i in 0..frame_count {
+        sink.schedule_net(
             SimTime::from_micros(window.capture_ts_us(window.base + i)),
             NetEvent::Capture(window.base + i),
         );
     }
+    TurnPlan { window, horizon }
+}
 
-    {
-        let mut machine = TurnMachine {
-            compute,
-            gcc,
-            t: transport,
-            frames,
-            window,
-        };
-        sim.run_until(horizon, &mut machine);
-    }
+/// Concludes a drained turn window: decodes what arrived, lets the MLLM answer, and
+/// assembles the report. `port` must be the same uplink the machine sent on — it is only
+/// read here, for the per-turn fault-counter deltas.
+pub(crate) fn conclude_turn_window(
+    compute: &mut NetCompute,
+    gcc: &mut GccController,
+    transport: &mut Transport,
+    port: &UplinkPort<'_>,
+    plan: &TurnPlan,
+    frame_count: usize,
+    question: &Question,
+) -> NetTurnReport {
+    let window = plan.window;
+    let horizon = plan.horizon;
+    let fps = compute.options.capture_fps;
 
     // --- Deadline reached: decode whatever (partially) arrived, in capture order. The
     // per-frame vectors slide with retirement, so this turn's frames start at the slot
@@ -904,7 +1035,7 @@ pub(crate) fn run_turn_window(
         }
         _ => None,
     };
-    let uplink_counters = transport.emulator.uplink().counters();
+    let uplink_counters = port.counters(&transport.emulator);
     let watchdog_fallbacks_now = gcc.watchdog_fallbacks();
     let resilience = FaultTelemetry {
         outage_ms: compute
@@ -927,17 +1058,17 @@ pub(crate) fn run_turn_window(
     transport.counters_reported = uplink_counters;
     transport.watchdog_fallbacks_reported = watchdog_fallbacks_now;
 
-    let window_secs = (frames.len() as f64 / fps).max(1e-9);
+    let window_secs = (frame_count as f64 / fps).max(1e-9);
     let encoded_bits: u64 = transport.outgoing[base_slot..]
         .iter()
         .map(|f| f.size_bytes * 8)
         .sum();
     NetTurnReport {
         answer,
-        frames_sent: frames.len(),
+        frames_sent: frame_count,
         frames_delivered,
         frames_decoded: decoded_count,
-        mean_target_bitrate_bps: transport.turn_target_sum / frames.len() as f64,
+        mean_target_bitrate_bps: transport.turn_target_sum / frame_count as f64,
         achieved_bitrate_bps: encoded_bits as f64 / window_secs,
         goodput_bps: received_bits as f64 / window_secs,
         p50_frame_latency_ms: latency.percentile_ms(0.5),
@@ -982,6 +1113,7 @@ pub(crate) fn drain_gap(
         t: transport,
         frames: &[],
         window,
+        port: UplinkPort::Private,
     };
     sim.run_until(horizon, &mut machine);
 }

@@ -14,6 +14,10 @@
 //! under `tests/fixtures/` pin down — transport behaviour changes must be intentional and
 //! reviewed alongside a fixture update.
 
+use crate::contention::{
+    run_contention, AdmissionConfig, ContentionConfig, ContentionReport, CrossTrafficSpec, StarvationConfig,
+    TenantSpec, TenantTurn,
+};
 use crate::conversation::{Conversation, ConversationReport};
 use crate::net_session::{queue_bytes_for, NetSessionOptions, NetTurnReport, NetworkedChatSession};
 use crate::server::NetworkedChatServer;
@@ -22,6 +26,7 @@ use aivc_netsim::{
     BandwidthTrace, FaultEpisode, FaultKind, FaultSchedule, LinkConfig, LossModel, PathConfig, SimDuration,
     SimTime,
 };
+use aivc_par::MiniPool;
 use aivc_scene::templates::basketball_game;
 use aivc_scene::{Frame, SourceConfig, VideoSource};
 use serde::{Deserialize, Serialize};
@@ -536,6 +541,350 @@ pub fn run_conversation_registry() -> Vec<ConversationScenarioReport> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------------------
+// Multi-tenant contention scenarios (the shared-bottleneck engine, `crate::contention`)
+// ---------------------------------------------------------------------------------------
+
+/// One named multi-tenant contention scenario: K persistent conversations (plus optional
+/// cross-traffic) contending for **one** shared bottleneck on one global timeline. Where
+/// the conversation registry pins a single tenant's continuous behaviour, these pin the
+/// *interaction*: fairness under faults, starvation-watchdog escalations, late-joiner
+/// admission and whether every tenant recovers from a shared outage.
+#[derive(Debug, Clone)]
+pub struct ContentionScenario {
+    /// Registry key (also the fixture file name).
+    pub name: &'static str,
+    /// One-line description of the condition being modelled.
+    pub summary: &'static str,
+    /// Seed for the shared link; tenant seeds are derived per tenant.
+    pub seed: u64,
+    /// Number of conversation tenants on the bottleneck.
+    pub tenants: usize,
+    /// Chat turns per tenant.
+    pub turns: usize,
+    /// Length of each captured turn window in seconds.
+    pub window_secs: f64,
+    /// Capture rate of the turn windows.
+    pub capture_fps: f64,
+    /// Think time between a tenant's consecutive turns, in seconds.
+    pub think_secs: f64,
+    /// Per-tenant join times in seconds (length = `tenants`).
+    pub joins: Vec<f64>,
+    /// When true, every tenant runs the full outage-resilience stack
+    /// ([`NetSessionOptions::with_resilience`]).
+    pub resilience: bool,
+    /// Nominal bottleneck rate — the admission fair-share denominator.
+    pub nominal_bps: f64,
+    /// The shared bottleneck every tenant contends for.
+    pub shared_uplink: LinkConfig,
+    /// Fairness-telemetry window in milliseconds.
+    pub fairness_window_ms: u64,
+    /// Starvation-watchdog settings.
+    pub starvation: StarvationConfig,
+    /// Late-joiner admission settings.
+    pub admission: AdmissionConfig,
+    /// Background cross-traffic sources.
+    pub cross_traffic: Vec<CrossTrafficSpec>,
+    /// A tenant pinned to AI-oriented ABR in **both** report legs — the
+    /// "does one accuracy floor starve a traditional peer" probe.
+    pub pinned_ai: Option<usize>,
+}
+
+impl ContentionScenario {
+    /// The engine configuration of this scenario.
+    pub fn config(&self) -> ContentionConfig {
+        ContentionConfig {
+            shared_uplink: self.shared_uplink.clone(),
+            shared_seed: self.seed,
+            nominal_bps: self.nominal_bps,
+            fairness_window: SimDuration::from_millis(self.fairness_window_ms),
+            starvation: self.starvation,
+            admission: self.admission,
+            cross_traffic: self.cross_traffic.clone(),
+        }
+    }
+
+    /// Whether tenant `tenant` runs AI-oriented ABR in the given report leg.
+    fn tenant_is_ai(&self, tenant: usize, ai_oriented: bool) -> bool {
+        ai_oriented || self.pinned_ai == Some(tenant)
+    }
+
+    /// Session options of one tenant. The tenant's path carries the **shared** uplink
+    /// config (so propagation and outage reporting describe the bottleneck its packets
+    /// really ride); conversations start cold and suppress deadline-hopeless NACKs, as in
+    /// the conversation registry.
+    pub fn tenant_options(&self, tenant: usize, ai_oriented: bool) -> NetSessionOptions {
+        let path = PathConfig {
+            uplink: self.shared_uplink.clone(),
+            downlink: clean_downlink(),
+        };
+        let seed = self.seed + 31 * (tenant as u64 + 1);
+        let mut options = if self.tenant_is_ai(tenant, ai_oriented) {
+            NetSessionOptions::ai_oriented(seed, path)
+        } else {
+            NetSessionOptions::traditional(seed, path)
+        };
+        options.capture_fps = self.capture_fps;
+        options.deadline_aware_nack = true;
+        if self.resilience {
+            options = options.with_resilience();
+        }
+        options
+    }
+
+    /// The scripted turns of one tenant: each tenant watches the same scene from a
+    /// tenant-specific offset and rotates through the facts from a tenant-specific
+    /// phase, so tenants ask different questions about different windows —
+    /// deterministically.
+    pub fn tenant_turns(&self, tenant: usize) -> Vec<TenantTurn> {
+        let scene = basketball_game(1);
+        let source = VideoSource::new(scene.clone(), SourceConfig::fps30(6.0));
+        let duration = source.duration_secs();
+        let count = (self.window_secs * self.capture_fps).floor().max(1.0) as usize;
+        (0..self.turns)
+            .map(|turn| {
+                let question = Question::from_fact(
+                    &scene.facts[(turn + tenant) % scene.facts.len()],
+                    QuestionFormat::FreeResponse,
+                );
+                let start = ((turn as f64 + tenant as f64 * 0.37) * self.window_secs) % duration;
+                let frames = (0..count)
+                    .map(|i| source.frame_at((start + i as f64 / self.capture_fps) % duration))
+                    .collect();
+                TenantTurn { frames, question }
+            })
+            .collect()
+    }
+
+    /// The full spec of one tenant for the given report leg.
+    pub fn tenant_spec(&self, tenant: usize, ai_oriented: bool) -> TenantSpec {
+        TenantSpec {
+            label: format!("tenant-{tenant}"),
+            mode: if self.tenant_is_ai(tenant, ai_oriented) {
+                "ai_oriented"
+            } else {
+                "traditional"
+            }
+            .to_string(),
+            join_at: SimTime::from_secs_f64(self.joins[tenant]),
+            think: SimDuration::from_secs_f64(self.think_secs),
+            options: self.tenant_options(tenant, ai_oriented),
+            turns: self.tenant_turns(tenant),
+        }
+    }
+}
+
+/// The contention registry: named, seeded shared-bottleneck conditions.
+pub fn contention_registry() -> Vec<ContentionScenario> {
+    let secs = SimTime::from_secs_f64;
+    vec![
+        ContentionScenario {
+            name: "shared-blackout",
+            summary: "four staggered tenants on a 16 Mbps bottleneck that goes totally \
+                      dark for 500 ms mid-conversation — every tenant must degrade, \
+                      recover with finite time-to-recover, and share evenly again",
+            seed: 9_101,
+            tenants: 4,
+            turns: 5,
+            window_secs: 1.0,
+            capture_fps: 12.0,
+            think_secs: 0.3,
+            joins: vec![0.0, 0.1, 0.2, 0.3],
+            resilience: true,
+            nominal_bps: 16e6,
+            shared_uplink: LinkConfig {
+                bandwidth: BandwidthTrace::constant(16e6),
+                propagation_delay: SimDuration::from_millis(30),
+                queue_capacity_bytes: queue_bytes_for(16e6, 300),
+                loss: LossModel::Iid { rate: 0.005 },
+                max_jitter: SimDuration::ZERO,
+                faults: FaultSchedule::blackout(secs(3.2), SimDuration::from_millis(500)),
+            },
+            fairness_window_ms: 500,
+            starvation: StarvationConfig {
+                enabled: true,
+                floor_bps: 120_000.0,
+                consecutive_windows: 2,
+            },
+            admission: AdmissionConfig::disabled(),
+            cross_traffic: Vec::new(),
+            pinned_ai: None,
+        },
+        ContentionScenario {
+            name: "hotspot-join",
+            summary: "three incumbents on an 8 Mbps bottleneck, a fourth tenant joining \
+                      mid-conversation right as a 30% loss storm hits — admission clamps \
+                      the joiner to its fair share instead of letting it stampede",
+            seed: 9_202,
+            tenants: 4,
+            turns: 5,
+            window_secs: 1.0,
+            capture_fps: 12.0,
+            think_secs: 0.3,
+            joins: vec![0.0, 0.0, 0.0, 4.0],
+            resilience: true,
+            nominal_bps: 8e6,
+            shared_uplink: LinkConfig {
+                bandwidth: BandwidthTrace::constant(8e6),
+                propagation_delay: SimDuration::from_millis(30),
+                queue_capacity_bytes: queue_bytes_for(8e6, 300),
+                loss: LossModel::Iid { rate: 0.01 },
+                max_jitter: SimDuration::ZERO,
+                faults: FaultSchedule::new(vec![FaultEpisode {
+                    start: secs(3.5),
+                    duration: SimDuration::from_secs_f64(1.5),
+                    kind: FaultKind::BurstLoss { loss_rate: 0.3 },
+                }]),
+            },
+            fairness_window_ms: 500,
+            starvation: StarvationConfig {
+                enabled: true,
+                floor_bps: 120_000.0,
+                consecutive_windows: 2,
+            },
+            admission: AdmissionConfig {
+                enabled: true,
+                fair_share_cap: 1.0,
+            },
+            cross_traffic: Vec::new(),
+            pinned_ai: None,
+        },
+        ContentionScenario {
+            name: "cross-traffic-surge",
+            summary: "three tenants on a 10 Mbps bottleneck while a 9.5 Mbps elastic \
+                      cross-traffic surge squeezes them for 4 s — the starvation \
+                      watchdog must notice sustained sub-floor goodput and escalate",
+            seed: 9_303,
+            tenants: 3,
+            turns: 5,
+            window_secs: 1.0,
+            capture_fps: 12.0,
+            think_secs: 0.4,
+            joins: vec![0.0, 0.0, 0.0],
+            resilience: true,
+            nominal_bps: 10e6,
+            shared_uplink: LinkConfig {
+                bandwidth: BandwidthTrace::constant(10e6),
+                propagation_delay: SimDuration::from_millis(30),
+                queue_capacity_bytes: queue_bytes_for(10e6, 300),
+                loss: LossModel::Iid { rate: 0.005 },
+                max_jitter: SimDuration::ZERO,
+                faults: FaultSchedule::none(),
+            },
+            fairness_window_ms: 500,
+            starvation: StarvationConfig {
+                enabled: true,
+                floor_bps: 350_000.0,
+                consecutive_windows: 2,
+            },
+            admission: AdmissionConfig::disabled(),
+            cross_traffic: vec![CrossTrafficSpec {
+                rate_bps: 9.5e6,
+                packet_bytes: 1_200,
+                start: secs(2.0),
+                stop: secs(6.0),
+            }],
+            pinned_ai: None,
+        },
+        ContentionScenario {
+            name: "ai-floor-vs-traditional",
+            summary: "one AI-oriented tenant holding its accuracy floor among three \
+                      traditional peers on a fault-free 5 Mbps bottleneck — does the \
+                      floor starve anyone? (watchdog armed, expected silent)",
+            seed: 9_404,
+            tenants: 4,
+            turns: 5,
+            window_secs: 1.0,
+            capture_fps: 12.0,
+            think_secs: 0.3,
+            joins: vec![0.0, 0.1, 0.2, 0.3],
+            resilience: false,
+            nominal_bps: 5e6,
+            shared_uplink: LinkConfig {
+                bandwidth: BandwidthTrace::constant(5e6),
+                propagation_delay: SimDuration::from_millis(30),
+                queue_capacity_bytes: queue_bytes_for(5e6, 300),
+                loss: LossModel::Iid { rate: 0.01 },
+                max_jitter: SimDuration::ZERO,
+                faults: FaultSchedule::none(),
+            },
+            fairness_window_ms: 500,
+            starvation: StarvationConfig {
+                enabled: true,
+                floor_bps: 200_000.0,
+                consecutive_windows: 2,
+            },
+            admission: AdmissionConfig::disabled(),
+            cross_traffic: Vec::new(),
+            pinned_ai: Some(0),
+        },
+    ]
+}
+
+/// Looks a contention scenario up by name.
+pub fn contention_by_name(name: &str) -> Option<ContentionScenario> {
+    contention_registry().into_iter().find(|s| s.name == name)
+}
+
+/// The per-contention-scenario report: both ABR legs side by side, each a full
+/// multi-tenant [`ContentionReport`]. A `pinned_ai` tenant stays AI-oriented in both.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionScenarioReport {
+    /// The scenario's registry name.
+    pub scenario: String,
+    /// The run with (unpinned) tenants on traditional estimate-riding ABR.
+    pub traditional: ContentionReport,
+    /// The run with every tenant on AI-oriented accuracy-floor ABR.
+    pub ai_oriented: ContentionReport,
+}
+
+/// Runs one contention scenario under one ABR leg.
+pub fn run_contention_mode(scenario: &ContentionScenario, ai_oriented: bool) -> ContentionReport {
+    let specs = (0..scenario.tenants)
+        .map(|t| scenario.tenant_spec(t, ai_oriented))
+        .collect();
+    run_contention(&scenario.config(), specs)
+}
+
+/// Runs one contention scenario under both ABR legs.
+pub fn run_contention_scenario(scenario: &ContentionScenario) -> ContentionScenarioReport {
+    ContentionScenarioReport {
+        scenario: scenario.name.to_string(),
+        traditional: run_contention_mode(scenario, false),
+        ai_oriented: run_contention_mode(scenario, true),
+    }
+}
+
+/// Runs the whole contention registry, in registry order.
+pub fn run_contention_registry() -> Vec<ContentionScenarioReport> {
+    contention_registry()
+        .iter()
+        .map(run_contention_scenario)
+        .collect()
+}
+
+/// Runs the contention registry as independent cells across a [`MiniPool`] of
+/// `pool_size` lanes, one scenario per cell. Cells share nothing — each builds its own
+/// shared link, tenants and timeline — so the result is **bit-identical for any pool
+/// size**, the same contract the server engines honour (pinned by the pool-sweep
+/// property tests).
+pub fn run_contention_cells(pool_size: usize) -> Vec<ContentionScenarioReport> {
+    let mut slots: Vec<(ContentionScenario, Option<ContentionScenarioReport>)> =
+        contention_registry().into_iter().map(|s| (s, None)).collect();
+    let pool = MiniPool::new(pool_size);
+    let chunks = slots.len();
+    let mut lane_units = vec![(); pool.lanes()];
+    pool.for_each_chunk(&mut slots, chunks, &mut lane_units, |_, cells, ()| {
+        for (scenario, out) in cells.iter_mut() {
+            *out = Some(run_contention_scenario(scenario));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|(_, report)| report.expect("every cell ran"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -653,6 +1002,57 @@ mod tests {
         assert!(ttr.is_finite() && ttr > 0.0, "conversation ttr {ttr}");
         // The storm is confined to one turn; the others stay quiet.
         assert!(report.turns.iter().any(|t| t.resilience.is_quiet()));
+    }
+
+    #[test]
+    fn contention_registry_is_well_formed() {
+        let reg = contention_registry();
+        assert!(reg.len() >= 4, "registry has {}", reg.len());
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "contention scenario names must be unique");
+        for s in &reg {
+            assert_eq!(s.joins.len(), s.tenants, "{}: one join time per tenant", s.name);
+            assert!(s.tenants >= 3, "{}: contention needs several tenants", s.name);
+            if let Some(pinned) = s.pinned_ai {
+                assert!(pinned < s.tenants, "{}: pinned tenant exists", s.name);
+            }
+        }
+        assert!(contention_by_name("shared-blackout").is_some());
+        assert!(contention_by_name("no-such-contention").is_none());
+        // The acceptance scenario: K ≥ 4 tenants sharing one blackout.
+        let blackout = contention_by_name("shared-blackout").unwrap();
+        assert!(blackout.tenants >= 4);
+        assert!(blackout
+            .shared_uplink
+            .faults
+            .episodes()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Outage)));
+    }
+
+    #[test]
+    fn contention_tenant_scripts_differ_between_tenants() {
+        let scenario = contention_by_name("shared-blackout").unwrap();
+        let a = scenario.tenant_turns(0);
+        let b = scenario.tenant_turns(1);
+        assert_eq!(a.len(), scenario.turns);
+        assert_ne!(a[0].question, b[0].question, "tenants ask from different phases");
+        assert_ne!(a[0].frames, b[0].frames, "tenants watch different windows");
+        // And the scripts are reproducible.
+        assert_eq!(a, scenario.tenant_turns(0));
+    }
+
+    #[test]
+    fn pinned_tenant_stays_ai_oriented_in_both_legs() {
+        let scenario = contention_by_name("ai-floor-vs-traditional").unwrap();
+        let trad_leg = scenario.tenant_spec(0, false);
+        assert_eq!(trad_leg.mode, "ai_oriented");
+        let peer = scenario.tenant_spec(1, false);
+        assert_eq!(peer.mode, "traditional");
+        let ai_leg = scenario.tenant_spec(1, true);
+        assert_eq!(ai_leg.mode, "ai_oriented");
     }
 
     #[test]

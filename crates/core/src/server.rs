@@ -21,9 +21,10 @@
 //! cores at server scale (DESIGN.md §"Threading model").
 
 use crate::conversation::{Conversation, ConversationReport};
-use crate::net_session::{NetSessionOptions, NetTurnReport, NetworkedChatSession};
+use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport, NetworkedChatSession};
 use crate::session::{ChatSession, PipelineTurnReport};
 use aivc_mllm::{Answer, Question};
+use aivc_netsim::LinkCounters;
 use aivc_par::MiniPool;
 use aivc_scene::Frame;
 use aivc_sim::SimDuration;
@@ -402,6 +403,78 @@ impl ConversationChatServer {
     pub fn mean_probability_correct(&self) -> f64 {
         self.inner.mean_probability_correct()
     }
+
+    /// One fleet-level serving snapshot: session and turn counts, every conversation's
+    /// uplink [`LinkCounters`] summed, the fault telemetry rolled up across sessions and
+    /// the latest turn's answer quality. Assembled from per-session snapshots the
+    /// transports already keep — the turn hot path pays nothing for it.
+    pub fn serving_report(&self) -> ServingReport {
+        let mut uplink = LinkCounters::default();
+        let mut resilience = FaultTelemetry::default();
+        let mut turns_completed = 0;
+        for slot in &self.inner.slots {
+            let session = &slot.session;
+            turns_completed += session.turn_count();
+            let c = session.link_counters();
+            uplink.offered += c.offered;
+            uplink.delivered += c.delivered;
+            uplink.delivered_bytes += c.delivered_bytes;
+            uplink.dropped_queue += c.dropped_queue;
+            uplink.lost_random += c.lost_random;
+            uplink.duplicated += c.duplicated;
+            uplink.reordered += c.reordered;
+            uplink.outage_drops += c.outage_drops;
+            resilience.absorb(&session.fault_telemetry());
+        }
+        ServingReport {
+            sessions: self.session_count(),
+            turns_completed,
+            uplink,
+            resilience,
+            correct_fraction: self.correct_fraction(),
+        }
+    }
+}
+
+/// A fleet-level snapshot of a [`ConversationChatServer`]: what operations would put on
+/// one dashboard line. [`std::fmt::Display`] renders exactly that line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Conversations the server owns.
+    pub sessions: usize,
+    /// Turns completed across all conversations.
+    pub turns_completed: usize,
+    /// Sum of every conversation's uplink counters.
+    pub uplink: LinkCounters,
+    /// Fault telemetry rolled up across conversations (first finite recovery wins).
+    pub resilience: FaultTelemetry,
+    /// Fraction of the latest turn's answers that were correct.
+    pub correct_fraction: f64,
+}
+
+impl std::fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serving {} sessions | {} turns | uplink {}/{} pkts ({} B, {} queue-drop, {} lost, {} outage-drop) | \
+             {} fallbacks, {} shed, ttr {} | {:.0}% correct",
+            self.sessions,
+            self.turns_completed,
+            self.uplink.delivered,
+            self.uplink.offered,
+            self.uplink.delivered_bytes,
+            self.uplink.dropped_queue,
+            self.uplink.lost_random,
+            self.uplink.outage_drops,
+            self.resilience.watchdog_fallbacks,
+            self.resilience.frames_shed,
+            match self.resilience.time_to_recover_ms {
+                Some(ms) => format!("{ms:.0} ms"),
+                None => "-".to_string(),
+            },
+            self.correct_fraction * 100.0,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -538,6 +611,34 @@ mod tests {
         (0..4)
             .map(|i| source.frame(((turn * 4 + i) * 11 % 170) as u64))
             .collect()
+    }
+
+    #[test]
+    fn serving_report_rolls_the_fleet_into_one_line() {
+        let q = question();
+        let think = SimDuration::from_millis(400);
+        let mut server = ConversationChatServer::new(2, 3, net_template(80), think);
+        for t in 0..2 {
+            server.run_turns(&turn_window(t), &q);
+        }
+        let report = server.serving_report();
+        assert_eq!(report.sessions, 3);
+        assert_eq!(report.turns_completed, 6);
+        assert!(
+            report.uplink.offered >= report.uplink.delivered && report.uplink.delivered > 0,
+            "summed counters must reflect real traffic: {:?}",
+            report.uplink
+        );
+        // The sum reconciles with per-session resilience rollups.
+        let mut expected = FaultTelemetry::default();
+        for i in 0..3 {
+            expected.absorb(&server.conversation_report(i).resilience);
+        }
+        assert_eq!(report.resilience, expected);
+        let line = report.to_string();
+        assert!(line.contains("serving 3 sessions"), "{line}");
+        assert!(line.contains("6 turns"), "{line}");
+        assert!(line.contains("% correct"), "{line}");
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!
 //! An empty schedule costs one branch per send and draws **nothing** from the fault RNG,
 //! so links without faults stay byte-for-byte identical to their pre-fault behaviour.
+//!
+//! Validation: construction rejects outage layouts whose reporting would be ambiguous —
+//! [`FaultKind::Outage`] episodes must be sorted by start time and pairwise disjoint
+//! (half-open windows; touching is fine). Everything else may overlap and appear in any
+//! order; schedule order then *is* the composition order, and reordering a schedule is a
+//! semantic change (it permutes RNG draws) — which is why construction never sorts.
 
 use aivc_sim::{SimDuration, SimTime};
 use rand::Rng;
@@ -103,8 +109,54 @@ pub struct FaultAction {
     pub reordered: bool,
 }
 
+/// Why a proposed fault schedule was rejected by [`FaultSchedule::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScheduleError {
+    /// Two [`FaultKind::Outage`] episodes overlap in time. Overlapping outages would
+    /// double-count in [`FaultSchedule::outage_overlap`], silently inflating reported
+    /// `outage_ms`, so they are rejected rather than composed.
+    OverlappingOutages {
+        /// Indices (in schedule order) of the offending pair.
+        first: usize,
+        second: usize,
+    },
+    /// [`FaultKind::Outage`] episodes are not sorted by start time. Keeping outages in
+    /// chronological order makes the schedule's recovery point (the last outage end)
+    /// well-defined at a glance; non-outage episodes may appear in any order because
+    /// their composition is order-dependent only through RNG draw order, which the
+    /// schedule order pins explicitly.
+    UnsortedOutages {
+        /// Index (in schedule order) of the outage that starts before its predecessor.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for FaultScheduleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultScheduleError::OverlappingOutages { first, second } => write!(
+                f,
+                "fault schedule invalid: outage episodes {first} and {second} overlap \
+                 (outage windows must be pairwise disjoint)"
+            ),
+            FaultScheduleError::UnsortedOutages { index } => write!(
+                f,
+                "fault schedule invalid: outage episode {index} starts before the previous \
+                 outage (outages must be sorted by start time)"
+            ),
+        }
+    }
+}
+
 /// A serializable schedule of timed fault episodes. See the module docs for composition
-/// semantics. Construct with [`FaultSchedule::new`] or chain the episode builders.
+/// semantics. Construct with [`FaultSchedule::try_new`] (fallible) or
+/// [`FaultSchedule::new`] (panics on invalid input), or chain the episode builders.
+///
+/// Validity: [`FaultKind::Outage`] episodes must be sorted by start and pairwise disjoint
+/// (half-open windows, so an outage may start exactly where the previous one ends).
+/// Non-outage episodes may overlap each other and outages freely — they compose in
+/// schedule order, and that order is part of the schedule's deterministic contract
+/// because it fixes the RNG draw order.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultSchedule {
     episodes: Vec<FaultEpisode>,
@@ -117,15 +169,52 @@ impl FaultSchedule {
     }
 
     /// A schedule from explicit episodes (evaluated in the given order; overlapping
-    /// windows compose).
+    /// non-outage windows compose).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the episodes violate the outage invariants — see
+    /// [`FaultSchedule::try_new`] for the fallible variant.
     pub fn new(episodes: Vec<FaultEpisode>) -> Self {
-        Self { episodes }
+        match Self::try_new(episodes) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A schedule from explicit episodes, rejecting invalid outage layouts:
+    /// outage episodes must be sorted by start time and pairwise disjoint.
+    pub fn try_new(episodes: Vec<FaultEpisode>) -> Result<Self, FaultScheduleError> {
+        let mut prev: Option<(usize, &FaultEpisode)> = None;
+        for (i, e) in episodes.iter().enumerate() {
+            if !matches!(e.kind, FaultKind::Outage) {
+                continue;
+            }
+            if let Some((pi, p)) = prev {
+                if e.start < p.start {
+                    return Err(FaultScheduleError::UnsortedOutages { index: i });
+                }
+                if e.start < p.end() {
+                    return Err(FaultScheduleError::OverlappingOutages { first: pi, second: i });
+                }
+            }
+            prev = Some((i, e));
+        }
+        Ok(Self { episodes })
     }
 
     /// Appends an episode (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when appending the episode violates the outage invariants of
+    /// [`FaultSchedule::try_new`].
     pub fn with_episode(mut self, episode: FaultEpisode) -> Self {
         self.episodes.push(episode);
-        self
+        match Self::try_new(self.episodes) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// A single blackout of `duration` starting at `start`.
@@ -155,8 +244,8 @@ impl FaultSchedule {
     }
 
     /// Total [`FaultKind::Outage`] time within `[from, to)` — the denominator of a turn's
-    /// `outage_ms` report field. Overlapping outage episodes double-count (keep them
-    /// disjoint in schedules meant for reporting).
+    /// `outage_ms` report field. Exact because construction guarantees outage episodes
+    /// are pairwise disjoint.
     pub fn outage_overlap(&self, from: SimTime, to: SimTime) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for e in &self.episodes {
@@ -352,6 +441,127 @@ mod tests {
         assert!((storms as f64 / 20_000.0 - 0.3).abs() < 0.02);
         assert!((dups as f64 / 20_000.0 - 0.1).abs() < 0.02);
         assert!((reorders as f64 / 20_000.0 - 0.05).abs() < 0.02);
+    }
+
+    #[test]
+    fn try_new_rejects_overlapping_outages() {
+        let err = FaultSchedule::try_new(vec![
+            FaultEpisode {
+                start: ms(100),
+                duration: dur_ms(200),
+                kind: FaultKind::Outage,
+            },
+            FaultEpisode {
+                start: ms(250),
+                duration: dur_ms(100),
+                kind: FaultKind::Outage,
+            },
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            FaultScheduleError::OverlappingOutages { first: 0, second: 1 }
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_unsorted_outages() {
+        let err = FaultSchedule::try_new(vec![
+            FaultEpisode {
+                start: ms(500),
+                duration: dur_ms(100),
+                kind: FaultKind::Outage,
+            },
+            FaultEpisode {
+                start: ms(100),
+                duration: dur_ms(100),
+                kind: FaultKind::Outage,
+            },
+        ])
+        .unwrap_err();
+        assert_eq!(err, FaultScheduleError::UnsortedOutages { index: 1 });
+    }
+
+    #[test]
+    fn try_new_accepts_touching_outages() {
+        // Half-open windows: an outage may begin exactly where the previous one ends.
+        let s = FaultSchedule::try_new(vec![
+            FaultEpisode {
+                start: ms(100),
+                duration: dur_ms(100),
+                kind: FaultKind::Outage,
+            },
+            FaultEpisode {
+                start: ms(200),
+                duration: dur_ms(100),
+                kind: FaultKind::Outage,
+            },
+        ])
+        .unwrap();
+        assert_eq!(s.outage_overlap(ms(0), ms(1_000)), dur_ms(200));
+    }
+
+    #[test]
+    fn try_new_accepts_unsorted_and_overlapping_non_outage_episodes() {
+        // Mixed-kind schedules (like the registry's rtt-spike-midturn) may interleave
+        // freely: only outage windows carry ordering invariants. Schedule order pins the
+        // RNG draw order, so construction must preserve it untouched.
+        let episodes = vec![
+            FaultEpisode {
+                start: ms(1_000),
+                duration: dur_ms(500),
+                kind: FaultKind::RttSpike {
+                    extra_delay: dur_ms(250),
+                },
+            },
+            FaultEpisode {
+                start: ms(1_000),
+                duration: dur_ms(500),
+                kind: FaultKind::BurstLoss { loss_rate: 0.1 },
+            },
+            FaultEpisode {
+                start: ms(500),
+                duration: dur_ms(2_000),
+                kind: FaultKind::Duplicate { probability: 0.05 },
+            },
+            FaultEpisode {
+                start: ms(500),
+                duration: dur_ms(2_000),
+                kind: FaultKind::Reorder {
+                    probability: 0.05,
+                    max_delay: dur_ms(20),
+                },
+            },
+        ];
+        let s = FaultSchedule::try_new(episodes.clone()).unwrap();
+        assert_eq!(s.episodes(), &episodes[..], "order must be preserved verbatim");
+    }
+
+    #[test]
+    #[should_panic(expected = "outage episodes 0 and 1 overlap")]
+    fn new_panics_on_overlapping_outages() {
+        let _ = FaultSchedule::new(vec![
+            FaultEpisode {
+                start: ms(0),
+                duration: dur_ms(300),
+                kind: FaultKind::Outage,
+            },
+            FaultEpisode {
+                start: ms(100),
+                duration: dur_ms(100),
+                kind: FaultKind::Outage,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts before the previous outage")]
+    fn with_episode_panics_on_unsorted_outage() {
+        let _ = FaultSchedule::blackout(ms(1_000), dur_ms(100)).with_episode(FaultEpisode {
+            start: ms(0),
+            duration: dur_ms(100),
+            kind: FaultKind::Outage,
+        });
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod link;
 pub mod loss;
 pub mod packet;
 pub mod queue;
+pub mod shared;
 pub mod stats;
 pub mod trace;
 
@@ -32,7 +33,8 @@ pub use link::{DeliveryOutcome, Link, LinkConfig, LinkCounters};
 pub use loss::LossModel;
 pub use packet::{Packet, PacketId};
 pub use queue::DropTailQueue;
-pub use stats::{LatencyStats, RunningStats};
+pub use shared::SharedLink;
+pub use stats::{jain_index, LatencyStats, RunningStats};
 // The simulation substrate (virtual clock + event queue) lives in `aivc-sim`; re-exported
 // here so existing `aivc_netsim::{SimTime, EventQueue}` users keep working unchanged.
 pub use aivc_sim::{EventQueue, SimDuration, SimTime};

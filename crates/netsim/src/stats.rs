@@ -82,6 +82,24 @@ impl RunningStats {
     }
 }
 
+/// Jain's fairness index over per-flow allocations: `(Σx)² / (k·Σx²)`.
+///
+/// Ranges over `[1/k, 1]` for non-negative inputs — 1 when every flow gets the same
+/// share, `1/k` when a single flow takes everything. Degenerate inputs (no flows, or
+/// all-zero allocations where no flow is being treated worse than another) report 1.0,
+/// the "nothing unfair happened" reading.
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
 /// Latency sample collector with exact percentiles.
 ///
 /// Stores every sample (in milliseconds); the experiment runs here are short enough
@@ -231,6 +249,17 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!((a.mean_ms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_known_values() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One hog among four flows: exactly 1/k.
+        assert!((jain_index(&[8.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Textbook example: (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+        assert!((jain_index(&[1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
     }
 
     #[test]

@@ -157,6 +157,29 @@ impl GccController {
         self.watchdog_fallbacks
     }
 
+    /// Forces one fallback step, as if an external supervisor (e.g. a starvation
+    /// watchdog on a shared bottleneck) decided this sender must back off now. The
+    /// current estimate is remembered as the recovery target, the estimate decays by
+    /// [`GccConfig::watchdog_beta`], and [`GccController::in_fallback`] turns true so the
+    /// transport's degradation ladder engages; the ordinary feedback-driven ramp then
+    /// recovers toward the remembered target. Unlike the silence watchdog this neither
+    /// marks the controller silent nor counts in `watchdog_fallbacks` — the caller owns
+    /// the accounting for externally-imposed fallbacks.
+    pub fn force_fallback(&mut self) {
+        if self.pre_fallback_bps.is_none() {
+            self.pre_fallback_bps = Some(self.estimate_bps);
+        }
+        self.estimate_bps = (self.estimate_bps * self.config.watchdog_beta).max(self.config.min_bps);
+        self.state = CcState::Decrease;
+    }
+
+    /// Clamps the estimate to at most `cap_bps` (never below the configured floor).
+    /// Admission control uses this to start a late joiner at its fair share instead of
+    /// letting a stale or optimistic estimate stampede incumbents on a shared link.
+    pub fn clamp_estimate(&mut self, cap_bps: f64) {
+        self.estimate_bps = self.estimate_bps.min(cap_bps).max(self.config.min_bps);
+    }
+
     /// Drives the feedback watchdog forward to `now`. Call this on a steady cadence (the
     /// capture tick is natural). If [`GccConfig::watchdog_timeout`] has elapsed with no
     /// feedback, the estimate decays by [`GccConfig::watchdog_beta`] — once per elapsed
@@ -464,6 +487,43 @@ mod tests {
         cc.on_feedback_report_at(SimTime::from_millis(600), &report(30, 50, 15, 600));
         assert!(!cc.in_fallback());
         assert_eq!(cc.state(), CcState::Decrease);
+    }
+
+    #[test]
+    fn force_fallback_backs_off_without_silence_or_watchdog_counts() {
+        let mut cc = GccController::with_initial(4e6);
+        cc.force_fallback();
+        assert!((cc.estimate_bps() - 4e6 * 0.7).abs() < 1.0);
+        assert_eq!(cc.state(), CcState::Decrease);
+        assert!(cc.in_fallback(), "ramp target must be armed");
+        assert!(!cc.is_silent(), "external fallback is not channel silence");
+        assert_eq!(cc.watchdog_fallbacks(), 0, "caller owns the accounting");
+        // Repeated forcing keeps the original recovery target and floors at min_bps.
+        for _ in 0..100 {
+            cc.force_fallback();
+        }
+        assert_eq!(cc.estimate_bps(), GccConfig::default().min_bps);
+        // Clean feedback then ramps back toward the remembered 4 Mbps.
+        let mut t = 100u64;
+        let mut prev = cc.estimate_bps();
+        while cc.in_fallback() {
+            cc.on_feedback_report_at(SimTime::from_millis(t), &report(30, 50, 0, t));
+            assert!(cc.estimate_bps() >= prev);
+            prev = cc.estimate_bps();
+            t += 100;
+            assert!(t < 100_000, "ramp must terminate");
+        }
+    }
+
+    #[test]
+    fn clamp_estimate_caps_above_but_respects_the_floor() {
+        let mut cc = GccController::with_initial(6e6);
+        cc.clamp_estimate(2e6);
+        assert_eq!(cc.estimate_bps(), 2e6);
+        cc.clamp_estimate(5e6); // clamping never raises
+        assert_eq!(cc.estimate_bps(), 2e6);
+        cc.clamp_estimate(1_000.0); // never below the configured floor
+        assert_eq!(cc.estimate_bps(), GccConfig::default().min_bps);
     }
 
     #[test]

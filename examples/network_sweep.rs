@@ -6,7 +6,10 @@
 //!
 //! Run with: `cargo run --release --example network_sweep`
 
-use aivchat::core::scenarios::{conversation_registry, registry, run_conversation_scenario, run_scenario};
+use aivchat::core::scenarios::{
+    contention_registry, conversation_registry, registry, run_contention_scenario, run_conversation_scenario,
+    run_scenario,
+};
 use aivchat::mllm::{InferenceLatencyModel, MllmConfig};
 
 fn main() {
@@ -90,5 +93,50 @@ fn main() {
          from the previous turn's estimate (warm swing is the residual trace-tracking), inherits \
          any standing queue it left, and deadline-aware NACK suppression stops hopeless \
          retransmits from competing with the next turn's media."
+    );
+
+    // --- Multi-tenant contention: K conversations sharing one bottleneck queue.
+    println!(
+        "\n{:<24} {:<12} {:>7} {:>6} {:>10} {:>13} {:>6} {:>9}",
+        "contention", "abr", "tenants", "jain", "post-jain", "shares", "starv", "ttr (ms)"
+    );
+    for scenario in contention_registry() {
+        let report = run_contention_scenario(&scenario);
+        for (abr, rep) in [
+            ("traditional", &report.traditional),
+            ("ai_oriented", &report.ai_oriented),
+        ] {
+            let shares: Vec<f64> = rep.tenants.iter().map(|t| t.goodput_share).collect();
+            let min_share = shares.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max_share = shares.iter().cloned().fold(0.0f64, f64::max);
+            let max_ttr = rep
+                .tenants
+                .iter()
+                .filter_map(|t| t.conversation.resilience.time_to_recover_ms)
+                .fold(f64::NAN, f64::max);
+            println!(
+                "{:<24} {:<12} {:>7} {:>6.3} {:>10} {:>13} {:>6} {:>9}",
+                scenario.name,
+                abr,
+                rep.tenants.len(),
+                rep.fairness.jain_overall,
+                rep.fairness
+                    .jain_post_recovery
+                    .map_or("-".into(), |j| format!("{j:.3}")),
+                format!("{min_share:.2}-{max_share:.2}"),
+                rep.starvation_events_total(),
+                if max_ttr.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{max_ttr:.0}")
+                },
+            );
+        }
+    }
+    println!(
+        "\nContention takeaway: one bottleneck queue makes tenants interact — a shared blackout \
+         still recovers per tenant (finite ttr, near-even post-recovery Jain), a cross-traffic \
+         surge trips the starvation watchdog instead of letting tenants thrash the queue, and \
+         the AI-oriented floor shares the link more evenly than estimate-riding ABR."
     );
 }
