@@ -13,6 +13,10 @@
 //! too — they mean the baseline was not re-recorded after adding a hot path. Improvements
 //! are reported but never fail.
 //!
+//! When *every* entry regresses past tolerance by a similar factor, the check diagnoses
+//! host CPU steal ("box noise — re-run") and exits 2 instead of reporting a phantom
+//! code regression: real regressions are localized to the code path that changed.
+//!
 //! The `_par` and `pipeline_throughput_*` entries are re-measured **at the committed
 //! file's `pool_lanes`** (overridable with `AIVC_POOL_SIZE`), so the comparison is always
 //! lane-count-for-lane-count; the `turn_breakdown` section is documentation and is not
@@ -50,6 +54,7 @@ fn main() {
         "| hot path | committed ns | fresh ns | delta | verdict |\n| --- | --- | --- | --- | --- |\n",
     );
     let mut failures = Vec::new();
+    let mut deltas = Vec::new();
     for measurement in &fresh {
         let Some(reference) = committed.hotpaths.iter().find(|h| h.name == measurement.name) else {
             failures.push(format!(
@@ -63,6 +68,7 @@ fn main() {
             continue;
         };
         let delta = measurement.median_ns_per_iter / reference.median_ns_per_iter - 1.0;
+        deltas.push(delta);
         let verdict = if delta > tolerance {
             failures.push(format!(
                 "{}: {:.1} ns vs committed {:.1} ns (+{:.1} % > {:.0} % tolerance)",
@@ -108,11 +114,32 @@ fn main() {
             "bench_check: all {} hot paths within tolerance ... ok",
             fresh.len()
         );
-    } else {
-        eprintln!("bench_check: {} failure(s):", failures.len());
-        for failure in &failures {
-            eprintln!("  - {failure}");
-        }
-        std::process::exit(1);
+        return;
     }
+
+    // A genuine code regression is localized to the code path it touched; CPU steal on a
+    // shared/busy box instead slows *every* entry — CLIP, encode, decode, sim, MLLM alike
+    // — by a similar factor. When all entries regress past tolerance with tightly
+    // clustered slowdowns, the right response is to re-run on a quiet machine, not to
+    // hunt a phantom regression (exit code 2 distinguishes this from a real failure).
+    let min_delta = deltas.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_delta = deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let uniform_slowdown = !deltas.is_empty()
+        && min_delta > tolerance
+        && (1.0 + max_delta) / (1.0 + min_delta) < 1.0 + tolerance;
+    if uniform_slowdown {
+        eprintln!(
+            "bench_check: every entry regressed by a similar factor ({:+.1} % to {:+.1} %) — \
+             box noise (host CPU steal), not a code regression. Re-run on a quiet machine.",
+            min_delta * 100.0,
+            max_delta * 100.0
+        );
+        std::process::exit(2);
+    }
+
+    eprintln!("bench_check: {} failure(s):", failures.len());
+    for failure in &failures {
+        eprintln!("  - {failure}");
+    }
+    std::process::exit(1);
 }

@@ -15,7 +15,8 @@
 //! `cargo run --release -p aivc-bench --bin hotpath_baseline`
 
 use aivc_bench::hotpath_suite::{
-    measure_all_hotpaths, measure_turn_breakdown, BaselineFile, METHODOLOGY, PROFILE,
+    measure_all_hotpaths, measure_hotpaths_matching, measure_turn_breakdown, BaselineFile,
+    METHODOLOGY, PROFILE,
 };
 use aivc_bench::print_section;
 use aivc_par::MiniPool;
@@ -23,6 +24,118 @@ use std::io::Write;
 
 const SAMPLES: usize = 30;
 const TARGET_SAMPLE_MS: f64 = 25.0;
+
+/// Parses `--only <name>` (repeatable) from the command line; empty = record everything.
+fn parse_only_args() -> Vec<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut only = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--only" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => only.push(name.clone()),
+                    None => {
+                        eprintln!("--only requires an entry name");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: hotpath_baseline [--only <name>]...");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    only
+}
+
+/// Surgical re-record: re-measures only the named entries and splices their new medians
+/// into the existing `BENCH_hotpaths.json`, leaving every other committed number
+/// untouched. Names may come from either the `hotpaths` or the `turn_breakdown` section.
+fn record_only(only: &[String], pool_lanes: usize) {
+    let path = "BENCH_hotpaths.json";
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("--only updates an existing {path}, which could not be read: {e}");
+        std::process::exit(2);
+    });
+    let mut baseline: BaselineFile =
+        serde_json::from_str(&existing).expect("existing baseline parses");
+    for name in only {
+        let known = baseline.hotpaths.iter().any(|m| &m.name == name)
+            || baseline.turn_breakdown.iter().any(|m| &m.name == name);
+        if !known {
+            eprintln!("unknown entry {name:?}; known entries:");
+            for m in baseline.hotpaths.iter().chain(&baseline.turn_breakdown) {
+                eprintln!("  {}", m.name);
+            }
+            std::process::exit(2);
+        }
+    }
+    let parallel_entry = |name: &str| name.ends_with("_par") || name.starts_with("pipeline_throughput_");
+    if only.iter().any(|n| parallel_entry(n)) && pool_lanes != baseline.pool_lanes {
+        eprintln!(
+            "cannot re-record parallel entries at {pool_lanes} lanes into a {}-lane baseline; \
+             set AIVC_POOL_SIZE={} or re-record the whole file",
+            baseline.pool_lanes, baseline.pool_lanes
+        );
+        std::process::exit(2);
+    }
+
+    let hotpath_names: Vec<String> = only
+        .iter()
+        .filter(|n| baseline.hotpaths.iter().any(|m| &m.name == *n))
+        .cloned()
+        .collect();
+    let mut table = String::from("| re-recorded entry | old ns/iter | new ns/iter |\n| --- | --- | --- |\n");
+    if !hotpath_names.is_empty() {
+        for m in measure_hotpaths_matching(SAMPLES, TARGET_SAMPLE_MS, pool_lanes, Some(&hotpath_names)) {
+            let slot = baseline
+                .hotpaths
+                .iter_mut()
+                .find(|b| b.name == m.name)
+                .expect("validated above");
+            table.push_str(&format!(
+                "| {} | {:.1} | {:.1} |\n",
+                m.name, slot.median_ns_per_iter, m.median_ns_per_iter
+            ));
+            *slot = m;
+        }
+    }
+    let breakdown_names: Vec<&String> = only
+        .iter()
+        .filter(|n| baseline.turn_breakdown.iter().any(|m| &m.name == *n))
+        .collect();
+    if !breakdown_names.is_empty() {
+        for m in measure_turn_breakdown(SAMPLES, TARGET_SAMPLE_MS) {
+            if !breakdown_names.iter().any(|n| **n == m.name) {
+                continue;
+            }
+            let slot = baseline
+                .turn_breakdown
+                .iter_mut()
+                .find(|b| b.name == m.name)
+                .expect("validated above");
+            table.push_str(&format!(
+                "| {} | {:.1} | {:.1} |\n",
+                m.name, slot.median_ns_per_iter, m.median_ns_per_iter
+            ));
+            *slot = m;
+        }
+    }
+    print_section("Surgical baseline update", &table);
+    write_baseline(path, &baseline);
+}
+
+fn write_baseline(path: &str, baseline: &BaselineFile) {
+    let json = serde_json::to_string_pretty(baseline).expect("baseline serializes");
+    let mut file = std::fs::File::create(path).expect("can create BENCH_hotpaths.json");
+    file.write_all(json.as_bytes())
+        .expect("can write BENCH_hotpaths.json");
+    println!("(baseline written to {path})");
+}
 
 /// `pipeline_throughput_N_sessions` → `N` (how many turns one iteration performs).
 fn sessions_in(name: &str) -> Option<u64> {
@@ -35,6 +148,11 @@ fn sessions_in(name: &str) -> Option<u64> {
 fn main() {
     let pool_lanes = MiniPool::env_lanes();
     println!("(pool lanes for _par / throughput entries: {pool_lanes})");
+    let only = parse_only_args();
+    if !only.is_empty() {
+        record_only(&only, pool_lanes);
+        return;
+    }
     let hotpaths = measure_all_hotpaths(SAMPLES, TARGET_SAMPLE_MS, pool_lanes);
 
     let mut table = String::from("| hot path | median ns/iter | turns/sec |\n| --- | --- | --- |\n");
@@ -83,10 +201,5 @@ fn main() {
         hotpaths,
         turn_breakdown,
     };
-    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
-    let path = "BENCH_hotpaths.json";
-    let mut file = std::fs::File::create(path).expect("can create BENCH_hotpaths.json");
-    file.write_all(json.as_bytes())
-        .expect("can write BENCH_hotpaths.json");
-    println!("(baseline written to {path})");
+    write_baseline("BENCH_hotpaths.json", &baseline);
 }

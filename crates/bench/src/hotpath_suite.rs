@@ -107,10 +107,28 @@ pub fn measure_all_hotpaths(
     target_sample_ms: f64,
     pool_lanes: usize,
 ) -> Vec<HotpathMeasurement> {
+    measure_hotpaths_matching(samples, target_sample_ms, pool_lanes, None)
+}
+
+/// Whether `name` is selected by the optional `--only` filter.
+fn wants(only: Option<&[String]>, name: &str) -> bool {
+    only.is_none_or(|names| names.iter().any(|n| n == name))
+}
+
+/// [`measure_all_hotpaths`] restricted to the entries named in `only` (all entries when
+/// `None`) — the engine behind `hotpath_baseline --only <name>`, which re-records a single
+/// legitimately-shifted entry without re-measuring (and re-jittering) the rest of the file.
+/// Results come back in suite order regardless of the order names are given in.
+pub fn measure_hotpaths_matching(
+    samples: usize,
+    target_sample_ms: f64,
+    pool_lanes: usize,
+    only: Option<&[String]>,
+) -> Vec<HotpathMeasurement> {
     let mut hotpaths = Vec::new();
 
     // 1. RTP packetization of a 100 kB keyframe (reuse API; zero allocations/iter).
-    {
+    if wants(only, "packetize_100kB_frame") {
         let mut packetizer = Packetizer::default();
         let mut packets = Vec::new();
         let frame = OutgoingFrame {
@@ -131,7 +149,7 @@ pub fn measure_all_hotpaths(
     }
 
     // 2. Uniform-QP encode of a 1080p frame.
-    {
+    if wants(only, "encode_1080p_frame_uniform_qp") {
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let frame = source.frame(0);
         let encoder = Encoder::new(EncoderConfig::default());
@@ -144,7 +162,7 @@ pub fn measure_all_hotpaths(
     }
 
     // 2b. Full-frame decode (coverage lists Arc-shared with the encoded blocks).
-    {
+    if wants(only, "decode_complete_1080p") {
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let encoder = Encoder::new(EncoderConfig::default());
         let encoded = encoder.encode_uniform(&source.frame(0), Qp::new(32));
@@ -158,7 +176,7 @@ pub fn measure_all_hotpaths(
     }
 
     // 3. CLIP correlation map over the 1080p patch grid (scratch API; zero allocations/iter).
-    {
+    if wants(only, "clip_correlation_map_1080p") {
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let frame = source.frame(0);
         let model = ClipModel::mobile_default();
@@ -180,7 +198,7 @@ pub fn measure_all_hotpaths(
 
     // 3b. Incremental CLIP correlation at the calibrated ~10 % dirty rate (two alternating
     // frames of a moving 1080p scene; only motion-dirtied patches are recomputed).
-    {
+    if wants(only, "clip_correlation_update_10pct_dirty") {
         let source = VideoSource::new(coherence_scene(), SourceConfig::fps30(1.0));
         let frame_a = source.frame(0);
         let frame_b = source.frame(1);
@@ -213,7 +231,7 @@ pub fn measure_all_hotpaths(
 
     // 4. Eq. 2 QP allocation from an importance map (reuse API + threshold-table allocator;
     // zero allocations/iter).
-    {
+    if wants(only, "eq2_qp_allocation") {
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let frame = source.frame(0);
         let model = ClipModel::mobile_default();
@@ -235,7 +253,7 @@ pub fn measure_all_hotpaths(
     }
 
     // 5. MLLM answer over four decoded frames.
-    {
+    if wants(only, "mllm_respond_4_frames") {
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let encoder = Encoder::new(EncoderConfig::default());
         let decoder = Decoder::new();
@@ -257,7 +275,7 @@ pub fn measure_all_hotpaths(
     // 6. The full chat turn: a long-lived ChatSession over a 4-frame 1080p window running
     // CLIP (incremental) → Eq. 2 → ROI encode → packetize → decode → MLLM respond, with
     // zero post-warmup heap allocations (guarded by tests/zero_alloc.rs).
-    {
+    if wants(only, "pipeline_turn_1080p") {
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
         let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
@@ -278,7 +296,7 @@ pub fn measure_all_hotpaths(
     // delegation adds nothing; with N lanes they measure the real speedup (the lane count
     // is recorded alongside — see `BaselineFile`).
     let pool = MiniPool::new(pool_lanes);
-    {
+    if wants(only, "clip_correlation_map_1080p_par") {
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let frame = source.frame(0);
         let model = ClipModel::mobile_default();
@@ -297,7 +315,7 @@ pub fn measure_all_hotpaths(
             },
         ));
     }
-    {
+    if wants(only, "encode_1080p_frame_uniform_qp_par") {
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let frame = source.frame(0);
         let encoder = Encoder::new(EncoderConfig::default());
@@ -321,6 +339,9 @@ pub fn measure_all_hotpaths(
     // `hotpath_baseline`). Sessions share nothing — scaling is expected to be near-linear
     // in lanes up to the core count.
     for session_count in [1usize, 8, 64] {
+        if !wants(only, &format!("pipeline_throughput_{session_count}_sessions")) {
+            continue;
+        }
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
         let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);
@@ -342,7 +363,7 @@ pub fn measure_all_hotpaths(
     // conversation (4-frame 1080p window through the emulated 10 Mbps uplink, 200 ms
     // think gap), so the median is the marginal cost of a warm conversational turn —
     // kernel scheduling included, cold-start excluded.
-    {
+    if wants(only, "conversation_turn_warm") {
         let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(5.0));
         let frames: Vec<Frame> = (0..4).map(|i| source.frame(i * 15)).collect();
         let question = Question::from_fact(&basketball_game(1).facts[0], QuestionFormat::MultipleChoice);

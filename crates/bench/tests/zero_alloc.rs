@@ -27,7 +27,11 @@ use aivc_videocodec::{
     DecodeScratch, DecodedFrame, Decoder, EncodeParScratch, EncodeScratch, EncodedFrame, Encoder,
     EncoderConfig, QpMap,
 };
-use aivchat_core::{ChatServer, ChatSession, QpAllocator, QpAllocatorConfig};
+use aivc_netsim::PathConfig;
+use aivc_sim::SimDuration;
+use aivchat_core::{
+    ChatServer, ChatSession, Conversation, NetSessionOptions, QpAllocator, QpAllocatorConfig,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -310,6 +314,32 @@ fn main() {
     assert_eq!(
         server_allocs, 0,
         "ChatServer::run_turns ({pool_lanes} lanes, 8 sessions) allocated {server_allocs} times across 5 post-warmup turns"
+    );
+
+    // --- a warm networked Conversation turn: think gap → captures → rate-adapted ROI
+    // encodes → packetize + FEC protect → pace → emulated link → reassembly → decode →
+    // MLLM answer → report + retirement, all through the discrete-event loop. On a clean
+    // (lossless, jitter-free) path the steady state touches only ring buffers and
+    // reusable scratches, so post-warmup turns are allocation-free end to end. Loss
+    // recovery (NACK lists, retransmission batches) is event-driven repair work, not
+    // steady state, and is deliberately outside this guarantee.
+    let mut options = NetSessionOptions::ai_oriented(7, PathConfig::paper_section_2_2(0.0));
+    options.capture_fps = 12.0;
+    let mut conversation = Conversation::with_defaults(options, SimDuration::from_millis(200));
+    for _ in 0..3 {
+        let _ = conversation.run_turn(&turn_frames, &question);
+    }
+    let measured_turns = 10;
+    conversation.reserve_turns(measured_turns, turn_frames.len());
+    let before = allocations();
+    for _ in 0..measured_turns {
+        let report = conversation.run_turn_in_place(black_box(&turn_frames), &question);
+        black_box(report.answer.visual_tokens);
+    }
+    let conversation_allocs = allocations() - before;
+    assert_eq!(
+        conversation_allocs, 0,
+        "Conversation::run_turn_in_place allocated {conversation_allocs} times across {measured_turns} post-warmup turns"
     );
 
     // Sanity: the counter itself works (a deliberate allocation is observed).

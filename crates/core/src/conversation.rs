@@ -267,6 +267,14 @@ impl Conversation {
     /// link, trace cursor, queue backlog, GCC, pacer, sequence space, recovery machinery —
     /// is exactly as the previous turn left it.
     pub fn run_turn(&mut self, frames: &[Frame], question: &Question) -> NetTurnReport {
+        self.run_turn_in_place(frames, question).clone()
+    }
+
+    /// [`Conversation::run_turn`] without the returned-report clone: the report is pushed
+    /// onto the history by move and handed back by reference. Combined with
+    /// [`Conversation::reserve_turns`], a warmed conversation's turn is allocation-free
+    /// end to end (the `zero_alloc` harness asserts exactly that).
+    pub fn run_turn_in_place(&mut self, frames: &[Frame], question: &Question) -> &NetTurnReport {
         if !self.turns.is_empty() && self.think_gap > SimDuration::ZERO {
             self.think(self.think_gap);
         }
@@ -286,8 +294,20 @@ impl Conversation {
         self.frame_latencies
             .extend_from_slice(&self.transport.turn_frame_latencies);
         finish_turn(&mut self.transport);
-        self.turns.push(report.clone());
-        report
+        self.turns.push(report);
+        self.turns.last().expect("just pushed")
+    }
+
+    /// Pre-grows the per-turn history vectors for `additional_turns` more turns of
+    /// `frames_per_turn` frames each, so the pushes inside those turns are guaranteed
+    /// not to reallocate. Purely an optimization — capacity is a lower bound, never a cap.
+    pub fn reserve_turns(&mut self, additional_turns: usize, frames_per_turn: usize) {
+        self.turns.reserve(additional_turns);
+        self.estimate_at_turn_start_bps.reserve(additional_turns);
+        self.carryover_queue_delay_ms.reserve(additional_turns);
+        self.turn_target_swing_bps.reserve(additional_turns);
+        self.frame_latencies
+            .reserve(additional_turns * frames_per_turn);
     }
 
     /// Assembles the conversation-level report (per-turn reports + cross-turn aggregates).

@@ -35,13 +35,13 @@ use aivc_rtc::nack::{NackGenerator, RtxQueue};
 use aivc_rtc::pacer::{Pacer, PacerConfig};
 use aivc_rtc::packetizer::{FrameAssembler, OutgoingFrame, Packetizer};
 use aivc_rtc::rtp::{PayloadKind, RtpPacket};
+use aivc_rtc::seq_ring::SeqRing;
 use aivc_scene::Frame;
 use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
 use aivc_sim::{Actor, SimDuration, SimTime, Simulation};
 use aivc_videocodec::{
     DecodeScratch, DecodedFrame, Decoder, EncodeScratch, EncodedFrame, Encoder, Qp, QpMap,
 };
-use std::collections::BTreeMap;
 
 /// Events of the networked turn's discrete-event loop. Frame indices are *global* across
 /// the owning timeline (a conversation numbers its frames continuously; a single-turn
@@ -161,8 +161,6 @@ pub(crate) struct NetCompute {
     /// Scratch map the rate-control search refills per probed level.
     probe_map: QpMap,
     encode_scratches: Vec<EncodeScratch>,
-    /// Scratch output for the QP-offset search.
-    probe_encoded: EncodedFrame,
     /// The committed encode of each turn slot (needed again at decode time). Slots are
     /// turn-local: a conversation reuses them every turn.
     encoded_slots: Vec<EncodedFrame>,
@@ -186,7 +184,6 @@ impl NetCompute {
             qp_map: QpMap::empty(),
             probe_map: QpMap::empty(),
             encode_scratches: Vec::new(),
-            probe_encoded: EncodedFrame::placeholder(),
             encoded_slots: Vec::new(),
             decode_scratch: DecodeScratch::new(),
             decoded: Vec::new(),
@@ -246,18 +243,16 @@ impl NetCompute {
         let mut probe_map = std::mem::replace(&mut self.probe_map, QpMap::empty());
         let mut best_level = lo;
         let mut best_err = f64::INFINITY;
-        let mut last_probed = None;
         while lo <= hi {
             let mid = (lo + hi) / 2;
             fill_probe_map(&self.options, &self.qp_map, mid, &mut probe_map);
-            self.encoder.encode_into(
-                frame,
-                &probe_map,
-                &mut self.encode_scratches[slot],
-                &mut self.probe_encoded,
-            );
-            last_probed = Some(mid);
-            let bits = self.probe_encoded.total_bits() as f64;
+            // Probes predict the coded size without materializing blocks — byte-exact
+            // with a real encode (test-asserted), so the search trajectory and the
+            // `err < best_err` tie-breaking are identical to probing with full encodes.
+            let bits = (self
+                .encoder
+                .predict_map_size(frame, &probe_map, &mut self.encode_scratches[slot])
+                * 8) as f64;
             let err = (bits - budget_bits).abs();
             if err < best_err {
                 best_err = err;
@@ -269,18 +264,14 @@ impl NetCompute {
                 hi = mid - 1;
             }
         }
-        if last_probed == Some(best_level) {
-            // The search converged on the last level probed: reuse that encode.
-            self.encoded_slots[slot].clone_from(&self.probe_encoded);
-        } else {
-            fill_probe_map(&self.options, &self.qp_map, best_level, &mut probe_map);
-            self.encoder.encode_into(
-                frame,
-                &probe_map,
-                &mut self.encode_scratches[slot],
-                &mut self.encoded_slots[slot],
-            );
-        }
+        // One real encode, at the level the search settled on.
+        fill_probe_map(&self.options, &self.qp_map, best_level, &mut probe_map);
+        self.encoder.encode_into(
+            frame,
+            &probe_map,
+            &mut self.encode_scratches[slot],
+            &mut self.encoded_slots[slot],
+        );
         self.probe_map = probe_map;
     }
 }
@@ -303,6 +294,8 @@ pub(crate) struct Transport {
     cc_batch: Vec<PacketFeedback>,
     /// Reusable packetization buffer.
     media: Vec<RtpPacket>,
+    /// Reusable FEC parity buffer.
+    parity: Vec<RtpPacket>,
     poll_outstanding: bool,
     next_net_packet_id: u64,
     up_prop_us: u64,
@@ -316,7 +309,7 @@ pub(crate) struct Transport {
     /// (adaptive FEC re-sizes between frames).
     media_group_size: Vec<u32>,
     /// Sequence → (frame index, media packet index) for FEC-group reconstruction.
-    seq_to_media: BTreeMap<u64, (usize, usize)>,
+    seq_to_media: SeqRing<(usize, usize)>,
     progress: Vec<NetFrameProgress>,
     /// Frames below this id are retired: their turn has been reported, so arrivals for
     /// them only feed sequence-continuity bookkeeping.
@@ -329,6 +322,8 @@ pub(crate) struct Transport {
     turn_target_max: f64,
     /// Frame transmission latencies recorded at the current turn's deadline.
     pub(crate) turn_frame_latencies: Vec<SimDuration>,
+    /// Reusable percentile scratch for the turn report (cleared each turn).
+    latency_scratch: LatencyStats,
     // --- resilience bookkeeping ---
     /// Current degradation-ladder rung (always `Normal` when the ladder is disabled).
     degradation_level: DegradationLevel,
@@ -362,6 +357,7 @@ impl Transport {
             cc_pending: Vec::new(),
             cc_batch: Vec::new(),
             media: Vec::new(),
+            parity: Vec::new(),
             poll_outstanding: false,
             next_net_packet_id: 0,
             up_prop_us: options.path.uplink.propagation_delay.as_micros(),
@@ -370,7 +366,7 @@ impl Transport {
             outgoing: Vec::new(),
             media_first_seq: Vec::new(),
             media_group_size: Vec::new(),
-            seq_to_media: BTreeMap::new(),
+            seq_to_media: SeqRing::new(),
             progress: Vec::new(),
             retired_below: 0,
             turn_packets_lost: 0,
@@ -379,6 +375,7 @@ impl Transport {
             turn_target_min: f64::INFINITY,
             turn_target_max: f64::NEG_INFINITY,
             turn_frame_latencies: Vec::new(),
+            latency_scratch: LatencyStats::new(),
             degradation_level: DegradationLevel::Normal,
             pending_outage_recovery: None,
             counters_reported: LinkCounters::default(),
@@ -677,7 +674,8 @@ impl TurnMachine<'_> {
                     }
                 }
                 let packetizer = &mut t.packetizer;
-                let parity = t.fec_encoder.protect(&t.media, || packetizer.allocate_sequence());
+                let (fec_encoder, parity) = (&t.fec_encoder, &mut t.parity);
+                fec_encoder.protect_into(&t.media, || packetizer.allocate_sequence(), parity);
                 t.media_first_seq.push(t.media[0].header.sequence);
                 t.media_group_size.push(group_size);
                 for (pi, p) in t.media.iter().enumerate() {
@@ -686,7 +684,7 @@ impl TurnMachine<'_> {
                     let when = t.pacer.schedule_send(p.wire_size(), now);
                     sink.schedule_net(when, NetEvent::SendUplink(*p));
                 }
-                for p in &parity {
+                for p in &t.parity {
                     let when = t.pacer.schedule_send(p.wire_size(), now);
                     sink.schedule_net(when, NetEvent::SendUplink(*p));
                 }
@@ -764,7 +762,7 @@ impl TurnMachine<'_> {
                             // *encoded* under (stored per frame), not the encoder's
                             // current size — adaptive FEC may have re-sized since.
                             if let Some((fi, media_idx)) =
-                                t.seq_to_media.get(&packet.header.sequence).copied()
+                                t.seq_to_media.get(packet.header.sequence).copied()
                             {
                                 let group_size = t.live_slot(fi).map_or(0, |s| t.media_group_size[s]);
                                 if let Some(group) = group_of_index(group_size, media_idx) {
@@ -847,7 +845,7 @@ impl TurnMachine<'_> {
                 for &old_seq in &sequences {
                     let packetizer = &mut t.packetizer;
                     for p in t.rtx.retransmit(&[old_seq], || packetizer.allocate_sequence()) {
-                        if let Some(mapping) = t.seq_to_media.get(&old_seq).copied() {
+                        if let Some(mapping) = t.seq_to_media.get(old_seq).copied() {
                             t.seq_to_media.insert(p.header.sequence, mapping);
                         }
                         let when = t.pacer.schedule_send(p.wire_size(), now);
@@ -975,13 +973,13 @@ pub(crate) fn conclude_turn_window(
     let mut decoded_count = 0usize;
     let mut frames_delivered = 0usize;
     let mut received_bits: u64 = 0;
-    let mut latency = LatencyStats::new();
+    transport.latency_scratch.clear();
     // Time-to-recover anchor: the most recent outage-dropped send (possibly from a prior
     // turn or think gap); the first frame completing after it marks re-convergence.
     let outage_anchor = transport.pending_outage_recovery;
     let mut recovered_at: Option<SimTime> = None;
     for (local, frame_out) in transport.outgoing[base_slot..].iter().enumerate() {
-        let Some(status) = transport.assembler.status(frame_out.frame_id) else {
+        let Some(status) = transport.assembler.view(frame_out.frame_id) else {
             continue;
         };
         if status.complete {
@@ -996,7 +994,7 @@ pub(crate) fn conclude_turn_window(
                 transport.progress[base_slot + local].send_start,
             ) {
                 let elapsed = done.saturating_since(start);
-                latency.record(elapsed);
+                transport.latency_scratch.record(elapsed);
                 transport.turn_frame_latencies.push(elapsed);
             }
         }
@@ -1009,7 +1007,7 @@ pub(crate) fn conclude_turn_window(
         }
         compute.decoder.decode_into(
             &compute.encoded_slots[local],
-            &status.received_ranges,
+            status.received_ranges,
             status.completed_at.map(|t| t.as_micros()),
             &mut compute.decode_scratch,
             &mut compute.decoded[decoded_count],
@@ -1071,8 +1069,8 @@ pub(crate) fn conclude_turn_window(
         mean_target_bitrate_bps: transport.turn_target_sum / frame_count as f64,
         achieved_bitrate_bps: encoded_bits as f64 / window_secs,
         goodput_bps: received_bits as f64 / window_secs,
-        p50_frame_latency_ms: latency.percentile_ms(0.5),
-        p95_frame_latency_ms: latency.p95_ms(),
+        p50_frame_latency_ms: transport.latency_scratch.percentile_ms(0.5),
+        p95_frame_latency_ms: transport.latency_scratch.p95_ms(),
         packets_lost: transport.turn_packets_lost,
         fec_recovered_frames: transport.progress[base_slot..]
             .iter()

@@ -117,6 +117,13 @@ impl LatencyStats {
         Self::default()
     }
 
+    /// Forgets all samples, keeping the buffer's capacity — turns a long-lived collector
+    /// into an allocation-free scratch for per-window percentiles.
+    pub fn clear(&mut self) {
+        self.samples_ms.clear();
+        self.sorted = false;
+    }
+
     /// Records a latency sample.
     pub fn record(&mut self, latency: SimDuration) {
         self.samples_ms.push(latency.as_millis_f64());

@@ -273,18 +273,24 @@ impl GccController {
             return;
         }
         self.update_loss_ewma(feedback);
-        let received: Vec<&PacketFeedback> = feedback.iter().filter(|f| f.arrived_at.is_some()).collect();
-        let loss_fraction = 1.0 - received.len() as f64 / feedback.len() as f64;
+        // One pass over the report: count arrivals and sum their one-way delays in report
+        // order (the same left-to-right f64 summation the filtered walk performed), so no
+        // per-report buffer is needed.
+        let mut received = 0usize;
+        let mut owd_sum_ms = 0.0;
+        for f in feedback {
+            if let Some(arrived) = f.arrived_at {
+                received += 1;
+                owd_sum_ms += arrived.saturating_since(f.sent_at).as_millis_f64();
+            }
+        }
+        let loss_fraction = 1.0 - received as f64 / feedback.len() as f64;
 
         // Delay signal: change in mean one-way delay between this report and the previous.
-        let delay_trend_ms = if received.is_empty() {
+        let delay_trend_ms = if received == 0 {
             f64::INFINITY
         } else {
-            let mean_owd_ms = received
-                .iter()
-                .map(|f| f.arrived_at.unwrap().saturating_since(f.sent_at).as_millis_f64())
-                .sum::<f64>()
-                / received.len() as f64;
+            let mean_owd_ms = owd_sum_ms / received as f64;
             let trend = self
                 .last_mean_owd_ms
                 .map(|prev| mean_owd_ms - prev)

@@ -8,7 +8,7 @@
 
 use crate::rtp::{PayloadKind, RtpHeader, RtpPacket};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// FEC configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -130,11 +130,28 @@ impl FecEncoder {
 
     /// Builds parity packets for `media_packets` (all belonging to one frame), assigning
     /// them sequence numbers from `alloc_seq`.
-    pub fn protect(&self, media_packets: &[RtpPacket], mut alloc_seq: impl FnMut() -> u64) -> Vec<RtpPacket> {
-        if !self.config.is_enabled() || media_packets.is_empty() {
-            return Vec::new();
-        }
+    ///
+    /// Allocates a fresh `Vec` per call; per-frame loops should reuse a buffer via
+    /// [`FecEncoder::protect_into`] instead — the transport session does.
+    pub fn protect(&self, media_packets: &[RtpPacket], alloc_seq: impl FnMut() -> u64) -> Vec<RtpPacket> {
         let mut parity = Vec::new();
+        self.protect_into(media_packets, alloc_seq, &mut parity);
+        parity
+    }
+
+    /// [`FecEncoder::protect`] into a caller-owned buffer. The buffer is cleared first;
+    /// once it has grown to the session's largest parity count, further calls are
+    /// allocation-free. Contents are identical to [`FecEncoder::protect`].
+    pub fn protect_into(
+        &self,
+        media_packets: &[RtpPacket],
+        mut alloc_seq: impl FnMut() -> u64,
+        parity: &mut Vec<RtpPacket>,
+    ) {
+        parity.clear();
+        if !self.config.is_enabled() || media_packets.is_empty() {
+            return;
+        }
         for (group_idx, group) in media_packets.chunks(self.config.group_size as usize).enumerate() {
             let max_payload = group.iter().map(|p| p.payload_len()).max().unwrap_or(0);
             let first = &group[0];
@@ -153,7 +170,6 @@ impl FecEncoder {
                 fec_group: Some(group_idx as u32),
             });
         }
-        parity
     }
 
     /// The group index a media packet (by its position within the frame) belongs to.
@@ -169,17 +185,44 @@ impl FecEncoder {
 ///
 /// Tracks, per FEC group, how many media packets are still missing and whether the parity
 /// packet arrived: one missing media packet + parity ⇒ recoverable.
+///
+/// Frames are dense, monotonically increasing ids retired as a prefix at turn bounds, so
+/// group state lives in a ring indexed by `frame_id - base_frame` with a free-list of
+/// retired per-frame group tables — the warm steady state of a conversation touches no
+/// tree nodes and reuses every index buffer.
 #[derive(Debug, Clone, Default)]
 pub struct FecRecovery {
-    /// Per (frame_id, group): (missing media packet indices, parity received).
-    groups: BTreeMap<(u64, u32), GroupState>,
+    /// Frame id of `frames[0]`. Meaningful only when `frames` is non-empty.
+    base_frame: u64,
+    frames: VecDeque<FrameGroups>,
+    /// Retired group tables, kept for their buffer capacity.
+    pool: Vec<FrameGroups>,
+    tracked: usize,
+}
+
+/// Group states of one frame. `states` is a high-water-mark buffer: entries past the
+/// touched set stay cleared, so reusing a pooled table never loses inner capacity.
+#[derive(Debug, Clone, Default)]
+struct FrameGroups {
+    states: Vec<GroupState>,
 }
 
 #[derive(Debug, Clone, Default)]
 struct GroupState {
+    /// True once any event touched this (frame, group) — the unit `tracked_groups` counts.
+    active: bool,
     expected: Vec<usize>,
     received: Vec<usize>,
     parity_received: bool,
+}
+
+impl GroupState {
+    fn clear(&mut self) {
+        self.active = false;
+        self.expected.clear();
+        self.received.clear();
+        self.parity_received = false;
+    }
 }
 
 impl FecRecovery {
@@ -188,33 +231,69 @@ impl FecRecovery {
         Self::default()
     }
 
+    /// The live state for (`frame_id`, `group`), creating it (and any gap frames up to
+    /// it) on demand. Frames below the retirement bound are rejected: their answer
+    /// already shipped, so recovering for them is pointless.
+    fn group_mut(&mut self, frame_id: u64, group: u32) -> Option<&mut GroupState> {
+        if self.frames.is_empty() {
+            self.base_frame = frame_id;
+        } else if frame_id < self.base_frame {
+            return None;
+        }
+        let idx = (frame_id - self.base_frame) as usize;
+        while self.frames.len() <= idx {
+            let table = self.pool.pop().unwrap_or_default();
+            self.frames.push_back(table);
+        }
+        let table = &mut self.frames[idx];
+        let group = group as usize;
+        while table.states.len() <= group {
+            table.states.push(GroupState::default());
+        }
+        let state = &mut table.states[group];
+        if !state.active {
+            state.active = true;
+            self.tracked += 1;
+        }
+        Some(state)
+    }
+
+    fn group(&self, frame_id: u64, group: u32) -> Option<&GroupState> {
+        if self.frames.is_empty() || frame_id < self.base_frame {
+            return None;
+        }
+        self.frames
+            .get((frame_id - self.base_frame) as usize)?
+            .states
+            .get(group as usize)
+            .filter(|s| s.active)
+    }
+
     /// Declares that media packet `packet_index` of `frame_id` belongs to `group`.
     pub fn expect_media(&mut self, frame_id: u64, group: u32, packet_index: usize) {
-        self.groups
-            .entry((frame_id, group))
-            .or_default()
-            .expected
-            .push(packet_index);
+        if let Some(state) = self.group_mut(frame_id, group) {
+            state.expected.push(packet_index);
+        }
     }
 
     /// Records a received media packet. Returns nothing; use [`FecRecovery::recoverable`].
     pub fn on_media(&mut self, frame_id: u64, group: u32, packet_index: usize) {
-        self.groups
-            .entry((frame_id, group))
-            .or_default()
-            .received
-            .push(packet_index);
+        if let Some(state) = self.group_mut(frame_id, group) {
+            state.received.push(packet_index);
+        }
     }
 
     /// Records a received parity packet.
     pub fn on_parity(&mut self, frame_id: u64, group: u32) {
-        self.groups.entry((frame_id, group)).or_default().parity_received = true;
+        if let Some(state) = self.group_mut(frame_id, group) {
+            state.parity_received = true;
+        }
     }
 
     /// The media packet indices of `frame_id`/`group` that can be recovered right now
     /// (exactly one missing media packet and the parity packet present).
     pub fn recoverable(&self, frame_id: u64, group: u32) -> Vec<usize> {
-        let Some(state) = self.groups.get(&(frame_id, group)) else {
+        let Some(state) = self.group(frame_id, group) else {
             return Vec::new();
         };
         if !state.parity_received {
@@ -235,14 +314,28 @@ impl FecRecovery {
 
     /// Drops group state for frames below `frame_id` — the history bound a long-lived
     /// conversation applies once a turn's frames have been reported (their recovery can
-    /// no longer influence any answer).
+    /// no longer influence any answer). Retired tables keep their buffers (in the pool)
+    /// for the next turn's frames.
     pub fn retire_before(&mut self, frame_id: u64) {
-        self.groups = self.groups.split_off(&(frame_id, 0));
+        while self.base_frame < frame_id {
+            let Some(mut table) = self.frames.pop_front() else {
+                self.base_frame = frame_id;
+                break;
+            };
+            self.base_frame += 1;
+            for state in &mut table.states {
+                if state.active {
+                    self.tracked -= 1;
+                }
+                state.clear();
+            }
+            self.pool.push(table);
+        }
     }
 
     /// Number of (frame, group) entries currently tracked.
     pub fn tracked_groups(&self) -> usize {
-        self.groups.len()
+        self.tracked
     }
 }
 

@@ -24,6 +24,7 @@ pub mod nack;
 pub mod pacer;
 pub mod packetizer;
 pub mod rtp;
+pub mod seq_ring;
 pub mod session;
 pub mod stats;
 
@@ -33,7 +34,8 @@ pub use fec::{group_of_index, AdaptiveFecConfig, FecConfig, FecEncoder, FecRecov
 pub use jitter::JitterBuffer;
 pub use nack::{NackGenerator, RtxQueue};
 pub use pacer::Pacer;
-pub use packetizer::{FrameAssembler, OutgoingFrame, Packetizer};
+pub use packetizer::{FrameAssembler, FrameView, OutgoingFrame, Packetizer};
 pub use rtp::{RtpHeader, RtpPacket, RTP_HEADER_BYTES};
+pub use seq_ring::{SeqBitset, SeqRing};
 pub use session::{SessionConfig, SessionReport, VideoSession};
 pub use stats::{FrameDeliveryRecord, SessionStats};

@@ -6,9 +6,10 @@
 //! latency grow with packet count — the §2.2 effect that motivates ultra-low bitrate.
 
 use crate::rtp::RtpPacket;
+use crate::seq_ring::{SeqBitset, SeqRing};
 use aivc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Configuration of the receiver's NACK generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,7 +50,9 @@ pub struct NackGenerator {
     config: NackConfig,
     highest_seen: Option<u64>,
     pending: BTreeMap<u64, PendingNack>,
-    received: BTreeSet<u64>,
+    /// Receive history as a bitset ring: one bit per sequence, no per-arrival node
+    /// allocations, retired wholesale at turn bounds.
+    received: SeqBitset,
     nacks_sent: u64,
     /// Deadline stamped into newly detected gaps (None = no deadline awareness).
     deadline: Option<SimTime>,
@@ -66,7 +69,7 @@ impl NackGenerator {
             config,
             highest_seen: None,
             pending: BTreeMap::new(),
-            received: BTreeSet::new(),
+            received: SeqBitset::new(),
             nacks_sent: 0,
             deadline: None,
             recovery_estimate: SimDuration::ZERO,
@@ -103,7 +106,7 @@ impl NackGenerator {
             Some(h) if sequence > h => {
                 // Everything between h+1 and sequence-1 is now known missing.
                 for missing in (h + 1)..sequence {
-                    if !self.received.contains(&missing) {
+                    if !self.received.contains(missing) {
                         self.pending.entry(missing).or_insert(PendingNack {
                             detected_at: now,
                             last_sent: None,
@@ -167,7 +170,7 @@ impl NackGenerator {
     /// retransmission store entry is purged at the same bound, so a NACK for it could
     /// never be answered).
     pub fn forget_below(&mut self, seq: u64) {
-        self.received = self.received.split_off(&seq);
+        self.received.forget_below(seq);
         self.pending = self.pending.split_off(&seq);
         if let Some(floor) = seq.checked_sub(1) {
             self.highest_seen = Some(self.highest_seen.map_or(floor, |h| h.max(floor)));
@@ -185,10 +188,12 @@ impl NackGenerator {
     }
 }
 
-/// Sender-side retransmission store.
+/// Sender-side retransmission store: a sequence-indexed ring ([`SeqRing`]) — packets are
+/// remembered in allocation order and retired as a prefix, so the warm steady state of a
+/// conversation stores and forgets without touching the heap.
 #[derive(Debug, Clone, Default)]
 pub struct RtxQueue {
-    sent: BTreeMap<u64, RtpPacket>,
+    sent: SeqRing<RtpPacket>,
     retransmissions: u64,
 }
 
@@ -208,7 +213,7 @@ impl RtxQueue {
     pub fn retransmit(&mut self, sequences: &[u64], mut alloc_seq: impl FnMut() -> u64) -> Vec<RtpPacket> {
         let mut out = Vec::new();
         for seq in sequences {
-            if let Some(original) = self.sent.get(seq) {
+            if let Some(original) = self.sent.get(*seq) {
                 out.push(original.as_retransmission(alloc_seq()));
                 self.retransmissions += 1;
             }
@@ -218,7 +223,7 @@ impl RtxQueue {
 
     /// Drops state for packets older than `before_seq` (history bound).
     pub fn forget_before(&mut self, before_seq: u64) {
-        self.sent.retain(|seq, _| *seq >= before_seq);
+        self.sent.forget_below(before_seq);
     }
 
     /// Number of retransmissions produced so far.

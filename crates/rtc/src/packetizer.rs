@@ -10,7 +10,7 @@ use crate::rtp::{
 };
 use aivc_sim::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// A frame as handed to the transport: identifiers plus its total coded size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -198,17 +198,35 @@ impl FrameState {
         if end <= start {
             return;
         }
-        self.ranges.push((start, end));
-        self.ranges.sort_unstable();
-        // Merge overlapping/adjacent ranges.
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ranges.len());
-        for &(s, e) in &self.ranges {
-            match merged.last_mut() {
-                Some(last) if s <= last.1 => last.1 = last.1.max(e),
-                _ => merged.push((s, e)),
+        // `ranges` is always sorted and disjoint (it is the output of this merge), so the
+        // new range can be spliced in at its sorted position and merged in place — no
+        // scratch buffer. In-order arrival (the common case) appends or extends the tail.
+        if let Some(last) = self.ranges.last_mut() {
+            if start > last.1 {
+                self.ranges.push((start, end));
+                return;
+            }
+            if start == last.1 {
+                last.1 = last.1.max(end);
+                return;
+            }
+        } else {
+            self.ranges.push((start, end));
+            return;
+        }
+        let pos = self.ranges.partition_point(|r| *r < (start, end));
+        self.ranges.insert(pos, (start, end));
+        let mut w = 0;
+        for i in 1..self.ranges.len() {
+            let (s, e) = self.ranges[i];
+            if s <= self.ranges[w].1 {
+                self.ranges[w].1 = self.ranges[w].1.max(e);
+            } else {
+                w += 1;
+                self.ranges[w] = (s, e);
             }
         }
-        self.ranges = merged;
+        self.ranges.truncate(w + 1);
     }
 
     fn received_bytes(&self) -> u64 {
@@ -221,9 +239,49 @@ impl FrameState {
 }
 
 /// Per-frame reassembly across the whole session.
+///
+/// Frames are stored in a ring indexed by `frame_id - base_id`: ids are dense and
+/// monotonically increasing (every capture produces the next id), so a deque plus a
+/// free-list of retired [`FrameState`]s makes the steady state of a long conversation
+/// allocation-free — retiring a turn returns its states (range buffers and all) to the
+/// pool, and the next turn's frames draw from it.
 #[derive(Debug, Clone, Default)]
 pub struct FrameAssembler {
-    frames: BTreeMap<u64, FrameState>,
+    /// Frame id of `slots[0]`. Meaningful only when `slots` is non-empty; retirement
+    /// advances it past everything dropped.
+    base_id: u64,
+    slots: VecDeque<FrameSlot>,
+    /// Retired states, kept for their buffer capacity.
+    pool: Vec<FrameState>,
+    tracked: usize,
+}
+
+/// One ring slot: `tracked` distinguishes a frame the assembler knows (expected or with
+/// at least one arrival) from a gap id that merely sits between known frames.
+#[derive(Debug, Clone, Default)]
+struct FrameSlot {
+    tracked: bool,
+    state: FrameState,
+}
+
+/// Borrowed view of one frame's reassembly progress — the allocation-free twin of
+/// [`AssemblyStatus`] (which clones the range list) for per-turn hot paths.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    /// Capture timestamp.
+    pub capture_ts_us: u64,
+    /// Total frame size in bytes.
+    pub size_bytes: u64,
+    /// Bytes received so far.
+    pub received_bytes: u64,
+    /// Whether every byte has arrived.
+    pub complete: bool,
+    /// When the frame became complete (if it did).
+    pub completed_at: Option<SimTime>,
+    /// When the first packet of the frame arrived (if any).
+    pub first_arrival: Option<SimTime>,
+    /// The received byte ranges, sorted and disjoint.
+    pub received_ranges: &'a [(u64, u64)],
 }
 
 /// Snapshot of one frame's reassembly progress.
@@ -253,17 +311,50 @@ impl FrameAssembler {
         Self::default()
     }
 
+    /// The live state for `frame_id`, creating its slot (and any gap slots up to it) on
+    /// demand. Ids below the retirement bound are rejected: their state is gone and a
+    /// late packet for them carries no information any caller still reads.
+    fn state_mut(&mut self, frame_id: u64) -> Option<&mut FrameState> {
+        if self.slots.is_empty() {
+            self.base_id = frame_id;
+        } else if frame_id < self.base_id {
+            return None;
+        }
+        let idx = (frame_id - self.base_id) as usize;
+        while self.slots.len() <= idx {
+            let state = self.pool.pop().unwrap_or_default();
+            self.slots.push_back(FrameSlot { tracked: false, state });
+        }
+        let slot = &mut self.slots[idx];
+        if !slot.tracked {
+            slot.tracked = true;
+            self.tracked += 1;
+        }
+        Some(&mut slot.state)
+    }
+
+    fn state(&self, frame_id: u64) -> Option<&FrameState> {
+        if self.slots.is_empty() || frame_id < self.base_id {
+            return None;
+        }
+        let idx = (frame_id - self.base_id) as usize;
+        self.slots.get(idx).filter(|s| s.tracked).map(|s| &s.state)
+    }
+
     /// Registers a frame the receiver expects (size known from signaling or the first packet).
     pub fn expect_frame(&mut self, frame: &OutgoingFrame) {
-        let state = self.frames.entry(frame.frame_id).or_default();
-        state.size_bytes = frame.size_bytes;
-        state.capture_ts_us = frame.capture_ts_us;
+        if let Some(state) = self.state_mut(frame.frame_id) {
+            state.size_bytes = frame.size_bytes;
+            state.capture_ts_us = frame.capture_ts_us;
+        }
     }
 
     /// Records the arrival of a media or retransmission packet at `now`.
     /// Returns true if this arrival completed the frame.
     pub fn on_packet(&mut self, packet: &RtpPacket, now: SimTime) -> bool {
-        let state = self.frames.entry(packet.header.frame_id).or_default();
+        let Some(state) = self.state_mut(packet.header.frame_id) else {
+            return false; // retired frame: nothing left to assemble into
+        };
         if state.capture_ts_us == 0 {
             state.capture_ts_us = packet.header.capture_ts_us;
         }
@@ -281,7 +372,7 @@ impl FrameAssembler {
 
     /// The missing byte ranges of a frame (empty when complete or unknown).
     pub fn missing_ranges(&self, frame_id: u64) -> Vec<(u64, u64)> {
-        let Some(state) = self.frames.get(&frame_id) else {
+        let Some(state) = self.state(frame_id) else {
             return Vec::new();
         };
         if state.size_bytes == 0 {
@@ -301,34 +392,66 @@ impl FrameAssembler {
         missing
     }
 
-    /// The reassembly status of a frame, if the assembler knows about it.
-    pub fn status(&self, frame_id: u64) -> Option<AssemblyStatus> {
-        self.frames.get(&frame_id).map(|state| AssemblyStatus {
-            frame_id,
+    /// Borrowed reassembly view of a frame — same facts as [`FrameAssembler::status`]
+    /// without cloning the range list. Per-turn report paths use this.
+    pub fn view(&self, frame_id: u64) -> Option<FrameView<'_>> {
+        self.state(frame_id).map(|state| FrameView {
             capture_ts_us: state.capture_ts_us,
             size_bytes: state.size_bytes,
             received_bytes: state.received_bytes(),
             complete: state.is_complete(),
             completed_at: state.completed_at,
             first_arrival: state.first_arrival,
-            received_ranges: state.ranges.clone(),
+            received_ranges: &state.ranges,
+        })
+    }
+
+    /// The reassembly status of a frame, if the assembler knows about it.
+    pub fn status(&self, frame_id: u64) -> Option<AssemblyStatus> {
+        self.view(frame_id).map(|view| AssemblyStatus {
+            frame_id,
+            capture_ts_us: view.capture_ts_us,
+            size_bytes: view.size_bytes,
+            received_bytes: view.received_bytes,
+            complete: view.complete,
+            completed_at: view.completed_at,
+            first_arrival: view.first_arrival,
+            received_ranges: view.received_ranges.to_vec(),
         })
     }
 
     /// Status of every known frame, in frame-id order.
     pub fn all_statuses(&self) -> Vec<AssemblyStatus> {
-        self.frames.keys().map(|id| self.status(*id).unwrap()).collect()
+        (0..self.slots.len() as u64)
+            .filter_map(|offset| self.status(self.base_id + offset))
+            .collect()
     }
 
     /// Drops reassembly state for frames below `frame_id` — the history bound a
     /// long-lived conversation applies once a turn has been decoded and answered.
+    /// Retired states keep their buffers (in the pool) for the next turn's frames.
     pub fn retire_before(&mut self, frame_id: u64) {
-        self.frames = self.frames.split_off(&frame_id);
+        while self.base_id < frame_id {
+            let Some(mut slot) = self.slots.pop_front() else {
+                self.base_id = frame_id;
+                break;
+            };
+            self.base_id += 1;
+            if slot.tracked {
+                self.tracked -= 1;
+            }
+            slot.state.ranges.clear();
+            slot.state.size_bytes = 0;
+            slot.state.capture_ts_us = 0;
+            slot.state.first_arrival = None;
+            slot.state.completed_at = None;
+            self.pool.push(slot.state);
+        }
     }
 
     /// Number of frames currently tracked.
     pub fn tracked_frames(&self) -> usize {
-        self.frames.len()
+        self.tracked
     }
 }
 

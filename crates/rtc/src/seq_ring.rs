@@ -1,0 +1,272 @@
+//! Sequence-indexed ring storage.
+//!
+//! RTP sequence numbers are allocated monotonically from one counter, and every consumer
+//! in this crate (retransmission store, NACK receive history, the transport's
+//! sequence→frame mapping) retires a dense prefix of them at turn boundaries. That access
+//! pattern makes a `VecDeque` ring indexed by `seq - base` strictly better than the tree
+//! maps it replaces: O(1) insert/lookup, no per-entry node allocations, and — because the
+//! deque keeps its capacity across [`SeqRing::forget_below`] — allocation-free steady
+//! state for long-lived conversations.
+
+use std::collections::VecDeque;
+
+/// A map from (mostly dense, monotonically growing) sequence numbers to values, stored as
+/// a ring. Sequences below the retirement bound are rejected on insert and absent on
+/// lookup, exactly like the tree map + `retain`/`split_off` pattern this replaces.
+#[derive(Debug, Clone)]
+pub struct SeqRing<T> {
+    base: u64,
+    slots: VecDeque<Option<T>>,
+    len: usize,
+}
+
+impl<T> Default for SeqRing<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SeqRing<T> {
+    /// Creates an empty ring starting at sequence 0.
+    pub fn new() -> Self {
+        Self {
+            base: 0,
+            slots: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Inserts (or replaces) the value for `seq`. Sequences below the retirement bound
+    /// are ignored — their frame's answer already shipped.
+    pub fn insert(&mut self, seq: u64, value: T) {
+        if seq < self.base {
+            return;
+        }
+        let idx = (seq - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        if self.slots[idx].is_none() {
+            self.len += 1;
+        }
+        self.slots[idx] = Some(value);
+    }
+
+    /// The value stored for `seq`, if any.
+    pub fn get(&self, seq: u64) -> Option<&T> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        self.slots.get(idx)?.as_ref()
+    }
+
+    /// Drops every entry below `seq` and advances the retirement bound to at least `seq`.
+    /// Capacity is retained, so a warmed ring's steady state allocates nothing.
+    pub fn forget_below(&mut self, seq: u64) {
+        while self.base < seq {
+            match self.slots.pop_front() {
+                Some(slot) => {
+                    if slot.is_some() {
+                        self.len -= 1;
+                    }
+                    self.base += 1;
+                }
+                None => {
+                    self.base = seq;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drops every entry whose value fails `keep`, then advances the bound past any
+    /// now-empty prefix (freeing those slots for reuse).
+    pub fn retain(&mut self, mut keep: impl FnMut(u64, &T) -> bool) {
+        for (offset, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(value) = slot {
+                if !keep(self.base + offset as u64, value) {
+                    *slot = None;
+                    self.len -= 1;
+                }
+            }
+        }
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A set of (mostly dense, monotonically growing) sequence numbers, stored as a bitset
+/// ring — the receive-history twin of [`SeqRing`], at one bit per sequence.
+#[derive(Debug, Clone, Default)]
+pub struct SeqBitset {
+    /// Sequence number of bit 0 of `words[0]` (always a multiple of 64).
+    base: u64,
+    words: VecDeque<u64>,
+}
+
+impl SeqBitset {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `seq` present. Sequences below the retirement bound are ignored.
+    pub fn insert(&mut self, seq: u64) {
+        if seq < self.base {
+            return;
+        }
+        let word = ((seq - self.base) / 64) as usize;
+        while self.words.len() <= word {
+            self.words.push_back(0);
+        }
+        self.words[word] |= 1u64 << ((seq - self.base) % 64);
+    }
+
+    /// True when `seq` was inserted (and not retired since).
+    pub fn contains(&self, seq: u64) -> bool {
+        let Some(offset) = seq.checked_sub(self.base) else {
+            return false;
+        };
+        match self.words.get((offset / 64) as usize) {
+            Some(word) => word & (1u64 << (offset % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Forgets every sequence below `seq`. Word capacity is retained.
+    pub fn forget_below(&mut self, seq: u64) {
+        // Drop whole words below the bound…
+        while seq.saturating_sub(self.base) >= 64 {
+            if self.words.pop_front().is_none() {
+                self.base = seq & !63;
+                break;
+            }
+            self.base += 64;
+        }
+        // …and clear the partial word's low bits so lookups below `seq` read absent.
+        if seq > self.base {
+            if let Some(word) = self.words.front_mut() {
+                *word &= !((1u64 << (seq - self.base)) - 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_inserts_and_looks_up_across_gaps() {
+        let mut ring: SeqRing<u32> = SeqRing::new();
+        ring.insert(0, 10);
+        ring.insert(5, 50);
+        ring.insert(2, 20);
+        assert_eq!(ring.get(0), Some(&10));
+        assert_eq!(ring.get(2), Some(&20));
+        assert_eq!(ring.get(5), Some(&50));
+        assert_eq!(ring.get(1), None);
+        assert_eq!(ring.get(6), None);
+        assert_eq!(ring.len(), 3);
+        ring.insert(5, 55); // replace does not double-count
+        assert_eq!(ring.get(5), Some(&55));
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn ring_forget_below_drops_the_prefix_and_rejects_reinsertion() {
+        let mut ring: SeqRing<u32> = SeqRing::new();
+        for seq in 0..10 {
+            ring.insert(seq, seq as u32);
+        }
+        ring.forget_below(7);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.get(6), None);
+        assert_eq!(ring.get(7), Some(&7));
+        ring.insert(3, 99); // below the bound: ignored
+        assert_eq!(ring.get(3), None);
+        // Bound can jump past the stored window entirely.
+        ring.forget_below(100);
+        assert!(ring.is_empty());
+        ring.insert(100, 1);
+        assert_eq!(ring.get(100), Some(&1));
+    }
+
+    #[test]
+    fn ring_retain_matches_map_retain_semantics() {
+        let mut ring: SeqRing<u64> = SeqRing::new();
+        for seq in 0..8 {
+            ring.insert(seq, seq * 10);
+        }
+        ring.retain(|seq, _| seq % 2 == 1);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.get(0), None);
+        assert_eq!(ring.get(1), Some(&10));
+        assert_eq!(ring.get(7), Some(&70));
+    }
+
+    #[test]
+    fn ring_steady_state_does_not_regrow() {
+        let mut ring: SeqRing<u64> = SeqRing::new();
+        for turn in 0..4u64 {
+            for seq in turn * 100..turn * 100 + 50 {
+                ring.insert(seq, seq);
+            }
+            ring.forget_below((turn + 1) * 100);
+        }
+        let cap = ring.slots.capacity();
+        for turn in 4..50u64 {
+            for seq in turn * 100..turn * 100 + 50 {
+                ring.insert(seq, seq);
+            }
+            ring.forget_below((turn + 1) * 100);
+        }
+        assert_eq!(ring.slots.capacity(), cap, "warmed ring must not regrow");
+    }
+
+    #[test]
+    fn bitset_insert_contains_and_retire() {
+        let mut set = SeqBitset::new();
+        for seq in [0u64, 1, 63, 64, 65, 200] {
+            set.insert(seq);
+        }
+        assert!(set.contains(0) && set.contains(63) && set.contains(64) && set.contains(200));
+        assert!(!set.contains(2) && !set.contains(199));
+        set.forget_below(65);
+        assert!(!set.contains(0) && !set.contains(63) && !set.contains(64));
+        assert!(set.contains(65) && set.contains(200));
+        set.insert(10); // below the bound: ignored
+        assert!(!set.contains(10));
+        // A bound far past the window empties it without losing alignment.
+        set.forget_below(1_000);
+        assert!(!set.contains(200));
+        set.insert(1_000);
+        assert!(set.contains(1_000));
+        assert!(!set.contains(999));
+    }
+
+    #[test]
+    fn bitset_partial_word_bound_clears_only_the_low_bits() {
+        let mut set = SeqBitset::new();
+        for seq in 0..64u64 {
+            set.insert(seq);
+        }
+        set.forget_below(10);
+        for seq in 0..10u64 {
+            assert!(!set.contains(seq), "seq {seq}");
+        }
+        for seq in 10..64u64 {
+            assert!(set.contains(seq), "seq {seq}");
+        }
+    }
+}

@@ -21,6 +21,7 @@ pub mod corpus;
 pub mod fact;
 pub mod frame;
 pub mod geometry;
+pub mod grid_content;
 pub mod object;
 pub mod scene;
 pub mod source;

@@ -9,6 +9,7 @@ use crate::importance::ImportanceMap;
 use crate::text::TextQuery;
 use crate::vision::{ConceptSpace, PatchEncoder};
 use aivc_par::MiniPool;
+use aivc_scene::grid_content::GridContent;
 use aivc_scene::{Concept, Frame, GridDims, Ontology, Rect, RegionContent};
 use serde::{Deserialize, Serialize};
 
@@ -16,6 +17,12 @@ use serde::{Deserialize, Serialize};
 /// out load imbalance across patch rows while keeping chunks large enough that the
 /// per-chunk dispatch cost stays invisible next to the per-patch work.
 const PAR_CHUNKS_PER_LANE: usize = 4;
+
+/// Lane width of the Eq. 1 vector kernel: patches evaluated in lockstep by
+/// [`patch_rho_batch`]. Eight f64 lanes fill two AVX2 registers (four NEON ones) per
+/// step, and the lane-transposed tile (`dim × 8` values — 4 kB at `dim = 64`) stays
+/// comfortably inside L1 alongside the query embedding.
+const RHO_LANES: usize = 8;
 
 /// CLIP model configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,8 +77,13 @@ impl ClipConfig {
 /// the user's words exactly once.
 #[derive(Debug, Clone)]
 pub struct ClipScratch {
-    /// Per-patch region descriptor (filled by [`Frame::region_content_into`]).
+    /// Per-patch region descriptor (filled by [`Frame::region_content_into`]) — used by the
+    /// incremental paths, where only a handful of patches are touched per frame.
     content: RegionContent,
+    /// Whole-frame patch-grid raster used by the full paths: one placement-by-placement
+    /// rasterization replaces the per-patch `region_content_into` walk (bit-identical
+    /// coverage lists and background fractions, a fraction of the intersection work).
+    grid: GridContent,
     /// `(object_id, start, end)` — each frame object's slice of [`ClipScratch::flat`].
     object_entries: Vec<(u32, u32, u32)>,
     /// Flattened `(concept_index, weight)` lists for every object of the current frame.
@@ -85,10 +97,20 @@ pub struct ClipScratch {
     accumulator: Embedding,
     /// Unit-norm form of the accumulator.
     normalized: Embedding,
+    /// Per-lane concept-pooling accumulators of the vector kernel: lane `l` owns the
+    /// contiguous slice `[l·dim, (l+1)·dim)`, so phase A writes stay unit-stride.
+    lane_acc: Vec<f64>,
+    /// Lane-transposed (dimension-major SoA) copy of the accumulators: dimension `d`'s
+    /// values for all [`RHO_LANES`] lanes sit side by side at `[d·LANES, (d+1)·LANES)`,
+    /// the layout phase B's lockstep reductions walk with unit stride.
+    tile: Vec<f64>,
     /// The query whose embedding is currently memoized.
     cached_query: Option<TextQuery>,
     /// Memoized text embedding of [`ClipScratch::cached_query`].
     query_embedding: Embedding,
+    /// Memoized [`Embedding::norm`] of [`ClipScratch::query_embedding`] (same f64 value
+    /// the scalar path recomputes per patch inside `cosine`).
+    query_norm: f64,
     /// The output map, refilled in place.
     map: ImportanceMap,
     /// Object placements `(id, rect)` of the frame [`ClipScratch::map`] was computed for
@@ -113,14 +135,18 @@ impl ClipScratch {
     pub fn new() -> Self {
         Self {
             content: RegionContent::empty(),
+            grid: GridContent::new(),
             object_entries: Vec::new(),
             flat: Vec::new(),
             background_flat: Vec::new(),
             extra: Vec::new(),
             accumulator: Embedding::zeros(0),
             normalized: Embedding::zeros(0),
+            lane_acc: Vec::new(),
+            tile: Vec::new(),
             cached_query: None,
             query_embedding: Embedding::zeros(0),
+            query_norm: 0.0,
             map: ImportanceMap::empty(),
             prev_placements: Vec::new(),
             prev_fingerprint: 0,
@@ -159,6 +185,7 @@ impl ClipScratch {
         }
         if self.cached_query.as_ref() != Some(query) {
             self.query_embedding = model.encode_text(query);
+            self.query_norm = self.query_embedding.norm();
             self.cached_query = Some(query.clone());
         }
     }
@@ -210,20 +237,23 @@ impl ClipScratch {
 /// lists, the memoized query embedding) is shared read-only across lanes.
 #[derive(Debug, Clone)]
 struct ClipLaneScratch {
-    /// Per-patch region descriptor for this lane.
-    content: RegionContent,
-    /// Concept-pooling accumulator for this lane.
+    /// Concept-pooling accumulator for this lane (scalar-tail patches).
     accumulator: Embedding,
-    /// Unit-norm form of the accumulator for this lane.
+    /// Unit-norm form of the accumulator for this lane (scalar-tail patches).
     normalized: Embedding,
+    /// This pool lane's private [`ClipScratch::lane_acc`] for the vector kernel.
+    lane_acc: Vec<f64>,
+    /// This pool lane's private [`ClipScratch::tile`] for the vector kernel.
+    tile: Vec<f64>,
 }
 
 impl ClipLaneScratch {
     fn new() -> Self {
         Self {
-            content: RegionContent::empty(),
             accumulator: Embedding::zeros(0),
             normalized: Embedding::zeros(0),
+            lane_acc: Vec::new(),
+            tile: Vec::new(),
         }
     }
 }
@@ -338,40 +368,68 @@ impl ClipModel {
             return &scratch.map;
         }
         scratch.prepare_frame(self, frame);
+        scratch.grid.fill(frame, self.config.patch_size);
         let bias = self.config.similarity_bias;
         let background_weight = PatchEncoder::new(&self.space).background_weight();
+        let query_norm = scratch.query_norm;
         let ClipScratch {
-            content,
+            grid,
             object_entries,
             flat,
             background_flat,
             extra,
             accumulator,
             normalized,
+            lane_acc,
+            tile,
             query_embedding,
             map,
             ..
         } = scratch;
-        for row in 0..dims.rows {
-            for col in 0..dims.cols {
-                let rect = dims.cell_rect(row, col, frame.width, frame.height);
-                let calibrated = patch_rho(
-                    self,
-                    frame,
-                    &rect,
-                    bias,
-                    background_weight,
-                    content,
-                    object_entries,
-                    flat,
-                    background_flat,
-                    extra,
-                    accumulator,
-                    normalized,
-                    query_embedding,
-                );
-                map.push_value(calibrated);
+        let grid = &*grid;
+        let total = dims.len();
+        let mut rho = [0.0f64; RHO_LANES];
+        let mut idx = 0usize;
+        while idx + RHO_LANES <= total {
+            patch_rho_batch_grid(
+                self,
+                grid,
+                idx,
+                bias,
+                background_weight,
+                object_entries,
+                flat,
+                background_flat,
+                extra,
+                lane_acc,
+                tile,
+                query_embedding,
+                query_norm,
+                &mut rho,
+            );
+            for &value in &rho {
+                map.push_value(value);
             }
+            idx += RHO_LANES;
+        }
+        // Scalar tail: fewer than RHO_LANES patches remain.
+        while idx < total {
+            let calibrated = patch_rho_cell(
+                self,
+                grid,
+                idx,
+                bias,
+                background_weight,
+                object_entries,
+                flat,
+                background_flat,
+                extra,
+                accumulator,
+                normalized,
+                query_embedding,
+            );
+            map.push_value(calibrated);
+            idx += 1;
         }
         scratch.map.finish_refill();
         scratch.record_prev(frame);
@@ -409,14 +467,17 @@ impl ClipModel {
             return &scratch.seq.map;
         }
         scratch.seq.prepare_frame(self, frame);
+        scratch.seq.grid.fill(frame, self.config.patch_size);
         while scratch.lanes.len() < pool.lanes() {
             scratch.lanes.push(ClipLaneScratch::new());
         }
         let bias = self.config.similarity_bias;
         let background_weight = PatchEncoder::new(&self.space).background_weight();
+        let query_norm = scratch.seq.query_norm;
         let ClipParScratch { seq, lanes } = scratch;
         let seq_ref = &mut *seq;
         let ClipScratch {
+            grid,
             object_entries,
             flat,
             background_flat,
@@ -426,6 +487,7 @@ impl ClipModel {
             ..
         } = seq_ref;
         // Shared read-only views for the lanes.
+        let grid: &GridContent = grid;
         let object_entries: &[(u32, u32, u32)] = object_entries;
         let flat: &[(u32, f64)] = flat;
         let background_flat: &[(u32, f64)] = background_flat;
@@ -434,19 +496,39 @@ impl ClipModel {
         let values = map.refill_values_mut(dims, frame.width, frame.height);
         let chunks = (pool.lanes() * PAR_CHUNKS_PER_LANE).min(values.len());
         pool.for_each_chunk(values, chunks, lanes, |ctx, part, lane| {
-            for (offset, value) in part.iter_mut().enumerate() {
-                let idx = ctx.start + offset;
-                let (row, col) = dims.position(idx);
-                let rect = dims.cell_rect(row, col, frame.width, frame.height);
-                // Same ρ-range invariant `ImportanceMap::push_value` asserts on the
-                // sequential path; direct slice writes must not lose it.
-                *value = patch_rho(
+            let mut rho = [0.0f64; RHO_LANES];
+            let mut offset = 0usize;
+            while offset + RHO_LANES <= part.len() {
+                patch_rho_batch_grid(
                     self,
-                    frame,
-                    &rect,
+                    grid,
+                    ctx.start + offset,
                     bias,
                     background_weight,
-                    &mut lane.content,
+                    object_entries,
+                    flat,
+                    background_flat,
+                    extra,
+                    &mut lane.lane_acc,
+                    &mut lane.tile,
+                    query_embedding,
+                    query_norm,
+                    &mut rho,
+                );
+                part[offset..offset + RHO_LANES].copy_from_slice(&rho);
+                offset += RHO_LANES;
+            }
+            // Scalar tail of this chunk.
+            for (tail_offset, value) in part.iter_mut().enumerate().skip(offset) {
+                let idx = ctx.start + tail_offset;
+                // Same ρ-range invariant `ImportanceMap::push_value` asserts on the
+                // sequential path; direct slice writes must not lose it.
+                *value = patch_rho_cell(
+                    self,
+                    grid,
+                    idx,
+                    bias,
+                    background_weight,
                     object_entries,
                     flat,
                     background_flat,
@@ -583,6 +665,7 @@ impl ClipModel {
         let dims = scratch.map.dims();
         let bias = self.config.similarity_bias;
         let background_weight = PatchEncoder::new(&self.space).background_weight();
+        let query_norm = scratch.query_norm;
         let ClipScratch {
             content,
             object_entries,
@@ -591,30 +674,64 @@ impl ClipModel {
             extra,
             accumulator,
             normalized,
+            lane_acc,
+            tile,
             query_embedding,
             map,
             dirty,
             ..
         } = scratch;
-        for &idx in dirty.iter() {
-            let (row, col) = dims.position(idx as usize);
-            let rect = dims.cell_rect(row, col, frame.width, frame.height);
-            let calibrated = patch_rho(
-                self,
-                frame,
-                &rect,
-                bias,
-                background_weight,
-                content,
-                object_entries,
-                flat,
-                background_flat,
-                extra,
-                accumulator,
-                normalized,
-                query_embedding,
-            );
-            map.set_value(idx as usize, calibrated);
+        let mut rects = [Rect::new(0, 0, 0, 0); RHO_LANES];
+        let mut rho = [0.0f64; RHO_LANES];
+        for group in dirty.chunks(RHO_LANES) {
+            if group.len() == RHO_LANES {
+                for (rect, &idx) in rects.iter_mut().zip(group) {
+                    let (row, col) = dims.position(idx as usize);
+                    *rect = dims.cell_rect(row, col, frame.width, frame.height);
+                }
+                patch_rho_batch(
+                    self,
+                    frame,
+                    &rects,
+                    bias,
+                    background_weight,
+                    content,
+                    object_entries,
+                    flat,
+                    background_flat,
+                    extra,
+                    lane_acc,
+                    tile,
+                    query_embedding,
+                    query_norm,
+                    &mut rho,
+                );
+                for (&idx, &value) in group.iter().zip(&rho) {
+                    map.set_value(idx as usize, value);
+                }
+            } else {
+                // Scalar tail: fewer than RHO_LANES dirty patches remain.
+                for &idx in group {
+                    let (row, col) = dims.position(idx as usize);
+                    let rect = dims.cell_rect(row, col, frame.width, frame.height);
+                    let calibrated = patch_rho(
+                        self,
+                        frame,
+                        &rect,
+                        bias,
+                        background_weight,
+                        content,
+                        object_entries,
+                        flat,
+                        background_flat,
+                        extra,
+                        accumulator,
+                        normalized,
+                        query_embedding,
+                    );
+                    map.set_value(idx as usize, calibrated);
+                }
+            }
         }
     }
 
@@ -651,10 +768,61 @@ impl ClipModel {
     }
 }
 
+/// Phase A of every ρ path: pools one patch's concepts given its coverage list and
+/// background fraction, invoking `add(embedding, weight)` in exactly the order
+/// `PatchEncoder::embed_patch` + `ConceptSpace::pool` visit them — objects in coverage
+/// order, then background concepts — so every caller accumulates the identical f64
+/// sequence regardless of where the coverage came from (a `region_content_into` call or
+/// the [`GridContent`] raster, which produce equal lists by construction).
+#[allow(clippy::too_many_arguments)]
+fn pool_patch_concepts(
+    model: &ClipModel,
+    coverage: &[(u32, f64)],
+    background_fraction: f64,
+    background_weight: f64,
+    object_entries: &[(u32, u32, u32)],
+    flat: &[(u32, f64)],
+    background_flat: &[(u32, f64)],
+    extra: &[(Concept, Embedding)],
+    mut add: impl FnMut(&Embedding, f64),
+) {
+    let table_len = model.space.len() as u32;
+    for &(object_id, object_coverage) in coverage {
+        let Some(&(_, start, end)) = object_entries.iter().find(|(id, _, _)| *id == object_id) else {
+            continue;
+        };
+        for &(concept_idx, concept_weight) in &flat[start as usize..end as usize] {
+            let w = object_coverage * concept_weight;
+            if w <= 0.0 {
+                continue;
+            }
+            let embedding = if concept_idx < table_len {
+                model.space.embedding_at(concept_idx)
+            } else {
+                &extra[(concept_idx - table_len) as usize].1
+            };
+            add(embedding, w);
+        }
+    }
+    for &(concept_idx, base_weight) in background_flat {
+        let w = background_fraction * base_weight * background_weight;
+        if w <= 0.0 {
+            continue;
+        }
+        let embedding = if concept_idx < table_len {
+            model.space.embedding_at(concept_idx)
+        } else {
+            &extra[(concept_idx - table_len) as usize].1
+        };
+        add(embedding, w);
+    }
+}
+
 /// One patch of Eq. 1 through the index-keyed table and reused buffers: pools the patch's
 /// concepts exactly as `PatchEncoder::embed_patch` + `ConceptSpace::pool` do — same
-/// products, same accumulation order — then applies the contrastive calibration. Shared by
-/// the full and incremental paths so both are bit-identical per patch.
+/// products, same accumulation order — then applies the contrastive calibration. Used by
+/// the incremental paths (which touch few patches per frame, so a per-patch
+/// `region_content_into` beats rasterizing the whole grid).
 #[allow(clippy::too_many_arguments)]
 fn patch_rho(
     model: &ClipModel,
@@ -671,43 +839,230 @@ fn patch_rho(
     normalized: &mut Embedding,
     query_embedding: &Embedding,
 ) -> f64 {
-    let table_len = model.space.len() as u32;
     frame.region_content_into(rect, content);
     accumulator.reset_zero(model.config.dim);
-    for &(object_id, coverage) in &content.object_coverage {
-        let Some(&(_, start, end)) = object_entries.iter().find(|(id, _, _)| *id == object_id) else {
-            continue;
-        };
-        for &(concept_idx, concept_weight) in &flat[start as usize..end as usize] {
-            let w = coverage * concept_weight;
-            if w <= 0.0 {
-                continue;
-            }
-            let embedding = if concept_idx < table_len {
-                model.space.embedding_at(concept_idx)
-            } else {
-                &extra[(concept_idx - table_len) as usize].1
-            };
-            accumulator.add_scaled(embedding, w);
-        }
-    }
-    for &(concept_idx, base_weight) in background_flat {
-        let w = content.background_fraction * base_weight * background_weight;
-        if w <= 0.0 {
-            continue;
-        }
-        let embedding = if concept_idx < table_len {
-            model.space.embedding_at(concept_idx)
-        } else {
-            &extra[(concept_idx - table_len) as usize].1
-        };
-        accumulator.add_scaled(embedding, w);
-    }
+    pool_patch_concepts(
+        model,
+        &content.object_coverage,
+        content.background_fraction,
+        background_weight,
+        object_entries,
+        flat,
+        background_flat,
+        extra,
+        |embedding, w| accumulator.add_scaled(embedding, w),
+    );
     normalized.assign_normalized_from(accumulator);
     let raw = normalized.cosine(query_embedding);
     // Contrastive calibration: subtract the unrelated-pair baseline and rescale so the
     // reported correlation still spans [-1, 1].
     ((raw - bias) / (1.0 - bias)).clamp(-1.0, 1.0)
+}
+
+/// [`patch_rho`] reading cell `idx` of the whole-frame raster instead of running
+/// `region_content_into` — the scalar tail of the grid-fed full paths. Bit-identical to
+/// [`patch_rho`] because the raster's coverage list and background fraction equal the
+/// per-region walk's and the pooling/normalize/cosine sequence is shared.
+#[allow(clippy::too_many_arguments)]
+fn patch_rho_cell(
+    model: &ClipModel,
+    grid: &GridContent,
+    idx: usize,
+    bias: f64,
+    background_weight: f64,
+    object_entries: &[(u32, u32, u32)],
+    flat: &[(u32, f64)],
+    background_flat: &[(u32, f64)],
+    extra: &[(Concept, Embedding)],
+    accumulator: &mut Embedding,
+    normalized: &mut Embedding,
+    query_embedding: &Embedding,
+) -> f64 {
+    accumulator.reset_zero(model.config.dim);
+    pool_patch_concepts(
+        model,
+        grid.coverage(idx),
+        grid.background_fraction()[idx],
+        background_weight,
+        object_entries,
+        flat,
+        background_flat,
+        extra,
+        |embedding, w| accumulator.add_scaled(embedding, w),
+    );
+    normalized.assign_normalized_from(accumulator);
+    let raw = normalized.cosine(query_embedding);
+    ((raw - bias) / (1.0 - bias)).clamp(-1.0, 1.0)
+}
+
+/// [`patch_rho`] over [`RHO_LANES`] patches in lockstep — the Eq. 1 vector kernel.
+///
+/// Phase A pools each patch's concepts scalar-per-lane into lane `l`'s contiguous slice of
+/// `lane_acc`, running exactly `patch_rho`'s accumulation sequence (same products, same
+/// order, unit-stride writes). Phase B then runs the normalize → cosine reductions for all
+/// eight lanes simultaneously: the accumulators are transposed into the dimension-major SoA
+/// `tile` (dimension `d`'s eight lane values adjacent), so every per-dimension step walks
+/// unit-stride memory and the fixed-width lane loops are the axis LLVM turns into packed
+/// SIMD. Bit-identity to the scalar path holds because each *lane's* reduction still sums
+/// in ascending-dimension order — the exact order of [`Embedding::norm`] and
+/// [`Embedding::dot`] — and lanes never mix. The `norm < 1e-12` copy branch of
+/// [`Embedding::assign_normalized_from`] is reproduced branchlessly by dividing by 1.0
+/// (IEEE division by 1.0 is exact), and `query_norm` is the memoized value of the same
+/// deterministic `norm()` the scalar `cosine` recomputes per patch.
+#[allow(clippy::too_many_arguments)]
+fn patch_rho_batch(
+    model: &ClipModel,
+    frame: &Frame,
+    rects: &[Rect; RHO_LANES],
+    bias: f64,
+    background_weight: f64,
+    content: &mut RegionContent,
+    object_entries: &[(u32, u32, u32)],
+    flat: &[(u32, f64)],
+    background_flat: &[(u32, f64)],
+    extra: &[(Concept, Embedding)],
+    lane_acc: &mut Vec<f64>,
+    tile: &mut Vec<f64>,
+    query_embedding: &Embedding,
+    query_norm: f64,
+    out: &mut [f64; RHO_LANES],
+) {
+    let dim = model.config.dim;
+    ensure_lane_buffers(lane_acc, tile, dim);
+    // Phase A: pool each lane's concepts — the scalar `patch_rho` loop verbatim, writing
+    // into the lane's private contiguous accumulator slice.
+    for (lane, rect) in rects.iter().enumerate() {
+        frame.region_content_into(rect, content);
+        let acc = &mut lane_acc[lane * dim..(lane + 1) * dim];
+        pool_patch_concepts(
+            model,
+            &content.object_coverage,
+            content.background_fraction,
+            background_weight,
+            object_entries,
+            flat,
+            background_flat,
+            extra,
+            |embedding, w| {
+                for (a, b) in acc.iter_mut().zip(embedding.values()) {
+                    *a += b * w;
+                }
+            },
+        );
+    }
+    rho_reduce_lanes(lane_acc, tile, query_embedding, query_norm, bias, out);
+}
+
+/// [`patch_rho_batch`] fed by the whole-frame raster: the eight consecutive patches
+/// starting at `base` pool straight from [`GridContent`]'s per-cell coverage lists —
+/// no per-patch placement intersections at all — then share the same lockstep phase B.
+/// This is the kernel the full (non-incremental) correlation paths run.
+#[allow(clippy::too_many_arguments)]
+fn patch_rho_batch_grid(
+    model: &ClipModel,
+    grid: &GridContent,
+    base: usize,
+    bias: f64,
+    background_weight: f64,
+    object_entries: &[(u32, u32, u32)],
+    flat: &[(u32, f64)],
+    background_flat: &[(u32, f64)],
+    extra: &[(Concept, Embedding)],
+    lane_acc: &mut Vec<f64>,
+    tile: &mut Vec<f64>,
+    query_embedding: &Embedding,
+    query_norm: f64,
+    out: &mut [f64; RHO_LANES],
+) {
+    let dim = model.config.dim;
+    ensure_lane_buffers(lane_acc, tile, dim);
+    for lane in 0..RHO_LANES {
+        let idx = base + lane;
+        let acc = &mut lane_acc[lane * dim..(lane + 1) * dim];
+        pool_patch_concepts(
+            model,
+            grid.coverage(idx),
+            grid.background_fraction()[idx],
+            background_weight,
+            object_entries,
+            flat,
+            background_flat,
+            extra,
+            |embedding, w| {
+                for (a, b) in acc.iter_mut().zip(embedding.values()) {
+                    *a += b * w;
+                }
+            },
+        );
+    }
+    rho_reduce_lanes(lane_acc, tile, query_embedding, query_norm, bias, out);
+}
+
+/// Sizes (or zeroes) the per-lane accumulator block and its transposed tile for `dim`.
+fn ensure_lane_buffers(lane_acc: &mut Vec<f64>, tile: &mut Vec<f64>, dim: usize) {
+    if lane_acc.len() != RHO_LANES * dim {
+        lane_acc.clear();
+        lane_acc.resize(RHO_LANES * dim, 0.0);
+        tile.clear();
+        tile.resize(RHO_LANES * dim, 0.0);
+    } else {
+        lane_acc.fill(0.0);
+    }
+    debug_assert_eq!(tile.len(), lane_acc.len());
+}
+
+/// Phase B of the vector kernel, shared by both batch variants: transpose the lane
+/// accumulators into the dimension-major tile, then run the normalize → cosine →
+/// calibration reductions for all [`RHO_LANES`] lanes in lockstep.
+fn rho_reduce_lanes(
+    lane_acc: &[f64],
+    tile: &mut [f64],
+    query_embedding: &Embedding,
+    query_norm: f64,
+    bias: f64,
+    out: &mut [f64; RHO_LANES],
+) {
+    let dim = lane_acc.len() / RHO_LANES;
+    for lane in 0..RHO_LANES {
+        let acc = &lane_acc[lane * dim..(lane + 1) * dim];
+        for (d, &v) in acc.iter().enumerate() {
+            tile[d * RHO_LANES + lane] = v;
+        }
+    }
+    let mut norm_sq = [0.0f64; RHO_LANES];
+    for row in tile.chunks_exact(RHO_LANES) {
+        for lane in 0..RHO_LANES {
+            norm_sq[lane] += row[lane] * row[lane];
+        }
+    }
+    // A unit divisor reproduces `assign_normalized_from`'s `norm < 1e-12` copy branch
+    // exactly (x / 1.0 == x), keeping the division loop below branch-free.
+    let mut divisor = [1.0f64; RHO_LANES];
+    for (div, &n_sq) in divisor.iter_mut().zip(&norm_sq) {
+        let n = n_sq.sqrt();
+        if n >= 1e-12 {
+            *div = n;
+        }
+    }
+    let mut self_sq = [0.0f64; RHO_LANES];
+    let mut dot = [0.0f64; RHO_LANES];
+    for (row, &q) in tile.chunks_exact(RHO_LANES).zip(query_embedding.values()) {
+        for lane in 0..RHO_LANES {
+            let v = row[lane] / divisor[lane];
+            self_sq[lane] += v * v;
+            dot[lane] += v * q;
+        }
+    }
+    for (lane, value) in out.iter_mut().enumerate() {
+        let na = self_sq[lane].sqrt();
+        let raw = if na < 1e-12 || query_norm < 1e-12 {
+            0.0
+        } else {
+            (dot[lane] / (na * query_norm)).clamp(-1.0, 1.0)
+        };
+        *value = ((raw - bias) / (1.0 - bias)).clamp(-1.0, 1.0);
+        debug_assert!((-1.0..=1.0).contains(value), "rho out of [-1, 1]");
+    }
 }
 
 /// Pushes the flat indices of every grid cell overlapping `rect` (clipped to the frame).
@@ -1141,6 +1496,67 @@ mod tests {
             model.correlation_map_par(&frame, &query, &pool, &mut scratch),
             &naive
         );
+    }
+
+    #[test]
+    fn batch_kernel_matches_naive_for_every_tail_length() {
+        // Frame sizes chosen so the patch count sweeps 1..=20 plus the 1080p grid (510):
+        // pure-tail grids (fewer patches than the 8 kernel lanes), exact multiples of the
+        // lane width, and every tail remainder in between.
+        use aivc_scene::{Scene, SceneObject};
+        let model = ClipModel::mobile_default();
+        let query = TextQuery::from_words("score scoreboard", model.ontology());
+        for patches in (1u32..=20).chain([510]) {
+            let (cols, rows) = match patches {
+                510 => (30, 17),
+                n if n <= 5 => (n, 1),
+                n => (5, n.div_ceil(5)),
+            };
+            if cols * rows != patches && patches != 510 {
+                continue; // only exact grids exercise a precise patch count
+            }
+            let width = cols * 64;
+            let height = rows * 64;
+            let mut scene = Scene::new("tail-sweep", width, height).with_background(
+                0.3,
+                0.1,
+                vec![(Concept::new("crowd"), 0.8)],
+            );
+            scene.add_object(
+                SceneObject::new(1, "board", Rect::new(10, 10, width / 2, height / 2))
+                    .with_concept("scoreboard", 1.0)
+                    .with_detail(0.9)
+                    .with_texture(0.4),
+            );
+            let frame = Frame::sample(&scene, 0, 0, 0.0);
+            let naive = model.correlation_map_naive(&frame, &query);
+            let mut scratch = ClipScratch::new();
+            let optimized = model.correlation_map_with(&frame, &query, &mut scratch);
+            assert_eq!(optimized, &naive, "{patches} patches ({cols}x{rows})");
+            for lanes in [2usize, 8] {
+                let pool = MiniPool::new(lanes);
+                let mut par_scratch = ClipParScratch::new();
+                let par = model.correlation_map_par(&frame, &query, &pool, &mut par_scratch);
+                assert_eq!(par, &naive, "{patches} patches, {lanes} lanes");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernel_matches_naive_on_a_frame_with_no_objects() {
+        // Empty input for phase A: only background concepts contribute.
+        use aivc_scene::Scene;
+        let model = ClipModel::mobile_default();
+        let scene = Scene::new("empty", 640, 384).with_background(
+            0.3,
+            0.1,
+            vec![(Concept::new("grass"), 1.0)],
+        );
+        let frame = Frame::sample(&scene, 0, 0, 0.0);
+        let query = TextQuery::from_words("grass season", model.ontology());
+        let naive = model.correlation_map_naive(&frame, &query);
+        let mut scratch = ClipScratch::new();
+        assert_eq!(model.correlation_map_with(&frame, &query, &mut scratch), &naive);
     }
 
     #[test]

@@ -8,9 +8,10 @@
 use crate::frame::{EncodedBlock, EncodedFrame, FrameType};
 use crate::gop::GopStructure;
 use crate::qp::{Qp, QpMap};
-use crate::rd::RdModel;
+use crate::rd::{RdModel, RATE_LANES};
 use aivc_par::MiniPool;
-use aivc_scene::{Frame, GridDims, RegionContent};
+use aivc_scene::grid_content::GridContent;
+use aivc_scene::{Frame, GridDims};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -19,6 +20,10 @@ use std::sync::Arc;
 /// chunk→lane mapping deterministic, so each lane's coverage cache keeps seeing the same
 /// block indices frame after frame.
 const PAR_CHUNKS_PER_LANE: usize = 4;
+
+/// Number of distinct QP values ([`Qp`] is clamped to `0..=51`), i.e. the size of the
+/// per-encoder QP-factor lookup table.
+const QP_TABLE: usize = 52;
 
 /// Encoder speed preset. Slower presets squeeze more quality out of each bit, which the
 /// paper's "Client-side computation" discussion proposes as a fairness ablation.
@@ -83,32 +88,52 @@ impl Default for EncoderConfig {
 /// Reusable buffers for [`Encoder::encode_into`].
 ///
 /// One scratch per encoding session removes every per-frame heap allocation from the
-/// encode hot path: the per-CTU region descriptor is reused across the CTU walk, and the
-/// per-block object-coverage `Arc`s are cached per block index — when a block's coverage is
-/// unchanged from the previous frame (the common case under temporal coherence, and always
-/// the case when re-encoding the same frame), the cached `Arc` is refcount-bumped instead
-/// of reallocated.
-#[derive(Debug, Clone)]
+/// encode hot path: the whole-frame [`GridContent`] raster is refilled in place each
+/// encode, and the per-block object-coverage `Arc`s are cached per block index — when a
+/// block's coverage is unchanged from the previous frame (the common case under temporal
+/// coherence, and always the case when re-encoding the same frame), the cached `Arc` is
+/// refcount-bumped instead of reallocated.
+#[derive(Debug, Clone, Default)]
 pub struct EncodeScratch {
-    /// Per-CTU region descriptor (filled by [`Frame::region_content_into`]).
-    content: RegionContent,
+    /// Per-CTU content descriptors for the whole frame, rasterized placement-by-placement
+    /// (identical values to a cell-by-cell [`Frame::region_content_into`] walk at a
+    /// fraction of the cost).
+    grid: GridContent,
     /// Last-seen coverage list per block index; hit ⇒ `Arc::clone`, miss ⇒ fresh `Arc`.
     coverage_cache: Vec<Arc<[(u32, f64)]>>,
+    /// Memo of the last `(qp, detail)` → quality evaluation. `block_quality` is a pure
+    /// function and most of a frame is background (`detail` exactly 0.0) at one or two
+    /// distinct QPs, so this one-entry memo removes the bulk of the per-block `exp` calls
+    /// while returning the identical f64 (same inputs ⇒ the memoized same output).
+    quality_memo: QualityMemo,
+    /// The most recently allocated coverage `Arc`: runs of adjacent blocks fully covered
+    /// by the same objects produce identical lists, which share one allocation.
+    last_coverage: Option<Arc<[(u32, f64)]>>,
 }
 
-impl Default for EncodeScratch {
+/// See [`EncodeScratch::quality_memo`].
+#[derive(Debug, Clone, Copy)]
+struct QualityMemo {
+    /// `u16::MAX` marks the empty memo (no valid QP is above 51).
+    qp: u16,
+    detail_bits: u64,
+    quality: f64,
+}
+
+impl Default for QualityMemo {
     fn default() -> Self {
-        Self::new()
+        Self {
+            qp: u16::MAX,
+            detail_bits: 0,
+            quality: 0.0,
+        }
     }
 }
 
 impl EncodeScratch {
     /// Creates an empty scratch.
     pub fn new() -> Self {
-        Self {
-            content: RegionContent::empty(),
-            coverage_cache: Vec::new(),
-        }
+        Self::default()
     }
 }
 
@@ -122,6 +147,10 @@ impl EncodeScratch {
 pub struct EncodeParScratch {
     /// One private scratch per pool lane.
     lanes: Vec<EncodeScratch>,
+    /// The whole-frame raster, filled once sequentially before the lanes dispatch (the
+    /// fill is a small fraction of the encode; sharing it read-only keeps every lane's
+    /// per-block inputs — and therefore the output — bit-identical to the sequential walk).
+    grid: GridContent,
 }
 
 impl EncodeParScratch {
@@ -136,6 +165,9 @@ impl EncodeParScratch {
 pub struct Encoder {
     config: EncoderConfig,
     rd: RdModel,
+    /// `qp_factors[qp] == rd.qp_factor(qp)` for every representable QP — the rate law's
+    /// only transcendental, hoisted out of the per-block loop into a 52-entry table.
+    qp_factors: [f64; QP_TABLE],
     /// Shared empty coverage list: background-only blocks (the majority of a 1080p frame)
     /// take a refcount bump instead of allocating an `Arc` header each.
     empty_coverage: Arc<[(u32, f64)]>,
@@ -149,9 +181,14 @@ impl Encoder {
 
     /// Creates an encoder with an explicit R-D model (used by calibration tests).
     pub fn with_rd_model(config: EncoderConfig, rd: RdModel) -> Self {
+        let mut qp_factors = [0.0; QP_TABLE];
+        for (qp, factor) in qp_factors.iter_mut().enumerate() {
+            *factor = rd.qp_factor(Qp::new(qp as i32));
+        }
         Self {
             config,
             rd,
+            qp_factors,
             empty_coverage: Arc::from(&[][..]),
         }
     }
@@ -223,86 +260,188 @@ impl Encoder {
         assert_eq!(qp_map.dims(), dims, "QP map grid does not match frame grid");
         let frame_type = self.config.gop.frame_type(frame.index);
         let preset_factor = self.config.preset.rate_factor();
+        let EncodeScratch {
+            grid,
+            coverage_cache,
+            quality_memo,
+            last_coverage,
+        } = scratch;
+        grid.fill(frame, self.config.block_size);
 
         out.blocks.clear();
         out.blocks.reserve(dims.len());
+        let total = dims.len();
         let mut offset = self.config.header_bytes as u64;
-        for row in 0..dims.rows {
-            for col in 0..dims.cols {
-                let idx = dims.index(row, col);
-                let mut block = self.encode_block::<CACHE>(
-                    frame,
-                    dims,
-                    idx,
-                    qp_map.get_index(idx),
-                    frame_type,
-                    preset_factor,
-                    scratch,
+        let mut bytes = [0u32; RATE_LANES];
+        let mut idx = 0;
+        while idx + RATE_LANES <= total {
+            self.block_bytes_batch(grid, qp_map, idx, frame_type, preset_factor, &mut bytes);
+            for (lane, &byte_len) in bytes.iter().enumerate() {
+                let block_idx = idx + lane;
+                let mut block = self.finish_block::<CACHE>(
+                    grid,
+                    coverage_cache,
+                    quality_memo,
+                    last_coverage,
+                    block_idx,
+                    qp_map.get_index(block_idx),
+                    byte_len,
                 );
                 block.byte_offset = offset;
                 offset += block.byte_len as u64;
                 out.blocks.push(block);
             }
+            idx += RATE_LANES;
+        }
+        while idx < total {
+            let qp = qp_map.get_index(idx);
+            let byte_len = self.block_bytes_one(grid, idx, qp, frame_type, preset_factor);
+            let mut block = self.finish_block::<CACHE>(
+                grid,
+                coverage_cache,
+                quality_memo,
+                last_coverage,
+                idx,
+                qp,
+                byte_len,
+            );
+            block.byte_offset = offset;
+            offset += block.byte_len as u64;
+            out.blocks.push(block);
+            idx += 1;
         }
         self.fill_frame_header(out, frame, dims, frame_type);
     }
 
-    /// One CTU of the encode: region descriptor → bits/quality through the R-D model →
-    /// coverage-`Arc` reuse through the scratch's cache. Shared by the sequential walk and
-    /// the data-parallel path so both produce bit-identical blocks; `byte_offset` is left
-    /// zero for the caller to assign (it is a prefix sum over preceding blocks).
-    ///
-    /// Cache policy: background blocks bypass the cache entirely (the shared empty Arc is
-    /// already free), hits clone the cached Arc without touching the cache, and only misses
-    /// write — so a warm re-encode mutates nothing. Stale entries under changed geometry
-    /// are harmless: the content compare decides every reuse.
-    #[allow(clippy::too_many_arguments)]
-    fn encode_block<const CACHE: bool>(
+    /// Byte sizes of eight consecutive CTUs starting at `base`: gathers the per-block
+    /// inputs out of the grid raster's structure-of-arrays columns, runs the eight rate-law
+    /// evaluations in lockstep ([`RdModel::block_bits_batch`]), then applies the
+    /// preset/ceil/floor epilogue element-wise. Each lane computes the exact scalar
+    /// expression sequence of [`Encoder::block_bytes_one`] on the same inputs, so the
+    /// results are bit-identical; the fixed-width loops are what LLVM turns into SIMD.
+    fn block_bytes_batch(
         &self,
-        frame: &Frame,
-        dims: GridDims,
+        grid: &GridContent,
+        qp_map: &QpMap,
+        base: usize,
+        frame_type: FrameType,
+        preset_factor: f64,
+        out: &mut [u32; RATE_LANES],
+    ) {
+        let mut factors = [0.0f64; RATE_LANES];
+        for (lane, factor) in factors.iter_mut().enumerate() {
+            *factor = self.qp_factors[qp_map.get_index(base + lane).value() as usize];
+        }
+        let mut pixels = [0u64; RATE_LANES];
+        pixels.copy_from_slice(&grid.area()[base..base + RATE_LANES]);
+        let mut complexity = [0.0f64; RATE_LANES];
+        complexity.copy_from_slice(&grid.complexity()[base..base + RATE_LANES]);
+        let mut motion = [0.0f64; RATE_LANES];
+        motion.copy_from_slice(&grid.motion()[base..base + RATE_LANES]);
+        let mut bits = [0u64; RATE_LANES];
+        self.rd
+            .block_bits_batch(&factors, &pixels, &complexity, &motion, frame_type, &mut bits);
+        for (byte_len, &b) in out.iter_mut().zip(&bits) {
+            *byte_len = (((b as f64 * preset_factor) / 8.0).ceil() as u32).max(1);
+        }
+    }
+
+    /// Byte size of the CTU at `idx` — the scalar form of [`Encoder::block_bytes_batch`],
+    /// used for the sub-eight-block tail of the grid walk.
+    fn block_bytes_one(
+        &self,
+        grid: &GridContent,
         idx: usize,
         qp: Qp,
         frame_type: FrameType,
         preset_factor: f64,
-        scratch: &mut EncodeScratch,
+    ) -> u32 {
+        let bits = self.rd.block_bits_with_factor(
+            self.qp_factors[qp.value() as usize],
+            grid.area()[idx],
+            grid.complexity()[idx],
+            grid.motion()[idx],
+            frame_type,
+        );
+        (((bits as f64 * preset_factor) / 8.0).ceil() as u32).max(1)
+    }
+
+    /// Everything per-CTU that is not the vectorizable rate math: recognition quality
+    /// (logistic, stays scalar), coverage-`Arc` reuse through the cache, and assembly of
+    /// the block record. Shared by the sequential walk and the data-parallel path so both
+    /// produce bit-identical blocks; `byte_offset` is left zero for the caller to assign
+    /// (it is a prefix sum over preceding blocks).
+    ///
+    /// Cache policy: background blocks bypass the cache entirely (the shared empty Arc is
+    /// already free), hits clone the cached Arc without touching the cache, and only misses
+    /// write — so a warm re-encode mutates nothing. Stale entries under changed geometry
+    /// are harmless: the content compare decides every reuse. Cold encodes (no warm cache)
+    /// still coalesce runs of identical coverage through `last_coverage`.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_block<const CACHE: bool>(
+        &self,
+        grid: &GridContent,
+        coverage_cache: &mut Vec<Arc<[(u32, f64)]>>,
+        quality_memo: &mut QualityMemo,
+        last_coverage: &mut Option<Arc<[(u32, f64)]>>,
+        idx: usize,
+        qp: Qp,
+        byte_len: u32,
     ) -> EncodedBlock {
-        let (row, col) = dims.position(idx);
-        let rect = dims.cell_rect(row, col, frame.width, frame.height);
-        let content = &mut scratch.content;
-        frame.region_content_into(&rect, content);
-        let bits = self
-            .rd
-            .block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
-        let bytes = (((bits as f64 * preset_factor) / 8.0).ceil() as u32).max(1);
-        let quality = self.rd.block_quality(qp, content.detail);
-        let object_coverage = if content.object_coverage.is_empty() {
+        let detail = grid.detail()[idx];
+        let quality = if quality_memo.qp == qp.value() as u16
+            && quality_memo.detail_bits == detail.to_bits()
+        {
+            quality_memo.quality
+        } else {
+            let quality = self.rd.block_quality(qp, detail);
+            *quality_memo = QualityMemo {
+                qp: qp.value() as u16,
+                detail_bits: detail.to_bits(),
+                quality,
+            };
+            quality
+        };
+        let coverage = grid.coverage(idx);
+        let object_coverage = if coverage.is_empty() {
             Arc::clone(&self.empty_coverage)
-        } else if let Some(cached) = scratch
-            .coverage_cache
+        } else if let Some(cached) = coverage_cache
             .get(idx)
-            .filter(|cached| cached[..] == content.object_coverage[..])
+            .filter(|cached| cached[..] == *coverage)
         {
             Arc::clone(cached)
-        } else {
-            let fresh: Arc<[(u32, f64)]> = Arc::from(content.object_coverage.as_slice());
+        } else if let Some(last) = last_coverage
+            .as_ref()
+            .filter(|last| last[..] == *coverage)
+        {
+            let shared = Arc::clone(last);
             if CACHE {
-                while scratch.coverage_cache.len() <= idx {
-                    scratch.coverage_cache.push(Arc::clone(&self.empty_coverage));
+                while coverage_cache.len() <= idx {
+                    coverage_cache.push(Arc::clone(&self.empty_coverage));
                 }
-                scratch.coverage_cache[idx] = Arc::clone(&fresh);
+                coverage_cache[idx] = Arc::clone(&shared);
             }
+            shared
+        } else {
+            let fresh: Arc<[(u32, f64)]> = Arc::from(coverage);
+            if CACHE {
+                while coverage_cache.len() <= idx {
+                    coverage_cache.push(Arc::clone(&self.empty_coverage));
+                }
+                coverage_cache[idx] = Arc::clone(&fresh);
+            }
+            *last_coverage = Some(Arc::clone(&fresh));
             fresh
         };
         EncodedBlock {
             index: idx,
             byte_offset: 0,
-            byte_len: bytes,
+            byte_len,
             qp,
             encoded_quality: quality,
-            detail: content.detail,
-            complexity: content.complexity,
-            motion: content.motion,
+            detail,
+            complexity: grid.complexity()[idx],
+            motion: grid.motion()[idx],
             object_coverage,
         }
     }
@@ -358,6 +497,9 @@ impl Encoder {
         assert_eq!(qp_map.dims(), dims, "QP map grid does not match frame grid");
         let frame_type = self.config.gop.frame_type(frame.index);
         let preset_factor = self.config.preset.rate_factor();
+        let EncodeParScratch { lanes, grid } = scratch;
+        grid.fill(frame, self.config.block_size);
+        let grid = &*grid;
         // Every slot is overwritten below; the placeholder only sizes the buffer (its Arc
         // clone is a refcount bump, so a warm re-encode stays allocation-free).
         let placeholder = EncodedBlock {
@@ -374,25 +516,51 @@ impl Encoder {
         out.blocks.clear();
         out.blocks.resize(dims.len(), placeholder);
         let chunks = (pool.lanes() * PAR_CHUNKS_PER_LANE).min(dims.len());
-        pool.for_each_chunk(
-            &mut out.blocks,
-            chunks,
-            &mut scratch.lanes,
-            |ctx, blocks, lane| {
-                for (offset, slot) in blocks.iter_mut().enumerate() {
-                    let idx = ctx.start + offset;
-                    *slot = self.encode_block::<true>(
-                        frame,
-                        dims,
+        pool.for_each_chunk(&mut out.blocks, chunks, lanes, |ctx, blocks, lane| {
+            // Same batched walk as the sequential path, restarted per chunk: the chunk
+            // boundary only changes where the sub-eight tail falls, and the batch and
+            // scalar kernels are bit-identical, so chunking cannot change the output.
+            let EncodeScratch {
+                coverage_cache,
+                quality_memo,
+                last_coverage,
+                ..
+            } = lane;
+            let mut bytes = [0u32; RATE_LANES];
+            let mut offset = 0;
+            while offset + RATE_LANES <= blocks.len() {
+                let base = ctx.start + offset;
+                self.block_bytes_batch(grid, qp_map, base, frame_type, preset_factor, &mut bytes);
+                for (lane_idx, &byte_len) in bytes.iter().enumerate() {
+                    let idx = base + lane_idx;
+                    blocks[offset + lane_idx] = self.finish_block::<true>(
+                        grid,
+                        coverage_cache,
+                        quality_memo,
+                        last_coverage,
                         idx,
                         qp_map.get_index(idx),
-                        frame_type,
-                        preset_factor,
-                        lane,
+                        byte_len,
                     );
                 }
-            },
-        );
+                offset += RATE_LANES;
+            }
+            while offset < blocks.len() {
+                let idx = ctx.start + offset;
+                let qp = qp_map.get_index(idx);
+                let byte_len = self.block_bytes_one(grid, idx, qp, frame_type, preset_factor);
+                blocks[offset] = self.finish_block::<true>(
+                    grid,
+                    coverage_cache,
+                    quality_memo,
+                    last_coverage,
+                    idx,
+                    qp,
+                    byte_len,
+                );
+                offset += 1;
+            }
+        });
         let mut offset = self.config.header_bytes as u64;
         for block in &mut out.blocks {
             block.byte_offset = offset;
@@ -411,19 +579,36 @@ impl Encoder {
     /// [`Encoder::encode_uniform`] but without building the block list. Used by rate control.
     pub fn predict_uniform_size(&self, frame: &Frame, qp: Qp) -> u64 {
         let dims = self.grid_for(frame);
+        self.predict_map_size(frame, &QpMap::uniform(dims, qp), &mut EncodeScratch::new())
+    }
+
+    /// Predicted total size in bytes of encoding `frame` with `qp_map` — the exact byte
+    /// accounting of [`Encoder::encode_into`] (same grid raster, same batched rate kernel,
+    /// same per-block ceil/floor) without building the block list. Rate-control searches
+    /// probe candidate QP maps with this instead of running full encodes; equality with the
+    /// actual encode is asserted by tests, so a probe's winner is exactly the encode's size.
+    pub fn predict_map_size(&self, frame: &Frame, qp_map: &QpMap, scratch: &mut EncodeScratch) -> u64 {
+        let dims = self.grid_for(frame);
+        assert_eq!(qp_map.dims(), dims, "QP map grid does not match frame grid");
         let frame_type = self.config.gop.frame_type(frame.index);
         let preset_factor = self.config.preset.rate_factor();
+        let grid = &mut scratch.grid;
+        grid.fill(frame, self.config.block_size);
+        let total_blocks = dims.len();
         let mut total = self.config.header_bytes as u64;
-        let mut content = RegionContent::empty();
-        for row in 0..dims.rows {
-            for col in 0..dims.cols {
-                let rect = dims.cell_rect(row, col, frame.width, frame.height);
-                frame.region_content_into(&rect, &mut content);
-                let bits =
-                    self.rd
-                        .block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
-                total += (((bits as f64 * preset_factor) / 8.0).ceil() as u64).max(1);
+        let mut bytes = [0u32; RATE_LANES];
+        let mut idx = 0;
+        while idx + RATE_LANES <= total_blocks {
+            self.block_bytes_batch(grid, qp_map, idx, frame_type, preset_factor, &mut bytes);
+            for &byte_len in &bytes {
+                total += byte_len as u64;
             }
+            idx += RATE_LANES;
+        }
+        while idx < total_blocks {
+            let qp = qp_map.get_index(idx);
+            total += self.block_bytes_one(grid, idx, qp, frame_type, preset_factor) as u64;
+            idx += 1;
         }
         total
     }
@@ -642,6 +827,94 @@ mod tests {
             let map = QpMap::uniform(enc.grid_for(frame), Qp::new(33));
             enc.encode_into_par(frame, &map, &pool, &mut scratch, &mut out);
             assert_eq!(out, enc.encode_with_qp_map(frame, &map));
+        }
+    }
+
+    /// Recomputes every block of `encoded` the pre-vectorization way — a per-cell
+    /// [`Frame::region_content_into`] walk feeding scalar R-D calls — and asserts exact
+    /// equality of every field. This is the ground-truth check that the grid raster plus
+    /// the batched rate kernel changed the encode's speed and nothing else.
+    fn assert_blocks_match_scalar_walk(enc: &Encoder, frame: &Frame, map: &QpMap, encoded: &EncodedFrame) {
+        let dims = enc.grid_for(frame);
+        assert_eq!(encoded.blocks.len(), dims.len());
+        let frame_type = enc.config().gop.frame_type(frame.index);
+        let preset_factor = enc.config().preset.rate_factor();
+        let mut content = aivc_scene::RegionContent::empty();
+        let mut offset = enc.config().header_bytes as u64;
+        for (idx, block) in encoded.blocks.iter().enumerate() {
+            let (row, col) = dims.position(idx);
+            let rect = dims.cell_rect(row, col, frame.width, frame.height);
+            frame.region_content_into(&rect, &mut content);
+            let qp = map.get_index(idx);
+            let bits = enc.rd_model().block_bits(qp, rect.area(), content.complexity, content.motion, frame_type);
+            let bytes = (((bits as f64 * preset_factor) / 8.0).ceil() as u32).max(1);
+            assert_eq!(block.byte_len, bytes, "bytes {idx}");
+            assert_eq!(block.byte_offset, offset, "offset {idx}");
+            assert_eq!(block.qp, qp, "qp {idx}");
+            assert_eq!(
+                block.encoded_quality,
+                enc.rd_model().block_quality(qp, content.detail),
+                "quality {idx}"
+            );
+            assert_eq!(block.detail, content.detail, "detail {idx}");
+            assert_eq!(block.complexity, content.complexity, "complexity {idx}");
+            assert_eq!(block.motion, content.motion, "motion {idx}");
+            assert_eq!(&block.object_coverage[..], &content.object_coverage[..], "coverage {idx}");
+            offset += bytes as u64;
+        }
+    }
+
+    #[test]
+    fn batched_encode_matches_scalar_walk_for_every_tail_length() {
+        // Frame sizes chosen so the CTU-grid length sweeps every batch-tail case: below one
+        // batch (1, 4, 6 blocks), exactly one (8), multiples (16), and non-multiples with
+        // every partial-edge-cell flavour (510 blocks at 1080p, 12, 35).
+        let cases = [
+            (64u32, 64u32),     // 1 block
+            (256, 64),          // 4
+            (130, 170),         // 3×2 = 6, partial edges both axes
+            (512, 64),          // 8, exactly one batch
+            (1024, 64),         // 16
+            (256, 192),         // 4×3 = 12
+            (448, 320),         // 7×5 = 35
+            (1920, 1080),       // 30×17 = 510
+        ];
+        for (w, h) in cases {
+            let mut scene = basketball_game(1);
+            scene.width = w;
+            scene.height = h;
+            let source = VideoSource::new(scene, SourceConfig::fps30(2.0));
+            let enc = Encoder::new(EncoderConfig::default());
+            for i in [0u64, 1] {
+                let frame = source.frame(i);
+                let dims = enc.grid_for(&frame);
+                let values: Vec<Qp> = (0..dims.len())
+                    .map(|idx| Qp::new(20 + (idx as i32 * 7) % 28))
+                    .collect();
+                let map = QpMap::from_values(dims, values);
+                let encoded = enc.encode_with_qp_map(&frame, &map);
+                assert_blocks_match_scalar_walk(&enc, &frame, &map, &encoded);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_map_size_matches_actual_encode_for_roi_maps() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let source = VideoSource::new(basketball_game(1), SourceConfig::fps30(10.0));
+        let mut scratch = EncodeScratch::new();
+        for i in [0u64, 1, 7] {
+            let frame = source.frame(i);
+            let dims = enc.grid_for(&frame);
+            let mut map = QpMap::uniform(dims, Qp::new(42));
+            for row in 0..dims.rows {
+                for col in 0..dims.cols / 2 {
+                    map.set(row, col, Qp::new(23));
+                }
+            }
+            let predicted = enc.predict_map_size(&frame, &map, &mut scratch);
+            let actual = enc.encode_with_qp_map(&frame, &map).total_bytes();
+            assert_eq!(predicted, actual, "frame {i}");
         }
     }
 
