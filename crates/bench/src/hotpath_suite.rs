@@ -338,7 +338,7 @@ pub fn measure_hotpaths_matching(
     // turn on every session, so turns/sec = sessions × 1e9 / median (printed by
     // `hotpath_baseline`). Sessions share nothing — scaling is expected to be near-linear
     // in lanes up to the core count.
-    for session_count in [1usize, 8, 64] {
+    for session_count in [1usize, 8, 64, 1024] {
         if !wants(only, &format!("pipeline_throughput_{session_count}_sessions")) {
             continue;
         }

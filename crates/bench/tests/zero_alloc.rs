@@ -17,20 +17,21 @@
 //! the threaded dispatch path is always covered.
 
 use aivc_mllm::{Question, QuestionFormat};
+use aivc_netsim::PathConfig;
 use aivc_par::MiniPool;
 use aivc_rtc::packetizer::{OutgoingFrame, Packetizer};
 use aivc_scene::templates::{basketball_game, dog_park};
 use aivc_scene::{Frame, SourceConfig, VideoSource};
 use aivc_semantics::{ClipModel, ClipParScratch, ClipScratch, TextQuery};
+use aivc_sim::SimDuration;
 use aivc_sim::{EventQueue, SimTime};
 use aivc_videocodec::{
     DecodeScratch, DecodedFrame, Decoder, EncodeParScratch, EncodeScratch, EncodedFrame, Encoder,
     EncoderConfig, QpMap,
 };
-use aivc_netsim::PathConfig;
-use aivc_sim::SimDuration;
 use aivchat_core::{
-    ChatServer, ChatSession, Conversation, NetSessionOptions, QpAllocator, QpAllocatorConfig,
+    ChatServer, ChatSession, Conversation, ConversationChatServer, NetSessionOptions, QpAllocator,
+    QpAllocatorConfig,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -340,6 +341,46 @@ fn main() {
     assert_eq!(
         conversation_allocs, 0,
         "Conversation::run_turn_in_place allocated {conversation_allocs} times across {measured_turns} post-warmup turns"
+    );
+
+    // --- the lane-sharded ConversationChatServer: several long-lived conversations
+    // multiplexed onto one kernel per pool lane, with the always-on metrics layer
+    // engaged. Steady-state fleet turns are allocation-free: shared event queues sit at
+    // their high-water mark, per-turn plans reuse a retained buffer, reports are
+    // overwritten in place, and every counter bump is a relaxed atomic RMW — no heap.
+    let conv_template = {
+        let mut o = NetSessionOptions::ai_oriented(9, PathConfig::paper_section_2_2(0.0));
+        o.capture_fps = 12.0;
+        o
+    };
+    let mut conv_server =
+        ConversationChatServer::new(pool_lanes, 4, conv_template, SimDuration::from_millis(200));
+    for _ in 0..3 {
+        conv_server.run_turns(&turn_frames, &question);
+    }
+    let measured_server_turns = 5;
+    conv_server.reserve_turns(measured_server_turns, turn_frames.len());
+    let before = allocations();
+    for _ in 0..measured_server_turns {
+        conv_server.run_turns(black_box(&turn_frames), &question);
+        black_box(conv_server.report(0).frames_delivered);
+    }
+    let sharded_allocs = allocations() - before;
+    assert_eq!(
+        sharded_allocs, 0,
+        "ConversationChatServer::run_turns ({pool_lanes} lanes, 4 sessions) allocated \
+         {sharded_allocs} times across {measured_server_turns} post-warmup fleet turns"
+    );
+
+    // Reading the always-on counters is also heap-free: snapshots are plain Copy values.
+    let before = allocations();
+    let snap = conv_server.fleet_metrics();
+    black_box(snap.packets_sent);
+    black_box(conv_server.metrics_snapshot(0).frames_sent);
+    let snapshot_allocs = allocations() - before;
+    assert_eq!(
+        snapshot_allocs, 0,
+        "metrics snapshots allocated {snapshot_allocs} times"
     );
 
     // Sanity: the counter itself works (a deliberate allocation is observed).

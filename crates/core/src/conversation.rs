@@ -29,7 +29,10 @@
 
 use crate::context_aware::StreamerConfig;
 use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport};
-use crate::net_turn::{drain_gap, finish_turn, run_turn_window, NetCompute, NetEvent, Transport};
+use crate::net_turn::{
+    begin_turn_window, conclude_turn_window, drain_gap, finish_turn, run_turn_window, NetCompute, NetEvent,
+    NetEventSink, Transport, TurnMachine, TurnPlan, TurnWindow, UplinkPort,
+};
 use aivc_mllm::Question;
 use aivc_netsim::{LatencyStats, LinkCounters};
 use aivc_rtc::cc::GccController;
@@ -231,6 +234,13 @@ impl Conversation {
         &self.turns
     }
 
+    /// A point-in-time reading of this conversation's always-on serving counters —
+    /// relaxed atomics the transport ticks as it works, aggregated here entirely off the
+    /// hot path (see the `aivc-metrics` crate docs for the ordering rationale).
+    pub fn metrics_snapshot(&self) -> aivc_metrics::SessionSnapshot {
+        self.transport.metrics_handle().snapshot()
+    }
+
     /// Snapshot of the conversation's cumulative uplink [`LinkCounters`] — offered,
     /// delivered, queue-dropped, randomly lost, duplicated, reordered and outage-dropped
     /// packets since the conversation began. Reads the emulator's existing totals; the
@@ -306,8 +316,93 @@ impl Conversation {
         self.estimate_at_turn_start_bps.reserve(additional_turns);
         self.carryover_queue_delay_ms.reserve(additional_turns);
         self.turn_target_swing_bps.reserve(additional_turns);
+        self.frame_latencies.reserve(additional_turns * frames_per_turn);
+    }
+
+    /// The configured think gap.
+    pub(crate) fn think_gap(&self) -> SimDuration {
+        self.think_gap
+    }
+
+    /// Opens this conversation's next turn window on an *external* timeline at `now` —
+    /// the lane-sharded server's per-lane kernel — doing exactly the pre-window
+    /// bookkeeping [`Conversation::run_turn_in_place`] does on the private one: push the
+    /// turn-start estimate and the inherited backlog, then schedule the captures into
+    /// `sink`. The caller drains the timeline to the returned plan's horizon (routing
+    /// this session's events to [`Conversation::handle_net`]) and then calls
+    /// [`Conversation::conclude_turn_on`].
+    pub(crate) fn begin_turn_on(
+        &mut self,
+        now: SimTime,
+        sink: &mut impl NetEventSink,
+        frame_count: usize,
+        question: &Question,
+    ) -> TurnPlan {
+        self.estimate_at_turn_start_bps.push(self.gcc.estimate_bps());
+        self.carryover_queue_delay_ms
+            .push(self.transport.uplink_backlog_ms(now));
+        begin_turn_window(
+            &mut self.compute,
+            &mut self.transport,
+            now,
+            sink,
+            frame_count,
+            question,
+        )
+    }
+
+    /// Concludes a turn opened by [`Conversation::begin_turn_on`] after the external
+    /// timeline drained to the plan's horizon: decode + answer + report, then the same
+    /// post-window bookkeeping as [`Conversation::run_turn_in_place`] (swing, latencies,
+    /// retirement, history push). Returns the stored report.
+    pub(crate) fn conclude_turn_on(
+        &mut self,
+        plan: &TurnPlan,
+        frame_count: usize,
+        question: &Question,
+    ) -> &NetTurnReport {
+        let report = conclude_turn_window(
+            &mut self.compute,
+            &mut self.gcc,
+            &mut self.transport,
+            &UplinkPort::Private,
+            plan,
+            frame_count,
+            question,
+        );
+        self.turn_target_swing_bps
+            .push(self.transport.turn_target_swing_bps());
         self.frame_latencies
-            .reserve(additional_turns * frames_per_turn);
+            .extend_from_slice(&self.transport.turn_frame_latencies);
+        finish_turn(&mut self.transport);
+        self.turns.push(report);
+        self.turns.last().expect("just pushed")
+    }
+
+    /// Handles one of this conversation's transport events on an external timeline — the
+    /// per-event [`TurnMachine`] construction the multi-tenant contention engine also
+    /// uses. `live` carries the frames and window of the open turn; `None` is a
+    /// think-time drain (deliveries, polls, retransmissions only — no captures pending).
+    pub(crate) fn handle_net(
+        &mut self,
+        now: SimTime,
+        event: NetEvent,
+        live: Option<(&[Frame], TurnWindow)>,
+        sink: &mut impl NetEventSink,
+    ) {
+        let (frames, window) = match live {
+            Some((frames, window)) => (frames, window),
+            None => (&[][..], TurnWindow::drain_at(self.transport.frames_sent(), now)),
+        };
+        let mut machine = TurnMachine {
+            compute: &mut self.compute,
+            gcc: &mut self.gcc,
+            t: &mut self.transport,
+            frames,
+            window,
+            port: UplinkPort::Private,
+        };
+        machine.handle(now, event, sink);
     }
 
     /// Assembles the conversation-level report (per-turn reports + cross-turn aggregates).
@@ -468,5 +563,34 @@ mod tests {
         assert_eq!(report.correct_fraction(), 0.0);
         assert_eq!(report.cold_target_swing_bps(), 0.0);
         assert_eq!(report.warm_target_swing_bps(), 0.0);
+    }
+
+    /// Regression test for the retired-then-late sequence hazard: on a slow, high-latency
+    /// link, packets still in flight when the answer deadline fires arrive during the
+    /// think gap — *after* `finish_turn` retired their sequence numbers. The ring/bitset
+    /// stores must reject them as counted drops (`late_seq_drops`), not underflow
+    /// `seq - base` and panic.
+    #[test]
+    fn retired_then_late_arrivals_are_counted_drops_across_turns() {
+        use aivc_netsim::{LinkConfig, LossModel, PathConfig};
+        let path = PathConfig {
+            // 400 kbps with 150 ms one-way delay: the tail of every turn's window is
+            // still in flight at the deadline and lands mid-think-gap.
+            uplink: LinkConfig::constant(4e5, SimDuration::from_millis(150), 300, LossModel::None),
+            downlink: LinkConfig::constant(100e6, SimDuration::from_millis(30), 300, LossModel::None),
+        };
+        let mut o = NetSessionOptions::ai_oriented(31, path);
+        o.capture_fps = 8.0;
+        let mut conv = Conversation::with_defaults(o, SimDuration::from_millis(500));
+        let q = question();
+        for t in 0..4 {
+            conv.run_turn(&window(t * 4), &q);
+        }
+        assert_eq!(conv.turn_count(), 4);
+        let snap = conv.metrics_snapshot();
+        assert!(
+            snap.late_seq_drops > 0,
+            "expected retired-then-late arrivals on a 150 ms link; counters: {snap}"
+        );
     }
 }

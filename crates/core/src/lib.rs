@@ -44,6 +44,7 @@ pub mod scenarios;
 pub mod server;
 pub mod session;
 
+pub use aivc_metrics::{SessionCounters, SessionSnapshot};
 pub use allocator::{QpAllocator, QpAllocatorConfig};
 pub use baseline::ContextAgnosticBaseline;
 pub use contention::{

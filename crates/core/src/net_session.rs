@@ -368,6 +368,10 @@ impl NetTurnReport {
 pub struct NetworkedChatSession {
     compute: NetCompute,
     gcc: GccController,
+    /// Always-on serving counters. Session-owned (not transport-owned) because this
+    /// session rebuilds its transport every turn — the handle persists so counters
+    /// accumulate across the session's whole lifetime.
+    metrics: std::sync::Arc<aivc_metrics::SessionCounters>,
 }
 
 impl NetworkedChatSession {
@@ -376,7 +380,13 @@ impl NetworkedChatSession {
         Self {
             gcc: GccController::new(options.gcc),
             compute: NetCompute::new(options, config, clip_model),
+            metrics: std::sync::Arc::new(aivc_metrics::SessionCounters::new()),
         }
+    }
+
+    /// A point-in-time reading of this session's always-on counters (off the hot path).
+    pub fn metrics_snapshot(&self) -> aivc_metrics::SessionSnapshot {
+        self.metrics.snapshot()
     }
 
     /// A session with the paper's compute defaults (γ = 3 allocator, medium-preset encoder,
@@ -409,7 +419,11 @@ impl NetworkedChatSession {
     /// flight at the deadline discarded) — the single-turn semantics the golden fixtures
     /// pin down.
     pub fn run_turn(&mut self, frames: &[Frame], question: &Question) -> NetTurnReport {
-        let mut transport = Transport::new(&self.compute.options, self.gcc.estimate_bps());
+        let mut transport = Transport::with_metrics(
+            &self.compute.options,
+            self.gcc.estimate_bps(),
+            std::sync::Arc::clone(&self.metrics),
+        );
         let mut sim = Simulation::new();
         run_turn_window(
             &mut self.compute,

@@ -25,6 +25,7 @@ use crate::allocator::QpAllocator;
 use crate::context_aware::StreamerConfig;
 use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport};
 use crate::session::StreamingMode;
+use aivc_metrics::SessionCounters;
 use aivc_mllm::{MllmChat, MllmScratch, Question};
 use aivc_netsim::emulator::Direction;
 use aivc_netsim::link::LinkCounters;
@@ -42,6 +43,7 @@ use aivc_sim::{Actor, SimDuration, SimTime, Simulation};
 use aivc_videocodec::{
     DecodeScratch, DecodedFrame, Decoder, EncodeScratch, EncodedFrame, Encoder, Qp, QpMap,
 };
+use std::sync::Arc;
 
 /// Events of the networked turn's discrete-event loop. Frame indices are *global* across
 /// the owning timeline (a conversation numbers its frames continuously; a single-turn
@@ -339,12 +341,32 @@ pub(crate) struct Transport {
     turn_frames_shed: u64,
     turn_captures_suppressed: u64,
     turn_probes_sent: u64,
+    // --- always-on serving metrics ---
+    /// The session's always-on counters. Shared by `Arc`: the owning session keeps a
+    /// handle too, so counters survive transport rebuilds (a `NetworkedChatSession`
+    /// builds a fresh transport every turn). Note `Transport: Clone` clones the *handle*
+    /// — a cloned transport keeps ticking the same counters, which is what the
+    /// lane-sharded server wants and what ad-hoc copies must not forget.
+    metrics: Arc<SessionCounters>,
+    /// `nack_gen.nacks_suppressed()` at the last report — per-turn commit delta.
+    nacks_suppressed_reported: u64,
 }
 
 impl Transport {
     /// A fresh transport on `options.path`, with the pacer tuned to the congestion
-    /// controller's current estimate (exactly how a turn begins).
+    /// controller's current estimate (exactly how a turn begins). Owns a fresh counter
+    /// set; sessions that rebuild their transport per turn pass a persistent handle via
+    /// [`Transport::with_metrics`] instead.
     pub(crate) fn new(options: &NetSessionOptions, initial_estimate_bps: f64) -> Self {
+        Self::with_metrics(options, initial_estimate_bps, Arc::new(SessionCounters::new()))
+    }
+
+    /// Like [`Transport::new`], but ticking the caller-owned `metrics` counters.
+    pub(crate) fn with_metrics(
+        options: &NetSessionOptions,
+        initial_estimate_bps: f64,
+        metrics: Arc<SessionCounters>,
+    ) -> Self {
         Self {
             emulator: NetworkEmulator::new(options.path.clone(), options.seed),
             packetizer: Packetizer::default(),
@@ -384,7 +406,14 @@ impl Transport {
             turn_frames_shed: 0,
             turn_captures_suppressed: 0,
             turn_probes_sent: 0,
+            metrics,
+            nacks_suppressed_reported: 0,
         }
+    }
+
+    /// A handle to the session's always-on counters (snapshot off the hot path).
+    pub(crate) fn metrics_handle(&self) -> Arc<SessionCounters> {
+        Arc::clone(&self.metrics)
     }
 
     /// Number of frames handed to this transport so far (= the next global frame id).
@@ -497,6 +526,17 @@ impl TurnWindow {
     fn capture_ts_us(&self, global: usize) -> u64 {
         self.start_us + (global - self.base) as u64 * self.frame_interval_us
     }
+
+    /// A dummy window for think-time drains: no captures are pending, so only `base`
+    /// anchors bookkeeping (mirrors [`drain_gap`]'s internal construction — external
+    /// drivers like the lane-sharded server need the same shape).
+    pub(crate) fn drain_at(base: usize, start: SimTime) -> Self {
+        Self {
+            base,
+            start_us: start.as_micros(),
+            frame_interval_us: 1,
+        }
+    }
 }
 
 /// The actor: borrows the compute and transport halves for one drain and handles the
@@ -569,7 +609,9 @@ impl TurnMachine<'_> {
                 t.turn_target_sum += target_bps;
                 t.turn_target_min = t.turn_target_min.min(target_bps);
                 t.turn_target_max = t.turn_target_max.max(target_bps);
-                t.pacer.set_rate(target_bps * 2.5, now);
+                if t.pacer.set_rate(target_bps * 2.5, now) {
+                    t.metrics.pacer_rate_clamps.inc();
+                }
 
                 let local = i - self.window.base;
                 debug_assert_eq!(
@@ -604,6 +646,7 @@ impl TurnMachine<'_> {
                     let probe = Packet::new(t.next_net_packet_id, deg.probe_packet_bytes, now).with_flow(0);
                     t.next_net_packet_id += 1;
                     t.turn_probes_sent += 1;
+                    t.metrics.packets_sent.inc();
                     let outcome = self.port.send(&mut t.emulator, &probe, now);
                     match outcome.arrival() {
                         Some(arrival) => t.cc_pending.push((
@@ -679,8 +722,10 @@ impl TurnMachine<'_> {
                 t.media_first_seq.push(t.media[0].header.sequence);
                 t.media_group_size.push(group_size);
                 for (pi, p) in t.media.iter().enumerate() {
-                    t.seq_to_media.insert(p.header.sequence, (i, pi));
-                    t.rtx.remember(p);
+                    if !t.seq_to_media.insert(p.header.sequence, (i, pi)) {
+                        t.metrics.late_seq_drops.inc();
+                    }
+                    let _ = t.rtx.remember(p);
                     let when = t.pacer.schedule_send(p.wire_size(), now);
                     sink.schedule_net(when, NetEvent::SendUplink(*p));
                 }
@@ -690,6 +735,7 @@ impl TurnMachine<'_> {
                 }
             }
             NetEvent::SendUplink(packet) => {
+                t.metrics.packets_sent.inc();
                 let frame_idx = packet.header.frame_id as usize;
                 if let Some(entry) = t.live_slot(frame_idx).map(|s| &mut t.progress[s]) {
                     if entry.send_start.is_none() && packet.header.kind == PayloadKind::Media {
@@ -748,7 +794,12 @@ impl TurnMachine<'_> {
                 }
             }
             NetEvent::UplinkArrival(packet) => {
+                let late_before = t.nack_gen.late_drops();
                 t.nack_gen.on_packet(packet.header.sequence, now);
+                let late_now = t.nack_gen.late_drops();
+                if late_now > late_before {
+                    t.metrics.late_seq_drops.add(late_now - late_before);
+                }
                 let frame_idx = packet.header.frame_id as usize;
                 if frame_idx >= t.retired_below {
                     // A group becomes XOR-recoverable when its *last-but-one* packet shows
@@ -761,8 +812,7 @@ impl TurnMachine<'_> {
                             // FEC bookkeeping keys off the group size the frame was
                             // *encoded* under (stored per frame), not the encoder's
                             // current size — adaptive FEC may have re-sized since.
-                            if let Some((fi, media_idx)) =
-                                t.seq_to_media.get(packet.header.sequence).copied()
+                            if let Some((fi, media_idx)) = t.seq_to_media.get(packet.header.sequence).copied()
                             {
                                 let group_size = t.live_slot(fi).map_or(0, |s| t.media_group_size[s]);
                                 if let Some(group) = group_of_index(group_size, media_idx) {
@@ -846,7 +896,9 @@ impl TurnMachine<'_> {
                     let packetizer = &mut t.packetizer;
                     for p in t.rtx.retransmit(&[old_seq], || packetizer.allocate_sequence()) {
                         if let Some(mapping) = t.seq_to_media.get(old_seq).copied() {
-                            t.seq_to_media.insert(p.header.sequence, mapping);
+                            if !t.seq_to_media.insert(p.header.sequence, mapping) {
+                                t.metrics.late_seq_drops.inc();
+                            }
                         }
                         let when = t.pacer.schedule_send(p.wire_size(), now);
                         sink.schedule_net(when, NetEvent::SendUplink(p));
@@ -1061,6 +1113,35 @@ pub(crate) fn conclude_turn_window(
         .iter()
         .map(|f| f.size_bytes * 8)
         .sum();
+    let fec_recovered_frames = transport.progress[base_slot..]
+        .iter()
+        .filter(|p| p.fec_recovered)
+        .count() as u64;
+
+    // --- Commit the turn to the always-on counters, from the *same values the report
+    // carries* — this is what makes the fleet rollup reconcile exactly against
+    // per-session report sums at any pool size. Event-site commits would not: losses in
+    // a think gap bump per-turn counters that `begin_turn` resets before any report
+    // reads them. One batch of relaxed adds per turn, off the per-packet path.
+    {
+        let m = &transport.metrics;
+        m.frames_sent.add(frame_count as u64);
+        m.frames_delivered.add(frames_delivered as u64);
+        m.fec_recovered_frames.add(fec_recovered_frames);
+        m.packets_lost.add(transport.turn_packets_lost);
+        m.retransmissions_sent.add(transport.turn_retransmissions_sent);
+        m.frames_shed.add(transport.turn_frames_shed);
+        m.captures_suppressed.add(transport.turn_captures_suppressed);
+        m.watchdog_fallbacks.add(resilience.watchdog_fallbacks);
+        let nacks_suppressed_now = transport.nack_gen.nacks_suppressed();
+        m.nacks_suppressed
+            .add(nacks_suppressed_now - transport.nacks_suppressed_reported);
+        transport.nacks_suppressed_reported = nacks_suppressed_now;
+        if decoded_count == 0 {
+            // Nothing decoded by the answer deadline: the turn's answer shipped blind.
+            m.deadline_missed.inc();
+        }
+    }
     NetTurnReport {
         answer,
         frames_sent: frame_count,
@@ -1072,10 +1153,7 @@ pub(crate) fn conclude_turn_window(
         p50_frame_latency_ms: transport.latency_scratch.percentile_ms(0.5),
         p95_frame_latency_ms: transport.latency_scratch.p95_ms(),
         packets_lost: transport.turn_packets_lost,
-        fec_recovered_frames: transport.progress[base_slot..]
-            .iter()
-            .filter(|p| p.fec_recovered)
-            .count() as u64,
+        fec_recovered_frames,
         retransmissions_sent: transport.turn_retransmissions_sent,
         final_estimate_bps: gcc.estimate_bps(),
         resilience,

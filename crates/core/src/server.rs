@@ -22,12 +22,14 @@
 
 use crate::conversation::{Conversation, ConversationReport};
 use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport, NetworkedChatSession};
+use crate::net_turn::{NetEvent, NetEventSink, TurnPlan};
 use crate::session::{ChatSession, PipelineTurnReport};
+use aivc_metrics::SessionSnapshot;
 use aivc_mllm::{Answer, Question};
 use aivc_netsim::LinkCounters;
 use aivc_par::MiniPool;
 use aivc_scene::Frame;
-use aivc_sim::SimDuration;
+use aivc_sim::{Actor, SimDuration, SimTime, Simulation};
 
 /// A session type a server can pool: one long-lived object per user whose turn produces a
 /// plain-value report carrying the MLLM's [`Answer`]. Both server variants share the
@@ -63,22 +65,6 @@ impl TurnSession for ChatSession {
 }
 
 impl TurnSession for NetworkedChatSession {
-    type Report = NetTurnReport;
-
-    fn placeholder_report() -> NetTurnReport {
-        NetTurnReport::placeholder()
-    }
-
-    fn turn_report(&mut self, frames: &[Frame], question: &Question) -> NetTurnReport {
-        self.run_turn(frames, question)
-    }
-
-    fn answer(report: &NetTurnReport) -> &Answer {
-        &report.answer
-    }
-}
-
-impl TurnSession for Conversation {
     type Report = NetTurnReport;
 
     fn placeholder_report() -> NetTurnReport {
@@ -318,19 +304,173 @@ impl NetworkedChatServer {
     }
 }
 
+/// One conversation pinned to a lane shard: the long-lived session plus the in-place
+/// report of its latest turn.
+#[derive(Debug)]
+struct ConversationSlot {
+    session: Conversation,
+    report: NetTurnReport,
+}
+
+/// An event on a shard's kernel: a member conversation's transport event, tagged with the
+/// member's position in the shard (the dslab actor-tagging pattern, same as the
+/// multi-tenant contention engine's `MtEvent::Net`).
+#[derive(Debug)]
+struct LaneEvent {
+    member: u32,
+    inner: NetEvent,
+}
+
+/// Tags a member's [`NetEvent`]s on their way into the shard kernel.
+struct LaneSink<'a> {
+    member: u32,
+    sim: &'a mut Simulation<LaneEvent>,
+}
+
+impl NetEventSink for LaneSink<'_> {
+    fn schedule_net(&mut self, when: SimTime, event: NetEvent) {
+        self.sim.schedule_at(
+            when,
+            LaneEvent {
+                member: self.member,
+                inner: event,
+            },
+        );
+    }
+}
+
+/// The per-event dispatcher over a shard's members. During a turn drain every member has
+/// a plan (its live window geometry); during a think drain `plans` is empty and events
+/// are deliveries/polls/feedback only.
+struct ShardActor<'a> {
+    members: &'a mut [ConversationSlot],
+    plans: &'a [TurnPlan],
+    frames: &'a [Frame],
+}
+
+impl Actor for ShardActor<'_> {
+    type Event = LaneEvent;
+
+    fn on_event(&mut self, now: SimTime, event: LaneEvent, sim: &mut Simulation<LaneEvent>) {
+        let m = event.member as usize;
+        let live = self.plans.get(m).map(|plan| (self.frames, plan.window));
+        self.members[m].session.handle_net(
+            now,
+            event.inner,
+            live,
+            &mut LaneSink {
+                member: event.member,
+                sim,
+            },
+        );
+    }
+}
+
+/// One lane's shard: **one** `aivc-sim` kernel shared by every conversation pinned to the
+/// lane, instead of one kernel per conversation. Sessions on a shard are mutually
+/// independent — their events are member-tagged and never interact — so sharing the
+/// event queue changes *which heap* an event pops from, never what any session computes:
+/// restricted to one member, the (time, insertion-order) pop order on the shared kernel
+/// is exactly the pop order on a private one. That is the induction behind the
+/// bit-identical-for-any-pool-size contract, and it requires the uniform turn geometry
+/// [`ConversationChatServer::with_sessions`] asserts (same think gap, capture fps and
+/// drain window, so every member's phase boundaries coincide).
+#[derive(Debug)]
+struct ConversationShard {
+    sim: Simulation<LaneEvent>,
+    members: Vec<ConversationSlot>,
+    /// Reusable per-turn plan buffer (capacity retained across turns).
+    plans: Vec<TurnPlan>,
+}
+
+impl ConversationShard {
+    fn new() -> Self {
+        Self {
+            sim: Simulation::new(),
+            members: Vec::new(),
+            plans: Vec::new(),
+        }
+    }
+
+    /// Advances every member by one turn on the shared kernel: think-drain, open every
+    /// member's window, drain to the common horizon, conclude in member order.
+    fn run_turn(&mut self, frames: &[Frame], question: &Question) {
+        if self.members.is_empty() {
+            return;
+        }
+        // Think gap (uniform across members, asserted at construction): in-flight
+        // packets arrive, polls fire, retransmissions flow — no captures pending.
+        let think = self.members[0].session.think_gap();
+        if self.members[0].session.turn_count() > 0 && think > SimDuration::ZERO {
+            let horizon = self.sim.now() + think;
+            let mut actor = ShardActor {
+                members: &mut self.members,
+                plans: &[],
+                frames: &[],
+            };
+            self.sim.run_until(horizon, &mut actor);
+        }
+        // Open every member's turn window at the common start time.
+        let now = self.sim.now();
+        self.plans.clear();
+        for (m, slot) in self.members.iter_mut().enumerate() {
+            let plan = slot.session.begin_turn_on(
+                now,
+                &mut LaneSink {
+                    member: m as u32,
+                    sim: &mut self.sim,
+                },
+                frames.len(),
+                question,
+            );
+            self.plans.push(plan);
+        }
+        // Uniform geometry ⇒ one shared answer deadline.
+        let horizon = self.plans[0].horizon;
+        debug_assert!(
+            self.plans.iter().all(|p| p.horizon == horizon),
+            "lane members must share the turn horizon"
+        );
+        let mut actor = ShardActor {
+            members: &mut self.members,
+            plans: &self.plans,
+            frames,
+        };
+        self.sim.run_until(horizon, &mut actor);
+        // Conclude in member order (pure per-member state reads — order-independent).
+        for (m, slot) in self.members.iter_mut().enumerate() {
+            let report = slot
+                .session
+                .conclude_turn_on(&self.plans[m], frames.len(), question);
+            slot.report.clone_from(report);
+        }
+    }
+}
+
 /// The conversational counterpart of [`NetworkedChatServer`]: N independent long-lived
-/// [`Conversation`]s — each with its own persistent transport timeline, congestion
-/// controller, in-flight packet set and think-time rhythm — executing turns across a
-/// [`MiniPool`] with the same static session→lane mapping.
+/// [`Conversation`]s — each with its own persistent transport, congestion controller,
+/// in-flight packet set and think-time rhythm — executing turns across a [`MiniPool`]
+/// with the same static session→lane mapping.
 ///
-/// Each call to [`ConversationChatServer::run_turns`] advances *every* conversation by one
-/// turn on its own timeline (turn `k + 1` starts where turn `k`'s deadline left the clock,
-/// plus the per-session think gap). A conversation's turn touches only the session's own
-/// state, so, exactly as for the other servers, **results are bit-identical for any pool
-/// size** and deterministic across runs.
+/// Unlike the other servers, conversations here do **not** each own a private event
+/// kernel: every lane runs *one* shared `aivc-sim` kernel ([`ConversationShard`]) that
+/// multiplexes all of its pinned sessions' events — tens of thousands of sessions cost
+/// lane-many kernels, not session-many. Session `i` is pinned to lane `i % lanes` (as
+/// everywhere else) and sits at shard position `i / lanes`, so reports merge back into
+/// global session order deterministically.
+///
+/// Each call to [`ConversationChatServer::run_turns`] advances *every* conversation by
+/// one turn on its timeline (turn `k + 1` starts where turn `k`'s deadline left the
+/// clock, plus the common think gap). Member events are tagged and never interact, so
+/// **results are bit-identical for any pool size** and deterministic across runs —
+/// property-tested at pool sizes 1/2/8.
 #[derive(Debug)]
 pub struct ConversationChatServer {
-    inner: SessionPool<Conversation>,
+    pool: MiniPool,
+    shards: Vec<ConversationShard>,
+    /// Per-lane scratch handed to the pool — the shards own all real state.
+    lane_units: Vec<()>,
+    sessions: usize,
 }
 
 impl ConversationChatServer {
@@ -356,63 +496,152 @@ impl ConversationChatServer {
     }
 
     /// Creates a server from explicit conversations and a pool.
+    ///
+    /// # Panics
+    ///
+    /// The lane-sharded kernels require every conversation to be fresh (no turns run, the
+    /// clock at zero) and the fleet's turn geometry to be uniform — same think gap,
+    /// capture fps and drain window — so that all members of a shard share their phase
+    /// boundaries. Mixed-geometry fleets would interleave correctly but lose the
+    /// bit-identity contract, so they are rejected loudly instead.
     pub fn with_sessions(pool: MiniPool, sessions: Vec<Conversation>) -> Self {
+        if let Some(first) = sessions.first() {
+            for (i, s) in sessions.iter().enumerate() {
+                assert!(
+                    s.turn_count() == 0 && s.now() == SimTime::ZERO,
+                    "conversation {i} has already run: lane shards need fresh timelines"
+                );
+                assert!(
+                    s.think_gap() == first.think_gap()
+                        && s.options().capture_fps == first.options().capture_fps
+                        && s.options().drain_secs == first.options().drain_secs,
+                    "conversation {i} differs in turn geometry (think gap / fps / drain): \
+                     lane shards need a uniform fleet"
+                );
+            }
+        }
+        let lanes = pool.lanes();
+        let mut shards: Vec<ConversationShard> = (0..lanes).map(|_| ConversationShard::new()).collect();
+        let sessions_count = sessions.len();
+        for (i, session) in sessions.into_iter().enumerate() {
+            shards[i % lanes].members.push(ConversationSlot {
+                session,
+                report: NetTurnReport::placeholder(),
+            });
+        }
         Self {
-            inner: SessionPool::with_sessions(pool, sessions),
+            lane_units: vec![(); lanes],
+            pool,
+            shards,
+            sessions: sessions_count,
         }
     }
 
-    /// Number of pool lanes turns are spread across.
+    /// Number of pool lanes turns are spread across (= lane shards / kernels).
     pub fn pool_size(&self) -> usize {
-        self.inner.pool.lanes()
+        self.pool.lanes()
     }
 
     /// Number of conversations the server owns.
     pub fn session_count(&self) -> usize {
-        self.inner.slots.len()
+        self.sessions
     }
 
-    /// Advances every conversation by one turn (session `i` on lane `i % lanes`).
-    /// Per-session results are bit-identical to calling [`Conversation::run_turn`]
-    /// directly, for any pool size.
+    /// The slot of global session `index` (lane `index % lanes`, position
+    /// `index / lanes` — the static pinning, inverted).
+    fn slot(&self, index: usize) -> &ConversationSlot {
+        let lanes = self.pool.lanes();
+        &self.shards[index % lanes].members[index / lanes]
+    }
+
+    fn slots(&self) -> impl Iterator<Item = &ConversationSlot> {
+        (0..self.sessions).map(|i| self.slot(i))
+    }
+
+    /// Advances every conversation by one turn — each lane's kernel drains all of its
+    /// pinned sessions' events in one merged chronological pass. Per-session results are
+    /// bit-identical to calling [`Conversation::run_turn`] directly, for any pool size.
     pub fn run_turns(&mut self, frames: &[Frame], question: &Question) {
-        self.inner.run_turns(frames, question);
+        if self.sessions == 0 {
+            return;
+        }
+        let chunks = self.shards.len();
+        self.pool
+            .for_each_chunk(&mut self.shards, chunks, &mut self.lane_units, |_, shards, ()| {
+                for shard in shards {
+                    shard.run_turn(frames, question);
+                }
+            });
+    }
+
+    /// Pre-grows every conversation's history vectors (see
+    /// [`Conversation::reserve_turns`]) so warmed steady-state turns never reallocate.
+    pub fn reserve_turns(&mut self, additional_turns: usize, frames_per_turn: usize) {
+        for shard in &mut self.shards {
+            shard.plans.reserve(shard.members.len());
+            for slot in &mut shard.members {
+                slot.session.reserve_turns(additional_turns, frames_per_turn);
+            }
+        }
     }
 
     /// The latest per-turn report of every conversation, in session order.
     pub fn reports(&self) -> impl Iterator<Item = &NetTurnReport> {
-        self.inner.reports()
+        self.slots().map(|slot| &slot.report)
     }
 
     /// The latest per-turn report of conversation `index`.
     pub fn report(&self, index: usize) -> &NetTurnReport {
-        &self.inner.slots[index].report
+        &self.slot(index).report
     }
 
     /// The full cross-turn report of conversation `index`.
     pub fn conversation_report(&self, index: usize) -> ConversationReport {
-        self.inner.slots[index].session.report()
+        self.slot(index).session.report()
+    }
+
+    /// A point-in-time reading of conversation `index`'s always-on counters.
+    pub fn metrics_snapshot(&self, index: usize) -> SessionSnapshot {
+        self.slot(index).session.metrics_snapshot()
+    }
+
+    /// The whole fleet's always-on counters, summed across sessions. Relaxed-atomic
+    /// reads plus plain adds — entirely off the turn hot path.
+    pub fn fleet_metrics(&self) -> SessionSnapshot {
+        let mut total = SessionSnapshot::default();
+        for slot in self.slots() {
+            total.accumulate(&slot.session.metrics_snapshot());
+        }
+        total
     }
 
     /// Fraction of the latest turn's answers that were correct.
     pub fn correct_fraction(&self) -> f64 {
-        self.inner.correct_fraction()
+        if self.sessions == 0 {
+            return 0.0;
+        }
+        self.reports().filter(|r| r.answer.correct).count() as f64 / self.sessions as f64
     }
 
     /// Mean model-assigned probability of a correct answer across conversations.
     pub fn mean_probability_correct(&self) -> f64 {
-        self.inner.mean_probability_correct()
+        if self.sessions == 0 {
+            return 0.0;
+        }
+        self.reports().map(|r| r.answer.probability_correct).sum::<f64>() / self.sessions as f64
     }
 
     /// One fleet-level serving snapshot: session and turn counts, every conversation's
-    /// uplink [`LinkCounters`] summed, the fault telemetry rolled up across sessions and
-    /// the latest turn's answer quality. Assembled from per-session snapshots the
-    /// transports already keep — the turn hot path pays nothing for it.
+    /// uplink [`LinkCounters`] summed, the fault telemetry rolled up across sessions, the
+    /// always-on counter rollup and the latest turn's answer quality. Assembled from
+    /// per-session snapshots the transports already keep — the turn hot path pays
+    /// nothing for it.
     pub fn serving_report(&self) -> ServingReport {
         let mut uplink = LinkCounters::default();
         let mut resilience = FaultTelemetry::default();
+        let mut counters = SessionSnapshot::default();
         let mut turns_completed = 0;
-        for slot in &self.inner.slots {
+        for slot in self.slots() {
             let session = &slot.session;
             turns_completed += session.turn_count();
             let c = session.link_counters();
@@ -425,12 +654,14 @@ impl ConversationChatServer {
             uplink.reordered += c.reordered;
             uplink.outage_drops += c.outage_drops;
             resilience.absorb(&session.fault_telemetry());
+            counters.accumulate(&session.metrics_snapshot());
         }
         ServingReport {
             sessions: self.session_count(),
             turns_completed,
             uplink,
             resilience,
+            counters,
             correct_fraction: self.correct_fraction(),
         }
     }
@@ -448,8 +679,35 @@ pub struct ServingReport {
     pub uplink: LinkCounters,
     /// Fault telemetry rolled up across conversations (first finite recovery wins).
     pub resilience: FaultTelemetry,
+    /// Always-on counter rollup: every session's [`SessionSnapshot`] summed.
+    pub counters: SessionSnapshot,
     /// Fraction of the latest turn's answers that were correct.
     pub correct_fraction: f64,
+}
+
+impl ServingReport {
+    /// Percentage of the latest turn's answers that were correct, or `None` on an empty
+    /// fleet / before any turn ran — a 0-session server has no answer quality, and
+    /// rendering it as `0%` (or `NaN%`) would misreport "no data" as "all wrong".
+    pub fn percent_correct(&self) -> Option<f64> {
+        (self.turns_completed > 0).then_some(self.correct_fraction * 100.0)
+    }
+
+    /// Mean uplink packets lost per completed turn, or `None` before any turn ran.
+    pub fn packets_lost_per_turn(&self) -> Option<f64> {
+        (self.turns_completed > 0).then(|| self.counters.packets_lost as f64 / self.turns_completed as f64)
+    }
+
+    /// Mean retransmissions per completed turn, or `None` before any turn ran.
+    pub fn retransmissions_per_turn(&self) -> Option<f64> {
+        (self.turns_completed > 0)
+            .then(|| self.counters.retransmissions_sent as f64 / self.turns_completed as f64)
+    }
+
+    /// Mean turns completed per session, or `None` on an empty fleet.
+    pub fn turns_per_session(&self) -> Option<f64> {
+        (self.sessions > 0).then(|| self.turns_completed as f64 / self.sessions as f64)
+    }
 }
 
 impl std::fmt::Display for ServingReport {
@@ -457,7 +715,7 @@ impl std::fmt::Display for ServingReport {
         write!(
             f,
             "serving {} sessions | {} turns | uplink {}/{} pkts ({} B, {} queue-drop, {} lost, {} outage-drop) | \
-             {} fallbacks, {} shed, ttr {} | {:.0}% correct",
+             {} fallbacks, {} shed, ttr {} | {} correct",
             self.sessions,
             self.turns_completed,
             self.uplink.delivered,
@@ -472,7 +730,11 @@ impl std::fmt::Display for ServingReport {
                 Some(ms) => format!("{ms:.0} ms"),
                 None => "-".to_string(),
             },
-            self.correct_fraction * 100.0,
+            // An empty fleet renders "-%" instead of a number: see `percent_correct`.
+            match self.percent_correct() {
+                Some(pct) => format!("{pct:.0}%"),
+                None => "-%".to_string(),
+            },
         )
     }
 }
@@ -665,5 +927,72 @@ mod tests {
         assert_eq!(server.correct_fraction(), 0.0);
         assert_eq!(server.mean_probability_correct(), 0.0);
         assert_eq!(server.reports().count(), 0);
+    }
+
+    /// The always-on counter rollup reconciles *exactly* with per-session report sums —
+    /// at every pool size. Turn-committed counters are batch-added at turn conclusion
+    /// from the same numbers the `NetTurnReport` carries, so any drift here means an
+    /// event site double-counts or a commit was skipped.
+    #[test]
+    fn fleet_metrics_reconcile_with_report_sums_at_any_pool_size() {
+        let q = question();
+        for pool_size in [1usize, 2, 8] {
+            let mut server =
+                ConversationChatServer::new(pool_size, 5, net_template(60), SimDuration::from_millis(350));
+            for t in 0..3 {
+                server.run_turns(&turn_window(t), &q);
+            }
+            let mut fleet = SessionSnapshot::default();
+            for i in 0..5 {
+                let snap = server.metrics_snapshot(i);
+                let report = server.conversation_report(i);
+                let sum = |f: fn(&NetTurnReport) -> u64| report.turns.iter().map(f).sum::<u64>();
+                assert_eq!(
+                    snap.frames_sent,
+                    sum(|t| t.frames_sent as u64),
+                    "pool {pool_size} session {i}"
+                );
+                assert_eq!(snap.frames_delivered, sum(|t| t.frames_delivered as u64));
+                assert_eq!(snap.fec_recovered_frames, sum(|t| t.fec_recovered_frames));
+                assert_eq!(snap.packets_lost, sum(|t| t.packets_lost));
+                assert_eq!(snap.retransmissions_sent, sum(|t| t.retransmissions_sent));
+                assert_eq!(snap.frames_shed, report.resilience.frames_shed);
+                assert_eq!(snap.captures_suppressed, report.resilience.captures_suppressed);
+                assert_eq!(snap.watchdog_fallbacks, report.resilience.watchdog_fallbacks);
+                fleet.accumulate(&snap);
+            }
+            assert_eq!(server.fleet_metrics(), fleet, "pool {pool_size}");
+            assert_eq!(server.serving_report().counters, fleet, "pool {pool_size}");
+        }
+    }
+
+    /// An empty fleet (or one that has not run a turn) has *no* answer quality: the
+    /// report must say "no data", not render `NaN%` or claim `0%` correct.
+    #[test]
+    fn empty_fleet_serving_report_renders_without_dividing_by_zero() {
+        let server = ConversationChatServer::new(2, 0, net_template(1), SimDuration::from_millis(100));
+        let report = server.serving_report();
+        assert_eq!(report.sessions, 0);
+        assert_eq!(report.turns_completed, 0);
+        assert_eq!(report.percent_correct(), None);
+        assert_eq!(report.packets_lost_per_turn(), None);
+        assert_eq!(report.retransmissions_per_turn(), None);
+        assert_eq!(report.turns_per_session(), None);
+        let line = report.to_string();
+        assert!(line.contains("serving 0 sessions"), "{line}");
+        assert!(line.contains("-% correct"), "{line}");
+        assert!(!line.contains("NaN"), "{line}");
+    }
+
+    /// Mixed-geometry fleets would silently break the shared-kernel bit-identity
+    /// contract, so construction rejects them loudly.
+    #[test]
+    #[should_panic(expected = "uniform fleet")]
+    fn sharded_server_rejects_mixed_turn_geometry() {
+        let a = Conversation::with_defaults(net_template(5), SimDuration::from_millis(100));
+        let mut other = net_template(6);
+        other.capture_fps = 12.0;
+        let b = Conversation::with_defaults(other, SimDuration::from_millis(100));
+        let _ = ConversationChatServer::with_sessions(MiniPool::new(2), vec![a, b]);
     }
 }

@@ -60,6 +60,14 @@ pub struct NackGenerator {
     /// used to decide whether a request can still beat the deadline.
     recovery_estimate: SimDuration,
     nacks_suppressed: u64,
+    /// Arrivals whose sequence fell below the retirement bound (a retransmission or
+    /// straggler landing after its turn's frames were retired) — dropped, counted.
+    late_drops: u64,
+    /// Exact retirement bound from [`NackGenerator::forget_below`]. Tracked here because
+    /// the receive-history bitset retires whole 64-bit words, so its own base can trail
+    /// the requested bound by up to 63 sequences — a straggler in that trailing window
+    /// must still be dropped, not re-admitted as a fresh arrival.
+    retire_bound: u64,
 }
 
 impl NackGenerator {
@@ -74,6 +82,8 @@ impl NackGenerator {
             deadline: None,
             recovery_estimate: SimDuration::ZERO,
             nacks_suppressed: 0,
+            late_drops: 0,
+            retire_bound: 0,
         }
     }
 
@@ -97,9 +107,21 @@ impl NackGenerator {
         self.nacks_suppressed
     }
 
-    /// Records the arrival of a media/RTX/FEC packet, detecting new gaps.
+    /// Records the arrival of a media/RTX/FEC packet, detecting new gaps. An arrival
+    /// below the retirement bound ([`NackGenerator::forget_below`]) — a straggler or
+    /// retransmission whose turn already concluded — is dropped and counted, never
+    /// re-admitted to history (its RTX store entry is gone; re-detecting it as a gap or
+    /// underflowing the ring would both be bugs).
     pub fn on_packet(&mut self, sequence: u64, now: SimTime) {
-        self.received.insert(sequence);
+        if sequence < self.retire_bound {
+            self.late_drops += 1;
+            return;
+        }
+        if !self.received.insert(sequence) {
+            // Duplicate above the bound (original + retransmission both landed): already
+            // in history, nothing to drop or detect.
+            return;
+        }
         self.pending.remove(&sequence);
         match self.highest_seen {
             None => self.highest_seen = Some(sequence),
@@ -170,6 +192,7 @@ impl NackGenerator {
     /// retransmission store entry is purged at the same bound, so a NACK for it could
     /// never be answered).
     pub fn forget_below(&mut self, seq: u64) {
+        self.retire_bound = self.retire_bound.max(seq);
         self.received.forget_below(seq);
         self.pending = self.pending.split_off(&seq);
         if let Some(floor) = seq.checked_sub(1) {
@@ -185,6 +208,11 @@ impl NackGenerator {
     /// Total NACK requests emitted so far.
     pub fn nacks_sent(&self) -> u64 {
         self.nacks_sent
+    }
+
+    /// Arrivals dropped because their sequence was already retired.
+    pub fn late_drops(&self) -> u64 {
+        self.late_drops
     }
 }
 
@@ -203,9 +231,11 @@ impl RtxQueue {
         Self::default()
     }
 
-    /// Remembers a sent media packet so it can be retransmitted later.
-    pub fn remember(&mut self, packet: &RtpPacket) {
-        self.sent.insert(packet.header.sequence, *packet);
+    /// Remembers a sent media packet so it can be retransmitted later. Returns `false`
+    /// (without storing) when the sequence is already below the retirement bound — by
+    /// then a NACK for it can no longer be answered, so there is nothing to remember.
+    pub fn remember(&mut self, packet: &RtpPacket) -> bool {
+        self.sent.insert(packet.header.sequence, *packet)
     }
 
     /// Produces retransmission copies for the NACKed sequences, assigning fresh sequence
@@ -371,6 +401,44 @@ mod tests {
     }
 
     #[test]
+    fn retired_then_late_arrival_is_counted_not_panicking() {
+        let mut g = NackGenerator::new(NackConfig::default());
+        for seq in 0..=50u64 {
+            g.on_packet(seq, SimTime::from_millis(seq));
+        }
+        g.forget_below(40);
+        assert_eq!(g.late_drops(), 0);
+        // A straggler RTX for a retired sequence lands after the bound moved.
+        g.on_packet(10, SimTime::from_millis(60));
+        g.on_packet(39, SimTime::from_millis(61));
+        assert_eq!(g.late_drops(), 2);
+        // The drop leaves gap state untouched: no pending entries appear.
+        assert_eq!(g.pending_count(), 0);
+        // At-the-bound and above-the-bound arrivals are still admitted.
+        g.on_packet(40, SimTime::from_millis(62));
+        g.on_packet(51, SimTime::from_millis(63));
+        assert_eq!(g.late_drops(), 2);
+    }
+
+    #[test]
+    fn rtx_remember_rejects_retired_sequences() {
+        let mut packetizer = Packetizer::default();
+        let packets = packetizer.packetize(&OutgoingFrame {
+            frame_id: 1,
+            capture_ts_us: 0,
+            size_bytes: 4_000,
+            is_keyframe: false,
+        });
+        let mut rtx = RtxQueue::new();
+        for p in &packets {
+            assert!(rtx.remember(p));
+        }
+        rtx.forget_before(packets.last().unwrap().header.sequence + 1);
+        assert!(!rtx.remember(&packets[0]), "retired sequence must be rejected");
+        assert_eq!(rtx.stored(), 0);
+    }
+
+    #[test]
     fn rtx_queue_produces_copies_for_known_sequences() {
         let mut packetizer = Packetizer::default();
         let packets = packetizer.packetize(&OutgoingFrame {
@@ -381,7 +449,7 @@ mod tests {
         });
         let mut rtx = RtxQueue::new();
         for p in &packets {
-            rtx.remember(p);
+            assert!(rtx.remember(p));
         }
         let mut next = 1_000u64;
         let out = rtx.retransmit(&[1, 2, 999], || {
@@ -405,7 +473,7 @@ mod tests {
                 size_bytes: 2_000,
                 is_keyframe: false,
             }) {
-                rtx.remember(&p);
+                assert!(rtx.remember(&p));
             }
         }
         let before = rtx.stored();

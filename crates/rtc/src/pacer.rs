@@ -17,11 +17,22 @@ pub struct PacerConfig {
     pub burst_bytes: u64,
 }
 
+/// The documented pacing floor, in bits per second.
+///
+/// A congestion-controller watchdog decaying toward its minimum under a long outage can
+/// ask for a rate of (near-)zero — and `deficit * 8.0 / rate` with a zero or denormal
+/// rate yields an infinite or garbage departure time, wedging the sender forever. Every
+/// rate the pacer accepts ([`Pacer::new`], [`Pacer::set_rate`],
+/// [`PacerConfig::from_target_bitrate`]) is clamped to at least this floor; at 100 kbps
+/// an MTU packet departs in ~120 ms, slow enough to starve nothing and fast enough that
+/// recovery probes still flow.
+pub const MIN_PACING_RATE_BPS: f64 = 100_000.0;
+
 impl PacerConfig {
     /// WebRTC-style pacing at `multiplier` × the media target bitrate.
     pub fn from_target_bitrate(target_bps: f64, multiplier: f64) -> Self {
         Self {
-            pacing_rate_bps: (target_bps * multiplier).max(100_000.0),
+            pacing_rate_bps: (target_bps * multiplier).max(MIN_PACING_RATE_BPS),
             burst_bytes: 10_000,
         }
     }
@@ -44,8 +55,17 @@ pub struct Pacer {
 }
 
 impl Pacer {
-    /// Creates a pacer; the bucket starts full.
+    /// Creates a pacer; the bucket starts full. A finite configured rate below
+    /// [`MIN_PACING_RATE_BPS`] (or NaN) is clamped to the floor — a hand-built
+    /// [`PacerConfig`] must not be able to wedge `schedule_send` with a zero/denormal
+    /// divisor any more than [`Pacer::set_rate`] can.
     pub fn new(config: PacerConfig) -> Self {
+        let mut config = config;
+        // The negated `>=` is deliberate: it is false for NaN, so a NaN rate clamps too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(config.pacing_rate_bps >= MIN_PACING_RATE_BPS) {
+            config.pacing_rate_bps = MIN_PACING_RATE_BPS;
+        }
         Self {
             config,
             tokens_bytes: config.burst_bytes as f64,
@@ -66,7 +86,12 @@ impl Pacer {
     /// Token accrual up to `now` is settled at the *old* rate first, so idle time already
     /// elapsed is credited at the rate it was earned rather than retroactively at the new
     /// one (an upward rate step must not mint an unearned burst).
-    pub fn set_rate(&mut self, pacing_rate_bps: f64, now: SimTime) {
+    ///
+    /// Rates below [`MIN_PACING_RATE_BPS`] — including zero, denormals, and NaN, which a
+    /// watchdog-decayed congestion estimate can produce under a long outage — are clamped
+    /// to the floor; the return value reports whether the clamp engaged so callers can
+    /// count it.
+    pub fn set_rate(&mut self, pacing_rate_bps: f64, now: SimTime) -> bool {
         if !self.config.pacing_rate_bps.is_infinite() {
             let effective_now = now.max(self.last_refill);
             let elapsed = effective_now.saturating_since(self.last_refill).as_secs_f64();
@@ -74,7 +99,16 @@ impl Pacer {
                 .min(self.config.burst_bytes as f64);
             self.last_refill = effective_now;
         }
-        self.config.pacing_rate_bps = pacing_rate_bps.max(100_000.0);
+        // `>=` is false for NaN too, so a NaN rate lands on the floor rather than
+        // poisoning every subsequent departure time.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let clamped = !(pacing_rate_bps >= MIN_PACING_RATE_BPS);
+        self.config.pacing_rate_bps = if clamped {
+            MIN_PACING_RATE_BPS
+        } else {
+            pacing_rate_bps
+        };
+        clamped
     }
 
     /// Returns the earliest time at or after `now` at which a packet of `size_bytes` may be
@@ -175,12 +209,12 @@ mod tests {
         let committed = p.schedule_send(1_250, SimTime::ZERO);
         assert_eq!(committed.as_micros(), 10_000);
         // Raising the rate must not let a later packet depart before `committed`.
-        p.set_rate(100e6, SimTime::ZERO);
+        assert!(!p.set_rate(100e6, SimTime::ZERO));
         let next = p.schedule_send(1_250, SimTime::ZERO);
         assert!(next >= committed, "{next:?} vs {committed:?}");
         // And the floor matches `PacerConfig::from_target_bitrate`'s.
-        p.set_rate(1.0, SimTime::ZERO);
-        assert_eq!(p.config().pacing_rate_bps, 100_000.0);
+        assert!(p.set_rate(1.0, SimTime::ZERO));
+        assert_eq!(p.config().pacing_rate_bps, MIN_PACING_RATE_BPS);
     }
 
     #[test]
@@ -194,11 +228,57 @@ mod tests {
         // 80 ms of idle at 100 kbps earns exactly 1000 bytes. Switching to a 25 Mbps rate
         // at t=80ms must not retroactively credit the idle time at 25 Mbps (250 kB).
         let t = SimTime::from_millis(80);
-        p.set_rate(25e6, t);
+        assert!(!p.set_rate(25e6, t));
         // A 1000-byte packet rides the earned tokens...
         assert_eq!(p.schedule_send(1_000, t), t);
         // ...but the next packet must wait: the bucket was settled, not re-minted.
         assert!(p.schedule_send(1_000, t) > t);
+    }
+
+    #[test]
+    fn new_clamps_a_zero_or_denormal_configured_rate() {
+        for bad in [0.0, f64::MIN_POSITIVE, -1.0, f64::NAN] {
+            let mut p = Pacer::new(PacerConfig {
+                pacing_rate_bps: bad,
+                burst_bytes: 1_250,
+            });
+            assert_eq!(p.config().pacing_rate_bps, MIN_PACING_RATE_BPS, "rate {bad}");
+            let _ = p.schedule_send(1_250, SimTime::ZERO);
+            let t = p.schedule_send(1_250, SimTime::ZERO);
+            assert!(t.as_micros() < 1_000_000, "finite departure, got {t:?}");
+        }
+    }
+
+    #[test]
+    fn outage_decay_to_zero_rate_recovers() {
+        // A sender pacing normally hits a blackout: the watchdog decays the target to ~0
+        // and the controller calls set_rate with it. The pacer must clamp to the floor,
+        // keep departure times finite and monotone through the outage, and resume full
+        // speed when the estimate recovers.
+        let mut p = Pacer::new(PacerConfig {
+            pacing_rate_bps: 5e6,
+            burst_bytes: 2_500,
+        });
+        // Drain the burst at the blackout instant itself: idle time before the decay is
+        // credited at the old rate (by design), so draining earlier would let the bucket
+        // legitimately re-fill and mask the wait this test is about.
+        let _ = p.schedule_send(2_500, SimTime::from_millis(10));
+        for bad in [1e-3, 0.0, f64::MIN_POSITIVE, f64::NAN] {
+            assert!(p.set_rate(bad, SimTime::from_millis(10)), "rate {bad}");
+            assert_eq!(p.config().pacing_rate_bps, MIN_PACING_RATE_BPS);
+        }
+        // At the floor (100 kbps), a 1250-byte packet takes 100 ms of accrual.
+        let during = p.schedule_send(1_250, SimTime::from_millis(10));
+        assert!(during > SimTime::from_millis(10));
+        assert!(during <= SimTime::from_millis(120), "{during:?}");
+        // Recovery: the next rate update settles accrual at the floor (no phantom burst)
+        // and subsequent sends pace at the recovered rate.
+        assert!(!p.set_rate(5e6, during));
+        let a = p.schedule_send(1_250, during);
+        let b = p.schedule_send(1_250, a);
+        assert!(a >= during && b > a);
+        let spacing_us = b.as_micros() - a.as_micros();
+        assert!(spacing_us <= 2_000, "recovered spacing {spacing_us} µs");
     }
 
     #[test]

@@ -37,10 +37,14 @@ impl<T> SeqRing<T> {
     }
 
     /// Inserts (or replaces) the value for `seq`. Sequences below the retirement bound
-    /// are ignored — their frame's answer already shipped.
-    pub fn insert(&mut self, seq: u64, value: T) {
+    /// are rejected — their frame's answer already shipped — and the rejection is
+    /// reported (`false`) so callers can *count* the drop instead of silently eating a
+    /// late/reordered/RTX packet that raced `forget_below`. Never underflows, never
+    /// panics.
+    #[must_use = "a false return is a counted drop, not a success"]
+    pub fn insert(&mut self, seq: u64, value: T) -> bool {
         if seq < self.base {
-            return;
+            return false;
         }
         let idx = (seq - self.base) as usize;
         while self.slots.len() <= idx {
@@ -50,6 +54,7 @@ impl<T> SeqRing<T> {
             self.len += 1;
         }
         self.slots[idx] = Some(value);
+        true
     }
 
     /// The value stored for `seq`, if any.
@@ -120,16 +125,20 @@ impl SeqBitset {
         Self::default()
     }
 
-    /// Marks `seq` present. Sequences below the retirement bound are ignored.
-    pub fn insert(&mut self, seq: u64) {
+    /// Marks `seq` present. Sequences below the retirement bound are rejected and
+    /// reported (`false`), mirroring [`SeqRing::insert`], so receive paths can count
+    /// retired-then-late arrivals instead of underflowing on `seq - base`.
+    #[must_use = "a false return is a counted drop, not a success"]
+    pub fn insert(&mut self, seq: u64) -> bool {
         if seq < self.base {
-            return;
+            return false;
         }
         let word = ((seq - self.base) / 64) as usize;
         while self.words.len() <= word {
             self.words.push_back(0);
         }
         self.words[word] |= 1u64 << ((seq - self.base) % 64);
+        true
     }
 
     /// True when `seq` was inserted (and not retired since).
@@ -169,16 +178,16 @@ mod tests {
     #[test]
     fn ring_inserts_and_looks_up_across_gaps() {
         let mut ring: SeqRing<u32> = SeqRing::new();
-        ring.insert(0, 10);
-        ring.insert(5, 50);
-        ring.insert(2, 20);
+        assert!(ring.insert(0, 10));
+        assert!(ring.insert(5, 50));
+        assert!(ring.insert(2, 20));
         assert_eq!(ring.get(0), Some(&10));
         assert_eq!(ring.get(2), Some(&20));
         assert_eq!(ring.get(5), Some(&50));
         assert_eq!(ring.get(1), None);
         assert_eq!(ring.get(6), None);
         assert_eq!(ring.len(), 3);
-        ring.insert(5, 55); // replace does not double-count
+        assert!(ring.insert(5, 55)); // replace does not double-count
         assert_eq!(ring.get(5), Some(&55));
         assert_eq!(ring.len(), 3);
     }
@@ -187,18 +196,18 @@ mod tests {
     fn ring_forget_below_drops_the_prefix_and_rejects_reinsertion() {
         let mut ring: SeqRing<u32> = SeqRing::new();
         for seq in 0..10 {
-            ring.insert(seq, seq as u32);
+            assert!(ring.insert(seq, seq as u32));
         }
         ring.forget_below(7);
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.get(6), None);
         assert_eq!(ring.get(7), Some(&7));
-        ring.insert(3, 99); // below the bound: ignored
+        assert!(!ring.insert(3, 99)); // below the bound: rejected and reported
         assert_eq!(ring.get(3), None);
         // Bound can jump past the stored window entirely.
         ring.forget_below(100);
         assert!(ring.is_empty());
-        ring.insert(100, 1);
+        assert!(ring.insert(100, 1));
         assert_eq!(ring.get(100), Some(&1));
     }
 
@@ -206,7 +215,7 @@ mod tests {
     fn ring_retain_matches_map_retain_semantics() {
         let mut ring: SeqRing<u64> = SeqRing::new();
         for seq in 0..8 {
-            ring.insert(seq, seq * 10);
+            assert!(ring.insert(seq, seq * 10));
         }
         ring.retain(|seq, _| seq % 2 == 1);
         assert_eq!(ring.len(), 4);
@@ -220,14 +229,14 @@ mod tests {
         let mut ring: SeqRing<u64> = SeqRing::new();
         for turn in 0..4u64 {
             for seq in turn * 100..turn * 100 + 50 {
-                ring.insert(seq, seq);
+                assert!(ring.insert(seq, seq));
             }
             ring.forget_below((turn + 1) * 100);
         }
         let cap = ring.slots.capacity();
         for turn in 4..50u64 {
             for seq in turn * 100..turn * 100 + 50 {
-                ring.insert(seq, seq);
+                assert!(ring.insert(seq, seq));
             }
             ring.forget_below((turn + 1) * 100);
         }
@@ -238,19 +247,19 @@ mod tests {
     fn bitset_insert_contains_and_retire() {
         let mut set = SeqBitset::new();
         for seq in [0u64, 1, 63, 64, 65, 200] {
-            set.insert(seq);
+            assert!(set.insert(seq));
         }
         assert!(set.contains(0) && set.contains(63) && set.contains(64) && set.contains(200));
         assert!(!set.contains(2) && !set.contains(199));
         set.forget_below(65);
         assert!(!set.contains(0) && !set.contains(63) && !set.contains(64));
         assert!(set.contains(65) && set.contains(200));
-        set.insert(10); // below the bound: ignored
+        assert!(!set.insert(10)); // below the bound: rejected and reported
         assert!(!set.contains(10));
         // A bound far past the window empties it without losing alignment.
         set.forget_below(1_000);
         assert!(!set.contains(200));
-        set.insert(1_000);
+        assert!(set.insert(1_000));
         assert!(set.contains(1_000));
         assert!(!set.contains(999));
     }
@@ -259,7 +268,7 @@ mod tests {
     fn bitset_partial_word_bound_clears_only_the_low_bits() {
         let mut set = SeqBitset::new();
         for seq in 0..64u64 {
-            set.insert(seq);
+            assert!(set.insert(seq));
         }
         set.forget_below(10);
         for seq in 0..10u64 {

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Hot-path regression gate: re-measures every tracked hot path — including the `_par`
-# data-parallel entries and the `pipeline_throughput_{1,8,64}_sessions` multi-session
+# data-parallel entries and the `pipeline_throughput_{1,8,64,1024}_sessions` multi-session
 # entries — and fails if any median regressed more than the tolerance versus the committed
 # BENCH_hotpaths.json. Parallel/throughput entries are re-measured at the committed file's
 # recorded `pool_lanes` (override with AIVC_POOL_SIZE) so comparisons are lane-for-lane.

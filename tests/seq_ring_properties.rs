@@ -1,0 +1,187 @@
+//! Property tests of the sequence-ring stores against tree-map reference models.
+//!
+//! [`SeqRing`] and [`SeqBitset`] replaced `BTreeMap`/`BTreeSet` on the transport hot
+//! path (PR 8); their contract is "observably identical, minus the allocations". These
+//! properties drive arbitrary interleavings of `insert` / `forget_below` / `retain` —
+//! including below-the-bound inserts, bounds that leapfrog the stored window, and
+//! all-entries-retired states — and require that nothing panics, membership always
+//! matches the reference, and below-bound inserts are rejected exactly when the model
+//! says the retirement bound has passed them.
+
+use aivchat::rtc::{SeqBitset, SeqRing};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Deterministic per-case stream: xorshift64*, seeded from the proptest case.
+struct Xs(u64);
+
+impl Xs {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Reference model of [`SeqRing`]: a `BTreeMap` plus the exact base/occupied-window
+/// bookkeeping the ring's `forget_below`/`retain` prefix-popping implies.
+#[derive(Default)]
+struct RingModel {
+    base: u64,
+    /// Exclusive end of the occupied slot region (`base + slots.len()` in the ring).
+    high: u64,
+    map: BTreeMap<u64, u32>,
+}
+
+impl RingModel {
+    fn insert(&mut self, seq: u64, value: u32) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        self.high = self.high.max(seq + 1);
+        self.map.insert(seq, value);
+        true
+    }
+
+    fn forget_below(&mut self, seq: u64) {
+        // The ring pops one slot per step until the bound; once slots run out it jumps
+        // the base straight to the bound.
+        self.base = self.base.max(seq.min(self.high.max(seq)));
+        if seq > self.high {
+            self.base = seq;
+        }
+        self.high = self.high.max(self.base);
+        self.map.retain(|&k, _| k >= self.base);
+    }
+
+    fn retain(&mut self, keep: impl Fn(u64, u32) -> bool) {
+        self.map.retain(|&k, &mut v| keep(k, v));
+        // The ring then pops the now-empty prefix: base lands on the smallest survivor,
+        // or on the end of the occupied region when nothing survived.
+        self.base = self.map.keys().next().copied().unwrap_or(self.high);
+    }
+}
+
+/// Reference model of [`SeqBitset`]: a `BTreeSet` plus the word-aligned base the
+/// bitset's 64-bit-word storage implies (inserts are rejected below the *aligned* base,
+/// while membership is cleared below the exact bound).
+#[derive(Default)]
+struct BitsetModel {
+    /// Word-aligned (multiple of 64).
+    base: u64,
+    /// Exclusive end of allocated words (multiple of 64, `>= base`).
+    words_end: u64,
+    set: BTreeSet<u64>,
+}
+
+impl BitsetModel {
+    fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.base {
+            return false;
+        }
+        let needed_end = self.base + ((seq - self.base) / 64 + 1) * 64;
+        self.words_end = self.words_end.max(needed_end);
+        self.set.insert(seq);
+        true
+    }
+
+    fn forget_below(&mut self, seq: u64) {
+        let whole_words = seq.saturating_sub(self.base) / 64;
+        let available = (self.words_end - self.base) / 64;
+        if whole_words <= available {
+            self.base += whole_words * 64;
+        } else {
+            // Words ran out: the bitset jumps its base to the bound's word.
+            self.base = seq & !63;
+            self.words_end = self.base;
+        }
+        self.words_end = self.words_end.max(self.base);
+        self.set.retain(|&k| k >= seq);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary insert / forget_below / retain interleavings: the ring never panics,
+    /// agrees with the reference on membership, length and every insert verdict.
+    #[test]
+    fn ring_matches_btreemap_reference(seed in 0u64..10_000, op_count in 40usize..220) {
+        let mut rng = Xs(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let mut ring: SeqRing<u32> = SeqRing::new();
+        let mut model = RingModel::default();
+        for _ in 0..op_count {
+            match rng.next() % 10 {
+                // Mostly inserts, around (and sometimes below) the live window.
+                0..=5 => {
+                    let seq = if rng.next().is_multiple_of(5) {
+                        model.base.saturating_sub(1 + rng.next() % 25)
+                    } else {
+                        model.base + rng.next() % 160
+                    };
+                    let value = (rng.next() % 1_000) as u32;
+                    let accepted = ring.insert(seq, value);
+                    prop_assert!(accepted == model.insert(seq, value), "insert verdict diverged at {}", seq);
+                }
+                6 | 7 => {
+                    // Bounds that trail, chase, or leapfrog the stored window.
+                    let bound = model.base.saturating_sub(rng.next() % 10) + rng.next() % 260;
+                    ring.forget_below(bound);
+                    model.forget_below(bound);
+                }
+                8 => {
+                    let modulus = 2 + rng.next() % 5;
+                    ring.retain(|seq, _| seq % modulus != 0);
+                    model.retain(|seq, _| seq % modulus != 0);
+                }
+                _ => {
+                    // Membership probe across the window, including retired territory.
+                    let probe = model.base.saturating_sub(10) + rng.next() % 200;
+                    prop_assert!(ring.get(probe) == model.map.get(&probe), "get diverged at {}", probe);
+                }
+            }
+            prop_assert_eq!(ring.len(), model.map.len());
+            prop_assert_eq!(ring.is_empty(), model.map.is_empty());
+        }
+        // Full final sweep over the reachable window.
+        for probe in model.base.saturating_sub(20)..model.high + 20 {
+            prop_assert!(ring.get(probe) == model.map.get(&probe), "final get diverged at {}", probe);
+        }
+    }
+
+    /// Same drive for the bitset twin, including its word-aligned retirement base.
+    #[test]
+    fn bitset_matches_btreeset_reference(seed in 0u64..10_000, op_count in 40usize..220) {
+        let mut rng = Xs(seed.wrapping_mul(0xD1B5_4A32_D192_ED03) | 1);
+        let mut set = SeqBitset::new();
+        let mut model = BitsetModel::default();
+        for _ in 0..op_count {
+            match rng.next() % 10 {
+                0..=6 => {
+                    let seq = if rng.next().is_multiple_of(5) {
+                        model.base.saturating_sub(1 + rng.next() % 90)
+                    } else {
+                        model.base + rng.next() % 300
+                    };
+                    let accepted = set.insert(seq);
+                    prop_assert!(accepted == model.insert(seq), "insert verdict diverged at {}", seq);
+                }
+                7 | 8 => {
+                    let bound = model.base.saturating_sub(rng.next() % 40) + rng.next() % 500;
+                    set.forget_below(bound);
+                    model.forget_below(bound);
+                }
+                _ => {
+                    let probe = model.base.saturating_sub(70) + rng.next() % 400;
+                    prop_assert!(set.contains(probe) == model.set.contains(&probe), "contains diverged at {}", probe);
+                }
+            }
+        }
+        for probe in model.base.saturating_sub(80)..model.words_end + 80 {
+            prop_assert!(set.contains(probe) == model.set.contains(&probe), "final contains diverged at {}", probe);
+        }
+    }
+}
