@@ -7,6 +7,7 @@
 //! cargo run --release -p aivc-bench --bin bench_check            # compares ./BENCH_hotpaths.json
 //! cargo run --release -p aivc-bench --bin bench_check -- path.json
 //! BENCH_CHECK_TOLERANCE=0.10 cargo run --release -p aivc-bench --bin bench_check
+//! cargo run --release -p aivc-bench --bin bench_check -- --only conversation_fleet_throughput_256
 //! ```
 //!
 //! Paths present in the fresh run but absent from the committed baseline fail the check
@@ -22,16 +23,36 @@
 //! lane-count-for-lane-count; the `turn_breakdown` section is documentation and is not
 //! re-measured here (every stage it decomposes is already gated individually).
 
-use aivc_bench::hotpath_suite::{measure_all_hotpaths, BaselineFile};
+use aivc_bench::hotpath_suite::{measure_hotpaths_matching, BaselineFile};
 use aivc_bench::print_section;
 
 const SAMPLES: usize = 30;
 const TARGET_SAMPLE_MS: f64 = 25.0;
 
 fn main() {
-    let baseline_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_hotpaths.json".to_string());
+    // `bench_check [baseline.json] [--only <name>]...` — with `--only`, just the named
+    // entries are re-measured and compared (the CI serving-suite uses this to gate the
+    // fleet-throughput baseline without paying for the whole suite).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = "BENCH_hotpaths.json".to_string();
+    let mut only: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--only" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => only.push(name.clone()),
+                    None => {
+                        eprintln!("--only requires an entry name");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => baseline_path = other.to_string(),
+        }
+        i += 1;
+    }
     let tolerance: f64 = std::env::var("BENCH_CHECK_TOLERANCE")
         .ok()
         .and_then(|t| t.parse().ok())
@@ -48,7 +69,16 @@ fn main() {
         committed.pool_lanes
     );
 
-    let fresh = measure_all_hotpaths(SAMPLES, TARGET_SAMPLE_MS, pool_lanes);
+    let filter = if only.is_empty() { None } else { Some(&only[..]) };
+    let fresh = measure_hotpaths_matching(SAMPLES, TARGET_SAMPLE_MS, pool_lanes, filter);
+    if let Some(names) = filter {
+        for name in names {
+            if !fresh.iter().any(|m| &m.name == name) {
+                eprintln!("--only {name:?} matches no measured hot path");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let mut table = String::from(
         "| hot path | committed ns | fresh ns | delta | verdict |\n| --- | --- | --- | --- | --- |\n",
@@ -93,12 +123,16 @@ fn main() {
             verdict
         ));
     }
-    for reference in &committed.hotpaths {
-        if !fresh.iter().any(|m| m.name == reference.name) {
-            failures.push(format!(
-                "{}: committed in {baseline_path} but no longer measured — stale baseline entry",
-                reference.name
-            ));
+    // Staleness is only checkable on a full run: under `--only` the unmeasured entries
+    // are unmeasured on purpose.
+    if filter.is_none() {
+        for reference in &committed.hotpaths {
+            if !fresh.iter().any(|m| m.name == reference.name) {
+                failures.push(format!(
+                    "{}: committed in {baseline_path} but no longer measured — stale baseline entry",
+                    reference.name
+                ));
+            }
         }
     }
     print_section(
@@ -124,7 +158,9 @@ fn main() {
     // hunt a phantom regression (exit code 2 distinguishes this from a real failure).
     let min_delta = deltas.iter().copied().fold(f64::INFINITY, f64::min);
     let max_delta = deltas.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let uniform_slowdown = !deltas.is_empty()
+    // The steal diagnosis needs a spread of independent entries: a handful of `--only`
+    // regressions clustering is just as consistent with a real localized regression.
+    let uniform_slowdown = deltas.len() >= 5
         && min_delta > tolerance
         && (1.0 + max_delta) / (1.0 + min_delta) < 1.0 + tolerance;
     if uniform_slowdown {

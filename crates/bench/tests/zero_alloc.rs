@@ -343,6 +343,28 @@ fn main() {
         "Conversation::run_turn_in_place allocated {conversation_allocs} times across {measured_turns} post-warmup turns"
     );
 
+    // --- the think gap: between turns the conversation keeps the transport alive —
+    // matured per-packet feedback folds into GCC straight out of the pending ring
+    // ([`FeedbackFold`]), receiver polls re-arm, and delivery runs recycle through the
+    // transport's buffer pool. None of that may allocate: a fleet spends most of its
+    // wall-clock inside think gaps, so a per-gap allocation would dominate steady state.
+    let think_cycles = 10;
+    conversation.reserve_turns(think_cycles, turn_frames.len());
+    for _ in 0..3 {
+        conversation.think(SimDuration::from_millis(400));
+    }
+    let before = allocations();
+    for _ in 0..think_cycles {
+        let report = conversation.run_turn_in_place(black_box(&turn_frames), &question);
+        black_box(report.answer.visual_tokens);
+        conversation.think(black_box(SimDuration::from_millis(400)));
+    }
+    let think_allocs = allocations() - before;
+    assert_eq!(
+        think_allocs, 0,
+        "Conversation turns with think gaps allocated {think_allocs} times across {think_cycles} post-warmup cycles"
+    );
+
     // --- the lane-sharded ConversationChatServer: several long-lived conversations
     // multiplexed onto one kernel per pool lane, with the always-on metrics layer
     // engaged. Steady-state fleet turns are allocation-free: shared event queues sit at

@@ -34,8 +34,8 @@ use crate::context_aware::StreamerConfig;
 use crate::conversation::ConversationReport;
 use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport};
 use crate::net_turn::{
-    begin_turn_window, conclude_turn_window, finish_turn, NetCompute, NetEvent, NetEventSink, Transport,
-    TurnMachine, TurnPlan, UplinkPort,
+    begin_turn_window, conclude_turn_window, finish_turn, NetCompute, NetEvent, NetEventSink, PacketRun,
+    Transport, TurnMachine, TurnPlan, UplinkPort,
 };
 use aivc_mllm::Question;
 use aivc_netsim::{jain_index, FaultKind, LatencyStats, LinkConfig, LinkCounters, Packet, SharedLink};
@@ -252,6 +252,29 @@ impl NetEventSink for TenantSink<'_> {
             MtEvent::Net {
                 tenant: self.tenant,
                 ev: event,
+            },
+        );
+    }
+
+    fn schedule_net_run(&mut self, when: SimTime, mut run: PacketRun) {
+        // The run's seq lives on the *global* multi-tenant timeline.
+        run.seq = self.sim.next_seq();
+        self.sim.schedule_at(
+            when,
+            MtEvent::Net {
+                tenant: self.tenant,
+                ev: NetEvent::UplinkRun(run),
+            },
+        );
+    }
+
+    fn reschedule_net_run(&mut self, when: SimTime, run: PacketRun) {
+        self.sim.schedule_at_with_seq(
+            when,
+            run.seq,
+            MtEvent::Net {
+                tenant: self.tenant,
+                ev: NetEvent::UplinkRun(run),
             },
         );
     }

@@ -259,6 +259,13 @@ impl Conversation {
         resilience
     }
 
+    /// Number of idle pooled run buffers in the transport — the buffer-pool
+    /// reuse/leak invariant tests read this.
+    #[cfg(test)]
+    pub(crate) fn run_pool_len(&self) -> usize {
+        self.transport.run_pool_len()
+    }
+
     /// Advances the timeline by `gap` without capturing frames: in-flight packets arrive,
     /// NACK polls fire, retransmissions flow. [`Conversation::run_turn`] already inserts
     /// the configured think gap between turns; use this for extra idle time.
@@ -497,6 +504,29 @@ mod tests {
             report.estimate_at_turn_start_bps[0],
             options(7).gcc.initial_estimate_bps
         );
+    }
+
+    /// The coalesced-delivery buffer pool is bounded by the peak number of in-flight
+    /// runs, not by how long the conversation lives: once warm, turns neither grow the
+    /// pool (a leak — buffers allocated but never recycled back out) nor shrink it
+    /// (runs completing without returning their buffer).
+    #[test]
+    fn run_buffer_pool_is_bounded_by_peak_in_flight_not_turn_count() {
+        let mut conv = Conversation::with_defaults(options(13), SimDuration::from_millis(400));
+        let q = question();
+        let mut lens = Vec::new();
+        for t in 0..12 {
+            conv.run_turn(&window(t * 4), &q);
+            conv.think(SimDuration::from_millis(600)); // let stragglers complete their runs
+            lens.push(conv.run_pool_len());
+        }
+        let warm = lens[3];
+        assert!(warm > 0, "pool never recycled a buffer: {lens:?}");
+        assert!(
+            lens[3..].iter().all(|&l| l == warm),
+            "pool size kept moving after warmup (leak or lost buffer): {lens:?}"
+        );
+        assert!(warm <= 8, "pool larger than any plausible in-flight peak: {lens:?}");
     }
 
     #[test]

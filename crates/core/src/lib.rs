@@ -60,5 +60,7 @@ pub use scenarios::{
     ContentionScenario, ContentionScenarioReport, ConversationScenario, ConversationScenarioReport, Scenario,
     ScenarioReport,
 };
-pub use server::{ChatServer, ConversationChatServer, NetworkedChatServer, ServingReport};
+pub use server::{
+    ChatServer, ConversationChatServer, NetworkedChatServer, ServerError, ServingReport,
+};
 pub use session::{AiVideoChatSession, ChatSession, ChatTurnReport, PipelineTurnReport, SessionOptions};

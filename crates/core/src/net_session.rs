@@ -81,6 +81,14 @@ pub struct NetSessionOptions {
     /// The graceful-degradation ladder (outage capture suppression, probing, frame
     /// shedding). Disabled by default.
     pub degradation: DegradationConfig,
+    /// Coalesced delivery: a burst of back-to-back pacer departures (a capture's media +
+    /// parity, a feedback event's retransmissions) rides **one** timeline event that
+    /// re-fires per departure, instead of one slab slot per packet. Provably
+    /// order-identical to per-packet scheduling (the run re-arms under its original
+    /// insertion sequence; see `net_turn::NetEventSink::reschedule_net_run`) and pinned
+    /// bit-for-bit by the equivalence property suite, so this is on by default; the flag
+    /// exists so that suite can run both modes against each other.
+    pub coalesce_delivery: bool,
 }
 
 impl NetSessionOptions {
@@ -104,6 +112,7 @@ impl NetSessionOptions {
             feedback_packet_bytes: 80,
             adaptive_fec: AdaptiveFecConfig::disabled(),
             degradation: DegradationConfig::disabled(),
+            coalesce_delivery: true,
         }
     }
 

@@ -30,7 +30,7 @@ use aivc_mllm::{MllmChat, MllmScratch, Question};
 use aivc_netsim::emulator::Direction;
 use aivc_netsim::link::LinkCounters;
 use aivc_netsim::{DeliveryOutcome, LatencyStats, NetworkEmulator, Packet, SharedLink};
-use aivc_rtc::cc::{GccController, PacketFeedback};
+use aivc_rtc::cc::{FeedbackFold, GccController, PacketFeedback};
 use aivc_rtc::fec::{group_of_index, FecEncoder, FecRecovery};
 use aivc_rtc::nack::{NackGenerator, RtxQueue};
 use aivc_rtc::pacer::{Pacer, PacerConfig};
@@ -41,7 +41,7 @@ use aivc_scene::Frame;
 use aivc_semantics::{ClipModel, ClipScratch, TextQuery};
 use aivc_sim::{Actor, SimDuration, SimTime, Simulation};
 use aivc_videocodec::{
-    DecodeScratch, DecodedFrame, Decoder, EncodeScratch, EncodedFrame, Encoder, Qp, QpMap,
+    DecodeScratch, DecodedFrame, Decoder, EncodeScratch, EncodedFrame, Encoder, Qp, QpMap, RatePlan,
 };
 use std::sync::Arc;
 
@@ -61,6 +61,30 @@ pub(crate) enum NetEvent {
     ReceiverPoll,
     /// A feedback packet (NACKed sequences) arrives back at the sender.
     FeedbackArrival(Vec<u64>),
+    /// A coalesced run of pacer departures: **one** timeline event standing in for the
+    /// back-to-back [`NetEvent::SendUplink`]s of a capture (or retransmission batch). The
+    /// event fires at each distinct departure time, delivers every packet due, then
+    /// re-arms itself at the next departure *under its original insertion sequence* — see
+    /// [`NetEventSink::reschedule_net_run`] for why that preserves exact event ordering.
+    UplinkRun(PacketRun),
+}
+
+/// A contiguous batch of pacer departures travelling as one timeline event. The pacer is
+/// globally FIFO-monotone — [`Pacer::schedule_send`] returns nondecreasing times across
+/// *all* calls — so the departures of one scheduling burst (a capture's media + parity,
+/// or one feedback event's retransmissions) are contiguous in `(time, seq)` order and can
+/// ride a single slab slot instead of one per packet.
+#[derive(Debug)]
+pub(crate) struct PacketRun {
+    /// The run event's insertion sequence on its timeline. Assigned by
+    /// [`NetEventSink::schedule_net_run`]; re-arms reuse it so the run keeps its
+    /// tie-break position among same-time events across every firing.
+    pub(crate) seq: u64,
+    /// Index of the first not-yet-delivered departure in `items`.
+    pub(crate) cursor: usize,
+    /// `(departure time µs, packet)` in pacer order (departure times nondecreasing).
+    /// The buffer is pooled in [`Transport::run_pool`] once the run completes.
+    pub(crate) items: Vec<(u64, RtpPacket)>,
 }
 
 /// Where a [`TurnMachine`] schedules its follow-on events. A single-tenant timeline is a
@@ -69,11 +93,38 @@ pub(crate) enum NetEvent {
 pub(crate) trait NetEventSink {
     /// Schedules `event` at `when` on the owning timeline.
     fn schedule_net(&mut self, when: SimTime, event: NetEvent);
+
+    /// Schedules a fresh packet run at `when` (its first departure). Implementations must
+    /// record the event's insertion sequence in `run.seq` before scheduling — the seq a
+    /// plain schedule call would assign, i.e. the timeline's `next_seq()`.
+    fn schedule_net_run(&mut self, when: SimTime, run: PacketRun);
+
+    /// Re-arms a partially delivered run at `when` (its next departure) **under its
+    /// original insertion sequence** (`run.seq`, via the kernel's `schedule_at_with_seq`).
+    ///
+    /// Keeping the seq is what makes coalescing invisible to event ordering: in
+    /// per-packet mode every departure of the burst carries a seq from the burst's
+    /// scheduling instant, so at a shared firing time the whole burst sorts before any
+    /// later-scheduled event (arrivals, polls) and after any earlier-scheduled one. A
+    /// re-armed run with its original seq sorts exactly the same way; a fresh seq would
+    /// instead sort the tail of the run *after* events scheduled since, reordering
+    /// same-instant deliveries. Safe because the run's previous firing has already
+    /// popped — no two live events ever share the seq.
+    fn reschedule_net_run(&mut self, when: SimTime, run: PacketRun);
 }
 
 impl NetEventSink for Simulation<NetEvent> {
     fn schedule_net(&mut self, when: SimTime, event: NetEvent) {
         self.schedule_at(when, event);
+    }
+
+    fn schedule_net_run(&mut self, when: SimTime, mut run: PacketRun) {
+        run.seq = self.next_seq();
+        self.schedule_at(when, NetEvent::UplinkRun(run));
+    }
+
+    fn reschedule_net_run(&mut self, when: SimTime, run: PacketRun) {
+        self.schedule_at_with_seq(when, run.seq, NetEvent::UplinkRun(run));
     }
 }
 
@@ -160,8 +211,11 @@ pub(crate) struct NetCompute {
     responder: MllmChat,
     clip: ClipScratch,
     qp_map: QpMap,
-    /// Scratch map the rate-control search refills per probed level.
+    /// Scratch map the rate-control search refills for the one real encode.
     probe_map: QpMap,
+    /// Per-frame probe coefficients (grid raster + QP-independent rate terms), prepared
+    /// once per capture so the binary search's probes never re-rasterize the frame.
+    rate_plan: RatePlan,
     encode_scratches: Vec<EncodeScratch>,
     /// The committed encode of each turn slot (needed again at decode time). Slots are
     /// turn-local: a conversation reuses them every turn.
@@ -185,6 +239,7 @@ impl NetCompute {
             clip: ClipScratch::new(),
             qp_map: QpMap::empty(),
             probe_map: QpMap::empty(),
+            rate_plan: RatePlan::new(),
             encode_scratches: Vec::new(),
             encoded_slots: Vec::new(),
             decode_scratch: DecodeScratch::new(),
@@ -235,26 +290,32 @@ impl NetCompute {
             }
             StreamingMode::Baseline => (0i32, 51i32),
         };
-        // Probe maps are refilled in place (`probe_map`); after the first frame of a given
-        // grid the search allocates nothing beyond what the encoder itself needs.
-        let fill_probe_map =
-            |options: &NetSessionOptions, base: &QpMap, level: i32, out: &mut QpMap| match options.mode {
-                StreamingMode::ContextAware => base.offset_all_into(level, out),
-                StreamingMode::Baseline => out.fill_uniform(grid, Qp::new(level)),
-            };
-        let mut probe_map = std::mem::replace(&mut self.probe_map, QpMap::empty());
+        // One rate plan per capture: the grid raster and every QP-independent rate term
+        // are folded into per-block coefficients once, so each probe below is a tight
+        // table-lookup pass instead of a full re-rasterization (this was ~90 % of a warm
+        // turn before; see DESIGN.md §"Where the warm turn's microsecond goes").
+        match self.options.mode {
+            StreamingMode::ContextAware => {
+                self.encoder
+                    .prepare_rate_plan(frame, Some(&self.qp_map), &mut self.rate_plan)
+            }
+            StreamingMode::Baseline => self.encoder.prepare_rate_plan(frame, None, &mut self.rate_plan),
+        }
         let mut best_level = lo;
         let mut best_err = f64::INFINITY;
         while lo <= hi {
             let mid = (lo + hi) / 2;
-            fill_probe_map(&self.options, &self.qp_map, mid, &mut probe_map);
-            // Probes predict the coded size without materializing blocks — byte-exact
-            // with a real encode (test-asserted), so the search trajectory and the
-            // `err < best_err` tie-breaking are identical to probing with full encodes.
-            let bits = (self
-                .encoder
-                .predict_map_size(frame, &probe_map, &mut self.encode_scratches[slot])
-                * 8) as f64;
+            // Plan probes predict the coded size without materializing blocks — byte-exact
+            // with `predict_map_size` and therefore with a real encode (test-asserted), so
+            // the search trajectory and the `err < best_err` tie-breaking are identical to
+            // probing with full encodes.
+            let size = match self.options.mode {
+                StreamingMode::ContextAware => self.encoder.predict_plan_offset_size(&self.rate_plan, mid),
+                StreamingMode::Baseline => {
+                    self.encoder.predict_plan_uniform_size(&self.rate_plan, Qp::new(mid))
+                }
+            };
+            let bits = (size * 8) as f64;
             let err = (bits - budget_bits).abs();
             if err < best_err {
                 best_err = err;
@@ -267,10 +328,17 @@ impl NetCompute {
             }
         }
         // One real encode, at the level the search settled on.
-        fill_probe_map(&self.options, &self.qp_map, best_level, &mut probe_map);
-        self.encoder.encode_into(
+        let mut probe_map = std::mem::replace(&mut self.probe_map, QpMap::empty());
+        match self.options.mode {
+            StreamingMode::ContextAware => self.qp_map.offset_all_into(best_level, &mut probe_map),
+            StreamingMode::Baseline => probe_map.fill_uniform(grid, Qp::new(best_level)),
+        }
+        // `encode_into_planned` reuses the raster the plan just filled for this frame —
+        // bit-identical to `encode_into`, one rasterization cheaper.
+        self.encoder.encode_into_planned(
             frame,
             &probe_map,
+            &self.rate_plan,
             &mut self.encode_scratches[slot],
             &mut self.encoded_slots[slot],
         );
@@ -293,11 +361,22 @@ pub(crate) struct Transport {
     /// Feedback the receiver has produced but the sender has not yet seen:
     /// (time the sender learns the packet's fate, the per-packet feedback).
     cc_pending: Vec<(u64, PacketFeedback)>,
-    cc_batch: Vec<PacketFeedback>,
+    /// Reusable per-drain feedback fold: matured entries stream into this while
+    /// `cc_pending` compacts in place, then the fold goes to GCC whole — no
+    /// intermediate report vector.
+    cc_fold: FeedbackFold,
+    /// Free list of completed NACK-sequence buffers (the payload of
+    /// [`NetEvent::FeedbackArrival`]), recycled like `run_pool`.
+    nack_pool: Vec<Vec<u64>>,
     /// Reusable packetization buffer.
     media: Vec<RtpPacket>,
     /// Reusable FEC parity buffer.
     parity: Vec<RtpPacket>,
+    /// Free list of completed [`PacketRun`] buffers. Bounded by the peak number of
+    /// simultaneously in-flight runs (a buffer only enters the pool when its run
+    /// completes, and every new run drains the pool first), so warm turns schedule
+    /// coalesced departures without touching the allocator.
+    run_pool: Vec<Vec<(u64, RtpPacket)>>,
     poll_outstanding: bool,
     next_net_packet_id: u64,
     up_prop_us: u64,
@@ -377,9 +456,11 @@ impl Transport {
             assembler: FrameAssembler::new(),
             nack_gen: NackGenerator::new(options.nack),
             cc_pending: Vec::new(),
-            cc_batch: Vec::new(),
+            cc_fold: FeedbackFold::new(),
+            nack_pool: Vec::new(),
             media: Vec::new(),
             parity: Vec::new(),
+            run_pool: Vec::new(),
             poll_outstanding: false,
             next_net_packet_id: 0,
             up_prop_us: options.path.uplink.propagation_delay.as_micros(),
@@ -470,6 +551,51 @@ impl Transport {
     /// NACK requests dropped by deadline-aware suppression so far.
     pub(crate) fn nacks_suppressed(&self) -> u64 {
         self.nack_gen.nacks_suppressed()
+    }
+
+    /// A cleared run buffer, recycled from the pool when one is free.
+    fn take_run_buf(&mut self) -> Vec<(u64, RtpPacket)> {
+        self.run_pool.pop().unwrap_or_default()
+    }
+
+    /// Schedules `items` as one coalesced [`PacketRun`] at its first departure, or
+    /// returns the buffer to the pool when the burst turned out empty.
+    fn dispatch_run<S: NetEventSink>(&mut self, items: Vec<(u64, RtpPacket)>, sink: &mut S) {
+        match items.first() {
+            Some(&(first_us, _)) => sink.schedule_net_run(
+                SimTime::from_micros(first_us),
+                PacketRun {
+                    seq: 0, // assigned by the sink
+                    cursor: 0,
+                    items,
+                },
+            ),
+            None => self.recycle_run_buf(items),
+        }
+    }
+
+    /// Returns a completed run's buffer to the pool (capacity kept).
+    fn recycle_run_buf(&mut self, mut buf: Vec<(u64, RtpPacket)>) {
+        buf.clear();
+        self.run_pool.push(buf);
+    }
+
+    /// A cleared NACK-sequence buffer, recycled from the pool when one is free.
+    fn take_nack_buf(&mut self) -> Vec<u64> {
+        self.nack_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a consumed [`NetEvent::FeedbackArrival`] payload to the pool
+    /// (capacity kept).
+    fn recycle_nack_buf(&mut self, mut buf: Vec<u64>) {
+        buf.clear();
+        self.nack_pool.push(buf);
+    }
+
+    /// Number of pooled (idle) run buffers — the reuse/leak invariant tests read this.
+    #[cfg(test)]
+    pub(crate) fn run_pool_len(&self) -> usize {
+        self.run_pool.len()
     }
 
     /// True when every retired turn's tracking state was actually dropped — the
@@ -571,19 +697,23 @@ impl TurnMachine<'_> {
                     !self.frames.is_empty(),
                     "capture event fired outside a turn window"
                 );
-                // --- Close the loop: everything the sender has learned by now.
-                t.cc_batch.clear();
-                let batch = &mut t.cc_batch;
+                // --- Close the loop: everything the sender has learned by now. Matured
+                // entries fold straight into the GCC summary while the pending ring
+                // compacts in place — maturity times are not monotone (a loss matures on
+                // a fixed report delay, possibly before an earlier send's arrival), so
+                // this must stay a full in-order scan, not a front-pop.
+                t.cc_fold.clear();
+                let fold = &mut t.cc_fold;
                 t.cc_pending.retain(|(known_at, fb)| {
                     if *known_at <= now.as_micros() {
-                        batch.push(*fb);
+                        fold.push(fb);
                         false
                     } else {
                         true
                     }
                 });
-                if !t.cc_batch.is_empty() {
-                    self.gcc.on_feedback_report_at(now, &t.cc_batch);
+                if !t.cc_fold.is_empty() {
+                    self.gcc.on_feedback_fold_at(now, &t.cc_fold);
                 }
                 self.gcc.poll_watchdog(now);
 
@@ -721,78 +851,54 @@ impl TurnMachine<'_> {
                 fec_encoder.protect_into(&t.media, || packetizer.allocate_sequence(), parity);
                 t.media_first_seq.push(t.media[0].header.sequence);
                 t.media_group_size.push(group_size);
+                // Coalesced mode rides the whole burst (media + parity) on one run event;
+                // per-packet mode schedules one slab slot per departure (kept for the
+                // equivalence property suite). Pacer state advances identically either way.
+                let mut run_items = if self.compute.options.coalesce_delivery {
+                    Some(t.take_run_buf())
+                } else {
+                    None
+                };
                 for (pi, p) in t.media.iter().enumerate() {
                     if !t.seq_to_media.insert(p.header.sequence, (i, pi)) {
                         t.metrics.late_seq_drops.inc();
                     }
                     let _ = t.rtx.remember(p);
                     let when = t.pacer.schedule_send(p.wire_size(), now);
-                    sink.schedule_net(when, NetEvent::SendUplink(*p));
+                    match &mut run_items {
+                        Some(items) => items.push((when.as_micros(), *p)),
+                        None => sink.schedule_net(when, NetEvent::SendUplink(*p)),
+                    }
                 }
                 for p in &t.parity {
                     let when = t.pacer.schedule_send(p.wire_size(), now);
-                    sink.schedule_net(when, NetEvent::SendUplink(*p));
+                    match &mut run_items {
+                        Some(items) => items.push((when.as_micros(), *p)),
+                        None => sink.schedule_net(when, NetEvent::SendUplink(*p)),
+                    }
+                }
+                if let Some(items) = run_items {
+                    t.dispatch_run(items, sink);
                 }
             }
-            NetEvent::SendUplink(packet) => {
-                t.metrics.packets_sent.inc();
-                let frame_idx = packet.header.frame_id as usize;
-                if let Some(entry) = t.live_slot(frame_idx).map(|s| &mut t.progress[s]) {
-                    if entry.send_start.is_none() && packet.header.kind == PayloadKind::Media {
-                        entry.send_start = Some(now);
+            NetEvent::UplinkRun(mut run) => {
+                // Deliver every departure due now (equal-time departures of one burst are
+                // consecutive in per-packet pop order too — their seqs were consecutive),
+                // then re-arm at the next departure under the run's original seq.
+                let now_us = now.as_micros();
+                while let Some(&(dep_us, packet)) = run.items.get(run.cursor) {
+                    if dep_us > now_us {
+                        break;
                     }
+                    run.cursor += 1;
+                    self.deliver_uplink(now, packet, sink);
                 }
-                if packet.header.kind == PayloadKind::Retransmission {
-                    t.turn_retransmissions_sent += 1;
-                }
-                let net_packet = Packet::new(t.next_net_packet_id, packet.wire_size(), now)
-                    .with_flow(0)
-                    .with_tag(packet.header.sequence);
-                t.next_net_packet_id += 1;
-                let outcome = self.port.send(&mut t.emulator, &net_packet, now);
-                match outcome.arrival() {
-                    Some(arrival) => {
-                        sink.schedule_net(arrival, NetEvent::UplinkArrival(packet));
-                        if let Some(dup_at) = self.port.take_duplicate(&mut t.emulator) {
-                            // A Duplicate fault episode emitted a second copy one
-                            // serialization time behind the original; reassembly and FEC
-                            // bookkeeping absorb it idempotently.
-                            sink.schedule_net(dup_at, NetEvent::UplinkArrival(packet));
-                        }
-                        // The receiver's next report reaches the sender one downlink
-                        // propagation after arrival.
-                        t.cc_pending.push((
-                            arrival.as_micros() + t.down_prop_us,
-                            PacketFeedback {
-                                sent_at: now,
-                                arrived_at: Some(arrival),
-                                size_bytes: packet.wire_size(),
-                            },
-                        ));
-                    }
-                    None => {
-                        t.turn_packets_lost += 1;
-                        if outcome == DeliveryOutcome::DroppedOutage {
-                            // A blackout is *silence*, not a loss report: the receiver only
-                            // discovers gaps from later arrivals, and during a full outage
-                            // there are none. No synthetic feedback — this silence is
-                            // exactly what the congestion controller's watchdog detects.
-                            t.pending_outage_recovery = Some(now);
-                            return;
-                        }
-                        // The sender infers the loss from the gap in the next report:
-                        // roughly one RTT plus a reporting guard after the send.
-                        t.cc_pending.push((
-                            now.as_micros() + t.up_prop_us + t.down_prop_us + 20_000,
-                            PacketFeedback {
-                                sent_at: now,
-                                arrived_at: None,
-                                size_bytes: packet.wire_size(),
-                            },
-                        ));
-                    }
+                match run.items.get(run.cursor) {
+                    Some(&(next_us, _)) => sink.reschedule_net_run(SimTime::from_micros(next_us), run),
+                    None => self.t.recycle_run_buf(run.items),
                 }
             }
+            NetEvent::SendUplink(packet) => self.deliver_uplink(now, packet, sink),
             NetEvent::UplinkArrival(packet) => {
                 let late_before = t.nack_gen.late_drops();
                 t.nack_gen.on_packet(packet.header.sequence, now);
@@ -874,13 +980,17 @@ impl TurnMachine<'_> {
                 if !opts.enable_retransmission {
                     return;
                 }
-                let due = t.nack_gen.due_nacks(now);
-                if !due.is_empty() {
+                let mut due = t.take_nack_buf();
+                t.nack_gen.due_nacks_into(now, &mut due);
+                if due.is_empty() {
+                    t.recycle_nack_buf(due);
+                } else {
                     let fb_packet =
                         Packet::new(t.next_net_packet_id, opts.feedback_packet_bytes, now).with_flow(1);
                     t.next_net_packet_id += 1;
-                    if let Some(arrival) = t.emulator.send(Direction::Downlink, &fb_packet, now).arrival() {
-                        sink.schedule_net(arrival, NetEvent::FeedbackArrival(due));
+                    match t.emulator.send(Direction::Downlink, &fb_packet, now).arrival() {
+                        Some(arrival) => sink.schedule_net(arrival, NetEvent::FeedbackArrival(due)),
+                        None => t.recycle_nack_buf(due),
                     }
                 }
                 if t.nack_gen.pending_count() > 0 && !t.poll_outstanding {
@@ -891,19 +1001,96 @@ impl TurnMachine<'_> {
             NetEvent::FeedbackArrival(sequences) => {
                 // One retransmit call per NACKed sequence keeps the old→new sequence
                 // pairing exact even when some sequences (e.g. lost parity packets) are
-                // not in the retransmission store.
+                // not in the retransmission store. The retransmission burst coalesces
+                // into one run, exactly like a capture's media burst.
+                let mut run_items = if self.compute.options.coalesce_delivery {
+                    Some(t.take_run_buf())
+                } else {
+                    None
+                };
                 for &old_seq in &sequences {
                     let packetizer = &mut t.packetizer;
-                    for p in t.rtx.retransmit(&[old_seq], || packetizer.allocate_sequence()) {
+                    if let Some(p) = t.rtx.retransmit_one(old_seq, || packetizer.allocate_sequence()) {
                         if let Some(mapping) = t.seq_to_media.get(old_seq).copied() {
                             if !t.seq_to_media.insert(p.header.sequence, mapping) {
                                 t.metrics.late_seq_drops.inc();
                             }
                         }
                         let when = t.pacer.schedule_send(p.wire_size(), now);
-                        sink.schedule_net(when, NetEvent::SendUplink(p));
+                        match &mut run_items {
+                            Some(items) => items.push((when.as_micros(), p)),
+                            None => sink.schedule_net(when, NetEvent::SendUplink(p)),
+                        }
                     }
                 }
+                t.recycle_nack_buf(sequences);
+                if let Some(items) = run_items {
+                    t.dispatch_run(items, sink);
+                }
+            }
+        }
+    }
+
+    /// One packet leaves the pacer and enters the uplink: the [`NetEvent::SendUplink`]
+    /// body, shared verbatim by per-packet events and coalesced runs (a run calls this
+    /// once per due departure, in departure order).
+    fn deliver_uplink<S: NetEventSink>(&mut self, now: SimTime, packet: RtpPacket, sink: &mut S) {
+        let t = &mut *self.t;
+        t.metrics.packets_sent.inc();
+        let frame_idx = packet.header.frame_id as usize;
+        if let Some(entry) = t.live_slot(frame_idx).map(|s| &mut t.progress[s]) {
+            if entry.send_start.is_none() && packet.header.kind == PayloadKind::Media {
+                entry.send_start = Some(now);
+            }
+        }
+        if packet.header.kind == PayloadKind::Retransmission {
+            t.turn_retransmissions_sent += 1;
+        }
+        let net_packet = Packet::new(t.next_net_packet_id, packet.wire_size(), now)
+            .with_flow(0)
+            .with_tag(packet.header.sequence);
+        t.next_net_packet_id += 1;
+        let outcome = self.port.send(&mut t.emulator, &net_packet, now);
+        match outcome.arrival() {
+            Some(arrival) => {
+                sink.schedule_net(arrival, NetEvent::UplinkArrival(packet));
+                if let Some(dup_at) = self.port.take_duplicate(&mut t.emulator) {
+                    // A Duplicate fault episode emitted a second copy one
+                    // serialization time behind the original; reassembly and FEC
+                    // bookkeeping absorb it idempotently.
+                    sink.schedule_net(dup_at, NetEvent::UplinkArrival(packet));
+                }
+                // The receiver's next report reaches the sender one downlink
+                // propagation after arrival.
+                t.cc_pending.push((
+                    arrival.as_micros() + t.down_prop_us,
+                    PacketFeedback {
+                        sent_at: now,
+                        arrived_at: Some(arrival),
+                        size_bytes: packet.wire_size(),
+                    },
+                ));
+            }
+            None => {
+                t.turn_packets_lost += 1;
+                if outcome == DeliveryOutcome::DroppedOutage {
+                    // A blackout is *silence*, not a loss report: the receiver only
+                    // discovers gaps from later arrivals, and during a full outage
+                    // there are none. No synthetic feedback — this silence is
+                    // exactly what the congestion controller's watchdog detects.
+                    t.pending_outage_recovery = Some(now);
+                    return;
+                }
+                // The sender infers the loss from the gap in the next report:
+                // roughly one RTT plus a reporting guard after the send.
+                t.cc_pending.push((
+                    now.as_micros() + t.up_prop_us + t.down_prop_us + 20_000,
+                    PacketFeedback {
+                        sent_at: now,
+                        arrived_at: None,
+                        size_bytes: packet.wire_size(),
+                    },
+                ));
             }
         }
     }

@@ -22,7 +22,7 @@
 
 use crate::conversation::{Conversation, ConversationReport};
 use crate::net_session::{FaultTelemetry, NetSessionOptions, NetTurnReport, NetworkedChatSession};
-use crate::net_turn::{NetEvent, NetEventSink, TurnPlan};
+use crate::net_turn::{NetEvent, NetEventSink, PacketRun, TurnPlan};
 use crate::session::{ChatSession, PipelineTurnReport};
 use aivc_metrics::SessionSnapshot;
 use aivc_mllm::{Answer, Question};
@@ -30,6 +30,48 @@ use aivc_netsim::LinkCounters;
 use aivc_par::MiniPool;
 use aivc_scene::Frame;
 use aivc_sim::{Actor, SimDuration, SimTime, Simulation};
+
+/// Why a fleet of conversations was rejected at server admission
+/// ([`ConversationChatServer::try_with_sessions`]). Lane shards merge member timelines
+/// into one kernel, and that merge is only bit-identical to private timelines when every
+/// member is fresh and shares the fleet's turn geometry — violations are structural
+/// errors the caller can surface (rejecting one session, fixing its options) rather than
+/// a process abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerError {
+    /// Conversation `index` has already run (turns recorded or its clock moved): lane
+    /// shards need fresh timelines so every member's phase boundaries coincide from
+    /// turn zero.
+    SessionNotFresh {
+        /// Position of the offending conversation in the submitted fleet.
+        index: usize,
+    },
+    /// Conversation `index` differs from the fleet's first member in turn geometry
+    /// (think gap, capture fps or drain window): members of a shard must share their
+    /// phase boundaries or the pool-size bit-identity contract is lost.
+    MixedGeometry {
+        /// Position of the offending conversation in the submitted fleet.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::SessionNotFresh { index } => write!(
+                f,
+                "conversation {index} has already run: lane shards need fresh timelines"
+            ),
+            ServerError::MixedGeometry { index } => write!(
+                f,
+                "conversation {index} differs in turn geometry (think gap / fps / drain): \
+                 lane shards need a uniform fleet"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
 
 /// A session type a server can pool: one long-lived object per user whose turn produces a
 /// plain-value report carrying the MLLM's [`Answer`]. Both server variants share the
@@ -337,6 +379,29 @@ impl NetEventSink for LaneSink<'_> {
             },
         );
     }
+
+    fn schedule_net_run(&mut self, when: SimTime, mut run: PacketRun) {
+        // The run's seq lives on the *shard* timeline — the wrapped event's insertion seq.
+        run.seq = self.sim.next_seq();
+        self.sim.schedule_at(
+            when,
+            LaneEvent {
+                member: self.member,
+                inner: NetEvent::UplinkRun(run),
+            },
+        );
+    }
+
+    fn reschedule_net_run(&mut self, when: SimTime, run: PacketRun) {
+        self.sim.schedule_at_with_seq(
+            when,
+            run.seq,
+            LaneEvent {
+                member: self.member,
+                inner: NetEvent::UplinkRun(run),
+            },
+        );
+    }
 }
 
 /// The per-event dispatcher over a shard's members. During a turn drain every member has
@@ -499,27 +564,44 @@ impl ConversationChatServer {
     ///
     /// # Panics
     ///
+    /// Panics on the fleet-admission errors [`ConversationChatServer::try_with_sessions`]
+    /// reports structurally — a convenience for callers constructing fleets from uniform
+    /// templates, where admission cannot fail.
+    pub fn with_sessions(pool: MiniPool, sessions: Vec<Conversation>) -> Self {
+        match Self::try_with_sessions(pool, sessions) {
+            Ok(server) => server,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a server from explicit conversations and a pool, validating fleet
+    /// admission.
+    ///
     /// The lane-sharded kernels require every conversation to be fresh (no turns run, the
     /// clock at zero) and the fleet's turn geometry to be uniform — same think gap,
     /// capture fps and drain window — so that all members of a shard share their phase
     /// boundaries. Mixed-geometry fleets would interleave correctly but lose the
-    /// bit-identity contract, so they are rejected loudly instead.
-    pub fn with_sessions(pool: MiniPool, sessions: Vec<Conversation>) -> Self {
+    /// bit-identity contract, so they are rejected with [`ServerError::MixedGeometry`]
+    /// (or [`ServerError::SessionNotFresh`]) instead of being silently admitted.
+    pub fn try_with_sessions(pool: MiniPool, sessions: Vec<Conversation>) -> Result<Self, ServerError> {
         if let Some(first) = sessions.first() {
             for (i, s) in sessions.iter().enumerate() {
-                assert!(
-                    s.turn_count() == 0 && s.now() == SimTime::ZERO,
-                    "conversation {i} has already run: lane shards need fresh timelines"
-                );
-                assert!(
-                    s.think_gap() == first.think_gap()
-                        && s.options().capture_fps == first.options().capture_fps
-                        && s.options().drain_secs == first.options().drain_secs,
-                    "conversation {i} differs in turn geometry (think gap / fps / drain): \
-                     lane shards need a uniform fleet"
-                );
+                if s.turn_count() != 0 || s.now() != SimTime::ZERO {
+                    return Err(ServerError::SessionNotFresh { index: i });
+                }
+                if s.think_gap() != first.think_gap()
+                    || s.options().capture_fps != first.options().capture_fps
+                    || s.options().drain_secs != first.options().drain_secs
+                {
+                    return Err(ServerError::MixedGeometry { index: i });
+                }
             }
         }
+        Ok(Self::admit_sessions(pool, sessions))
+    }
+
+    /// Shards validated sessions across the pool's lanes.
+    fn admit_sessions(pool: MiniPool, sessions: Vec<Conversation>) -> Self {
         let lanes = pool.lanes();
         let mut shards: Vec<ConversationShard> = (0..lanes).map(|_| ConversationShard::new()).collect();
         let sessions_count = sessions.len();
@@ -994,5 +1076,46 @@ mod tests {
         other.capture_fps = 12.0;
         let b = Conversation::with_defaults(other, SimDuration::from_millis(100));
         let _ = ConversationChatServer::with_sessions(MiniPool::new(2), vec![a, b]);
+    }
+
+    /// The fallible constructor reports fleet-admission violations structurally —
+    /// naming the offending session — so a caller can reject or fix one conversation
+    /// instead of aborting the process.
+    #[test]
+    fn try_with_sessions_reports_the_offending_session() {
+        // Geometry mismatch in any of the three fields names the divergent member.
+        let a = Conversation::with_defaults(net_template(5), SimDuration::from_millis(100));
+        let b = Conversation::with_defaults(net_template(6), SimDuration::from_millis(250));
+        let err = ConversationChatServer::try_with_sessions(MiniPool::new(2), vec![a, b])
+            .expect_err("mixed think gaps must be rejected");
+        assert_eq!(err, ServerError::MixedGeometry { index: 1 });
+        assert!(err.to_string().contains("uniform fleet"), "{err}");
+
+        let a = Conversation::with_defaults(net_template(5), SimDuration::from_millis(100));
+        let mut other = net_template(6);
+        other.drain_secs = 9.0;
+        let c = Conversation::with_defaults(other, SimDuration::from_millis(100));
+        let err = ConversationChatServer::try_with_sessions(MiniPool::new(2), vec![a, c])
+            .expect_err("mixed drain windows must be rejected");
+        assert_eq!(err, ServerError::MixedGeometry { index: 1 });
+
+        // A conversation that has already run carries history the shared kernel
+        // cannot replay; admission rejects it as not fresh.
+        let mut used = Conversation::with_defaults(net_template(5), SimDuration::from_millis(100));
+        used.run_turn(&window(), &question());
+        let fresh = Conversation::with_defaults(net_template(5), SimDuration::from_millis(100));
+        let err = ConversationChatServer::try_with_sessions(MiniPool::new(2), vec![fresh, used])
+            .expect_err("a used conversation must be rejected");
+        assert_eq!(err, ServerError::SessionNotFresh { index: 1 });
+        assert!(err.to_string().contains("fresh timelines"), "{err}");
+
+        // A uniform, fresh fleet is admitted and shards as before.
+        let fleet = (0..4)
+            .map(|i| Conversation::with_defaults(net_template(i), SimDuration::from_millis(100)))
+            .collect();
+        let server = ConversationChatServer::try_with_sessions(MiniPool::new(2), fleet)
+            .expect("uniform fresh fleet admits");
+        assert_eq!(server.session_count(), 4);
+        assert_eq!(server.pool_size(), 2);
     }
 }

@@ -27,6 +27,59 @@ pub struct PacketFeedback {
     pub size_bytes: u32,
 }
 
+/// An incrementally built summary of one feedback report — everything the controller's
+/// per-report fold actually consumes: how many packets the report covers, how many
+/// arrived, and the sum of the arrived packets' one-way delays (accumulated left to
+/// right, so the f64 summation is bit-identical to a pass over the equivalent slice).
+///
+/// The transport's feedback drain pushes matured per-packet feedback straight into one
+/// of these while compacting its pending ring, then hands the fold to
+/// [`GccController::on_feedback_fold_at`] — no intermediate report vector, no copies.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FeedbackFold {
+    total: usize,
+    received: usize,
+    owd_sum_ms: f64,
+}
+
+impl FeedbackFold {
+    /// An empty fold (a report covering no packets).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one packet's feedback into the summary. Call in report order: the one-way
+    /// delay summation is order-sensitive in the last ulps, and bit-identity with the
+    /// slice-based path depends on matching it.
+    pub fn push(&mut self, f: &PacketFeedback) {
+        self.total += 1;
+        if let Some(arrived) = f.arrived_at {
+            self.received += 1;
+            self.owd_sum_ms += arrived.saturating_since(f.sent_at).as_millis_f64();
+        }
+    }
+
+    /// Resets the fold for reuse.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// True when nothing has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of packets folded in.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Fraction of the report's packets that were lost.
+    fn loss_fraction(&self) -> f64 {
+        1.0 - self.received as f64 / self.total as f64
+    }
+}
+
 /// Congestion-controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GccConfig {
@@ -222,7 +275,13 @@ impl GccController {
     /// punishing the estimate with it would double-count the outage. Instead the delay
     /// baseline resets and the recovery ramp takes its first step.
     pub fn on_feedback_report_at(&mut self, now: SimTime, feedback: &[PacketFeedback]) {
-        if feedback.is_empty() {
+        self.on_feedback_fold_at(now, &Self::fold_slice(feedback));
+    }
+
+    /// [`GccController::on_feedback_report_at`] on a pre-built [`FeedbackFold`] — the
+    /// allocation- and copy-free entry the transport's feedback drain uses.
+    pub fn on_feedback_fold_at(&mut self, now: SimTime, fold: &FeedbackFold) {
+        if fold.is_empty() {
             return;
         }
         if self.config.watchdog_timeout != SimDuration::ZERO {
@@ -231,11 +290,11 @@ impl GccController {
         if self.silent {
             self.silent = false;
             self.last_mean_owd_ms = None;
-            self.update_loss_ewma(feedback);
+            self.update_loss_ewma(fold);
             self.ramp_step();
             return;
         }
-        self.on_feedback_report(feedback);
+        self.on_feedback_fold(fold);
         if self.pre_fallback_bps.is_some() {
             if self.state == CcState::Decrease {
                 // Real congestion push-back ends the recovery ramp.
@@ -244,6 +303,15 @@ impl GccController {
                 self.ramp_step();
             }
         }
+    }
+
+    /// Folds a feedback slice in report order (the bridge from the slice-based API).
+    fn fold_slice(feedback: &[PacketFeedback]) -> FeedbackFold {
+        let mut fold = FeedbackFold::new();
+        for f in feedback {
+            fold.push(f);
+        }
+        fold
     }
 
     /// One multiplicative recovery-ramp step toward the pre-fallback estimate.
@@ -259,38 +327,30 @@ impl GccController {
         }
     }
 
-    fn update_loss_ewma(&mut self, feedback: &[PacketFeedback]) {
-        let received = feedback.iter().filter(|f| f.arrived_at.is_some()).count();
-        let loss_fraction = 1.0 - received as f64 / feedback.len() as f64;
-        self.loss_ewma += LOSS_EWMA_ALPHA * (loss_fraction - self.loss_ewma);
+    fn update_loss_ewma(&mut self, fold: &FeedbackFold) {
+        self.loss_ewma += LOSS_EWMA_ALPHA * (fold.loss_fraction() - self.loss_ewma);
         self.loss_ewma = self.loss_ewma.clamp(0.0, 1.0);
     }
 
     /// Processes one feedback report (a batch of per-packet feedback covering roughly one
     /// RTT or reporting interval) and updates the estimate.
     pub fn on_feedback_report(&mut self, feedback: &[PacketFeedback]) {
-        if feedback.is_empty() {
+        self.on_feedback_fold(&Self::fold_slice(feedback));
+    }
+
+    /// [`GccController::on_feedback_report`] on a pre-built [`FeedbackFold`].
+    pub fn on_feedback_fold(&mut self, fold: &FeedbackFold) {
+        if fold.is_empty() {
             return;
         }
-        self.update_loss_ewma(feedback);
-        // One pass over the report: count arrivals and sum their one-way delays in report
-        // order (the same left-to-right f64 summation the filtered walk performed), so no
-        // per-report buffer is needed.
-        let mut received = 0usize;
-        let mut owd_sum_ms = 0.0;
-        for f in feedback {
-            if let Some(arrived) = f.arrived_at {
-                received += 1;
-                owd_sum_ms += arrived.saturating_since(f.sent_at).as_millis_f64();
-            }
-        }
-        let loss_fraction = 1.0 - received as f64 / feedback.len() as f64;
+        self.update_loss_ewma(fold);
+        let loss_fraction = fold.loss_fraction();
 
         // Delay signal: change in mean one-way delay between this report and the previous.
-        let delay_trend_ms = if received == 0 {
+        let delay_trend_ms = if fold.received == 0 {
             f64::INFINITY
         } else {
-            let mean_owd_ms = owd_sum_ms / received as f64;
+            let mean_owd_ms = fold.owd_sum_ms / fold.received as f64;
             let trend = self
                 .last_mean_owd_ms
                 .map(|prev| mean_owd_ms - prev)

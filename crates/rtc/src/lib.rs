@@ -29,7 +29,7 @@ pub mod session;
 pub mod stats;
 
 pub use abr::{AbrMode, AbrPolicy};
-pub use cc::{CcState, GccConfig, GccController, PacketFeedback};
+pub use cc::{CcState, FeedbackFold, GccConfig, GccController, PacketFeedback};
 pub use fec::{group_of_index, AdaptiveFecConfig, FecConfig, FecEncoder, FecRecovery};
 pub use jitter::JitterBuffer;
 pub use nack::{NackGenerator, RtxQueue};

@@ -147,39 +147,49 @@ impl NackGenerator {
     /// updated, so calling this repeatedly paces retries at `retry_interval`.
     pub fn due_nacks(&mut self, now: SimTime) -> Vec<u64> {
         let mut due = Vec::new();
-        let mut to_remove = Vec::new();
+        self.due_nacks_into(now, &mut due);
+        due
+    }
+
+    /// [`NackGenerator::due_nacks`] into a caller-provided buffer: due sequences are
+    /// appended to `due` in ascending order, and nothing else is allocated (exhausted and
+    /// deadline-hopeless records are dropped in the same in-order pass). The steady-state
+    /// poll path reuses one pooled buffer per feedback packet through this.
+    pub fn due_nacks_into(&mut self, now: SimTime, due: &mut Vec<u64>) {
+        let before = due.len();
         let mut suppressed = 0u64;
-        for (&seq, state) in self.pending.iter_mut() {
-            if state.retries >= self.config.max_retries {
-                to_remove.push(seq);
-                continue;
+        let NackConfig {
+            reorder_guard,
+            retry_interval,
+            max_retries,
+        } = self.config;
+        let recovery_estimate = self.recovery_estimate;
+        self.pending.retain(|&seq, state| {
+            if state.retries >= max_retries {
+                return false;
             }
             // Deadline cutoff: if the retransmission would arrive after the gap's
             // conversational deadline, the request is wasted uplink — drop the record.
             if let Some(deadline) = state.deadline {
-                if now + self.recovery_estimate > deadline {
+                if now + recovery_estimate > deadline {
                     suppressed += 1;
-                    to_remove.push(seq);
-                    continue;
+                    return false;
                 }
             }
-            let guard_passed = now >= state.detected_at + self.config.reorder_guard;
+            let guard_passed = now >= state.detected_at + reorder_guard;
             let retry_ok = match state.last_sent {
                 None => true,
-                Some(last) => now >= last + self.config.retry_interval,
+                Some(last) => now >= last + retry_interval,
             };
             if guard_passed && retry_ok {
                 state.last_sent = Some(now);
                 state.retries += 1;
                 due.push(seq);
             }
-        }
-        for seq in to_remove {
-            self.pending.remove(&seq);
-        }
-        self.nacks_sent += due.len() as u64;
+            true
+        });
+        self.nacks_sent += (due.len() - before) as u64;
         self.nacks_suppressed += suppressed;
-        due
     }
 
     /// Drops receive and pending history below `seq` — the history bound a long-lived
@@ -241,14 +251,19 @@ impl RtxQueue {
     /// Produces retransmission copies for the NACKed sequences, assigning fresh sequence
     /// numbers from `alloc_seq`. Unknown sequences are ignored.
     pub fn retransmit(&mut self, sequences: &[u64], mut alloc_seq: impl FnMut() -> u64) -> Vec<RtpPacket> {
-        let mut out = Vec::new();
-        for seq in sequences {
-            if let Some(original) = self.sent.get(*seq) {
-                out.push(original.as_retransmission(alloc_seq()));
-                self.retransmissions += 1;
-            }
-        }
-        out
+        sequences
+            .iter()
+            .filter_map(|&seq| self.retransmit_one(seq, &mut alloc_seq))
+            .collect()
+    }
+
+    /// [`RetransmissionBuffer::retransmit`] for a single sequence, without the output
+    /// vector: the copy for `seq` (with a fresh sequence from `alloc_seq`), or `None`
+    /// when the sequence is unknown — in which case `alloc_seq` is never called.
+    pub fn retransmit_one(&mut self, seq: u64, alloc_seq: impl FnOnce() -> u64) -> Option<RtpPacket> {
+        let original = self.sent.get(seq)?;
+        self.retransmissions += 1;
+        Some(original.as_retransmission(alloc_seq()))
     }
 
     /// Drops state for packets older than `before_seq` (history bound).

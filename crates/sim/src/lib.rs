@@ -87,6 +87,20 @@ impl<E> Simulation<E> {
         self.queue.schedule(self.now + delay, event)
     }
 
+    /// Schedules `event` at `time` under a previously issued sequence number, so a
+    /// multi-shot event keeps its tie-break position across re-arms. See
+    /// [`EventQueue::schedule_with_seq`] for the contract (`seq` must belong to an event
+    /// that already popped — typically the one currently being handled).
+    pub fn schedule_at_with_seq(&mut self, time: SimTime, seq: u64, event: E) -> EventId {
+        self.queue.schedule_with_seq(time.max(self.now), seq, event)
+    }
+
+    /// The sequence number the next schedule call will assign (the tie-break key a
+    /// freshly scheduled event will carry).
+    pub fn next_seq(&self) -> u64 {
+        self.queue.next_seq()
+    }
+
     /// Cancels a pending event. Returns `false` if it already fired or was canceled.
     pub fn cancel(&mut self, id: EventId) -> bool {
         self.queue.cancel(id)

@@ -105,7 +105,40 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
+        let slot = self.alloc_slot(seq, event);
+        self.heap.push(HeapEntry { time, seq, slot });
+        self.live += 1;
+        EventId { seq, slot }
+    }
+
+    /// Re-arms an event under a **previously issued** sequence number instead of a fresh
+    /// one, so a multi-shot event (e.g. a coalesced packet run that fires once per
+    /// departure) keeps its original position in same-time tie-breaking across re-arms.
+    ///
+    /// Contract: `seq` must be the sequence of an event that has already popped — the
+    /// natural call site is an event handler re-scheduling the continuation of the event
+    /// it is handling. Passing the seq of a still-pending event would create two live
+    /// events with an ill-defined relative order (guarded by a debug assertion on
+    /// freshness; full liveness checking would cost a scan).
+    pub fn schedule_with_seq(&mut self, time: SimTime, seq: u64, event: E) -> EventId {
+        debug_assert!(
+            seq < self.next_seq,
+            "re-arm seq {seq} was never issued by this queue (next_seq {})",
+            self.next_seq
+        );
+        let slot = self.alloc_slot(seq, event);
+        self.heap.push(HeapEntry { time, seq, slot });
+        self.live += 1;
+        EventId { seq, slot }
+    }
+
+    /// The sequence number the next [`EventQueue::schedule`] call will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn alloc_slot(&mut self, seq: u64, event: E) -> u32 {
+        match self.free.pop() {
             Some(slot) => {
                 let s = &mut self.slots[slot as usize];
                 debug_assert!(s.event.is_none(), "free-list slot still holds a payload");
@@ -121,10 +154,7 @@ impl<E> EventQueue<E> {
                 });
                 slot
             }
-        };
-        self.heap.push(HeapEntry { time, seq, slot });
-        self.live += 1;
-        EventId { seq, slot }
+        }
     }
 
     /// Compatibility alias for [`EventQueue::schedule`] (the pre-kernel queue called this
@@ -282,6 +312,56 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 1);
         assert_eq!(q.pop().unwrap().1, 10);
         assert_eq!(q.pop().unwrap().1, 20);
+    }
+
+    #[test]
+    fn rearm_with_original_seq_keeps_tie_position() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        // A multi-shot event scheduled first, then two later-inserted events at the same
+        // future instant. Re-arming with the original seq must keep popping *before* them.
+        let multi = q.schedule(t, "run");
+        q.push(SimTime::from_millis(2), "late-a");
+        q.push(SimTime::from_millis(2), "late-b");
+        assert_eq!(q.pop(), Some((t, "run")));
+        // Re-arm the run at the same instant the later events fire.
+        q.schedule_with_seq(SimTime::from_millis(2), multi.seq(), "run");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["run", "late-a", "late-b"]);
+    }
+
+    #[test]
+    fn rearm_chain_preserves_order_across_many_fires() {
+        let mut q = EventQueue::new();
+        // Interleave: run(seq 0), then rivals at every future tick inserted up front.
+        let run = q.schedule(SimTime::from_micros(0), (0u32, true));
+        for tick in 1..=5u64 {
+            q.push(SimTime::from_micros(tick), (tick as u32, false));
+        }
+        let mut fired = Vec::new();
+        while let Some((t, (tag, is_run))) = q.pop() {
+            fired.push((t.as_micros(), tag, is_run));
+            if is_run && t.as_micros() < 5 {
+                q.schedule_with_seq(SimTime::from_micros(t.as_micros() + 1), run.seq(), (tag + 100, true));
+            }
+        }
+        // At every shared instant the re-armed run (older seq) pops before the rival.
+        let runs_first: Vec<_> = fired
+            .iter()
+            .filter(|(t, _, _)| *t >= 1 && *t <= 5)
+            .map(|&(_, _, is_run)| is_run)
+            .collect();
+        assert_eq!(runs_first, vec![true, false, true, false, true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn rearm_can_still_be_canceled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+        let rearmed = q.schedule_with_seq(SimTime::from_millis(3), a.seq(), "a-again");
+        assert!(q.cancel(rearmed));
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -203,6 +203,13 @@ impl Encoder {
         &self.rd
     }
 
+    /// The hoisted 52-entry `qp_factors` table (`qp_factors[qp] == rd.qp_factor(qp)`),
+    /// shared with the rate-plan probe loops so plan predictions read the same factors
+    /// the encode kernels do.
+    pub(crate) fn qp_factor_table(&self) -> &[f64; QP_TABLE] {
+        &self.qp_factors
+    }
+
     /// The CTU grid an encode of `frame` will use.
     pub fn grid_for(&self, frame: &Frame) -> GridDims {
         GridDims::for_frame(frame.width, frame.height, self.config.block_size)
@@ -245,6 +252,39 @@ impl Encoder {
         self.encode_into_impl::<true>(frame, qp_map, scratch, out);
     }
 
+    /// [`Encoder::encode_into`] reusing the content raster a [`crate::RatePlan`] already
+    /// holds for this frame, instead of re-filling the scratch's own grid. `grid.fill` is
+    /// a pure function of `(frame, block_size)`, so reading the plan's raster — filled
+    /// from the same frame by [`Encoder::prepare_rate_plan`] — produces bit-identical
+    /// output (asserted by the equivalence tests); rate-control callers that just probed
+    /// the frame save one full rasterization per encode.
+    pub fn encode_into_planned(
+        &self,
+        frame: &Frame,
+        qp_map: &QpMap,
+        plan: &crate::RatePlan,
+        scratch: &mut EncodeScratch,
+        out: &mut EncodedFrame,
+    ) {
+        let dims = self.grid_for(frame);
+        assert_eq!(plan.dims(), dims, "rate plan was prepared for a different frame grid");
+        let EncodeScratch {
+            coverage_cache,
+            quality_memo,
+            last_coverage,
+            ..
+        } = scratch;
+        self.encode_walk::<true>(
+            frame,
+            qp_map,
+            plan.grid(),
+            coverage_cache,
+            quality_memo,
+            last_coverage,
+            out,
+        );
+    }
+
     /// The CTU walk behind [`Encoder::encode_into`]. `CACHE` selects at compile time
     /// whether coverage-`Arc` cache misses populate the scratch (long-lived scratches) or
     /// bypass it (the one-shot [`Encoder::encode_with_qp_map`] wrapper, which can never
@@ -256,10 +296,6 @@ impl Encoder {
         scratch: &mut EncodeScratch,
         out: &mut EncodedFrame,
     ) {
-        let dims = self.grid_for(frame);
-        assert_eq!(qp_map.dims(), dims, "QP map grid does not match frame grid");
-        let frame_type = self.config.gop.frame_type(frame.index);
-        let preset_factor = self.config.preset.rate_factor();
         let EncodeScratch {
             grid,
             coverage_cache,
@@ -267,6 +303,27 @@ impl Encoder {
             last_coverage,
         } = scratch;
         grid.fill(frame, self.config.block_size);
+        self.encode_walk::<CACHE>(frame, qp_map, grid, coverage_cache, quality_memo, last_coverage, out);
+    }
+
+    /// The block walk shared by [`Encoder::encode_into_impl`] (own raster, freshly
+    /// filled) and [`Encoder::encode_into_planned`] (a rate plan's raster for the same
+    /// frame): identical walk, identical output.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_walk<const CACHE: bool>(
+        &self,
+        frame: &Frame,
+        qp_map: &QpMap,
+        grid: &GridContent,
+        coverage_cache: &mut Vec<Arc<[(u32, f64)]>>,
+        quality_memo: &mut QualityMemo,
+        last_coverage: &mut Option<Arc<[(u32, f64)]>>,
+        out: &mut EncodedFrame,
+    ) {
+        let dims = self.grid_for(frame);
+        assert_eq!(qp_map.dims(), dims, "QP map grid does not match frame grid");
+        let frame_type = self.config.gop.frame_type(frame.index);
+        let preset_factor = self.config.preset.rate_factor();
 
         out.blocks.clear();
         out.blocks.reserve(dims.len());

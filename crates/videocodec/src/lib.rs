@@ -26,6 +26,7 @@ pub mod frame;
 pub mod gop;
 pub mod qp;
 pub mod quality;
+pub mod rate_plan;
 pub mod ratecontrol;
 pub mod rd;
 pub mod transcode;
@@ -36,6 +37,7 @@ pub use frame::{EncodedBlock, EncodedFrame, FrameType};
 pub use gop::GopStructure;
 pub use qp::{Qp, QpMap};
 pub use quality::{frame_quality, region_quality};
+pub use rate_plan::RatePlan;
 pub use ratecontrol::{match_bitrate_qp, RateController, RateControllerConfig};
 pub use rd::RdModel;
 pub use transcode::{transcode_clip, TranscodeSummary};

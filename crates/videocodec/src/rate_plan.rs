@@ -1,0 +1,286 @@
+//! Per-frame rate plan: the QP-independent half of the rate law, hoisted out of the
+//! rate-control probe loop.
+//!
+//! [`Encoder::predict_map_size`] re-rasterizes the frame's [`GridContent`] and re-derives
+//! each block's content factors on **every** call — fine for a single prediction, ruinous
+//! for a binary search that probes the same frame seven times per capture (the warm
+//! conversational turn spent ~90 % of its time here; see DESIGN.md §"Where the warm
+//! turn's microsecond goes"). A [`RatePlan`] folds everything that does not depend on QP
+//! into per-block coefficients once per frame:
+//!
+//! * `lead[b]  = intra_bpp_at_ref * content_factor(b)` — the rate law's first product,
+//! * `tail[b]  = type_factor(b)` (exactly `1.0` on intra frames),
+//! * `pixels[b]` as `f64`, and the frame's base QP per block when probing offsets.
+//!
+//! A probe then evaluates, per block, the *identical* IEEE-754 expression sequence the
+//! encoder's rate kernel performs — `((lead · qp_factor) · tail).max(min_bpp)`, the same
+//! `ceil`s, the same `max(1)` floor — so every predicted size is bit-for-bit equal to
+//! [`Encoder::predict_map_size`] (and therefore to a real encode), which the equivalence
+//! tests below pin for every probe level. Multiplying by a `tail` of exactly `1.0` is an
+//! IEEE identity, so collapsing the intra/inter split into one expression is lossless.
+
+use crate::frame::FrameType;
+use crate::qp::{Qp, QpMap};
+use aivc_scene::grid_content::GridContent;
+use aivc_scene::{Frame, GridDims};
+
+/// Reusable per-frame probe state for rate-control searches. Buffers retain capacity
+/// across frames, so a warm conversation prepares plans without touching the allocator.
+#[derive(Debug, Clone)]
+pub struct RatePlan {
+    dims: GridDims,
+    /// `intra_bpp_at_ref * content_factor` per block (the rate law's first product).
+    lead: Vec<f64>,
+    /// `type_factor` per block — exactly `1.0` on intra frames.
+    tail: Vec<f64>,
+    /// Block pixel counts, pre-converted to `f64`.
+    pixels: Vec<f64>,
+    /// The base QP map snapshot offset probes apply their level to (empty when the plan
+    /// was prepared without a base map, i.e. for uniform probes only).
+    base_qp: Vec<u8>,
+    /// Private raster scratch (capacity reused across frames).
+    grid: GridContent,
+}
+
+impl Default for RatePlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RatePlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self {
+            dims: GridDims {
+                cols: 0,
+                rows: 0,
+                cell: 1,
+            },
+            lead: Vec::new(),
+            tail: Vec::new(),
+            pixels: Vec::new(),
+            base_qp: Vec::new(),
+            grid: GridContent::default(),
+        }
+    }
+
+    /// Grid geometry of the prepared frame.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    pub(crate) fn grid_mut(&mut self) -> &mut GridContent {
+        &mut self.grid
+    }
+
+    pub(crate) fn grid(&self) -> &GridContent {
+        &self.grid
+    }
+
+    pub(crate) fn parts(&self) -> (&[f64], &[f64], &[f64], &[u8]) {
+        (&self.lead, &self.tail, &self.pixels, &self.base_qp)
+    }
+
+    pub(crate) fn set_geometry(&mut self, dims: GridDims) {
+        self.dims = dims;
+        self.lead.clear();
+        self.tail.clear();
+        self.pixels.clear();
+        self.base_qp.clear();
+    }
+
+    pub(crate) fn push_block(&mut self, lead: f64, tail: f64, pixels: f64) {
+        self.lead.push(lead);
+        self.tail.push(tail);
+        self.pixels.push(pixels);
+    }
+
+    pub(crate) fn snapshot_base(&mut self, base: &QpMap) {
+        assert_eq!(base.dims(), self.dims, "base QP map grid does not match plan grid");
+        self.base_qp.extend(base.values().iter().map(|q| q.value()));
+    }
+}
+
+use crate::encoder::Encoder;
+
+impl Encoder {
+    /// Prepares `plan` for rate-control probes over `frame`: rasterizes the content grid
+    /// once and folds every QP-independent term of the rate law into per-block
+    /// coefficients. With `base` supplied, the plan also snapshots the per-block base QP
+    /// so [`Encoder::predict_plan_offset_size`] can probe uniform offsets on top of it
+    /// (the context-aware search); without it only
+    /// [`Encoder::predict_plan_uniform_size`] is valid (the baseline search).
+    pub fn prepare_rate_plan(&self, frame: &Frame, base: Option<&QpMap>, plan: &mut RatePlan) {
+        let dims = self.grid_for(frame);
+        let frame_type = self.config().gop.frame_type(frame.index);
+        plan.set_geometry(dims);
+        plan.grid_mut().fill(frame, self.config().block_size);
+        let rd = self.rd_model();
+        let (intra_bpp, inter_base, inter_motion) =
+            (rd.intra_bpp_at_ref, rd.inter_base_fraction, rd.inter_motion_fraction);
+        for idx in 0..dims.len() {
+            let grid = plan.grid();
+            // The identical clamp + content/type factor expressions of the encoder's rate
+            // kernel (`block_bytes_one` / `block_bytes_batch`), evaluated once per frame.
+            let content_factor = 0.08 + 0.92 * grid.complexity()[idx].clamp(0.0, 1.0);
+            let tail = match frame_type {
+                FrameType::Intra => 1.0,
+                FrameType::Inter => inter_base + inter_motion * grid.motion()[idx].clamp(0.0, 1.0),
+            };
+            let pixels = grid.area()[idx] as f64;
+            plan.push_block(intra_bpp * content_factor, tail, pixels);
+        }
+        if let Some(base) = base {
+            plan.snapshot_base(base);
+        }
+    }
+
+    /// Predicted total size in bytes of encoding the planned frame with its base QP map
+    /// offset uniformly by `level` — bit-identical to building the offset map with
+    /// [`QpMap::offset_all_into`] and calling [`Encoder::predict_map_size`] on it.
+    pub fn predict_plan_offset_size(&self, plan: &RatePlan, level: i32) -> u64 {
+        let (lead, tail, pixels, base_qp) = plan.parts();
+        assert_eq!(
+            base_qp.len(),
+            lead.len(),
+            "offset probes need a plan prepared with a base QP map"
+        );
+        let factors = self.qp_factor_table();
+        let preset_factor = self.config().preset.rate_factor();
+        let min_bpp = self.rd_model().min_bpp;
+        let mut total = self.config().header_bytes as u64;
+        for b in 0..lead.len() {
+            let qp = (base_qp[b] as i32 + level).clamp(0, 51) as usize;
+            total += plan_block_bytes(lead[b], factors[qp], tail[b], min_bpp, pixels[b], preset_factor);
+        }
+        total
+    }
+
+    /// Predicted total size in bytes of encoding the planned frame at a single uniform
+    /// `qp` — bit-identical to [`Encoder::predict_uniform_size`].
+    pub fn predict_plan_uniform_size(&self, plan: &RatePlan, qp: Qp) -> u64 {
+        let (lead, tail, pixels, _) = plan.parts();
+        let factor = self.qp_factor_table()[qp.value() as usize];
+        let preset_factor = self.config().preset.rate_factor();
+        let min_bpp = self.rd_model().min_bpp;
+        let mut total = self.config().header_bytes as u64;
+        for b in 0..lead.len() {
+            total += plan_block_bytes(lead[b], factor, tail[b], min_bpp, pixels[b], preset_factor);
+        }
+        total
+    }
+}
+
+/// One block's coded byte count from plan coefficients — the exact expression sequence of
+/// the encoder's rate kernel: `bpp = ((lead·qp_factor)·tail).max(min_bpp)` (left-assoc,
+/// matching `intra_bpp·content·qp_factor·type`), `bits = ceil(bpp·pixels)`, then the
+/// preset/`ceil`/`max(1)` byte epilogue.
+#[inline]
+fn plan_block_bytes(lead: f64, qp_factor: f64, tail: f64, min_bpp: f64, pixels: f64, preset_factor: f64) -> u64 {
+    let bpp = ((lead * qp_factor) * tail).max(min_bpp);
+    let bits = (bpp * pixels).ceil() as u64;
+    (((bits as f64 * preset_factor) / 8.0).ceil() as u32).max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncodeScratch, EncoderConfig, Preset};
+    use aivc_scene::templates::{basketball_game, lecture_slides};
+    use aivc_scene::{SourceConfig, VideoSource};
+
+    fn check_frame_all_levels(enc: &Encoder, frame: &Frame, base: &QpMap) {
+        let mut plan = RatePlan::new();
+        enc.prepare_rate_plan(frame, Some(base), &mut plan);
+        let mut scratch = EncodeScratch::new();
+        let mut probe = QpMap::empty();
+        for level in -51..=51 {
+            base.offset_all_into(level, &mut probe);
+            let reference = enc.predict_map_size(frame, &probe, &mut scratch);
+            assert_eq!(
+                enc.predict_plan_offset_size(&plan, level),
+                reference,
+                "offset level {level} diverges for frame {}",
+                frame.index
+            );
+        }
+        for qp in 0..=51 {
+            let reference = enc.predict_uniform_size(frame, Qp::new(qp));
+            assert_eq!(
+                enc.predict_plan_uniform_size(&plan, Qp::new(qp)),
+                reference,
+                "uniform qp {qp} diverges for frame {}",
+                frame.index
+            );
+        }
+    }
+
+    #[test]
+    fn plan_probes_match_predict_map_size_for_every_level() {
+        for (template, preset) in [
+            (basketball_game(1), Preset::Medium),
+            (lecture_slides(3), Preset::Slower),
+        ] {
+            let enc = Encoder::new(EncoderConfig {
+                preset,
+                ..EncoderConfig::default()
+            });
+            let source = VideoSource::new(template, SourceConfig::fps30(5.0));
+            // Frame 0 is intra, the others exercise the inter/motion path.
+            for index in [0u64, 7, 31] {
+                let frame = source.frame(index);
+                let dims = enc.grid_for(&frame);
+                // A non-trivial base map: QP varies across the grid.
+                let values: Vec<Qp> = (0..dims.len()).map(|i| Qp::new((i % 52) as i32)).collect();
+                let base = QpMap::from_values(dims, values);
+                check_frame_all_levels(&enc, &frame, &base);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_planned_matches_encode_into() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let source = VideoSource::new(basketball_game(4), SourceConfig::fps30(5.0));
+        let mut plan = RatePlan::new();
+        let mut planned_scratch = EncodeScratch::new();
+        let mut plain_scratch = EncodeScratch::new();
+        let mut planned = crate::frame::EncodedFrame::placeholder();
+        let mut plain = crate::frame::EncodedFrame::placeholder();
+        for index in [0u64, 5, 17] {
+            let frame = source.frame(index);
+            let dims = enc.grid_for(&frame);
+            let base = QpMap::uniform(dims, Qp::new(28));
+            enc.prepare_rate_plan(&frame, Some(&base), &mut plan);
+            let mut map = QpMap::empty();
+            base.offset_all_into(-6, &mut map);
+            enc.encode_into_planned(&frame, &map, &plan, &mut planned_scratch, &mut planned);
+            enc.encode_into(&frame, &map, &mut plain_scratch, &mut plain);
+            assert_eq!(planned, plain, "planned encode diverges on frame {index}");
+        }
+    }
+
+    #[test]
+    fn plan_reuse_across_frames_is_exact() {
+        let enc = Encoder::new(EncoderConfig::default());
+        let source = VideoSource::new(basketball_game(2), SourceConfig::fps30(5.0));
+        let mut plan = RatePlan::new();
+        for index in [3u64, 12, 40] {
+            let frame = source.frame(index);
+            let dims = enc.grid_for(&frame);
+            let base = QpMap::uniform(dims, Qp::new(30));
+            enc.prepare_rate_plan(&frame, Some(&base), &mut plan);
+            let mut scratch = EncodeScratch::new();
+            let mut probe = QpMap::empty();
+            for level in [-51, -13, 0, 9, 51] {
+                base.offset_all_into(level, &mut probe);
+                assert_eq!(
+                    enc.predict_plan_offset_size(&plan, level),
+                    enc.predict_map_size(&frame, &probe, &mut scratch),
+                    "level {level} diverges after plan reuse on frame {index}"
+                );
+            }
+        }
+    }
+}
